@@ -1,0 +1,92 @@
+//===- bench/BenchCommon.h - Shared experiment driver bits ------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the per-table/per-figure benchmark harnesses: corpus
+/// input sampling, analysis driving, and wall-clock timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_BENCH_BENCHCOMMON_H
+#define HERBGRIND_BENCH_BENCHCOMMON_H
+
+#include "fpcore/Compile.h"
+#include "fpcore/Corpus.h"
+#include "herbgrind/Herbgrind.h"
+#include "improve/Improve.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <memory>
+#include <cstdio>
+#include <vector>
+
+namespace herbgrind {
+namespace bench {
+
+/// Samples \p Count input tuples for a core from its :pre ranges.
+inline std::vector<std::vector<double>>
+sampleInputs(const fpcore::Core &C, int Count, uint64_t Seed = 0xabcd) {
+  Rng R(Seed);
+  std::vector<fpcore::VarRange> Ranges = fpcore::sampleRanges(C);
+  std::vector<std::vector<double>> Sets;
+  Sets.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I) {
+    std::vector<double> Inputs;
+    for (const fpcore::VarRange &VR : Ranges)
+      Inputs.push_back(R.betweenOrdinals(VR.Lo, VR.Hi));
+    Sets.push_back(std::move(Inputs));
+  }
+  return Sets;
+}
+
+/// Runs a full Herbgrind analysis of one core over sampled inputs.
+/// (Herbgrind pins its arenas, so it lives behind a unique_ptr.)
+inline std::unique_ptr<Herbgrind> analyzeCore(const fpcore::Core &C,
+                                              int Samples,
+                                              AnalysisConfig Cfg = {}) {
+  Program P = fpcore::compile(C);
+  auto HG = std::make_unique<Herbgrind>(P, Cfg);
+  for (const std::vector<double> &In : sampleInputs(C, Samples))
+    HG->runOnInput(In);
+  return HG;
+}
+
+/// Wall-clock helper (seconds).
+template <typename Fn> double timeIt(Fn &&F) {
+  auto Start = std::chrono::steady_clock::now();
+  F();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// The improver sampling specs derived from a core's own :pre ranges.
+inline std::vector<improve::SampleSpec>
+specsFromPre(const fpcore::Core &C) {
+  std::vector<improve::SampleSpec> Specs;
+  for (const fpcore::VarRange &VR : fpcore::sampleRanges(C))
+    Specs.push_back(improve::SampleSpec::interval(VR.Lo, VR.Hi));
+  return Specs;
+}
+
+/// True if the core's body is loop-free (the improver only judges pure
+/// expressions, like Herbie).
+inline bool isStraightLine(const fpcore::Expr &E) {
+  if (E.K == fpcore::Expr::Kind::While)
+    return false;
+  for (const auto &A : E.Args)
+    if (!isStraightLine(*A))
+      return false;
+  for (const auto &A : E.Inits)
+    if (!isStraightLine(*A))
+      return false;
+  return true;
+}
+
+} // namespace bench
+} // namespace herbgrind
+
+#endif // HERBGRIND_BENCH_BENCHCOMMON_H

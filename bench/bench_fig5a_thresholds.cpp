@@ -1,0 +1,41 @@
+//===- bench/bench_fig5a_thresholds.cpp - Figure 5a -------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// Figure 5a: the number of computations flagged as candidate root causes
+// against the local-error threshold Tl. Higher thresholds flag fewer
+// operations (users raise Tl when there is too much to triage, lower it
+// for critical code).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace herbgrind;
+using namespace herbgrind::bench;
+
+int main() {
+  const double Thresholds[] = {0.5, 1, 2, 5, 10, 20, 30, 40};
+  std::printf("Figure 5a: flagged computations vs local-error threshold\n");
+  std::printf("%10s %18s %22s\n", "Tl (bits)", "flagged op sites",
+              "flagged executions");
+  for (double Tl : Thresholds) {
+    uint64_t Sites = 0;
+    uint64_t Events = 0;
+    for (const fpcore::Core &C : fpcore::corpus()) {
+      if (!isStraightLine(*C.Body))
+        continue;
+      AnalysisConfig Cfg;
+      Cfg.LocalErrorThreshold = Tl;
+      auto HG = analyzeCore(C, /*Samples=*/24, Cfg);
+      for (const auto &[PC, Rec] : HG->opRecords()) {
+        Sites += Rec.Flagged > 0;
+        Events += Rec.Flagged;
+      }
+    }
+    std::printf("%10.1f %18llu %22llu\n", Tl,
+                static_cast<unsigned long long>(Sites),
+                static_cast<unsigned long long>(Events));
+  }
+  return 0;
+}

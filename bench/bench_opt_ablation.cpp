@@ -1,0 +1,51 @@
+//===- bench/bench_opt_ablation.cpp - Section 6 optimizations ---------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// Ablation of the Section 6 engineering: the static type analysis (skip
+// instrumentation of known-integer statements), shadow-value sharing
+// (reference counting instead of copying on every move), and the
+// stack-backed pool allocators. Each toggle must leave results identical
+// (asserted in tests/test_analysis.cpp); this bench measures what each
+// one buys in wall-clock on the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace herbgrind;
+using namespace herbgrind::bench;
+
+int main() {
+  struct Config {
+    const char *Name;
+    bool TypeAnalysis, Sharing, Pools;
+  };
+  const Config Configs[] = {
+      {"all optimizations", true, true, true},
+      {"no type analysis", false, true, true},
+      {"no shadow sharing", true, false, true},
+      {"no pool allocators", true, true, false},
+      {"none", false, false, false},
+  };
+  std::printf("Section 6 optimization ablation (loop benchmarks dominate "
+              "shadow traffic)\n\n%-22s %12s %16s\n", "configuration",
+              "runtime (s)", "vs optimized");
+  double Baseline = 0.0;
+  for (const Config &Cfg : Configs) {
+    double Elapsed = timeIt([&] {
+      for (const fpcore::Core &C : fpcore::corpus()) {
+        AnalysisConfig ACfg;
+        ACfg.UseTypeAnalysis = Cfg.TypeAnalysis;
+        ACfg.SharedShadowValues = Cfg.Sharing;
+        ACfg.UsePools = Cfg.Pools;
+        analyzeCore(C, /*Samples=*/8, ACfg);
+      }
+    });
+    if (Baseline == 0.0)
+      Baseline = Elapsed;
+    std::printf("%-22s %12.2f %15.2fx\n", Cfg.Name, Elapsed,
+                Elapsed / Baseline);
+  }
+  return 0;
+}

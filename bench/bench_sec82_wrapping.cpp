@@ -1,0 +1,70 @@
+//===- bench/bench_sec82_wrapping.cpp - Section 8.2 -------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// The library-wrapping ablation (Section 8.2). With wrapping on, library
+// calls are atomic: expressions stay small (paper: max 9 operations).
+// With wrapping off, the analysis sees libm's internals: the largest
+// expressions balloon (paper: 31 ops, 133 expressions over 9 ops, 848
+// problematic expressions, mostly false positives inside the math
+// library, including the leaked round-to-int constant 6.755399e15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace herbgrind;
+using namespace herbgrind::bench;
+
+namespace {
+
+struct WrapStats {
+  unsigned MaxOps = 0;
+  unsigned Over9 = 0;
+  unsigned Problematic = 0;
+  bool MagicLeaked = false;
+};
+
+WrapStats collect(bool Wrap) {
+  WrapStats St;
+  for (const fpcore::Core &C : fpcore::corpus()) {
+    if (!isStraightLine(*C.Body))
+      continue;
+    AnalysisConfig Cfg;
+    Cfg.WrapLibraryCalls = Wrap;
+    auto HG = analyzeCore(C, /*Samples=*/16, Cfg);
+    for (const auto &[PC, Rec] : HG->opRecords()) {
+      if (Rec.Flagged == 0 || !Rec.Expr)
+        continue;
+      ++St.Problematic;
+      unsigned Ops = Rec.Expr->opCount();
+      St.MaxOps = std::max(St.MaxOps, Ops);
+      St.Over9 += Ops > 9;
+      if (Rec.Expr->fpcoreBody().find("6755399441055744") !=
+          std::string::npos)
+        St.MagicLeaked = true;
+    }
+  }
+  return St;
+}
+
+} // namespace
+
+int main() {
+  WrapStats On = collect(true);
+  WrapStats Off = collect(false);
+  std::printf("Section 8.2 library wrapping ablation "
+              "(paper: max 9 -> 31 ops; 133 exprs > 9 ops; 848 "
+              "problematic)\n\n");
+  std::printf("%-36s %12s %12s\n", "", "wrapped", "unwrapped");
+  std::printf("%-36s %12u %12u\n", "largest expression (ops)", On.MaxOps,
+              Off.MaxOps);
+  std::printf("%-36s %12u %12u\n", "expressions over 9 ops", On.Over9,
+              Off.Over9);
+  std::printf("%-36s %12u %12u\n", "problematic expressions",
+              On.Problematic, Off.Problematic);
+  std::printf("%-36s %12s %12s\n", "libm magic constant 6.7554e15 leaked",
+              On.MagicLeaked ? "yes" : "no",
+              Off.MagicLeaked ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- examples/complex_plotter.cpp - The Section 3 case study ------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// The paper's running example: a complex function plotter whose picture
+// speckles because the textbook complex square root
+//
+//   sqrt(x + iy) = ( sqrt(sqrt(x^2+y^2) + x) + i sqrt(sqrt(x^2+y^2) - x) )
+//                  / sqrt(2)
+//
+// cancels catastrophically in sqrt(x^2+y^2) - x when y is tiny and x > 0.
+// The plotter colors each pixel by arg(sqrt(z)) over the strip
+// R = [0, 1/4] x [-3e-9, 3e-9] around the real axis (the slice of the
+// paper's region where the bug bites). The per-pixel kernel runs under
+// Herbgrind for every pixel; the report recovers exactly the Section 3
+// root cause
+//
+//   (FPCore (x y) :pre ... (- (sqrt (+ (* x x) (* y y))) x))
+//
+// and applying the Herbie-style rewrite y^2/(sqrt(x^2+y^2)+x) fixes the
+// picture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbgrind/Herbgrind.h"
+
+#include <cstdio>
+
+using namespace herbgrind;
+
+namespace {
+
+const int Width = 250;
+const int Height = 120;
+const double X0 = 0.0, X1 = 0.25;
+const double Y0 = -3e-9, Y1 = 3e-9;
+
+/// The per-pixel kernel: color = arg(csqrt(x + iy)).
+Program buildKernel(bool Fixed) {
+  ProgramBuilder B;
+  using T = ProgramBuilder::Temp;
+  B.setLoc(SourceLoc("main.cpp", 21, "run(int, int)"));
+  T X = B.input(0);
+  T Y = B.input(1);
+  T Half = B.constF64(0.5);
+
+  T Mag = B.op(Opcode::SqrtF64,
+               B.op(Opcode::AddF64, B.op(Opcode::MulF64, X, X),
+                    B.op(Opcode::MulF64, Y, Y)));
+  T RePart = B.op(Opcode::SqrtF64,
+                  B.op(Opcode::MulF64, B.op(Opcode::AddF64, Mag, X), Half));
+  B.setLoc(SourceLoc("main.cpp", 24, "run(int, int)"));
+  T ImMagSquared = B.op(Opcode::SubF64, Mag, X); // the root cause
+  T ImPart;
+  if (!Fixed) {
+    ImPart = B.op(Opcode::SqrtF64, B.op(Opcode::MulF64, ImMagSquared, Half));
+  } else {
+    // Herbie's rewrite for x > 0: (mag - x) == y^2 / (mag + x).
+    T Rationalized = B.op(Opcode::DivF64, B.op(Opcode::MulF64, Y, Y),
+                          B.op(Opcode::AddF64, Mag, X));
+    ImPart = B.op(Opcode::SqrtF64, B.op(Opcode::MulF64, Rationalized, Half));
+  }
+  T SignedIm = B.op(Opcode::CopySignF64, ImPart, Y);
+  B.setLoc(SourceLoc("main.cpp", 31, "run(int, int)"));
+  B.out(B.op(Opcode::Atan2F64, SignedIm, RePart));
+  B.halt();
+  return B.finish();
+}
+
+void runPlotter(const char *Label, bool Fixed) {
+  Program P = buildKernel(Fixed);
+  Herbgrind HG(P);
+  for (int J = 0; J < Height; ++J) {
+    for (int I = 0; I < Width; ++I) {
+      double X = X0 + (I + 0.5) * (X1 - X0) / Width;
+      double Y = Y0 + (J + 0.5) * (Y1 - Y0) / Height;
+      HG.runOnInput({X, Y});
+    }
+  }
+
+  uint64_t Pixels = 0, Bad = 0;
+  for (const auto &[PC, Spot] : HG.spotRecords()) {
+    if (Spot.Kind != SpotKind::Output)
+      continue;
+    Pixels += Spot.Executions;
+    Bad += Spot.Erroneous;
+  }
+  std::printf("=== %s plotter ===\n", Label);
+  std::printf("%llu incorrect pixel values of %llu\n",
+              static_cast<unsigned long long>(Bad),
+              static_cast<unsigned long long>(Pixels));
+  Report R = buildReport(HG);
+  if (R.Spots.empty())
+    std::printf("No erroneous spots: the picture is clean.\n\n");
+  else
+    std::printf("%s\n", R.render().c_str());
+}
+
+} // namespace
+
+int main() {
+  runPlotter("buggy", /*Fixed=*/false);
+  runPlotter("fixed", /*Fixed=*/true);
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- examples/quickstart.cpp - Hello, Herbgrind -------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// The smallest end-to-end use of the public API: build a program with the
+// canonical cancellation bug (x + 1) - x, run it under the analysis, and
+// print the paper-style report identifying the root cause.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbgrind/Herbgrind.h"
+
+#include <cstdio>
+
+using namespace herbgrind;
+
+int main() {
+  // Client program: reads x, computes (x + 1) - x, prints the result.
+  ProgramBuilder B;
+  B.setLoc(SourceLoc("quickstart.c", 3, "main"));
+  ProgramBuilder::Temp X = B.input(0);
+  ProgramBuilder::Temp Sum = B.op(Opcode::AddF64, X, B.constF64(1.0));
+  B.setLoc(SourceLoc("quickstart.c", 4, "main"));
+  ProgramBuilder::Temp Diff = B.op(Opcode::SubF64, Sum, X);
+  B.out(Diff);
+  B.halt();
+  Program P = B.finish();
+
+  std::printf("Client program:\n%s\n", P.print().c_str());
+
+  // Run it under Herbgrind on a few inputs, benign and catastrophic.
+  Herbgrind HG(P);
+  for (double V : {2.0, 1e8, 1e15, 1e16, 4e16}) {
+    HG.runOnInput({V});
+    std::printf("f(%g) = %g\n", V, HG.lastOutputs()[0].asF64());
+  }
+
+  std::printf("\n--- Herbgrind report ---\n%s",
+              buildReport(HG).render().c_str());
+  return 0;
+}

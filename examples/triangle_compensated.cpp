@@ -1,0 +1,134 @@
+//===- examples/triangle_compensated.cpp - The Triangle case study --------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// Section 8.3: expert-written geometric code uses *compensating terms*
+// (two-sum / two-product residuals) to recover the rounding error of a
+// fast computation, exactly as Shewchuk's Triangle does in its adaptive
+// orient2d predicate. Each compensating term is computed by an add or
+// subtract with enormous local error -- but its real value is exactly
+// zero, so a naive error analysis drowns the user in false positives.
+// Herbgrind detects the compensation pattern (Section 5.3) and refuses to
+// propagate influence from the compensating terms.
+//
+// This example computes an orient2d determinant on nearly-degenerate
+// triangles, both the fast (cancelling) way and the compensated way, and
+// shows that: (a) the fast path's subtraction is reported, and (b) the
+// compensated path's machinery is not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbgrind/Herbgrind.h"
+
+#include <cstdio>
+
+using namespace herbgrind;
+
+namespace {
+
+/// orient2d with a compensated determinant: the two products are split
+/// with FMA-based two-products and combined with a two-diff, then the
+/// residuals are folded back in (a condensed version of Shewchuk's
+/// expansion arithmetic).
+Program buildOrient2d(bool Compensated) {
+  ProgramBuilder B;
+  using T = ProgramBuilder::Temp;
+  B.setLoc(SourceLoc("predicates.c", 735, "orient2d"));
+  T Ax = B.input(0), Ay = B.input(1);
+  T Bx = B.input(2), By = B.input(3);
+  T Cx = B.input(4), Cy = B.input(5);
+
+  T Acx = B.op(Opcode::SubF64, Ax, Cx);
+  T Bcx = B.op(Opcode::SubF64, Bx, Cx);
+  T Acy = B.op(Opcode::SubF64, Ay, Cy);
+  T Bcy = B.op(Opcode::SubF64, By, Cy);
+  T DetLeft = B.op(Opcode::MulF64, Acx, Bcy);
+  T DetRight = B.op(Opcode::MulF64, Acy, Bcx);
+  B.setLoc(SourceLoc("predicates.c", 741, "orient2d"));
+  T Det = B.op(Opcode::SubF64, DetLeft, DetRight);
+
+  if (!Compensated) {
+    B.out(Det);
+    B.halt();
+    return B.finish();
+  }
+
+  // Two-product residuals via FMA: err = fma(a, b, -(a*b)); real value 0.
+  B.setLoc(SourceLoc("predicates.c", 812, "orient2dadapt"));
+  T ErrLeft = B.op(Opcode::FmaF64, Acx, Bcy, B.op(Opcode::NegF64, DetLeft));
+  T ErrRight = B.op(Opcode::FmaF64, Acy, Bcx,
+                    B.op(Opcode::NegF64, DetRight));
+  // Two-diff residual of the subtraction: real value 0.
+  T BVirt = B.op(Opcode::SubF64, DetLeft, Det);
+  T ARound = B.op(Opcode::SubF64, DetLeft, B.op(Opcode::AddF64, Det, BVirt));
+  T BRound = B.op(Opcode::SubF64, BVirt, DetRight);
+  T DiffErr = B.op(Opcode::AddF64, ARound, BRound);
+  // Fold the residuals back in (compensated result).
+  B.setLoc(SourceLoc("predicates.c", 828, "orient2dadapt"));
+  T Correction =
+      B.op(Opcode::AddF64, DiffErr, B.op(Opcode::SubF64, ErrLeft, ErrRight));
+  T Exact = B.op(Opcode::AddF64, Det, Correction);
+  // Triangle's adaptivity: if the correction is large relative to the
+  // fast determinant, take the exact path. This comparison is where
+  // compensation detection cannot help: the real execution computes the
+  // correction as exactly zero, so the branch "goes the wrong way" under
+  // the shadow (the paper's 14-of-225 missed cases).
+  B.setLoc(SourceLoc("predicates.c", 834, "orient2dadapt"));
+  T ErrBound = B.op(Opcode::MulF64, B.constF64(1e-15),
+                    B.op(Opcode::AbsF64, Det));
+  T TakeExact = B.op(Opcode::CmpGEF64, B.op(Opcode::AbsF64, Correction),
+                     ErrBound);
+  auto ExactPath = B.newLabel();
+  B.branchIf(TakeExact, ExactPath);
+  B.out(Det);
+  B.halt();
+  B.bind(ExactPath);
+  B.out(Exact);
+  B.halt();
+  return B.finish();
+}
+
+void analyze(const char *Label, bool Compensated, bool Detect) {
+  Program P = buildOrient2d(Compensated);
+  AnalysisConfig Cfg;
+  Cfg.DetectCompensation = Detect;
+  Herbgrind HG(P, Cfg);
+  // Nearly-degenerate triangles: c almost on segment ab.
+  for (double Eps : {1e-12, 3e-13, -4.7e-13, 8e-14, -1e-14}) {
+    HG.runOnInput({0.0, 0.0, 12.0, 12.0, 5.0, 5.0 + Eps});
+  }
+  uint64_t Compensations = 0;
+  for (const auto &[PC, Rec] : HG.opRecords())
+    Compensations += Rec.CompensationsDetected;
+  uint64_t Divergences = 0;
+  for (const auto &[PC, Spot] : HG.spotRecords())
+    if (Spot.Kind == SpotKind::Comparison)
+      Divergences += Spot.Erroneous;
+  std::printf("=== %s (compensation detection %s) ===\n", Label,
+              Detect ? "on" : "off");
+  std::printf("compensating operations detected: %llu\n",
+              static_cast<unsigned long long>(Compensations));
+  std::printf("adaptive-branch divergences (undetectable cases): %llu\n",
+              static_cast<unsigned long long>(Divergences));
+  std::printf("reported root causes: %zu\n",
+              HG.reportedRootCauses().size());
+  Report R = buildReport(HG);
+  for (const RootCauseReport &RC : R.allRootCauses())
+    std::printf("  cause @ %s: %s\n", RC.Loc.str().c_str(),
+                RC.Body.substr(0, 60).c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  analyze("fast orient2d", /*Compensated=*/false, /*Detect=*/true);
+  analyze("compensated orient2d", /*Compensated=*/true, /*Detect=*/true);
+  analyze("compensated orient2d", /*Compensated=*/true, /*Detect=*/false);
+  std::printf(
+      "With detection on, the compensated predicate reports nothing: the\n"
+      "two-product/two-diff residuals pass through cleanly. With detection\n"
+      "off, their high-local-error subtractions flood the report -- the\n"
+      "false positives Section 8.3 measures on Triangle.\n");
+  return 0;
+}

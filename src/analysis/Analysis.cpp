@@ -1,0 +1,645 @@
+//===- analysis/Analysis.cpp - The Herbgrind root-cause analysis ----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "analysis/RealOps.h"
+#include "ir/LibmLowering.h"
+#include "support/FloatBits.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace herbgrind;
+
+//===----------------------------------------------------------------------===//
+// Construction and the skip analysis
+//===----------------------------------------------------------------------===//
+
+/// Decides statically that a statement can never touch float shadow state,
+/// so the instrumented executor can run it bare (Section 6's use of the
+/// static type analysis to minimize instrumentation).
+static bool computeSkippable(const Statement &S,
+                             const std::vector<ValueType> &TempTypes) {
+  auto TempIsInt = [&](uint32_t T) { return TempTypes[T] == ValueType::I64; };
+  switch (S.Kind) {
+  case StmtKind::Branch:
+  case StmtKind::Jump:
+  case StmtKind::Call:
+  case StmtKind::Ret:
+  case StmtKind::Halt:
+    // Control flow carries no shadow state; divergence is detected at the
+    // comparison that computed the condition.
+    return true;
+  case StmtKind::Const:
+    return S.Literal.Ty == ValueType::I64 && TempIsInt(S.Dst);
+  case StmtKind::Copy:
+    return TempIsInt(S.Dst) && TempIsInt(S.Args[0]);
+  case StmtKind::Op: {
+    const OpInfo &Info = opInfo(S.Op);
+    if (Info.IsFloatOp || Info.IsComparison)
+      return false;
+    // Pure integer ops on integer-typed temps.
+    if (Info.ResultTy != ValueType::I64 ||
+        Info.OperandTy != ValueType::I64)
+      return false;
+    return TempIsInt(S.Dst);
+  }
+  default:
+    // Inputs, memory and thread-state traffic always need shadow handling
+    // (stores must invalidate overlapping shadows even for integers).
+    return false;
+  }
+}
+
+Herbgrind::Herbgrind(const Program &P, AnalysisConfig Config)
+    : Prog(Config.WrapLibraryCalls ? P : lowerLibraryCalls(P)),
+      Cfg(Config),
+      Arena(Config.MaxExprDepth, Config.EquivDepth, Config.UsePools),
+      TempTypes(inferTempTypes(Prog)) {
+  assert(Prog.validate().empty() && "invalid program");
+  Skippable.reserve(Prog.size());
+  for (const Statement &S : Prog.statements())
+    Skippable.push_back(computeSkippable(S, TempTypes));
+}
+
+AnalysisStats Herbgrind::stats() const {
+  AnalysisStats St;
+  St.InstrumentedSteps = TotalSteps;
+  St.ShadowOpsExecuted = ShadowOps;
+  St.SkippedByTypeAnalysis = Skipped;
+  St.TraceNodesAllocated = Arena.totalAllocated();
+  St.ShadowValuesAllocated =
+      ShadowValuesEver + (Shadow ? Shadow->totalValuesCreated() : 0);
+  St.InfluenceSetsInterned = Sets.internedSets();
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+static double concreteAsDouble(const Value &V) {
+  return V.Ty == ValueType::F32 ? static_cast<double>(V.F32) : V.F64;
+}
+
+ShadowValue *Herbgrind::lazyShadow(uint32_t Temp, unsigned Lane,
+                                   const Value &Concrete, ValueType Ty) {
+  ShadowValue *SV = Shadow->tempLane(Temp, Lane);
+  if (SV)
+    return SV;
+  // Lazy shadowing (Section 6): the first float operation touching an
+  // unshadowed value makes a provenance-free shadow from its concrete bits.
+  BigFloat Real = Ty == ValueType::F32
+                      ? BigFloat::fromFloat(Concrete.F32, Cfg.PrecisionBits)
+                      : BigFloat::fromDouble(Concrete.F64, Cfg.PrecisionBits);
+  TraceNode *Leaf = Arena.leaf(concreteAsDouble(Concrete));
+  SV = Shadow->create(std::move(Real), Leaf, Sets.empty(), Ty);
+  Shadow->setTempLane(Temp, Lane, SV); // temp keeps the reference
+  return SV;
+}
+
+double Herbgrind::valueErrorBits(const ShadowValue *SV,
+                                 const Value &Concrete) const {
+  bool ConcreteNaN = Concrete.Ty == ValueType::F32 ? std::isnan(Concrete.F32)
+                                                   : std::isnan(Concrete.F64);
+  // The paper reports NaN values as maximal error even when the shadow
+  // real is NaN too (the Gram-Schmidt case study's "64 bits of error").
+  if (ConcreteNaN)
+    return Concrete.Ty == ValueType::F32 ? 32.0 : 64.0;
+  if (!SV)
+    return 0.0;
+  if (SV->Ty == ValueType::F32)
+    return bitsOfErrorFloat(Concrete.F32, SV->Real.toFloat());
+  return bitsOfErrorDouble(Concrete.F64, SV->Real.toDouble());
+}
+
+//===----------------------------------------------------------------------===//
+// The main loop
+//===----------------------------------------------------------------------===//
+
+void Herbgrind::runOnInput(const std::vector<double> &Inputs) {
+  MachineState State(Prog, Inputs);
+  // Shadow state is per-run: concrete memory starts fresh, so stale shadow
+  // cells from a previous run would be wrong.
+  if (Shadow)
+    ShadowValuesEver += Shadow->totalValuesCreated();
+  Shadow = std::make_unique<ShadowState>(Arena, Sets, Prog.numTemps(),
+                                         Cfg.UsePools,
+                                         Cfg.SharedShadowValues);
+
+  bool Running = true;
+  while (Running && State.Steps < Cfg.MaxSteps) {
+    uint32_t PC = State.PC;
+    const Statement &S = Prog.stmt(PC);
+    if (Cfg.UseTypeAnalysis && Skippable[PC]) {
+      ++Skipped;
+      Running = stepConcrete(Prog, State);
+      continue;
+    }
+    // Capture operand concrete values before the concrete step (the
+    // destination may alias an operand).
+    Value Args[3];
+    for (unsigned I = 0; I < S.NumArgs; ++I)
+      Args[I] = State.Temps[S.Args[I]];
+    Running = stepConcrete(Prog, State);
+    shadowStep(S, PC, Args, State);
+  }
+  TotalSteps += State.Steps;
+  LastOutputs = std::move(State.Outputs);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-statement shadow semantics
+//===----------------------------------------------------------------------===//
+
+/// Lane geometry of a value type in untyped storage.
+static void laneLayout(ValueType Ty, unsigned &NumLanes, unsigned &LaneSize,
+                       ValueType &LaneTy) {
+  switch (Ty) {
+  case ValueType::V2F64:
+    NumLanes = 2;
+    LaneSize = 8;
+    LaneTy = ValueType::F64;
+    return;
+  case ValueType::V4F32:
+    NumLanes = 4;
+    LaneSize = 4;
+    LaneTy = ValueType::F32;
+    return;
+  case ValueType::F32:
+    NumLanes = 1;
+    LaneSize = 4;
+    LaneTy = ValueType::F32;
+    return;
+  default:
+    NumLanes = 1;
+    LaneSize = 8;
+    LaneTy = Ty;
+    return;
+  }
+}
+
+void Herbgrind::shadowStep(const Statement &S, uint32_t PC, const Value *Args,
+                           MachineState &State) {
+  switch (S.Kind) {
+  case StmtKind::Const:
+  case StmtKind::Input:
+    // Lazily shadowed at first use; just make sure no stale shadow lives
+    // in the destination temp.
+    Shadow->clearTemp(S.Dst);
+    return;
+
+  case StmtKind::Copy: {
+    // Copies share the shadow value (Section 6 "Sharing").
+    ShadowValue *Lanes[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (unsigned L = 0; L < 4; ++L) {
+      ShadowValue *SV = Shadow->tempLane(S.Args[0], L);
+      Lanes[L] = SV ? Shadow->share(SV) : nullptr;
+    }
+    for (unsigned L = 0; L < 4; ++L)
+      Shadow->setTempLane(S.Dst, L, Lanes[L]);
+    return;
+  }
+
+  case StmtKind::Get:
+  case StmtKind::Load: {
+    unsigned NumLanes, LaneSize;
+    ValueType LaneTy;
+    laneLayout(S.AccessTy, NumLanes, LaneSize, LaneTy);
+    Shadow->clearTemp(S.Dst);
+    for (unsigned L = 0; L < NumLanes; ++L) {
+      ShadowValue *SV;
+      if (S.Kind == StmtKind::Get) {
+        SV = Shadow->getThreadState(S.Disp + int64_t(L) * LaneSize, LaneSize);
+      } else {
+        uint64_t Addr = static_cast<uint64_t>(Args[0].asI64()) +
+                        static_cast<uint64_t>(S.Disp) + L * LaneSize;
+        SV = Shadow->getMemory(Addr, LaneSize);
+      }
+      if (SV && SV->Ty == LaneTy)
+        Shadow->setTempLane(S.Dst, L, Shadow->share(SV));
+    }
+    return;
+  }
+
+  case StmtKind::Put:
+  case StmtKind::Store: {
+    const Value &Src = Args[S.Kind == StmtKind::Put ? 0 : 1];
+    uint32_t SrcTemp = S.Args[S.Kind == StmtKind::Put ? 0 : 1];
+    unsigned NumLanes, LaneSize;
+    ValueType LaneTy;
+    laneLayout(Src.Ty, NumLanes, LaneSize, LaneTy);
+    (void)LaneTy;
+    for (unsigned L = 0; L < NumLanes; ++L) {
+      ShadowValue *SV = Shadow->tempLane(SrcTemp, L);
+      ShadowValue *Stored = SV ? Shadow->share(SV) : nullptr;
+      if (S.Kind == StmtKind::Put) {
+        Shadow->putThreadState(S.Disp + int64_t(L) * LaneSize, LaneSize,
+                               Stored);
+      } else {
+        uint64_t Addr = static_cast<uint64_t>(Args[0].asI64()) +
+                        static_cast<uint64_t>(S.Disp) + L * LaneSize;
+        Shadow->putMemory(Addr, LaneSize, Stored);
+      }
+    }
+    return;
+  }
+
+  case StmtKind::Out:
+    shadowOutputSpot(S, PC, Args[0]);
+    return;
+
+  case StmtKind::Branch:
+  case StmtKind::Jump:
+  case StmtKind::Call:
+  case StmtKind::Ret:
+  case StmtKind::Halt:
+    return;
+
+  case StmtKind::Op:
+    break;
+  }
+
+  const OpInfo &Info = opInfo(S.Op);
+
+  if (Info.IsComparison) {
+    if (S.Op == Opcode::F64toI64)
+      shadowConversionSpot(S, PC, Args, State.Temps[S.Dst]);
+    else
+      shadowComparisonSpot(S, PC, Args, State.Temps[S.Dst]);
+    Shadow->clearTemp(S.Dst);
+    return;
+  }
+
+  if (!Info.IsFloatOp) {
+    // Integer op: the result carries no shadow.
+    Shadow->clearTemp(S.Dst);
+    return;
+  }
+
+  // Float-producing ops.
+  switch (S.Op) {
+  case Opcode::I64toF64:
+  case Opcode::I64BitsToF64:
+    // Fresh float with integer provenance: lazily shadowed at use.
+    Shadow->clearTemp(S.Dst);
+    return;
+
+  case Opcode::XorV128:
+  case Opcode::AndV128:
+    shadowBitwiseVector(S, PC, Args, State.Temps[S.Dst]);
+    return;
+
+  case Opcode::ExtractLaneF64:
+  case Opcode::ExtractLaneF32: {
+    unsigned Lane = static_cast<unsigned>(Args[1].asI64());
+    ShadowValue *SV = Shadow->tempLane(S.Args[0], Lane);
+    Shadow->clearTemp(S.Dst);
+    if (SV)
+      Shadow->setTempLane(S.Dst, 0, Shadow->share(SV));
+    return;
+  }
+
+  case Opcode::BuildV2F64: {
+    ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
+    ShadowValue *B = Shadow->tempLane(S.Args[1], 0);
+    Shadow->clearTemp(S.Dst);
+    if (A)
+      Shadow->setTempLane(S.Dst, 0, Shadow->share(A));
+    if (B)
+      Shadow->setTempLane(S.Dst, 1, Shadow->share(B));
+    return;
+  }
+
+  default:
+    break;
+  }
+
+  if (Info.IsSIMD) {
+    // Lane-wise SIMD arithmetic: run the scalar shadow op per lane.
+    Opcode Scalar = simdScalarOp(S.Op);
+    const Value &Result = State.Temps[S.Dst];
+    unsigned Lanes = Result.laneCount();
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value LaneArgs[2];
+      Value LaneResult;
+      if (Result.Ty == ValueType::V2F64) {
+        for (unsigned I = 0; I < S.NumArgs; ++I)
+          LaneArgs[I] = Value::ofF64(Args[I].V2F64[L]);
+        LaneResult = Value::ofF64(Result.V2F64[L]);
+      } else {
+        for (unsigned I = 0; I < S.NumArgs; ++I)
+          LaneArgs[I] = Value::ofF32(Args[I].V4F32[L]);
+        LaneResult = Value::ofF32(Result.V4F32[L]);
+      }
+      unsigned ArgLanes[2] = {L, L};
+      shadowFloatScalar(Scalar, PC, S.Loc, S.Dst, L, S.Args, ArgLanes,
+                        LaneArgs, S.NumArgs, LaneResult);
+    }
+    return;
+  }
+
+  // Plain scalar float op (arithmetic, wrapped library call, rounding,
+  // float<->float conversion).
+  unsigned ArgLanes[3] = {0, 0, 0};
+  shadowFloatScalar(S.Op, PC, S.Loc, S.Dst, 0, S.Args, ArgLanes, Args,
+                    S.NumArgs, State.Temps[S.Dst]);
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-trick recognition (Section 5.3)
+//===----------------------------------------------------------------------===//
+
+void Herbgrind::shadowBitwiseVector(const Statement &S, uint32_t PC,
+                                    const Value *Args, const Value &Result) {
+  // gcc negates doubles by XORing the sign bit and takes absolute values by
+  // ANDing it away; recognize both shapes (mask in either operand).
+  const uint64_t SignMask = 1ULL << 63;
+  const uint64_t AbsMask = ~SignMask;
+  auto LaneBits = [](const Value &V, unsigned L) {
+    return bitsOfDouble(V.V2F64[L]);
+  };
+  for (unsigned MaskIdx = 0; MaskIdx < 2; ++MaskIdx) {
+    unsigned ValIdx = 1 - MaskIdx;
+    bool IsNeg = S.Op == Opcode::XorV128 &&
+                 LaneBits(Args[MaskIdx], 0) == SignMask &&
+                 LaneBits(Args[MaskIdx], 1) == SignMask;
+    bool IsAbs = S.Op == Opcode::AndV128 &&
+                 LaneBits(Args[MaskIdx], 0) == AbsMask &&
+                 LaneBits(Args[MaskIdx], 1) == AbsMask;
+    if (!IsNeg && !IsAbs)
+      continue;
+    Opcode Recognized = IsNeg ? Opcode::NegF64 : Opcode::AbsF64;
+    for (unsigned L = 0; L < 2; ++L) {
+      Value LaneArg = Value::ofF64(Args[ValIdx].V2F64[L]);
+      Value LaneResult = Value::ofF64(Result.V2F64[L]);
+      unsigned ArgLanes[1] = {L};
+      uint32_t ArgTemps[1] = {S.Args[ValIdx]};
+      shadowFloatScalar(Recognized, PC, S.Loc, S.Dst, L, ArgTemps, ArgLanes,
+                        &LaneArg, 1, LaneResult);
+    }
+    return;
+  }
+  // Unrecognized bit manipulation: conservatively drop shadows.
+  Shadow->clearTemp(S.Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// The scalar float shadow op: reals, local error, influences, traces
+//===----------------------------------------------------------------------===//
+
+void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
+                                  const SourceLoc &Loc, uint32_t DstTemp,
+                                  unsigned DstLane, const uint32_t *ArgTemps,
+                                  const unsigned *ArgLanes,
+                                  const Value *ArgConcrete, unsigned NumArgs,
+                                  const Value &ConcreteResult) {
+  ++ShadowOps;
+  const OpInfo &Info = opInfo(Op);
+  ValueType ResultTy = Info.ResultTy;
+
+  // Gather (or lazily create) shadow inputs: Figure 4's
+  //   v = if MR[x] in R then MR[x] else M[x].
+  ShadowValue *ArgSV[3] = {nullptr, nullptr, nullptr};
+  BigFloat Reals[3];
+  for (unsigned I = 0; I < NumArgs; ++I) {
+    ValueType ArgTy = ArgConcrete[I].Ty;
+    ArgSV[I] = lazyShadow(ArgTemps[I], ArgLanes[I], ArgConcrete[I], ArgTy);
+    Reals[I] = ArgSV[I]->Real;
+  }
+
+  // [[.]]_R: the op over the reals.
+  BigFloat RealResult = evalRealOp(Op, Reals, NumArgs);
+
+  // Local error (Section 4.2): the error the op would produce even on
+  // exactly-computed inputs: E( F(f_R(v)), f_F(F(v)) ).
+  Value RoundedArgs[3];
+  for (unsigned I = 0; I < NumArgs; ++I) {
+    if (ArgConcrete[I].Ty == ValueType::F32)
+      RoundedArgs[I] = Value::ofF32(Reals[I].toFloat());
+    else
+      RoundedArgs[I] = Value::ofF64(Reals[I].toDouble());
+  }
+  Value FloatOnExact = evalScalarOp(Op, RoundedArgs, NumArgs);
+  double LocalErr =
+      ResultTy == ValueType::F32
+          ? bitsOfErrorFloat(FloatOnExact.F32, RealResult.toFloat())
+          : bitsOfErrorDouble(FloatOnExact.F64, RealResult.toDouble());
+  // An operation that *creates* a NaN from non-NaN inputs has maximal
+  // local error (the paper reports NaNs as maximal error); mere NaN
+  // propagation stays neutral so one bad op does not flag its whole
+  // downstream cone.
+  bool ResultIsNaN = ResultTy == ValueType::F32
+                         ? std::isnan(FloatOnExact.F32)
+                         : std::isnan(FloatOnExact.F64);
+  if (ResultIsNaN || RealResult.isNaN()) {
+    bool AnyInputNaN = false;
+    for (unsigned I = 0; I < NumArgs; ++I)
+      AnyInputNaN |= Reals[I].isNaN();
+    if (!AnyInputNaN)
+      LocalErr = ResultTy == ValueType::F32 ? 32.0 : 64.0;
+  }
+  bool Flagged = LocalErr > Cfg.LocalErrorThreshold;
+
+  // Influence propagation, with compensating-term detection (Section 5.3):
+  // an add/sub that returns one of its arguments in the reals, without
+  // making its error worse, is treated as passing that argument through;
+  // the other (compensating) term's influences are dropped.
+  OpRecord &Rec = Ops[PC];
+  if (Rec.Executions == 0) {
+    Rec.Op = Op;
+    Rec.Loc = Loc;
+  }
+  const InflSet *Infl = nullptr;
+  bool IsAddSub = Op == Opcode::AddF64 || Op == Opcode::SubF64 ||
+                  Op == Opcode::AddF32 || Op == Opcode::SubF32;
+  if (Cfg.DetectCompensation && IsAddSub && NumArgs == 2 &&
+      !RealResult.isNaN()) {
+    for (unsigned Pass = 0; Pass < 2 && !Infl; ++Pass) {
+      BigFloat PassReal = Pass == 1 && (Op == Opcode::SubF64 ||
+                                        Op == Opcode::SubF32)
+                              ? Reals[Pass].negated()
+                              : Reals[Pass];
+      if (Reals[Pass].isNaN() || !BigFloat::eq(RealResult, PassReal))
+        continue;
+      double OutErr = ResultTy == ValueType::F32
+                          ? bitsOfErrorFloat(ConcreteResult.F32,
+                                             RealResult.toFloat())
+                          : bitsOfErrorDouble(ConcreteResult.F64,
+                                              RealResult.toDouble());
+      double ArgErr = valueErrorBits(ArgSV[Pass], ArgConcrete[Pass]);
+      if (OutErr <= ArgErr) {
+        Infl = ArgSV[Pass]->Influences;
+        ++Rec.CompensationsDetected;
+      }
+    }
+  }
+  if (!Infl) {
+    Infl = Sets.empty();
+    for (unsigned I = 0; I < NumArgs; ++I)
+      Infl = Sets.unionOf(Infl, ArgSV[I]->Influences);
+  }
+  if (Flagged)
+    Infl = Sets.insert(Infl, PC);
+
+  // Concrete expression trace (Section 4.3).
+  TraceNode *Kids[3];
+  for (unsigned I = 0; I < NumArgs; ++I)
+    Kids[I] = ArgSV[I]->Trace;
+  TraceNode *Trace =
+      Arena.node(Op, PC, concreteAsDouble(ConcreteResult), Kids, NumArgs);
+
+  // Incremental record update (Section 6 "Incrementalization").
+  ++Rec.Executions;
+  Rec.LocalError.add(LocalErr);
+  std::vector<VarBinding> Bindings;
+  if (!Rec.Expr) {
+    Rec.Expr = symbolize(Arena, Trace);
+  } else {
+    Rec.Expr = antiUnify(Arena, Rec.Expr.get(), Trace, Rec.NextVarIdx,
+                         Bindings);
+    Rec.TotalInputs.record(Bindings);
+  }
+  if (Flagged) {
+    ++Rec.Flagged;
+    Rec.ProblematicInputs.record(Bindings);
+    if (LocalErr >= Rec.MaxFlaggedLocalError) {
+      Rec.MaxFlaggedLocalError = LocalErr;
+      if (!Bindings.empty())
+        Rec.ExampleProblematic = Bindings;
+    }
+  }
+
+  // Install the result shadow (create consumes the trace reference).
+  ShadowValue *Out =
+      Shadow->create(std::move(RealResult), Trace, Infl, ResultTy);
+  Shadow->setTempLane(DstTemp, DstLane, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Spots (Section 4.2)
+//===----------------------------------------------------------------------===//
+
+void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
+                                     const Value *Args, const Value &Result) {
+  SpotRecord &Spot = Spots[PC];
+  if (Spot.Executions == 0) {
+    Spot.Kind = SpotKind::Comparison;
+    Spot.Loc = S.Loc;
+  }
+  ++Spot.Executions;
+
+  ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
+  ShadowValue *B = Shadow->tempLane(S.Args[1], 0);
+  if (!A && !B) {
+    // No shadows: the real predicate trivially agrees with the float one.
+    Spot.ErrorBits.add(0.0);
+    return;
+  }
+  ValueType Ty = Args[0].Ty;
+  auto RealOf = [&](ShadowValue *SV, const Value &V) {
+    if (SV)
+      return SV->Real;
+    return Ty == ValueType::F32
+               ? BigFloat::fromFloat(V.F32, Cfg.PrecisionBits)
+               : BigFloat::fromDouble(V.F64, Cfg.PrecisionBits);
+  };
+  bool RealPred = evalRealPredicate(S.Op, RealOf(A, Args[0]),
+                                    RealOf(B, Args[1]));
+  bool FloatPred = Result.asI64() != 0;
+  // Note: Figure 4 in the paper attaches the argument influences to the
+  // *agreeing* case; per the surrounding text ("cases when it diverges ...
+  // are reported as errors") we attach them on divergence.
+  if (RealPred != FloatPred) {
+    ++Spot.Erroneous;
+    Spot.ErrorBits.add(1.0);
+    for (ShadowValue *SV : {A, B})
+      if (SV)
+        for (uint32_t OpPC : *SV->Influences)
+          Spot.InfluencingOps.insert(OpPC);
+  } else {
+    Spot.ErrorBits.add(0.0);
+  }
+}
+
+void Herbgrind::shadowConversionSpot(const Statement &S, uint32_t PC,
+                                     const Value *Args, const Value &Result) {
+  SpotRecord &Spot = Spots[PC];
+  if (Spot.Executions == 0) {
+    Spot.Kind = SpotKind::Conversion;
+    Spot.Loc = S.Loc;
+  }
+  ++Spot.Executions;
+
+  ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
+  (void)Args;
+  if (!A) {
+    Spot.ErrorBits.add(0.0);
+    return;
+  }
+  int64_t RealInt = A->Real.toInt64Trunc();
+  if (RealInt != Result.asI64()) {
+    ++Spot.Erroneous;
+    Spot.ErrorBits.add(1.0);
+    for (uint32_t OpPC : *A->Influences)
+      Spot.InfluencingOps.insert(OpPC);
+  } else {
+    Spot.ErrorBits.add(0.0);
+  }
+}
+
+void Herbgrind::shadowOutputSpot(const Statement &S, uint32_t PC,
+                                 const Value &Out) {
+  if (Out.Ty == ValueType::I64)
+    return; // integer outputs flow through conversion spots already
+  SpotRecord &Spot = Spots[PC];
+  if (Spot.Executions == 0) {
+    Spot.Kind = SpotKind::Output;
+    Spot.Loc = S.Loc;
+  }
+
+  unsigned Lanes = Out.laneCount();
+  for (unsigned L = 0; L < Lanes; ++L) {
+    ++Spot.Executions;
+    ShadowValue *SV = Shadow->tempLane(S.Args[0], L);
+    Value LaneVal = Out;
+    if (Out.Ty == ValueType::V2F64)
+      LaneVal = Value::ofF64(Out.V2F64[L]);
+    else if (Out.Ty == ValueType::V4F32)
+      LaneVal = Value::ofF32(Out.V4F32[L]);
+    double Err = valueErrorBits(SV, LaneVal);
+    Spot.ErrorBits.add(Err);
+    if (Err > Cfg.OutputErrorThreshold) {
+      ++Spot.Erroneous;
+      if (SV)
+        for (uint32_t OpPC : *SV->Influences)
+          Spot.InfluencingOps.insert(OpPC);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Result extraction
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> Herbgrind::reportedRootCauses() const {
+  // Only operations whose influence reached an erroneous spot are reported
+  // (Section 4.2 footnote 7).
+  std::set<uint32_t> Reached;
+  for (const auto &[PC, Spot] : Spots)
+    if (Spot.Erroneous > 0)
+      Reached.insert(Spot.InfluencingOps.begin(), Spot.InfluencingOps.end());
+  std::vector<uint32_t> Result(Reached.begin(), Reached.end());
+  std::sort(Result.begin(), Result.end(), [&](uint32_t A, uint32_t B) {
+    const OpRecord &RA = Ops.at(A);
+    const OpRecord &RB = Ops.at(B);
+    if (RA.Flagged != RB.Flagged)
+      return RA.Flagged > RB.Flagged;
+    return A < B;
+  });
+  return Result;
+}

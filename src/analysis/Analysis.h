@@ -1,0 +1,171 @@
+//===- analysis/Analysis.h - The Herbgrind root-cause analysis --*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of the reproduction: the instrumented executor implementing
+/// the analysis of Figures 3 and 4. Every float operation is shadowed with
+/// a real value, a concrete expression trace, and an influence set; spots
+/// (outputs, float comparisons, float-to-int conversions) accumulate the
+/// influences of the erroneous operations that reach them; operation
+/// records aggregate local error, anti-unified symbolic expressions, and
+/// input characteristics incrementally (Section 6).
+///
+/// One Herbgrind object can run its program on many inputs; records
+/// accumulate across runs, which is how the FPBench driver exercises each
+/// benchmark on a sweep of sampled points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_ANALYSIS_ANALYSIS_H
+#define HERBGRIND_ANALYSIS_ANALYSIS_H
+
+#include "inputs/InputSummary.h"
+#include "ir/Interpreter.h"
+#include "shadow/ShadowState.h"
+#include "support/RunningStat.h"
+#include "trace/SymExpr.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace herbgrind {
+
+/// All the tunable knobs of the analysis; defaults follow the paper.
+struct AnalysisConfig {
+  /// Tl: local error (bits) above which an operation becomes a candidate
+  /// root cause (Fig 5a sweeps this).
+  double LocalErrorThreshold = 5.0;
+  /// Tm: output error (bits) above which a spot reports its influencers.
+  double OutputErrorThreshold = 5.0;
+  /// Shadow-real mantissa bits (the paper defaults to 1000; we to 256).
+  size_t PrecisionBits = 256;
+  /// Maximum tracked expression depth (Fig 5c/d sweeps this; 1 disables
+  /// symbolic expressions like FpDebug-style tools).
+  uint32_t MaxExprDepth = 24;
+  /// Bounded depth for anti-unification equivalence classes (Section 6.1).
+  uint32_t EquivDepth = 5;
+  /// Intercept math-library calls as atomic ops (Section 5.3); when false
+  /// the program is first lowered so the analysis sees libm internals
+  /// (Section 8.2 ablation).
+  bool WrapLibraryCalls = true;
+  /// Detect compensating terms and stop their influence (Section 5.3).
+  bool DetectCompensation = true;
+  /// Input range characteristic (Fig 5b ablation).
+  RangeMode Ranges = RangeMode::SignSplit;
+  /// Section 6 optimization toggles (for the ablation bench).
+  bool UseTypeAnalysis = true;
+  bool SharedShadowValues = true;
+  bool UsePools = true;
+  /// Step budget per run.
+  uint64_t MaxSteps = 100'000'000;
+};
+
+enum class SpotKind : uint8_t { Output, Comparison, Conversion };
+
+/// Per-spot aggregate (Section 4.2): how often this spot executed, how
+/// often it was observably wrong, and which candidate root causes flowed
+/// into it when it was.
+struct SpotRecord {
+  SpotKind Kind = SpotKind::Output;
+  SourceLoc Loc;
+  uint64_t Executions = 0;
+  uint64_t Erroneous = 0;
+  RunningStat ErrorBits; ///< Output spots: bits; others: 0/1 divergence.
+  std::set<uint32_t> InfluencingOps; ///< PCs of influencing flagged ops.
+};
+
+/// Per-operation aggregate: local error statistics, the anti-unified
+/// symbolic expression, and input characteristics (total + problematic).
+struct OpRecord {
+  Opcode Op = Opcode::AddF64;
+  SourceLoc Loc;
+  uint64_t Executions = 0;
+  uint64_t Flagged = 0; ///< Executions with local error > Tl.
+  uint64_t CompensationsDetected = 0;
+  RunningStat LocalError;
+  std::unique_ptr<SymExpr> Expr;
+  uint32_t NextVarIdx = 0;
+  InputCharacteristics TotalInputs;
+  InputCharacteristics ProblematicInputs;
+  double MaxFlaggedLocalError = 0.0;
+  std::vector<VarBinding> ExampleProblematic; ///< Bindings at worst round.
+};
+
+/// Cumulative cost/size statistics (Table 1 and the optimization bench).
+struct AnalysisStats {
+  uint64_t InstrumentedSteps = 0;
+  uint64_t ShadowOpsExecuted = 0;
+  uint64_t SkippedByTypeAnalysis = 0;
+  size_t TraceNodesAllocated = 0;
+  size_t ShadowValuesAllocated = 0;
+  size_t InfluenceSetsInterned = 0;
+};
+
+/// The analysis driver: owns the (possibly lowered) program, the shadow
+/// machinery, and all accumulated records.
+class Herbgrind {
+public:
+  explicit Herbgrind(const Program &P, AnalysisConfig Config = {});
+
+  /// Runs the program once under full instrumentation; records accumulate.
+  void runOnInput(const std::vector<double> &Inputs);
+
+  const std::map<uint32_t, OpRecord> &opRecords() const { return Ops; }
+  const std::map<uint32_t, SpotRecord> &spotRecords() const { return Spots; }
+
+  /// Concrete outputs of the most recent run (bit-identical to the
+  /// uninstrumented interpreter's, by construction).
+  const std::vector<Value> &lastOutputs() const { return LastOutputs; }
+
+  const Program &program() const { return Prog; }
+  const AnalysisConfig &config() const { return Cfg; }
+  AnalysisStats stats() const;
+
+  /// Candidate root causes: flagged op records whose influence reached an
+  /// erroneous spot, most-flagged first (Section 4.2, footnote 7: only
+  /// sources whose error flows into spots are reported).
+  std::vector<uint32_t> reportedRootCauses() const;
+
+private:
+  struct StepContext;
+  void shadowStep(const Statement &S, uint32_t PC, const Value *Args,
+                  MachineState &State);
+  void shadowFloatScalar(Opcode Op, uint32_t PC, const SourceLoc &Loc,
+                         uint32_t DstTemp, unsigned DstLane,
+                         const uint32_t *ArgTemps, const unsigned *ArgLanes,
+                         const Value *ArgConcrete, unsigned NumArgs,
+                         const Value &ConcreteResult);
+  void shadowComparisonSpot(const Statement &S, uint32_t PC,
+                            const Value *Args, const Value &Result);
+  void shadowConversionSpot(const Statement &S, uint32_t PC,
+                            const Value *Args, const Value &Result);
+  void shadowOutputSpot(const Statement &S, uint32_t PC, const Value &Out);
+  void shadowBitwiseVector(const Statement &S, uint32_t PC,
+                           const Value *Args, const Value &Result);
+  ShadowValue *lazyShadow(uint32_t Temp, unsigned Lane, const Value &Concrete,
+                          ValueType Ty);
+  double valueErrorBits(const ShadowValue *SV, const Value &Concrete) const;
+
+  Program Prog;
+  AnalysisConfig Cfg;
+  TraceArena Arena;
+  InfluenceSets Sets;
+  std::unique_ptr<ShadowState> Shadow;
+  std::vector<ValueType> TempTypes;
+  std::vector<bool> Skippable;
+  std::map<uint32_t, OpRecord> Ops;
+  std::map<uint32_t, SpotRecord> Spots;
+  std::vector<Value> LastOutputs;
+  uint64_t TotalSteps = 0;
+  uint64_t ShadowOps = 0;
+  uint64_t Skipped = 0;
+  size_t ShadowValuesEver = 0;
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_ANALYSIS_ANALYSIS_H

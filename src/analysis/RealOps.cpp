@@ -1,0 +1,138 @@
+//===- analysis/RealOps.cpp - Real-number semantics of float ops ----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RealOps.h"
+
+#include "real/RealMath.h"
+
+#include <cassert>
+
+using namespace herbgrind;
+
+BigFloat herbgrind::evalRealOp(Opcode Op, const BigFloat *Args,
+                               unsigned NumArgs) {
+  assert(NumArgs == opInfo(Op).Arity && "arity mismatch");
+  (void)NumArgs;
+  const BigFloat &A = Args[0];
+  switch (Op) {
+  case Opcode::AddF64:
+  case Opcode::AddF32:
+    return BigFloat::add(A, Args[1]);
+  case Opcode::SubF64:
+  case Opcode::SubF32:
+    return BigFloat::sub(A, Args[1]);
+  case Opcode::MulF64:
+  case Opcode::MulF32:
+    return BigFloat::mul(A, Args[1]);
+  case Opcode::DivF64:
+  case Opcode::DivF32:
+    return BigFloat::div(A, Args[1]);
+  case Opcode::SqrtF64:
+  case Opcode::SqrtF32:
+    return BigFloat::sqrt(A);
+  case Opcode::NegF64:
+  case Opcode::NegF32:
+    return A.negated();
+  case Opcode::AbsF64:
+  case Opcode::AbsF32:
+    return A.abs();
+  case Opcode::MinF64:
+    return BigFloat::fmin(A, Args[1]);
+  case Opcode::MaxF64:
+    return BigFloat::fmax(A, Args[1]);
+  case Opcode::FmaF64:
+    return BigFloat::fma(A, Args[1], Args[2]);
+  case Opcode::CopySignF64:
+    return A.copySign(Args[1]);
+
+  case Opcode::ExpF64:
+    return realmath::exp(A);
+  case Opcode::Exp2F64:
+    return realmath::exp2(A);
+  case Opcode::Expm1F64:
+    return realmath::expm1(A);
+  case Opcode::LogF64:
+    return realmath::log(A);
+  case Opcode::Log2F64:
+    return realmath::log2(A);
+  case Opcode::Log10F64:
+    return realmath::log10(A);
+  case Opcode::Log1pF64:
+    return realmath::log1p(A);
+  case Opcode::SinF64:
+    return realmath::sin(A);
+  case Opcode::CosF64:
+    return realmath::cos(A);
+  case Opcode::TanF64:
+    return realmath::tan(A);
+  case Opcode::AsinF64:
+    return realmath::asin(A);
+  case Opcode::AcosF64:
+    return realmath::acos(A);
+  case Opcode::AtanF64:
+    return realmath::atan(A);
+  case Opcode::Atan2F64:
+    return realmath::atan2(A, Args[1]);
+  case Opcode::SinhF64:
+    return realmath::sinh(A);
+  case Opcode::CoshF64:
+    return realmath::cosh(A);
+  case Opcode::TanhF64:
+    return realmath::tanh(A);
+  case Opcode::PowF64:
+    return realmath::pow(A, Args[1]);
+  case Opcode::CbrtF64:
+    return realmath::cbrt(A);
+  case Opcode::HypotF64:
+    return realmath::hypot(A, Args[1]);
+  case Opcode::FmodF64:
+    return realmath::fmod(A, Args[1]);
+
+  case Opcode::FloorF64:
+    return A.floor();
+  case Opcode::CeilF64:
+    return A.ceil();
+  case Opcode::RoundF64:
+    return A.roundNearest();
+  case Opcode::TruncF64:
+    return A.trunc();
+
+  // Conversions are the identity over the reals; any precision change is
+  // pure rounding, which the local-error metric accounts for separately.
+  case Opcode::F64toF32:
+  case Opcode::F32toF64:
+    return A;
+
+  default:
+    break;
+  }
+  assert(false && "evalRealOp on an opcode without real semantics");
+  return BigFloat::nan();
+}
+
+bool herbgrind::evalRealPredicate(Opcode Op, const BigFloat &A,
+                                  const BigFloat &B) {
+  switch (Op) {
+  case Opcode::CmpLTF64:
+  case Opcode::CmpLTF32:
+    return BigFloat::lt(A, B);
+  case Opcode::CmpLEF64:
+    return BigFloat::le(A, B);
+  case Opcode::CmpEQF64:
+  case Opcode::CmpEQF32:
+    return BigFloat::eq(A, B);
+  case Opcode::CmpNEF64:
+    return BigFloat::ne(A, B);
+  case Opcode::CmpGTF64:
+    return BigFloat::gt(A, B);
+  case Opcode::CmpGEF64:
+    return BigFloat::ge(A, B);
+  default:
+    break;
+  }
+  assert(false && "evalRealPredicate on a non-comparison opcode");
+  return false;
+}

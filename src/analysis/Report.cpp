@@ -1,0 +1,156 @@
+//===- analysis/Report.cpp - Paper-style root cause reports ---------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace herbgrind;
+
+std::string herbgrind::fpcoreForRecord(const OpRecord &Rec,
+                                       RangeMode Ranges) {
+  assert(Rec.Expr && "record without an expression");
+  uint32_t NumVars = Rec.Expr->numVars();
+  std::vector<std::string> Vars;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    Vars.push_back(SymExpr::varName(I));
+  std::string Out = "(FPCore (" + join(Vars, " ") + ")";
+  std::string Pre = Rec.TotalInputs.preCondition(Ranges);
+  if (!Pre.empty())
+    Out += "\n  :pre " + Pre;
+  Out += "\n  " + Rec.Expr->fpcoreBody() + ")";
+  return Out;
+}
+
+static const char *spotKindName(SpotKind K) {
+  switch (K) {
+  case SpotKind::Output:
+    return "Output";
+  case SpotKind::Comparison:
+    return "Compare";
+  case SpotKind::Conversion:
+    return "Conversion";
+  }
+  return "?";
+}
+
+static RootCauseReport buildRootCause(uint32_t PC, const OpRecord &Rec,
+                                      RangeMode Ranges) {
+  RootCauseReport RC;
+  RC.PC = PC;
+  RC.Loc = Rec.Loc;
+  RC.FPCore = fpcoreForRecord(Rec, Ranges);
+  RC.Body = Rec.Expr ? Rec.Expr->fpcoreBody() : "";
+  RC.NumVars = Rec.Expr ? Rec.Expr->numVars() : 0;
+  RC.OpCount = Rec.Expr ? Rec.Expr->opCount() : 0;
+  RC.Flagged = Rec.Flagged;
+  RC.MaxLocalError = Rec.LocalError.max();
+  RC.AvgLocalError = Rec.LocalError.mean();
+  if (!Rec.ExampleProblematic.empty()) {
+    std::vector<VarBinding> Sorted = Rec.ExampleProblematic;
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const VarBinding &A, const VarBinding &B) {
+                return A.Idx < B.Idx;
+              });
+    std::vector<std::string> Parts;
+    for (const VarBinding &B : Sorted)
+      Parts.push_back(formatDoubleShortest(B.Value));
+    RC.ExampleInput = "(" + join(Parts, ", ") + ")";
+  }
+  return RC;
+}
+
+Report herbgrind::buildReport(const Herbgrind &Analysis) {
+  Report R;
+  const auto &Ops = Analysis.opRecords();
+  RangeMode Ranges = Analysis.config().Ranges;
+  for (const auto &[PC, Spot] : Analysis.spotRecords()) {
+    if (Spot.Erroneous == 0)
+      continue;
+    SpotReport SR;
+    SR.PC = PC;
+    SR.Kind = Spot.Kind;
+    SR.Loc = Spot.Loc;
+    SR.Executions = Spot.Executions;
+    SR.Erroneous = Spot.Erroneous;
+    SR.MaxErrorBits = Spot.ErrorBits.max();
+    std::vector<uint32_t> Influencers(Spot.InfluencingOps.begin(),
+                                      Spot.InfluencingOps.end());
+    std::sort(Influencers.begin(), Influencers.end(),
+              [&](uint32_t A, uint32_t B) {
+                uint64_t FA = Ops.count(A) ? Ops.at(A).Flagged : 0;
+                uint64_t FB = Ops.count(B) ? Ops.at(B).Flagged : 0;
+                if (FA != FB)
+                  return FA > FB;
+                return A < B;
+              });
+    for (uint32_t OpPC : Influencers) {
+      auto It = Ops.find(OpPC);
+      if (It == Ops.end() || !It->second.Expr)
+        continue;
+      SR.RootCauses.push_back(buildRootCause(OpPC, It->second, Ranges));
+    }
+    R.Spots.push_back(std::move(SR));
+  }
+  return R;
+}
+
+std::vector<RootCauseReport> Report::allRootCauses() const {
+  std::vector<RootCauseReport> All;
+  std::set<uint32_t> Seen;
+  for (const SpotReport &SR : Spots)
+    for (const RootCauseReport &RC : SR.RootCauses)
+      if (Seen.insert(RC.PC).second)
+        All.push_back(RC);
+  return All;
+}
+
+std::string Report::render() const {
+  if (Spots.empty())
+    return "No erroneous spots detected.\n";
+  std::string Out;
+  for (const SpotReport &SR : Spots) {
+    Out += format("%s @ %s\n", spotKindName(SR.Kind), SR.Loc.str().c_str());
+    if (SR.Kind == SpotKind::Output)
+      Out += format("  %llu incorrect values of %llu (max error %.1f bits)\n",
+                    static_cast<unsigned long long>(SR.Erroneous),
+                    static_cast<unsigned long long>(SR.Executions),
+                    SR.MaxErrorBits);
+    else
+      Out += format("  %llu divergent executions of %llu\n",
+                    static_cast<unsigned long long>(SR.Erroneous),
+                    static_cast<unsigned long long>(SR.Executions));
+    if (SR.RootCauses.empty()) {
+      Out += "  (no tracked erroneous expressions influenced this spot)\n";
+      continue;
+    }
+    Out += "  Influenced by erroneous expressions:\n";
+    for (const RootCauseReport &RC : SR.RootCauses) {
+      std::string Indented = RC.FPCore;
+      // Indent every line of the FPCore block.
+      std::string Block = "  ";
+      for (char C : Indented) {
+        Block += C;
+        if (C == '\n')
+          Block += "  ";
+      }
+      Out += Block + "\n";
+      if (!RC.ExampleInput.empty())
+        Out += format("  Example problematic input: %s\n",
+                      RC.ExampleInput.c_str());
+      Out += format("  (at %s; flagged %llu times; max local error %.1f "
+                    "bits)\n",
+                    RC.Loc.str().c_str(),
+                    static_cast<unsigned long long>(RC.Flagged),
+                    RC.MaxLocalError);
+    }
+    Out += "\n";
+  }
+  return Out;
+}

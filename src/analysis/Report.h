@@ -1,0 +1,69 @@
+//===- analysis/Report.h - Paper-style root cause reports -------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the analysis results in the paper's output format: one block
+/// per erroneous spot, listing the FPCore'd symbolic expressions of the
+/// influencing candidate root causes with their input preconditions and an
+/// example problematic input (Section 3's sample output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_ANALYSIS_REPORT_H
+#define HERBGRIND_ANALYSIS_REPORT_H
+
+#include "analysis/Analysis.h"
+
+#include <string>
+
+namespace herbgrind {
+
+/// One candidate root cause ready for presentation or for feeding to the
+/// improvement tool.
+struct RootCauseReport {
+  uint32_t PC = 0;
+  SourceLoc Loc;
+  std::string FPCore;     ///< Full "(FPCore (vars) :pre ... body)" text.
+  std::string Body;       ///< Just the expression body.
+  uint32_t NumVars = 0;
+  unsigned OpCount = 0;
+  uint64_t Flagged = 0;
+  double MaxLocalError = 0.0;
+  double AvgLocalError = 0.0;
+  std::string ExampleInput; ///< "(v0, v1, ...)" of a problematic round.
+};
+
+/// One erroneous spot with its root causes.
+struct SpotReport {
+  uint32_t PC = 0;
+  SpotKind Kind = SpotKind::Output;
+  SourceLoc Loc;
+  uint64_t Executions = 0;
+  uint64_t Erroneous = 0;
+  double MaxErrorBits = 0.0;
+  std::vector<RootCauseReport> RootCauses;
+};
+
+/// The full report.
+struct Report {
+  std::vector<SpotReport> Spots;
+
+  /// Paper-style rendering.
+  std::string render() const;
+
+  /// All distinct root causes across spots (deduplicated by pc).
+  std::vector<RootCauseReport> allRootCauses() const;
+};
+
+/// Builds the FPCore text for a single operation record.
+std::string fpcoreForRecord(const OpRecord &Rec, RangeMode Ranges);
+
+/// Extracts the report from a finished analysis.
+Report buildReport(const Herbgrind &Analysis);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_ANALYSIS_REPORT_H

@@ -1,0 +1,288 @@
+//===- baselines/Baselines.cpp - FpDebug / Verrou / BZ baselines ----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "analysis/RealOps.h"
+#include "support/FloatBits.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace herbgrind;
+
+//===----------------------------------------------------------------------===//
+// FpDebug mode
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t>
+FpDebugResult::erroneousOps(double ThresholdBits) const {
+  std::vector<uint32_t> Out;
+  for (const auto &[PC, Rep] : Ops)
+    if (Rep.ErrorBits.max() > ThresholdBits)
+      Out.push_back(PC);
+  return Out;
+}
+
+FpDebugResult herbgrind::runFpDebug(
+    const Program &P, const std::vector<std::vector<double>> &InputSets,
+    size_t PrecBits) {
+  FpDebugResult Result;
+  for (const std::vector<double> &Inputs : InputSets) {
+    MachineState State(P, Inputs);
+    // Shadow reals per temp / thread-state offset / memory address. Unlike
+    // Herbgrind there is no overlap handling, no laziness discipline, no
+    // traces: this mirrors FpDebug's per-VEX-block shadow model.
+    std::vector<BigFloat> TempShadow(P.numTemps());
+    std::vector<bool> TempHas(P.numTemps(), false);
+    std::unordered_map<int64_t, BigFloat> TSShadow;
+    std::unordered_map<uint64_t, BigFloat> MemShadow;
+
+    auto ShadowOf = [&](uint32_t Temp, const Value &Concrete) -> BigFloat {
+      if (TempHas[Temp])
+        return TempShadow[Temp];
+      if (Concrete.Ty == ValueType::F32)
+        return BigFloat::fromFloat(Concrete.F32, PrecBits);
+      return BigFloat::fromDouble(Concrete.F64, PrecBits);
+    };
+
+    bool Running = true;
+    while (Running) {
+      uint32_t PC = State.PC;
+      const Statement &S = P.stmt(PC);
+      Value Args[3];
+      for (unsigned I = 0; I < S.NumArgs; ++I)
+        Args[I] = State.Temps[S.Args[I]];
+      Running = stepConcrete(P, State);
+
+      switch (S.Kind) {
+      case StmtKind::Op: {
+        const OpInfo &Info = opInfo(S.Op);
+        if (!Info.IsFloatOp || Info.IsSIMD ||
+            Info.ResultTy == ValueType::V2F64) {
+          if (S.hasDst())
+            TempHas[S.Dst] = false;
+          break;
+        }
+        if (S.Op == Opcode::I64toF64 || S.Op == Opcode::I64BitsToF64) {
+          TempHas[S.Dst] = false;
+          break;
+        }
+        BigFloat Reals[3];
+        for (unsigned I = 0; I < S.NumArgs; ++I)
+          Reals[I] = ShadowOf(S.Args[I], Args[I]);
+        BigFloat RealResult = evalRealOp(S.Op, Reals, S.NumArgs);
+        const Value &Concrete = State.Temps[S.Dst];
+        double Err = Concrete.Ty == ValueType::F32
+                         ? bitsOfErrorFloat(Concrete.F32,
+                                            RealResult.toFloat())
+                         : bitsOfErrorDouble(Concrete.F64,
+                                             RealResult.toDouble());
+        FpDebugOpReport &Rep = Result.Ops[PC];
+        if (Rep.ErrorBits.count() == 0) {
+          Rep.Op = S.Op;
+          Rep.Loc = S.Loc;
+        }
+        Rep.ErrorBits.add(Err);
+        TempShadow[S.Dst] = std::move(RealResult);
+        TempHas[S.Dst] = true;
+        break;
+      }
+      case StmtKind::Copy:
+        TempShadow[S.Dst] = TempShadow[S.Args[0]];
+        TempHas[S.Dst] = TempHas[S.Args[0]];
+        break;
+      case StmtKind::Const:
+      case StmtKind::Input:
+        TempHas[S.Dst] = false;
+        break;
+      case StmtKind::Put:
+        if (TempHas[S.Args[0]])
+          TSShadow[S.Disp] = TempShadow[S.Args[0]];
+        else
+          TSShadow.erase(S.Disp);
+        break;
+      case StmtKind::Get: {
+        auto It = TSShadow.find(S.Disp);
+        TempHas[S.Dst] = It != TSShadow.end();
+        if (It != TSShadow.end())
+          TempShadow[S.Dst] = It->second;
+        break;
+      }
+      case StmtKind::Store: {
+        uint64_t Addr = static_cast<uint64_t>(Args[0].asI64()) +
+                        static_cast<uint64_t>(S.Disp);
+        if (TempHas[S.Args[1]])
+          MemShadow[Addr] = TempShadow[S.Args[1]];
+        else
+          MemShadow.erase(Addr);
+        break;
+      }
+      case StmtKind::Load: {
+        uint64_t Addr = static_cast<uint64_t>(Args[0].asI64()) +
+                        static_cast<uint64_t>(S.Disp);
+        auto It = MemShadow.find(Addr);
+        TempHas[S.Dst] = It != MemShadow.end();
+        if (It != MemShadow.end())
+          TempShadow[S.Dst] = It->second;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    Result.Steps += State.Steps;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Verrou mode
+//===----------------------------------------------------------------------===//
+
+VerrouResult herbgrind::runVerrou(const Program &P,
+                                  const std::vector<double> &Inputs,
+                                  int Trials, uint64_t Seed) {
+  VerrouResult Result;
+  std::vector<std::vector<double>> OutputsPerTrial;
+  for (int T = 0; T < Trials; ++T) {
+    Rng R(Seed + static_cast<uint64_t>(T) * 0x9e3779b9);
+    MachineState State(P, Inputs);
+    bool Running = true;
+    while (Running) {
+      const Statement &S = P.stmt(State.PC);
+      Running = stepConcrete(P, State);
+      // Random rounding: perturb every scalar float op result by one ulp
+      // in a random direction half the time (trial 0 runs unperturbed as
+      // the nearest-rounding reference, like Verrou's "random" mode).
+      if (T > 0 && S.Kind == StmtKind::Op && opInfo(S.Op).IsFloatOp) {
+        Value &Dst = State.Temps[S.Dst];
+        if (Dst.Ty == ValueType::F64 && std::isfinite(Dst.F64)) {
+          if (R.chance(1, 2))
+            Dst.F64 = R.chance(1, 2) ? nextDouble(Dst.F64)
+                                     : prevDouble(Dst.F64);
+        } else if (Dst.Ty == ValueType::V2F64) {
+          for (double &Lane : Dst.V2F64)
+            if (std::isfinite(Lane) && R.chance(1, 2))
+              Lane = R.chance(1, 2) ? nextDouble(Lane) : prevDouble(Lane);
+        }
+      }
+    }
+    Result.Steps += State.Steps;
+    std::vector<double> Outs;
+    for (const Value &V : State.Outputs)
+      Outs.push_back(V.Ty == ValueType::F32 ? V.F32 : V.F64);
+    OutputsPerTrial.push_back(std::move(Outs));
+  }
+
+  if (OutputsPerTrial.empty())
+    return Result;
+  size_t NumOutputs = OutputsPerTrial[0].size();
+  for (size_t O = 0; O < NumOutputs; ++O) {
+    VerrouOutputStat St;
+    double Sum = 0.0;
+    bool First = true;
+    for (const std::vector<double> &Trial : OutputsPerTrial) {
+      double V = Trial[O];
+      if (std::isnan(V)) {
+        St.SawNaN = true;
+        continue;
+      }
+      if (First) {
+        St.Min = St.Max = V;
+        First = false;
+      } else {
+        St.Min = std::min(St.Min, V);
+        St.Max = std::max(St.Max, V);
+      }
+      Sum += V;
+    }
+    St.Mean = Sum / static_cast<double>(OutputsPerTrial.size());
+    if (St.SawNaN) {
+      St.StableBits = 0.0;
+    } else {
+      double Spread = ulpsBetweenDoubles(St.Min, St.Max);
+      St.StableBits = std::max(0.0, 53.0 - std::log2(Spread + 1.0));
+    }
+    Result.Outputs.push_back(St);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// BZ mode
+//===----------------------------------------------------------------------===//
+
+/// Unbiased exponent of a double (0 for zeros/subnormals' purposes).
+static int expOf(double X) {
+  int E = 0;
+  if (X != 0.0 && std::isfinite(X))
+    std::frexp(X, &E);
+  return E;
+}
+
+BZResult herbgrind::runBZ(const Program &P,
+                          const std::vector<std::vector<double>> &InputSets,
+                          int CancelBitsThreshold) {
+  BZResult Result;
+  for (const std::vector<double> &Inputs : InputSets) {
+    MachineState State(P, Inputs);
+    // One taint bit per temp: "some suspicious cancellation happened
+    // upstream". No shadows, no magnitudes -- the whole point is the low
+    // overhead and the resulting false positives.
+    std::vector<bool> Tainted(P.numTemps(), false);
+    bool Running = true;
+    while (Running) {
+      uint32_t PC = State.PC;
+      const Statement &S = P.stmt(PC);
+      Value Args[3];
+      for (unsigned I = 0; I < S.NumArgs; ++I)
+        Args[I] = State.Temps[S.Args[I]];
+      Running = stepConcrete(P, State);
+
+      if (S.Kind == StmtKind::Copy) {
+        Tainted[S.Dst] = Tainted[S.Args[0]];
+        continue;
+      }
+      if (S.Kind != StmtKind::Op)
+        continue;
+      const OpInfo &Info = opInfo(S.Op);
+      if (Info.IsComparison) {
+        // Discrete factor heuristic: a comparison is unstable if its
+        // operands are relatively close or either is tainted.
+        if (Args[0].Ty == ValueType::F64) {
+          double A = Args[0].F64;
+          double B = Args[1].F64;
+          bool Close = std::isfinite(A) && std::isfinite(B) &&
+                       ulpsBetweenDoubles(A, B) < (1ULL << 12);
+          if (Close || Tainted[S.Args[0]] || Tainted[S.Args[1]])
+            ++Result.DiscreteFactorEvents;
+        }
+        continue;
+      }
+      if (!Info.IsFloatOp || !S.hasDst())
+        continue;
+      bool Taint = false;
+      for (unsigned I = 0; I < S.NumArgs; ++I)
+        Taint |= Tainted[S.Args[I]];
+      bool IsAddSub = S.Op == Opcode::AddF64 || S.Op == Opcode::SubF64;
+      if (IsAddSub && State.Temps[S.Dst].Ty == ValueType::F64) {
+        int EA = expOf(Args[0].F64);
+        int EB = expOf(Args[1].F64);
+        int ER = expOf(State.Temps[S.Dst].F64);
+        if (std::max(EA, EB) - ER > CancelBitsThreshold) {
+          Result.SuspectOps.insert(PC);
+          ++Result.SuspectEvents;
+          Taint = true;
+        }
+      }
+      Tainted[S.Dst] = Taint;
+    }
+    Result.Steps += State.Steps;
+  }
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===- baselines/Baselines.h - FpDebug / Verrou / BZ baselines --*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementations of the three comparison tools of Table 1, built on
+/// the same abstract-machine substrate so the feature and overhead
+/// comparison is apples-to-apples:
+///
+///  * FpDebug mode: MPFR-style shadow reals for every value, per-opcode
+///    error statistics, reports *opcode addresses* -- no influence
+///    tracking, no symbolic expressions, no input characteristics.
+///  * Verrou mode: no shadows at all; random-rounding (Monte-Carlo
+///    arithmetic) perturbation of every float op, repeated across trials;
+///    reports how many result bits stay stable.
+///  * BZ (Bao & Zhang) mode: cheap bit-pattern heuristics -- flags
+///    suspicious cancellations (result exponent far below operand
+///    exponents) and "discrete factor" sites (comparisons and float->int
+///    conversions) that a suspect value reaches. High false-positive rate
+///    by design; the Table 1 bench quantifies it against Herbgrind's
+///    ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_BASELINES_BASELINES_H
+#define HERBGRIND_BASELINES_BASELINES_H
+
+#include "ir/Interpreter.h"
+#include "real/BigFloat.h"
+#include "support/RunningStat.h"
+
+#include <map>
+#include <set>
+
+namespace herbgrind {
+
+//===----------------------------------------------------------------------===//
+// FpDebug mode
+//===----------------------------------------------------------------------===//
+
+struct FpDebugOpReport {
+  Opcode Op = Opcode::AddF64;
+  SourceLoc Loc;
+  RunningStat ErrorBits; ///< Error of each produced value vs its shadow.
+};
+
+struct FpDebugResult {
+  /// Keyed by opcode address (pc): the only localization FpDebug offers.
+  std::map<uint32_t, FpDebugOpReport> Ops;
+  uint64_t Steps = 0;
+
+  /// PCs whose max observed value error exceeds the threshold.
+  std::vector<uint32_t> erroneousOps(double ThresholdBits) const;
+};
+
+FpDebugResult runFpDebug(const Program &P,
+                         const std::vector<std::vector<double>> &InputSets,
+                         size_t PrecBits = 128);
+
+//===----------------------------------------------------------------------===//
+// Verrou mode
+//===----------------------------------------------------------------------===//
+
+struct VerrouOutputStat {
+  double Min = 0.0, Max = 0.0, Mean = 0.0;
+  bool SawNaN = false;
+  /// Result bits unaffected by rounding perturbation (53 = fully stable).
+  double StableBits = 53.0;
+};
+
+struct VerrouResult {
+  std::vector<VerrouOutputStat> Outputs;
+  uint64_t Steps = 0;
+};
+
+VerrouResult runVerrou(const Program &P, const std::vector<double> &Inputs,
+                       int Trials = 16, uint64_t Seed = 7);
+
+//===----------------------------------------------------------------------===//
+// BZ mode
+//===----------------------------------------------------------------------===//
+
+struct BZResult {
+  /// Add/sub sites that exhibited suspicious cancellation.
+  std::set<uint32_t> SuspectOps;
+  uint64_t SuspectEvents = 0;
+  /// Comparisons whose operands were suspiciously close (the heuristic
+  /// for error flowing into a "discrete factor").
+  uint64_t DiscreteFactorEvents = 0;
+  uint64_t Steps = 0;
+};
+
+BZResult runBZ(const Program &P,
+               const std::vector<std::vector<double>> &InputSets,
+               int CancelBitsThreshold = 35);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_BASELINES_BASELINES_H

@@ -1,0 +1,342 @@
+//===- fpcore/Compile.cpp - FPCore -> abstract machine compiler -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpcore/Compile.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace herbgrind;
+using namespace herbgrind::fpcore;
+
+namespace {
+
+/// Scalar f64 operator table.
+struct OpMapEntry {
+  const char *Name;
+  unsigned Arity;
+  Opcode Op;
+};
+
+const OpMapEntry FloatOps[] = {
+    {"+", 2, Opcode::AddF64},        {"-", 2, Opcode::SubF64},
+    {"*", 2, Opcode::MulF64},        {"/", 2, Opcode::DivF64},
+    {"-", 1, Opcode::NegF64},        {"sqrt", 1, Opcode::SqrtF64},
+    {"fabs", 1, Opcode::AbsF64},     {"fmin", 2, Opcode::MinF64},
+    {"fmax", 2, Opcode::MaxF64},     {"fma", 3, Opcode::FmaF64},
+    {"copysign", 2, Opcode::CopySignF64},
+    {"exp", 1, Opcode::ExpF64},      {"exp2", 1, Opcode::Exp2F64},
+    {"expm1", 1, Opcode::Expm1F64},  {"log", 1, Opcode::LogF64},
+    {"log2", 1, Opcode::Log2F64},    {"log10", 1, Opcode::Log10F64},
+    {"log1p", 1, Opcode::Log1pF64},  {"sin", 1, Opcode::SinF64},
+    {"cos", 1, Opcode::CosF64},      {"tan", 1, Opcode::TanF64},
+    {"asin", 1, Opcode::AsinF64},    {"acos", 1, Opcode::AcosF64},
+    {"atan", 1, Opcode::AtanF64},    {"atan2", 2, Opcode::Atan2F64},
+    {"sinh", 1, Opcode::SinhF64},    {"cosh", 1, Opcode::CoshF64},
+    {"tanh", 1, Opcode::TanhF64},    {"pow", 2, Opcode::PowF64},
+    {"cbrt", 1, Opcode::CbrtF64},    {"hypot", 2, Opcode::HypotF64},
+    {"fmod", 2, Opcode::FmodF64},    {"floor", 1, Opcode::FloorF64},
+    {"ceil", 1, Opcode::CeilF64},    {"round", 1, Opcode::RoundF64},
+    {"trunc", 1, Opcode::TruncF64},
+};
+
+const OpMapEntry CompareOps[] = {
+    {"<", 2, Opcode::CmpLTF64},  {"<=", 2, Opcode::CmpLEF64},
+    {">", 2, Opcode::CmpGTF64},  {">=", 2, Opcode::CmpGEF64},
+    {"==", 2, Opcode::CmpEQF64}, {"!=", 2, Opcode::CmpNEF64},
+};
+
+const OpMapEntry *findOp(const OpMapEntry *Table, size_t N,
+                         const std::string &Name, unsigned Arity) {
+  for (size_t I = 0; I < N; ++I)
+    if (Name == Table[I].Name && Arity == Table[I].Arity)
+      return &Table[I];
+  return nullptr;
+}
+
+class Compiler {
+public:
+  explicit Compiler(const Core &C) : C(C) {
+    File = (C.Name.empty() ? std::string("anonymous") : C.Name) + ".fpcore";
+  }
+
+  Program run() {
+    std::map<std::string, ProgramBuilder::Temp> Env;
+    for (size_t I = 0; I < C.Params.size(); ++I)
+      Env[C.Params[I]] = B.input(static_cast<unsigned>(I));
+    ProgramBuilder::Temp Result = value(*C.Body, Env);
+    B.out(Result);
+    B.halt();
+    Program P = B.finish();
+    assert(P.validate().empty() && "compiler produced an invalid program");
+    return P;
+  }
+
+private:
+  using Temp = ProgramBuilder::Temp;
+  using Env = std::map<std::string, Temp>;
+
+  void tickLoc() {
+    B.setLoc(SourceLoc(File, ++Line, C.Name));
+  }
+
+  /// Compiles a float-valued expression.
+  Temp value(const Expr &E, Env &Scope) {
+    switch (E.K) {
+    case Expr::Kind::Num:
+      return B.constF64(E.Num);
+    case Expr::Kind::Const:
+      return B.constF64(constValue(E.Name));
+    case Expr::Kind::Var: {
+      auto It = Scope.find(E.Name);
+      assert(It != Scope.end() && "unbound variable");
+      return It->second;
+    }
+    case Expr::Kind::Op: {
+      if (const OpMapEntry *M =
+              findOp(FloatOps, std::size(FloatOps), E.Name,
+                     static_cast<unsigned>(E.Args.size()))) {
+        Temp Args[3];
+        for (size_t I = 0; I < E.Args.size(); ++I)
+          Args[I] = value(*E.Args[I], Scope);
+        tickLoc();
+        switch (M->Arity) {
+        case 1:
+          return B.op(M->Op, Args[0]);
+        case 2:
+          return B.op(M->Op, Args[0], Args[1]);
+        default:
+          return B.op(M->Op, Args[0], Args[1], Args[2]);
+        }
+      }
+      // Variadic +/-/*: left fold.
+      if ((E.Name == "+" || E.Name == "*" || E.Name == "-") &&
+          E.Args.size() > 2) {
+        Opcode Op = E.Name == "+"   ? Opcode::AddF64
+                    : E.Name == "*" ? Opcode::MulF64
+                                    : Opcode::SubF64;
+        Temp Acc = value(*E.Args[0], Scope);
+        for (size_t I = 1; I < E.Args.size(); ++I) {
+          Temp Next = value(*E.Args[I], Scope);
+          tickLoc();
+          Acc = B.op(Op, Acc, Next);
+        }
+        return Acc;
+      }
+      assert(false && "unsupported float operator");
+      return 0;
+    }
+    case Expr::Kind::If: {
+      Temp Cond = boolean(*E.Args[0], Scope);
+      Temp Result = B.newTemp();
+      auto Else = B.newLabel();
+      auto End = B.newLabel();
+      tickLoc();
+      Temp Not = B.op(Opcode::XorI64, Cond, B.constI64(1));
+      B.branchIf(Not, Else);
+      B.copyTo(Result, value(*E.Args[1], Scope));
+      B.jump(End);
+      B.bind(Else);
+      B.copyTo(Result, value(*E.Args[2], Scope));
+      B.bind(End);
+      return Result;
+    }
+    case Expr::Kind::Let: {
+      Env Inner = Scope;
+      if (E.Sequential) {
+        for (size_t I = 0; I < E.Binds.size(); ++I)
+          Inner[E.Binds[I]] = value(*E.Inits[I], Inner);
+      } else {
+        std::vector<Temp> Vals;
+        for (const ExprPtr &Init : E.Inits)
+          Vals.push_back(value(*Init, Scope));
+        for (size_t I = 0; I < E.Binds.size(); ++I)
+          Inner[E.Binds[I]] = Vals[I];
+      }
+      return value(*E.Args[0], Inner);
+    }
+    case Expr::Kind::While: {
+      // Loop variables live in dedicated mutable temps.
+      Env Inner = Scope;
+      std::vector<Temp> Vars;
+      if (E.Sequential) {
+        for (size_t I = 0; I < E.Binds.size(); ++I) {
+          Temp V = B.newTemp();
+          B.copyTo(V, value(*E.Inits[I], Inner));
+          Inner[E.Binds[I]] = V;
+          Vars.push_back(V);
+        }
+      } else {
+        std::vector<Temp> Vals;
+        for (const ExprPtr &Init : E.Inits)
+          Vals.push_back(value(*Init, Scope));
+        for (size_t I = 0; I < E.Binds.size(); ++I) {
+          Temp V = B.newTemp();
+          B.copyTo(V, Vals[I]);
+          Inner[E.Binds[I]] = V;
+          Vars.push_back(V);
+        }
+      }
+      auto Head = B.newLabel();
+      auto Exit = B.newLabel();
+      B.bind(Head);
+      Temp Cond = boolean(*E.Args[0], Inner);
+      tickLoc();
+      Temp Not = B.op(Opcode::XorI64, Cond, B.constI64(1));
+      B.branchIf(Not, Exit);
+      if (E.Sequential) {
+        for (size_t I = 0; I < E.Binds.size(); ++I)
+          B.copyTo(Vars[I], value(*E.Updates[I], Inner));
+      } else {
+        std::vector<Temp> News;
+        for (const ExprPtr &U : E.Updates)
+          News.push_back(value(*U, Inner));
+        for (size_t I = 0; I < E.Binds.size(); ++I)
+          B.copyTo(Vars[I], News[I]);
+      }
+      B.jump(Head);
+      B.bind(Exit);
+      return value(*E.Args[1], Inner);
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return 0;
+  }
+
+  /// Compiles a boolean-valued expression to an i64 temp holding 0/1.
+  Temp boolean(const Expr &E, Env &Scope) {
+    if (E.K == Expr::Kind::Const) {
+      if (E.Name == "TRUE")
+        return B.constI64(1);
+      if (E.Name == "FALSE")
+        return B.constI64(0);
+    }
+    assert(E.K == Expr::Kind::Op && "boolean context needs an operator");
+    if (E.Name == "and" || E.Name == "or") {
+      Temp Acc = boolean(*E.Args[0], Scope);
+      for (size_t I = 1; I < E.Args.size(); ++I) {
+        Temp Next = boolean(*E.Args[I], Scope);
+        Acc = B.op(E.Name == "and" ? Opcode::AndI64 : Opcode::OrI64, Acc,
+                   Next);
+      }
+      return Acc;
+    }
+    if (E.Name == "not")
+      return B.op(Opcode::XorI64, boolean(*E.Args[0], Scope), B.constI64(1));
+    const OpMapEntry *M = findOp(CompareOps, std::size(CompareOps), E.Name, 2);
+    assert(M && "unsupported boolean operator");
+    // Chained comparisons: (< a b c) == (and (< a b) (< b c)).
+    std::vector<Temp> Args;
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(value(*A, Scope));
+    tickLoc();
+    Temp Acc = B.op(M->Op, Args[0], Args[1]);
+    for (size_t I = 1; I + 1 < Args.size(); ++I) {
+      Temp Next = B.op(M->Op, Args[I], Args[I + 1]);
+      Acc = B.op(Opcode::AndI64, Acc, Next);
+    }
+    return Acc;
+  }
+
+  static double constValue(const std::string &Name) {
+    if (Name == "PI")
+      return M_PI;
+    if (Name == "E")
+      return M_E;
+    if (Name == "LN2")
+      return M_LN2;
+    if (Name == "LOG2E")
+      return M_LOG2E;
+    if (Name == "INFINITY")
+      return HUGE_VAL;
+    if (Name == "NAN")
+      return std::nan("");
+    assert(false && "unknown constant");
+    return 0.0;
+  }
+
+  const Core &C;
+  ProgramBuilder B;
+  std::string File;
+  int Line = 0;
+};
+
+/// Recursive operator-support check shared by isCompilable.
+bool exprSupported(const Expr &E, bool BoolContext, std::string *WhyNot) {
+  auto No = [&](const std::string &Why) {
+    if (WhyNot)
+      *WhyNot = Why;
+    return false;
+  };
+  switch (E.K) {
+  case Expr::Kind::Num:
+  case Expr::Kind::Var:
+    return true;
+  case Expr::Kind::Const:
+    if (E.Name == "TRUE" || E.Name == "FALSE")
+      return true;
+    if (E.Name == "PI" || E.Name == "E" || E.Name == "LN2" ||
+        E.Name == "LOG2E" || E.Name == "INFINITY" || E.Name == "NAN")
+      return true;
+    return No("unknown constant " + E.Name);
+  case Expr::Kind::If:
+    return exprSupported(*E.Args[0], true, WhyNot) &&
+           exprSupported(*E.Args[1], false, WhyNot) &&
+           exprSupported(*E.Args[2], false, WhyNot);
+  case Expr::Kind::Let:
+  case Expr::Kind::While: {
+    for (const ExprPtr &I : E.Inits)
+      if (!exprSupported(*I, false, WhyNot))
+        return false;
+    for (const ExprPtr &U : E.Updates)
+      if (!exprSupported(*U, false, WhyNot))
+        return false;
+    if (E.K == Expr::Kind::While &&
+        !exprSupported(*E.Args[0], true, WhyNot))
+      return false;
+    return exprSupported(*E.Args.back(), false, WhyNot);
+  }
+  case Expr::Kind::Op:
+    break;
+  }
+  unsigned Arity = static_cast<unsigned>(E.Args.size());
+  bool Known;
+  if (BoolContext || E.Name == "and" || E.Name == "or" || E.Name == "not" ||
+      findOp(CompareOps, std::size(CompareOps), E.Name, 2)) {
+    Known = E.Name == "and" || E.Name == "or" || E.Name == "not" ||
+            findOp(CompareOps, std::size(CompareOps), E.Name, 2);
+    if (!Known)
+      return No("unsupported boolean operator " + E.Name);
+    bool ArgsBool = E.Name == "and" || E.Name == "or" || E.Name == "not";
+    for (const ExprPtr &A : E.Args)
+      if (!exprSupported(*A, ArgsBool, WhyNot))
+        return false;
+    return true;
+  }
+  Known = findOp(FloatOps, std::size(FloatOps), E.Name, Arity) ||
+          ((E.Name == "+" || E.Name == "-" || E.Name == "*") && Arity > 2);
+  if (!Known)
+    return No("unsupported operator " + E.Name + "/" +
+              std::to_string(Arity));
+  for (const ExprPtr &A : E.Args)
+    if (!exprSupported(*A, false, WhyNot))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool fpcore::isCompilable(const Core &C, std::string *WhyNot) {
+  return exprSupported(*C.Body, false, WhyNot) &&
+         (!C.Pre || true); // preconditions are not compiled
+}
+
+Program fpcore::compile(const Core &C) {
+  assert(isCompilable(C) && "core uses unsupported operators");
+  Compiler Comp(C);
+  return Comp.run();
+}

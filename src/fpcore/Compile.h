@@ -1,0 +1,36 @@
+//===- fpcore/Compile.h - FPCore -> abstract machine compiler ---*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles FPCore cores to abstract-machine programs (the role the
+/// FPCore-to-C compiler plus gcc play in the paper's methodology,
+/// Section 8.1). Parameters become program inputs, the body's value is
+/// emitted through an Out statement, and while loops lower to branches
+/// over mutable temps. Each emitted operation gets a source location of
+/// the form "<benchmark>.fpcore:<n>" so reports stay readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_FPCORE_COMPILE_H
+#define HERBGRIND_FPCORE_COMPILE_H
+
+#include "fpcore/FPCore.h"
+#include "ir/Program.h"
+
+namespace herbgrind {
+namespace fpcore {
+
+/// Compiles a core; the result is validated. Unsupported operators fail
+/// the surrounding parse step, so this asserts on well-formed input only.
+Program compile(const Core &C);
+
+/// True if every operator in the core is supported by the compiler.
+bool isCompilable(const Core &C, std::string *WhyNot = nullptr);
+
+} // namespace fpcore
+} // namespace herbgrind
+
+#endif // HERBGRIND_FPCORE_COMPILE_H

@@ -1,0 +1,350 @@
+//===- fpcore/Corpus.cpp - The embedded FPBench-style corpus --------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpcore/Corpus.h"
+
+#include <cassert>
+
+using namespace herbgrind;
+using namespace herbgrind::fpcore;
+
+// Benchmarks 1-30: Hamming "Numerical Methods for Scientists and
+// Engineers" NMSE problems and examples (the backbone of the FPBench
+// general suite). 31-50: Rosa/Daisy verification kernels. 51-70: Herbie
+// and FPBench miscellanea. 71-80: textbook cancellation kernels. 81-86:
+// loop-bearing control benchmarks.
+static const char *CorpusSources[] = {
+    // --- Hamming NMSE -----------------------------------------------------
+    R"((FPCore (x) :name "NMSE example 3.1" :pre (<= 0 x 1e9)
+        (- (sqrt (+ x 1)) (sqrt x))))",
+    R"((FPCore (x eps) :name "NMSE example 3.3"
+        :pre (and (<= 0.1 x 10) (<= 1e-14 eps 1e-8))
+        (- (sin (+ x eps)) (sin x))))",
+    R"((FPCore (x) :name "NMSE example 3.4" :pre (<= 1e-9 x 1)
+        (/ (- 1 (cos x)) (sin x))))",
+    R"((FPCore (N) :name "NMSE example 3.5" :pre (<= 1 N 1e6)
+        (- (atan (+ N 1)) (atan N))))",
+    R"((FPCore (x) :name "NMSE example 3.6" :pre (<= 0.5 x 1e8)
+        (- (/ 1 (sqrt x)) (/ 1 (sqrt (+ x 1))))))",
+    R"((FPCore (x) :name "NMSE example 3.7" :pre (<= -1e-5 x 1e-5)
+        (- (exp x) 1)))",
+    R"((FPCore (N) :name "NMSE example 3.8" :pre (<= 1 N 1e6)
+        (- (- (* (+ N 1) (log (+ N 1))) (* N (log N))) 1)))",
+    R"((FPCore (x) :name "NMSE example 3.9" :pre (<= 1e-9 x 1e-3)
+        (- (/ 1 x) (/ (cos x) (sin x)))))",
+    R"((FPCore (x) :name "NMSE example 3.10" :pre (<= -0.1 x 0.1)
+        (/ (log (- 1 x)) (log (+ 1 x)))))",
+    R"((FPCore (x) :name "NMSE problem 3.3.1" :pre (<= 1 x 1e8)
+        (- (/ 1 (+ x 1)) (/ 1 x))))",
+    R"((FPCore (x eps) :name "NMSE problem 3.3.2"
+        :pre (and (<= 0.1 x 1) (<= 1e-14 eps 1e-9))
+        (- (tan (+ x eps)) (tan x))))",
+    R"((FPCore (x) :name "NMSE problem 3.3.3" :pre (<= 2 x 1e6)
+        (+ (- (/ 1 (+ x 1)) (/ 2 x)) (/ 1 (- x 1)))))",
+    R"((FPCore (x) :name "NMSE problem 3.3.4" :pre (<= 1 x 1e9)
+        (- (cbrt (+ x 1)) (cbrt x))))",
+    R"((FPCore (x eps) :name "NMSE problem 3.3.5"
+        :pre (and (<= 0.1 x 3) (<= 1e-14 eps 1e-9))
+        (- (cos (+ x eps)) (cos x))))",
+    R"((FPCore (N) :name "NMSE problem 3.3.6" :pre (<= 2 N 1e8)
+        (- (log (+ N 1)) (log N))))",
+    R"((FPCore (x) :name "NMSE problem 3.3.7" :pre (<= -1e-5 x 1e-5)
+        (+ (- (exp x) 2) (exp (- x)))))",
+    R"((FPCore (a b c) :name "NMSE p42, positive"
+        :pre (and (<= 1 a 10) (<= 1e6 b 1e8) (<= 1 c 10))
+        (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a))))",
+    R"((FPCore (a b c) :name "NMSE p42, negative"
+        :pre (and (<= 1 a 10) (<= 1e6 b 1e8) (<= 1 c 10))
+        (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a))))",
+    R"((FPCore (a b2 c) :name "NMSE problem 3.2.1, positive"
+        :pre (and (<= 1 a 5) (<= 1e5 b2 1e7) (<= 1 c 5))
+        (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a)))",
+    R"((FPCore (a b2 c) :name "NMSE problem 3.2.1, negative"
+        :pre (and (<= 1 a 5) (<= 1e5 b2 1e7) (<= 1 c 5))
+        (/ (- (- b2) (sqrt (- (* b2 b2) (* a c)))) a)))",
+    R"((FPCore (x) :name "NMSE problem 3.4.1" :pre (<= 1e-9 x 0.5)
+        (/ (- 1 (cos x)) (* x x))))",
+    R"((FPCore (a b eps) :name "NMSE problem 3.4.2"
+        :pre (and (<= 1 a 5) (<= 1 b 5) (<= 1e-14 eps 1e-9))
+        (/ (* eps (- (exp (* (+ a b) eps)) 1))
+           (* (- (exp (* a eps)) 1) (- (exp (* b eps)) 1)))))",
+    R"((FPCore (x) :name "NMSE problem 3.4.3" :pre (<= 1e-9 x 0.5)
+        (log (/ (- 1 x) (+ 1 x)))))",
+    R"((FPCore (x) :name "NMSE problem 3.4.4" :pre (<= 1e-9 x 0.7)
+        (sqrt (/ (- (exp (* 2 x)) 1) (- (exp x) 1)))))",
+    R"((FPCore (x) :name "NMSE problem 3.4.5" :pre (<= 1e-3 x 0.5)
+        (/ (- x (sin x)) (- x (tan x)))))",
+    R"((FPCore (x n) :name "NMSE problem 3.4.6"
+        :pre (and (<= 1 x 1e6) (<= 2 n 30))
+        (- (pow (+ x 1) (/ 1 n)) (pow x (/ 1 n)))))",
+    R"((FPCore (x) :name "NMSE section 3.5" :pre (<= -1e-6 x 1e-6)
+        (- (exp x) 1)))",
+    R"((FPCore (x) :name "NMSE section 3.11" :pre (<= 1e-9 x 1e-5)
+        (/ (exp x) (- (exp x) 1))))",
+    R"((FPCore (x) :name "NMSE problem 3.1-inverse" :pre (<= 1 x 1e9)
+        (- (sqrt x) (sqrt (- x 1)))))",
+    R"((FPCore (N) :name "NMSE log-diff-scaled" :pre (<= 10 N 1e8)
+        (* N (- (log (+ N 1)) (log N)))))",
+
+    // --- Rosa / Daisy kernels ----------------------------------------------
+    R"((FPCore (u v T) :name "doppler1"
+        :pre (and (<= -100 u 100) (<= 20 v 20000) (<= -30 T 50))
+        (let ([t1 (+ 331.4 (* 0.6 T))])
+          (/ (* (- t1) v) (* (+ t1 u) (+ t1 u))))))",
+    R"((FPCore (u v T) :name "doppler2"
+        :pre (and (<= -125 u 125) (<= 15 v 25000) (<= -40 T 60))
+        (let ([t1 (+ 331.4 (* 0.6 T))])
+          (/ (* (- t1) v) (* (+ t1 u) (+ t1 u))))))",
+    R"((FPCore (u v T) :name "doppler3"
+        :pre (and (<= -30 u 120) (<= 320 v 20300) (<= -50 T 30))
+        (let ([t1 (+ 331.4 (* 0.6 T))])
+          (/ (* (- t1) v) (* (+ t1 u) (+ t1 u))))))",
+    R"((FPCore (x1 x2 x3) :name "rigidBody1"
+        :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+        (- (- (- (* (- x1) x2) (* 2 (* x2 x3))) x1) x3)))",
+    R"((FPCore (x1 x2 x3) :name "rigidBody2"
+        :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+        (- (+ (- (+ (* 2 (* (* x1 x2) x3)) (* 3 (* x3 x3)))
+                 (* (* (* x2 x1) x2) x3))
+              (* 3 (* x3 x3)))
+           x2)))",
+    R"((FPCore (x1 x2) :name "jetEngine"
+        :pre (and (<= -5 x1 5) (<= -20 x2 5))
+        (let ([t (- (+ (* 3 (* x1 x1)) (* 2 x2)) x1)]
+              [d (+ (* x1 x1) 1)])
+          (let ([s (/ t d)])
+            (+ x1
+               (+ (* (* (* 2 x1) s) (- s 3))
+                  (+ (* (* x1 x1) (- (* 4 s) 6))
+                     (* d (+ (+ (* (* 3 (* x1 x1)) s) (* (* x1 x1) x1))
+                             (+ x1 (* 3 s)))))))))))",
+    R"((FPCore (v w r) :name "turbine1"
+        :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+        (- (- (+ 3 (/ 2 (* r r)))
+              (/ (* (* 0.125 (- 3 (* 2 v))) (* (* (* w w) r) r)) (- 1 v)))
+           4.5)))",
+    R"((FPCore (v w r) :name "turbine2"
+        :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+        (- (- (* 6 v) (/ (* (* 0.5 v) (* (* (* w w) r) r)) (- 1 v))) 2.5)))",
+    R"((FPCore (v w r) :name "turbine3"
+        :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+        (- (- (- 3 (/ 2 (* r r)))
+              (/ (* (* 0.125 (+ 1 (* 2 v))) (* (* (* w w) r) r)) (- 1 v)))
+           0.5)))",
+    R"((FPCore (x) :name "verhulst" :pre (<= 0.1 x 0.3)
+        (/ (* 4 x) (+ 1 (/ x 1.11)))))",
+    R"((FPCore (x) :name "predatorPrey" :pre (<= 0.1 x 0.3)
+        (/ (* 4 (* x x)) (+ 1 (* (/ x 1.11) (/ x 1.11))))))",
+    R"((FPCore (v) :name "carbonGas" :pre (<= 0.1 v 0.5)
+        (- (* (+ 35000000 (* 0.401 (* (/ 1000 v) (/ 1000 v))))
+              (- v (* 1000 0.0000427)))
+           (* 1.3806503e-23 (* 1000 300)))))",
+    R"((FPCore (x) :name "sqroot" :pre (<= 0 x 1)
+        (- (+ (- (+ 1 (* 0.5 x)) (* (* 0.125 x) x))
+              (* (* (* 0.0625 x) x) x))
+           (* (* (* (* 0.0390625 x) x) x) x))))",
+    R"((FPCore (x) :name "sine" :pre (<= -1.57079632679 x 1.57079632679)
+        (+ (- x (/ (* (* x x) x) 6))
+           (- (/ (* (* (* (* x x) x) x) x) 120)
+              (/ (* (* (* (* (* (* x x) x) x) x) x) x) 5040)))))",
+    R"((FPCore (x) :name "sineOrder3" :pre (<= -2 x 2)
+        (- (* 0.954929658551372 x)
+           (* 0.12900613773279798 (* (* x x) x)))))",
+    R"((FPCore (x1 x2 x3 x4 x5 x6) :name "kepler0"
+        :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36)
+                  (<= 4 x4 6.36) (<= 4 x5 6.36) (<= 4 x6 6.36))
+        (+ (- (+ (* x2 x5) (* x3 x6)) (* x2 x3))
+           (- (* x1 (+ (+ (- (- (+ (- x1) x2) x4) x5) x3) x6))
+              (* x5 x6)))))",
+    R"((FPCore (x1 x2 x3 x4) :name "kepler1"
+        :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36)
+                  (<= 4 x4 6.36))
+        (- (- (+ (- (* (* x1 x4) (+ (+ (- (- x1) x2) x3) x4))
+                    (* x2 (+ (- (- x1 x3) x4) x2)))
+                 (* x3 (+ (- (+ x1 x2) x3) x4)))
+              (* (* x2 x3) x4))
+           (* x1 x3))))",
+    R"((FPCore (x1 x2 x3 x4 x5 x6) :name "kepler2"
+        :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36)
+                  (<= 4 x4 6.36) (<= 4 x5 6.36) (<= 4 x6 6.36))
+        (- (- (- (+ (- (* (* x1 x4) (+ (+ (+ (- (- x1) x2) x3) x4) (- x5 x6)))
+                       (* (* x2 x5) (+ (+ (- (- x1 x2) x3) x4) (- x5 x6))))
+                    (* (* x3 x6) (+ (+ (- (+ x1 x2) x3) (- x4 x5)) x6)))
+                 (* (* (* x2 x3) x4) 1))
+              (* (* x1 x3) x5))
+           (* (* x1 x2) x6))))",
+    R"((FPCore (x1 x2) :name "himmilbeau"
+        :pre (and (<= -5 x1 5) (<= -5 x2 5))
+        (let ([a (- (+ (* x1 x1) x2) 11)] [b (- (+ x1 (* x2 x2)) 7)])
+          (+ (* a a) (* b b)))))",
+    R"((FPCore (x) :name "bspline3" :pre (<= 0 x 1)
+        (/ (* (- (* (* x x) x)) 1) 6)))",
+
+    // --- Herbie / FPBench miscellanea --------------------------------------
+    R"((FPCore (x) :name "logexp" :pre (<= -8 x 8)
+        (log (+ 1 (exp x)))))",
+    R"((FPCore (x r theta phi) :name "sphere"
+        :pre (and (<= -10 x 10) (<= 0 r 10) (<= -1.5707 theta 1.5707)
+                  (<= -3.14159 phi 3.14159))
+        (+ x (* (* r (sin theta)) (cos phi)))))",
+    R"((FPCore (lat1 lat2 dLon) :name "azimuth"
+        :pre (and (<= 0.1 lat1 1.4) (<= 0.1 lat2 1.4) (<= 0.01 dLon 3))
+        (atan2 (* (sin dLon) (cos lat2))
+               (- (* (cos lat1) (sin lat2))
+                  (* (* (sin lat1) (cos lat2)) (cos dLon))))))",
+    R"((FPCore (x) :name "expq2" :pre (<= -1e-7 x 1e-7)
+        (/ (- (exp x) 1) x)))",
+    R"((FPCore (a x) :name "expax" :pre (and (<= 0.1 a 10) (<= -1e-8 x 1e-8))
+        (/ (- (exp (* a x)) 1) x)))",
+    R"((FPCore (x) :name "invcot" :pre (<= 1e-8 x 1e-3)
+        (- (/ 1 x) (/ 1 (tan x)))))",
+    R"((FPCore (x) :name "2cos" :pre (and (<= 0.001 x 3))
+        (- (* 2 (cos x)) 2)))",
+    R"((FPCore (x y) :name "x2-y2"
+        :pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8))
+        (- (* x x) (* y y))))",
+    R"((FPCore (x) :name "quadratic-u-shape" :pre (<= -2e-8 x 2e-8)
+        (/ (- 1 (cos x)) (* x x))))",
+    R"((FPCore (a b c) :name "triangle-area-heron"
+        :pre (and (<= 1 a 10) (<= 1 b 10) (<= 1e-6 c 0.1))
+        (let ([s (/ (+ (+ a b) c) 2)])
+          (sqrt (* (* (* s (- s a)) (- s b)) (- s c))))))",
+    R"((FPCore (x) :name "asinh-naive" :pre (<= -1e8 x -1)
+        (log (+ x (sqrt (+ (* x x) 1))))))",
+    R"((FPCore (x) :name "acosh-naive" :pre (<= 1 x 1.001)
+        (log (+ x (sqrt (- (* x x) 1))))))",
+    R"((FPCore (x) :name "sinh-naive" :pre (<= -1e-8 x 1e-8)
+        (/ (- (exp x) (exp (- x))) 2)))",
+    R"((FPCore (x) :name "tanh-naive" :pre (<= -1e-9 x 1e-9)
+        (/ (- (exp (* 2 x)) 1) (+ (exp (* 2 x)) 1))))",
+    R"((FPCore (x y) :name "hypot-naive"
+        :pre (and (<= 1e150 x 1e160) (<= 1e150 y 1e160))
+        (sqrt (+ (* x x) (* y y)))))",
+    R"((FPCore (x y) :name "two-sample-variance"
+        :pre (and (<= 1e7 x 1e8) (<= 1e7 y 1e8))
+        (let ([m (/ (+ x y) 2)])
+          (/ (+ (* (- x m) (- x m)) (* (- y m) (- y m))) 2))))",
+    R"((FPCore (x y) :name "one-pass-variance"
+        :pre (and (<= 1e7 x 1e8) (<= 1e7 y 1e8))
+        (- (/ (+ (* x x) (* y y)) 2)
+           (* (/ (+ x y) 2) (/ (+ x y) 2)))))",
+    R"((FPCore (x) :name "sin-squared-identity" :pre (<= 1e-9 x 1e-4)
+        (- 1 (* (cos x) (cos x)))))",
+    R"((FPCore (x) :name "x-sin-x" :pre (<= -1e-4 x 1e-4)
+        (- x (sin x))))",
+    R"((FPCore (n) :name "compound-e" :pre (<= 1e6 n 1e9)
+        (pow (+ 1 (/ 1 n)) n)))",
+    R"((FPCore (x eps) :name "log-diff"
+        :pre (and (<= 1 x 100) (<= 1e-13 eps 1e-9))
+        (- (log (+ x eps)) (log x))))",
+    R"((FPCore (x0 x1 y0 y1) :name "slope"
+        :pre (and (<= 1 x0 1e7) (<= 1 y0 1e7)
+                  (<= 1e-9 x1 1e-6) (<= 1e-9 y1 1e-6))
+        (/ (- (+ y0 y1) y0) (- (+ x0 x1) x0))))",
+    R"((FPCore (x) :name "sec4-example" :pre (<= 1.00000001 x 1.6)
+        (let ([t (/ x (- x 1))]) (- (/ 1 (- t 1)) (/ 1 t)))))",
+    R"((FPCore (x) :name "exp-minus-cosh" :pre (<= 10 x 300)
+        (- (exp x) (cosh x))))",
+    R"((FPCore (x) :name "logq" :pre (<= 1e-7 x 1)
+        (/ (log (+ 1 x)) x)))",
+    R"((FPCore (a b) :name "fraction-sub"
+        :pre (and (<= 1e7 a 1e9) (<= 1e-3 b 1))
+        (- (/ (+ a b) a) 1)))",
+    R"((FPCore (x) :name "cos-near-pi-half"
+        :pre (<= 1.5707963 x 1.5707964)
+        (/ (cos x) (- x 1.5707963267948966))))",
+    R"((FPCore (r n) :name "compound-interest"
+        :pre (and (<= 0.01 r 0.1) (<= 1e7 n 1e9))
+        (* 100 (- (pow (+ 1 (/ r n)) n) 1))))",
+    R"((FPCore (x) :name "mixed-cos2" :pre (<= 1e-9 x 1e-6)
+        (/ (- 1 (* (cos x) (cos x))) (* x x))))",
+    R"((FPCore (a b) :name "sum-product-diff"
+        :pre (and (<= 1e7 a 1e8) (<= 1e7 b 1e8))
+        (- (* (+ a b) (+ a b)) (+ (+ (* a a) (* 2 (* a b))) (* b b)))))",
+    R"((FPCore (x) :name "plotter-csqrt-re" :pre (<= 1e-12 x 0.25)
+        (- (sqrt (+ (* x x) (* 1e-18 1e-18))) x)))",
+
+    // --- textbook cancellation kernels -------------------------------------
+    R"((FPCore (x) :name "x+1-x" :pre (<= 1e14 x 1e18)
+        (- (+ x 1) x)))",
+    R"((FPCore (x y) :name "ab-cancellation"
+        :pre (and (<= 1e15 x 1e16) (<= 0.1 y 10))
+        (* (- (+ x y) x) (/ 1 y))))",
+    R"((FPCore (z) :name "baz-pi" :pre (<= 112.9999999 z 113.0000001)
+        (let ([t (/ 1 (- z 113))]) (- (+ t PI) t))))",
+    R"((FPCore (a b) :name "midpoint-drift"
+        :pre (and (<= 1e8 a 1e9) (<= 1e8 b 1e9))
+        (- (/ (+ a b) 2) (+ a (/ (- b a) 2)))))",
+    R"((FPCore (x) :name "pythag-identity" :pre (<= 0.1 x 1.5)
+        (- (+ (* (sin x) (sin x)) (* (cos x) (cos x))) 1)))",
+    R"((FPCore (x h) :name "finite-difference"
+        :pre (and (<= 1 x 10) (<= 1e-12 h 1e-8))
+        (/ (- (* (+ x h) (+ x h)) (* x x)) h)))",
+    R"((FPCore (x) :name "exprsqrt-chain" :pre (<= 1e7 x 1e9)
+        (- (sqrt (+ (* x x) x)) x)))",
+    R"((FPCore (x) :name "one-minus-tanh-sq" :pre (<= 1e-8 x 1e-4)
+        (- 1 (* (tanh x) (tanh x)))))",
+    R"((FPCore (a b) :name "det2x2-sliver"
+        :pre (and (<= 1e7 a 1e8) (<= 0.999999999 b 1.000000001))
+        (- (* a b) a)))",
+    R"((FPCore (x) :name "expm1-over-sinh" :pre (<= 1e-10 x 1e-6)
+        (/ (- (exp x) 1) (/ (- (exp x) (exp (- x))) 2))))",
+
+    // --- loop-bearing control benchmarks ------------------------------------
+    R"((FPCore (m kp ki kd) :name "pid"
+        :pre (and (<= -10 m 10) (<= 0.1 kp 10) (<= 0.01 ki 1)
+                  (<= 0.01 kd 1))
+        (while* (< t 20)
+          ([i 0 (+ i (* (* ki 0.2) (- 5 m2)))]
+           [m2 m (+ m2 (* 0.01 (+ (+ (* kp (- 5 m2)) i)
+                                  (* (/ kd 0.2) (- (- 5 m2) e0)))))]
+           [e0 0 (- 5 m2)]
+           [t 0 (+ t 0.2)])
+          m2)))",
+    R"((FPCore (n) :name "harmonic-sum" :pre (<= 10 n 2000)
+        (while (<= i n) ([s 0 (+ s (/ 1 i))] [i 1 (+ i 1)]) s)))",
+    R"((FPCore (x0 n) :name "euler-oscillator"
+        :pre (and (<= 0.1 x0 1) (<= 10 n 500))
+        (while (< i n)
+          ([x x0 (+ x (* 0.01 v))]
+           [v 1 (- v (* 0.01 x))]
+           [i 0 (+ i 1)])
+          x)))",
+    R"((FPCore (n) :name "increment-by-tenth" :pre (<= 10 n 1000)
+        (while (< t n) ([t 0 (+ t 0.1)] [c 0 (+ c 1)]) c)))",
+    R"((FPCore (a r n) :name "geometric-sum"
+        :pre (and (<= 1 a 10) (<= 0.5 r 0.999) (<= 10 n 500))
+        (while (< i n) ([s 0 (+ s (* a (pow r i)))] [i 0 (+ i 1)]) s)))",
+    R"((FPCore (x n) :name "arclength-segments"
+        :pre (and (<= 0.1 x 3) (<= 4 n 64))
+        (while (< i n)
+          ([s 0 (+ s (sqrt (+ (* (/ x n) (/ x n))
+                              (* (- (sin (/ (* (+ i 1) x) n))
+                                    (sin (/ (* i x) n)))
+                                 (- (sin (/ (* (+ i 1) x) n))
+                                    (sin (/ (* i x) n)))))))]
+           [i 0 (+ i 1)])
+          s)))",
+};
+
+const std::vector<std::string> &fpcore::corpusSources() {
+  static const std::vector<std::string> Sources(std::begin(CorpusSources),
+                                                std::end(CorpusSources));
+  return Sources;
+}
+
+const std::vector<Core> &fpcore::corpus() {
+  static const std::vector<Core> Parsed = [] {
+    std::vector<Core> Cores;
+    for (const std::string &Src : corpusSources()) {
+      ParseResult R = parse(Src);
+      assert(R.Ok && "corpus entry failed to parse");
+      Cores.push_back(std::move(R.Value));
+    }
+    return Cores;
+  }();
+  return Parsed;
+}

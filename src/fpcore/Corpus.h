@@ -1,0 +1,36 @@
+//===- fpcore/Corpus.h - The embedded FPBench-style corpus ------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 86-benchmark FPCore corpus driving every Section 8 experiment. The
+/// benchmarks mirror the FPBench suite the paper uses: the Hamming "NMSE"
+/// problems, the Rosa/Daisy verification kernels, Herbie's examples, and a
+/// few loop-bearing control benchmarks. Each entry carries a :pre
+/// precondition which the experiment drivers turn into sampling ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_FPCORE_CORPUS_H
+#define HERBGRIND_FPCORE_CORPUS_H
+
+#include "fpcore/FPCore.h"
+
+#include <vector>
+
+namespace herbgrind {
+namespace fpcore {
+
+/// The raw FPCore sources.
+const std::vector<std::string> &corpusSources();
+
+/// The parsed corpus (parsed once, cached). Every entry parses and
+/// compiles; the test suite enforces this.
+const std::vector<Core> &corpus();
+
+} // namespace fpcore
+} // namespace herbgrind
+
+#endif // HERBGRIND_FPCORE_CORPUS_H

@@ -1,0 +1,38 @@
+//===- herbgrind/Herbgrind.h - Public umbrella header -----------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public API of herbgrind-cpp in one include:
+///
+/// \code
+///   ProgramBuilder B;
+///   auto X = B.input(0);
+///   auto One = B.constF64(1.0);
+///   auto T = B.op(Opcode::SubF64, B.op(Opcode::AddF64, X, One), X);
+///   B.out(T);
+///   B.halt();
+///   Program P = B.finish();
+///
+///   Herbgrind HG(P);
+///   HG.runOnInput({1e16});
+///   Report R = buildReport(HG);
+///   puts(R.render().c_str());
+/// \endcode
+///
+/// See DESIGN.md for the system inventory and the paper mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_HERBGRIND_H
+#define HERBGRIND_HERBGRIND_H
+
+#include "analysis/Analysis.h"
+#include "analysis/Report.h"
+#include "ir/Interpreter.h"
+#include "ir/LibmLowering.h"
+#include "ir/Program.h"
+
+#endif // HERBGRIND_HERBGRIND_H

@@ -1,0 +1,413 @@
+//===- improve/Improve.cpp - The mini-Herbie expression improver ----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "improve/Improve.h"
+
+#include "inputs/InputSummary.h"
+#include "support/FloatBits.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+using namespace herbgrind;
+using namespace herbgrind::improve;
+using fpcore::Expr;
+using fpcore::ExprPtr;
+
+//===----------------------------------------------------------------------===//
+// Sampling and error measurement
+//===----------------------------------------------------------------------===//
+
+std::vector<fpcore::DoubleEnv>
+improve::samplePoints(const std::vector<std::string> &Params,
+                      const std::vector<SampleSpec> &Specs, int Count,
+                      Rng &R) {
+  assert(Params.size() == Specs.size() && "spec per parameter");
+  std::vector<fpcore::DoubleEnv> Points;
+  Points.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I) {
+    fpcore::DoubleEnv Env;
+    for (size_t P = 0; P < Params.size(); ++P) {
+      const SampleSpec &Spec = Specs[P];
+      assert(!Spec.Intervals.empty() && "empty sample spec");
+      const auto &[Lo, Hi] =
+          Spec.Intervals[R.nextBelow(Spec.Intervals.size())];
+      Env[Params[P]] = Lo <= Hi ? R.betweenOrdinals(Lo, Hi) : Lo;
+    }
+    Points.push_back(std::move(Env));
+  }
+  return Points;
+}
+
+double improve::meanErrorBits(const Expr &E,
+                              const std::vector<fpcore::DoubleEnv> &Points,
+                              size_t PrecBits) {
+  if (Points.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const fpcore::DoubleEnv &P : Points)
+    Sum += fpcore::pointErrorBits(E, P, PrecBits);
+  return Sum / static_cast<double>(Points.size());
+}
+
+//===----------------------------------------------------------------------===//
+// The rewrite database
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isOp(const Expr &E, const char *Name, size_t Arity) {
+  return E.K == Expr::Kind::Op && E.Name == Name && E.Args.size() == Arity;
+}
+
+bool isNum(const Expr &E, double V) {
+  return E.K == Expr::Kind::Num && E.Num == V;
+}
+
+ExprPtr op1(const char *N, ExprPtr A) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(A));
+  return Expr::op(N, std::move(Args));
+}
+
+ExprPtr op2(const char *N, ExprPtr A, ExprPtr B) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(A));
+  Args.push_back(std::move(B));
+  return Expr::op(N, std::move(Args));
+}
+
+/// Structural equality of expressions.
+bool sameExpr(const Expr &A, const Expr &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Expr::Kind::Num:
+    return bitsOfDouble(A.Num) == bitsOfDouble(B.Num);
+  case Expr::Kind::Var:
+  case Expr::Kind::Const:
+    return A.Name == B.Name;
+  default:
+    break;
+  }
+  if (A.Name != B.Name || A.Args.size() != B.Args.size() ||
+      A.Binds != B.Binds)
+    return false;
+  for (size_t I = 0; I < A.Args.size(); ++I)
+    if (!sameExpr(*A.Args[I], *B.Args[I]))
+      return false;
+  for (size_t I = 0; I < A.Inits.size(); ++I)
+    if (!sameExpr(*A.Inits[I], *B.Inits[I]))
+      return false;
+  return true;
+}
+
+/// Emits every known accuracy rewrite of the node E (not recursive).
+void nodeRewrites(const Expr &E, std::vector<ExprPtr> &Out) {
+  if (E.K != Expr::Kind::Op)
+    return;
+  auto C = [&](size_t I) { return E.Args[I]->clone(); };
+
+  // Normalization: (+ (- a) b) == (- b a) so the subtraction rules fire.
+  if (isOp(E, "+", 2) && isOp(*E.Args[0], "-", 1))
+    Out.push_back(op2("-", C(1), E.Args[0]->Args[0]->clone()));
+
+  if (isOp(E, "-", 2)) {
+    const Expr &A = *E.Args[0];
+    const Expr &B = *E.Args[1];
+    // (- (+ a b) a) -> b and (- (+ a b) b) -> a.
+    if (isOp(A, "+", 2)) {
+      if (sameExpr(*A.Args[0], B))
+        Out.push_back(A.Args[1]->clone());
+      if (sameExpr(*A.Args[1], B))
+        Out.push_back(A.Args[0]->clone());
+    }
+    // Rationalize: (- a b) -> (/ (- (* a a) (* b b)) (+ a b)).
+    Out.push_back(op2("/",
+                      op2("-", op2("*", C(0), C(0)), op2("*", C(1), C(1))),
+                      op2("+", C(0), C(1))));
+    // (- (sqrt a) (sqrt b)) -> (/ (- a b) (+ (sqrt a) (sqrt b))).
+    if (isOp(A, "sqrt", 1) && isOp(B, "sqrt", 1))
+      Out.push_back(op2("/",
+                        op2("-", A.Args[0]->clone(), B.Args[0]->clone()),
+                        op2("+", C(0), C(1))));
+    // (- (sqrt s) b) -> (/ (- s (* b b)) (+ (sqrt s) b)): keeps the
+    // radicand intact so a later structural cancellation can fire (the
+    // plotter fix needs exactly this: s = x^2 + y^2, b = x).
+    if (isOp(A, "sqrt", 1))
+      Out.push_back(op2("/",
+                        op2("-", A.Args[0]->clone(), op2("*", C(1), C(1))),
+                        op2("+", C(0), C(1))));
+    if (isOp(B, "sqrt", 1))
+      Out.push_back(op2("/",
+                        op2("-", op2("*", C(0), C(0)), B.Args[0]->clone()),
+                        op2("+", C(0), C(1))));
+    // (- (exp x) 1) -> (expm1 x).
+    if (isOp(A, "exp", 1) && isNum(B, 1.0))
+      Out.push_back(op1("expm1", A.Args[0]->clone()));
+    // (- (exp a) (exp b)) -> (* (exp b) (expm1 (- a b))).
+    if (isOp(A, "exp", 1) && isOp(B, "exp", 1))
+      Out.push_back(op2("*", B.clone(),
+                        op1("expm1", op2("-", A.Args[0]->clone(),
+                                         B.Args[0]->clone()))));
+    // (- (log a) (log b)) -> (log (/ a b)).
+    if (isOp(A, "log", 1) && isOp(B, "log", 1))
+      Out.push_back(op1("log", op2("/", A.Args[0]->clone(),
+                                   B.Args[0]->clone())));
+    // (- 1 (cos x)) -> 2 sin^2(x/2).
+    if (isNum(A, 1.0) && isOp(B, "cos", 1)) {
+      ExprPtr Half = op2("/", B.Args[0]->clone(), Expr::num(2.0));
+      Out.push_back(op2("*", Expr::num(2.0),
+                        op2("*", op1("sin", Half->clone()),
+                            op1("sin", Half->clone()))));
+    }
+    // (- 1 (* (cos x) (cos x))) -> (* (sin x) (sin x)).
+    if (isNum(A, 1.0) && isOp(B, "*", 2) && isOp(*B.Args[0], "cos", 1) &&
+        sameExpr(*B.Args[0], *B.Args[1]))
+      Out.push_back(op2("*", op1("sin", B.Args[0]->Args[0]->clone()),
+                        op1("sin", B.Args[0]->Args[0]->clone())));
+    // (- 1 (* (tanh x) (tanh x))) -> 1 / cosh^2(x).
+    if (isNum(A, 1.0) && isOp(B, "*", 2) && isOp(*B.Args[0], "tanh", 1) &&
+        sameExpr(*B.Args[0], *B.Args[1])) {
+      ExprPtr Cosh = op1("cosh", B.Args[0]->Args[0]->clone());
+      Out.push_back(op2("/", Expr::num(1.0),
+                        op2("*", Cosh->clone(), Cosh->clone())));
+    }
+    // (- (cos a) (cos b)) -> -2 sin((a+b)/2) sin((a-b)/2).
+    if (isOp(A, "cos", 1) && isOp(B, "cos", 1)) {
+      ExprPtr S = op2("/", op2("+", A.Args[0]->clone(), B.Args[0]->clone()),
+                      Expr::num(2.0));
+      ExprPtr D = op2("/", op2("-", A.Args[0]->clone(), B.Args[0]->clone()),
+                      Expr::num(2.0));
+      Out.push_back(op2("*", Expr::num(-2.0),
+                        op2("*", op1("sin", std::move(S)),
+                            op1("sin", std::move(D)))));
+    }
+    // (- (sin a) (sin b)) -> 2 cos((a+b)/2) sin((a-b)/2).
+    if (isOp(A, "sin", 1) && isOp(B, "sin", 1)) {
+      ExprPtr S = op2("/", op2("+", A.Args[0]->clone(), B.Args[0]->clone()),
+                      Expr::num(2.0));
+      ExprPtr D = op2("/", op2("-", A.Args[0]->clone(), B.Args[0]->clone()),
+                      Expr::num(2.0));
+      Out.push_back(op2("*", Expr::num(2.0),
+                        op2("*", op1("cos", std::move(S)),
+                            op1("sin", std::move(D)))));
+    }
+    // (- (tan a) (tan b)) -> sin(a-b) / (cos a cos b).
+    if (isOp(A, "tan", 1) && isOp(B, "tan", 1))
+      Out.push_back(
+          op2("/",
+              op1("sin", op2("-", A.Args[0]->clone(), B.Args[0]->clone())),
+              op2("*", op1("cos", A.Args[0]->clone()),
+                  op1("cos", B.Args[0]->clone()))));
+    // (- (atan a) (atan b)) -> atan((a-b) / (1 + a b)).
+    if (isOp(A, "atan", 1) && isOp(B, "atan", 1))
+      Out.push_back(op1(
+          "atan",
+          op2("/", op2("-", A.Args[0]->clone(), B.Args[0]->clone()),
+              op2("+", Expr::num(1.0),
+                  op2("*", A.Args[0]->clone(), B.Args[0]->clone())))));
+    // (- (/ 1 a) (/ 1 b)) -> (/ (- b a) (* a b)).
+    if (isOp(A, "/", 2) && isNum(*A.Args[0], 1.0) && isOp(B, "/", 2) &&
+        isNum(*B.Args[0], 1.0))
+      Out.push_back(op2("/",
+                        op2("-", B.Args[1]->clone(), A.Args[1]->clone()),
+                        op2("*", A.Args[1]->clone(), B.Args[1]->clone())));
+    // Generic fraction difference: (- (/ a b) (/ c d)).
+    if (isOp(A, "/", 2) && isOp(B, "/", 2))
+      Out.push_back(
+          op2("/",
+              op2("-", op2("*", A.Args[0]->clone(), B.Args[1]->clone()),
+                  op2("*", B.Args[0]->clone(), A.Args[1]->clone())),
+              op2("*", A.Args[1]->clone(), B.Args[1]->clone())));
+  }
+
+  // (log (+ 1 x)) / (log (+ x 1)) -> (log1p x).
+  if (isOp(E, "log", 1) && isOp(*E.Args[0], "+", 2)) {
+    const Expr &Sum = *E.Args[0];
+    if (isNum(*Sum.Args[0], 1.0))
+      Out.push_back(op1("log1p", Sum.Args[1]->clone()));
+    if (isNum(*Sum.Args[1], 1.0))
+      Out.push_back(op1("log1p", Sum.Args[0]->clone()));
+  }
+  // (log (/ a b)) -> (- (log a) (log b)) [helps when a/b ~ 1 is exact].
+  // (sqrt (+ (* x x) (* y y))) -> (hypot x y).
+  if (isOp(E, "sqrt", 1) && isOp(*E.Args[0], "+", 2)) {
+    const Expr &Sum = *E.Args[0];
+    if (isOp(*Sum.Args[0], "*", 2) && isOp(*Sum.Args[1], "*", 2) &&
+        sameExpr(*Sum.Args[0]->Args[0], *Sum.Args[0]->Args[1]) &&
+        sameExpr(*Sum.Args[1]->Args[0], *Sum.Args[1]->Args[1]))
+      Out.push_back(op2("hypot", Sum.Args[0]->Args[0]->clone(),
+                        Sum.Args[1]->Args[0]->clone()));
+  }
+  // (pow (+ 1 t) n) -> (exp (* n (log1p t))).
+  if (isOp(E, "pow", 2) && isOp(*E.Args[0], "+", 2)) {
+    const Expr &Base = *E.Args[0];
+    const Expr *T = nullptr;
+    if (isNum(*Base.Args[0], 1.0))
+      T = Base.Args[1].get();
+    else if (isNum(*Base.Args[1], 1.0))
+      T = Base.Args[0].get();
+    if (T)
+      Out.push_back(op1("exp", op2("*", E.Args[1]->clone(),
+                                   op1("log1p", T->clone()))));
+  }
+  // (/ (- 1 (cos x)) (sin x)) -> (/ (sin x) (+ 1 (cos x))).
+  if (isOp(E, "/", 2) && isOp(*E.Args[0], "-", 2) &&
+      isNum(*E.Args[0]->Args[0], 1.0) && isOp(*E.Args[0]->Args[1], "cos", 1)
+      && isOp(*E.Args[1], "sin", 1) &&
+      sameExpr(*E.Args[0]->Args[1]->Args[0], *E.Args[1]->Args[0]))
+    Out.push_back(op2("/", E.Args[1]->clone(),
+                      op2("+", Expr::num(1.0), E.Args[0]->Args[1]->clone())));
+  // (/ (- (exp x) 1) x) -> (/ (expm1 x) x) is covered by the expm1 rule
+  // recursing into the numerator.
+}
+
+/// Applies F to every subexpression position, collecting whole-tree
+/// variants with that position replaced by each rewrite.
+void collectRewrites(const Expr &Root, std::vector<ExprPtr> &Out) {
+  // Recursive walker that rebuilds the root with one position replaced.
+  std::function<void(const Expr &, const std::function<ExprPtr(ExprPtr)> &)>
+      Walk = [&](const Expr &E,
+                 const std::function<ExprPtr(ExprPtr)> &Rebuild) {
+        std::vector<ExprPtr> Local;
+        nodeRewrites(E, Local);
+        for (ExprPtr &Candidate : Local)
+          Out.push_back(Rebuild(std::move(Candidate)));
+        // Recurse into operator/if arguments (lets and whiles are kept
+        // opaque: Herbgrind's extracted fragments never contain them).
+        if (E.K != Expr::Kind::Op && E.K != Expr::Kind::If)
+          return;
+        for (size_t I = 0; I < E.Args.size(); ++I) {
+          auto RebuildChild = [&, I](ExprPtr NewChild) {
+            ExprPtr Copy = E.clone();
+            Copy->Args[I] = std::move(NewChild);
+            return Rebuild(std::move(Copy));
+          };
+          Walk(*E.Args[I], RebuildChild);
+        }
+      };
+  Walk(Root, [](ExprPtr E) { return E; });
+}
+
+} // namespace
+
+std::vector<ExprPtr> improve::rewriteCandidates(const Expr &E) {
+  std::vector<ExprPtr> Out;
+  collectRewrites(E, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The search
+//===----------------------------------------------------------------------===//
+
+ImproveResult improve::improveExpr(const Expr &E,
+                                   const std::vector<std::string> &Params,
+                                   const std::vector<SampleSpec> &Specs,
+                                   const ImproveConfig &Cfg) {
+  Rng R(Cfg.Seed);
+  std::vector<fpcore::DoubleEnv> Points =
+      samplePoints(Params, Specs, Cfg.SampleCount, R);
+
+  ImproveResult Result;
+  Result.ErrorBefore = meanErrorBits(E, Points, Cfg.PrecBits);
+  Result.HadSignificantError = Result.ErrorBefore > Cfg.SignificantErrorBits;
+
+  ExprPtr Best = E.clone();
+  double BestErr = Result.ErrorBefore;
+
+  for (int Round = 0; Round < Cfg.MaxRounds; ++Round) {
+    std::vector<ExprPtr> Candidates = rewriteCandidates(*Best);
+    // Regime splitting: for each variable, try switching between the
+    // original and each candidate on the variable's sign (the paper's
+    // plotter fix has exactly this shape).
+    size_t PlainCount = Candidates.size();
+    for (size_t I = 0; I < PlainCount; ++I) {
+      for (const std::string &P : Params) {
+        std::vector<ExprPtr> IfArgs;
+        IfArgs.push_back(op2("<=", Expr::var(P), Expr::num(0.0)));
+        auto If = std::make_unique<Expr>();
+        If->K = Expr::Kind::If;
+        If->Args.push_back(std::move(IfArgs[0]));
+        If->Args.push_back(Best->clone());
+        If->Args.push_back(Candidates[I]->clone());
+        Candidates.push_back(std::move(If));
+      }
+    }
+
+    bool ImprovedThisRound = false;
+    for (ExprPtr &Candidate : Candidates) {
+      double Err = meanErrorBits(*Candidate, Points, Cfg.PrecBits);
+      if (Err < BestErr - 1e-9) {
+        BestErr = Err;
+        Best = std::move(Candidate);
+        ImprovedThisRound = true;
+      }
+    }
+    if (!ImprovedThisRound)
+      break;
+  }
+
+  Result.ErrorAfter = BestErr;
+  Result.Improved =
+      Result.ErrorBefore - Result.ErrorAfter >= Cfg.MinImprovementBits;
+  Result.Best = std::move(Best);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Bridging from Herbgrind records
+//===----------------------------------------------------------------------===//
+
+ExprPtr improve::fromSymExpr(const SymExpr &S) {
+  switch (S.Kind) {
+  case SymExpr::SEKind::Var:
+    return Expr::var(SymExpr::varName(S.VarIdx));
+  case SymExpr::SEKind::Const:
+    return Expr::num(S.ConstVal);
+  case SymExpr::SEKind::Op:
+    break;
+  }
+  // Float-to-float casts are the identity over the reals.
+  if (S.Op == Opcode::F64toF32 || S.Op == Opcode::F32toF64)
+    return fromSymExpr(*S.Kids[0]);
+  const OpInfo &Info = opInfo(S.Op);
+  assert(Info.FPCoreName && "symbolic expression with unprintable op");
+  std::vector<ExprPtr> Args;
+  for (const auto &Kid : S.Kids)
+    Args.push_back(fromSymExpr(*Kid));
+  return Expr::op(Info.FPCoreName, std::move(Args));
+}
+
+std::vector<SampleSpec>
+improve::specsFromCharacteristics(const InputCharacteristics &Chars,
+                                  uint32_t NumVars, RangeMode Mode) {
+  std::vector<SampleSpec> Specs;
+  for (uint32_t I = 0; I < NumVars; ++I) {
+    if (Mode == RangeMode::Off || I >= Chars.Vars.size() ||
+        !Chars.Vars[I].HasRange) {
+      Specs.push_back(SampleSpec::wholeLine());
+      continue;
+    }
+    const VarSummary &V = Chars.Vars[I];
+    if (Mode == RangeMode::Single) {
+      Specs.push_back(SampleSpec::interval(V.Lo, V.Hi));
+      continue;
+    }
+    SampleSpec S;
+    if (V.HasNeg)
+      S.Intervals.push_back({V.NegLo, V.NegHi});
+    if (V.HasPos)
+      S.Intervals.push_back({V.PosLo, V.PosHi});
+    if (V.SawZero || S.Intervals.empty())
+      S.Intervals.push_back({0.0, 0.0});
+    Specs.push_back(std::move(S));
+  }
+  return Specs;
+}

@@ -1,0 +1,102 @@
+//===- improve/Improve.h - The mini-Herbie expression improver --*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact reimplementation of the role Herbie plays in the paper's
+/// evaluation (Section 8.1): given an expression and input ranges, sample
+/// points, measure mean bits of rounding error against the BigFloat ground
+/// truth, and search a database of accuracy-improving rewrites (including
+/// the paper's flagship ones: rationalizing sqrt subtractions, expm1/log1p,
+/// trigonometric product forms) plus sign-based regime splitting. It is
+/// used both as the Section 8.1 "oracle" (improving whole benchmarks
+/// extracted from source) and as the judge of Herbgrind's candidate root
+/// causes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IMPROVE_IMPROVE_H
+#define HERBGRIND_IMPROVE_IMPROVE_H
+
+#include "fpcore/Eval.h"
+#include "fpcore/FPCore.h"
+#include "support/Rng.h"
+#include "trace/SymExpr.h"
+
+namespace herbgrind {
+
+struct InputCharacteristics;
+enum class RangeMode : uint8_t;
+
+namespace improve {
+
+/// Per-variable sampling specification: one or more intervals (sign-split
+/// characteristics give two).
+struct SampleSpec {
+  std::vector<std::pair<double, double>> Intervals;
+
+  static SampleSpec interval(double Lo, double Hi) {
+    SampleSpec S;
+    S.Intervals.push_back({Lo, Hi});
+    return S;
+  }
+  static SampleSpec wholeLine() { return interval(-1e9, 1e9); }
+};
+
+struct ImproveConfig {
+  int SampleCount = 256;
+  size_t PrecBits = 256;
+  uint64_t Seed = 0xbeef;
+  /// Minimum mean-bits improvement to count as "improvable".
+  double MinImprovementBits = 1.0;
+  /// Error (bits) above which an expression "has significant error"
+  /// (the paper's > 5 bits criterion).
+  double SignificantErrorBits = 5.0;
+  int MaxRounds = 3;
+};
+
+/// Samples points for the given variables (ordinal-uniform within each
+/// interval, like Herbie's sampler).
+std::vector<fpcore::DoubleEnv>
+samplePoints(const std::vector<std::string> &Params,
+             const std::vector<SampleSpec> &Specs, int Count, Rng &R);
+
+/// Mean bits of error of E over the sample points.
+double meanErrorBits(const fpcore::Expr &E,
+                     const std::vector<fpcore::DoubleEnv> &Points,
+                     size_t PrecBits);
+
+struct ImproveResult {
+  fpcore::ExprPtr Best;       ///< The most accurate version found.
+  double ErrorBefore = 0.0;   ///< Mean bits, original.
+  double ErrorAfter = 0.0;    ///< Mean bits, best.
+  bool HadSignificantError = false;
+  bool Improved = false;      ///< Improvement >= MinImprovementBits.
+};
+
+/// The improver: rewrites + regime splitting, greedy over MaxRounds.
+ImproveResult improveExpr(const fpcore::Expr &E,
+                          const std::vector<std::string> &Params,
+                          const std::vector<SampleSpec> &Specs,
+                          const ImproveConfig &Cfg = {});
+
+/// All single-step rewrite candidates of E (exposed for tests).
+std::vector<fpcore::ExprPtr> rewriteCandidates(const fpcore::Expr &E);
+
+/// Converts a Herbgrind symbolic expression to an FPCore expression
+/// (float-to-float casts become the identity).
+fpcore::ExprPtr fromSymExpr(const SymExpr &S);
+
+/// Builds sampling specs from an operation record's input characteristics
+/// under the given range mode (RangeMode::Off ignores the ranges, which is
+/// what makes the Fig 5b ablation bite).
+std::vector<SampleSpec>
+specsFromCharacteristics(const InputCharacteristics &Chars, uint32_t NumVars,
+                         RangeMode Mode);
+
+} // namespace improve
+} // namespace herbgrind
+
+#endif // HERBGRIND_IMPROVE_IMPROVE_H

@@ -1,0 +1,199 @@
+//===- ir/Interpreter.cpp - Uninstrumented reference interpreter ----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <cassert>
+
+using namespace herbgrind;
+
+/// Serializes a value's bytes into untyped storage (little-endian, exactly
+/// what the union already holds on the platforms we target).
+static void valueToBytes(const Value &V, uint8_t *Out) {
+  std::memcpy(Out, V.Bytes, V.byteSize());
+}
+
+static Value valueFromBytes(ValueType Ty, const uint8_t *In) {
+  Value V;
+  V.Ty = Ty;
+  switch (Ty) {
+  case ValueType::F32:
+    std::memcpy(V.Bytes, In, 4);
+    break;
+  case ValueType::F64:
+  case ValueType::I64:
+    std::memcpy(V.Bytes, In, 8);
+    break;
+  case ValueType::V2F64:
+  case ValueType::V4F32:
+    std::memcpy(V.Bytes, In, 16);
+    break;
+  case ValueType::Unknown:
+  case ValueType::Conflict:
+    assert(false && "untyped memory access");
+  }
+  return V;
+}
+
+Value herbgrind::evalOpConcrete(Opcode Op, const Value *Args,
+                                unsigned NumArgs) {
+  const OpInfo &Info = opInfo(Op);
+  if (!Info.IsSIMD)
+    return evalScalarOp(Op, Args, NumArgs);
+
+  switch (Op) {
+  case Opcode::XorV128:
+  case Opcode::AndV128: {
+    Value R = Args[0];
+    for (unsigned B = 0; B < 16; ++B) {
+      if (Op == Opcode::XorV128)
+        R.Bytes[B] ^= Args[1].Bytes[B];
+      else
+        R.Bytes[B] &= Args[1].Bytes[B];
+    }
+    return R;
+  }
+  case Opcode::ExtractLaneF64: {
+    unsigned Lane = static_cast<unsigned>(Args[1].asI64());
+    assert(Lane < 2 && "lane out of range");
+    return Value::ofF64(Args[0].V2F64[Lane]);
+  }
+  case Opcode::ExtractLaneF32: {
+    unsigned Lane = static_cast<unsigned>(Args[1].asI64());
+    assert(Lane < 4 && "lane out of range");
+    return Value::ofF32(Args[0].V4F32[Lane]);
+  }
+  case Opcode::BuildV2F64:
+    return Value::ofV2F64(Args[0].asF64(), Args[1].asF64());
+  default:
+    break;
+  }
+
+  // Lane-wise SIMD arithmetic.
+  Opcode Scalar = simdScalarOp(Op);
+  Value R;
+  R.Ty = Info.ResultTy;
+  unsigned Lanes = Args[0].laneCount();
+  for (unsigned L = 0; L < Lanes; ++L) {
+    Value LaneArgs[2];
+    for (unsigned I = 0; I < NumArgs; ++I) {
+      if (Args[I].Ty == ValueType::V2F64)
+        LaneArgs[I] = Value::ofF64(Args[I].V2F64[L]);
+      else
+        LaneArgs[I] = Value::ofF32(Args[I].V4F32[L]);
+    }
+    Value LaneResult = evalScalarOp(Scalar, LaneArgs, NumArgs);
+    if (R.Ty == ValueType::V2F64)
+      R.V2F64[L] = LaneResult.asF64();
+    else
+      R.V4F32[L] = LaneResult.asF32();
+  }
+  return R;
+}
+
+bool herbgrind::stepConcrete(const Program &P, MachineState &State) {
+  const Statement &S = P.stmt(State.PC);
+  ++State.Steps;
+  switch (S.Kind) {
+  case StmtKind::Const:
+    State.Temps[S.Dst] = S.Literal;
+    break;
+  case StmtKind::Op: {
+    Value Args[3];
+    for (unsigned I = 0; I < S.NumArgs; ++I)
+      Args[I] = State.Temps[S.Args[I]];
+    State.Temps[S.Dst] = evalOpConcrete(S.Op, Args, S.NumArgs);
+    break;
+  }
+  case StmtKind::Copy:
+    State.Temps[S.Dst] = State.Temps[S.Args[0]];
+    break;
+  case StmtKind::Input:
+    assert(S.InputIndex < State.Inputs.size() && "missing program input");
+    State.Temps[S.Dst] = Value::ofF64(State.Inputs[S.InputIndex]);
+    break;
+  case StmtKind::Get: {
+    assert(S.Disp >= 0 && "negative thread-state offset");
+    Value V;
+    V.Ty = S.AccessTy;
+    unsigned Size = V.byteSize();
+    assert(static_cast<size_t>(S.Disp) + Size <= State.ThreadState.size() &&
+           "thread-state access out of range");
+    State.Temps[S.Dst] =
+        valueFromBytes(S.AccessTy, State.ThreadState.data() + S.Disp);
+    break;
+  }
+  case StmtKind::Put: {
+    const Value &V = State.Temps[S.Args[0]];
+    assert(S.Disp >= 0 &&
+           static_cast<size_t>(S.Disp) + V.byteSize() <=
+               State.ThreadState.size() &&
+           "thread-state access out of range");
+    valueToBytes(V, State.ThreadState.data() + S.Disp);
+    break;
+  }
+  case StmtKind::Load: {
+    uint64_t Addr = static_cast<uint64_t>(State.Temps[S.Args[0]].asI64()) +
+                    static_cast<uint64_t>(S.Disp);
+    Value V;
+    V.Ty = S.AccessTy;
+    uint8_t Buf[16];
+    State.Memory.read(Addr, Buf, V.byteSize());
+    State.Temps[S.Dst] = valueFromBytes(S.AccessTy, Buf);
+    break;
+  }
+  case StmtKind::Store: {
+    uint64_t Addr = static_cast<uint64_t>(State.Temps[S.Args[0]].asI64()) +
+                    static_cast<uint64_t>(S.Disp);
+    const Value &V = State.Temps[S.Args[1]];
+    uint8_t Buf[16];
+    valueToBytes(V, Buf);
+    State.Memory.write(Addr, Buf, V.byteSize());
+    break;
+  }
+  case StmtKind::Branch:
+    if (State.Temps[S.Args[0]].asI64() != 0) {
+      State.PC = S.Target;
+      return true;
+    }
+    break;
+  case StmtKind::Jump:
+    State.PC = S.Target;
+    return true;
+  case StmtKind::Call:
+    State.CallStack.push_back(State.PC + 1);
+    State.PC = S.Target;
+    return true;
+  case StmtKind::Ret:
+    assert(!State.CallStack.empty() && "ret with empty call stack");
+    State.PC = State.CallStack.back();
+    State.CallStack.pop_back();
+    return true;
+  case StmtKind::Out:
+    State.Outputs.push_back(State.Temps[S.Args[0]]);
+    break;
+  case StmtKind::Halt:
+    return false;
+  }
+  ++State.PC;
+  return State.PC < P.size();
+}
+
+RunResult herbgrind::interpret(const Program &P,
+                               const std::vector<double> &Inputs,
+                               uint64_t MaxSteps) {
+  MachineState State(P, Inputs);
+  RunResult Result;
+  while (stepConcrete(P, State)) {
+    if (State.Steps >= MaxSteps) {
+      Result.HitStepLimit = true;
+      break;
+    }
+  }
+  Result.Outputs = std::move(State.Outputs);
+  Result.Steps = State.Steps;
+  return Result;
+}

@@ -1,0 +1,306 @@
+//===- ir/LibmLowering.cpp - Inline libm internals into IR ----------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The inline kernels below follow the classic fdlibm/musl shapes: the
+// round-to-int trick through the magic constant 1.5*2^52 = 6755399441055744
+// (the 6.755399e15 the paper observes leaking into expressions), Cody-Waite
+// split-constant argument reduction, exponent-field surgery through integer
+// bit operations, and Horner polynomial kernels. Accuracy is 1-2 ulps for
+// arguments of moderate magnitude, like a real libm fast path; the point is
+// to present realistic instruction soup to the analysis when wrapping is
+// disabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LibmLowering.h"
+
+#include <cassert>
+#include <initializer_list>
+
+using namespace herbgrind;
+
+namespace {
+
+using Temp = ProgramBuilder::Temp;
+
+/// The round-to-nearest-integer bit trick constant: 1.5 * 2^52.
+const double MagicRound = 6755399441055744.0;
+const double InvLn2 = 1.4426950408889634;
+const double Ln2Hi = 6.93147180369123816490e-01;
+const double Ln2Lo = 1.90821492927058770002e-10;
+const double TwoOverPi = 6.36619772367581382433e-01;
+const double PiO2Hi = 1.57079632673412561417e+00;
+const double PiO2Mid = 6.07710050650619224932e-11;
+const double PiO2Lo = 2.02226624879595063154e-21;
+const int64_t BitsOfSqrtHalf = 0x3FE6A09E667F3BCDLL;
+const int64_t Mask52 = (1LL << 52) - 1;
+
+/// Emits the machinery for one lowered call; shares small helpers.
+class Lowerer {
+public:
+  Lowerer(ProgramBuilder &B) : B(B) {}
+
+  Temp f(double C) { return B.constF64(C); }
+  Temp i(int64_t C) { return B.constI64(C); }
+  Temp add(Temp A, Temp C) { return B.op(Opcode::AddF64, A, C); }
+  Temp sub(Temp A, Temp C) { return B.op(Opcode::SubF64, A, C); }
+  Temp mul(Temp A, Temp C) { return B.op(Opcode::MulF64, A, C); }
+  Temp div(Temp A, Temp C) { return B.op(Opcode::DivF64, A, C); }
+  Temp neg(Temp A) { return B.op(Opcode::NegF64, A); }
+
+  /// k = round-to-nearest(X * Scale) as a double, via the magic-add trick.
+  Temp roundScaled(Temp X, double Scale) {
+    Temp Magic = f(MagicRound);
+    Temp T = add(mul(X, f(Scale)), Magic);
+    return sub(T, Magic);
+  }
+
+  /// Horner evaluation: Coeffs are highest-degree first; result is
+  /// Coeffs[0]*X^(n-1) + ... + Coeffs[n-1].
+  Temp horner(Temp X, std::initializer_list<double> Coeffs) {
+    auto It = Coeffs.begin();
+    Temp Acc = f(*It++);
+    for (; It != Coeffs.end(); ++It)
+      Acc = add(mul(Acc, X), f(*It));
+    return Acc;
+  }
+
+  /// exp(X) for moderate |X|: reduction + degree-14 kernel + 2^k scaling.
+  Temp expCore(Temp X) {
+    Temp K = roundScaled(X, InvLn2);
+    Temp Hi = sub(X, mul(K, f(Ln2Hi)));
+    Temp R = sub(Hi, mul(K, f(Ln2Lo)));
+    Temp P = horner(R, {1.0 / 87178291200.0, 1.0 / 6227020800.0,
+                        1.0 / 479001600.0, 1.0 / 39916800.0, 1.0 / 3628800.0,
+                        1.0 / 362880.0, 1.0 / 40320.0, 1.0 / 5040.0,
+                        1.0 / 720.0, 1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5,
+                        1.0, 1.0});
+    // Scale by 2^k assembled directly in the exponent field.
+    Temp KI = B.op(Opcode::F64toI64, K);
+    Temp Bits = B.op(Opcode::ShlI64, B.op(Opcode::AddI64, KI, i(1023)),
+                     i(52));
+    Temp TwoK = B.op(Opcode::I64BitsToF64, Bits);
+    return mul(P, TwoK);
+  }
+
+  /// log(X) for normal positive X: exponent surgery + atanh kernel.
+  Temp logCore(Temp X) {
+    Temp Bits = B.op(Opcode::F64BitsToI64, X);
+    Temp Adj = B.op(Opcode::SubI64, Bits, i(BitsOfSqrtHalf));
+    Temp E = B.op(Opcode::SarI64, Adj, i(52));
+    Temp MBits = B.op(Opcode::AddI64, B.op(Opcode::AndI64, Adj, i(Mask52)),
+                      i(BitsOfSqrtHalf));
+    Temp M = B.op(Opcode::I64BitsToF64, MBits); // in [sqrt(1/2), sqrt(2))
+    Temp F = sub(M, f(1.0));
+    Temp S = div(F, add(f(2.0), F));
+    Temp Z = mul(S, S);
+    // ln(M) = S * (2 + z*(2/3 + z*(2/5 + ...))).
+    Temp Poly = horner(Z, {2.0 / 21.0, 2.0 / 19.0, 2.0 / 17.0, 2.0 / 15.0,
+                           2.0 / 13.0, 2.0 / 11.0, 2.0 / 9.0, 2.0 / 7.0,
+                           2.0 / 5.0, 2.0 / 3.0, 2.0});
+    Temp LnM = mul(S, Poly);
+    Temp EF = B.op(Opcode::I64toF64, E);
+    return add(mul(EF, f(Ln2Hi)), add(LnM, mul(EF, f(Ln2Lo))));
+  }
+
+  struct SinCos {
+    Temp SinR, CosR, Quadrant;
+  };
+
+  /// Cody-Waite reduction (valid for moderate |X|) plus both kernels.
+  SinCos sinCosCore(Temp X) {
+    Temp K = roundScaled(X, TwoOverPi);
+    Temp R0 = sub(X, mul(K, f(PiO2Hi)));
+    Temp R1 = sub(R0, mul(K, f(PiO2Mid)));
+    Temp R = sub(R1, mul(K, f(PiO2Lo)));
+    Temp R2 = mul(R, R);
+    // sin(r) = r + r^3 * P(r^2).
+    Temp SinPoly =
+        horner(R2, {1.0 / 1307674368000.0, -1.0 / 6227020800.0,
+                    1.0 / 39916800.0, -1.0 / 362880.0, 1.0 / 5040.0,
+                    -1.0 / 120.0, 1.0 / 6.0});
+    Temp SinR = sub(mul(R, f(1.0)),
+                    mul(mul(R, R2), SinPoly)); // r - r*r2*P (P has +1/6 sign)
+    // Fix sign convention: sin(r) = r - r^3/6 + r^5/120 - ...; our P(r^2)
+    // above alternates starting at +1/6 for the r^3 term, so subtracting
+    // r*r2*P yields the right series.
+    Temp CosPoly = horner(
+        R2, {1.0 / 87178291200.0, -1.0 / 479001600.0, 1.0 / 3628800.0,
+             -1.0 / 40320.0, 1.0 / 720.0, -1.0 / 24.0, 0.5});
+    Temp CosR = sub(f(1.0), mul(R2, CosPoly));
+    Temp KI = B.op(Opcode::F64toI64, K);
+    Temp Q = B.op(Opcode::AndI64, KI, i(3));
+    return {SinR, CosR, Q};
+  }
+
+  /// Four-way quadrant dispatch writing into Dst.
+  void selectQuadrant(Temp Q, Temp Dst, Temp V0, Temp V1, Temp V2, Temp V3) {
+    ProgramBuilder::Label L1 = B.newLabel();
+    ProgramBuilder::Label L2 = B.newLabel();
+    ProgramBuilder::Label L3 = B.newLabel();
+    ProgramBuilder::Label End = B.newLabel();
+    B.branchIf(B.op(Opcode::CmpEQI64, Q, i(1)), L1);
+    B.branchIf(B.op(Opcode::CmpEQI64, Q, i(2)), L2);
+    B.branchIf(B.op(Opcode::CmpEQI64, Q, i(3)), L3);
+    B.copyTo(Dst, V0);
+    B.jump(End);
+    B.bind(L1);
+    B.copyTo(Dst, V1);
+    B.jump(End);
+    B.bind(L2);
+    B.copyTo(Dst, V2);
+    B.jump(End);
+    B.bind(L3);
+    B.copyTo(Dst, V3);
+    B.bind(End);
+  }
+
+  ProgramBuilder &B;
+};
+
+} // namespace
+
+bool herbgrind::canLowerLibCall(Opcode Op) {
+  switch (Op) {
+  case Opcode::ExpF64:
+  case Opcode::Exp2F64:
+  case Opcode::Expm1F64:
+  case Opcode::LogF64:
+  case Opcode::Log2F64:
+  case Opcode::Log10F64:
+  case Opcode::Log1pF64:
+  case Opcode::SinF64:
+  case Opcode::CosF64:
+  case Opcode::TanF64:
+  case Opcode::SinhF64:
+  case Opcode::CoshF64:
+  case Opcode::TanhF64:
+  case Opcode::PowF64:
+  case Opcode::CbrtF64:
+  case Opcode::HypotF64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Emits the inline implementation of one library call, leaving the result
+/// in S.Dst.
+static void lowerOneCall(ProgramBuilder &B, const Statement &S) {
+  Lowerer L(B);
+  Temp X = S.Args[0];
+  Temp Result = 0;
+  switch (S.Op) {
+  case Opcode::ExpF64:
+    Result = L.expCore(X);
+    break;
+  case Opcode::Exp2F64:
+    Result = L.expCore(L.mul(X, L.f(6.93147180559945286227e-01)));
+    break;
+  case Opcode::Expm1F64:
+    Result = L.sub(L.expCore(X), L.f(1.0));
+    break;
+  case Opcode::LogF64:
+    Result = L.logCore(X);
+    break;
+  case Opcode::Log2F64:
+    Result = L.mul(L.logCore(X), L.f(InvLn2));
+    break;
+  case Opcode::Log10F64:
+    Result = L.mul(L.logCore(X), L.f(4.34294481903251816668e-01));
+    break;
+  case Opcode::Log1pF64:
+    Result = L.logCore(L.add(L.f(1.0), X));
+    break;
+  case Opcode::SinF64: {
+    Lowerer::SinCos SC = L.sinCosCore(X);
+    Result = B.newTemp();
+    L.selectQuadrant(SC.Quadrant, Result, SC.SinR, SC.CosR, L.neg(SC.SinR),
+                     L.neg(SC.CosR));
+    break;
+  }
+  case Opcode::CosF64: {
+    Lowerer::SinCos SC = L.sinCosCore(X);
+    Result = B.newTemp();
+    L.selectQuadrant(SC.Quadrant, Result, SC.CosR, L.neg(SC.SinR),
+                     L.neg(SC.CosR), SC.SinR);
+    break;
+  }
+  case Opcode::TanF64: {
+    Lowerer::SinCos SC = L.sinCosCore(X);
+    Result = B.newTemp();
+    Temp TanR = L.div(SC.SinR, SC.CosR);
+    Temp NegCot = L.neg(L.div(SC.CosR, SC.SinR));
+    L.selectQuadrant(SC.Quadrant, Result, TanR, NegCot, TanR, NegCot);
+    break;
+  }
+  case Opcode::SinhF64: {
+    Temp E = L.expCore(X);
+    Result = L.mul(L.sub(E, L.div(L.f(1.0), E)), L.f(0.5));
+    break;
+  }
+  case Opcode::CoshF64: {
+    Temp E = L.expCore(X);
+    Result = L.mul(L.add(E, L.div(L.f(1.0), E)), L.f(0.5));
+    break;
+  }
+  case Opcode::TanhF64: {
+    Temp E2 = L.expCore(L.mul(X, L.f(2.0)));
+    Result = L.div(L.sub(E2, L.f(1.0)), L.add(E2, L.f(1.0)));
+    break;
+  }
+  case Opcode::PowF64:
+    Result = L.expCore(L.mul(S.Args[1], L.logCore(X)));
+    break;
+  case Opcode::CbrtF64: {
+    Temp Ax = B.op(Opcode::AbsF64, X);
+    Temp T = L.expCore(L.mul(L.logCore(Ax), L.f(1.0 / 3.0)));
+    Result = B.op(Opcode::CopySignF64, T, X);
+    break;
+  }
+  case Opcode::HypotF64: {
+    Temp Y = S.Args[1];
+    Result = B.op(Opcode::SqrtF64, L.add(L.mul(X, X), L.mul(Y, Y)));
+    break;
+  }
+  default:
+    assert(false && "lowerOneCall on an unlowerable opcode");
+  }
+  B.copyTo(S.Dst, Result);
+}
+
+Program herbgrind::lowerLibraryCalls(const Program &P) {
+  ProgramBuilder B;
+  B.reserveTemps(P.numTemps());
+  B.reserveInputs(P.numInputs());
+
+  std::vector<ProgramBuilder::Label> PCLabels;
+  PCLabels.reserve(P.size());
+  for (uint32_t PC = 0; PC < P.size(); ++PC)
+    PCLabels.push_back(B.newLabel());
+
+  for (uint32_t PC = 0; PC < P.size(); ++PC) {
+    B.bind(PCLabels[PC]);
+    const Statement &S = P.stmt(PC);
+    B.setLoc(S.Loc);
+    if (S.Kind == StmtKind::Op && opInfo(S.Op).IsLibCall &&
+        canLowerLibCall(S.Op)) {
+      lowerOneCall(B, S);
+      continue;
+    }
+    switch (S.Kind) {
+    case StmtKind::Branch:
+    case StmtKind::Jump:
+    case StmtKind::Call:
+      B.emitRawControl(S, PCLabels[S.Target]);
+      break;
+    default:
+      B.emitRaw(S);
+      break;
+    }
+  }
+  return B.finish();
+}

@@ -1,0 +1,41 @@
+//===- ir/LibmLowering.h - Inline libm internals into IR --------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The substrate for the Section 8.2 "library wrapping" ablation. With
+/// wrapping ON, the analysis intercepts library-call opcodes (exp, log,
+/// sin, ...) as atomic operations with exact shadow-real semantics. With
+/// wrapping OFF, this pass first rewrites each library call into the kind
+/// of bit-twiddling implementation a real libm contains: Cody-Waite style
+/// argument reduction with rounding-trick magic constants (the paper's
+/// leaked 6.755399e15), exponent-field surgery through integer ops, and
+/// polynomial kernels. The analysis then sees hundreds of primitive ops
+/// per call, mis-measures the "exact" value of precision-specific tricks,
+/// and reports enormous symbolic expressions -- exactly the failure mode
+/// the paper's ablation documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IR_LIBMLOWERING_H
+#define HERBGRIND_IR_LIBMLOWERING_H
+
+#include "ir/Program.h"
+
+namespace herbgrind {
+
+/// True if lowerLibraryCalls knows how to inline this opcode. (asin, acos,
+/// atan, atan2 and fmod stay wrapped even in unwrapped mode; real tools hit
+/// the same limits for functions whose kernels branch heavily.)
+bool canLowerLibCall(Opcode Op);
+
+/// Rewrites every lowerable library-call statement into its inline
+/// implementation; other statements are preserved (temp ids stay valid,
+/// control-flow targets are re-mapped).
+Program lowerLibraryCalls(const Program &P);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_IR_LIBMLOWERING_H

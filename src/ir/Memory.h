@@ -1,0 +1,80 @@
+//===- ir/Memory.h - Untyped byte-addressed machine memory ------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract machine's memory: a sparse, untyped array of bytes (like a
+/// real process address space seen through Valgrind). Client programs store
+/// floats, integers and SIMD vectors here; shadowing is handled separately
+/// (and lazily) by the analysis layer, as in Section 5.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IR_MEMORY_H
+#define HERBGRIND_IR_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace herbgrind {
+
+/// Sparse byte memory backed by 4 KiB pages. Reads of never-written bytes
+/// return zero, like fresh anonymous pages.
+class ByteMemory {
+public:
+  static const uint64_t PageSize = 4096;
+
+  void read(uint64_t Addr, void *Out, unsigned Size) const {
+    uint8_t *Dst = static_cast<uint8_t *>(Out);
+    for (unsigned I = 0; I < Size;) {
+      uint64_t PageIdx = (Addr + I) / PageSize;
+      uint64_t Off = (Addr + I) % PageSize;
+      unsigned Chunk = static_cast<unsigned>(
+          std::min<uint64_t>(Size - I, PageSize - Off));
+      auto It = Pages.find(PageIdx);
+      if (It == Pages.end())
+        std::memset(Dst + I, 0, Chunk);
+      else
+        std::memcpy(Dst + I, It->second->data() + Off, Chunk);
+      I += Chunk;
+    }
+  }
+
+  void write(uint64_t Addr, const void *In, unsigned Size) {
+    const uint8_t *Src = static_cast<const uint8_t *>(In);
+    for (unsigned I = 0; I < Size;) {
+      uint64_t PageIdx = (Addr + I) / PageSize;
+      uint64_t Off = (Addr + I) % PageSize;
+      unsigned Chunk = static_cast<unsigned>(
+          std::min<uint64_t>(Size - I, PageSize - Off));
+      Page &P = pageFor(PageIdx);
+      std::memcpy(P.data() + Off, Src + I, Chunk);
+      I += Chunk;
+    }
+  }
+
+  void clear() { Pages.clear(); }
+
+private:
+  using Page = std::array<uint8_t, PageSize>;
+
+  Page &pageFor(uint64_t PageIdx) {
+    std::unique_ptr<Page> &Slot = Pages[PageIdx];
+    if (!Slot) {
+      Slot = std::make_unique<Page>();
+      Slot->fill(0);
+    }
+    return *Slot;
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_IR_MEMORY_H

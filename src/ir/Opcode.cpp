@@ -1,0 +1,408 @@
+//===- ir/Opcode.cpp - Opcode metadata and scalar evaluation --------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace herbgrind;
+
+const char *herbgrind::valueTypeName(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Unknown:
+    return "unknown";
+  case ValueType::I64:
+    return "i64";
+  case ValueType::F64:
+    return "f64";
+  case ValueType::F32:
+    return "f32";
+  case ValueType::V2F64:
+    return "v2f64";
+  case ValueType::V4F32:
+    return "v4f32";
+  case ValueType::Conflict:
+    return "conflict";
+  }
+  return "?";
+}
+
+std::string Value::str() const {
+  switch (Ty) {
+  case ValueType::I64:
+    return format("%lld:i64", static_cast<long long>(I64));
+  case ValueType::F64:
+    return formatDoubleShortest(F64) + ":f64";
+  case ValueType::F32:
+    return formatDoubleShortest(F32) + ":f32";
+  case ValueType::V2F64:
+    return "{" + formatDoubleShortest(V2F64[0]) + ", " +
+           formatDoubleShortest(V2F64[1]) + "}:v2f64";
+  case ValueType::V4F32:
+    return "{" + formatDoubleShortest(V4F32[0]) + ", " +
+           formatDoubleShortest(V4F32[1]) + ", " +
+           formatDoubleShortest(V4F32[2]) + ", " +
+           formatDoubleShortest(V4F32[3]) + "}:v4f32";
+  case ValueType::Unknown:
+    return "<unknown>";
+  case ValueType::Conflict:
+    return "<conflict>";
+  }
+  return "?";
+}
+
+namespace {
+using VT = ValueType;
+
+struct OpTableEntry {
+  Opcode Op;
+  OpInfo Info;
+};
+} // namespace
+
+// Flags: IsFloatOp, IsLibCall, IsComparison, IsSIMD.
+static const OpTableEntry OpTable[] = {
+    {Opcode::AddF64, {"add.f64", "+", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::SubF64, {"sub.f64", "-", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::MulF64, {"mul.f64", "*", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::DivF64, {"div.f64", "/", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::SqrtF64, {"sqrt.f64", "sqrt", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::NegF64, {"neg.f64", "-", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::AbsF64, {"abs.f64", "fabs", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::MinF64, {"min.f64", "fmin", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::MaxF64, {"max.f64", "fmax", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::FmaF64, {"fma.f64", "fma", 3, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::CopySignF64,
+     {"copysign.f64", "copysign", 2, VT::F64, VT::F64, 1, 0, 0, 0}},
+
+    {Opcode::AddF32, {"add.f32", "+", 2, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::SubF32, {"sub.f32", "-", 2, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::MulF32, {"mul.f32", "*", 2, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::DivF32, {"div.f32", "/", 2, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::SqrtF32, {"sqrt.f32", "sqrt", 1, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::NegF32, {"neg.f32", "-", 1, VT::F32, VT::F32, 1, 0, 0, 0}},
+    {Opcode::AbsF32, {"abs.f32", "fabs", 1, VT::F32, VT::F32, 1, 0, 0, 0}},
+
+    {Opcode::ExpF64, {"exp.f64", "exp", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Exp2F64, {"exp2.f64", "exp2", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Expm1F64,
+     {"expm1.f64", "expm1", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::LogF64, {"log.f64", "log", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Log2F64, {"log2.f64", "log2", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Log10F64,
+     {"log10.f64", "log10", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Log1pF64,
+     {"log1p.f64", "log1p", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::SinF64, {"sin.f64", "sin", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::CosF64, {"cos.f64", "cos", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::TanF64, {"tan.f64", "tan", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::AsinF64, {"asin.f64", "asin", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::AcosF64, {"acos.f64", "acos", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::AtanF64, {"atan.f64", "atan", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::Atan2F64,
+     {"atan2.f64", "atan2", 2, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::SinhF64, {"sinh.f64", "sinh", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::CoshF64, {"cosh.f64", "cosh", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::TanhF64, {"tanh.f64", "tanh", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::PowF64, {"pow.f64", "pow", 2, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::CbrtF64, {"cbrt.f64", "cbrt", 1, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::HypotF64,
+     {"hypot.f64", "hypot", 2, VT::F64, VT::F64, 1, 1, 0, 0}},
+    {Opcode::FmodF64, {"fmod.f64", "fmod", 2, VT::F64, VT::F64, 1, 1, 0, 0}},
+
+    {Opcode::FloorF64,
+     {"floor.f64", "floor", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::CeilF64, {"ceil.f64", "ceil", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::RoundF64,
+     {"round.f64", "round", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+    {Opcode::TruncF64,
+     {"trunc.f64", "trunc", 1, VT::F64, VT::F64, 1, 0, 0, 0}},
+
+    {Opcode::CmpLTF64, {"cmplt.f64", "<", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpLEF64, {"cmple.f64", "<=", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpEQF64, {"cmpeq.f64", "==", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpNEF64, {"cmpne.f64", "!=", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpGTF64, {"cmpgt.f64", ">", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpGEF64, {"cmpge.f64", ">=", 2, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::CmpLTF32, {"cmplt.f32", "<", 2, VT::I64, VT::F32, 0, 0, 1, 0}},
+    {Opcode::CmpEQF32, {"cmpeq.f32", "==", 2, VT::I64, VT::F32, 0, 0, 1, 0}},
+
+    {Opcode::F64toF32,
+     {"cvt.f64.f32", "cast", 1, VT::F32, VT::F64, 1, 0, 0, 0}},
+    {Opcode::F32toF64,
+     {"cvt.f32.f64", "cast", 1, VT::F64, VT::F32, 1, 0, 0, 0}},
+    {Opcode::F64toI64,
+     {"cvt.f64.i64", nullptr, 1, VT::I64, VT::F64, 0, 0, 1, 0}},
+    {Opcode::I64toF64,
+     {"cvt.i64.f64", nullptr, 1, VT::F64, VT::I64, 1, 0, 0, 0}},
+    {Opcode::F64BitsToI64,
+     {"bits.f64.i64", nullptr, 1, VT::I64, VT::F64, 0, 0, 0, 0}},
+    {Opcode::I64BitsToF64,
+     {"bits.i64.f64", nullptr, 1, VT::F64, VT::I64, 1, 0, 0, 0}},
+
+    {Opcode::AddI64, {"add.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::SubI64, {"sub.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::MulI64, {"mul.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::AndI64, {"and.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::OrI64, {"or.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::XorI64, {"xor.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::ShlI64, {"shl.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::ShrI64, {"shr.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::SarI64, {"sar.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::NotI64, {"not.i64", nullptr, 1, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::NegI64, {"neg.i64", nullptr, 1, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::CmpLTI64,
+     {"cmplt.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::CmpLEI64,
+     {"cmple.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::CmpEQI64,
+     {"cmpeq.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+    {Opcode::CmpNEI64,
+     {"cmpne.i64", nullptr, 2, VT::I64, VT::I64, 0, 0, 0, 0}},
+
+    {Opcode::AddV2F64, {"add.v2f64", "+", 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::SubV2F64, {"sub.v2f64", "-", 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::MulV2F64, {"mul.v2f64", "*", 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::DivV2F64, {"div.v2f64", "/", 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::SqrtV2F64,
+     {"sqrt.v2f64", "sqrt", 1, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::AddV4F32, {"add.v4f32", "+", 2, VT::V4F32, VT::V4F32, 1, 0, 0, 1}},
+    {Opcode::SubV4F32, {"sub.v4f32", "-", 2, VT::V4F32, VT::V4F32, 1, 0, 0, 1}},
+    {Opcode::MulV4F32, {"mul.v4f32", "*", 2, VT::V4F32, VT::V4F32, 1, 0, 0, 1}},
+    {Opcode::DivV4F32, {"div.v4f32", "/", 2, VT::V4F32, VT::V4F32, 1, 0, 0, 1}},
+
+    {Opcode::XorV128, {"xor.v128", nullptr, 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::AndV128, {"and.v128", nullptr, 2, VT::V2F64, VT::V2F64, 1, 0, 0, 1}},
+
+    {Opcode::ExtractLaneF64,
+     {"extract.f64", nullptr, 2, VT::F64, VT::V2F64, 1, 0, 0, 1}},
+    {Opcode::ExtractLaneF32,
+     {"extract.f32", nullptr, 2, VT::F32, VT::V4F32, 1, 0, 0, 1}},
+    {Opcode::BuildV2F64,
+     {"build.v2f64", nullptr, 2, VT::V2F64, VT::F64, 1, 0, 0, 1}},
+};
+
+const OpInfo &herbgrind::opInfo(Opcode Op) {
+  static OpInfo Table[static_cast<unsigned>(Opcode::NumOpcodes)];
+  static bool Built = [] {
+    for (const OpTableEntry &E : OpTable)
+      Table[static_cast<unsigned>(E.Op)] = E.Info;
+    return true;
+  }();
+  (void)Built;
+  const OpInfo &Info = Table[static_cast<unsigned>(Op)];
+  assert(Info.Name && "missing opcode table entry");
+  return Info;
+}
+
+Opcode herbgrind::simdScalarOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::AddV2F64:
+    return Opcode::AddF64;
+  case Opcode::SubV2F64:
+    return Opcode::SubF64;
+  case Opcode::MulV2F64:
+    return Opcode::MulF64;
+  case Opcode::DivV2F64:
+    return Opcode::DivF64;
+  case Opcode::SqrtV2F64:
+    return Opcode::SqrtF64;
+  case Opcode::AddV4F32:
+    return Opcode::AddF32;
+  case Opcode::SubV4F32:
+    return Opcode::SubF32;
+  case Opcode::MulV4F32:
+    return Opcode::MulF32;
+  case Opcode::DivV4F32:
+    return Opcode::DivF32;
+  default:
+    assert(false && "not a lane-wise SIMD op");
+    return Op;
+  }
+}
+
+Value herbgrind::evalScalarOp(Opcode Op, const Value *Args, unsigned NumArgs) {
+  assert(NumArgs == opInfo(Op).Arity && "arity mismatch");
+  (void)NumArgs;
+  auto A = [&](unsigned I) { return Args[I].asF64(); };
+  auto AF = [&](unsigned I) { return Args[I].asF32(); };
+  auto AI = [&](unsigned I) { return Args[I].asI64(); };
+  switch (Op) {
+  case Opcode::AddF64:
+    return Value::ofF64(A(0) + A(1));
+  case Opcode::SubF64:
+    return Value::ofF64(A(0) - A(1));
+  case Opcode::MulF64:
+    return Value::ofF64(A(0) * A(1));
+  case Opcode::DivF64:
+    return Value::ofF64(A(0) / A(1));
+  case Opcode::SqrtF64:
+    return Value::ofF64(std::sqrt(A(0)));
+  case Opcode::NegF64:
+    return Value::ofF64(-A(0));
+  case Opcode::AbsF64:
+    return Value::ofF64(std::fabs(A(0)));
+  case Opcode::MinF64:
+    return Value::ofF64(std::fmin(A(0), A(1)));
+  case Opcode::MaxF64:
+    return Value::ofF64(std::fmax(A(0), A(1)));
+  case Opcode::FmaF64:
+    return Value::ofF64(std::fma(A(0), A(1), A(2)));
+  case Opcode::CopySignF64:
+    return Value::ofF64(std::copysign(A(0), A(1)));
+
+  case Opcode::AddF32:
+    return Value::ofF32(AF(0) + AF(1));
+  case Opcode::SubF32:
+    return Value::ofF32(AF(0) - AF(1));
+  case Opcode::MulF32:
+    return Value::ofF32(AF(0) * AF(1));
+  case Opcode::DivF32:
+    return Value::ofF32(AF(0) / AF(1));
+  case Opcode::SqrtF32:
+    return Value::ofF32(std::sqrt(AF(0)));
+  case Opcode::NegF32:
+    return Value::ofF32(-AF(0));
+  case Opcode::AbsF32:
+    return Value::ofF32(std::fabs(AF(0)));
+
+  case Opcode::ExpF64:
+    return Value::ofF64(std::exp(A(0)));
+  case Opcode::Exp2F64:
+    return Value::ofF64(std::exp2(A(0)));
+  case Opcode::Expm1F64:
+    return Value::ofF64(std::expm1(A(0)));
+  case Opcode::LogF64:
+    return Value::ofF64(std::log(A(0)));
+  case Opcode::Log2F64:
+    return Value::ofF64(std::log2(A(0)));
+  case Opcode::Log10F64:
+    return Value::ofF64(std::log10(A(0)));
+  case Opcode::Log1pF64:
+    return Value::ofF64(std::log1p(A(0)));
+  case Opcode::SinF64:
+    return Value::ofF64(std::sin(A(0)));
+  case Opcode::CosF64:
+    return Value::ofF64(std::cos(A(0)));
+  case Opcode::TanF64:
+    return Value::ofF64(std::tan(A(0)));
+  case Opcode::AsinF64:
+    return Value::ofF64(std::asin(A(0)));
+  case Opcode::AcosF64:
+    return Value::ofF64(std::acos(A(0)));
+  case Opcode::AtanF64:
+    return Value::ofF64(std::atan(A(0)));
+  case Opcode::Atan2F64:
+    return Value::ofF64(std::atan2(A(0), A(1)));
+  case Opcode::SinhF64:
+    return Value::ofF64(std::sinh(A(0)));
+  case Opcode::CoshF64:
+    return Value::ofF64(std::cosh(A(0)));
+  case Opcode::TanhF64:
+    return Value::ofF64(std::tanh(A(0)));
+  case Opcode::PowF64:
+    return Value::ofF64(std::pow(A(0), A(1)));
+  case Opcode::CbrtF64:
+    return Value::ofF64(std::cbrt(A(0)));
+  case Opcode::HypotF64:
+    return Value::ofF64(std::hypot(A(0), A(1)));
+  case Opcode::FmodF64:
+    return Value::ofF64(std::fmod(A(0), A(1)));
+
+  case Opcode::FloorF64:
+    return Value::ofF64(std::floor(A(0)));
+  case Opcode::CeilF64:
+    return Value::ofF64(std::ceil(A(0)));
+  case Opcode::RoundF64:
+    return Value::ofF64(std::round(A(0)));
+  case Opcode::TruncF64:
+    return Value::ofF64(std::trunc(A(0)));
+
+  case Opcode::CmpLTF64:
+    return Value::ofI64(A(0) < A(1));
+  case Opcode::CmpLEF64:
+    return Value::ofI64(A(0) <= A(1));
+  case Opcode::CmpEQF64:
+    return Value::ofI64(A(0) == A(1));
+  case Opcode::CmpNEF64:
+    return Value::ofI64(A(0) != A(1));
+  case Opcode::CmpGTF64:
+    return Value::ofI64(A(0) > A(1));
+  case Opcode::CmpGEF64:
+    return Value::ofI64(A(0) >= A(1));
+  case Opcode::CmpLTF32:
+    return Value::ofI64(AF(0) < AF(1));
+  case Opcode::CmpEQF32:
+    return Value::ofI64(AF(0) == AF(1));
+
+  case Opcode::F64toF32:
+    return Value::ofF32(static_cast<float>(A(0)));
+  case Opcode::F32toF64:
+    return Value::ofF64(static_cast<double>(AF(0)));
+  case Opcode::F64toI64: {
+    double X = A(0);
+    // Well-defined saturating semantics (x86 would give the indefinite
+    // value; saturation keeps the abstract machine deterministic).
+    if (std::isnan(X))
+      return Value::ofI64(0);
+    if (X >= 9.2233720368547758e18)
+      return Value::ofI64(INT64_MAX);
+    if (X <= -9.2233720368547758e18)
+      return Value::ofI64(INT64_MIN);
+    return Value::ofI64(static_cast<int64_t>(X));
+  }
+  case Opcode::I64toF64:
+    return Value::ofF64(static_cast<double>(AI(0)));
+  case Opcode::F64BitsToI64:
+    return Value::ofI64(static_cast<int64_t>(bitsOfDouble(A(0))));
+  case Opcode::I64BitsToF64:
+    return Value::ofF64(doubleFromBits(static_cast<uint64_t>(AI(0))));
+
+  case Opcode::AddI64:
+    return Value::ofI64(static_cast<int64_t>(static_cast<uint64_t>(AI(0)) +
+                                             static_cast<uint64_t>(AI(1))));
+  case Opcode::SubI64:
+    return Value::ofI64(static_cast<int64_t>(static_cast<uint64_t>(AI(0)) -
+                                             static_cast<uint64_t>(AI(1))));
+  case Opcode::MulI64:
+    return Value::ofI64(static_cast<int64_t>(static_cast<uint64_t>(AI(0)) *
+                                             static_cast<uint64_t>(AI(1))));
+  case Opcode::AndI64:
+    return Value::ofI64(AI(0) & AI(1));
+  case Opcode::OrI64:
+    return Value::ofI64(AI(0) | AI(1));
+  case Opcode::XorI64:
+    return Value::ofI64(AI(0) ^ AI(1));
+  case Opcode::ShlI64:
+    return Value::ofI64(static_cast<int64_t>(static_cast<uint64_t>(AI(0))
+                                             << (AI(1) & 63)));
+  case Opcode::ShrI64:
+    return Value::ofI64(
+        static_cast<int64_t>(static_cast<uint64_t>(AI(0)) >> (AI(1) & 63)));
+  case Opcode::SarI64:
+    return Value::ofI64(AI(0) >> (AI(1) & 63));
+  case Opcode::NotI64:
+    return Value::ofI64(~AI(0));
+  case Opcode::NegI64:
+    return Value::ofI64(-AI(0));
+  case Opcode::CmpLTI64:
+    return Value::ofI64(AI(0) < AI(1));
+  case Opcode::CmpLEI64:
+    return Value::ofI64(AI(0) <= AI(1));
+  case Opcode::CmpEQI64:
+    return Value::ofI64(AI(0) == AI(1));
+  case Opcode::CmpNEI64:
+    return Value::ofI64(AI(0) != AI(1));
+
+  default:
+    break;
+  }
+  assert(false && "evalScalarOp on a non-scalar opcode");
+  return Value();
+}

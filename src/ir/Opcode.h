@@ -1,0 +1,165 @@
+//===- ir/Opcode.h - Operations of the abstract machine ---------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation vocabulary of the abstract float machine: hardware-style
+/// scalar and SIMD float arithmetic, libm-style library calls (which the
+/// analysis can either wrap as atomic ops or lower into their bit-level
+/// implementations, Section 5.3 / 8.2), comparisons, conversions, and the
+/// integer/bitwise ops client programs use for loop counters and float bit
+/// tricks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IR_OPCODE_H
+#define HERBGRIND_IR_OPCODE_H
+
+#include "ir/Value.h"
+
+#include <cstdint>
+
+namespace herbgrind {
+
+enum class Opcode : uint8_t {
+  // Scalar f64 arithmetic (hardware instructions).
+  AddF64,
+  SubF64,
+  MulF64,
+  DivF64,
+  SqrtF64,
+  NegF64,
+  AbsF64,
+  MinF64,
+  MaxF64,
+  FmaF64,
+  CopySignF64,
+
+  // Scalar f32 arithmetic.
+  AddF32,
+  SubF32,
+  MulF32,
+  DivF32,
+  SqrtF32,
+  NegF32,
+  AbsF32,
+
+  // Library calls on f64 (wrappable, Section 5.3).
+  ExpF64,
+  Exp2F64,
+  Expm1F64,
+  LogF64,
+  Log2F64,
+  Log10F64,
+  Log1pF64,
+  SinF64,
+  CosF64,
+  TanF64,
+  AsinF64,
+  AcosF64,
+  AtanF64,
+  Atan2F64,
+  SinhF64,
+  CoshF64,
+  TanhF64,
+  PowF64,
+  CbrtF64,
+  HypotF64,
+  FmodF64,
+
+  // Exact f64 roundings (hardware-ish, never erroneous by themselves).
+  FloorF64,
+  CeilF64,
+  RoundF64,
+  TruncF64,
+
+  // Comparisons: f64/f32 inputs, i64 {0,1} result. These are the
+  // float-to-discrete boundary, i.e. spots (Section 4.2).
+  CmpLTF64,
+  CmpLEF64,
+  CmpEQF64,
+  CmpNEF64,
+  CmpGTF64,
+  CmpGEF64,
+  CmpLTF32,
+  CmpEQF32,
+
+  // Conversions.
+  F64toF32,
+  F32toF64,
+  F64toI64, ///< Truncating conversion: a spot (Section 4.2).
+  I64toF64,
+  F64BitsToI64, ///< Reinterpret, used by bit-trick code.
+  I64BitsToF64,
+
+  // Integer / bitwise.
+  AddI64,
+  SubI64,
+  MulI64,
+  AndI64,
+  OrI64,
+  XorI64,
+  ShlI64,
+  ShrI64, ///< Logical shift right.
+  SarI64, ///< Arithmetic shift right.
+  NotI64,
+  NegI64,
+  CmpLTI64,
+  CmpLEI64,
+  CmpEQI64,
+  CmpNEI64,
+
+  // SIMD packed f64 (SSE-style, 2 lanes).
+  AddV2F64,
+  SubV2F64,
+  MulV2F64,
+  DivV2F64,
+  SqrtV2F64,
+  // SIMD packed f32 (4 lanes).
+  AddV4F32,
+  SubV4F32,
+  MulV4F32,
+  DivV4F32,
+
+  // Bitwise ops on 128-bit vectors: gcc-style sign-flip / abs masks
+  // (Section 5.3 "bitwise operations").
+  XorV128,
+  AndV128,
+
+  // Lane shuffles.
+  ExtractLaneF64, ///< (vector, lane-const-i64) -> f64
+  ExtractLaneF32,
+  BuildV2F64, ///< (f64, f64) -> vector
+
+  NumOpcodes
+};
+
+/// Static metadata about an opcode.
+struct OpInfo {
+  const char *Name;       ///< IR mnemonic, e.g. "add.f64".
+  const char *FPCoreName; ///< Operator name in FPCore output, or nullptr.
+  uint8_t Arity;
+  ValueType ResultTy;
+  ValueType OperandTy; ///< Uniform operand type (exceptions documented).
+  bool IsFloatOp;      ///< Produces a float result the analysis shadows.
+  bool IsLibCall;      ///< Wrappable library call (Section 5.3).
+  bool IsComparison;   ///< Float-to-discrete boundary: a spot.
+  bool IsSIMD;
+};
+
+/// Metadata accessor (constant-time table lookup).
+const OpInfo &opInfo(Opcode Op);
+
+/// Scalar evaluation of a pure scalar float/int op on machine values.
+/// SIMD ops are evaluated per-lane by the interpreter, using the scalar
+/// opcode from simdScalarOp().
+Value evalScalarOp(Opcode Op, const Value *Args, unsigned NumArgs);
+
+/// For a SIMD opcode, the scalar opcode applied per lane.
+Opcode simdScalarOp(Opcode Op);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_IR_OPCODE_H

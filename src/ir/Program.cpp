@@ -1,0 +1,349 @@
+//===- ir/Program.cpp - Programs for the abstract float machine -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Format.h"
+
+using namespace herbgrind;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static std::string stmtStr(const Statement &S, uint32_t PC) {
+  std::string Body;
+  switch (S.Kind) {
+  case StmtKind::Const:
+    Body = format("t%u = const %s", S.Dst, S.Literal.str().c_str());
+    break;
+  case StmtKind::Op: {
+    const OpInfo &Info = opInfo(S.Op);
+    std::vector<std::string> Args;
+    for (unsigned I = 0; I < S.NumArgs; ++I)
+      Args.push_back(format("t%u", S.Args[I]));
+    Body = format("t%u = %s %s", S.Dst, Info.Name, join(Args, ", ").c_str());
+    break;
+  }
+  case StmtKind::Copy:
+    Body = format("t%u = t%u", S.Dst, S.Args[0]);
+    break;
+  case StmtKind::Input:
+    Body = format("t%u = input #%u", S.Dst, S.InputIndex);
+    break;
+  case StmtKind::Get:
+    Body = format("t%u = get ts[%lld] : %s", S.Dst,
+                  static_cast<long long>(S.Disp), valueTypeName(S.AccessTy));
+    break;
+  case StmtKind::Put:
+    Body = format("put ts[%lld] = t%u", static_cast<long long>(S.Disp),
+                  S.Args[0]);
+    break;
+  case StmtKind::Load:
+    Body = format("t%u = load [t%u + %lld] : %s", S.Dst, S.Args[0],
+                  static_cast<long long>(S.Disp), valueTypeName(S.AccessTy));
+    break;
+  case StmtKind::Store:
+    Body = format("store [t%u + %lld] = t%u", S.Args[0],
+                  static_cast<long long>(S.Disp), S.Args[1]);
+    break;
+  case StmtKind::Branch:
+    Body = format("if t%u goto %u", S.Args[0], S.Target);
+    break;
+  case StmtKind::Jump:
+    Body = format("goto %u", S.Target);
+    break;
+  case StmtKind::Call:
+    Body = format("call %u", S.Target);
+    break;
+  case StmtKind::Ret:
+    Body = "ret";
+    break;
+  case StmtKind::Out:
+    Body = format("out t%u", S.Args[0]);
+    break;
+  case StmtKind::Halt:
+    Body = "halt";
+    break;
+  }
+  std::string Line = format("%4u: %s", PC, Body.c_str());
+  if (S.Loc.isKnown())
+    Line += "    ; " + S.Loc.str();
+  return Line;
+}
+
+std::string Program::print() const {
+  std::string Out;
+  for (uint32_t PC = 0; PC < size(); ++PC) {
+    Out += stmtStr(Stmts[PC], PC);
+    Out += '\n';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+std::string Program::validate() const {
+  for (uint32_t PC = 0; PC < size(); ++PC) {
+    const Statement &S = Stmts[PC];
+    auto Err = [&](const std::string &Msg) {
+      return format("statement %u: %s", PC, Msg.c_str());
+    };
+    if (S.hasDst() && S.Dst >= NumTemps)
+      return Err("destination temp out of range");
+    for (unsigned I = 0; I < S.NumArgs; ++I)
+      if (S.Args[I] >= NumTemps)
+        return Err("argument temp out of range");
+    switch (S.Kind) {
+    case StmtKind::Op:
+      if (S.NumArgs != opInfo(S.Op).Arity)
+        return Err(format("arity mismatch for %s", opInfo(S.Op).Name));
+      break;
+    case StmtKind::Branch:
+    case StmtKind::Jump:
+    case StmtKind::Call:
+      if (S.Target >= size())
+        return Err("control target out of range");
+      break;
+    case StmtKind::Load:
+    case StmtKind::Get:
+      if (S.AccessTy == ValueType::Unknown ||
+          S.AccessTy == ValueType::Conflict)
+        return Err("load/get without a concrete access type");
+      break;
+    case StmtKind::Input:
+      if (S.InputIndex >= NumInputs)
+        return Err("input index out of range");
+      break;
+    default:
+      break;
+    }
+  }
+  if (Stmts.empty() || (Stmts.back().Kind != StmtKind::Halt &&
+                        Stmts.back().Kind != StmtKind::Jump &&
+                        Stmts.back().Kind != StmtKind::Ret))
+    return "program does not end in halt/jump/ret";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+Statement &ProgramBuilder::emit(StmtKind Kind) {
+  assert(!Finished && "builder already finished");
+  P.Stmts.emplace_back();
+  Statement &S = P.Stmts.back();
+  S.Kind = Kind;
+  S.Loc = CurLoc;
+  return S;
+}
+
+ProgramBuilder::Temp ProgramBuilder::emitConst(Value V) {
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Const);
+  S.Dst = Dst;
+  S.Literal = V;
+  return Dst;
+}
+
+ProgramBuilder::Temp ProgramBuilder::input(unsigned Index) {
+  if (Index >= P.NumInputs)
+    P.NumInputs = Index + 1;
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Input);
+  S.Dst = Dst;
+  S.InputIndex = Index;
+  return Dst;
+}
+
+ProgramBuilder::Temp ProgramBuilder::op(Opcode O, Temp A) {
+  assert(opInfo(O).Arity == 1 && "unary emit of non-unary op");
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Op);
+  S.Op = O;
+  S.Dst = Dst;
+  S.Args[0] = A;
+  S.NumArgs = 1;
+  return Dst;
+}
+
+ProgramBuilder::Temp ProgramBuilder::op(Opcode O, Temp A, Temp B) {
+  assert(opInfo(O).Arity == 2 && "binary emit of non-binary op");
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Op);
+  S.Op = O;
+  S.Dst = Dst;
+  S.Args[0] = A;
+  S.Args[1] = B;
+  S.NumArgs = 2;
+  return Dst;
+}
+
+ProgramBuilder::Temp ProgramBuilder::op(Opcode O, Temp A, Temp B, Temp C) {
+  assert(opInfo(O).Arity == 3 && "ternary emit of non-ternary op");
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Op);
+  S.Op = O;
+  S.Dst = Dst;
+  S.Args[0] = A;
+  S.Args[1] = B;
+  S.Args[2] = C;
+  S.NumArgs = 3;
+  return Dst;
+}
+
+void ProgramBuilder::copyTo(Temp Dst, Temp Src) {
+  Statement &S = emit(StmtKind::Copy);
+  S.Dst = Dst;
+  S.Args[0] = Src;
+  S.NumArgs = 1;
+}
+
+ProgramBuilder::Temp ProgramBuilder::get(int64_t Offset, ValueType Ty) {
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Get);
+  S.Dst = Dst;
+  S.Disp = Offset;
+  S.AccessTy = Ty;
+  return Dst;
+}
+
+void ProgramBuilder::put(int64_t Offset, Temp Src) {
+  Statement &S = emit(StmtKind::Put);
+  S.Disp = Offset;
+  S.Args[0] = Src;
+  S.NumArgs = 1;
+}
+
+ProgramBuilder::Temp ProgramBuilder::load(Temp Addr, int64_t Disp,
+                                          ValueType Ty) {
+  Temp Dst = newTemp();
+  Statement &S = emit(StmtKind::Load);
+  S.Dst = Dst;
+  S.Args[0] = Addr;
+  S.NumArgs = 1;
+  S.Disp = Disp;
+  S.AccessTy = Ty;
+  return Dst;
+}
+
+void ProgramBuilder::store(Temp Addr, int64_t Disp, Temp Src) {
+  Statement &S = emit(StmtKind::Store);
+  S.Args[0] = Addr;
+  S.Args[1] = Src;
+  S.NumArgs = 2;
+  S.Disp = Disp;
+}
+
+ProgramBuilder::Label ProgramBuilder::newLabel() {
+  LabelTargets.push_back(UINT32_MAX);
+  return static_cast<Label>(LabelTargets.size() - 1);
+}
+
+void ProgramBuilder::bind(Label L) {
+  assert(L < LabelTargets.size() && "unknown label");
+  assert(LabelTargets[L] == UINT32_MAX && "label bound twice");
+  LabelTargets[L] = nextPC();
+}
+
+void ProgramBuilder::branchIf(Temp Cond, Label L) {
+  Fixups.emplace_back(nextPC(), L);
+  Statement &S = emit(StmtKind::Branch);
+  S.Args[0] = Cond;
+  S.NumArgs = 1;
+}
+
+void ProgramBuilder::jump(Label L) {
+  Fixups.emplace_back(nextPC(), L);
+  emit(StmtKind::Jump);
+}
+
+void ProgramBuilder::call(Label L) {
+  Fixups.emplace_back(nextPC(), L);
+  emit(StmtKind::Call);
+}
+
+void ProgramBuilder::ret() { emit(StmtKind::Ret); }
+
+void ProgramBuilder::out(Temp Src) {
+  Statement &S = emit(StmtKind::Out);
+  S.Args[0] = Src;
+  S.NumArgs = 1;
+}
+
+void ProgramBuilder::halt() { emit(StmtKind::Halt); }
+
+void ProgramBuilder::emitRaw(const Statement &S) {
+  assert(S.Kind != StmtKind::Branch && S.Kind != StmtKind::Jump &&
+         S.Kind != StmtKind::Call && "control statements need a label");
+  assert(!Finished && "builder already finished");
+  P.Stmts.push_back(S);
+}
+
+void ProgramBuilder::emitRawControl(const Statement &S, Label L) {
+  assert(!Finished && "builder already finished");
+  Fixups.emplace_back(nextPC(), L);
+  P.Stmts.push_back(S);
+}
+
+Program ProgramBuilder::finish() {
+  assert(!Finished && "finish called twice");
+  Finished = true;
+  for (auto [PC, L] : Fixups) {
+    assert(LabelTargets[L] != UINT32_MAX && "unbound label at finish");
+    P.Stmts[PC].Target = LabelTargets[L];
+  }
+  return std::move(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Static type analysis (Section 6)
+//===----------------------------------------------------------------------===//
+
+std::vector<ValueType> herbgrind::inferTempTypes(const Program &P) {
+  std::vector<ValueType> Types(P.numTemps(), ValueType::Unknown);
+  // Fixpoint over definitions; Copy propagates its source's type, so chains
+  // of copies may need several rounds (the lattice has height 2, and each
+  // temp only climbs, so this terminates quickly).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Statement &S : P.statements()) {
+      if (!S.hasDst())
+        continue;
+      ValueType DefTy = ValueType::Unknown;
+      switch (S.Kind) {
+      case StmtKind::Const:
+        DefTy = S.Literal.Ty;
+        break;
+      case StmtKind::Op:
+        DefTy = opInfo(S.Op).ResultTy;
+        break;
+      case StmtKind::Copy:
+        DefTy = Types[S.Args[0]];
+        break;
+      case StmtKind::Input:
+        DefTy = ValueType::F64;
+        break;
+      case StmtKind::Get:
+      case StmtKind::Load:
+        DefTy = S.AccessTy;
+        break;
+      default:
+        break;
+      }
+      ValueType Joined = joinTypes(Types[S.Dst], DefTy);
+      if (Joined != Types[S.Dst]) {
+        Types[S.Dst] = Joined;
+        Changed = true;
+      }
+    }
+  }
+  return Types;
+}

@@ -1,0 +1,180 @@
+//===- ir/Program.h - Programs for the abstract float machine ---*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program representation of the abstract float machine (the paper's
+/// Figure 2, extended with the VEX storage model of Section 5.2): a flat
+/// statement list addressed by program counter, with temporaries, raw-byte
+/// thread state, untyped byte-addressed memory, calls, conditional branches
+/// and output statements. ProgramBuilder is the IRBuilder-style construction
+/// API used by the FPCore compiler, the examples, and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IR_PROGRAM_H
+#define HERBGRIND_IR_PROGRAM_H
+
+#include "ir/Opcode.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+
+enum class StmtKind : uint8_t {
+  Const,  ///< Dst <- Literal
+  Op,     ///< Dst <- Op(Args...)
+  Copy,   ///< Dst <- Args[0] (temps are mutable registers, not SSA)
+  Input,  ///< Dst <- program input #InputIndex (an f64)
+  Get,    ///< Dst <- thread-state bytes at Disp (type AccessTy)
+  Put,    ///< thread-state bytes at Disp <- Args[0]
+  Load,   ///< Dst <- memory[Args[0] + Disp] (type AccessTy)
+  Store,  ///< memory[Args[0] + Disp] <- Args[1]
+  Branch, ///< if Args[0] != 0 goto Target
+  Jump,   ///< goto Target
+  Call,   ///< push pc+1, goto Target
+  Ret,    ///< pop return pc
+  Out,    ///< output Args[0] (a spot, Section 4.2)
+  Halt,   ///< stop execution
+};
+
+/// One statement of the abstract machine.
+struct Statement {
+  StmtKind Kind = StmtKind::Halt;
+  Opcode Op = Opcode::AddF64;  ///< Valid when Kind == Op.
+  uint32_t Dst = 0;            ///< Destination temp (when the kind has one).
+  uint32_t Args[3] = {0, 0, 0};
+  uint8_t NumArgs = 0;
+  Value Literal;                              ///< For Const.
+  int64_t Disp = 0;                           ///< Load/Store/Get/Put offset.
+  uint32_t Target = 0;                        ///< Branch/Jump/Call target pc.
+  ValueType AccessTy = ValueType::Unknown;    ///< Load/Get access type.
+  uint32_t InputIndex = 0;                    ///< For Input.
+  SourceLoc Loc;
+
+  bool hasDst() const {
+    return Kind == StmtKind::Const || Kind == StmtKind::Op ||
+           Kind == StmtKind::Copy || Kind == StmtKind::Input ||
+           Kind == StmtKind::Get || Kind == StmtKind::Load;
+  }
+};
+
+/// A complete program: a statement vector plus its temp universe.
+class Program {
+public:
+  const std::vector<Statement> &statements() const { return Stmts; }
+  const Statement &stmt(uint32_t PC) const {
+    assert(PC < Stmts.size() && "pc out of range");
+    return Stmts[PC];
+  }
+  uint32_t size() const { return static_cast<uint32_t>(Stmts.size()); }
+  uint32_t numTemps() const { return NumTemps; }
+  uint32_t numInputs() const { return NumInputs; }
+
+  /// Human-readable listing (for tests and debugging).
+  std::string print() const;
+
+  /// Structural checks: temps in range, targets in range, arities match.
+  /// Returns an empty string on success, else a diagnostic.
+  std::string validate() const;
+
+private:
+  friend class ProgramBuilder;
+  friend class LibmLowering;
+  std::vector<Statement> Stmts;
+  uint32_t NumTemps = 0;
+  uint32_t NumInputs = 0;
+};
+
+/// IRBuilder-style program construction with forward-referencing labels.
+class ProgramBuilder {
+public:
+  using Temp = uint32_t;
+  using Label = uint32_t;
+
+  /// Sets the source location attached to subsequently emitted statements.
+  void setLoc(SourceLoc Loc) { CurLoc = std::move(Loc); }
+
+  Temp newTemp() { return P.NumTemps++; }
+
+  Temp constF64(double X) { return emitConst(Value::ofF64(X)); }
+  Temp constF32(float X) { return emitConst(Value::ofF32(X)); }
+  Temp constI64(int64_t X) { return emitConst(Value::ofI64(X)); }
+
+  /// Reads program input \p Index (an f64).
+  Temp input(unsigned Index);
+
+  Temp op(Opcode O, Temp A);
+  Temp op(Opcode O, Temp A, Temp B);
+  Temp op(Opcode O, Temp A, Temp B, Temp C);
+
+  /// Assigns an existing temp (temps are mutable; loops rebind them).
+  void copyTo(Temp Dst, Temp Src);
+
+  /// Pre-allocates temp ids [0, Count) (used when rebuilding a program
+  /// whose existing temp numbering must stay valid).
+  void reserveTemps(uint32_t Count) {
+    if (P.NumTemps < Count)
+      P.NumTemps = Count;
+  }
+
+  /// Declares that inputs [0, Count) exist even if not all are read.
+  void reserveInputs(uint32_t Count) {
+    if (P.NumInputs < Count)
+      P.NumInputs = Count;
+  }
+
+  Temp get(int64_t Offset, ValueType Ty);
+  void put(int64_t Offset, Temp Src);
+  Temp load(Temp Addr, int64_t Disp, ValueType Ty);
+  void store(Temp Addr, int64_t Disp, Temp Src);
+
+  Label newLabel();
+  /// Binds \p L to the next emitted statement.
+  void bind(Label L);
+  void branchIf(Temp Cond, Label L);
+  void jump(Label L);
+  void call(Label L);
+  void ret();
+
+  void out(Temp Src);
+  void halt();
+
+  /// Appends a pre-built non-control statement verbatim (temp ids must be
+  /// valid in this builder's universe).
+  void emitRaw(const Statement &S);
+
+  /// Appends a pre-built control statement, resolving its target via \p L.
+  void emitRawControl(const Statement &S, Label L);
+
+  /// Number of statements emitted so far (the pc of the next statement).
+  uint32_t nextPC() const { return static_cast<uint32_t>(P.Stmts.size()); }
+
+  /// Patches labels and returns the finished program.
+  Program finish();
+
+private:
+  Temp emitConst(Value V);
+  Statement &emit(StmtKind Kind);
+
+  Program P;
+  SourceLoc CurLoc;
+  std::vector<uint32_t> LabelTargets;
+  std::vector<std::pair<uint32_t, Label>> Fixups; ///< (stmt pc, label)
+  bool Finished = false;
+};
+
+/// Infers a static type for every temp by joining the types of all its
+/// definitions (the "static superblock type analysis" of Section 6 that
+/// lets the instrumented executor skip shadow work for known-integer
+/// temps). Conflicting definitions yield ValueType::Conflict.
+std::vector<ValueType> inferTempTypes(const Program &P);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_IR_PROGRAM_H

@@ -1,0 +1,150 @@
+//===- ir/Value.h - Runtime values of the abstract machine ------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged runtime values for the abstract float machine: scalar doubles,
+/// floats and 64-bit integers, plus 128-bit SIMD vectors (2 x f64 or
+/// 4 x f32), mirroring the VEX value universe the paper's implementation
+/// sits on (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_IR_VALUE_H
+#define HERBGRIND_IR_VALUE_H
+
+#include "support/FloatBits.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace herbgrind {
+
+/// The type of a runtime value (and of temporaries, when the static type
+/// analysis can pin one down).
+enum class ValueType : uint8_t {
+  Unknown, ///< No information (bottom of the type lattice).
+  I64,
+  F64,
+  F32,
+  V2F64, ///< 128-bit vector of two doubles.
+  V4F32, ///< 128-bit vector of four floats.
+  Conflict, ///< Different types at different times (top of the lattice).
+};
+
+const char *valueTypeName(ValueType Ty);
+
+/// A tagged machine value.
+struct Value {
+  ValueType Ty = ValueType::Unknown;
+  union {
+    int64_t I64;
+    double F64;
+    float F32;
+    double V2F64[2];
+    float V4F32[4];
+    uint8_t Bytes[16];
+  };
+
+  Value() : I64(0) {}
+
+  static Value ofI64(int64_t X) {
+    Value V;
+    V.Ty = ValueType::I64;
+    V.I64 = X;
+    return V;
+  }
+  static Value ofF64(double X) {
+    Value V;
+    V.Ty = ValueType::F64;
+    V.F64 = X;
+    return V;
+  }
+  static Value ofF32(float X) {
+    Value V;
+    V.Ty = ValueType::F32;
+    V.F32 = X;
+    return V;
+  }
+  static Value ofV2F64(double A, double B) {
+    Value V;
+    V.Ty = ValueType::V2F64;
+    V.V2F64[0] = A;
+    V.V2F64[1] = B;
+    return V;
+  }
+  static Value ofV4F32(float A, float B, float C, float D) {
+    Value V;
+    V.Ty = ValueType::V4F32;
+    V.V4F32[0] = A;
+    V.V4F32[1] = B;
+    V.V4F32[2] = C;
+    V.V4F32[3] = D;
+    return V;
+  }
+
+  int64_t asI64() const {
+    assert(Ty == ValueType::I64 && "value is not an i64");
+    return I64;
+  }
+  double asF64() const {
+    assert(Ty == ValueType::F64 && "value is not an f64");
+    return F64;
+  }
+  float asF32() const {
+    assert(Ty == ValueType::F32 && "value is not an f32");
+    return F32;
+  }
+
+  /// Number of bytes this value occupies in untyped storage.
+  unsigned byteSize() const {
+    switch (Ty) {
+    case ValueType::F32:
+      return 4;
+    case ValueType::I64:
+    case ValueType::F64:
+      return 8;
+    case ValueType::V2F64:
+    case ValueType::V4F32:
+      return 16;
+    case ValueType::Unknown:
+    case ValueType::Conflict:
+      break;
+    }
+    assert(false && "sizeless value type");
+    return 0;
+  }
+
+  /// Number of scalar lanes (1 for scalars).
+  unsigned laneCount() const {
+    switch (Ty) {
+    case ValueType::V2F64:
+      return 2;
+    case ValueType::V4F32:
+      return 4;
+    default:
+      return 1;
+    }
+  }
+
+  std::string str() const;
+};
+
+/// Joins two lattice types: Unknown is identity, mismatches go to Conflict.
+inline ValueType joinTypes(ValueType A, ValueType B) {
+  if (A == ValueType::Unknown)
+    return B;
+  if (B == ValueType::Unknown)
+    return A;
+  if (A == B)
+    return A;
+  return ValueType::Conflict;
+}
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_IR_VALUE_H

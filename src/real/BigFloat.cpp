@@ -1,0 +1,1193 @@
+//===- real/BigFloat.cpp - Arbitrary-precision binary floats --------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Representation: a finite value is (-1)^Neg * frac * 2^Exp where frac is a
+// little-endian limb vector read as a fraction in [1/2, 1) (the top bit of
+// the top limb is always set). All rounding is round-to-nearest-even and is
+// performed by BigFloatBuilder::makeRounded from an extended mantissa plus a
+// sticky flag summarizing any nonzero bits below the extended mantissa.
+//
+//===----------------------------------------------------------------------===//
+
+#include "real/BigFloat.h"
+
+#include "support/FloatBits.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace herbgrind;
+
+static size_t GlobalDefaultPrecisionBits = 256;
+
+size_t BigFloat::defaultPrecisionBits() { return GlobalDefaultPrecisionBits; }
+
+void BigFloat::setDefaultPrecisionBits(size_t Bits) {
+  assert(Bits >= 64 && "precision must be at least one limb");
+  GlobalDefaultPrecisionBits = Bits;
+}
+
+size_t BigFloat::limbsForPrecision(size_t PrecBits) {
+  if (PrecBits == 0)
+    PrecBits = GlobalDefaultPrecisionBits;
+  return std::max<size_t>(1, (PrecBits + 63) / 64);
+}
+
+//===----------------------------------------------------------------------===//
+// Limb-vector helpers (little-endian).
+//===----------------------------------------------------------------------===//
+
+namespace {
+using LimbVec = std::vector<uint64_t>;
+} // namespace
+
+static int leadingZeros64(uint64_t X) {
+  assert(X != 0 && "clz of zero is undefined");
+  return __builtin_clzll(X);
+}
+
+static bool vecIsZero(const LimbVec &V) {
+  for (uint64_t Limb : V)
+    if (Limb != 0)
+      return false;
+  return true;
+}
+
+/// Compares equal-length magnitude vectors: -1, 0, +1.
+static int cmpVec(const LimbVec &A, const LimbVec &B) {
+  assert(A.size() == B.size() && "cmpVec requires equal lengths");
+  for (size_t I = A.size(); I-- > 0;) {
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// A += B (equal lengths); returns the carry out.
+static uint64_t addVecInPlace(LimbVec &A, const LimbVec &B) {
+  assert(A.size() == B.size() && "addVecInPlace requires equal lengths");
+  unsigned __int128 Carry = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    unsigned __int128 Sum = (unsigned __int128)A[I] + B[I] + Carry;
+    A[I] = static_cast<uint64_t>(Sum);
+    Carry = Sum >> 64;
+  }
+  return static_cast<uint64_t>(Carry);
+}
+
+/// A -= B (equal lengths, requires A >= B).
+static void subVecInPlace(LimbVec &A, const LimbVec &B) {
+  assert(A.size() == B.size() && "subVecInPlace requires equal lengths");
+  unsigned __int128 Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    unsigned __int128 Diff = (unsigned __int128)A[I] - B[I] - Borrow;
+    A[I] = static_cast<uint64_t>(Diff);
+    Borrow = (Diff >> 64) & 1;
+  }
+  assert(Borrow == 0 && "subVecInPlace requires A >= B");
+}
+
+/// Subtracts 1 from A (requires A != 0).
+static void decrementVec(LimbVec &A) {
+  for (uint64_t &Limb : A) {
+    if (Limb-- != 0)
+      return;
+  }
+  assert(false && "decrementVec underflow");
+}
+
+/// Adds 1 at bit position Pos (must not overflow the vector).
+static void addBitAt(LimbVec &A, size_t Pos) {
+  size_t LimbIdx = Pos / 64;
+  assert(LimbIdx < A.size() && "addBitAt position out of range");
+  uint64_t Old = A[LimbIdx];
+  A[LimbIdx] += 1ULL << (Pos % 64);
+  bool Carry = A[LimbIdx] < Old;
+  for (size_t I = LimbIdx + 1; Carry && I < A.size(); ++I) {
+    ++A[I];
+    Carry = A[I] == 0;
+  }
+  assert(!Carry && "addBitAt overflowed the vector");
+}
+
+/// Reads bit Pos of A (0 = least significant).
+static bool getBit(const LimbVec &A, size_t Pos) {
+  size_t LimbIdx = Pos / 64;
+  if (LimbIdx >= A.size())
+    return false;
+  return (A[LimbIdx] >> (Pos % 64)) & 1;
+}
+
+/// Shifts A right by Shift bits in place; ORs dropped nonzero bits into
+/// Sticky.
+static void shiftRightVec(LimbVec &A, size_t Shift, bool &Sticky) {
+  size_t N = A.size();
+  size_t LimbShift = Shift / 64;
+  size_t BitShift = Shift % 64;
+  if (LimbShift >= N) {
+    if (!vecIsZero(A))
+      Sticky = true;
+    std::fill(A.begin(), A.end(), 0);
+    return;
+  }
+  for (size_t I = 0; I < LimbShift; ++I)
+    if (A[I] != 0)
+      Sticky = true;
+  if (BitShift == 0) {
+    for (size_t I = 0; I + LimbShift < N; ++I)
+      A[I] = A[I + LimbShift];
+  } else {
+    if ((A[LimbShift] & ((1ULL << BitShift) - 1)) != 0)
+      Sticky = true;
+    for (size_t I = 0; I + LimbShift < N; ++I) {
+      uint64_t Low = A[I + LimbShift] >> BitShift;
+      uint64_t High = I + LimbShift + 1 < N
+                          ? A[I + LimbShift + 1] << (64 - BitShift)
+                          : 0;
+      A[I] = Low | High;
+    }
+  }
+  std::fill(A.end() - LimbShift, A.end(), 0);
+}
+
+/// Shifts A left by Shift bits in place (bits shifted past the top are
+/// dropped; callers guarantee they are zero).
+static void shiftLeftVec(LimbVec &A, size_t Shift) {
+  size_t N = A.size();
+  size_t LimbShift = Shift / 64;
+  size_t BitShift = Shift % 64;
+  if (LimbShift >= N) {
+    std::fill(A.begin(), A.end(), 0);
+    return;
+  }
+  if (BitShift == 0) {
+    for (size_t I = N; I-- > LimbShift;)
+      A[I] = A[I - LimbShift];
+  } else {
+    for (size_t I = N; I-- > LimbShift;) {
+      uint64_t High = A[I - LimbShift] << BitShift;
+      uint64_t Low = I - LimbShift > 0
+                         ? A[I - LimbShift - 1] >> (64 - BitShift)
+                         : 0;
+      A[I] = High | Low;
+    }
+  }
+  std::fill(A.begin(), A.begin() + LimbShift, 0);
+}
+
+/// Schoolbook multiplication; result has A.size() + B.size() limbs.
+static LimbVec mulVec(const LimbVec &A, const LimbVec &B) {
+  LimbVec R(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I] == 0)
+      continue;
+    unsigned __int128 Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      unsigned __int128 Cur =
+          (unsigned __int128)A[I] * B[J] + R[I + J] + Carry;
+      R[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    R[I + B.size()] += static_cast<uint64_t>(Carry);
+  }
+  return R;
+}
+
+/// Knuth algorithm D: divides U by V (V normalized: top bit of V.back() is
+/// set, V.size() >= 1, U.size() >= V.size()). Returns the quotient; the
+/// remainder is left in U (its top limbs zeroed).
+static LimbVec divmodVec(LimbVec &U, const LimbVec &V) {
+  size_t NU = U.size();
+  size_t NV = V.size();
+  assert(NV >= 1 && NU >= NV && "divmodVec size mismatch");
+  assert((V.back() >> 63) == 1 && "divisor must be normalized");
+
+  if (NV == 1) {
+    LimbVec Q(NU, 0);
+    unsigned __int128 Rem = 0;
+    for (size_t I = NU; I-- > 0;) {
+      unsigned __int128 Cur = (Rem << 64) | U[I];
+      Q[I] = static_cast<uint64_t>(Cur / V[0]);
+      Rem = Cur % V[0];
+    }
+    std::fill(U.begin(), U.end(), 0);
+    U[0] = static_cast<uint64_t>(Rem);
+    return Q;
+  }
+
+  // Work on a copy of U with one extra high limb.
+  LimbVec R(U.begin(), U.end());
+  R.push_back(0);
+  LimbVec Q(NU - NV + 1, 0);
+
+  for (size_t JP1 = NU - NV + 1; JP1-- > 0;) {
+    size_t J = JP1;
+    unsigned __int128 Num =
+        ((unsigned __int128)R[J + NV] << 64) | R[J + NV - 1];
+    unsigned __int128 QHat = Num / V[NV - 1];
+    unsigned __int128 RHat = Num % V[NV - 1];
+    // Correct QHat down until it is a valid 64-bit digit estimate.
+    while (QHat >> 64 ||
+           QHat * V[NV - 2] > ((RHat << 64) | R[J + NV - 2])) {
+      --QHat;
+      RHat += V[NV - 1];
+      if (RHat >> 64)
+        break;
+    }
+    // Multiply-subtract QHat * V from R[J .. J+NV].
+    uint64_t QDigit = static_cast<uint64_t>(QHat);
+    unsigned __int128 Borrow = 0;
+    unsigned __int128 Carry = 0;
+    for (size_t I = 0; I < NV; ++I) {
+      unsigned __int128 Prod = (unsigned __int128)QDigit * V[I] + Carry;
+      Carry = Prod >> 64;
+      unsigned __int128 Diff =
+          (unsigned __int128)R[J + I] - (uint64_t)Prod - Borrow;
+      R[J + I] = static_cast<uint64_t>(Diff);
+      Borrow = (Diff >> 64) & 1;
+    }
+    unsigned __int128 Diff = (unsigned __int128)R[J + NV] - Carry - Borrow;
+    R[J + NV] = static_cast<uint64_t>(Diff);
+    bool WentNegative = (Diff >> 64) & 1;
+    if (WentNegative) {
+      // QHat was one too large; add V back.
+      --QDigit;
+      unsigned __int128 AddCarry = 0;
+      for (size_t I = 0; I < NV; ++I) {
+        unsigned __int128 Sum =
+            (unsigned __int128)R[J + I] + V[I] + AddCarry;
+        R[J + I] = static_cast<uint64_t>(Sum);
+        AddCarry = Sum >> 64;
+      }
+      R[J + NV] += static_cast<uint64_t>(AddCarry);
+    }
+    Q[J] = QDigit;
+  }
+
+  // Remainder is R[0 .. NV-1].
+  for (size_t I = 0; I < NU; ++I)
+    U[I] = I < NV ? R[I] : 0;
+  return Q;
+}
+
+//===----------------------------------------------------------------------===//
+// Rounding construction.
+//===----------------------------------------------------------------------===//
+
+BigFloat BigFloatBuilder::makeRounded(bool Neg, int64_t Exp,
+                                      const std::vector<uint64_t> &Mant,
+                                      bool Sticky, size_t TargetLimbs) {
+  assert(!Mant.empty() && (Mant.back() >> 63) == 1 &&
+         "makeRounded requires a normalized mantissa");
+  BigFloat Result;
+  Result.K = BigFloat::Kind::Finite;
+  Result.Neg = Neg;
+  Result.Exp = Exp;
+  Result.LimbCountHint = static_cast<uint32_t>(TargetLimbs);
+
+  if (Mant.size() <= TargetLimbs) {
+    // Exact (apart from Sticky bits strictly below the round position, which
+    // round to nothing because the round bit itself is zero).
+    Result.Limbs.assign(TargetLimbs, 0);
+    std::copy(Mant.begin(), Mant.end(),
+              Result.Limbs.end() - static_cast<ptrdiff_t>(Mant.size()));
+    return Result;
+  }
+
+  size_t Drop = Mant.size() - TargetLimbs;
+  bool RoundBit = (Mant[Drop - 1] >> 63) & 1;
+  bool StickyLocal = Sticky || (Mant[Drop - 1] & ~(1ULL << 63)) != 0;
+  for (size_t I = 0; I + 1 < Drop && !StickyLocal; ++I)
+    StickyLocal = Mant[I] != 0;
+
+  Result.Limbs.assign(Mant.begin() + static_cast<ptrdiff_t>(Drop),
+                      Mant.end());
+  bool LowBit = Result.Limbs[0] & 1;
+  if (RoundBit && (StickyLocal || LowBit)) {
+    // Increment; on carry-out the mantissa becomes exactly 2^(64*Target),
+    // i.e. frac 1/2 at Exp+1.
+    uint64_t Carry = 1;
+    for (size_t I = 0; I < Result.Limbs.size() && Carry; ++I) {
+      Result.Limbs[I] += Carry;
+      Carry = Result.Limbs[I] == 0 ? 1 : 0;
+    }
+    if (Carry) {
+      std::fill(Result.Limbs.begin(), Result.Limbs.end(), 0);
+      Result.Limbs.back() = 1ULL << 63;
+      ++Result.Exp;
+    }
+  }
+  assert((Result.Limbs.back() >> 63) == 1 && "rounding lost normalization");
+  return Result;
+}
+
+BigFloat BigFloatBuilder::normalizeAndRound(bool Neg, int64_t Exp,
+                                            std::vector<uint64_t> Mant,
+                                            bool Sticky, size_t TargetLimbs) {
+  size_t TopIdx = Mant.size();
+  while (TopIdx > 0 && Mant[TopIdx - 1] == 0)
+    --TopIdx;
+  if (TopIdx == 0) {
+    assert(!Sticky && "cannot normalize a pure-sticky value");
+    return BigFloat::zero(false);
+  }
+  size_t Shift = (Mant.size() - TopIdx) * 64 +
+                 static_cast<size_t>(leadingZeros64(Mant[TopIdx - 1]));
+  // When Sticky bits exist below the buffer, the left shift must not move
+  // the round position past them; callers size their buffers to guarantee
+  // this (see BigFloat.cpp commentary on add/div/sqrt).
+  assert(!Sticky || Mant.size() > TargetLimbs);
+  assert(!Sticky || Shift <= 64 * (Mant.size() - TargetLimbs));
+  if (Shift > 0)
+    shiftLeftVec(Mant, Shift);
+  return makeRounded(Neg, Exp - static_cast<int64_t>(Shift), Mant, Sticky,
+                     TargetLimbs);
+}
+
+//===----------------------------------------------------------------------===//
+// Constructors and conversions.
+//===----------------------------------------------------------------------===//
+
+BigFloat BigFloat::zero(bool Negative) {
+  BigFloat R;
+  R.K = Kind::Zero;
+  R.Neg = Negative;
+  R.LimbCountHint = static_cast<uint32_t>(limbsForPrecision(0));
+  return R;
+}
+
+BigFloat BigFloat::inf(bool Negative) {
+  BigFloat R;
+  R.K = Kind::Inf;
+  R.Neg = Negative;
+  R.LimbCountHint = static_cast<uint32_t>(limbsForPrecision(0));
+  return R;
+}
+
+BigFloat BigFloat::nan() {
+  BigFloat R;
+  R.K = Kind::NaN;
+  R.LimbCountHint = static_cast<uint32_t>(limbsForPrecision(0));
+  return R;
+}
+
+BigFloat BigFloat::fromMantissaExp(bool Negative, uint64_t Mant, int64_t Exp2,
+                                   size_t PrecBits) {
+  size_t N = limbsForPrecision(PrecBits);
+  if (Mant == 0) {
+    BigFloat R = zero(Negative);
+    R.LimbCountHint = static_cast<uint32_t>(N);
+    return R;
+  }
+  int Lz = leadingZeros64(Mant);
+  BigFloat R;
+  R.K = Kind::Finite;
+  R.Neg = Negative;
+  R.Exp = Exp2 + 64 - Lz;
+  R.Limbs.assign(N, 0);
+  R.Limbs.back() = Mant << Lz;
+  R.LimbCountHint = static_cast<uint32_t>(N);
+  return R;
+}
+
+BigFloat BigFloat::fromDouble(double X, size_t PrecBits) {
+  if (std::isnan(X))
+    return nan();
+  if (std::isinf(X))
+    return inf(X < 0);
+  uint64_t Bits = bitsOfDouble(X);
+  bool Negative = Bits >> 63;
+  uint64_t ExpField = (Bits >> 52) & 0x7ff;
+  uint64_t MantField = Bits & ((1ULL << 52) - 1);
+  if (ExpField == 0) {
+    // Subnormal (or zero): value = MantField * 2^-1074.
+    if (MantField == 0) {
+      BigFloat R = zero(Negative);
+      R.LimbCountHint = static_cast<uint32_t>(limbsForPrecision(PrecBits));
+      return R;
+    }
+    return fromMantissaExp(Negative, MantField, -1074, PrecBits);
+  }
+  // Normal: value = (2^52 + MantField) * 2^(ExpField - 1075).
+  return fromMantissaExp(Negative, (1ULL << 52) | MantField,
+                         static_cast<int64_t>(ExpField) - 1075, PrecBits);
+}
+
+BigFloat BigFloat::fromFloat(float X, size_t PrecBits) {
+  if (std::isnan(X))
+    return nan();
+  if (std::isinf(X))
+    return inf(X < 0);
+  uint32_t Bits = bitsOfFloat(X);
+  bool Negative = Bits >> 31;
+  uint32_t ExpField = (Bits >> 23) & 0xff;
+  uint32_t MantField = Bits & ((1U << 23) - 1);
+  if (ExpField == 0) {
+    if (MantField == 0) {
+      BigFloat R = zero(Negative);
+      R.LimbCountHint = static_cast<uint32_t>(limbsForPrecision(PrecBits));
+      return R;
+    }
+    return fromMantissaExp(Negative, MantField, -149, PrecBits);
+  }
+  return fromMantissaExp(Negative, (1U << 23) | MantField,
+                         static_cast<int64_t>(ExpField) - 150, PrecBits);
+}
+
+BigFloat BigFloat::fromInt64(int64_t X, size_t PrecBits) {
+  if (X >= 0)
+    return fromMantissaExp(false, static_cast<uint64_t>(X), 0, PrecBits);
+  // -INT64_MIN overflows; negate in unsigned arithmetic.
+  return fromMantissaExp(true, ~static_cast<uint64_t>(X) + 1, 0, PrecBits);
+}
+
+BigFloat BigFloat::fromUInt64(uint64_t X, size_t PrecBits) {
+  return fromMantissaExp(false, X, 0, PrecBits);
+}
+
+namespace {
+/// IEEE destination format parameters for rounding conversions.
+struct IEEEFormat {
+  int MantBits;      ///< Including the implicit bit (53 for double).
+  int64_t MaxExp;    ///< Values with Exp > MaxExp after rounding overflow.
+  int64_t MinNormal; ///< Smallest Exp that is still a normal number.
+  int64_t SubOffset; ///< -log2(smallest subnormal) (1074 for double).
+  int ExpBias;       ///< Exponent bias (1023 for double).
+};
+} // namespace
+
+static const IEEEFormat DoubleFormat = {53, 1024, -1021, 1074, 1023};
+static const IEEEFormat FloatFormat = {24, 128, -125, 149, 127};
+
+/// Extracts the top KeepBits bits of a normalized mantissa as an integer,
+/// rounding to nearest-even with the remaining bits (plus StickyIn).
+/// The result may be 2^KeepBits (carry), which callers must handle.
+static uint64_t roundTopBits(const LimbVec &Limbs, int KeepBits,
+                             bool StickyIn) {
+  assert(KeepBits >= 0 && KeepBits <= 63 && "roundTopBits range");
+  size_t N = Limbs.size();
+  // The kept bits, round bit, and the top of the sticky region all live in
+  // the top two limbs; gather them into one 128-bit window.
+  unsigned __int128 Window = (unsigned __int128)Limbs[N - 1] << 64;
+  if (N >= 2)
+    Window |= Limbs[N - 2];
+  uint64_t Kept =
+      KeepBits == 0 ? 0 : static_cast<uint64_t>(Window >> (128 - KeepBits));
+  bool RoundBit = (Window >> (127 - KeepBits)) & 1;
+  bool Sticky = StickyIn;
+  unsigned __int128 BelowMask =
+      (((unsigned __int128)1) << (127 - KeepBits)) - 1;
+  if (Window & BelowMask)
+    Sticky = true;
+  for (size_t I = 0; I + 2 < N && !Sticky; ++I)
+    Sticky = Limbs[I] != 0;
+  if (RoundBit && (Sticky || (Kept & 1)))
+    ++Kept;
+  return Kept;
+}
+
+/// Shared double/float conversion.
+static uint64_t roundToIEEEBits(const BigFloat &X, const IEEEFormat &Fmt) {
+  uint64_t SignBit = X.isNegative() ? 1ULL << (Fmt.MantBits == 53 ? 63 : 31)
+                                    : 0;
+  const LimbVec &Limbs = BigFloatBuilder::limbs(X);
+  int64_t Exp = BigFloatBuilder::rawExp(X);
+  uint64_t InfBits =
+      Fmt.MantBits == 53 ? 0x7ffULL << 52 : static_cast<uint64_t>(0xff) << 23;
+  int FieldBits = Fmt.MantBits - 1;
+
+  if (Exp > Fmt.MaxExp)
+    return SignBit | InfBits;
+
+  if (Exp >= Fmt.MinNormal) {
+    uint64_t M = roundTopBits(Limbs, Fmt.MantBits, false);
+    if (M >> Fmt.MantBits) {
+      // Carried to the next binade.
+      M >>= 1;
+      ++Exp;
+      if (Exp > Fmt.MaxExp)
+        return SignBit | InfBits;
+    }
+    uint64_t Biased = static_cast<uint64_t>(Exp - 1 + Fmt.ExpBias);
+    uint64_t Field = M & ((1ULL << FieldBits) - 1);
+    return SignBit | (Biased << FieldBits) | Field;
+  }
+
+  // Subnormal (or rounds to zero).
+  int64_t KeepBits64 = Exp + Fmt.SubOffset;
+  if (KeepBits64 < 0)
+    return SignBit; // magnitude below half the smallest subnormal
+  int KeepBits = static_cast<int>(std::min<int64_t>(KeepBits64, 63));
+  uint64_t K = roundTopBits(Limbs, KeepBits, false);
+  // K may equal 2^KeepBits, which is the next subnormal (or the smallest
+  // normal when KeepBits == FieldBits); the bit pattern works out in both
+  // cases because the subnormal field and exponent field are adjacent.
+  return SignBit | K;
+}
+
+double BigFloat::toDouble() const {
+  switch (K) {
+  case Kind::Zero:
+    return Neg ? -0.0 : 0.0;
+  case Kind::Inf:
+    return Neg ? -HUGE_VAL : HUGE_VAL;
+  case Kind::NaN:
+    return std::nan("");
+  case Kind::Finite:
+    return doubleFromBits(roundToIEEEBits(*this, DoubleFormat));
+  }
+  assert(false && "unknown kind");
+  return 0.0;
+}
+
+float BigFloat::toFloat() const {
+  switch (K) {
+  case Kind::Zero:
+    return Neg ? -0.0f : 0.0f;
+  case Kind::Inf:
+    return Neg ? -HUGE_VALF : HUGE_VALF;
+  case Kind::NaN:
+    return std::nanf("");
+  case Kind::Finite:
+    return floatFromBits(
+        static_cast<uint32_t>(roundToIEEEBits(*this, FloatFormat)));
+  }
+  assert(false && "unknown kind");
+  return 0.0f;
+}
+
+int64_t BigFloat::toInt64Trunc() const {
+  switch (K) {
+  case Kind::Zero:
+    return 0;
+  case Kind::NaN:
+    return 0;
+  case Kind::Inf:
+    return Neg ? INT64_MIN : INT64_MAX;
+  case Kind::Finite:
+    break;
+  }
+  if (Exp <= 0)
+    return 0;
+  if (Exp > 64)
+    return Neg ? INT64_MIN : INT64_MAX;
+  // Integer part = top Exp bits of the mantissa.
+  uint64_t Mag;
+  if (Exp == 64) {
+    Mag = Limbs.back();
+  } else {
+    Mag = Limbs.back() >> (64 - Exp);
+  }
+  if (!Neg)
+    return Mag > static_cast<uint64_t>(INT64_MAX)
+               ? INT64_MAX
+               : static_cast<int64_t>(Mag);
+  if (Mag > (1ULL << 63))
+    return INT64_MIN;
+  return -static_cast<int64_t>(Mag - 1) - 1;
+}
+
+BigFloat BigFloat::withPrecision(size_t PrecBits) const {
+  size_t N = limbsForPrecision(PrecBits);
+  BigFloat R = *this;
+  R.LimbCountHint = static_cast<uint32_t>(N);
+  if (K != Kind::Finite)
+    return R;
+  if (N == Limbs.size())
+    return R;
+  if (N > Limbs.size()) {
+    LimbVec NewLimbs(N, 0);
+    std::copy(Limbs.begin(), Limbs.end(),
+              NewLimbs.end() - static_cast<ptrdiff_t>(Limbs.size()));
+    R.Limbs = std::move(NewLimbs);
+    return R;
+  }
+  return BigFloatBuilder::makeRounded(Neg, Exp, Limbs, false, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Observers.
+//===----------------------------------------------------------------------===//
+
+int64_t BigFloat::exponent() const {
+  assert(K == Kind::Finite && "exponent of a non-finite/zero value");
+  return Exp;
+}
+
+bool BigFloat::isInteger() const {
+  switch (K) {
+  case Kind::Zero:
+    return true;
+  case Kind::Inf:
+  case Kind::NaN:
+    return false;
+  case Kind::Finite:
+    break;
+  }
+  if (Exp <= 0)
+    return false;
+  int64_t TotalBits = static_cast<int64_t>(Limbs.size()) * 64;
+  if (Exp >= TotalBits)
+    return true;
+  // Fractional bits are the low (TotalBits - Exp) bits.
+  size_t FracBits = static_cast<size_t>(TotalBits - Exp);
+  for (size_t Pos = 0; Pos < FracBits; ++Pos)
+    if (getBit(Limbs, Pos))
+      return false;
+  return true;
+}
+
+bool BigFloat::isOddInteger() const {
+  if (!isInteger() || K == Kind::Zero)
+    return false;
+  int64_t TotalBits = static_cast<int64_t>(Limbs.size()) * 64;
+  if (Exp > TotalBits)
+    return false; // huge => divisible by large powers of two
+  // The units bit of the integer part sits at position TotalBits - Exp.
+  return getBit(Limbs, static_cast<size_t>(TotalBits - Exp));
+}
+
+//===----------------------------------------------------------------------===//
+// Sign manipulation.
+//===----------------------------------------------------------------------===//
+
+BigFloat BigFloat::negated() const {
+  BigFloat R = *this;
+  if (K != Kind::NaN)
+    R.Neg = !R.Neg;
+  return R;
+}
+
+BigFloat BigFloat::abs() const {
+  BigFloat R = *this;
+  R.Neg = false;
+  return R;
+}
+
+BigFloat BigFloat::copySign(const BigFloat &SignSource) const {
+  BigFloat R = *this;
+  R.Neg = SignSource.Neg;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison.
+//===----------------------------------------------------------------------===//
+
+int BigFloat::cmp(const BigFloat &A, const BigFloat &B) {
+  assert(!A.isNaN() && !B.isNaN() && "cmp of NaN");
+  bool AZero = A.isZero();
+  bool BZero = B.isZero();
+  if (AZero && BZero)
+    return 0;
+  if (AZero)
+    return B.Neg ? 1 : -1;
+  if (BZero)
+    return A.Neg ? -1 : 1;
+  if (A.Neg != B.Neg)
+    return A.Neg ? -1 : 1;
+  int SignFactor = A.Neg ? -1 : 1;
+  if (A.isInf() || B.isInf()) {
+    if (A.isInf() && B.isInf())
+      return 0;
+    return A.isInf() ? SignFactor : -SignFactor;
+  }
+  if (A.Exp != B.Exp)
+    return A.Exp < B.Exp ? -SignFactor : SignFactor;
+  // Compare mantissas, treating missing low limbs as zero.
+  size_t NA = A.Limbs.size();
+  size_t NB = B.Limbs.size();
+  size_t N = std::max(NA, NB);
+  for (size_t I = N; I-- > 0;) {
+    uint64_t LA = I >= N - NA ? A.Limbs[I - (N - NA)] : 0;
+    uint64_t LB = I >= N - NB ? B.Limbs[I - (N - NB)] : 0;
+    if (LA != LB)
+      return LA < LB ? -SignFactor : SignFactor;
+  }
+  return 0;
+}
+
+bool BigFloat::lt(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return false;
+  return cmp(A, B) < 0;
+}
+
+bool BigFloat::le(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return false;
+  return cmp(A, B) <= 0;
+}
+
+bool BigFloat::gt(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return false;
+  return cmp(A, B) > 0;
+}
+
+bool BigFloat::ge(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return false;
+  return cmp(A, B) >= 0;
+}
+
+bool BigFloat::eq(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return false;
+  return cmp(A, B) == 0;
+}
+
+bool BigFloat::ne(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return true;
+  return cmp(A, B) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic.
+//===----------------------------------------------------------------------===//
+
+/// Result precision rule: the larger of the operand precisions.
+static size_t resultLimbs(const BigFloat &A, const BigFloat &B) {
+  return std::max(BigFloat::limbsForPrecision(A.precisionBits()),
+                  BigFloat::limbsForPrecision(B.precisionBits()));
+}
+
+/// Magnitude |A| + |B| with the given result sign (both finite nonzero).
+static BigFloat addMagnitudes(const BigFloat &A, const BigFloat &B, bool Neg,
+                              size_t Target) {
+  const LimbVec &MA = BigFloatBuilder::limbs(A);
+  const LimbVec &MB = BigFloatBuilder::limbs(B);
+  int64_t EA = BigFloatBuilder::rawExp(A);
+  int64_t EB = BigFloatBuilder::rawExp(B);
+  const LimbVec *Hi = &MA;
+  const LimbVec *Lo = &MB;
+  int64_t EHi = EA;
+  int64_t ELo = EB;
+  if (EA < EB) {
+    std::swap(Hi, Lo);
+    std::swap(EHi, ELo);
+  }
+  size_t W = Target + 2;
+  assert(Hi->size() <= Target && Lo->size() <= Target &&
+         "operand precision exceeds result precision");
+
+  // Place Hi's mantissa at the top of a W-limb buffer.
+  LimbVec Buf(W, 0);
+  std::copy(Hi->begin(), Hi->end(),
+            Buf.end() - static_cast<ptrdiff_t>(Hi->size()));
+  // Place Lo at the top too, then shift it down into alignment.
+  LimbVec LoBuf(W, 0);
+  std::copy(Lo->begin(), Lo->end(),
+            LoBuf.end() - static_cast<ptrdiff_t>(Lo->size()));
+  bool Sticky = false;
+  uint64_t Diff = static_cast<uint64_t>(EHi - ELo);
+  if (Diff >= W * 64) {
+    std::fill(LoBuf.begin(), LoBuf.end(), 0);
+    Sticky = true;
+  } else {
+    shiftRightVec(LoBuf, static_cast<size_t>(Diff), Sticky);
+  }
+
+  uint64_t Carry = addVecInPlace(Buf, LoBuf);
+  int64_t Exp = EHi;
+  if (Carry) {
+    shiftRightVec(Buf, 1, Sticky);
+    Buf.back() |= 1ULL << 63;
+    ++Exp;
+  }
+  return BigFloatBuilder::normalizeAndRound(Neg, Exp, std::move(Buf), Sticky,
+                                            Target);
+}
+
+/// Magnitude |A| - |B| requiring |A| > |B| strictly at the buffer level is
+/// not assumed: handles |A| == |B| by returning +0. Sign Neg applies to the
+/// |A| >= |B| orientation; the caller pre-orders operands.
+static BigFloat subMagnitudes(const BigFloat &A, const BigFloat &B, bool Neg,
+                              size_t Target) {
+  const LimbVec &MA = BigFloatBuilder::limbs(A);
+  const LimbVec &MB = BigFloatBuilder::limbs(B);
+  int64_t EA = BigFloatBuilder::rawExp(A);
+  int64_t EB = BigFloatBuilder::rawExp(B);
+  assert(EA >= EB && "subMagnitudes requires pre-ordered operands");
+  size_t W = Target + 2;
+  LimbVec Buf(W, 0);
+  std::copy(MA.begin(), MA.end(),
+            Buf.end() - static_cast<ptrdiff_t>(MA.size()));
+  LimbVec LoBuf(W, 0);
+  std::copy(MB.begin(), MB.end(),
+            LoBuf.end() - static_cast<ptrdiff_t>(MB.size()));
+  bool Sticky = false;
+  uint64_t Diff = static_cast<uint64_t>(EA - EB);
+  if (Diff >= W * 64) {
+    std::fill(LoBuf.begin(), LoBuf.end(), 0);
+    Sticky = true;
+  } else {
+    shiftRightVec(LoBuf, static_cast<size_t>(Diff), Sticky);
+  }
+
+  // Equal buffers imply exactly equal values (Sticky requires an exponent
+  // gap >= 1, which forces LoBuf's top bit clear while Buf's is set), and
+  // the caller already peeled off the exactly-equal case.
+  assert(cmpVec(Buf, LoBuf) > 0 && "subMagnitudes operands not pre-ordered");
+  subVecInPlace(Buf, LoBuf);
+  if (Sticky) {
+    // The dropped bits of B make the true result slightly smaller than Buf;
+    // represent that as (Buf - 1ulp) + sticky.
+    assert(!vecIsZero(Buf) && "sticky subtraction cannot cancel to zero");
+    decrementVec(Buf);
+    if (vecIsZero(Buf)) {
+      // Result is strictly between 0 and one buffer ulp: impossible, since
+      // Sticky requires an exponent gap much larger than the buffer.
+      assert(false && "sticky cancellation to zero");
+    }
+  }
+  return BigFloatBuilder::normalizeAndRound(Neg, EA, std::move(Buf), Sticky,
+                                            Target);
+}
+
+BigFloat BigFloat::add(const BigFloat &A, const BigFloat &B) {
+  size_t Target = resultLimbs(A, B);
+  if (A.isNaN() || B.isNaN())
+    return nan();
+  if (A.isInf() || B.isInf()) {
+    if (A.isInf() && B.isInf())
+      return A.Neg == B.Neg ? A : nan();
+    return A.isInf() ? A : B;
+  }
+  if (A.isZero() && B.isZero())
+    return zero(A.Neg && B.Neg);
+  if (A.isZero())
+    return B.withPrecision(Target * 64);
+  if (B.isZero())
+    return A.withPrecision(Target * 64);
+
+  if (A.Neg == B.Neg)
+    return addMagnitudes(A, B, A.Neg, Target);
+
+  // Opposite signs: compute |larger| - |smaller| with the larger's sign.
+  const BigFloat *Big = &A;
+  const BigFloat *Small = &B;
+  int MagCmp = cmp(A.abs(), B.abs());
+  if (MagCmp == 0)
+    return zero(false);
+  if (MagCmp < 0)
+    std::swap(Big, Small);
+  return subMagnitudes(*Big, *Small, Big->Neg, Target);
+}
+
+BigFloat BigFloat::sub(const BigFloat &A, const BigFloat &B) {
+  return add(A, B.negated());
+}
+
+BigFloat BigFloat::mul(const BigFloat &A, const BigFloat &B) {
+  size_t Target = resultLimbs(A, B);
+  if (A.isNaN() || B.isNaN())
+    return nan();
+  bool Neg = A.Neg != B.Neg;
+  if (A.isInf() || B.isInf()) {
+    if (A.isZero() || B.isZero())
+      return nan();
+    return inf(Neg);
+  }
+  if (A.isZero() || B.isZero())
+    return zero(Neg);
+
+  LimbVec MA = A.Limbs;
+  LimbVec MB = B.Limbs;
+  LimbVec Prod = mulVec(MA, MB);
+  return BigFloatBuilder::normalizeAndRound(Neg, A.Exp + B.Exp,
+                                            std::move(Prod), false, Target);
+}
+
+BigFloat BigFloat::mulExact(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN() || B.isNaN())
+    return nan();
+  bool Neg = A.Neg != B.Neg;
+  if (A.isInf() || B.isInf()) {
+    if (A.isZero() || B.isZero())
+      return nan();
+    return inf(Neg);
+  }
+  if (A.isZero() || B.isZero())
+    return zero(Neg);
+  LimbVec Prod = mulVec(A.Limbs, B.Limbs);
+  size_t Target = A.Limbs.size() + B.Limbs.size();
+  return BigFloatBuilder::normalizeAndRound(Neg, A.Exp + B.Exp,
+                                            std::move(Prod), false, Target);
+}
+
+BigFloat BigFloat::div(const BigFloat &A, const BigFloat &B) {
+  size_t Target = resultLimbs(A, B);
+  if (A.isNaN() || B.isNaN())
+    return nan();
+  bool Neg = A.Neg != B.Neg;
+  if (A.isInf()) {
+    if (B.isInf())
+      return nan();
+    return inf(Neg);
+  }
+  if (B.isInf())
+    return zero(Neg);
+  if (B.isZero())
+    return A.isZero() ? nan() : inf(Neg);
+  if (A.isZero())
+    return zero(Neg);
+
+  // Extend both mantissas to Target limbs.
+  size_t N = Target;
+  LimbVec MA(N, 0);
+  std::copy(A.Limbs.begin(), A.Limbs.end(),
+            MA.end() - static_cast<ptrdiff_t>(A.Limbs.size()));
+  LimbVec MB(N, 0);
+  std::copy(B.Limbs.begin(), B.Limbs.end(),
+            MB.end() - static_cast<ptrdiff_t>(B.Limbs.size()));
+
+  // U = MA * 2^(64*(N+1)); quotient has N+2 limbs, top limb in {0, 1}.
+  LimbVec U(2 * N + 1, 0);
+  std::copy(MA.begin(), MA.end(), U.begin() + static_cast<ptrdiff_t>(N + 1));
+  LimbVec Q = divmodVec(U, MB);
+  bool Sticky = !vecIsZero(U);
+  assert(Q.size() == N + 2 && "unexpected quotient width");
+  return BigFloatBuilder::normalizeAndRound(
+      Neg, A.Exp - B.Exp + 64, std::move(Q), Sticky, Target);
+}
+
+BigFloat BigFloat::sqrt(const BigFloat &X) {
+  if (X.isNaN())
+    return nan();
+  if (X.isZero())
+    return X;
+  if (X.Neg)
+    return nan();
+  if (X.isInf())
+    return inf(false);
+
+  size_t N = X.Limbs.size();
+  // Normalize to an even exponent: value = F * 2^E with E even and
+  // F in [1/4, 1).
+  int64_t E = X.Exp;
+  LimbVec F(N + 1, 0); // one extra low guard limb for the odd-exponent shift
+  std::copy(X.Limbs.begin(), X.Limbs.end(), F.begin() + 1);
+  if (E & 1) {
+    bool Dummy = false;
+    shiftRightVec(F, 1, Dummy);
+    assert(!Dummy && "guard limb absorbed the shift");
+    E += 1;
+  }
+
+  // Integer square root of Num = F * 2^(64*(N+1)) interpreted as an integer
+  // of 2*(N+1) limbs. Result S = floor(sqrt(F') ) has N+1 limbs with the top
+  // bit set, i.e. exactly the mantissa-plus-guard-limb we want.
+  size_t NI = N + 1;
+  LimbVec Num(2 * NI, 0);
+  std::copy(F.begin(), F.end(), Num.begin() + static_cast<ptrdiff_t>(NI));
+
+  // Classic bit-pair integer square root.
+  LimbVec Rem(2 * NI, 0);
+  LimbVec Root(2 * NI, 0);
+  for (size_t I = NI * 64; I-- > 0;) {
+    // Rem = Rem*4 + next two bits of Num.
+    shiftLeftVec(Rem, 2);
+    if (getBit(Num, 2 * I + 1))
+      addBitAt(Rem, 1);
+    if (getBit(Num, 2 * I))
+      addBitAt(Rem, 0);
+    // Trial = Root*4 + 1 (Root currently holds the partial root shifted so
+    // its low bit is at position 0).
+    LimbVec Trial = Root;
+    shiftLeftVec(Trial, 2);
+    addBitAt(Trial, 0);
+    shiftLeftVec(Root, 1);
+    if (cmpVec(Rem, Trial) >= 0) {
+      subVecInPlace(Rem, Trial);
+      addBitAt(Root, 0);
+    }
+  }
+  bool Sticky = !vecIsZero(Rem);
+  Root.resize(NI);
+  assert((Root.back() >> 63) == 1 && "isqrt result not normalized");
+  return BigFloatBuilder::normalizeAndRound(false, E / 2, std::move(Root),
+                                            Sticky, N);
+}
+
+BigFloat BigFloat::fma(const BigFloat &A, const BigFloat &B,
+                       const BigFloat &C) {
+  size_t Target = std::max(resultLimbs(A, B), limbsForPrecision(
+                                                  C.precisionBits()));
+  BigFloat P = mulExact(A, B);
+  // Add at a precision wide enough to keep the exact product's bits in play,
+  // then round once to the target.
+  BigFloat CWide = C.withPrecision(P.precisionBits() + 128);
+  BigFloat PWide = P.withPrecision(P.precisionBits() + 128);
+  BigFloat Sum = add(PWide, CWide);
+  return Sum.withPrecision(Target * 64);
+}
+
+BigFloat BigFloat::scalb(const BigFloat &X, int64_t Shift) {
+  if (!X.isFinite() || X.isZero())
+    return X;
+  BigFloat R = X;
+  R.Exp += Shift;
+  return R;
+}
+
+BigFloat BigFloat::fmin(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN())
+    return B;
+  if (B.isNaN())
+    return A;
+  return cmp(A, B) <= 0 ? A : B;
+}
+
+BigFloat BigFloat::fmax(const BigFloat &A, const BigFloat &B) {
+  if (A.isNaN())
+    return B;
+  if (B.isNaN())
+    return A;
+  return cmp(A, B) >= 0 ? A : B;
+}
+
+//===----------------------------------------------------------------------===//
+// Integer roundings.
+//===----------------------------------------------------------------------===//
+
+BigFloat BigFloat::trunc() const {
+  if (K != Kind::Finite)
+    return *this;
+  if (Exp <= 0)
+    return zero(Neg);
+  int64_t TotalBits = static_cast<int64_t>(Limbs.size()) * 64;
+  if (Exp >= TotalBits)
+    return *this;
+  BigFloat R = *this;
+  size_t FracBits = static_cast<size_t>(TotalBits - Exp);
+  size_t FullLimbs = FracBits / 64;
+  size_t PartialBits = FracBits % 64;
+  for (size_t I = 0; I < FullLimbs; ++I)
+    R.Limbs[I] = 0;
+  if (PartialBits)
+    R.Limbs[FullLimbs] &= ~((1ULL << PartialBits) - 1);
+  if (vecIsZero(R.Limbs))
+    return zero(Neg);
+  return R;
+}
+
+/// True if this value has any fractional bits (i.e. trunc() != *this).
+static bool hasFraction(const BigFloat &X) {
+  return X.isFinite() && !X.isZero() && !X.isInteger();
+}
+
+BigFloat BigFloat::floor() const {
+  if (K != Kind::Finite)
+    return K == Kind::Zero ? zero(false) : *this;
+  BigFloat T = trunc();
+  if (!hasFraction(*this))
+    return T;
+  if (!Neg)
+    return T;
+  return sub(T, fromInt64(1, precisionBits()));
+}
+
+BigFloat BigFloat::ceil() const {
+  if (K != Kind::Finite)
+    return K == Kind::Zero ? zero(false) : *this;
+  BigFloat T = trunc();
+  if (!hasFraction(*this))
+    return T;
+  if (Neg)
+    return T;
+  return add(T, fromInt64(1, precisionBits()));
+}
+
+/// Fraction comparison helper: -1 if |frac| < 1/2, 0 if == 1/2, +1 if > 1/2.
+static int cmpFractionToHalf(const BigFloat &X) {
+  assert(hasFraction(X) && "no fraction to compare");
+  const LimbVec &Limbs = BigFloatBuilder::limbs(X);
+  int64_t Exp = BigFloatBuilder::rawExp(X);
+  int64_t TotalBits = static_cast<int64_t>(Limbs.size()) * 64;
+  if (Exp <= 0) {
+    // |X| < 1: fraction is |X| itself. |X| >= 1/2 iff Exp == 0.
+    if (Exp < 0)
+      return -1;
+    // Exp == 0: |X| in [1/2, 1); equal to 1/2 iff only the top bit is set.
+    for (size_t Pos = 0; Pos < static_cast<size_t>(TotalBits) - 1; ++Pos)
+      if (getBit(Limbs, Pos))
+        return 1;
+    return 0;
+  }
+  // The first fractional bit sits at position TotalBits - Exp - 1.
+  size_t HalfPos = static_cast<size_t>(TotalBits - Exp - 1);
+  if (!getBit(Limbs, HalfPos))
+    return -1;
+  for (size_t Pos = 0; Pos < HalfPos; ++Pos)
+    if (getBit(Limbs, Pos))
+      return 1;
+  return 0;
+}
+
+BigFloat BigFloat::roundNearest() const {
+  if (K != Kind::Finite)
+    return *this;
+  if (!hasFraction(*this))
+    return trunc();
+  BigFloat T = trunc();
+  if (cmpFractionToHalf(*this) >= 0) {
+    BigFloat One = fromInt64(Neg ? -1 : 1, precisionBits());
+    return add(T, One);
+  }
+  if (T.isZero())
+    return zero(Neg);
+  return T;
+}
+
+BigFloat BigFloat::roundNearestEven() const {
+  if (K != Kind::Finite)
+    return *this;
+  if (!hasFraction(*this))
+    return trunc();
+  BigFloat T = trunc();
+  int HalfCmp = cmpFractionToHalf(*this);
+  bool RoundAway;
+  if (HalfCmp > 0) {
+    RoundAway = true;
+  } else if (HalfCmp < 0) {
+    RoundAway = false;
+  } else {
+    RoundAway = T.isOddInteger();
+  }
+  if (RoundAway) {
+    BigFloat One = fromInt64(Neg ? -1 : 1, precisionBits());
+    return add(T, One);
+  }
+  if (T.isZero())
+    return zero(Neg);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Debug printing.
+//===----------------------------------------------------------------------===//
+
+std::string BigFloat::debugStr() const {
+  switch (K) {
+  case Kind::Zero:
+    return Neg ? "-0" : "+0";
+  case Kind::Inf:
+    return Neg ? "-inf" : "+inf";
+  case Kind::NaN:
+    return "nan";
+  case Kind::Finite:
+    break;
+  }
+  std::string S = Neg ? "-0x." : "+0x.";
+  for (size_t I = Limbs.size(); I-- > 0;)
+    S += format("%016llx", static_cast<unsigned long long>(Limbs[I]));
+  S += format("p%+lld[%zu]", static_cast<long long>(Exp), precisionBits());
+  return S;
+}

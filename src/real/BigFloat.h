@@ -1,0 +1,214 @@
+//===- real/BigFloat.h - Arbitrary-precision binary floats ------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch arbitrary-precision binary floating-point number, standing
+/// in for the MPFR shadow values of the paper (Section 5.1). A finite value
+/// is (-1)^sign * frac * 2^Exp where frac is a little-endian limb vector
+/// interpreted as a fraction in [1/2, 1) (the top bit of the top limb is
+/// always set). Precision is a per-value property, always a whole number of
+/// 64-bit limbs; the paper's default is 1000 bits, ours is 256 (configurable
+/// via setDefaultPrecisionBits, swept in the tests).
+///
+/// Core operations (add, sub, mul, div, sqrt, conversions to double/float)
+/// are correctly rounded to the result precision under round-to-nearest-even.
+/// Transcendental functions live in real/RealMath.h and are faithful at the
+/// working precision, which is far more accuracy than the 53-bit comparisons
+/// the analysis performs ever need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_REAL_BIGFLOAT_H
+#define HERBGRIND_REAL_BIGFLOAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+
+/// An arbitrary-precision binary float with IEEE-style specials.
+class BigFloat {
+public:
+  enum class Kind : uint8_t { Zero, Finite, Inf, NaN };
+
+  /// Constructs +0 at the default precision.
+  BigFloat() = default;
+
+  /// \name Constructors for special values and conversions.
+  /// @{
+  static BigFloat zero(bool Negative = false);
+  static BigFloat inf(bool Negative = false);
+  static BigFloat nan();
+
+  /// Converts a double exactly (any precision >= 53 bits represents every
+  /// finite double exactly; the minimum one limb does too).
+  static BigFloat fromDouble(double X, size_t PrecBits = 0);
+
+  /// Converts a float exactly.
+  static BigFloat fromFloat(float X, size_t PrecBits = 0);
+
+  /// Converts an integer exactly (rounding if PrecBits < 64 is impossible
+  /// since the minimum precision is one limb).
+  static BigFloat fromInt64(int64_t X, size_t PrecBits = 0);
+  static BigFloat fromUInt64(uint64_t X, size_t PrecBits = 0);
+
+  /// Builds (-1)^Negative * Mant * 2^Exp2 exactly.
+  static BigFloat fromMantissaExp(bool Negative, uint64_t Mant, int64_t Exp2,
+                                  size_t PrecBits = 0);
+  /// @}
+
+  /// \name Observers.
+  /// @{
+  Kind kind() const { return K; }
+  bool isZero() const { return K == Kind::Zero; }
+  bool isFinite() const { return K == Kind::Zero || K == Kind::Finite; }
+  bool isInf() const { return K == Kind::Inf; }
+  bool isNaN() const { return K == Kind::NaN; }
+  bool isNegative() const { return Neg; }
+
+  /// Precision in bits (multiple of 64). Meaningful for every kind; specials
+  /// remember a precision so results inherit a sensible one.
+  size_t precisionBits() const { return LimbCountHint * 64; }
+
+  /// For finite nonzero values, the binary exponent E such that
+  /// |value| lies in [2^(E-1), 2^E).
+  int64_t exponent() const;
+
+  /// True if the value is a (mathematical) integer.
+  bool isInteger() const;
+
+  /// True if the value is an odd integer (used by pow's sign rules).
+  bool isOddInteger() const;
+  /// @}
+
+  /// \name Rounding conversions.
+  /// @{
+  /// Correctly rounded (nearest-even) conversion to double, including
+  /// subnormal and overflow handling.
+  double toDouble() const;
+
+  /// Correctly rounded conversion to float.
+  float toFloat() const;
+
+  /// Truncates toward zero and saturates to the int64 range. NaN maps to 0,
+  /// mirroring a well-defined flavor of the x86 conversion the IR uses.
+  int64_t toInt64Trunc() const;
+
+  /// Re-rounds this value to a new precision (nearest-even).
+  BigFloat withPrecision(size_t PrecBits) const;
+  /// @}
+
+  /// \name Sign manipulations (exact).
+  /// @{
+  BigFloat negated() const;
+  BigFloat abs() const;
+  BigFloat copySign(const BigFloat &SignSource) const;
+  /// @}
+
+  /// \name Arithmetic. Results are correctly rounded to the larger operand
+  /// precision. Special values follow IEEE-754 semantics.
+  /// @{
+  static BigFloat add(const BigFloat &A, const BigFloat &B);
+  static BigFloat sub(const BigFloat &A, const BigFloat &B);
+  static BigFloat mul(const BigFloat &A, const BigFloat &B);
+  static BigFloat div(const BigFloat &A, const BigFloat &B);
+  static BigFloat sqrt(const BigFloat &X);
+
+  /// Exact product at the sum of the operand precisions (no rounding).
+  static BigFloat mulExact(const BigFloat &A, const BigFloat &B);
+
+  /// Fused multiply-add: A*B + C with a single rounding.
+  static BigFloat fma(const BigFloat &A, const BigFloat &B, const BigFloat &C);
+
+  /// Exact scaling by 2^Shift.
+  static BigFloat scalb(const BigFloat &X, int64_t Shift);
+
+  static BigFloat fmin(const BigFloat &A, const BigFloat &B);
+  static BigFloat fmax(const BigFloat &A, const BigFloat &B);
+  /// @}
+
+  /// \name Integer roundings (exact).
+  /// @{
+  BigFloat floor() const;
+  BigFloat ceil() const;
+  BigFloat trunc() const;
+  /// Rounds to nearest integer, ties away from zero (like std::round).
+  BigFloat roundNearest() const;
+  /// Rounds to nearest integer, ties to even (like rint in RNE mode).
+  BigFloat roundNearestEven() const;
+  /// @}
+
+  /// \name Comparisons.
+  /// @{
+  /// Three-way comparison of finite-or-infinite values: -1, 0, or +1.
+  /// Neither argument may be NaN.
+  static int cmp(const BigFloat &A, const BigFloat &B);
+
+  /// IEEE predicates: any comparison with NaN is false (ne is true).
+  static bool lt(const BigFloat &A, const BigFloat &B);
+  static bool le(const BigFloat &A, const BigFloat &B);
+  static bool gt(const BigFloat &A, const BigFloat &B);
+  static bool ge(const BigFloat &A, const BigFloat &B);
+  static bool eq(const BigFloat &A, const BigFloat &B);
+  static bool ne(const BigFloat &A, const BigFloat &B);
+  /// @}
+
+  /// Hex-ish representation for debugging: "-0x.ab12...p+12[256]".
+  std::string debugStr() const;
+
+  /// \name Default precision configuration.
+  /// @{
+  static size_t defaultPrecisionBits();
+  static void setDefaultPrecisionBits(size_t Bits);
+  /// @}
+
+  /// Rounds PrecBits up to a whole number of limbs (minimum one).
+  static size_t limbsForPrecision(size_t PrecBits);
+
+private:
+  friend class BigFloatBuilder;
+
+  Kind K = Kind::Zero;
+  bool Neg = false;
+  /// Exponent: value = frac * 2^Exp with frac in [1/2, 1). Only for Finite.
+  int64_t Exp = 0;
+  /// Little-endian mantissa limbs; top bit of Limbs.back() set when Finite.
+  std::vector<uint64_t> Limbs;
+  /// Precision carried by specials (and equal to Limbs.size() when Finite).
+  uint32_t LimbCountHint = 1;
+};
+
+/// Internal constructor/rounding toolkit shared with RealMath.cpp. Public
+/// API users never need this.
+class BigFloatBuilder {
+public:
+  /// Builds a finite value by rounding an extended mantissa to TargetLimbs.
+  /// \p Mant is little-endian with its top bit set (normalized); \p Sticky
+  /// accounts for any nonzero bits below Mant; the value being rounded is
+  /// (-1)^Neg * frac(Mant) * 2^Exp.
+  static BigFloat makeRounded(bool Neg, int64_t Exp,
+                              const std::vector<uint64_t> &Mant, bool Sticky,
+                              size_t TargetLimbs);
+
+  /// Normalizes a possibly-denormalized extended mantissa (shifts out
+  /// leading zero bits, adjusting Exp), then rounds. Returns zero if Mant is
+  /// all zeros and Sticky is clear; asserts if Mant is zero but Sticky set.
+  static BigFloat normalizeAndRound(bool Neg, int64_t Exp,
+                                    std::vector<uint64_t> Mant, bool Sticky,
+                                    size_t TargetLimbs);
+
+  /// Direct access for RealMath: mantissa limbs of a finite value.
+  static const std::vector<uint64_t> &limbs(const BigFloat &X) {
+    return X.Limbs;
+  }
+  static int64_t rawExp(const BigFloat &X) { return X.Exp; }
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_REAL_BIGFLOAT_H

@@ -1,0 +1,792 @@
+//===- real/RealMath.cpp - Transcendental functions on BigFloat -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Strategy: every function widens its operands to a working precision
+// (input precision + guard bits), reduces the argument into a small range,
+// sums a rapidly converging series, and rounds back down. Constants (pi,
+// ln2) are computed by Machin-style small-denominator series and cached at
+// the largest precision requested so far.
+//
+//===----------------------------------------------------------------------===//
+
+#include "real/RealMath.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace herbgrind;
+using realmath::pi;
+using realmath::ln2;
+
+/// Guard bits added to the working precision of every function.
+static const size_t GuardBits = 128;
+
+//===----------------------------------------------------------------------===//
+// Small helpers.
+//===----------------------------------------------------------------------===//
+
+/// Divides a finite nonzero BigFloat by a small positive integer with a
+/// single limb pass (the workhorse of all the series below).
+static BigFloat divBySmall(const BigFloat &X, uint64_t D) {
+  assert(D > 0 && "division by zero");
+  if (!X.isFinite() || X.isZero())
+    return X;
+  const std::vector<uint64_t> &M = BigFloatBuilder::limbs(X);
+  size_t N = M.size();
+  std::vector<uint64_t> Q(N + 1, 0);
+  unsigned __int128 Rem = 0;
+  for (size_t I = N; I-- > 0;) {
+    unsigned __int128 Cur = (Rem << 64) | M[I];
+    Q[I + 1] = static_cast<uint64_t>(Cur / D);
+    Rem = Cur % D;
+  }
+  unsigned __int128 Cur = Rem << 64;
+  Q[0] = static_cast<uint64_t>(Cur / D);
+  bool Sticky = (Cur % D) != 0;
+  return BigFloatBuilder::normalizeAndRound(X.isNegative(),
+                                            BigFloatBuilder::rawExp(X),
+                                            std::move(Q), Sticky, N);
+}
+
+/// True when adding Term to a sum of magnitude ~Ref can no longer change
+/// the top WorkBits bits.
+static bool negligible(const BigFloat &Term, const BigFloat &Ref,
+                       size_t WorkBits) {
+  if (Term.isZero())
+    return true;
+  if (Ref.isZero())
+    return false;
+  return Term.exponent() <
+         Ref.exponent() - static_cast<int64_t>(WorkBits) - 16;
+}
+
+static size_t workPrec(const BigFloat &X) {
+  return X.precisionBits() + GuardBits;
+}
+
+static BigFloat widened(const BigFloat &X, size_t WP) {
+  return X.withPrecision(WP);
+}
+
+static BigFloat one(size_t WP) { return BigFloat::fromInt64(1, WP); }
+
+//===----------------------------------------------------------------------===//
+// Constants.
+//===----------------------------------------------------------------------===//
+
+/// atan(1/M) for a small integer M via the Gregory series; all divisions
+/// are by small integers. Converges log2(M^2) bits per term.
+static BigFloat atanReciprocal(uint64_t M, size_t PrecBits) {
+  size_t WP = PrecBits + GuardBits;
+  uint64_t MSquared = M * M; // callers keep M <= ~2^31
+  BigFloat Pow = divBySmall(one(WP), M);
+  BigFloat Sum = Pow;
+  BigFloat Ref = Sum;
+  bool Negate = true;
+  for (uint64_t K = 1;; ++K, Negate = !Negate) {
+    Pow = divBySmall(Pow, MSquared);
+    BigFloat Term = divBySmall(Pow, 2 * K + 1);
+    if (negligible(Term, Ref, WP))
+      break;
+    Sum = BigFloat::add(Sum, Negate ? Term.negated() : Term);
+  }
+  return Sum;
+}
+
+BigFloat realmath::pi(size_t PrecBits) {
+  static BigFloat Cached;
+  static size_t CachedPrec = 0;
+  if (CachedPrec < PrecBits) {
+    size_t P = PrecBits + 64;
+    // Machin: pi = 16*atan(1/5) - 4*atan(1/239).
+    BigFloat A = BigFloat::scalb(atanReciprocal(5, P), 4);
+    BigFloat B = BigFloat::scalb(atanReciprocal(239, P), 2);
+    Cached = BigFloat::sub(A, B);
+    CachedPrec = P;
+  }
+  return Cached.withPrecision(PrecBits);
+}
+
+BigFloat realmath::ln2(size_t PrecBits) {
+  static BigFloat Cached;
+  static size_t CachedPrec = 0;
+  if (CachedPrec < PrecBits) {
+    size_t P = PrecBits + 64;
+    size_t WP = P + GuardBits;
+    // ln2 = 2*atanh(1/3) = 2 * sum 1/((2k+1) 3^(2k+1)).
+    BigFloat Pow = divBySmall(one(WP), 3);
+    BigFloat Sum = Pow;
+    for (uint64_t K = 1;; ++K) {
+      Pow = divBySmall(Pow, 9);
+      BigFloat Term = divBySmall(Pow, 2 * K + 1);
+      if (negligible(Term, Sum, WP))
+        break;
+      Sum = BigFloat::add(Sum, Term);
+    }
+    Cached = BigFloat::scalb(Sum, 1).withPrecision(P);
+    CachedPrec = P;
+  }
+  return Cached.withPrecision(PrecBits);
+}
+
+BigFloat realmath::ln10(size_t PrecBits) {
+  static BigFloat Cached;
+  static size_t CachedPrec = 0;
+  if (CachedPrec < PrecBits) {
+    size_t P = PrecBits + 64;
+    Cached = realmath::log(BigFloat::fromInt64(10, P + GuardBits))
+                 .withPrecision(P);
+    CachedPrec = P;
+  }
+  return Cached.withPrecision(PrecBits);
+}
+
+BigFloat realmath::eulerE(size_t PrecBits) {
+  static BigFloat Cached;
+  static size_t CachedPrec = 0;
+  if (CachedPrec < PrecBits) {
+    size_t P = PrecBits + 64;
+    Cached = realmath::exp(one(P + GuardBits)).withPrecision(P);
+    CachedPrec = P;
+  }
+  return Cached.withPrecision(PrecBits);
+}
+
+//===----------------------------------------------------------------------===//
+// Exponentials.
+//===----------------------------------------------------------------------===//
+
+BigFloat realmath::exp(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isInf())
+    return X.isNegative() ? BigFloat::zero(false) : BigFloat::inf(false);
+  if (X.isZero())
+    return one(Prec);
+  // Saturate absurd magnitudes: any |X| >= 2^50 overflows/underflows every
+  // IEEE format the analysis rounds into.
+  if (X.exponent() > 50)
+    return X.isNegative() ? BigFloat::zero(false) : BigFloat::inf(false);
+
+  // Range-reduce: X = K*ln2 + R with |R| <= ln2/2, exp(X) = 2^K * exp(R).
+  // ln2 must carry extra bits to absorb |K| <= 2^51.
+  size_t WP2 = WP + 64;
+  BigFloat XW = widened(X, WP2);
+  BigFloat Ln2 = ln2(WP2);
+  BigFloat K = BigFloat::div(XW, Ln2).roundNearest();
+  int64_t KInt = K.toInt64Trunc();
+  BigFloat R = BigFloat::sub(XW, BigFloat::mul(K, Ln2)).withPrecision(WP);
+
+  BigFloat Sum = one(WP);
+  BigFloat Term = one(WP);
+  for (uint64_t I = 1;; ++I) {
+    Term = divBySmall(BigFloat::mul(Term, R), I);
+    if (negligible(Term, Sum, WP))
+      break;
+    Sum = BigFloat::add(Sum, Term);
+  }
+  return BigFloat::scalb(Sum, KInt).withPrecision(Prec);
+}
+
+BigFloat realmath::expm1(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isInf())
+    return X.isNegative() ? BigFloat::fromInt64(-1, Prec)
+                          : BigFloat::inf(false);
+  if (X.isZero())
+    return X; // preserves the signed zero, like libm
+  if (X.exponent() <= -1) {
+    // |X| < 1/2: direct series sum_{k>=1} X^k / k! avoids cancellation.
+    BigFloat R = widened(X, WP);
+    BigFloat Sum = R;
+    BigFloat Term = R;
+    for (uint64_t I = 2;; ++I) {
+      Term = divBySmall(BigFloat::mul(Term, R), I);
+      if (negligible(Term, Sum, WP))
+        break;
+      Sum = BigFloat::add(Sum, Term);
+    }
+    return Sum.withPrecision(Prec);
+  }
+  BigFloat E = realmath::exp(widened(X, WP));
+  return BigFloat::sub(E, one(WP)).withPrecision(Prec);
+}
+
+BigFloat realmath::exp2(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isInf())
+    return X.isNegative() ? BigFloat::zero(false) : BigFloat::inf(false);
+  if (X.isZero())
+    return one(Prec);
+  if (X.exponent() > 50)
+    return X.isNegative() ? BigFloat::zero(false) : BigFloat::inf(false);
+  // 2^X = 2^floor(X) * exp(frac * ln2); exact when X is an integer.
+  BigFloat K = X.floor();
+  BigFloat Frac = BigFloat::sub(X, K);
+  int64_t KInt = K.toInt64Trunc();
+  size_t WP = workPrec(X);
+  BigFloat E = Frac.isZero()
+                   ? one(WP)
+                   : realmath::exp(BigFloat::mul(widened(Frac, WP), ln2(WP)));
+  return BigFloat::scalb(E, KInt).withPrecision(Prec);
+}
+
+//===----------------------------------------------------------------------===//
+// Logarithms.
+//===----------------------------------------------------------------------===//
+
+/// 2*atanh(T) via the odd series; |T| must be well below 1.
+static BigFloat atanhTimes2(const BigFloat &T, size_t WP) {
+  if (T.isZero())
+    return T;
+  BigFloat T2 = BigFloat::mul(T, T);
+  BigFloat Pow = T;
+  BigFloat Sum = T;
+  for (uint64_t K = 1;; ++K) {
+    Pow = BigFloat::mul(Pow, T2);
+    BigFloat Term = divBySmall(Pow, 2 * K + 1);
+    if (negligible(Term, Sum, WP))
+      break;
+    Sum = BigFloat::add(Sum, Term);
+  }
+  return BigFloat::scalb(Sum, 1);
+}
+
+BigFloat realmath::log(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isZero())
+    return BigFloat::inf(true);
+  if (X.isNegative())
+    return BigFloat::nan();
+  if (X.isInf())
+    return BigFloat::inf(false);
+
+  // X = M * 2^K with M in (sqrt(1/2), sqrt(2)).
+  int64_t K = X.exponent();
+  BigFloat M = BigFloat::scalb(widened(X, WP), -K);
+  if (M.toDouble() < 0.70710678118654752) {
+    M = BigFloat::scalb(M, 1);
+    K -= 1;
+  }
+  // ln M = 2*atanh((M-1)/(M+1)).
+  BigFloat T = BigFloat::div(BigFloat::sub(M, one(WP)),
+                             BigFloat::add(M, one(WP)));
+  BigFloat LnM = atanhTimes2(T, WP);
+  BigFloat Result =
+      BigFloat::add(LnM, BigFloat::mul(BigFloat::fromInt64(K, WP), ln2(WP)));
+  return Result.withPrecision(Prec);
+}
+
+BigFloat realmath::log1p(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isZero())
+    return X;
+  if (X.isInf())
+    return X.isNegative() ? BigFloat::nan() : BigFloat::inf(false);
+  BigFloat One = one(WP);
+  int MinusOneCmp = BigFloat::cmp(X, One.negated());
+  if (MinusOneCmp == 0)
+    return BigFloat::inf(true);
+  if (MinusOneCmp < 0)
+    return BigFloat::nan();
+  if (X.exponent() <= -1) {
+    // |X| < 1/2: log1p(X) = 2*atanh(X / (2 + X)), no cancellation.
+    BigFloat XW = widened(X, WP);
+    BigFloat T = BigFloat::div(XW, BigFloat::add(BigFloat::fromInt64(2, WP),
+                                                 XW));
+    return atanhTimes2(T, WP).withPrecision(Prec);
+  }
+  return realmath::log(BigFloat::add(widened(X, WP), One))
+      .withPrecision(Prec);
+}
+
+BigFloat realmath::log2(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  BigFloat L = realmath::log(widened(X, WP));
+  if (!L.isFinite())
+    return L;
+  return BigFloat::div(L, ln2(WP)).withPrecision(Prec);
+}
+
+BigFloat realmath::log10(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  BigFloat L = realmath::log(widened(X, WP));
+  if (!L.isFinite())
+    return L;
+  return BigFloat::div(L, ln10(WP)).withPrecision(Prec);
+}
+
+//===----------------------------------------------------------------------===//
+// Trigonometry.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Result of circular argument reduction: X = (Quadrant + 4k)*(pi/2) + R
+/// with |R| <= pi/4 (plus rounding slack).
+struct CircularReduction {
+  BigFloat R;
+  int Quadrant;
+};
+} // namespace
+
+static CircularReduction reduceCircular(const BigFloat &X, size_t WP) {
+  assert(X.isFinite() && !X.isZero() && "reduce of non-finite");
+  if (X.exponent() <= -1) {
+    // |X| < 1/2 < pi/4: already reduced.
+    return {widened(X, WP), 0};
+  }
+  // Payne-Hanek in spirit: carry enough extra bits of pi to absorb the
+  // argument's magnitude.
+  size_t ExtP = WP + static_cast<size_t>(std::max<int64_t>(0, X.exponent())) +
+                64;
+  BigFloat PiHalf = BigFloat::scalb(pi(ExtP), -1);
+  BigFloat XE = widened(X, ExtP);
+  BigFloat K = BigFloat::div(XE, PiHalf).roundNearest();
+  BigFloat R = BigFloat::sub(XE, BigFloat::mul(K, PiHalf));
+  // Quadrant = K mod 4 (mathematical modulus).
+  BigFloat KDiv4 = BigFloat::scalb(K, -2).floor();
+  BigFloat KMod4 = BigFloat::sub(K, BigFloat::scalb(KDiv4, 2));
+  int Quadrant = static_cast<int>(KMod4.toInt64Trunc()) & 3;
+  return {R.withPrecision(WP), Quadrant};
+}
+
+/// sin on the reduced range |R| <= pi/4 + slack.
+static BigFloat sinTaylor(const BigFloat &R, size_t WP) {
+  if (R.isZero())
+    return R;
+  BigFloat R2 = BigFloat::mul(R, R).negated();
+  BigFloat Term = R;
+  BigFloat Sum = R;
+  for (uint64_t K = 1;; ++K) {
+    Term = divBySmall(BigFloat::mul(Term, R2), (2 * K) * (2 * K + 1));
+    if (negligible(Term, Sum, WP))
+      break;
+    Sum = BigFloat::add(Sum, Term);
+  }
+  return Sum;
+}
+
+/// cos on the reduced range.
+static BigFloat cosTaylor(const BigFloat &R, size_t WP) {
+  BigFloat One = one(WP);
+  if (R.isZero())
+    return One;
+  BigFloat R2 = BigFloat::mul(R, R).negated();
+  BigFloat Term = One;
+  BigFloat Sum = One;
+  for (uint64_t K = 1;; ++K) {
+    Term = divBySmall(BigFloat::mul(Term, R2), (2 * K - 1) * (2 * K));
+    if (negligible(Term, Sum, WP))
+      break;
+    Sum = BigFloat::add(Sum, Term);
+  }
+  return Sum;
+}
+
+BigFloat realmath::sin(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN() || X.isInf())
+    return BigFloat::nan();
+  if (X.isZero())
+    return X;
+  CircularReduction CR = reduceCircular(X, WP);
+  BigFloat V;
+  switch (CR.Quadrant) {
+  case 0:
+    V = sinTaylor(CR.R, WP);
+    break;
+  case 1:
+    V = cosTaylor(CR.R, WP);
+    break;
+  case 2:
+    V = sinTaylor(CR.R, WP).negated();
+    break;
+  default:
+    V = cosTaylor(CR.R, WP).negated();
+    break;
+  }
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::cos(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN() || X.isInf())
+    return BigFloat::nan();
+  if (X.isZero())
+    return one(Prec);
+  CircularReduction CR = reduceCircular(X, WP);
+  BigFloat V;
+  switch (CR.Quadrant) {
+  case 0:
+    V = cosTaylor(CR.R, WP);
+    break;
+  case 1:
+    V = sinTaylor(CR.R, WP).negated();
+    break;
+  case 2:
+    V = cosTaylor(CR.R, WP).negated();
+    break;
+  default:
+    V = sinTaylor(CR.R, WP);
+    break;
+  }
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::tan(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN() || X.isInf())
+    return BigFloat::nan();
+  if (X.isZero())
+    return X;
+  CircularReduction CR = reduceCircular(X, WP);
+  BigFloat S = sinTaylor(CR.R, WP);
+  BigFloat C = cosTaylor(CR.R, WP);
+  BigFloat V = (CR.Quadrant & 1) ? BigFloat::div(C, S).negated()
+                                 : BigFloat::div(S, C);
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::atan(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isZero())
+    return X;
+  if (X.isInf()) {
+    BigFloat PiHalf = BigFloat::scalb(pi(Prec), -1);
+    return X.isNegative() ? PiHalf.negated() : PiHalf;
+  }
+  bool Negate = X.isNegative();
+  BigFloat A = widened(X.abs(), WP);
+  bool Reciprocal = false;
+  if (A.exponent() > 0 && BigFloat::cmp(A, one(WP)) > 0) {
+    A = BigFloat::div(one(WP), A);
+    Reciprocal = true;
+  }
+  // Halve with atan(a) = 2*atan(a / (1 + sqrt(1 + a^2))) until a < 1/8.
+  int Halvings = 0;
+  while (!A.isZero() && A.exponent() > -3) {
+    BigFloat Sq = BigFloat::sqrt(
+        BigFloat::add(one(WP), BigFloat::mul(A, A)));
+    A = BigFloat::div(A, BigFloat::add(one(WP), Sq));
+    ++Halvings;
+  }
+  // Gregory series.
+  BigFloat Sum = A;
+  if (!A.isZero()) {
+    BigFloat A2 = BigFloat::mul(A, A).negated();
+    BigFloat Pow = A;
+    for (uint64_t K = 1;; ++K) {
+      Pow = BigFloat::mul(Pow, A2);
+      BigFloat Term = divBySmall(Pow, 2 * K + 1);
+      if (negligible(Term, Sum, WP))
+        break;
+      Sum = BigFloat::add(Sum, Term);
+    }
+  }
+  BigFloat V = BigFloat::scalb(Sum, Halvings);
+  if (Reciprocal)
+    V = BigFloat::sub(BigFloat::scalb(pi(WP), -1), V);
+  if (Negate)
+    V = V.negated();
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::atan2(const BigFloat &Y, const BigFloat &X) {
+  size_t Prec = std::max(Y.precisionBits(), X.precisionBits());
+  size_t WP = Prec + GuardBits;
+  if (Y.isNaN() || X.isNaN())
+    return BigFloat::nan();
+  bool YNeg = Y.isNegative();
+  auto Signed = [&](const BigFloat &V) {
+    return YNeg ? V.negated() : V;
+  };
+  BigFloat Pi = pi(Prec);
+  BigFloat PiHalf = BigFloat::scalb(pi(Prec), -1);
+  if (Y.isZero()) {
+    // C99: the sign of the zero selects the branch.
+    if (X.isZero())
+      return X.isNegative() ? Signed(Pi) : Signed(BigFloat::zero(YNeg));
+    if (X.isNegative())
+      return Signed(Pi);
+    return BigFloat::zero(YNeg);
+  }
+  if (X.isZero())
+    return Signed(PiHalf);
+  if (X.isInf() && Y.isInf()) {
+    BigFloat PiQuarter = BigFloat::scalb(pi(Prec), -2);
+    if (X.isNegative())
+      return Signed(BigFloat::sub(Pi, PiQuarter)); // ±3pi/4
+    return Signed(PiQuarter);
+  }
+  if (X.isInf())
+    return X.isNegative() ? Signed(Pi) : BigFloat::zero(YNeg);
+  if (Y.isInf())
+    return Signed(PiHalf);
+
+  BigFloat Base =
+      realmath::atan(BigFloat::div(widened(Y.abs(), WP), widened(X.abs(), WP)));
+  BigFloat V = X.isNegative() ? BigFloat::sub(pi(WP), Base) : Base;
+  return Signed(V).withPrecision(Prec);
+}
+
+BigFloat realmath::asin(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isZero())
+    return X;
+  BigFloat AbsX = X.abs();
+  BigFloat One = one(WP);
+  int Cmp = X.isInf() ? 1 : BigFloat::cmp(widened(AbsX, WP), One);
+  if (Cmp > 0)
+    return BigFloat::nan();
+  if (Cmp == 0) {
+    BigFloat PiHalf = BigFloat::scalb(pi(Prec), -1);
+    return X.isNegative() ? PiHalf.negated() : PiHalf;
+  }
+  BigFloat XW = widened(X, WP);
+  BigFloat Denom = BigFloat::sqrt(BigFloat::sub(One, BigFloat::mul(XW, XW)));
+  return realmath::atan(BigFloat::div(XW, Denom)).withPrecision(Prec);
+}
+
+BigFloat realmath::acos(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  BigFloat One = one(WP);
+  BigFloat XW = widened(X, WP);
+  if (X.isInf() || BigFloat::cmp(XW.abs(), One) > 0)
+    return BigFloat::nan();
+  // acos(x) = atan2(sqrt(1 - x^2), x): no cancellation anywhere.
+  BigFloat S = BigFloat::sqrt(BigFloat::sub(One, BigFloat::mul(XW, XW)));
+  return realmath::atan2(S, XW).withPrecision(Prec);
+}
+
+//===----------------------------------------------------------------------===//
+// Hyperbolics.
+//===----------------------------------------------------------------------===//
+
+BigFloat realmath::sinh(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (!X.isFinite() || X.isZero())
+    return X; // NaN, ±inf, ±0 all map to themselves
+  if (X.exponent() <= -1) {
+    // |X| < 1/2: odd series avoids the exp(x) - exp(-x) cancellation.
+    BigFloat R = widened(X, WP);
+    BigFloat R2 = BigFloat::mul(R, R);
+    BigFloat Term = R;
+    BigFloat Sum = R;
+    for (uint64_t K = 1;; ++K) {
+      Term = divBySmall(BigFloat::mul(Term, R2), (2 * K) * (2 * K + 1));
+      if (negligible(Term, Sum, WP))
+        break;
+      Sum = BigFloat::add(Sum, Term);
+    }
+    return Sum.withPrecision(Prec);
+  }
+  BigFloat E = realmath::exp(widened(X, WP));
+  BigFloat V = BigFloat::sub(E, BigFloat::div(one(WP), E));
+  return BigFloat::scalb(V, -1).withPrecision(Prec);
+}
+
+BigFloat realmath::cosh(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN())
+    return BigFloat::nan();
+  if (X.isInf())
+    return BigFloat::inf(false);
+  if (X.isZero())
+    return one(Prec);
+  BigFloat E = realmath::exp(widened(X, WP));
+  if (E.isInf() || E.isZero())
+    return BigFloat::inf(false);
+  BigFloat V = BigFloat::add(E, BigFloat::div(one(WP), E));
+  return BigFloat::scalb(V, -1).withPrecision(Prec);
+}
+
+BigFloat realmath::tanh(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (X.isNaN() || X.isZero())
+    return X;
+  if (X.isInf())
+    return BigFloat::fromInt64(X.isNegative() ? -1 : 1, Prec);
+  // tanh(|x|) = -expm1(-2|x|) / (2 + expm1(-2|x|)), then restore the sign.
+  BigFloat A = widened(X.abs(), WP);
+  BigFloat T = realmath::expm1(BigFloat::scalb(A, 1).negated());
+  BigFloat V = BigFloat::div(T.negated(),
+                             BigFloat::add(BigFloat::fromInt64(2, WP), T));
+  if (X.isNegative())
+    V = V.negated();
+  return V.withPrecision(Prec);
+}
+
+//===----------------------------------------------------------------------===//
+// Powers and roots.
+//===----------------------------------------------------------------------===//
+
+/// Integer power by squaring at working precision.
+static BigFloat powInt(const BigFloat &X, int64_t N, size_t WP) {
+  if (N == 0)
+    return one(WP);
+  bool Invert = N < 0;
+  uint64_t E = Invert ? -static_cast<uint64_t>(N) : static_cast<uint64_t>(N);
+  BigFloat Base = widened(X, WP);
+  BigFloat Acc = one(WP);
+  while (E) {
+    if (E & 1)
+      Acc = BigFloat::mul(Acc, Base);
+    Base = BigFloat::mul(Base, Base);
+    E >>= 1;
+  }
+  return Invert ? BigFloat::div(one(WP), Acc) : Acc;
+}
+
+BigFloat realmath::pow(const BigFloat &X, const BigFloat &Y) {
+  size_t Prec = std::max(X.precisionBits(), Y.precisionBits());
+  size_t WP = Prec + GuardBits;
+  // C99 pow special-value ladder.
+  if (Y.isZero())
+    return one(Prec);
+  if (!X.isNaN() && !X.isZero() && X.isFinite() && !X.isNegative() &&
+      X.exponent() == 1 && BigFloat::cmp(X, one(WP)) == 0)
+    return one(Prec); // pow(+1, anything) = 1
+  if (X.isNaN() || Y.isNaN())
+    return BigFloat::nan();
+  bool YIsInt = Y.isInteger();
+  bool YIsOdd = Y.isOddInteger();
+  if (Y.isInf()) {
+    int MagCmp = X.isInf() ? 1 : BigFloat::cmp(X.abs(), one(WP));
+    if (MagCmp == 0)
+      return one(Prec); // pow(-1, ±inf) = 1 as well
+    bool GrowsToInf = (MagCmp > 0) == !Y.isNegative();
+    return GrowsToInf ? BigFloat::inf(false) : BigFloat::zero(false);
+  }
+  if (X.isZero()) {
+    bool ResultNeg = YIsOdd && X.isNegative();
+    if (Y.isNegative())
+      return BigFloat::inf(ResultNeg);
+    return BigFloat::zero(ResultNeg);
+  }
+  if (X.isInf()) {
+    bool ResultNeg = YIsOdd && X.isNegative();
+    if (Y.isNegative())
+      return BigFloat::zero(ResultNeg);
+    return BigFloat::inf(ResultNeg);
+  }
+  if (X.isNegative() && !YIsInt)
+    return BigFloat::nan();
+
+  // Small integer exponents: exact-ish squaring (also covers negative X).
+  if (YIsInt && Y.exponent() <= 32) {
+    int64_t N = Y.toInt64Trunc();
+    return powInt(X, N, WP).withPrecision(Prec);
+  }
+
+  // General case on |X|: exp(Y * log X), widening with the magnitude of the
+  // intermediate product so the final result keeps full precision.
+  BigFloat T0 = BigFloat::mul(widened(Y, WP), realmath::log(widened(X.abs(),
+                                                                    WP)));
+  size_t ExtP = WP;
+  if (!T0.isZero() && T0.isFinite() && T0.exponent() > 0)
+    ExtP += static_cast<size_t>(T0.exponent()) + 64;
+  BigFloat T = ExtP == WP
+                   ? T0
+                   : BigFloat::mul(widened(Y, ExtP),
+                                   realmath::log(widened(X.abs(), ExtP)));
+  BigFloat V = realmath::exp(T);
+  if (X.isNegative() && YIsOdd)
+    V = V.negated();
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::cbrt(const BigFloat &X) {
+  size_t Prec = X.precisionBits();
+  size_t WP = workPrec(X);
+  if (!X.isFinite() || X.isZero())
+    return X;
+  BigFloat A = widened(X.abs(), WP);
+  BigFloat V = realmath::exp(divBySmall(realmath::log(A), 3));
+  if (X.isNegative())
+    V = V.negated();
+  return V.withPrecision(Prec);
+}
+
+BigFloat realmath::hypot(const BigFloat &X, const BigFloat &Y) {
+  size_t Prec = std::max(X.precisionBits(), Y.precisionBits());
+  size_t WP = Prec + GuardBits;
+  if (X.isInf() || Y.isInf())
+    return BigFloat::inf(false); // even when the other operand is NaN
+  if (X.isNaN() || Y.isNaN())
+    return BigFloat::nan();
+  BigFloat XW = widened(X, WP);
+  BigFloat YW = widened(Y, WP);
+  BigFloat S = BigFloat::add(BigFloat::mul(XW, XW), BigFloat::mul(YW, YW));
+  return BigFloat::sqrt(S).withPrecision(Prec);
+}
+
+//===----------------------------------------------------------------------===//
+// Remainders.
+//===----------------------------------------------------------------------===//
+
+/// Shared fmod/remainder core: X - Q*Y where Q is an integer chosen by
+/// \p RoundQ. Computed at enough precision to make the subtraction exact.
+template <typename RoundFn>
+static BigFloat moduloImpl(const BigFloat &X, const BigFloat &Y,
+                           RoundFn RoundQ) {
+  size_t Prec = std::max(X.precisionBits(), Y.precisionBits());
+  if (X.isNaN() || Y.isNaN() || X.isInf() || Y.isZero())
+    return BigFloat::nan();
+  if (X.isZero() || Y.isInf())
+    return X.withPrecision(Prec);
+
+  int64_t ExpGap = X.exponent() - Y.exponent();
+  size_t ExtP =
+      Prec + GuardBits + static_cast<size_t>(std::max<int64_t>(0, ExpGap)) +
+      64;
+  BigFloat XW = X.withPrecision(ExtP);
+  BigFloat YW = Y.withPrecision(ExtP);
+  BigFloat Q = RoundQ(BigFloat::div(XW, YW));
+  BigFloat R = BigFloat::sub(XW, BigFloat::mul(Q, YW));
+  return R.withPrecision(Prec);
+}
+
+BigFloat realmath::fmod(const BigFloat &X, const BigFloat &Y) {
+  BigFloat R = moduloImpl(X, Y, [](const BigFloat &Q) { return Q.trunc(); });
+  if (R.isZero() && !R.isNaN())
+    return BigFloat::zero(X.isNegative());
+  return R;
+}
+
+BigFloat realmath::remainder(const BigFloat &X, const BigFloat &Y) {
+  return moduloImpl(X, Y,
+                    [](const BigFloat &Q) { return Q.roundNearestEven(); });
+}

@@ -1,0 +1,56 @@
+//===- shadow/InfluenceSet.cpp - Hash-consed influence (taint) sets -------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shadow/InfluenceSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace herbgrind;
+
+InfluenceSets::InfluenceSets() { Empty = intern(InflSet()); }
+
+const InflSet *InfluenceSets::intern(InflSet Set) {
+  auto It = Interned.find(Set);
+  if (It != Interned.end())
+    return It->second.get();
+  auto Owned = std::make_unique<InflSet>(Set);
+  const InflSet *Ptr = Owned.get();
+  Interned.emplace(std::move(Set), std::move(Owned));
+  return Ptr;
+}
+
+const InflSet *InfluenceSets::singleton(uint32_t PC) {
+  return intern(InflSet{PC});
+}
+
+const InflSet *InfluenceSets::unionOf(const InflSet *A, const InflSet *B) {
+  assert(A && B && "null influence set");
+  if (A == B || B->empty())
+    return A;
+  if (A->empty())
+    return B;
+  // Canonicalize the cache key order.
+  if (B < A)
+    std::swap(A, B);
+  auto Key = std::make_pair(A, B);
+  auto It = UnionCache.find(Key);
+  if (It != UnionCache.end())
+    return It->second;
+  InflSet Merged;
+  Merged.reserve(A->size() + B->size());
+  std::set_union(A->begin(), A->end(), B->begin(), B->end(),
+                 std::back_inserter(Merged));
+  const InflSet *Result = intern(std::move(Merged));
+  UnionCache.emplace(Key, Result);
+  return Result;
+}
+
+const InflSet *InfluenceSets::insert(const InflSet *A, uint32_t PC) {
+  if (std::binary_search(A->begin(), A->end(), PC))
+    return A;
+  return unionOf(A, singleton(PC));
+}

@@ -1,0 +1,97 @@
+//===- support/FloatBits.cpp - Bit-level float utilities ------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FloatBits.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace herbgrind;
+
+static const uint64_t DoubleSignBit = 1ULL << 63;
+static const uint32_t FloatSignBit = 1U << 31;
+
+int64_t herbgrind::ordinalOfDouble(double X) {
+  uint64_t Bits = bitsOfDouble(X);
+  if (Bits & DoubleSignBit)
+    return -static_cast<int64_t>(Bits & ~DoubleSignBit);
+  return static_cast<int64_t>(Bits);
+}
+
+double herbgrind::doubleFromOrdinal(int64_t Ordinal) {
+  if (Ordinal < 0)
+    return doubleFromBits(static_cast<uint64_t>(-Ordinal) | DoubleSignBit);
+  return doubleFromBits(static_cast<uint64_t>(Ordinal));
+}
+
+int32_t herbgrind::ordinalOfFloat(float X) {
+  uint32_t Bits = bitsOfFloat(X);
+  if (Bits & FloatSignBit)
+    return -static_cast<int32_t>(Bits & ~FloatSignBit);
+  return static_cast<int32_t>(Bits);
+}
+
+float herbgrind::floatFromOrdinal(int32_t Ordinal) {
+  if (Ordinal < 0)
+    return floatFromBits(static_cast<uint32_t>(-Ordinal) | FloatSignBit);
+  return floatFromBits(static_cast<uint32_t>(Ordinal));
+}
+
+uint64_t herbgrind::ulpsBetweenDoubles(double A, double B) {
+  int64_t OrdA = ordinalOfDouble(A);
+  int64_t OrdB = ordinalOfDouble(B);
+  // Compute |OrdA - OrdB| in unsigned arithmetic to avoid signed overflow
+  // when the ordinals have opposite signs and large magnitude.
+  uint64_t UA = static_cast<uint64_t>(OrdA);
+  uint64_t UB = static_cast<uint64_t>(OrdB);
+  return OrdA >= OrdB ? UA - UB : UB - UA;
+}
+
+uint32_t herbgrind::ulpsBetweenFloats(float A, float B) {
+  int64_t OrdA = ordinalOfFloat(A);
+  int64_t OrdB = ordinalOfFloat(B);
+  int64_t Diff = OrdA >= OrdB ? OrdA - OrdB : OrdB - OrdA;
+  return static_cast<uint32_t>(Diff);
+}
+
+double herbgrind::bitsOfErrorDouble(double Approx, double Exact) {
+  bool ApproxNaN = std::isnan(Approx);
+  bool ExactNaN = std::isnan(Exact);
+  if (ApproxNaN && ExactNaN)
+    return 0.0;
+  if (ApproxNaN || ExactNaN)
+    return 64.0;
+  uint64_t Ulps = ulpsBetweenDoubles(Approx, Exact);
+  // log2(Ulps + 1), computed carefully so Ulps near UINT64_MAX still works.
+  return std::log2(static_cast<double>(Ulps) + 1.0);
+}
+
+double herbgrind::bitsOfErrorFloat(float Approx, float Exact) {
+  bool ApproxNaN = std::isnan(Approx);
+  bool ExactNaN = std::isnan(Exact);
+  if (ApproxNaN && ExactNaN)
+    return 0.0;
+  if (ApproxNaN || ExactNaN)
+    return 32.0;
+  uint32_t Ulps = ulpsBetweenFloats(Approx, Exact);
+  return std::log2(static_cast<double>(Ulps) + 1.0);
+}
+
+double herbgrind::nextDouble(double X) {
+  if (std::isnan(X))
+    return X;
+  if (X == std::numeric_limits<double>::infinity())
+    return X;
+  return doubleFromOrdinal(ordinalOfDouble(X) + 1);
+}
+
+double herbgrind::prevDouble(double X) {
+  if (std::isnan(X))
+    return X;
+  if (X == -std::numeric_limits<double>::infinity())
+    return X;
+  return doubleFromOrdinal(ordinalOfDouble(X) - 1);
+}

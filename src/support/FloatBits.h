@@ -1,0 +1,91 @@
+//===- support/FloatBits.h - Bit-level float utilities ----------*- C++ -*-===//
+//
+// Part of herbgrind-cpp, a reproduction of "Finding Root Causes of Floating
+// Point Error" (PLDI 2018). MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-level utilities on IEEE-754 floats: bit casts, the ordinal (integer
+/// lattice) encoding of doubles, ULP distances, and the bits-of-error metric
+/// E(approx, exact) = log2(ulps + 1) used throughout the analysis (the same
+/// metric Herbie and Herbgrind report).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_FLOATBITS_H
+#define HERBGRIND_SUPPORT_FLOATBITS_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace herbgrind {
+
+/// Reinterprets a double as its raw IEEE-754 bit pattern.
+inline uint64_t bitsOfDouble(double X) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  return Bits;
+}
+
+/// Reinterprets a raw IEEE-754 bit pattern as a double.
+inline double doubleFromBits(uint64_t Bits) {
+  double X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+/// Reinterprets a float as its raw IEEE-754 bit pattern.
+inline uint32_t bitsOfFloat(float X) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  return Bits;
+}
+
+/// Reinterprets a raw IEEE-754 bit pattern as a float.
+inline float floatFromBits(uint32_t Bits) {
+  float X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+/// Maps a double onto a signed integer ordinal such that the ordering of
+/// ordinals matches the ordering of the doubles and adjacent representable
+/// doubles have adjacent ordinals. Both zeros map to ordinal 0.
+int64_t ordinalOfDouble(double X);
+
+/// Inverse of ordinalOfDouble (ordinal 0 maps back to +0.0).
+double doubleFromOrdinal(int64_t Ordinal);
+
+/// Maps a float onto a signed integer ordinal (see ordinalOfDouble).
+int32_t ordinalOfFloat(float X);
+
+/// Inverse of ordinalOfFloat.
+float floatFromOrdinal(int32_t Ordinal);
+
+/// Number of representable doubles strictly between \p A and \p B, plus one
+/// when they differ; 0 when they are equal (or both zeros). Saturates instead
+/// of overflowing. NaNs are handled by bitsOfErrorDouble, not here.
+uint64_t ulpsBetweenDoubles(double A, double B);
+
+/// Number of representable floats between \p A and \p B (see
+/// ulpsBetweenDoubles).
+uint32_t ulpsBetweenFloats(float A, float B);
+
+/// The bits-of-error metric for doubles: log2(ulps(Approx, Exact) + 1).
+/// Two NaNs count as agreeing (0 bits); a NaN versus a non-NaN counts as
+/// maximal error (64 bits). The result lies in [0, 64].
+double bitsOfErrorDouble(double Approx, double Exact);
+
+/// The bits-of-error metric for floats; the result lies in [0, 32].
+double bitsOfErrorFloat(float Approx, float Exact);
+
+/// The next representable double above \p X.
+double nextDouble(double X);
+
+/// The next representable double below \p X.
+double prevDouble(double X);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_FLOATBITS_H

@@ -1,0 +1,35 @@
+//===- support/Format.h - printf-style string formatting --------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-formatting helpers used across the library so that library
+/// code never needs <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_FORMAT_H
+#define HERBGRIND_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+
+/// Formats like printf into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with the shortest decimal digits that round-trip, the
+/// way FPCore expressions print constants (e.g. "0.1", "2.061152e-09").
+std::string formatDoubleShortest(double X);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_FORMAT_H

@@ -1,0 +1,107 @@
+//===- support/Pool.h - Stack-backed pool allocator -------------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "custom stack-backed pool allocators" of Section 6 of the paper:
+/// shadow values and trace nodes are allocated and freed at a very high rate,
+/// so each such type gets a pool of fixed-size slots with a free-list stack.
+/// The pool can be disabled (falling back to new/delete) so the optimization
+/// ablation bench can measure its effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_POOL_H
+#define HERBGRIND_SUPPORT_POOL_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace herbgrind {
+
+/// A fixed-size-slot pool for objects of type T. Freed slots are pushed onto
+/// a stack (LIFO reuse keeps hot slots in cache). Slabs grow geometrically
+/// and are only released when the pool is destroyed.
+template <typename T> class Pool {
+public:
+  explicit Pool(bool Enabled = true) : Enabled(Enabled) {}
+
+  Pool(const Pool &) = delete;
+  Pool &operator=(const Pool &) = delete;
+
+  ~Pool() {
+    assert(LiveCount == 0 && "pool destroyed with live objects");
+  }
+
+  /// Allocates and constructs an object.
+  template <typename... Args> T *create(Args &&...CtorArgs) {
+    ++LiveCount;
+    if (TotalAllocated < SIZE_MAX)
+      ++TotalAllocated;
+    if (!Enabled)
+      return new T(std::forward<Args>(CtorArgs)...);
+    void *Slot = takeSlot();
+    return new (Slot) T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Destroys and releases an object previously returned by create().
+  void destroy(T *Object) {
+    assert(Object && "destroying null object");
+    assert(LiveCount > 0 && "destroy without matching create");
+    --LiveCount;
+    if (!Enabled) {
+      delete Object;
+      return;
+    }
+    Object->~T();
+    FreeStack.push_back(Object);
+  }
+
+  /// Number of currently live objects.
+  size_t live() const { return LiveCount; }
+
+  /// Number of create() calls over the pool's lifetime.
+  size_t totalAllocated() const { return TotalAllocated; }
+
+  /// Whether pooled allocation is in effect (vs. plain new/delete).
+  bool enabled() const { return Enabled; }
+
+private:
+  union Slot {
+    alignas(T) unsigned char Storage[sizeof(T)];
+  };
+
+  void *takeSlot() {
+    if (!FreeStack.empty()) {
+      void *Result = FreeStack.back();
+      FreeStack.pop_back();
+      return Result;
+    }
+    if (NextInSlab == SlabSize || Slabs.empty()) {
+      SlabSize = Slabs.empty() ? 64 : SlabSize * 2;
+      if (SlabSize > 65536)
+        SlabSize = 65536;
+      Slabs.push_back(std::make_unique<Slot[]>(SlabSize));
+      NextInSlab = 0;
+    }
+    return &Slabs.back()[NextInSlab++];
+  }
+
+  bool Enabled;
+  std::vector<std::unique_ptr<Slot[]>> Slabs;
+  size_t SlabSize = 0;
+  size_t NextInSlab = 0;
+  std::vector<void *> FreeStack;
+  size_t LiveCount = 0;
+  size_t TotalAllocated = 0;
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_POOL_H

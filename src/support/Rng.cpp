@@ -1,0 +1,84 @@
+//===- support/Rng.cpp - Deterministic random number generation -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include "support/FloatBits.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace herbgrind;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  for (uint64_t &Word : State)
+    Word = splitMix64(Seed);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Raw = next();
+    if (Raw >= Threshold)
+      return Raw % Bound;
+  }
+}
+
+double Rng::nextUnit() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * nextUnit();
+}
+
+double Rng::betweenOrdinals(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty sampling range");
+  int64_t OrdLo = ordinalOfDouble(Lo);
+  int64_t OrdHi = ordinalOfDouble(Hi);
+  uint64_t Span = static_cast<uint64_t>(OrdHi - OrdLo);
+  uint64_t Offset = Span == UINT64_MAX ? next() : nextBelow(Span + 1);
+  return doubleFromOrdinal(OrdLo + static_cast<int64_t>(Offset));
+}
+
+double Rng::anyFiniteDouble() {
+  for (;;) {
+    double X = doubleFromBits(next());
+    if (std::isfinite(X))
+      return X;
+  }
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den > 0 && Num <= Den && "probability must be in [0, 1]");
+  return nextBelow(Den) < Num;
+}

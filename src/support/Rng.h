@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic xoshiro256** generator plus the float-sampling helpers
+/// used by the improver and the Verrou baseline. All randomness in the repo
+/// flows through this class so experiments are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_RNG_H
+#define HERBGRIND_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace herbgrind {
+
+/// xoshiro256** seeded through SplitMix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed.
+  void reseed(uint64_t Seed);
+
+  /// The next raw 64-bit output.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform real in [0, 1).
+  double nextUnit();
+
+  /// Uniform real in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// A double sampled uniformly over the *ordinals* between Lo and Hi
+  /// (inclusive). This matches Herbie's sampling strategy: it covers many
+  /// orders of magnitude instead of clustering near the large end.
+  double betweenOrdinals(double Lo, double Hi);
+
+  /// A finite double sampled uniformly over all finite bit patterns.
+  double anyFiniteDouble();
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_RNG_H

@@ -1,0 +1,59 @@
+//===- support/RunningStat.h - Incremental error aggregation ----*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental aggregation of a stream of numbers into count/sum/max/mean.
+/// Section 6 of the paper ("Incrementalization") aggregates per-instruction
+/// errors into average- and maximum- total and local errors as the analysis
+/// runs; this is that aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_RUNNINGSTAT_H
+#define HERBGRIND_SUPPORT_RUNNINGSTAT_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace herbgrind {
+
+/// Count / sum / max aggregate with O(1) update, associative merge.
+class RunningStat {
+public:
+  void add(double X) {
+    ++Count;
+    Sum += X;
+    Max = Count == 1 ? X : std::max(Max, X);
+  }
+
+  /// Merges another aggregate in (associative, used when superblocks are
+  /// summarized independently).
+  void merge(const RunningStat &Other) {
+    if (Other.Count == 0)
+      return;
+    if (Count == 0) {
+      *this = Other;
+      return;
+    }
+    Count += Other.Count;
+    Sum += Other.Sum;
+    Max = std::max(Max, Other.Max);
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double max() const { return Count ? Max : 0.0; }
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_RUNNINGSTAT_H

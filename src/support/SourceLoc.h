@@ -1,0 +1,51 @@
+//===- support/SourceLoc.h - Client-program source locations ----*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A source location attached to IR statements, standing in for the DWARF
+/// debug info Herbgrind reads from client binaries. Reports render these as
+/// "main.cpp:24 in run(int, int)" just like the paper's sample output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_SOURCELOC_H
+#define HERBGRIND_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace herbgrind {
+
+/// Where a client-program statement came from.
+struct SourceLoc {
+  std::string File;
+  int Line = 0;
+  std::string Function;
+
+  SourceLoc() = default;
+  SourceLoc(std::string File, int Line, std::string Function)
+      : File(std::move(File)), Line(Line), Function(std::move(Function)) {}
+
+  bool isKnown() const { return !File.empty(); }
+
+  /// Renders as "file:line in function" (or "<unknown>" when absent).
+  std::string str() const {
+    if (!isKnown())
+      return "<unknown>";
+    std::string Result = File + ":" + std::to_string(Line);
+    if (!Function.empty())
+      Result += " in " + Function;
+    return Result;
+  }
+
+  bool operator==(const SourceLoc &Other) const {
+    return File == Other.File && Line == Other.Line &&
+           Function == Other.Function;
+  }
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_SOURCELOC_H

@@ -1,0 +1,216 @@
+//===- trace/SymExpr.cpp - Symbolic expressions & anti-unification --------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SymExpr.h"
+
+#include "support/FloatBits.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace herbgrind;
+
+std::unique_ptr<SymExpr> SymExpr::makeOp(Opcode Op, uint32_t Site) {
+  auto E = std::make_unique<SymExpr>();
+  E->Kind = SEKind::Op;
+  E->Op = Op;
+  E->Site = Site;
+  return E;
+}
+
+std::unique_ptr<SymExpr> SymExpr::makeConst(double V) {
+  auto E = std::make_unique<SymExpr>();
+  E->Kind = SEKind::Const;
+  E->ConstVal = V;
+  return E;
+}
+
+std::unique_ptr<SymExpr> SymExpr::makeVar(uint32_t Idx) {
+  auto E = std::make_unique<SymExpr>();
+  E->Kind = SEKind::Var;
+  E->VarIdx = Idx;
+  return E;
+}
+
+std::unique_ptr<SymExpr> SymExpr::clone() const {
+  auto E = std::make_unique<SymExpr>();
+  E->Kind = Kind;
+  E->Op = Op;
+  E->ConstVal = ConstVal;
+  E->VarIdx = VarIdx;
+  E->Site = Site;
+  for (const auto &Kid : Kids)
+    E->Kids.push_back(Kid->clone());
+  return E;
+}
+
+unsigned SymExpr::opCount() const {
+  if (Kind != SEKind::Op)
+    return 0;
+  unsigned N = 1;
+  for (const auto &Kid : Kids)
+    N += Kid->opCount();
+  return N;
+}
+
+uint32_t SymExpr::numVars() const {
+  if (Kind == SEKind::Var)
+    return VarIdx + 1;
+  uint32_t N = 0;
+  for (const auto &Kid : Kids)
+    N = std::max(N, Kid->numVars());
+  return N;
+}
+
+std::string SymExpr::varName(uint32_t Idx) {
+  static const char *Names[] = {"x", "y", "z", "w"};
+  if (Idx < 4)
+    return Names[Idx];
+  return format("v%u", Idx);
+}
+
+std::string SymExpr::fpcoreBody() const {
+  switch (Kind) {
+  case SEKind::Var:
+    return varName(VarIdx);
+  case SEKind::Const:
+    return formatDoubleShortest(ConstVal);
+  case SEKind::Op: {
+    const OpInfo &Info = opInfo(Op);
+    std::string S = "(";
+    S += Info.FPCoreName ? Info.FPCoreName : Info.Name;
+    for (const auto &Kid : Kids) {
+      S += ' ';
+      S += Kid->fpcoreBody();
+    }
+    S += ')';
+    return S;
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Anti-unification
+//===----------------------------------------------------------------------===//
+
+static std::unique_ptr<SymExpr> symbolizeRec(TraceNode *Trace) {
+  if (Trace->Kind == TraceNode::TNKind::Leaf)
+    return SymExpr::makeConst(Trace->Value);
+  auto E = SymExpr::makeOp(Trace->Op, Trace->Site);
+  for (unsigned I = 0; I < Trace->NumKids; ++I)
+    E->Kids.push_back(symbolizeRec(Trace->Kids[I]));
+  return E;
+}
+
+std::unique_ptr<SymExpr> herbgrind::symbolize(TraceArena & /*Arena*/,
+                                              TraceNode *Trace) {
+  // First observation: mirror the trace; leaves start out as constants and
+  // only become variables once a later execution disagrees with them.
+  return symbolizeRec(Trace);
+}
+
+namespace {
+
+/// Bounded-depth structural fingerprint of a symbolic subtree.
+uint64_t symFingerprint(const SymExpr *E, uint32_t DepthLeft) {
+  auto Mix = [](uint64_t H, uint64_t X) {
+    H ^= X + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    return H;
+  };
+  switch (E->Kind) {
+  case SymExpr::SEKind::Var:
+    return Mix(0x7a1, E->VarIdx);
+  case SymExpr::SEKind::Const:
+    return Mix(0xc0, bitsOfDouble(E->ConstVal));
+  case SymExpr::SEKind::Op: {
+    uint64_t H = Mix(0x09, static_cast<uint64_t>(E->Op));
+    if (DepthLeft == 0)
+      return H;
+    for (const auto &Kid : E->Kids)
+      H = Mix(H, symFingerprint(Kid.get(), DepthLeft - 1));
+    return H;
+  }
+  }
+  return 0;
+}
+
+struct PairKey {
+  uint64_t SymFP, ConcFP;
+  bool operator==(const PairKey &O) const {
+    return SymFP == O.SymFP && ConcFP == O.ConcFP;
+  }
+};
+struct PairKeyHash {
+  size_t operator()(const PairKey &K) const {
+    return K.SymFP * 0x9e3779b97f4a7c15ULL ^ K.ConcFP;
+  }
+};
+
+/// Shared state of one anti-unification round.
+struct Generalizer {
+  TraceArena &Arena;
+  uint32_t &NextVarIdx;
+  std::vector<VarBinding> &Bindings;
+  std::unordered_map<PairKey, uint32_t, PairKeyHash> VarForPair;
+  std::unordered_set<uint32_t> ReusedThisRound;
+
+  std::unique_ptr<SymExpr> makeVariable(const SymExpr *S, TraceNode *T) {
+    PairKey Key{symFingerprint(S, Arena.equivDepth()),
+                Arena.fingerprint(T)};
+    auto It = VarForPair.find(Key);
+    uint32_t Idx;
+    if (It != VarForPair.end()) {
+      Idx = It->second;
+    } else {
+      // Keep the old variable index alive when this is the first concrete
+      // class paired with it this round, so summaries stay attached.
+      if (S->Kind == SymExpr::SEKind::Var &&
+          !ReusedThisRound.count(S->VarIdx)) {
+        Idx = S->VarIdx;
+      } else {
+        Idx = NextVarIdx++;
+      }
+      ReusedThisRound.insert(Idx);
+      VarForPair.emplace(Key, Idx);
+      Bindings.push_back({Idx, T->Value});
+    }
+    return SymExpr::makeVar(Idx);
+  }
+
+  std::unique_ptr<SymExpr> gen(const SymExpr *S, TraceNode *T) {
+    if (S->Kind == SymExpr::SEKind::Op &&
+        T->Kind == TraceNode::TNKind::Op && S->Op == T->Op &&
+        S->Kids.size() == T->NumKids) {
+      auto E = SymExpr::makeOp(S->Op, T->Site);
+      for (unsigned I = 0; I < T->NumKids; ++I)
+        E->Kids.push_back(gen(S->Kids[I].get(), T->Kids[I]));
+      return E;
+    }
+    if (S->Kind == SymExpr::SEKind::Const &&
+        T->Kind == TraceNode::TNKind::Leaf &&
+        bitsOfDouble(S->ConstVal) == bitsOfDouble(T->Value))
+      return SymExpr::makeConst(S->ConstVal);
+    if (S->Kind == SymExpr::SEKind::Var &&
+        T->Kind == TraceNode::TNKind::Leaf) {
+      // Plain variable-versus-leaf: the common fast path.
+      return makeVariable(S, T);
+    }
+    return makeVariable(S, T);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SymExpr>
+herbgrind::antiUnify(TraceArena &Arena, const SymExpr *Expr, TraceNode *Trace,
+                     uint32_t &NextVarIdx, std::vector<VarBinding> &Bindings) {
+  Bindings.clear();
+  Generalizer G{Arena, NextVarIdx, Bindings, {}, {}};
+  return G.gen(Expr, Trace);
+}

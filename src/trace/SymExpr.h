@@ -1,0 +1,84 @@
+//===- trace/SymExpr.h - Symbolic expressions & anti-unification -*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic expressions (Section 4.3): the abstraction of all concrete
+/// traces observed at one operation site, computed by incremental Plotkin
+/// anti-unification (most specific generalization). Variables stand in for
+/// subtrees that differ across executions; subtrees that are equivalent (to
+/// the Section 6.1 bounded depth) on every execution share one variable,
+/// which is what lets the input-characteristics system attach a single
+/// summary per variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_TRACE_SYMEXPR_H
+#define HERBGRIND_TRACE_SYMEXPR_H
+
+#include "trace/TraceNode.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+
+/// A symbolic expression tree. Plain owned trees (no sharing): one lives on
+/// each operation record and is rebuilt by generalization.
+struct SymExpr {
+  enum class SEKind : uint8_t { Op, Const, Var };
+
+  SEKind Kind;
+  Opcode Op = Opcode::AddF64;  ///< For Op nodes.
+  double ConstVal = 0.0;       ///< For Const leaves.
+  uint32_t VarIdx = 0;         ///< For Var leaves.
+  uint32_t Site = UINT32_MAX;  ///< Producing pc of the op (reporting).
+  std::vector<std::unique_ptr<SymExpr>> Kids;
+
+  static std::unique_ptr<SymExpr> makeOp(Opcode Op, uint32_t Site);
+  static std::unique_ptr<SymExpr> makeConst(double V);
+  static std::unique_ptr<SymExpr> makeVar(uint32_t Idx);
+
+  std::unique_ptr<SymExpr> clone() const;
+
+  /// Number of operation nodes (the paper's "expressions of N operations").
+  unsigned opCount() const;
+
+  /// Highest variable index + 1 (0 when fully concrete).
+  uint32_t numVars() const;
+
+  /// Renders the body in FPCore syntax, e.g.
+  /// "(- (sqrt (+ (* x0 x0) (* x1 x1))) x0)".
+  std::string fpcoreBody() const;
+
+  /// Variable name used in printed output ("x0", "x1", ...).
+  static std::string varName(uint32_t Idx);
+};
+
+/// The concrete value bound to one variable during one generalization
+/// round.
+struct VarBinding {
+  uint32_t Idx;
+  double Value;
+};
+
+/// Builds the initial symbolic expression for the first concrete trace seen
+/// at a site: the trace is mirrored with leaves as constants; they only
+/// become variables once a later execution disagrees with them.
+std::unique_ptr<SymExpr> symbolize(TraceArena &Arena, TraceNode *Trace);
+
+/// Incremental anti-unification: most specific generalization of the
+/// accumulated \p Expr and a new concrete \p Trace. \p Bindings receives
+/// the (variable, concrete value) pairs of this round. Variable indices
+/// are kept stable where possible so input summaries can accumulate
+/// across rounds; \p NextVarIdx persists on the operation record.
+std::unique_ptr<SymExpr> antiUnify(TraceArena &Arena, const SymExpr *Expr,
+                                   TraceNode *Trace, uint32_t &NextVarIdx,
+                                   std::vector<VarBinding> &Bindings);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_TRACE_SYMEXPR_H

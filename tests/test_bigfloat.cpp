@@ -1,0 +1,463 @@
+//===- tests/test_bigfloat.cpp - BigFloat core arithmetic tests -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The strongest oracle available offline is IEEE-754 itself: hardware double
+// +, -, *, /, sqrt are correctly rounded, and BigFloat at >= 128 bits applied
+// to double inputs is exact (+,-,*) or correctly rounded with sticky (/,
+// sqrt), so converting the BigFloat result back to double must reproduce the
+// hardware result bit-for-bit (barring astronomically unlikely double-
+// rounding ties for / and sqrt, which the fixed test seeds do not hit).
+//
+//===----------------------------------------------------------------------===//
+
+#include "real/BigFloat.h"
+
+#include "support/FloatBits.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace herbgrind;
+
+namespace {
+
+/// Random double spread over interesting magnitudes.
+double randomDouble(Rng &R) {
+  switch (R.nextBelow(4)) {
+  case 0:
+    return R.uniformReal(-1.0, 1.0);
+  case 1:
+    return R.betweenOrdinals(-1e30, 1e30);
+  case 2:
+    return R.anyFiniteDouble();
+  default:
+    return R.uniformReal(-1e6, 1e6);
+  }
+}
+
+bool sameDoubleBits(double A, double B) {
+  if (std::isnan(A) && std::isnan(B))
+    return true;
+  return bitsOfDouble(A) == bitsOfDouble(B);
+}
+
+class BigFloatPrecisionTest : public ::testing::TestWithParam<size_t> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, DoubleRoundTripSpecials) {
+  EXPECT_EQ(BigFloat::fromDouble(0.0).toDouble(), 0.0);
+  EXPECT_TRUE(std::signbit(BigFloat::fromDouble(-0.0).toDouble()));
+  EXPECT_TRUE(std::isnan(BigFloat::fromDouble(std::nan("")).toDouble()));
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(BigFloat::fromDouble(Inf).toDouble(), Inf);
+  EXPECT_EQ(BigFloat::fromDouble(-Inf).toDouble(), -Inf);
+}
+
+TEST(BigFloat, DoubleRoundTripDirected) {
+  for (double X :
+       {1.0, -1.0, 0.5, 2.0, 0.1, 1e308, -1e308, 1e-308, 5e-324, -5e-324,
+        2.2250738585072014e-308 /* min normal */,
+        1.7976931348623157e308 /* max */, 3.141592653589793, 1e16 + 1}) {
+    EXPECT_TRUE(sameDoubleBits(BigFloat::fromDouble(X).toDouble(), X)) << X;
+  }
+}
+
+TEST(BigFloat, DoubleRoundTripRandom) {
+  Rng R(101);
+  for (int I = 0; I < 20000; ++I) {
+    double X = R.anyFiniteDouble();
+    EXPECT_TRUE(sameDoubleBits(BigFloat::fromDouble(X).toDouble(), X)) << X;
+  }
+}
+
+TEST(BigFloat, SubnormalDoubleRoundTrip) {
+  Rng R(102);
+  for (int I = 0; I < 5000; ++I) {
+    // Random subnormals: bit patterns with a zero exponent field.
+    uint64_t Bits = R.next() & ((1ULL << 52) - 1);
+    if (R.chance(1, 2))
+      Bits |= 1ULL << 63;
+    double X = doubleFromBits(Bits);
+    EXPECT_TRUE(sameDoubleBits(BigFloat::fromDouble(X).toDouble(), X)) << X;
+  }
+}
+
+TEST(BigFloat, FloatRoundTripRandom) {
+  Rng R(103);
+  for (int I = 0; I < 20000; ++I) {
+    float X = floatFromBits(static_cast<uint32_t>(R.next()));
+    if (std::isnan(X))
+      continue;
+    EXPECT_EQ(bitsOfFloat(BigFloat::fromFloat(X).toFloat()), bitsOfFloat(X))
+        << X;
+  }
+}
+
+TEST(BigFloat, DoubleToFloatMatchesHardwareNarrowing) {
+  Rng R(104);
+  for (int I = 0; I < 20000; ++I) {
+    double X = randomDouble(R);
+    float Narrowed = static_cast<float>(X);
+    float Ours = BigFloat::fromDouble(X).toFloat();
+    EXPECT_EQ(bitsOfFloat(Ours), bitsOfFloat(Narrowed)) << X;
+  }
+}
+
+TEST(BigFloat, FromInt64) {
+  EXPECT_EQ(BigFloat::fromInt64(0).toDouble(), 0.0);
+  EXPECT_EQ(BigFloat::fromInt64(1).toDouble(), 1.0);
+  EXPECT_EQ(BigFloat::fromInt64(-7).toDouble(), -7.0);
+  EXPECT_EQ(BigFloat::fromInt64(INT64_MIN).toDouble(), -9223372036854775808.0);
+  EXPECT_EQ(BigFloat::fromInt64(INT64_MAX).toDouble(),
+            static_cast<double>(INT64_MAX));
+}
+
+TEST(BigFloat, ToInt64Trunc) {
+  EXPECT_EQ(BigFloat::fromDouble(3.9).toInt64Trunc(), 3);
+  EXPECT_EQ(BigFloat::fromDouble(-3.9).toInt64Trunc(), -3);
+  EXPECT_EQ(BigFloat::fromDouble(0.99).toInt64Trunc(), 0);
+  EXPECT_EQ(BigFloat::fromDouble(-0.0).toInt64Trunc(), 0);
+  EXPECT_EQ(BigFloat::nan().toInt64Trunc(), 0);
+  EXPECT_EQ(BigFloat::inf(false).toInt64Trunc(), INT64_MAX);
+  EXPECT_EQ(BigFloat::inf(true).toInt64Trunc(), INT64_MIN);
+  EXPECT_EQ(BigFloat::fromDouble(1e30).toInt64Trunc(), INT64_MAX);
+  EXPECT_EQ(BigFloat::fromDouble(-1e30).toInt64Trunc(), INT64_MIN);
+  EXPECT_EQ(BigFloat::fromDouble(-9223372036854775808.0).toInt64Trunc(),
+            INT64_MIN);
+  Rng R(105);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.uniformReal(-1e15, 1e15);
+    EXPECT_EQ(BigFloat::fromDouble(X).toInt64Trunc(),
+              static_cast<int64_t>(X))
+        << X;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// IEEE agreement for the core operations
+//===----------------------------------------------------------------------===//
+
+INSTANTIATE_TEST_SUITE_P(Precisions, BigFloatPrecisionTest,
+                         ::testing::Values(128, 256, 512, 1024));
+
+TEST_P(BigFloatPrecisionTest, AddMatchesIEEE) {
+  size_t Prec = GetParam();
+  Rng R(201);
+  for (int I = 0; I < 5000; ++I) {
+    double A = randomDouble(R);
+    double B = randomDouble(R);
+    BigFloat Sum = BigFloat::add(BigFloat::fromDouble(A, Prec),
+                                 BigFloat::fromDouble(B, Prec));
+    EXPECT_TRUE(sameDoubleBits(Sum.toDouble(), A + B))
+        << A << " + " << B << " prec " << Prec;
+  }
+}
+
+TEST_P(BigFloatPrecisionTest, SubMatchesIEEE) {
+  size_t Prec = GetParam();
+  Rng R(202);
+  for (int I = 0; I < 5000; ++I) {
+    double A = randomDouble(R);
+    double B = randomDouble(R);
+    BigFloat D = BigFloat::sub(BigFloat::fromDouble(A, Prec),
+                               BigFloat::fromDouble(B, Prec));
+    EXPECT_TRUE(sameDoubleBits(D.toDouble(), A - B))
+        << A << " - " << B << " prec " << Prec;
+  }
+}
+
+TEST_P(BigFloatPrecisionTest, MulMatchesIEEE) {
+  size_t Prec = GetParam();
+  Rng R(203);
+  for (int I = 0; I < 5000; ++I) {
+    double A = randomDouble(R);
+    double B = randomDouble(R);
+    double Expected = A * B;
+    if (std::isinf(Expected) && !std::isinf(A) && !std::isinf(B))
+      continue; // BigFloat has unbounded exponent range; overflow differs
+    if (Expected == 0.0 && A != 0.0 && B != 0.0)
+      continue; // likewise underflow-to-zero... except toDouble rounds it
+    BigFloat P = BigFloat::mul(BigFloat::fromDouble(A, Prec),
+                               BigFloat::fromDouble(B, Prec));
+    EXPECT_TRUE(sameDoubleBits(P.toDouble(), Expected))
+        << A << " * " << B << " prec " << Prec;
+  }
+}
+
+TEST_P(BigFloatPrecisionTest, MulHandlesOverflowToInfViaRounding) {
+  size_t Prec = GetParam();
+  BigFloat P = BigFloat::mul(BigFloat::fromDouble(1e308, Prec),
+                             BigFloat::fromDouble(10.0, Prec));
+  EXPECT_EQ(P.toDouble(), std::numeric_limits<double>::infinity());
+}
+
+TEST_P(BigFloatPrecisionTest, DivMatchesIEEE) {
+  size_t Prec = GetParam();
+  Rng R(204);
+  for (int I = 0; I < 5000; ++I) {
+    double A = randomDouble(R);
+    double B = randomDouble(R);
+    if (B == 0.0)
+      continue;
+    double Expected = A / B;
+    if (std::isinf(Expected) && !std::isinf(A))
+      continue;
+    if (Expected == 0.0 && A != 0.0 && !std::isinf(B))
+      continue;
+    BigFloat Q = BigFloat::div(BigFloat::fromDouble(A, Prec),
+                               BigFloat::fromDouble(B, Prec));
+    EXPECT_TRUE(sameDoubleBits(Q.toDouble(), Expected))
+        << A << " / " << B << " prec " << Prec;
+  }
+}
+
+TEST_P(BigFloatPrecisionTest, SqrtMatchesIEEE) {
+  size_t Prec = GetParam();
+  Rng R(205);
+  for (int I = 0; I < 2000; ++I) {
+    double A = std::fabs(randomDouble(R));
+    BigFloat S = BigFloat::sqrt(BigFloat::fromDouble(A, Prec));
+    EXPECT_TRUE(sameDoubleBits(S.toDouble(), std::sqrt(A)))
+        << A << " prec " << Prec;
+  }
+}
+
+TEST(BigFloat, FmaMatchesHardware) {
+  Rng R(206);
+  for (int I = 0; I < 5000; ++I) {
+    double A = R.uniformReal(-1e10, 1e10);
+    double B = R.uniformReal(-1e10, 1e10);
+    double C = R.uniformReal(-1e10, 1e10);
+    BigFloat F = BigFloat::fma(BigFloat::fromDouble(A), BigFloat::fromDouble(B),
+                               BigFloat::fromDouble(C));
+    EXPECT_TRUE(sameDoubleBits(F.toDouble(), std::fma(A, B, C)))
+        << A << " " << B << " " << C;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Exactness and identities at high precision
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, AdditionIsExactAtSufficientPrecision) {
+  // (a + b) - a == b exactly when the working precision covers both.
+  Rng R(301);
+  for (int I = 0; I < 2000; ++I) {
+    double A = R.uniformReal(-1e20, 1e20);
+    double B = R.uniformReal(-1.0, 1.0);
+    BigFloat BA = BigFloat::fromDouble(A, 256);
+    BigFloat BB = BigFloat::fromDouble(B, 256);
+    BigFloat Sum = BigFloat::add(BA, BB);
+    BigFloat Back = BigFloat::sub(Sum, BA);
+    EXPECT_EQ(BigFloat::cmp(Back, BB), 0) << A << " " << B;
+  }
+}
+
+TEST(BigFloat, MulDivRoundTripOnFullMantissas) {
+  // Build full-mantissa values by multiplying doubles, then check that
+  // division is consistent with multiplication to within one ulp at the
+  // working precision.
+  Rng R(302);
+  for (int I = 0; I < 500; ++I) {
+    BigFloat A = BigFloat::fromDouble(R.uniformReal(0.5, 2.0), 256);
+    BigFloat B = BigFloat::fromDouble(R.uniformReal(0.5, 2.0), 256);
+    for (int J = 0; J < 3; ++J) {
+      A = BigFloat::mul(A, BigFloat::fromDouble(R.uniformReal(0.5, 2.0), 256));
+      B = BigFloat::mul(B, BigFloat::fromDouble(R.uniformReal(0.5, 2.0), 256));
+    }
+    BigFloat Q = BigFloat::div(A, B);
+    BigFloat Back = BigFloat::mul(Q, B);
+    // |Back - A| / |A| <= 2^-250 or so.
+    BigFloat Diff = BigFloat::sub(Back, A).abs();
+    if (!Diff.isZero()) {
+      EXPECT_LT(Diff.exponent(), A.exponent() - 250)
+          << A.debugStr() << " / " << B.debugStr();
+    }
+  }
+}
+
+TEST(BigFloat, SqrtOfExactSquareIsExact) {
+  Rng R(303);
+  for (int I = 0; I < 500; ++I) {
+    BigFloat A = BigFloat::fromDouble(R.uniformReal(0.1, 100.0), 256);
+    BigFloat Sq = BigFloat::mul(A, A);
+    // A^2 at 256 bits is exact for 53-bit A, so sqrt must return A exactly.
+    EXPECT_EQ(BigFloat::cmp(BigFloat::sqrt(Sq), A), 0);
+  }
+}
+
+TEST(BigFloat, MulExactKeepsAllBits) {
+  Rng R(304);
+  for (int I = 0; I < 2000; ++I) {
+    double A = R.uniformReal(-1e5, 1e5);
+    double B = R.uniformReal(-1e5, 1e5);
+    BigFloat P =
+        BigFloat::mulExact(BigFloat::fromDouble(A, 64), BigFloat::fromDouble(B, 64));
+    // The exact product of two doubles fits in 106 bits, so even rounding
+    // back to double and comparing with fma detects any lost bits.
+    EXPECT_TRUE(sameDoubleBits(P.toDouble(), A * B));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Special values
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, SpecialValueArithmetic) {
+  BigFloat PInf = BigFloat::inf(false);
+  BigFloat NInf = BigFloat::inf(true);
+  BigFloat NaN = BigFloat::nan();
+  BigFloat One = BigFloat::fromInt64(1);
+  BigFloat Zero = BigFloat::zero(false);
+
+  EXPECT_TRUE(BigFloat::add(PInf, NInf).isNaN());
+  EXPECT_TRUE(BigFloat::add(PInf, One).isInf());
+  EXPECT_TRUE(BigFloat::add(NaN, One).isNaN());
+  EXPECT_TRUE(BigFloat::mul(Zero, PInf).isNaN());
+  EXPECT_TRUE(BigFloat::mul(NInf, One.negated()).isInf());
+  EXPECT_FALSE(BigFloat::mul(NInf, One.negated()).isNegative());
+  EXPECT_TRUE(BigFloat::div(One, Zero).isInf());
+  EXPECT_TRUE(BigFloat::div(Zero, Zero).isNaN());
+  EXPECT_TRUE(BigFloat::div(PInf, PInf).isNaN());
+  EXPECT_TRUE(BigFloat::div(One, PInf).isZero());
+  EXPECT_TRUE(BigFloat::sqrt(One.negated()).isNaN());
+  EXPECT_TRUE(BigFloat::sqrt(NInf).isNaN());
+  EXPECT_TRUE(BigFloat::sqrt(PInf).isInf());
+}
+
+TEST(BigFloat, SignedZeroSemantics) {
+  BigFloat PZ = BigFloat::zero(false);
+  BigFloat NZ = BigFloat::zero(true);
+  EXPECT_FALSE(BigFloat::add(PZ, NZ).isNegative());
+  EXPECT_TRUE(BigFloat::add(NZ, NZ).isNegative());
+  EXPECT_TRUE(BigFloat::mul(NZ, BigFloat::fromInt64(3)).isNegative());
+  // x - x == +0 under round-to-nearest.
+  BigFloat X = BigFloat::fromDouble(1.5);
+  BigFloat D = BigFloat::sub(X, X);
+  EXPECT_TRUE(D.isZero());
+  EXPECT_FALSE(D.isNegative());
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, ComparisonMatchesDoubles) {
+  Rng R(401);
+  for (int I = 0; I < 10000; ++I) {
+    double A = randomDouble(R);
+    double B = randomDouble(R);
+    BigFloat BA = BigFloat::fromDouble(A);
+    BigFloat BB = BigFloat::fromDouble(B);
+    EXPECT_EQ(BigFloat::lt(BA, BB), A < B) << A << " " << B;
+    EXPECT_EQ(BigFloat::le(BA, BB), A <= B) << A << " " << B;
+    EXPECT_EQ(BigFloat::eq(BA, BB), A == B) << A << " " << B;
+  }
+}
+
+TEST(BigFloat, ComparisonWithNaN) {
+  BigFloat NaN = BigFloat::nan();
+  BigFloat One = BigFloat::fromInt64(1);
+  EXPECT_FALSE(BigFloat::lt(NaN, One));
+  EXPECT_FALSE(BigFloat::le(NaN, One));
+  EXPECT_FALSE(BigFloat::gt(NaN, One));
+  EXPECT_FALSE(BigFloat::eq(NaN, NaN));
+  EXPECT_TRUE(BigFloat::ne(NaN, NaN));
+}
+
+TEST(BigFloat, ComparisonAcrossPrecisions) {
+  BigFloat A = BigFloat::fromDouble(1.5, 128);
+  BigFloat B = BigFloat::fromDouble(1.5, 512);
+  EXPECT_EQ(BigFloat::cmp(A, B), 0);
+  BigFloat C = BigFloat::fromDouble(nextDouble(1.5), 512);
+  EXPECT_LT(BigFloat::cmp(A, C), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Integer roundings
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, FloorCeilTruncRoundMatchLibm) {
+  Rng R(501);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.uniformReal(-100.0, 100.0);
+    if (R.chance(1, 10))
+      X = std::round(X); // hit exact integers too
+    BigFloat B = BigFloat::fromDouble(X);
+    EXPECT_EQ(B.floor().toDouble(), std::floor(X)) << X;
+    EXPECT_EQ(B.ceil().toDouble(), std::ceil(X)) << X;
+    EXPECT_EQ(B.trunc().toDouble(), std::trunc(X)) << X;
+    EXPECT_EQ(B.roundNearest().toDouble(), std::round(X)) << X;
+  }
+}
+
+TEST(BigFloat, RoundNearestEvenTies) {
+  EXPECT_EQ(BigFloat::fromDouble(0.5).roundNearestEven().toDouble(), 0.0);
+  EXPECT_EQ(BigFloat::fromDouble(1.5).roundNearestEven().toDouble(), 2.0);
+  EXPECT_EQ(BigFloat::fromDouble(2.5).roundNearestEven().toDouble(), 2.0);
+  EXPECT_EQ(BigFloat::fromDouble(-1.5).roundNearestEven().toDouble(), -2.0);
+  EXPECT_EQ(BigFloat::fromDouble(-2.5).roundNearestEven().toDouble(), -2.0);
+}
+
+TEST(BigFloat, IsIntegerAndOddness) {
+  EXPECT_TRUE(BigFloat::fromDouble(4.0).isInteger());
+  EXPECT_TRUE(BigFloat::fromDouble(-3.0).isOddInteger());
+  EXPECT_FALSE(BigFloat::fromDouble(4.0).isOddInteger());
+  EXPECT_FALSE(BigFloat::fromDouble(4.5).isInteger());
+  EXPECT_TRUE(BigFloat::zero().isInteger());
+  EXPECT_FALSE(BigFloat::fromDouble(1e300).isOddInteger()); // huge => even
+  EXPECT_TRUE(BigFloat::fromDouble(1e300).isInteger());
+}
+
+//===----------------------------------------------------------------------===//
+// Misc
+//===----------------------------------------------------------------------===//
+
+TEST(BigFloat, ScalbIsExact) {
+  BigFloat X = BigFloat::fromDouble(1.25);
+  EXPECT_EQ(BigFloat::scalb(X, 10).toDouble(), 1280.0);
+  EXPECT_EQ(BigFloat::scalb(X, -2).toDouble(), 0.3125);
+}
+
+TEST(BigFloat, MinMax) {
+  BigFloat A = BigFloat::fromDouble(1.0);
+  BigFloat B = BigFloat::fromDouble(2.0);
+  EXPECT_EQ(BigFloat::fmin(A, B).toDouble(), 1.0);
+  EXPECT_EQ(BigFloat::fmax(A, B).toDouble(), 2.0);
+  EXPECT_EQ(BigFloat::fmin(BigFloat::nan(), B).toDouble(), 2.0);
+  EXPECT_EQ(BigFloat::fmax(A, BigFloat::nan()).toDouble(), 1.0);
+}
+
+TEST(BigFloat, WithPrecisionRounds) {
+  // 1 + 2^-100 at 256 bits, rounded to 64 bits, collapses to 1.
+  BigFloat Small = BigFloat::scalb(BigFloat::fromInt64(1, 256), -100);
+  BigFloat X = BigFloat::add(BigFloat::fromInt64(1, 256), Small);
+  EXPECT_NE(BigFloat::cmp(X, BigFloat::fromInt64(1, 256)), 0);
+  BigFloat Narrow = X.withPrecision(64);
+  EXPECT_EQ(BigFloat::cmp(Narrow, BigFloat::fromInt64(1)), 0);
+}
+
+TEST(BigFloat, ExponentAccessor) {
+  EXPECT_EQ(BigFloat::fromDouble(1.0).exponent(), 1);
+  EXPECT_EQ(BigFloat::fromDouble(0.5).exponent(), 0);
+  EXPECT_EQ(BigFloat::fromDouble(4.0).exponent(), 3);
+  EXPECT_EQ(BigFloat::fromDouble(0.75).exponent(), 0);
+}
+
+TEST(BigFloat, DefaultPrecisionControl) {
+  size_t Old = BigFloat::defaultPrecisionBits();
+  BigFloat::setDefaultPrecisionBits(512);
+  EXPECT_EQ(BigFloat::fromDouble(1.0).precisionBits(), 512u);
+  BigFloat::setDefaultPrecisionBits(Old);
+}

@@ -1,0 +1,163 @@
+//===- tests/test_improve.cpp - Mini-Herbie improver tests ----------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "improve/Improve.h"
+
+#include "inputs/InputSummary.h"
+
+#include <gtest/gtest.h>
+
+using namespace herbgrind;
+using namespace herbgrind::improve;
+using fpcore::Expr;
+using fpcore::ExprPtr;
+
+namespace {
+
+ExprPtr parseE(const std::string &S) {
+  std::string Err;
+  ExprPtr E = fpcore::parseExpr(S, Err);
+  EXPECT_TRUE(E) << Err;
+  return E;
+}
+
+ImproveResult improveOn(const std::string &Src,
+                        std::vector<std::string> Params,
+                        std::vector<SampleSpec> Specs) {
+  ExprPtr E = parseE(Src);
+  return improveExpr(*E, Params, Specs);
+}
+
+} // namespace
+
+TEST(Improve, SqrtSubtractionIsImproved) {
+  ImproveResult R = improveOn("(- (sqrt (+ x 1)) (sqrt x))", {"x"},
+                              {SampleSpec::interval(1.0, 1e9)});
+  EXPECT_TRUE(R.HadSignificantError);
+  EXPECT_TRUE(R.Improved) << "before " << R.ErrorBefore << " after "
+                          << R.ErrorAfter;
+  EXPECT_LT(R.ErrorAfter, 1.0);
+}
+
+TEST(Improve, ExpMinusOneBecomesExpm1) {
+  ImproveResult R = improveOn("(- (exp x) 1)", {"x"},
+                              {SampleSpec::interval(-1e-5, 1e-5)});
+  EXPECT_TRUE(R.Improved);
+  EXPECT_NE(R.Best->print().find("expm1"), std::string::npos)
+      << R.Best->print();
+}
+
+TEST(Improve, LogOnePlusBecomesLog1p) {
+  ImproveResult R = improveOn("(log (+ 1 x))", {"x"},
+                              {SampleSpec::interval(1e-18, 1e-9)});
+  EXPECT_TRUE(R.Improved);
+  EXPECT_NE(R.Best->print().find("log1p"), std::string::npos);
+}
+
+TEST(Improve, PlotterFragmentGetsRegimeSplitOrRationalization) {
+  // The paper's flagship: sqrt(x^2 + y^2) - x for small y.
+  SampleSpec XSpec = SampleSpec::interval(1e-12, 0.25);
+  SampleSpec YSpec;
+  YSpec.Intervals.push_back({-2.6e-9, -1e-14});
+  YSpec.Intervals.push_back({1e-14, 2.6e-9});
+  ImproveResult R = improveOn("(- (sqrt (+ (* x x) (* y y))) x)", {"x", "y"},
+                              {XSpec, YSpec});
+  EXPECT_TRUE(R.HadSignificantError);
+  EXPECT_TRUE(R.Improved) << "before " << R.ErrorBefore << " after "
+                          << R.ErrorAfter;
+  EXPECT_LT(R.ErrorAfter, R.ErrorBefore / 2);
+}
+
+TEST(Improve, CancellingSumIsSimplified) {
+  // (x + 1) - x -> 1 via the structural cancellation rule.
+  ImproveResult R = improveOn("(- (+ x 1) x)", {"x"},
+                              {SampleSpec::interval(1e10, 1e18)});
+  EXPECT_TRUE(R.Improved);
+  EXPECT_DOUBLE_EQ(R.ErrorAfter, 0.0);
+  EXPECT_EQ(R.Best->print(), "1");
+}
+
+TEST(Improve, AccurateExpressionsAreLeftAlone) {
+  ImproveResult R = improveOn("(* x 2)", {"x"},
+                              {SampleSpec::interval(-100.0, 100.0)});
+  EXPECT_FALSE(R.HadSignificantError);
+  EXPECT_FALSE(R.Improved);
+}
+
+TEST(Improve, OneMinusCosRewrites) {
+  ImproveResult R = improveOn("(/ (- 1 (cos x)) (* x x))", {"x"},
+                              {SampleSpec::interval(1e-9, 1e-5)});
+  EXPECT_TRUE(R.HadSignificantError);
+  EXPECT_TRUE(R.Improved);
+}
+
+TEST(Improve, RewriteCandidatesIncludeIdentities) {
+  ExprPtr E = parseE("(- (sqrt (+ x 1)) (sqrt x))");
+  std::vector<ExprPtr> Cands = rewriteCandidates(*E);
+  bool FoundRationalized = false;
+  for (const ExprPtr &C : Cands)
+    if (C->print() == "(/ (- (+ x 1) x) (+ (sqrt (+ x 1)) (sqrt x)))")
+      FoundRationalized = true;
+  EXPECT_TRUE(FoundRationalized);
+}
+
+TEST(Improve, MeanErrorAgreesWithIntuition) {
+  Rng R(3);
+  ExprPtr Bad = parseE("(- (+ x 1) x)");
+  ExprPtr Good = parseE("(* x 1)");
+  auto Points = samplePoints({"x"}, {SampleSpec::interval(1e15, 1e17)}, 64,
+                             R);
+  EXPECT_GT(meanErrorBits(*Bad, Points, 256), 20.0);
+  EXPECT_EQ(meanErrorBits(*Good, Points, 256), 0.0);
+}
+
+TEST(Improve, FromSymExprConversion) {
+  auto X = SymExpr::makeVar(0);
+  auto One = SymExpr::makeConst(1.0);
+  auto Add = SymExpr::makeOp(Opcode::AddF64, 1);
+  Add->Kids.push_back(std::move(X));
+  Add->Kids.push_back(std::move(One));
+  auto Sqrt = SymExpr::makeOp(Opcode::SqrtF64, 2);
+  Sqrt->Kids.push_back(std::move(Add));
+  ExprPtr E = fromSymExpr(*Sqrt);
+  EXPECT_EQ(E->print(), "(sqrt (+ x 1))");
+}
+
+TEST(Improve, SpecsFromCharacteristics) {
+  InputCharacteristics Chars;
+  Chars.Vars.resize(1);
+  Chars.Vars[0].add(-2.0);
+  Chars.Vars[0].add(-1.0);
+  Chars.Vars[0].add(3.0);
+  Chars.Vars[0].add(5.0);
+
+  auto Off = specsFromCharacteristics(Chars, 1, RangeMode::Off);
+  EXPECT_EQ(Off[0].Intervals.size(), 1u);
+  EXPECT_LT(Off[0].Intervals[0].first, -1e8);
+
+  auto Single = specsFromCharacteristics(Chars, 1, RangeMode::Single);
+  EXPECT_EQ(Single[0].Intervals.size(), 1u);
+  EXPECT_EQ(Single[0].Intervals[0].first, -2.0);
+  EXPECT_EQ(Single[0].Intervals[0].second, 5.0);
+
+  auto Split = specsFromCharacteristics(Chars, 1, RangeMode::SignSplit);
+  ASSERT_EQ(Split[0].Intervals.size(), 2u);
+  EXPECT_EQ(Split[0].Intervals[0].first, -2.0);
+  EXPECT_EQ(Split[0].Intervals[0].second, -1.0);
+  EXPECT_EQ(Split[0].Intervals[1].first, 3.0);
+  EXPECT_EQ(Split[0].Intervals[1].second, 5.0);
+}
+
+TEST(Improve, VariancePairRewrite) {
+  // One-pass variance of two nearly-equal samples: catastrophic
+  // cancellation between the mean-square and squared-mean.
+  ImproveResult R = improveOn(
+      "(- (/ (+ (* x x) (* y y)) 2) (* (/ (+ x y) 2) (/ (+ x y) 2)))",
+      {"x", "y"},
+      {SampleSpec::interval(1e7, 1.000001e7),
+       SampleSpec::interval(1e7, 1.000001e7)});
+  EXPECT_TRUE(R.HadSignificantError);
+}

@@ -1,0 +1,376 @@
+//===- tests/test_ir.cpp - Abstract machine / IR tests --------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/LibmLowering.h"
+#include "ir/Program.h"
+
+#include "support/FloatBits.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace herbgrind;
+
+namespace {
+
+/// Builds out(f(inputs)) for a simple straight-line body.
+template <typename BodyFn> Program straightLine(BodyFn Body) {
+  ProgramBuilder B;
+  Body(B);
+  B.halt();
+  Program P = B.finish();
+  EXPECT_EQ(P.validate(), "");
+  return P;
+}
+
+double runOne(const Program &P, std::vector<double> Inputs) {
+  RunResult R = interpret(P, Inputs);
+  EXPECT_EQ(R.Outputs.size(), 1u);
+  return R.Outputs[0].asF64();
+}
+
+} // namespace
+
+TEST(IR, ConstAndArithmetic) {
+  Program P = straightLine([](ProgramBuilder &B) {
+    auto A = B.constF64(3.0);
+    auto C = B.constF64(4.0);
+    B.out(B.op(Opcode::AddF64, B.op(Opcode::MulF64, A, A),
+               B.op(Opcode::MulF64, C, C)));
+  });
+  EXPECT_EQ(runOne(P, {}), 25.0);
+}
+
+TEST(IR, InputsFlowThrough) {
+  Program P = straightLine([](ProgramBuilder &B) {
+    B.out(B.op(Opcode::SubF64, B.input(0), B.input(1)));
+  });
+  EXPECT_EQ(runOne(P, {10.0, 4.0}), 6.0);
+}
+
+TEST(IR, AllScalarF64OpsMatchLibm) {
+  struct Case {
+    Opcode Op;
+    double (*Ref1)(double);
+  };
+  Rng R(31);
+  for (Case C : std::initializer_list<Case>{
+           {Opcode::SqrtF64, std::sqrt},
+           {Opcode::ExpF64, std::exp},
+           {Opcode::LogF64, std::log},
+           {Opcode::SinF64, std::sin},
+           {Opcode::CosF64, std::cos},
+           {Opcode::TanF64, std::tan},
+           {Opcode::AtanF64, std::atan},
+           {Opcode::CbrtF64, std::cbrt},
+           {Opcode::FloorF64, std::floor},
+           {Opcode::CeilF64, std::ceil}}) {
+    double X = R.uniformReal(0.1, 50.0);
+    ProgramBuilder B;
+    B.out(B.op(C.Op, B.input(0)));
+    B.halt();
+    Program P = B.finish();
+    EXPECT_EQ(bitsOfDouble(runOne(P, {X})), bitsOfDouble(C.Ref1(X)))
+        << opInfo(C.Op).Name;
+  }
+}
+
+TEST(IR, BranchesAndLoops) {
+  // Sum 1..100 with a loop: i, acc as mutable temps rebound via copyTo.
+  ProgramBuilder B;
+  auto I = B.constF64(1.0);
+  auto Acc = B.constF64(0.0);
+  auto Limit = B.constF64(100.0);
+  auto One = B.constF64(1.0);
+  auto LoopHead = B.newLabel();
+  auto Done = B.newLabel();
+  B.bind(LoopHead);
+  auto Cond = B.op(Opcode::CmpGTF64, I, Limit);
+  B.branchIf(Cond, Done);
+  B.copyTo(Acc, B.op(Opcode::AddF64, Acc, I));
+  B.copyTo(I, B.op(Opcode::AddF64, I, One));
+  B.jump(LoopHead);
+  B.bind(Done);
+  B.out(Acc);
+  B.halt();
+  Program P = B.finish();
+  ASSERT_EQ(P.validate(), "");
+  EXPECT_EQ(runOne(P, {}), 5050.0);
+}
+
+TEST(IR, CallAndRet) {
+  // main: out(square(7)); square reads/writes thread state slot 0.
+  ProgramBuilder B;
+  auto Fn = B.newLabel();
+  auto X = B.constF64(7.0);
+  B.put(0, X);
+  B.call(Fn);
+  auto Result = B.get(8, ValueType::F64);
+  B.out(Result);
+  B.halt();
+  B.bind(Fn);
+  auto Arg = B.get(0, ValueType::F64);
+  B.put(8, B.op(Opcode::MulF64, Arg, Arg));
+  B.ret();
+  Program P = B.finish();
+  ASSERT_EQ(P.validate(), "");
+  EXPECT_EQ(runOne(P, {}), 49.0);
+}
+
+TEST(IR, MemoryRoundTrip) {
+  ProgramBuilder B;
+  auto Addr = B.constI64(0x1000);
+  auto V = B.constF64(2.5);
+  B.store(Addr, 0, V);
+  B.out(B.load(Addr, 0, ValueType::F64));
+  B.halt();
+  EXPECT_EQ(runOne(B.finish(), {}), 2.5);
+}
+
+TEST(IR, MemoryUnwrittenReadsZero) {
+  ProgramBuilder B;
+  auto Addr = B.constI64(0x5000);
+  B.out(B.load(Addr, 0, ValueType::F64));
+  B.halt();
+  EXPECT_EQ(runOne(B.finish(), {}), 0.0);
+}
+
+TEST(IR, SimdLaneWiseMatchesScalar) {
+  ProgramBuilder B;
+  auto V1 = B.op(Opcode::BuildV2F64, B.input(0), B.input(1));
+  auto V2 = B.op(Opcode::BuildV2F64, B.input(2), B.input(3));
+  auto Sum = B.op(Opcode::MulV2F64, V1, V2);
+  B.out(B.op(Opcode::ExtractLaneF64, Sum, B.constI64(0)));
+  B.out(B.op(Opcode::ExtractLaneF64, Sum, B.constI64(1)));
+  B.halt();
+  RunResult R = interpret(B.finish(), {2.0, 3.0, 5.0, 7.0});
+  ASSERT_EQ(R.Outputs.size(), 2u);
+  EXPECT_EQ(R.Outputs[0].asF64(), 10.0);
+  EXPECT_EQ(R.Outputs[1].asF64(), 21.0);
+}
+
+TEST(IR, SimdStoreScalarReadBack) {
+  // Write a V2F64 to memory, read the second lane back as a scalar.
+  ProgramBuilder B;
+  auto V = B.op(Opcode::BuildV2F64, B.constF64(1.5), B.constF64(-8.25));
+  auto Addr = B.constI64(0x2000);
+  B.store(Addr, 0, V);
+  B.out(B.load(Addr, 8, ValueType::F64));
+  B.halt();
+  EXPECT_EQ(runOne(B.finish(), {}), -8.25);
+}
+
+TEST(IR, XorSignFlipTrick) {
+  // gcc-style negation: XOR with the sign mask in both lanes.
+  ProgramBuilder B;
+  double SignMaskD = doubleFromBits(1ULL << 63);
+  auto V = B.op(Opcode::BuildV2F64, B.input(0), B.input(1));
+  auto Mask = B.op(Opcode::BuildV2F64, B.constF64(SignMaskD),
+                   B.constF64(SignMaskD));
+  auto Negated = B.op(Opcode::XorV128, V, Mask);
+  B.out(B.op(Opcode::ExtractLaneF64, Negated, B.constI64(0)));
+  B.halt();
+  EXPECT_EQ(runOne(B.finish(), {42.0, 0.0}), -42.0);
+}
+
+TEST(IR, IntegerOps) {
+  ProgramBuilder B;
+  auto A = B.constI64(0xF0);
+  auto C = B.constI64(0x0F);
+  auto Or = B.op(Opcode::OrI64, A, C);
+  auto Shifted = B.op(Opcode::ShlI64, Or, B.constI64(4));
+  B.out(B.op(Opcode::I64toF64, Shifted));
+  B.halt();
+  EXPECT_EQ(runOne(B.finish(), {}), 0xFF * 16.0);
+}
+
+TEST(IR, SarVsShr) {
+  ProgramBuilder B;
+  auto Neg = B.constI64(-64);
+  B.out(B.op(Opcode::I64toF64, B.op(Opcode::SarI64, Neg, B.constI64(3))));
+  B.out(B.op(Opcode::I64toF64, B.op(Opcode::ShrI64, Neg, B.constI64(60))));
+  B.halt();
+  RunResult R = interpret(B.finish(), {});
+  EXPECT_EQ(R.Outputs[0].asF64(), -8.0);
+  EXPECT_EQ(R.Outputs[1].asF64(), 15.0);
+}
+
+TEST(IR, ValidateCatchesBadPrograms) {
+  // Missing halt.
+  ProgramBuilder B1;
+  B1.out(B1.constF64(1.0));
+  EXPECT_NE(B1.finish().validate(), "");
+}
+
+TEST(IR, PrintContainsMnemonics) {
+  ProgramBuilder B;
+  B.setLoc(SourceLoc("kernel.c", 12, "f"));
+  B.out(B.op(Opcode::AddF64, B.input(0), B.constF64(1.0)));
+  B.halt();
+  std::string Listing = B.finish().print();
+  EXPECT_NE(Listing.find("add.f64"), std::string::npos);
+  EXPECT_NE(Listing.find("kernel.c:12"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Static type analysis
+//===----------------------------------------------------------------------===//
+
+TEST(TypeAnalysis, InfersStraightLineTypes) {
+  ProgramBuilder B;
+  auto I = B.constI64(1);
+  auto F = B.constF64(1.0);
+  auto G = B.op(Opcode::AddF64, F, F);
+  B.out(G);
+  B.halt();
+  Program P = B.finish();
+  std::vector<ValueType> Types = inferTempTypes(P);
+  EXPECT_EQ(Types[I], ValueType::I64);
+  EXPECT_EQ(Types[F], ValueType::F64);
+  EXPECT_EQ(Types[G], ValueType::F64);
+}
+
+TEST(TypeAnalysis, ConflictingDefsGoToConflict) {
+  ProgramBuilder B;
+  auto T = B.newTemp();
+  B.copyTo(T, B.constI64(1));
+  B.copyTo(T, B.constF64(1.0));
+  B.out(T);
+  B.halt();
+  Program P = B.finish();
+  EXPECT_EQ(inferTempTypes(P)[T], ValueType::Conflict);
+}
+
+TEST(TypeAnalysis, CopyChainsPropagate) {
+  ProgramBuilder B;
+  auto A = B.constF64(1.0);
+  auto T1 = B.newTemp();
+  auto T2 = B.newTemp();
+  B.copyTo(T1, A);
+  B.copyTo(T2, T1);
+  B.out(T2);
+  B.halt();
+  EXPECT_EQ(inferTempTypes(B.finish())[T2], ValueType::F64);
+}
+
+//===----------------------------------------------------------------------===//
+// Libm lowering
+//===----------------------------------------------------------------------===//
+
+class LoweringAccuracyTest
+    : public ::testing::TestWithParam<std::pair<Opcode, double (*)(double)>> {
+};
+
+TEST_P(LoweringAccuracyTest, LoweredKernelsStayWithinAFewUlps) {
+  auto [Op, Ref] = GetParam();
+  ProgramBuilder B;
+  B.out(B.op(Op, B.input(0)));
+  B.halt();
+  Program P = B.finish();
+  Program Lowered = lowerLibraryCalls(P);
+  ASSERT_EQ(Lowered.validate(), "");
+  EXPECT_GT(Lowered.size(), P.size());
+
+  Rng R(77);
+  for (int I = 0; I < 500; ++I) {
+    double X = Op == Opcode::LogF64 ? R.betweenOrdinals(1e-300, 1e300)
+                                    : R.uniformReal(-30.0, 30.0);
+    double Got = runOne(Lowered, {X});
+    double Want = Ref(X);
+    // The inline kernels are "fast path" quality: a couple of ulps in
+    // general, worse near the zeros of sin/cos where the 3-word Cody-Waite
+    // reduction dominates. That is realistic for client code.
+    EXPECT_LE(ulpsBetweenDoubles(Got, Want), 32u)
+        << opInfo(Op).Name << "(" << X << ") = " << Got << " vs " << Want;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, LoweringAccuracyTest,
+    ::testing::Values(std::make_pair(Opcode::ExpF64, (double (*)(double))
+                                                         std::exp),
+                      std::make_pair(Opcode::LogF64,
+                                     (double (*)(double))std::log),
+                      std::make_pair(Opcode::SinF64,
+                                     (double (*)(double))std::sin),
+                      std::make_pair(Opcode::CosF64,
+                                     (double (*)(double))std::cos),
+                      std::make_pair(Opcode::TanhF64,
+                                     (double (*)(double))std::tanh)),
+    [](const auto &Info) {
+      std::string Name = opInfo(Info.param.first).Name;
+      return Name.substr(0, Name.find('.'));
+    });
+
+TEST(LibmLowering, ControlFlowSurvivesRewriting) {
+  // A loop around a lowered call: targets must be remapped correctly.
+  ProgramBuilder B;
+  auto I = B.constF64(0.0);
+  auto Acc = B.constF64(0.0);
+  auto One = B.constF64(1.0);
+  auto Limit = B.constF64(10.0);
+  auto Head = B.newLabel();
+  auto Done = B.newLabel();
+  B.bind(Head);
+  B.branchIf(B.op(Opcode::CmpGEF64, I, Limit), Done);
+  B.copyTo(Acc, B.op(Opcode::AddF64, Acc, B.op(Opcode::ExpF64, I)));
+  B.copyTo(I, B.op(Opcode::AddF64, I, One));
+  B.jump(Head);
+  B.bind(Done);
+  B.out(Acc);
+  B.halt();
+  Program P = B.finish();
+  Program Lowered = lowerLibraryCalls(P);
+  ASSERT_EQ(Lowered.validate(), "");
+  double Want = runOne(P, {});
+  double Got = runOne(Lowered, {});
+  EXPECT_LE(ulpsBetweenDoubles(Got, Want), 64u); // accumulated kernel slop
+}
+
+TEST(LibmLowering, UnloweredOpsAreKeptWrapped) {
+  EXPECT_FALSE(canLowerLibCall(Opcode::AtanF64));
+  EXPECT_FALSE(canLowerLibCall(Opcode::FmodF64));
+  EXPECT_TRUE(canLowerLibCall(Opcode::ExpF64));
+  ProgramBuilder B;
+  B.out(B.op(Opcode::AtanF64, B.input(0)));
+  B.halt();
+  Program P = B.finish();
+  Program Lowered = lowerLibraryCalls(P);
+  EXPECT_EQ(Lowered.size(), P.size());
+}
+
+TEST(LibmLowering, ExposesTheMagicRoundingConstant) {
+  // The paper's Section 8.2 observes the constant 6.755399e15 leaking into
+  // expressions when wrapping is off; our lowering contains it too.
+  ProgramBuilder B;
+  B.out(B.op(Opcode::ExpF64, B.input(0)));
+  B.halt();
+  Program Lowered = lowerLibraryCalls(B.finish());
+  bool Found = false;
+  for (const Statement &S : Lowered.statements())
+    if (S.Kind == StmtKind::Const && S.Literal.Ty == ValueType::F64 &&
+        S.Literal.F64 == 6755399441055744.0)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Step accounting
+//===----------------------------------------------------------------------===//
+
+TEST(IR, StepLimitStopsRunawayLoops) {
+  ProgramBuilder B;
+  auto Head = B.newLabel();
+  B.bind(Head);
+  B.jump(Head);
+  Program P = B.finish();
+  RunResult R = interpret(P, {}, /*MaxSteps=*/1000);
+  EXPECT_TRUE(R.HitStepLimit);
+  EXPECT_GE(R.Steps, 1000u);
+}

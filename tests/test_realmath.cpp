@@ -1,0 +1,363 @@
+//===- tests/test_realmath.cpp - Transcendental function tests ------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Oracle: glibc's libm, which is faithful (mostly correctly rounded) for the
+// functions under test. BigFloat at 256 bits rounded to double must land
+// within a couple of ulps of libm; for most inputs it should be bit-equal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "real/RealMath.h"
+
+#include "support/FloatBits.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace herbgrind;
+
+namespace {
+
+const double Inf = std::numeric_limits<double>::infinity();
+
+/// Asserts |ours - libm| <= Tol ulps (NaNs must agree).
+void expectClose(double Ours, double Libm, double Input, const char *What,
+                 uint64_t Tol = 2) {
+  if (std::isnan(Libm)) {
+    EXPECT_TRUE(std::isnan(Ours)) << What << "(" << Input << ")";
+    return;
+  }
+  ASSERT_FALSE(std::isnan(Ours)) << What << "(" << Input << ")";
+  EXPECT_LE(ulpsBetweenDoubles(Ours, Libm), Tol)
+      << What << "(" << Input << ") = " << Ours << " vs libm " << Libm;
+}
+
+using UnaryReal = BigFloat (*)(const BigFloat &);
+using UnaryLibm = double (*)(double);
+
+struct UnaryCase {
+  const char *Name;
+  UnaryReal Ours;
+  UnaryLibm Libm;
+  double Lo, Hi;   ///< Sampling range.
+  uint64_t TolUlps;
+};
+
+class UnaryMathTest : public ::testing::TestWithParam<UnaryCase> {};
+
+} // namespace
+
+TEST_P(UnaryMathTest, AgreesWithLibmOnRange) {
+  const UnaryCase &C = GetParam();
+  Rng R(777);
+  for (int I = 0; I < 2000; ++I) {
+    double X = R.betweenOrdinals(C.Lo, C.Hi);
+    double Libm = C.Libm(X);
+    double Ours = C.Ours(BigFloat::fromDouble(X, 256)).toDouble();
+    expectClose(Ours, Libm, X, C.Name, C.TolUlps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnaryMathTest,
+    ::testing::Values(
+        UnaryCase{"exp", realmath::exp, std::exp, -700.0, 700.0, 1},
+        UnaryCase{"expm1", realmath::expm1, std::expm1, -50.0, 50.0, 1},
+        UnaryCase{"exp2", realmath::exp2, std::exp2, -1000.0, 1000.0, 1},
+        UnaryCase{"log", realmath::log, std::log, 1e-300, 1e300, 1},
+        UnaryCase{"log2", realmath::log2, std::log2, 1e-300, 1e300, 1},
+        UnaryCase{"log10", realmath::log10, std::log10, 1e-300, 1e300, 1},
+        UnaryCase{"log1p", realmath::log1p, std::log1p, -0.999, 1e10, 1},
+        UnaryCase{"sin", realmath::sin, std::sin, -100.0, 100.0, 1},
+        UnaryCase{"cos", realmath::cos, std::cos, -100.0, 100.0, 1},
+        UnaryCase{"tan", realmath::tan, std::tan, -100.0, 100.0, 1},
+        UnaryCase{"asin", realmath::asin, std::asin, -1.0, 1.0, 1},
+        UnaryCase{"acos", realmath::acos, std::acos, -1.0, 1.0, 1},
+        UnaryCase{"atan", realmath::atan, std::atan, -1e10, 1e10, 1},
+        UnaryCase{"sinh", realmath::sinh, std::sinh, -700.0, 700.0, 1},
+        UnaryCase{"cosh", realmath::cosh, std::cosh, -700.0, 700.0, 1},
+        UnaryCase{"tanh", realmath::tanh, std::tanh, -50.0, 50.0, 1},
+        // glibc's cbrt is itself only faithful to a few ulps (cubing both
+        // candidates at 512 bits shows ours is often the closer one).
+        UnaryCase{"cbrt", realmath::cbrt, std::cbrt, -1e300, 1e300, 4}),
+    [](const ::testing::TestParamInfo<UnaryCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Constants
+//===----------------------------------------------------------------------===//
+
+TEST(RealMath, PiMatchesKnownDigits) {
+  EXPECT_EQ(realmath::pi(256).toDouble(), M_PI);
+  // First limb beyond double precision: pi to 128 bits is
+  // 3.243f6a8885a308d313198a2e03707344a4... / 2^... -- check via a second
+  // route: sin(pi) must be ~0 at high precision.
+  BigFloat SinPi = realmath::sin(realmath::pi(512));
+  EXPECT_TRUE(SinPi.isZero() || SinPi.exponent() < -500);
+}
+
+TEST(RealMath, Ln2MatchesLibm) {
+  EXPECT_EQ(realmath::ln2(256).toDouble(), M_LN2);
+  BigFloat ExpLn2 = realmath::exp(realmath::ln2(512));
+  BigFloat Diff = BigFloat::sub(ExpLn2, BigFloat::fromInt64(2, 512)).abs();
+  EXPECT_TRUE(Diff.isZero() || Diff.exponent() < -490);
+}
+
+TEST(RealMath, Ln10AndE) {
+  EXPECT_EQ(realmath::ln10(256).toDouble(), M_LN10);
+  EXPECT_EQ(realmath::eulerE(256).toDouble(), M_E);
+}
+
+TEST(RealMath, ConstantCacheServesGrowingPrecisions) {
+  BigFloat A = realmath::pi(128);
+  BigFloat B = realmath::pi(1024);
+  BigFloat C = realmath::pi(128);
+  EXPECT_EQ(BigFloat::cmp(A, C), 0);
+  EXPECT_EQ(B.precisionBits(), 1024u);
+}
+
+//===----------------------------------------------------------------------===//
+// Specials and directed cases
+//===----------------------------------------------------------------------===//
+
+TEST(RealMath, ExpSpecials) {
+  EXPECT_TRUE(realmath::exp(BigFloat::nan()).isNaN());
+  EXPECT_TRUE(realmath::exp(BigFloat::inf(false)).isInf());
+  EXPECT_TRUE(realmath::exp(BigFloat::inf(true)).isZero());
+  EXPECT_EQ(realmath::exp(BigFloat::zero()).toDouble(), 1.0);
+  EXPECT_EQ(realmath::exp(BigFloat::fromDouble(1e20)).toDouble(), Inf);
+  EXPECT_EQ(realmath::exp(BigFloat::fromDouble(-1e20)).toDouble(), 0.0);
+}
+
+TEST(RealMath, LogSpecials) {
+  EXPECT_TRUE(realmath::log(BigFloat::fromDouble(-1.0)).isNaN());
+  EXPECT_TRUE(realmath::log(BigFloat::zero()).isInf());
+  EXPECT_TRUE(realmath::log(BigFloat::zero()).isNegative());
+  EXPECT_TRUE(realmath::log(BigFloat::inf(false)).isInf());
+  EXPECT_EQ(realmath::log(BigFloat::fromInt64(1)).toDouble(), 0.0);
+}
+
+TEST(RealMath, Log1pSpecials) {
+  EXPECT_TRUE(realmath::log1p(BigFloat::fromDouble(-1.0)).isInf());
+  EXPECT_TRUE(realmath::log1p(BigFloat::fromDouble(-1.5)).isNaN());
+  // log1p of a tiny x is ~x, not 0 (the whole reason expm1/log1p exist).
+  double Tiny = 1e-30;
+  double V = realmath::log1p(BigFloat::fromDouble(Tiny)).toDouble();
+  EXPECT_EQ(V, std::log1p(Tiny));
+  EXPECT_NE(V, 0.0);
+}
+
+TEST(RealMath, TrigSpecials) {
+  EXPECT_TRUE(realmath::sin(BigFloat::inf(false)).isNaN());
+  EXPECT_TRUE(realmath::cos(BigFloat::inf(true)).isNaN());
+  EXPECT_TRUE(realmath::sin(BigFloat::zero(true)).isZero());
+  EXPECT_TRUE(realmath::sin(BigFloat::zero(true)).isNegative());
+  EXPECT_EQ(realmath::cos(BigFloat::zero()).toDouble(), 1.0);
+}
+
+TEST(RealMath, SinOfHugeArgumentsMatchesLibm) {
+  // Payne-Hanek-style reduction: the classic killer cases.
+  for (double X : {1e10, 1e15, 1e22, 1e100, 1e300, -1e300, 123456789.0,
+                   1.0e308}) {
+    expectClose(realmath::sin(BigFloat::fromDouble(X, 256)).toDouble(),
+                std::sin(X), X, "sin", 1);
+    expectClose(realmath::cos(BigFloat::fromDouble(X, 256)).toDouble(),
+                std::cos(X), X, "cos", 1);
+  }
+}
+
+TEST(RealMath, Atan2QuadrantsAndSpecials) {
+  struct Case {
+    double Y, X;
+  };
+  for (Case C : std::initializer_list<Case>{{1, 1},
+                                            {1, -1},
+                                            {-1, 1},
+                                            {-1, -1},
+                                            {0.0, 1.0},
+                                            {0.0, -1.0},
+                                            {-0.0, 1.0},
+                                            {-0.0, -1.0},
+                                            {1.0, 0.0},
+                                            {-1.0, 0.0},
+                                            {0.0, 0.0},
+                                            {-0.0, -0.0},
+                                            {Inf, 1.0},
+                                            {-Inf, 1.0},
+                                            {1.0, Inf},
+                                            {1.0, -Inf},
+                                            {Inf, Inf},
+                                            {Inf, -Inf},
+                                            {-Inf, -Inf}}) {
+    double Libm = std::atan2(C.Y, C.X);
+    double Ours = realmath::atan2(BigFloat::fromDouble(C.Y),
+                                  BigFloat::fromDouble(C.X))
+                      .toDouble();
+    EXPECT_LE(ulpsBetweenDoubles(Ours, Libm), 1u)
+        << "atan2(" << C.Y << ", " << C.X << ")";
+    EXPECT_EQ(std::signbit(Ours), std::signbit(Libm))
+        << "atan2(" << C.Y << ", " << C.X << ")";
+  }
+}
+
+TEST(RealMath, Atan2RandomAgreesWithLibm) {
+  Rng R(888);
+  for (int I = 0; I < 2000; ++I) {
+    double Y = R.betweenOrdinals(-1e20, 1e20);
+    double X = R.betweenOrdinals(-1e20, 1e20);
+    expectClose(
+        realmath::atan2(BigFloat::fromDouble(Y), BigFloat::fromDouble(X))
+            .toDouble(),
+        std::atan2(Y, X), Y, "atan2", 1);
+  }
+}
+
+TEST(RealMath, PowSpecialLadder) {
+  struct Case {
+    double X, Y;
+  };
+  double NaN = std::nan("");
+  for (Case C : std::initializer_list<Case>{
+           {1.0, NaN},   {NaN, 0.0},     {2.0, Inf},    {0.5, Inf},
+           {2.0, -Inf},  {0.5, -Inf},    {-1.0, Inf},   {0.0, 3.0},
+           {-0.0, 3.0},  {0.0, -2.0},    {-0.0, -3.0},  {Inf, 2.0},
+           {Inf, -2.0},  {-Inf, 3.0},    {-Inf, 2.0},   {-Inf, -3.0},
+           {-2.0, 3.0},  {-2.0, 2.0},    {-2.0, 0.5},   {0.0, 0.0},
+           {8.0, 1.0 / 3.0}}) {
+    double Libm = std::pow(C.X, C.Y);
+    double Ours = realmath::pow(BigFloat::fromDouble(C.X),
+                                BigFloat::fromDouble(C.Y))
+                      .toDouble();
+    if (std::isnan(Libm)) {
+      EXPECT_TRUE(std::isnan(Ours)) << "pow(" << C.X << ", " << C.Y << ")";
+    } else {
+      EXPECT_LE(ulpsBetweenDoubles(Ours, Libm), 1u)
+          << "pow(" << C.X << ", " << C.Y << ") = " << Ours << " vs " << Libm;
+    }
+  }
+}
+
+TEST(RealMath, PowRandomAgreesWithLibm) {
+  Rng R(999);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.betweenOrdinals(1e-10, 1e10);
+    double Y = R.uniformReal(-30.0, 30.0);
+    double Libm = std::pow(X, Y);
+    if (std::isinf(Libm) || Libm == 0.0)
+      continue; // overflow/underflow boundary: BigFloat keeps going
+    expectClose(realmath::pow(BigFloat::fromDouble(X, 256),
+                              BigFloat::fromDouble(Y, 256))
+                    .toDouble(),
+                Libm, X, "pow", 2);
+  }
+}
+
+TEST(RealMath, PowIntegerExponentsExact) {
+  Rng R(1000);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.uniformReal(-10.0, 10.0);
+    int N = static_cast<int>(R.nextBelow(20)) - 10;
+    double Libm = std::pow(X, N);
+    if (!std::isfinite(Libm) || X == 0.0)
+      continue;
+    expectClose(realmath::pow(BigFloat::fromDouble(X, 256),
+                              BigFloat::fromInt64(N, 256))
+                    .toDouble(),
+                Libm, X, "pow-int", 1);
+  }
+}
+
+TEST(RealMath, HypotNoOverflow) {
+  // The textbook motivation: naive sqrt(x^2+y^2) overflows, hypot must not.
+  double Big = 1e200;
+  double Ours = realmath::hypot(BigFloat::fromDouble(Big),
+                                BigFloat::fromDouble(Big))
+                    .toDouble();
+  EXPECT_LE(ulpsBetweenDoubles(Ours, std::hypot(Big, Big)), 1u);
+  EXPECT_TRUE(realmath::hypot(BigFloat::inf(true), BigFloat::nan()).isInf());
+}
+
+TEST(RealMath, HypotRandom) {
+  Rng R(1001);
+  for (int I = 0; I < 2000; ++I) {
+    double X = R.betweenOrdinals(-1e150, 1e150);
+    double Y = R.betweenOrdinals(-1e150, 1e150);
+    expectClose(
+        realmath::hypot(BigFloat::fromDouble(X), BigFloat::fromDouble(Y))
+            .toDouble(),
+        std::hypot(X, Y), X, "hypot", 1);
+  }
+}
+
+TEST(RealMath, FmodMatchesLibmExactly) {
+  // fmod is exact in IEEE arithmetic, so we demand bit equality.
+  Rng R(1002);
+  for (int I = 0; I < 3000; ++I) {
+    double X = R.uniformReal(-1e6, 1e6);
+    double Y = R.uniformReal(-100.0, 100.0);
+    if (Y == 0.0)
+      continue;
+    double Libm = std::fmod(X, Y);
+    double Ours = realmath::fmod(BigFloat::fromDouble(X, 256),
+                                 BigFloat::fromDouble(Y, 256))
+                      .toDouble();
+    EXPECT_EQ(bitsOfDouble(Ours), bitsOfDouble(Libm))
+        << "fmod(" << X << ", " << Y << ")";
+  }
+}
+
+TEST(RealMath, FmodHugeQuotient) {
+  double X = 1e300;
+  double Y = 3.25;
+  double Ours = realmath::fmod(BigFloat::fromDouble(X, 256),
+                               BigFloat::fromDouble(Y, 256))
+                    .toDouble();
+  EXPECT_EQ(Ours, std::fmod(X, Y));
+}
+
+TEST(RealMath, RemainderMatchesLibm) {
+  Rng R(1003);
+  for (int I = 0; I < 3000; ++I) {
+    double X = R.uniformReal(-1e6, 1e6);
+    double Y = R.uniformReal(-100.0, 100.0);
+    if (Y == 0.0)
+      continue;
+    double Libm = std::remainder(X, Y);
+    double Ours = realmath::remainder(BigFloat::fromDouble(X, 256),
+                                      BigFloat::fromDouble(Y, 256))
+                      .toDouble();
+    EXPECT_EQ(bitsOfDouble(Ours), bitsOfDouble(Libm))
+        << "remainder(" << X << ", " << Y << ")";
+  }
+}
+
+TEST(RealMath, TanhSaturates) {
+  EXPECT_EQ(realmath::tanh(BigFloat::fromDouble(1000.0)).toDouble(), 1.0);
+  EXPECT_EQ(realmath::tanh(BigFloat::fromDouble(-1000.0)).toDouble(), -1.0);
+  EXPECT_EQ(realmath::tanh(BigFloat::inf(false)).toDouble(), 1.0);
+}
+
+TEST(RealMath, TinyArgumentsKeepRelativeAccuracy) {
+  // sin(x) ~ x - x^3/6 for tiny x: the series must not flush to zero.
+  for (double X : {1e-20, 1e-100, 1e-300, -1e-20}) {
+    EXPECT_EQ(realmath::sin(BigFloat::fromDouble(X, 256)).toDouble(),
+              std::sin(X))
+        << X;
+    EXPECT_EQ(realmath::atan(BigFloat::fromDouble(X, 256)).toDouble(),
+              std::atan(X))
+        << X;
+    EXPECT_EQ(realmath::sinh(BigFloat::fromDouble(X, 256)).toDouble(),
+              std::sinh(X))
+        << X;
+    EXPECT_EQ(realmath::expm1(BigFloat::fromDouble(X, 256)).toDouble(),
+              std::expm1(X))
+        << X;
+  }
+}

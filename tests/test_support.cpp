@@ -1,0 +1,290 @@
+//===- tests/test_support.cpp - Support library unit tests ----------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FloatBits.h"
+#include "support/Format.h"
+#include "support/Pool.h"
+#include "support/Rng.h"
+#include "support/RunningStat.h"
+#include "support/SourceLoc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+using namespace herbgrind;
+
+//===----------------------------------------------------------------------===//
+// FloatBits
+//===----------------------------------------------------------------------===//
+
+TEST(FloatBits, BitCastRoundTrip) {
+  for (double X : {0.0, -0.0, 1.0, -1.5, 1e300, 5e-324,
+                   std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(bitsOfDouble(doubleFromBits(bitsOfDouble(X))), bitsOfDouble(X));
+  }
+}
+
+TEST(FloatBits, OrdinalOrderingMatchesDoubleOrdering) {
+  Rng R(42);
+  for (int I = 0; I < 10000; ++I) {
+    double A = R.anyFiniteDouble();
+    double B = R.anyFiniteDouble();
+    EXPECT_EQ(A < B, ordinalOfDouble(A) < ordinalOfDouble(B))
+        << A << " vs " << B;
+  }
+}
+
+TEST(FloatBits, OrdinalRoundTrip) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.anyFiniteDouble();
+    if (X == 0.0)
+      continue; // both zeros share ordinal 0; round-trip returns +0
+    EXPECT_EQ(doubleFromOrdinal(ordinalOfDouble(X)), X);
+  }
+  EXPECT_EQ(doubleFromOrdinal(ordinalOfDouble(0.0)), 0.0);
+  EXPECT_EQ(doubleFromOrdinal(ordinalOfDouble(-0.0)), 0.0);
+}
+
+TEST(FloatBits, AdjacentDoublesAreOneUlpApart) {
+  for (double X : {1.0, -1.0, 0.0, 1e-300, 1e300, 123.456}) {
+    EXPECT_EQ(ulpsBetweenDoubles(X, nextDouble(X)), 1u);
+    EXPECT_EQ(ulpsBetweenDoubles(X, X), 0u);
+  }
+}
+
+TEST(FloatBits, ZerosAreEqualInUlps) {
+  EXPECT_EQ(ulpsBetweenDoubles(0.0, -0.0), 0u);
+}
+
+TEST(FloatBits, BitsOfErrorBasics) {
+  EXPECT_DOUBLE_EQ(bitsOfErrorDouble(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bitsOfErrorDouble(1.0, nextDouble(1.0)), 1.0);
+  double NaN = std::nan("");
+  EXPECT_DOUBLE_EQ(bitsOfErrorDouble(NaN, NaN), 0.0);
+  EXPECT_DOUBLE_EQ(bitsOfErrorDouble(NaN, 1.0), 64.0);
+  EXPECT_DOUBLE_EQ(bitsOfErrorDouble(1.0, NaN), 64.0);
+}
+
+TEST(FloatBits, BitsOfErrorGrowsWithDistance) {
+  double E1 = bitsOfErrorDouble(1.0, 1.0 + 1e-15);
+  double E2 = bitsOfErrorDouble(1.0, 1.0 + 1e-10);
+  double E3 = bitsOfErrorDouble(1.0, 2.0);
+  EXPECT_LT(E1, E2);
+  EXPECT_LT(E2, E3);
+  // 1.0 vs 2.0 differ by 2^52 ulps => 52 bits of error.
+  EXPECT_NEAR(E3, 52.0, 0.01);
+}
+
+TEST(FloatBits, FloatVariants) {
+  EXPECT_EQ(ulpsBetweenFloats(1.0f, std::nextafterf(1.0f, 2.0f)), 1u);
+  EXPECT_DOUBLE_EQ(bitsOfErrorFloat(std::nanf(""), 1.0f), 32.0);
+  EXPECT_NEAR(bitsOfErrorFloat(1.0f, 2.0f), 23.0, 0.01);
+}
+
+TEST(FloatBits, NextPrevInverse) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.anyFiniteDouble();
+    EXPECT_EQ(prevDouble(nextDouble(X)), X == 0.0 ? 0.0 : X);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(5);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng R(6);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.uniformReal(-3.0, 5.0);
+    EXPECT_GE(X, -3.0);
+    EXPECT_LT(X, 5.0);
+  }
+}
+
+TEST(Rng, BetweenOrdinalsInRange) {
+  Rng R(8);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.betweenOrdinals(-1e10, 1e10);
+    EXPECT_GE(X, -1e10);
+    EXPECT_LE(X, 1e10);
+  }
+}
+
+TEST(Rng, BetweenOrdinalsCoversMagnitudes) {
+  // Ordinal sampling should produce values across many orders of magnitude,
+  // unlike uniformReal which clusters at the large end.
+  Rng R(11);
+  std::set<int> ExponentsSeen;
+  for (int I = 0; I < 2000; ++I) {
+    double X = R.betweenOrdinals(1e-100, 1e100);
+    int Exp;
+    std::frexp(X, &Exp);
+    ExponentsSeen.insert(Exp / 50);
+  }
+  EXPECT_GT(ExponentsSeen.size(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(Format, Basic) {
+  EXPECT_EQ(format("x=%d y=%s", 4, "hi"), "x=4 y=hi");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Format, DoubleShortestRoundTrips) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.anyFiniteDouble();
+    std::string S = formatDoubleShortest(X);
+    EXPECT_EQ(std::stod(S), X) << S;
+  }
+}
+
+TEST(Format, DoubleShortestPicksShortForms) {
+  EXPECT_EQ(formatDoubleShortest(0.1), "0.1");
+  EXPECT_EQ(formatDoubleShortest(1.0), "1");
+  EXPECT_EQ(formatDoubleShortest(-2.5), "-2.5");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+//===----------------------------------------------------------------------===//
+// Pool
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct Tracked {
+  explicit Tracked(int V) : Value(V) { ++Live; }
+  ~Tracked() { --Live; }
+  int Value;
+  static int Live;
+};
+int Tracked::Live = 0;
+} // namespace
+
+TEST(Pool, CreateDestroy) {
+  Pool<Tracked> P;
+  Tracked *A = P.create(1);
+  Tracked *B = P.create(2);
+  EXPECT_EQ(A->Value, 1);
+  EXPECT_EQ(B->Value, 2);
+  EXPECT_EQ(P.live(), 2u);
+  P.destroy(A);
+  P.destroy(B);
+  EXPECT_EQ(P.live(), 0u);
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(Pool, ReusesSlots) {
+  Pool<Tracked> P;
+  Tracked *A = P.create(1);
+  P.destroy(A);
+  Tracked *B = P.create(2);
+  EXPECT_EQ(static_cast<void *>(A), static_cast<void *>(B));
+  P.destroy(B);
+}
+
+TEST(Pool, ManyObjects) {
+  Pool<Tracked> P;
+  std::vector<Tracked *> Objs;
+  for (int I = 0; I < 10000; ++I)
+    Objs.push_back(P.create(I));
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(Objs[static_cast<size_t>(I)]->Value, I);
+  EXPECT_EQ(P.totalAllocated(), 10000u);
+  for (Tracked *T : Objs)
+    P.destroy(T);
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(Pool, DisabledFallsBackToHeap) {
+  Pool<Tracked> P(/*Enabled=*/false);
+  Tracked *A = P.create(7);
+  EXPECT_EQ(A->Value, 7);
+  P.destroy(A);
+  EXPECT_FALSE(P.enabled());
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStat
+//===----------------------------------------------------------------------===//
+
+TEST(RunningStat, Empty) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.max(), 0.0);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+TEST(RunningStat, Aggregates) {
+  RunningStat S;
+  S.add(1.0);
+  S.add(3.0);
+  S.add(2.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat A, B, All;
+  for (int I = 0; I < 10; ++I) {
+    A.add(I);
+    All.add(I);
+  }
+  for (int I = 10; I < 25; ++I) {
+    B.add(I);
+    All.add(I);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_DOUBLE_EQ(A.mean(), All.mean());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+//===----------------------------------------------------------------------===//
+// SourceLoc
+//===----------------------------------------------------------------------===//
+
+TEST(SourceLoc, Rendering) {
+  SourceLoc L("main.cpp", 24, "run(int, int)");
+  EXPECT_EQ(L.str(), "main.cpp:24 in run(int, int)");
+  EXPECT_TRUE(L.isKnown());
+  SourceLoc Unknown;
+  EXPECT_EQ(Unknown.str(), "<unknown>");
+  EXPECT_FALSE(Unknown.isKnown());
+}
