@@ -1,0 +1,74 @@
+//===- bench/bench_engine_scaling.cpp - Batch engine thread scaling -------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// Measures the batch engine's throughput as worker count grows: the whole
+// compilable corpus is analyzed at --jobs 1, 2, 4, ... up to (at least) 8
+// and the hardware concurrency, reporting wall time, speedup, and
+// parallel efficiency. Every configuration's report is checked to be
+// byte-identical to the single-worker report, so the table doubles as a
+// determinism audit.
+//
+// Usage: bench_engine_scaling [samples-per-benchmark] [shard-size]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "engine/Engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+
+int main(int Argc, char **Argv) {
+  EngineConfig Cfg;
+  Cfg.SamplesPerBenchmark = Argc > 1 ? std::atoi(Argv[1]) : 32;
+  Cfg.ShardSize = Argc > 2 ? std::atoi(Argv[2]) : 4;
+
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  std::vector<unsigned> JobCounts;
+  for (unsigned J = 1; J <= std::max(8u, HW); J *= 2)
+    JobCounts.push_back(J);
+  if (JobCounts.back() != HW && HW > 1)
+    JobCounts.push_back(HW);
+  std::sort(JobCounts.begin(), JobCounts.end());
+  JobCounts.erase(std::unique(JobCounts.begin(), JobCounts.end()),
+                  JobCounts.end());
+
+  std::printf("batch engine scaling: corpus sweep, %d samples/benchmark, "
+              "shard size %d, %u hardware threads\n\n",
+              Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW);
+  std::printf("%6s %10s %10s %9s %11s  %s\n", "jobs", "wall(s)", "runs/s",
+              "speedup", "efficiency", "deterministic");
+
+  std::string Reference;
+  double BaseSeconds = 0.0;
+  for (unsigned J : JobCounts) {
+    Cfg.Jobs = J;
+    Engine Eng(Cfg); // fresh engine: cache warmup is part of every run
+    BatchResult R = Eng.runCorpus();
+    std::string Rendered = R.renderJson();
+    if (Reference.empty()) {
+      Reference = Rendered;
+      BaseSeconds = R.Stats.WallSeconds;
+    }
+    bool Identical = Rendered == Reference;
+    double Speedup = R.Stats.WallSeconds > 0.0
+                         ? BaseSeconds / R.Stats.WallSeconds
+                         : 0.0;
+    std::printf("%6u %10.3f %10.0f %8.2fx %10.1f%%  %s\n", J,
+                R.Stats.WallSeconds,
+                R.Stats.Runs / std::max(R.Stats.WallSeconds, 1e-9),
+                Speedup, 100.0 * Speedup / J,
+                Identical ? "yes" : "NO -- BUG");
+    if (!Identical)
+      return 1;
+  }
+  return 0;
+}

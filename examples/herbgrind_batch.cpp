@@ -1,0 +1,203 @@
+//===- examples/herbgrind_batch.cpp - Parallel corpus analysis CLI --------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+// The batch engine as a command-line tool: analyze many FPCore benchmarks
+// (the bundled corpus by default) sharded across worker threads, and emit
+// per-benchmark root-cause reports as text or JSON. Output is byte-
+// identical at any --jobs value; timing goes to stderr so it never
+// perturbs comparisons.
+//
+// Usage:
+//   herbgrind_batch [--jobs N] [--samples N] [--shard N] [--seed S]
+//                   [--name BENCH]... [file.fpcore]... [--json] [--out F]
+//   herbgrind_batch --list
+//   herbgrind_batch --selftest [engine options]   # jobs-invariance check
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "fpcore/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+using namespace herbgrind::fpcore;
+
+static int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [file.fpcore]...\n"
+      "  --jobs N      worker threads (default: hardware concurrency)\n"
+      "  --samples N   sampled inputs per benchmark (default 64)\n"
+      "  --shard N     inputs per shard (default 16)\n"
+      "  --seed S      base sampling seed (default 0xcafe)\n"
+      "  --name BENCH  analyze one corpus benchmark (repeatable)\n"
+      "  --json        emit a JSON report instead of text\n"
+      "  --out FILE    write the report to FILE instead of stdout\n"
+      "  --list        list corpus benchmark names\n"
+      "  --selftest    verify --jobs N output matches --jobs 1, then exit\n"
+      "With no files and no --name, the whole bundled corpus is analyzed.\n",
+      Prog);
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  EngineConfig Cfg;
+  bool Json = false, SelfTest = false;
+  std::string OutFile;
+  std::vector<Core> Cores;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (std::strcmp(Arg, "--list") == 0) {
+      for (const Core &C : corpus())
+        std::printf("%s\n", C.Name.c_str());
+      return 0;
+    } else if (std::strcmp(Arg, "--jobs") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      int Jobs = std::atoi(V);
+      if (Jobs < 0) {
+        std::fprintf(stderr, "error: --jobs must be >= 0 (0 = auto)\n");
+        return 2;
+      }
+      Cfg.Jobs = static_cast<unsigned>(Jobs);
+    } else if (std::strcmp(Arg, "--samples") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      Cfg.SamplesPerBenchmark = std::atoi(V);
+    } else if (std::strcmp(Arg, "--shard") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      Cfg.ShardSize = std::atoi(V);
+    } else if (std::strcmp(Arg, "--seed") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      Cfg.Seed = std::strtoull(V, nullptr, 0);
+    } else if (std::strcmp(Arg, "--name") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      bool Found = false;
+      for (const Core &C : corpus())
+        if (C.Name == V) {
+          Cores.push_back(C.clone());
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "error: no corpus benchmark named '%s' "
+                             "(try --list)\n",
+                     V);
+        return 1;
+      }
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      Json = true;
+    } else if (std::strcmp(Arg, "--selftest") == 0) {
+      SelfTest = true;
+    } else if (std::strcmp(Arg, "--out") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      OutFile = V;
+    } else if (Arg[0] == '-') {
+      return usage(Argv[0]);
+    } else {
+      std::ifstream In(Arg);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Arg);
+        return 1;
+      }
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      ParseResult R = parse(Buf.str());
+      if (!R.Ok) {
+        std::fprintf(stderr, "error: %s: parse failed: %s\n", Arg,
+                     R.Error.c_str());
+        return 1;
+      }
+      std::string WhyNot;
+      if (!isCompilable(R.Value, &WhyNot)) {
+        std::fprintf(stderr, "error: %s: %s\n", Arg, WhyNot.c_str());
+        return 1;
+      }
+      Cores.push_back(std::move(R.Value));
+    }
+  }
+
+  Engine Eng(Cfg);
+  bool WholeCorpus = Cores.empty();
+
+  if (SelfTest) {
+    // The headline determinism property: a multi-worker run must be
+    // byte-identical to a single-worker run of the same configuration.
+    BatchResult Multi = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+    EngineConfig OneCfg = Eng.config();
+    OneCfg.Jobs = 1;
+    Engine One(OneCfg);
+    BatchResult Single = WholeCorpus ? One.runCorpus() : One.run(Cores);
+    if (Multi.renderJson() != Single.renderJson()) {
+      std::fprintf(stderr,
+                   "FAIL: --jobs %u report differs from --jobs 1 report\n",
+                   Eng.config().Jobs);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "OK: %llu benchmarks, %llu shards, %llu runs; --jobs %u "
+                 "output identical to --jobs 1\n",
+                 static_cast<unsigned long long>(Multi.Stats.Benchmarks),
+                 static_cast<unsigned long long>(Multi.Stats.Shards),
+                 static_cast<unsigned long long>(Multi.Stats.Runs),
+                 Eng.config().Jobs);
+    return 0;
+  }
+
+  BatchResult Result = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+
+  std::string Rendered;
+  if (Json) {
+    Rendered = Result.renderJson();
+    Rendered += "\n";
+  } else {
+    for (const BenchmarkResult &BR : Result.Benchmarks) {
+      Rendered += "=== " + BR.Name + " ===\n";
+      Rendered += BR.Rep.render();
+      Rendered += "\n";
+    }
+  }
+
+  if (OutFile.empty()) {
+    std::fputs(Rendered.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutFile, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+      return 1;
+    }
+    Out << Rendered;
+  }
+
+  std::fprintf(stderr,
+               "analyzed %llu benchmarks (%llu shards, %llu runs) with "
+               "--jobs %u in %.2fs; program cache: %llu hits, %llu misses\n",
+               static_cast<unsigned long long>(Result.Stats.Benchmarks),
+               static_cast<unsigned long long>(Result.Stats.Shards),
+               static_cast<unsigned long long>(Result.Stats.Runs),
+               Eng.config().Jobs, Result.Stats.WallSeconds,
+               static_cast<unsigned long long>(Result.Stats.CacheHits),
+               static_cast<unsigned long long>(Result.Stats.CacheMisses));
+  return 0;
+}

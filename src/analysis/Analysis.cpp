@@ -497,11 +497,27 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
   ++Rec.Executions;
   Rec.LocalError.add(LocalErr);
   std::vector<VarBinding> Bindings;
+  std::vector<Promotion> Promotions;
   if (!Rec.Expr) {
     Rec.Expr = symbolize(Arena, Trace);
   } else {
     Rec.Expr = antiUnify(Arena, Rec.Expr.get(), Trace, Rec.NextVarIdx,
-                         Bindings);
+                         Bindings, &Promotions);
+    // A promoted constant held its value on every earlier round; credit
+    // that history to the new variable before folding this round's
+    // binding, so a variable's summary is exactly the multiset of values
+    // its position took. That property is what makes per-shard summaries
+    // merge losslessly (Executions already counts this round; Flagged
+    // does not yet).
+    for (const Promotion &Pr : Promotions) {
+      Rec.TotalInputs.addRepeated(Pr.Idx, Pr.OldValue, Rec.Executions - 1);
+      Rec.ProblematicInputs.addRepeated(Pr.Idx, Pr.OldValue, Rec.Flagged);
+      // The worst flagged round (if any) predates this promotion, so the
+      // new variable's position held the constant then: complete the
+      // example input retroactively too.
+      if (Rec.Flagged > 0)
+        Rec.ExampleProblematic.push_back({Pr.Idx, Pr.OldValue});
+    }
     Rec.TotalInputs.record(Bindings);
   }
   if (Flagged) {
@@ -620,6 +636,174 @@ void Herbgrind::shadowOutputSpot(const Statement &S, uint32_t PC,
           Spot.InfluencingOps.insert(OpPC);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Mergeable records (the batch engine's reduction)
+//===----------------------------------------------------------------------===//
+
+void SpotRecord::mergeFrom(const SpotRecord &Other) {
+  if (Other.Executions == 0)
+    return;
+  if (Executions == 0) {
+    Kind = Other.Kind;
+    Loc = Other.Loc;
+  }
+  Executions += Other.Executions;
+  Erroneous += Other.Erroneous;
+  ErrorBits.merge(Other.ErrorBits);
+  InfluencingOps.insert(Other.InfluencingOps.begin(),
+                        Other.InfluencingOps.end());
+}
+
+OpRecord OpRecord::clone() const {
+  OpRecord R;
+  R.Op = Op;
+  R.Loc = Loc;
+  R.Executions = Executions;
+  R.Flagged = Flagged;
+  R.CompensationsDetected = CompensationsDetected;
+  R.LocalError = LocalError;
+  R.Expr = Expr ? Expr->clone() : nullptr;
+  R.NextVarIdx = NextVarIdx;
+  R.TotalInputs = TotalInputs;
+  R.ProblematicInputs = ProblematicInputs;
+  R.MaxFlaggedLocalError = MaxFlaggedLocalError;
+  R.ExampleProblematic = ExampleProblematic;
+  return R;
+}
+
+void OpRecord::mergeFrom(const OpRecord &Other, uint32_t EquivDepth) {
+  if (Other.Executions == 0)
+    return;
+  if (Executions == 0) {
+    *this = Other.clone();
+    return;
+  }
+
+  // Anti-unify the two accumulated expressions. B's per-variable first
+  // observed values (Example is the earliest value by construction, thanks
+  // to retroactive constant promotion) disambiguate merged-variable
+  // numbering so it matches sequential processing.
+  assert(Expr && Other.Expr && "executed records always carry expressions");
+  std::vector<std::pair<bool, double>> BFirst;
+  BFirst.reserve(Other.TotalInputs.Vars.size());
+  for (const VarSummary &VS : Other.TotalInputs.Vars)
+    BFirst.push_back({VS.Count > 0 && !VS.SawNaN, VS.Example});
+  uint32_t NewNext = NextVarIdx;
+  std::vector<MergedVar> Vars;
+  std::unique_ptr<SymExpr> Merged = antiUnifyExprs(
+      Expr.get(), Other.Expr.get(), EquivDepth, BFirst, NewNext, Vars);
+
+  // Combine input summaries through each merged variable's provenance. A
+  // constant leaf contributed its value on every one of its side's rounds;
+  // a variable contributes its accumulated summary (only once per side --
+  // a split variable's history stays with the index that kept it).
+  InputCharacteristics NewTotal, NewProb;
+  for (const MergedVar &V : Vars) {
+    VarSummary T, P;
+    if (V.KeptA) {
+      T = TotalInputs.var(V.AVar);
+      P = ProblematicInputs.var(V.AVar);
+    } else if (V.A == MergedVar::Source::Const) {
+      T.addRepeated(V.AConst, Executions);
+      P.addRepeated(V.AConst, Flagged);
+    }
+    if (V.B == MergedVar::Source::Var) {
+      T.merge(Other.TotalInputs.var(V.BVar));
+      P.merge(Other.ProblematicInputs.var(V.BVar));
+    } else if (V.B == MergedVar::Source::Const) {
+      T.addRepeated(V.BConst, Other.Executions);
+      P.addRepeated(V.BConst, Other.Flagged);
+    }
+    auto Install = [](InputCharacteristics &C, uint32_t Idx, VarSummary &S) {
+      if (C.Vars.size() <= Idx)
+        C.Vars.resize(Idx + 1);
+      C.Vars[Idx] = S;
+    };
+    if (T.Count > 0)
+      Install(NewTotal, V.Idx, T);
+    if (P.Count > 0)
+      Install(NewProb, V.Idx, P);
+  }
+
+  // The worst flagged round decides the example input; ties go to the
+  // later shard exactly like the incremental `>=` comparison. Variables
+  // the merge itself created from a side's constant held that constant on
+  // every one of the side's rounds -- including its worst one -- so their
+  // example values are appended here, mirroring the incremental path's
+  // retroactive completion on promotion.
+  bool TakeB = Other.Flagged > 0 &&
+               (Flagged == 0 ||
+                Other.MaxFlaggedLocalError >= MaxFlaggedLocalError);
+  if (TakeB) {
+    std::map<uint32_t, uint32_t> BMap;
+    for (const MergedVar &V : Vars)
+      if (V.B == MergedVar::Source::Var)
+        BMap.emplace(V.BVar, V.Idx); // first claim wins
+    std::vector<VarBinding> Remapped;
+    for (const VarBinding &Bnd : Other.ExampleProblematic) {
+      auto It = BMap.find(Bnd.Idx);
+      if (It != BMap.end())
+        Remapped.push_back({It->second, Bnd.Value});
+    }
+    for (const MergedVar &V : Vars)
+      if (V.B == MergedVar::Source::Const)
+        Remapped.push_back({V.Idx, V.BConst});
+    ExampleProblematic = std::move(Remapped);
+  } else if (Flagged > 0) {
+    for (const MergedVar &V : Vars)
+      if (V.A == MergedVar::Source::Const)
+        ExampleProblematic.push_back({V.Idx, V.AConst});
+  }
+
+  Expr = std::move(Merged);
+  NextVarIdx = NewNext;
+  TotalInputs = std::move(NewTotal);
+  ProblematicInputs = std::move(NewProb);
+  Executions += Other.Executions;
+  Flagged += Other.Flagged;
+  CompensationsDetected += Other.CompensationsDetected;
+  LocalError.merge(Other.LocalError);
+  MaxFlaggedLocalError = std::max(MaxFlaggedLocalError,
+                                  Other.MaxFlaggedLocalError);
+}
+
+AnalysisResult AnalysisResult::clone() const {
+  AnalysisResult R;
+  R.Ranges = Ranges;
+  R.EquivDepth = EquivDepth;
+  for (const auto &[PC, Rec] : Ops)
+    R.Ops.emplace(PC, Rec.clone());
+  R.Spots = Spots;
+  return R;
+}
+
+void AnalysisResult::mergeFrom(const AnalysisResult &Other) {
+  for (const auto &[PC, Rec] : Other.Ops) {
+    auto It = Ops.find(PC);
+    if (It == Ops.end())
+      Ops.emplace(PC, Rec.clone());
+    else
+      It->second.mergeFrom(Rec, EquivDepth);
+  }
+  for (const auto &[PC, Spot] : Other.Spots) {
+    auto It = Spots.find(PC);
+    if (It == Spots.end())
+      Spots.emplace(PC, Spot);
+    else
+      It->second.mergeFrom(Spot);
+  }
+}
+
+AnalysisResult Herbgrind::snapshot() const {
+  AnalysisResult R;
+  R.Ranges = Cfg.Ranges;
+  R.EquivDepth = Cfg.EquivDepth;
+  for (const auto &[PC, Rec] : Ops)
+    R.Ops.emplace(PC, Rec.clone());
+  R.Spots = Spots;
+  return R;
 }
 
 //===----------------------------------------------------------------------===//

@@ -76,6 +76,10 @@ struct SpotRecord {
   uint64_t Erroneous = 0;
   RunningStat ErrorBits; ///< Output spots: bits; others: 0/1 divergence.
   std::set<uint32_t> InfluencingOps; ///< PCs of influencing flagged ops.
+
+  /// Folds another shard's record for the same spot in (counters sum,
+  /// error stats merge, influencer sets union).
+  void mergeFrom(const SpotRecord &Other);
 };
 
 /// Per-operation aggregate: local error statistics, the anti-unified
@@ -93,6 +97,39 @@ struct OpRecord {
   InputCharacteristics ProblematicInputs;
   double MaxFlaggedLocalError = 0.0;
   std::vector<VarBinding> ExampleProblematic; ///< Bindings at worst round.
+
+  /// Deep copy (the symbolic expression is owned).
+  OpRecord clone() const;
+
+  /// Folds another shard's record for the same operation site in: the
+  /// symbolic expressions are anti-unified (bounded at \p EquivDepth like
+  /// the incremental path), input summaries are combined through the
+  /// merged variables' provenance, and counters/statistics accumulate.
+  /// Merging shards in execution order reproduces what one analysis
+  /// running all the rounds sequentially would have recorded -- exactly
+  /// so when the two sides' expressions disagree only at leaves and no
+  /// NaN reached a disagreeing leaf (a NaN first observation hides the
+  /// other shard's first value, which can shift merged-variable
+  /// *numbering* relative to a sequential run; aggregates stay correct,
+  /// and engine output remains byte-identical across worker counts
+  /// either way).
+  void mergeFrom(const OpRecord &Other, uint32_t EquivDepth);
+};
+
+/// A mergeable snapshot of one analysis' accumulated records: the value
+/// the batch engine shards, ships between workers, and reduces. Merging is
+/// deterministic; the engine always folds shards in ascending shard order
+/// so reports are reproducible at any worker count.
+struct AnalysisResult {
+  std::map<uint32_t, OpRecord> Ops;
+  std::map<uint32_t, SpotRecord> Spots;
+  RangeMode Ranges = RangeMode::SignSplit;
+  uint32_t EquivDepth = 5;
+
+  AnalysisResult clone() const;
+
+  /// Folds \p Other (a later shard of the same program) in.
+  void mergeFrom(const AnalysisResult &Other);
 };
 
 /// Cumulative cost/size statistics (Table 1 and the optimization bench).
@@ -116,6 +153,9 @@ public:
 
   const std::map<uint32_t, OpRecord> &opRecords() const { return Ops; }
   const std::map<uint32_t, SpotRecord> &spotRecords() const { return Spots; }
+
+  /// Copies the accumulated records out as a mergeable value.
+  AnalysisResult snapshot() const;
 
   /// Concrete outputs of the most recent run (bit-identical to the
   /// uninstrumented interpreter's, by construction).

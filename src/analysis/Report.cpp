@@ -66,11 +66,11 @@ static RootCauseReport buildRootCause(uint32_t PC, const OpRecord &Rec,
   return RC;
 }
 
-Report herbgrind::buildReport(const Herbgrind &Analysis) {
+static Report buildReportFromRecords(const std::map<uint32_t, OpRecord> &Ops,
+                                     const std::map<uint32_t, SpotRecord> &Spots,
+                                     RangeMode Ranges) {
   Report R;
-  const auto &Ops = Analysis.opRecords();
-  RangeMode Ranges = Analysis.config().Ranges;
-  for (const auto &[PC, Spot] : Analysis.spotRecords()) {
+  for (const auto &[PC, Spot] : Spots) {
     if (Spot.Erroneous == 0)
       continue;
     SpotReport SR;
@@ -99,6 +99,93 @@ Report herbgrind::buildReport(const Herbgrind &Analysis) {
     R.Spots.push_back(std::move(SR));
   }
   return R;
+}
+
+Report herbgrind::buildReport(const Herbgrind &Analysis) {
+  return buildReportFromRecords(Analysis.opRecords(), Analysis.spotRecords(),
+                                Analysis.config().Ranges);
+}
+
+Report herbgrind::buildReport(const AnalysisResult &Result) {
+  return buildReportFromRecords(Result.Ops, Result.Spots, Result.Ranges);
+}
+
+void Report::mergeFrom(const Report &Other) {
+  for (const SpotReport &OS : Other.Spots) {
+    SpotReport *Mine = nullptr;
+    for (SpotReport &SR : Spots)
+      if (SR.PC == OS.PC && SR.Loc == OS.Loc) {
+        Mine = &SR;
+        break;
+      }
+    if (!Mine) {
+      Spots.push_back(OS);
+      continue;
+    }
+    Mine->Executions += OS.Executions;
+    Mine->Erroneous += OS.Erroneous;
+    Mine->MaxErrorBits = std::max(Mine->MaxErrorBits, OS.MaxErrorBits);
+    for (const RootCauseReport &RC : OS.RootCauses) {
+      RootCauseReport *Have = nullptr;
+      for (RootCauseReport &M : Mine->RootCauses)
+        if (M.PC == RC.PC) {
+          Have = &M;
+          break;
+        }
+      if (!Have)
+        Mine->RootCauses.push_back(RC);
+      else if (RC.Flagged > Have->Flagged)
+        *Have = RC; // keep the strongest observation of this cause
+    }
+    std::sort(Mine->RootCauses.begin(), Mine->RootCauses.end(),
+              [](const RootCauseReport &A, const RootCauseReport &B) {
+                if (A.Flagged != B.Flagged)
+                  return A.Flagged > B.Flagged;
+                return A.PC < B.PC;
+              });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering
+//===----------------------------------------------------------------------===//
+
+std::string Report::renderJson() const {
+  std::string Out = "{\"spots\":[";
+  bool FirstSpot = true;
+  for (const SpotReport &SR : Spots) {
+    if (!FirstSpot)
+      Out += ",";
+    FirstSpot = false;
+    Out += format("{\"kind\":\"%s\",\"pc\":%u,\"loc\":\"%s\","
+                  "\"executions\":%llu,\"erroneous\":%llu,"
+                  "\"maxErrorBits\":%s,\"rootCauses\":[",
+                  spotKindName(SR.Kind), SR.PC,
+                  jsonEscape(SR.Loc.str()).c_str(),
+                  static_cast<unsigned long long>(SR.Executions),
+                  static_cast<unsigned long long>(SR.Erroneous),
+                  formatDoubleShortest(SR.MaxErrorBits).c_str());
+    bool FirstRC = true;
+    for (const RootCauseReport &RC : SR.RootCauses) {
+      if (!FirstRC)
+        Out += ",";
+      FirstRC = false;
+      Out += format("{\"pc\":%u,\"loc\":\"%s\",\"fpcore\":\"%s\","
+                    "\"body\":\"%s\",\"numVars\":%u,\"opCount\":%u,"
+                    "\"flagged\":%llu,\"maxLocalError\":%s,"
+                    "\"avgLocalError\":%s,\"exampleInput\":\"%s\"}",
+                    RC.PC, jsonEscape(RC.Loc.str()).c_str(),
+                    jsonEscape(RC.FPCore).c_str(),
+                    jsonEscape(RC.Body).c_str(), RC.NumVars, RC.OpCount,
+                    static_cast<unsigned long long>(RC.Flagged),
+                    formatDoubleShortest(RC.MaxLocalError).c_str(),
+                    formatDoubleShortest(RC.AvgLocalError).c_str(),
+                    jsonEscape(RC.ExampleInput).c_str());
+    }
+    Out += "]}";
+  }
+  Out += "]}";
+  return Out;
 }
 
 std::vector<RootCauseReport> Report::allRootCauses() const {

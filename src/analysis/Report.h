@@ -54,8 +54,21 @@ struct Report {
   /// Paper-style rendering.
   std::string render() const;
 
+  /// Deterministic JSON rendering (machine-readable batch output; no
+  /// timings or other nondeterminism, so equal analyses render to equal
+  /// bytes).
+  std::string renderJson() const;
+
   /// All distinct root causes across spots (deduplicated by pc).
   std::vector<RootCauseReport> allRootCauses() const;
+
+  /// Folds another report in at the presentation level: spots for the same
+  /// (pc, location) combine their counters and keep each root cause's
+  /// strongest version; other spots append. This is the aggregation used
+  /// for corpus-wide summaries over per-benchmark reports. For shards of
+  /// one program prefer merging `AnalysisResult`s and rebuilding -- that
+  /// path anti-unifies the underlying expressions and is exact.
+  void mergeFrom(const Report &Other);
 };
 
 /// Builds the FPCore text for a single operation record.
@@ -63,6 +76,9 @@ std::string fpcoreForRecord(const OpRecord &Rec, RangeMode Ranges);
 
 /// Extracts the report from a finished analysis.
 Report buildReport(const Herbgrind &Analysis);
+
+/// Builds the report from a (possibly merged) record snapshot.
+Report buildReport(const AnalysisResult &Result);
 
 } // namespace herbgrind
 

@@ -1,0 +1,185 @@
+//===- engine/Engine.cpp - Parallel batch analysis ------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "engine/ThreadPool.h"
+#include "fpcore/Corpus.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+
+//===----------------------------------------------------------------------===//
+// Deterministic input sampling
+//===----------------------------------------------------------------------===//
+
+/// SplitMix64 step: derives an independent per-benchmark seed so sampling
+/// never depends on worker count or sharding.
+static uint64_t deriveSeed(uint64_t Base, uint64_t Index) {
+  uint64_t Z = Base + (Index + 1) * 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static std::vector<std::vector<double>>
+sampleBenchmarkInputs(const fpcore::Core &C, int Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<fpcore::VarRange> Ranges = fpcore::sampleRanges(C);
+  std::vector<std::vector<double>> Sets;
+  Sets.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I) {
+    std::vector<double> In;
+    In.reserve(Ranges.size());
+    for (const fpcore::VarRange &VR : Ranges)
+      In.push_back(R.betweenOrdinals(VR.Lo, VR.Hi));
+    Sets.push_back(std::move(In));
+  }
+  return Sets;
+}
+
+//===----------------------------------------------------------------------===//
+// The batch driver
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(EngineConfig Config) : Cfg(Config) {
+  if (Cfg.Jobs == 0) {
+    Cfg.Jobs = std::thread::hardware_concurrency();
+    if (Cfg.Jobs == 0)
+      Cfg.Jobs = 1;
+  }
+  // Oversubscription is allowed (useful for testing the pool), but a
+  // wild value must not translate into thousands of threads.
+  Cfg.Jobs = std::min(Cfg.Jobs, 256u);
+  if (Cfg.SamplesPerBenchmark < 1)
+    Cfg.SamplesPerBenchmark = 1;
+  if (Cfg.ShardSize < 1)
+    Cfg.ShardSize = 1;
+}
+
+namespace {
+
+/// One unit of parallel work: a contiguous slice of one benchmark's
+/// sampled inputs, analyzed by a worker-local Herbgrind instance.
+struct Shard {
+  size_t Bench = 0;
+  size_t Index = 0; ///< Shard number within the benchmark (merge order).
+  size_t Begin = 0;
+  size_t End = 0;
+};
+
+} // namespace
+
+BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
+  auto Start = std::chrono::steady_clock::now();
+  size_t CacheHits0 = Cache.hits(), CacheMisses0 = Cache.misses();
+
+  // Phase 1 (serial, cheap): sample every benchmark's inputs up front and
+  // lay out the shard list. Both depend only on the configuration.
+  std::vector<std::vector<std::vector<double>>> Inputs(Cores.size());
+  std::vector<Shard> Shards;
+  for (size_t B = 0; B < Cores.size(); ++B) {
+    Inputs[B] = sampleBenchmarkInputs(Cores[B], Cfg.SamplesPerBenchmark,
+                                      deriveSeed(Cfg.Seed, B));
+    size_t N = Inputs[B].size();
+    size_t Step = static_cast<size_t>(Cfg.ShardSize);
+    for (size_t Lo = 0, Idx = 0; Lo < N; Lo += Step, ++Idx)
+      Shards.push_back({B, Idx, Lo, std::min(Lo + Step, N)});
+  }
+
+  // Phase 2 (parallel): every shard runs in its own Herbgrind instance;
+  // results land in a pre-sized table, so completion order is not
+  // observable.
+  std::vector<AnalysisResult> ShardResults(Shards.size());
+  {
+    ThreadPool Pool(Cfg.Jobs);
+    for (size_t S = 0; S < Shards.size(); ++S) {
+      Pool.submit([this, S, &Shards, &Cores, &Inputs, &ShardResults] {
+        const Shard &Sh = Shards[S];
+        const Program &P = Cache.get(Cores[Sh.Bench]);
+        Herbgrind HG(P, Cfg.Analysis);
+        for (size_t I = Sh.Begin; I < Sh.End; ++I)
+          HG.runOnInput(Inputs[Sh.Bench][I]);
+        ShardResults[S] = HG.snapshot();
+      });
+    }
+    Pool.waitAll();
+  }
+
+  // Phase 3 (serial, deterministic): reduce each benchmark's shards in
+  // ascending shard order -- the same fold at any worker count.
+  BatchResult Out;
+  Out.Benchmarks.resize(Cores.size());
+  for (size_t B = 0; B < Cores.size(); ++B) {
+    Out.Benchmarks[B].Name = Cores[B].Name;
+    Out.Benchmarks[B].Records.Ranges = Cfg.Analysis.Ranges;
+    Out.Benchmarks[B].Records.EquivDepth = Cfg.Analysis.EquivDepth;
+  }
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    BenchmarkResult &BR = Out.Benchmarks[Shards[S].Bench];
+    if (BR.Shards == 0)
+      BR.Records = std::move(ShardResults[S]);
+    else
+      BR.Records.mergeFrom(ShardResults[S]);
+    ++BR.Shards;
+    BR.Runs += Shards[S].End - Shards[S].Begin;
+  }
+  for (BenchmarkResult &BR : Out.Benchmarks) {
+    BR.Rep = buildReport(BR.Records);
+    Out.Stats.Shards += BR.Shards;
+    Out.Stats.Runs += BR.Runs;
+  }
+  Out.Stats.Benchmarks = Cores.size();
+  Out.Stats.CacheHits = Cache.hits() - CacheHits0;
+  Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;
+  Out.Stats.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+BatchResult Engine::runCorpus() {
+  std::vector<fpcore::Core> Cores;
+  for (const fpcore::Core &C : fpcore::corpus())
+    if (fpcore::isCompilable(C))
+      Cores.push_back(C.clone());
+  return run(Cores);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch output
+//===----------------------------------------------------------------------===//
+
+Report BatchResult::merged() const {
+  Report R;
+  for (const BenchmarkResult &BR : Benchmarks)
+    R.mergeFrom(BR.Rep);
+  return R;
+}
+
+std::string BatchResult::renderJson() const {
+  std::string Out = "{\"benchmarks\":[";
+  bool First = true;
+  for (const BenchmarkResult &BR : Benchmarks) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("{\"name\":\"%s\",\"shards\":%llu,\"runs\":%llu,"
+                  "\"report\":%s}",
+                  jsonEscape(BR.Name).c_str(),
+                  static_cast<unsigned long long>(BR.Shards),
+                  static_cast<unsigned long long>(BR.Runs),
+                  BR.Rep.renderJson().c_str());
+  }
+  Out += "]}";
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- engine/Engine.h - Parallel batch analysis ----------------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel batch-analysis engine: shards a corpus sweep (benchmark x
+/// sampled-input batches) across a work-stealing pool of worker-local
+/// Herbgrind instances and reduces the per-shard records with the
+/// AnalysisResult merge machinery. Everything is deterministic by
+/// construction -- inputs are sampled up front from per-benchmark seeds,
+/// shard boundaries depend only on the configuration, and shards are
+/// merged in ascending shard order -- so a run with N workers produces a
+/// report byte-identical to a run with one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_ENGINE_ENGINE_H
+#define HERBGRIND_ENGINE_ENGINE_H
+
+#include "analysis/Analysis.h"
+#include "analysis/Report.h"
+#include "fpcore/Compile.h"
+
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+namespace engine {
+
+/// Batch-run configuration.
+struct EngineConfig {
+  /// Worker threads; 0 means hardware concurrency.
+  unsigned Jobs = 0;
+  /// Sampled input tuples per benchmark.
+  int SamplesPerBenchmark = 64;
+  /// Input tuples per shard (the parallel grain).
+  int ShardSize = 16;
+  /// Base seed; each benchmark derives an independent stream from it, so
+  /// sampling does not depend on sharding or worker count.
+  uint64_t Seed = 0xcafe;
+  /// Per-shard analysis configuration.
+  AnalysisConfig Analysis;
+};
+
+/// One benchmark's merged outcome.
+struct BenchmarkResult {
+  std::string Name;
+  AnalysisResult Records; ///< Shard records merged in shard order.
+  Report Rep;             ///< Built from the merged records.
+  uint64_t Shards = 0;
+  uint64_t Runs = 0;
+};
+
+/// Aggregate run statistics (informational; never part of deterministic
+/// output).
+struct EngineStats {
+  uint64_t Benchmarks = 0;
+  uint64_t Shards = 0;
+  uint64_t Runs = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  double WallSeconds = 0.0;
+};
+
+/// The full batch outcome.
+struct BatchResult {
+  std::vector<BenchmarkResult> Benchmarks; ///< In submission order.
+  EngineStats Stats;
+
+  /// Corpus-wide report: per-benchmark reports folded together.
+  Report merged() const;
+
+  /// Deterministic JSON: configuration echo plus per-benchmark reports.
+  /// Byte-identical across worker counts and repeated runs.
+  std::string renderJson() const;
+};
+
+/// The batch driver. One engine owns a compiled-program cache, so
+/// repeated runs (e.g. a jobs sweep in the scaling bench) recompile
+/// nothing.
+class Engine {
+public:
+  explicit Engine(EngineConfig Cfg = {});
+
+  /// Analyzes every core, sharded and in parallel.
+  BatchResult run(const std::vector<fpcore::Core> &Cores);
+
+  /// Analyzes the whole bundled corpus (skipping any core the compiler
+  /// does not support).
+  BatchResult runCorpus();
+
+  const EngineConfig &config() const { return Cfg; }
+
+private:
+  EngineConfig Cfg;
+  fpcore::ProgramCache Cache;
+};
+
+} // namespace engine
+} // namespace herbgrind
+
+#endif // HERBGRIND_ENGINE_ENGINE_H

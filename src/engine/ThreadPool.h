@@ -1,0 +1,130 @@
+//===- engine/ThreadPool.h - Work-stealing thread pool ----------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch engine's worker pool. Each worker owns a deque: it pushes and
+/// pops its own work at the back and steals from other workers' fronts
+/// when it runs dry, so uneven shard costs (benchmarks vary by orders of
+/// magnitude in shadow-op count) balance automatically. Determinism is the
+/// caller's job: the engine tags every shard with its index and reduces in
+/// index order, so it never depends on completion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_ENGINE_THREADPOOL_H
+#define HERBGRIND_ENGINE_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace herbgrind {
+namespace engine {
+
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers) {
+    if (Workers == 0)
+      Workers = 1;
+    Queues.resize(Workers);
+    Threads.reserve(Workers);
+    for (unsigned I = 0; I < Workers; ++I)
+      Threads.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    WorkReady.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues one task. Tasks are distributed round-robin across worker
+  /// queues; idle workers steal, so placement only affects locality.
+  void submit(std::function<void()> Task) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Queues[NextQueue].push_back(std::move(Task));
+      NextQueue = (NextQueue + 1) % Queues.size();
+      ++Pending;
+    }
+    WorkReady.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void waitAll() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  void workerLoop(unsigned Me) {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WorkReady.wait(Lock, [&] { return Stopping || anyQueued(); });
+        if (Stopping && !anyQueued())
+          return;
+        // Own work first (back: most recently queued, cache-warm), then
+        // steal the oldest task from the fullest other queue.
+        if (!Queues[Me].empty()) {
+          Task = std::move(Queues[Me].back());
+          Queues[Me].pop_back();
+        } else {
+          size_t Victim = Me, Best = 0;
+          for (size_t Q = 0; Q < Queues.size(); ++Q)
+            if (Queues[Q].size() > Best) {
+              Best = Queues[Q].size();
+              Victim = Q;
+            }
+          Task = std::move(Queues[Victim].front());
+          Queues[Victim].pop_front();
+        }
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        --Pending;
+        if (Pending == 0)
+          AllDone.notify_all();
+      }
+    }
+  }
+
+  bool anyQueued() const {
+    for (const auto &Q : Queues)
+      if (!Q.empty())
+        return true;
+    return false;
+  }
+
+  std::vector<std::deque<std::function<void()>>> Queues;
+  std::vector<std::thread> Threads;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  size_t Pending = 0;
+  size_t NextQueue = 0;
+  bool Stopping = false;
+};
+
+} // namespace engine
+} // namespace herbgrind
+
+#endif // HERBGRIND_ENGINE_THREADPOOL_H

@@ -340,3 +340,40 @@ Program fpcore::compile(const Core &C) {
   Compiler Comp(C);
   return Comp.run();
 }
+
+//===----------------------------------------------------------------------===//
+// The compiled-program cache
+//===----------------------------------------------------------------------===//
+
+const Program &ProgramCache::get(const Core &C) {
+  std::string Key = C.print();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Programs.find(Key);
+    if (It != Programs.end()) {
+      ++Hits;
+      return *It->second;
+    }
+  }
+  // Compile outside the lock so a slow compilation never blocks other
+  // workers' lookups; on a lost race the duplicate is discarded.
+  auto P = std::make_unique<Program>(compile(C));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Programs.find(Key);
+  if (It != Programs.end()) {
+    ++Hits;
+    return *It->second;
+  }
+  ++Misses;
+  return *Programs.emplace(std::move(Key), std::move(P)).first->second;
+}
+
+size_t ProgramCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+
+size_t ProgramCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}

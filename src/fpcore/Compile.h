@@ -20,6 +20,10 @@
 #include "fpcore/FPCore.h"
 #include "ir/Program.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+
 namespace herbgrind {
 namespace fpcore {
 
@@ -29,6 +33,26 @@ Program compile(const Core &C);
 
 /// True if every operator in the core is supported by the compiler.
 bool isCompilable(const Core &C, std::string *WhyNot = nullptr);
+
+/// A thread-safe compiled-program cache keyed by FPCore identity (the
+/// printed core, which is canonical for parsed cores). Batch-engine
+/// workers analyzing many shards of the same benchmark compile it once
+/// and share the result; compiled programs are immutable, so concurrent
+/// readers need no further synchronization. Cached references stay valid
+/// for the cache's lifetime.
+class ProgramCache {
+public:
+  const Program &get(const Core &C);
+
+  size_t hits() const;
+  size_t misses() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Program>> Programs;
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
 
 } // namespace fpcore
 } // namespace herbgrind

@@ -50,6 +50,14 @@ void VarSummary::add(double V) {
   }
 }
 
+void VarSummary::addRepeated(double V, uint64_t N) {
+  if (N == 0)
+    return;
+  // add() owns all the flag/range logic; repetition only affects Count.
+  add(V);
+  Count += N - 1;
+}
+
 void VarSummary::merge(const VarSummary &O) {
   if (O.Count == 0)
     return;
@@ -124,6 +132,21 @@ void InputCharacteristics::record(const std::vector<VarBinding> &Bindings) {
       Vars.resize(B.Idx + 1);
     Vars[B.Idx].add(B.Value);
   }
+}
+
+void InputCharacteristics::addRepeated(uint32_t Idx, double V, uint64_t N) {
+  if (N == 0)
+    return;
+  if (Vars.size() <= Idx)
+    Vars.resize(Idx + 1);
+  Vars[Idx].addRepeated(V, N);
+}
+
+const VarSummary &InputCharacteristics::var(uint32_t Idx) const {
+  static const VarSummary Empty;
+  if (Idx < Vars.size())
+    return Vars[Idx];
+  return Empty;
 }
 
 std::string InputCharacteristics::preCondition(RangeMode Mode) const {

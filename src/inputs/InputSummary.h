@@ -45,6 +45,11 @@ struct VarSummary {
 
   void add(double V);
 
+  /// Folds \p N identical observations of \p V in O(1) (equivalent to
+  /// calling add(V) N times). Shard merging uses this to credit a
+  /// constant-leaf's history to the variable it merged into.
+  void addRepeated(double V, uint64_t N);
+
   /// Associative merge (incrementalization requires it; tested for).
   void merge(const VarSummary &Other);
 
@@ -62,6 +67,13 @@ struct InputCharacteristics {
 
   /// Folds one round of (variable, value) bindings.
   void record(const std::vector<VarBinding> &Bindings);
+
+  /// Folds \p N identical observations of \p V into variable \p Idx.
+  void addRepeated(uint32_t Idx, double V, uint64_t N);
+
+  /// The summary for variable \p Idx, or an empty summary when the
+  /// variable has no recorded observations.
+  const VarSummary &var(uint32_t Idx) const;
 
   /// Renders the "(and ...)" precondition body, or "" when empty/off.
   std::string preCondition(RangeMode Mode) const;

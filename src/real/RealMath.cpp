@@ -97,8 +97,10 @@ static BigFloat atanReciprocal(uint64_t M, size_t PrecBits) {
 }
 
 BigFloat realmath::pi(size_t PrecBits) {
-  static BigFloat Cached;
-  static size_t CachedPrec = 0;
+  // thread_local: batch-engine workers evaluate shadow reals concurrently,
+  // and a shared mutable cache would race.
+  thread_local BigFloat Cached;
+  thread_local size_t CachedPrec = 0;
   if (CachedPrec < PrecBits) {
     size_t P = PrecBits + 64;
     // Machin: pi = 16*atan(1/5) - 4*atan(1/239).
@@ -111,8 +113,10 @@ BigFloat realmath::pi(size_t PrecBits) {
 }
 
 BigFloat realmath::ln2(size_t PrecBits) {
-  static BigFloat Cached;
-  static size_t CachedPrec = 0;
+  // thread_local: batch-engine workers evaluate shadow reals concurrently,
+  // and a shared mutable cache would race.
+  thread_local BigFloat Cached;
+  thread_local size_t CachedPrec = 0;
   if (CachedPrec < PrecBits) {
     size_t P = PrecBits + 64;
     size_t WP = P + GuardBits;
@@ -133,8 +137,10 @@ BigFloat realmath::ln2(size_t PrecBits) {
 }
 
 BigFloat realmath::ln10(size_t PrecBits) {
-  static BigFloat Cached;
-  static size_t CachedPrec = 0;
+  // thread_local: batch-engine workers evaluate shadow reals concurrently,
+  // and a shared mutable cache would race.
+  thread_local BigFloat Cached;
+  thread_local size_t CachedPrec = 0;
   if (CachedPrec < PrecBits) {
     size_t P = PrecBits + 64;
     Cached = realmath::log(BigFloat::fromInt64(10, P + GuardBits))
@@ -145,8 +151,10 @@ BigFloat realmath::ln10(size_t PrecBits) {
 }
 
 BigFloat realmath::eulerE(size_t PrecBits) {
-  static BigFloat Cached;
-  static size_t CachedPrec = 0;
+  // thread_local: batch-engine workers evaluate shadow reals concurrently,
+  // and a shared mutable cache would race.
+  thread_local BigFloat Cached;
+  thread_local size_t CachedPrec = 0;
   if (CachedPrec < PrecBits) {
     size_t P = PrecBits + 64;
     Cached = realmath::exp(one(P + GuardBits)).withPrecision(P);

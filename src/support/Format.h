@@ -30,6 +30,10 @@ std::string formatDoubleShortest(double X);
 std::string join(const std::vector<std::string> &Parts,
                  const std::string &Sep);
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string jsonEscape(const std::string &S);
+
 } // namespace herbgrind
 
 #endif // HERBGRIND_SUPPORT_FORMAT_H

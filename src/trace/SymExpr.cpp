@@ -9,6 +9,7 @@
 #include "support/FloatBits.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
@@ -157,6 +158,7 @@ struct Generalizer {
   TraceArena &Arena;
   uint32_t &NextVarIdx;
   std::vector<VarBinding> &Bindings;
+  std::vector<Promotion> *Promotions;
   std::unordered_map<PairKey, uint32_t, PairKeyHash> VarForPair;
   std::unordered_set<uint32_t> ReusedThisRound;
 
@@ -179,6 +181,10 @@ struct Generalizer {
       ReusedThisRound.insert(Idx);
       VarForPair.emplace(Key, Idx);
       Bindings.push_back({Idx, T->Value});
+      // A constant held this value on every earlier round; report the
+      // promotion so summaries can credit that history to the variable.
+      if (Promotions && S->Kind == SymExpr::SEKind::Const)
+        Promotions->push_back({Idx, S->ConstVal});
     }
     return SymExpr::makeVar(Idx);
   }
@@ -209,8 +215,164 @@ struct Generalizer {
 
 std::unique_ptr<SymExpr>
 herbgrind::antiUnify(TraceArena &Arena, const SymExpr *Expr, TraceNode *Trace,
-                     uint32_t &NextVarIdx, std::vector<VarBinding> &Bindings) {
+                     uint32_t &NextVarIdx, std::vector<VarBinding> &Bindings,
+                     std::vector<Promotion> *Promotions) {
   Bindings.clear();
-  Generalizer G{Arena, NextVarIdx, Bindings, {}, {}};
+  if (Promotions)
+    Promotions->clear();
+  Generalizer G{Arena, NextVarIdx, Bindings, Promotions, {}, {}};
   return G.gen(Expr, Trace);
+}
+
+//===----------------------------------------------------------------------===//
+// Anti-unification of two accumulated expressions (shard merging)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One generalization site of the A/B alignment: a unique (A-subtree,
+/// B-subtree) equivalence-class pair that becomes one merged variable.
+struct MergeSite {
+  PairKey Key;
+  const SymExpr *SA;
+  const SymExpr *SB;
+  uint32_t AssignedIdx = 0;
+  bool Assigned = false;
+  bool BTime = false; ///< Created when B generalized (vs on B's 1st round).
+};
+
+/// Shared state of one expression-vs-expression merge.
+struct ExprMerger {
+  uint32_t EquivDepth;
+  const std::vector<std::pair<bool, double>> &BFirstValues;
+  std::vector<MergeSite> Sites; ///< In first-visit traversal order.
+  std::unordered_map<PairKey, size_t, PairKeyHash> SiteForPair;
+
+  bool aligned(const SymExpr *SA, const SymExpr *SB) const {
+    if (SA->Kind == SymExpr::SEKind::Op && SB->Kind == SymExpr::SEKind::Op)
+      return SA->Op == SB->Op && SA->Kids.size() == SB->Kids.size();
+    if (SA->Kind == SymExpr::SEKind::Const &&
+        SB->Kind == SymExpr::SEKind::Const)
+      return bitsOfDouble(SA->ConstVal) == bitsOfDouble(SB->ConstVal);
+    return false;
+  }
+
+  void collect(const SymExpr *SA, const SymExpr *SB) {
+    if (aligned(SA, SB) && SA->Kind == SymExpr::SEKind::Op) {
+      for (size_t I = 0; I < SA->Kids.size(); ++I)
+        collect(SA->Kids[I].get(), SB->Kids[I].get());
+      return;
+    }
+    if (aligned(SA, SB))
+      return; // equal constants stay concrete
+    PairKey Key{symFingerprint(SA, EquivDepth), symFingerprint(SB, EquivDepth)};
+    if (SiteForPair.count(Key))
+      return;
+    SiteForPair.emplace(Key, Sites.size());
+    Sites.push_back({Key, SA, SB, 0, false, false});
+  }
+
+  /// Would sequential processing have generalized this site on B's very
+  /// first round (making its index precede every variable B itself
+  /// created), or only when B generalized it?
+  bool isBTime(const MergeSite &S) const {
+    if (S.SB->Kind != SymExpr::SEKind::Var)
+      return false; // B ended concrete: the sides simply disagree -> round 1
+    if (S.SA->Kind == SymExpr::SEKind::Const) {
+      uint32_t J = S.SB->VarIdx;
+      if (J < BFirstValues.size() && BFirstValues[J].first &&
+          bitsOfDouble(BFirstValues[J].second) !=
+              bitsOfDouble(S.SA->ConstVal))
+        return false; // disagreed already on B's first observation
+      return true;
+    }
+    if (S.SA->Kind == SymExpr::SEKind::Op)
+      return false; // structural mismatch surfaces immediately
+    return true;    // A variable splitting against a B variable
+  }
+
+  void assignIndices(uint32_t &NextVarIdx, std::vector<MergedVar> &Vars) {
+    // Pass 1: A-side variables keep their index (first claim wins, exactly
+    // like ReusedThisRound on the incremental path).
+    std::unordered_set<uint32_t> ClaimedA;
+    for (MergeSite &S : Sites)
+      if (S.SA->Kind == SymExpr::SEKind::Var &&
+          ClaimedA.insert(S.SA->VarIdx).second) {
+        S.AssignedIdx = S.SA->VarIdx;
+        S.Assigned = true;
+      }
+    // Pass 2: new variables. Sites that sequential processing would have
+    // generalized on B's first round come first in traversal order; sites
+    // created only when B generalized follow in B's creation order (B's
+    // variable indices are monotone in creation time).
+    std::vector<size_t> Fresh;
+    for (size_t I = 0; I < Sites.size(); ++I)
+      if (!Sites[I].Assigned) {
+        Sites[I].BTime = isBTime(Sites[I]);
+        Fresh.push_back(I);
+      }
+    std::stable_sort(Fresh.begin(), Fresh.end(), [&](size_t X, size_t Y) {
+      const MergeSite &SX = Sites[X], &SY = Sites[Y];
+      if (SX.BTime != SY.BTime)
+        return !SX.BTime; // first-round sites precede B-created sites
+      if (SX.BTime && SX.SB->VarIdx != SY.SB->VarIdx)
+        return SX.SB->VarIdx < SY.SB->VarIdx;
+      return false; // stable: traversal order breaks ties
+    });
+    for (size_t I : Fresh) {
+      Sites[I].AssignedIdx = NextVarIdx++;
+      Sites[I].Assigned = true;
+    }
+    // Report provenance.
+    for (const MergeSite &S : Sites) {
+      MergedVar V;
+      V.Idx = S.AssignedIdx;
+      auto Classify = [](const SymExpr *E, MergedVar::Source &Src,
+                         uint32_t &Var, double &Const) {
+        switch (E->Kind) {
+        case SymExpr::SEKind::Var:
+          Src = MergedVar::Source::Var;
+          Var = E->VarIdx;
+          break;
+        case SymExpr::SEKind::Const:
+          Src = MergedVar::Source::Const;
+          Const = E->ConstVal;
+          break;
+        case SymExpr::SEKind::Op:
+          Src = MergedVar::Source::Subtree;
+          break;
+        }
+      };
+      Classify(S.SA, V.A, V.AVar, V.AConst);
+      Classify(S.SB, V.B, V.BVar, V.BConst);
+      V.KeptA = V.A == MergedVar::Source::Var && V.Idx == V.AVar;
+      Vars.push_back(V);
+    }
+  }
+
+  std::unique_ptr<SymExpr> rebuild(const SymExpr *SA, const SymExpr *SB) {
+    if (aligned(SA, SB) && SA->Kind == SymExpr::SEKind::Op) {
+      auto E = SymExpr::makeOp(SA->Op, SA->Site);
+      for (size_t I = 0; I < SA->Kids.size(); ++I)
+        E->Kids.push_back(rebuild(SA->Kids[I].get(), SB->Kids[I].get()));
+      return E;
+    }
+    if (aligned(SA, SB))
+      return SymExpr::makeConst(SA->ConstVal);
+    PairKey Key{symFingerprint(SA, EquivDepth), symFingerprint(SB, EquivDepth)};
+    return SymExpr::makeVar(Sites[SiteForPair.at(Key)].AssignedIdx);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SymExpr> herbgrind::antiUnifyExprs(
+    const SymExpr *A, const SymExpr *B, uint32_t EquivDepth,
+    const std::vector<std::pair<bool, double>> &BFirstValues,
+    uint32_t &NextVarIdx, std::vector<MergedVar> &Vars) {
+  Vars.clear();
+  ExprMerger M{EquivDepth, BFirstValues, {}, {}};
+  M.collect(A, B);
+  M.assignIndices(NextVarIdx, Vars);
+  return M.rebuild(A, B);
 }

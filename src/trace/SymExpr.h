@@ -65,6 +65,16 @@ struct VarBinding {
   double Value;
 };
 
+/// A constant leaf that one anti-unification round promoted to a variable.
+/// The constant's value was, by construction, observed on *every* earlier
+/// round, so the caller can retroactively credit it to the new variable's
+/// input summary; that is what makes per-shard summaries exactly mergeable
+/// (the batch engine relies on it).
+struct Promotion {
+  uint32_t Idx;    ///< The variable the constant became.
+  double OldValue; ///< The constant's value.
+};
+
 /// Builds the initial symbolic expression for the first concrete trace seen
 /// at a site: the trace is mirrored with leaves as constants; they only
 /// become variables once a later execution disagrees with them.
@@ -74,10 +84,51 @@ std::unique_ptr<SymExpr> symbolize(TraceArena &Arena, TraceNode *Trace);
 /// accumulated \p Expr and a new concrete \p Trace. \p Bindings receives
 /// the (variable, concrete value) pairs of this round. Variable indices
 /// are kept stable where possible so input summaries can accumulate
-/// across rounds; \p NextVarIdx persists on the operation record.
+/// across rounds; \p NextVarIdx persists on the operation record. When
+/// \p Promotions is non-null it receives the constant leaves this round
+/// turned into variables (see Promotion).
 std::unique_ptr<SymExpr> antiUnify(TraceArena &Arena, const SymExpr *Expr,
                                    TraceNode *Trace, uint32_t &NextVarIdx,
-                                   std::vector<VarBinding> &Bindings);
+                                   std::vector<VarBinding> &Bindings,
+                                   std::vector<Promotion> *Promotions = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Merging two accumulated symbolic expressions (the batch engine)
+//===----------------------------------------------------------------------===//
+
+/// Provenance of one variable of a merged symbolic expression: which
+/// subtree each input expression had at the variable's position(s). Record
+/// merging uses this to combine the two sides' input summaries.
+struct MergedVar {
+  enum class Source : uint8_t {
+    Var,    ///< The side already had a variable there.
+    Const,  ///< The side had a constant leaf (same value on all its rounds).
+    Subtree ///< The side had an operation subtree (no value history).
+  };
+  uint32_t Idx = 0; ///< Variable index in the merged expression.
+  Source A = Source::Const;
+  Source B = Source::Const;
+  uint32_t AVar = 0;   ///< Valid when A == Source::Var.
+  uint32_t BVar = 0;   ///< Valid when B == Source::Var.
+  double AConst = 0.0; ///< Valid when A == Source::Const.
+  double BConst = 0.0; ///< Valid when B == Source::Const.
+  bool KeptA = false;  ///< Idx was inherited from the A side's variable.
+};
+
+/// Plotkin anti-unification of two accumulated symbolic expressions: the
+/// most specific generalization of \p A (the earlier shard) and \p B (the
+/// later shard), with subtree equivalence bounded at \p EquivDepth exactly
+/// like the incremental path. Variable indices from \p A are kept where
+/// possible; new variables are numbered from \p NextVarIdx in the order
+/// sequential processing of B's rounds after A's would have created them
+/// (\p BFirstValues -- per-B-variable {known, first observed value} --
+/// disambiguates whether a constant-vs-variable position generalized on
+/// B's first round or only when B itself generalized it). \p Vars receives
+/// the provenance of every merged variable.
+std::unique_ptr<SymExpr>
+antiUnifyExprs(const SymExpr *A, const SymExpr *B, uint32_t EquivDepth,
+               const std::vector<std::pair<bool, double>> &BFirstValues,
+               uint32_t &NextVarIdx, std::vector<MergedVar> &Vars);
 
 } // namespace herbgrind
 
