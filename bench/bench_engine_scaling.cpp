@@ -9,7 +9,12 @@
 // byte-identical to the single-worker report, so the table doubles as a
 // determinism audit.
 //
+// With a cache directory argument, a cold/warm pair of runs at the top
+// jobs count additionally measures the result cache: the warm sweep must
+// analyze zero shards and emit the same bytes.
+//
 // Usage: bench_engine_scaling [samples-per-benchmark] [shard-size]
+//                             [cache-dir]
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,6 +73,32 @@ int main(int Argc, char **Argv) {
                 Speedup, 100.0 * Speedup / J,
                 Identical ? "yes" : "NO -- BUG");
     if (!Identical)
+      return 1;
+  }
+
+  if (Argc > 3) {
+    // Result-cache section: a cold sweep populates the cache, the warm
+    // sweep must satisfy every shard from it and reproduce the bytes.
+    Cfg.Jobs = JobCounts.back();
+    Cfg.CacheDir = Argv[3];
+    std::printf("\nresult cache (%s), jobs %u:\n", Argv[3], Cfg.Jobs);
+    Engine Eng(Cfg);
+    BatchResult Cold = Eng.runCorpus();
+    BatchResult Warm = Eng.runCorpus();
+    bool Identical = Warm.renderJson() == Reference &&
+                     Cold.renderJson() == Reference;
+    double Speedup = Warm.Stats.WallSeconds > 0.0
+                         ? Cold.Stats.WallSeconds / Warm.Stats.WallSeconds
+                         : 0.0;
+    std::printf("  cold %.3fs (%llu analyzed), warm %.3fs (%llu analyzed, "
+                "%llu cached, %.1fx), deterministic: %s\n",
+                Cold.Stats.WallSeconds,
+                static_cast<unsigned long long>(Cold.Stats.AnalyzedShards),
+                Warm.Stats.WallSeconds,
+                static_cast<unsigned long long>(Warm.Stats.AnalyzedShards),
+                static_cast<unsigned long long>(Warm.Stats.CachedShards),
+                Speedup, Identical ? "yes" : "NO -- BUG");
+    if (!Identical || Warm.Stats.AnalyzedShards != 0)
       return 1;
   }
   return 0;

@@ -8,19 +8,33 @@
 // identical at any --jobs value; timing goes to stderr so it never
 // perturbs comparisons.
 //
+// Persistence and distribution (REPORT_SCHEMA.md documents the formats):
+//   --cache-dir DIR     reuse shard results across runs; a repeated sweep
+//                       analyzes only new or invalidated shards
+//   --emit-shard DIR    also write every shard result as a wire document
+//   --shard-range LO:HI run only per-benchmark shard indices [LO, HI)
+//   --merge-shards      fold shard documents (files or directories of
+//                       them) into the report a single full sweep of the
+//                       same configuration would have produced
+//
 // Usage:
 //   herbgrind_batch [--jobs N] [--samples N] [--shard N] [--seed S]
+//                   [--cache-dir D] [--emit-shard D] [--shard-range LO:HI]
 //                   [--name BENCH]... [file.fpcore]... [--json] [--out F]
+//   herbgrind_batch --merge-shards [--json] [--out F] PATH...
 //   herbgrind_batch --list
 //   herbgrind_batch --selftest [engine options]   # jobs-invariance check
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
+#include "engine/ResultCache.h"
 #include "fpcore/Corpus.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -34,25 +48,141 @@ static int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [options] [file.fpcore]...\n"
-      "  --jobs N      worker threads (default: hardware concurrency)\n"
-      "  --samples N   sampled inputs per benchmark (default 64)\n"
-      "  --shard N     inputs per shard (default 16)\n"
-      "  --seed S      base sampling seed (default 0xcafe)\n"
-      "  --name BENCH  analyze one corpus benchmark (repeatable)\n"
-      "  --json        emit a JSON report instead of text\n"
-      "  --out FILE    write the report to FILE instead of stdout\n"
-      "  --list        list corpus benchmark names\n"
-      "  --selftest    verify --jobs N output matches --jobs 1, then exit\n"
+      "  --jobs N          worker threads (default: hardware concurrency)\n"
+      "  --samples N       sampled inputs per benchmark (default 64)\n"
+      "  --shard N         inputs per shard (default 16)\n"
+      "  --seed S          base sampling seed (default 0xcafe)\n"
+      "  --name BENCH      analyze one corpus benchmark (repeatable)\n"
+      "  --cache-dir DIR   persistent shard-result cache: repeated sweeps\n"
+      "                    analyze only new or invalidated shards\n"
+      "  --emit-shard DIR  also write each shard result as a wire-format\n"
+      "                    document (for --merge-shards on another machine)\n"
+      "  --shard-range LO:HI  run only per-benchmark shard indices\n"
+      "                    [LO, HI) of the full layout\n"
+      "  --merge-shards    merge mode: remaining paths are shard documents\n"
+      "                    (or directories of *.json) to fold into a report\n"
+      "  --json            emit a JSON report instead of text\n"
+      "  --out FILE        write the report to FILE instead of stdout\n"
+      "  --list            list corpus benchmark names\n"
+      "  --selftest        verify --jobs N output matches --jobs 1, then "
+      "exit\n"
       "With no files and no --name, the whole bundled corpus is analyzed.\n",
       Prog);
   return 2;
 }
 
+/// Writes the rendered report to --out (or stdout); shared by the run and
+/// merge modes.
+static int emitRendered(const std::string &Rendered,
+                        const std::string &OutFile) {
+  if (OutFile.empty()) {
+    std::fputs(Rendered.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream Out(OutFile, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+  Out << Rendered;
+  return 0;
+}
+
+static std::string renderText(const BatchResult &Result) {
+  std::string Rendered;
+  for (const BenchmarkResult &BR : Result.Benchmarks) {
+    Rendered += "=== " + BR.Name + " ===\n";
+    Rendered += BR.Rep.render();
+    Rendered += "\n";
+  }
+  return Rendered;
+}
+
+/// Collects shard-document paths: each argument is a file, or a directory
+/// whose *.json entries (sorted, for reproducible error messages) are
+/// taken. Iteration uses the error_code API throughout -- a directory
+/// that turns unreadable mid-walk is a diagnostic, not a terminate().
+static bool collectShardPaths(const std::vector<std::string> &Args,
+                              std::vector<std::string> &Paths) {
+  namespace fs = std::filesystem;
+  for (const std::string &Arg : Args) {
+    std::error_code Ec;
+    if (fs::is_directory(Arg, Ec)) {
+      std::vector<std::string> Entries;
+      fs::directory_iterator It(Arg, Ec), End;
+      for (; !Ec && It != End; It.increment(Ec)) {
+        const fs::path &P = It->path();
+        if (P.extension() == ".json")
+          Entries.push_back(P.string());
+      }
+      if (Ec) {
+        std::fprintf(stderr, "error: cannot read directory %s: %s\n",
+                     Arg.c_str(), Ec.message().c_str());
+        return false;
+      }
+      std::sort(Entries.begin(), Entries.end());
+      Paths.insert(Paths.end(), Entries.begin(), Entries.end());
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+static int runMergeShards(const std::vector<std::string> &Args, bool Json,
+                          const std::string &OutFile) {
+  if (Args.empty()) {
+    std::fprintf(stderr,
+                 "error: --merge-shards needs shard files or directories\n");
+    return 2;
+  }
+  std::vector<std::string> Paths;
+  if (!collectShardPaths(Args, Paths))
+    return 1;
+
+  std::vector<ShardDoc> Docs;
+  for (const std::string &Path : Paths) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    ShardDoc Doc;
+    std::string Err;
+    if (!parseShardJson(Text, Doc, Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+      return 1;
+    }
+    Docs.push_back(std::move(Doc));
+  }
+
+  BatchResult Result;
+  std::string Err, Warnings;
+  if (!mergeShards(std::move(Docs), Result, Err, &Warnings)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Warnings.empty())
+    std::fprintf(stderr, "warning: %s", Warnings.c_str());
+
+  std::string Rendered =
+      Json ? Result.renderJson() + "\n" : renderText(Result);
+  int Rc = emitRendered(Rendered, OutFile);
+  if (Rc == 0)
+    std::fprintf(stderr,
+                 "merged %llu shards (%llu runs) across %llu benchmarks\n",
+                 static_cast<unsigned long long>(Result.Stats.Shards),
+                 static_cast<unsigned long long>(Result.Stats.Runs),
+                 static_cast<unsigned long long>(Result.Stats.Benchmarks));
+  return Rc;
+}
+
 int main(int Argc, char **Argv) {
   EngineConfig Cfg;
-  bool Json = false, SelfTest = false;
+  bool Json = false, SelfTest = false, MergeShards = false;
   std::string OutFile;
   std::vector<Core> Cores;
+  std::vector<std::string> MergeArgs;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -88,6 +218,30 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Cfg.Seed = std::strtoull(V, nullptr, 0);
+    } else if (std::strcmp(Arg, "--cache-dir") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      Cfg.CacheDir = V;
+    } else if (std::strcmp(Arg, "--emit-shard") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      Cfg.EmitShardDir = V;
+    } else if (std::strcmp(Arg, "--shard-range") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      unsigned long long Lo = 0, Hi = 0;
+      if (std::sscanf(V, "%llu:%llu", &Lo, &Hi) != 2 || Hi < Lo) {
+        std::fprintf(stderr,
+                     "error: --shard-range wants LO:HI with LO <= HI\n");
+        return 2;
+      }
+      Cfg.ShardBegin = static_cast<size_t>(Lo);
+      Cfg.ShardEnd = static_cast<size_t>(Hi);
+    } else if (std::strcmp(Arg, "--merge-shards") == 0) {
+      MergeShards = true;
     } else if (std::strcmp(Arg, "--name") == 0) {
       const char *V = NextValue();
       if (!V)
@@ -115,6 +269,8 @@ int main(int Argc, char **Argv) {
       OutFile = V;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
+    } else if (MergeShards) {
+      MergeArgs.push_back(Arg);
     } else {
       std::ifstream In(Arg);
       if (!In) {
@@ -138,12 +294,16 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (MergeShards)
+    return runMergeShards(MergeArgs, Json, OutFile);
+
   Engine Eng(Cfg);
   bool WholeCorpus = Cores.empty();
 
   if (SelfTest) {
     // The headline determinism property: a multi-worker run must be
-    // byte-identical to a single-worker run of the same configuration.
+    // byte-identical to a single-worker run of the same configuration
+    // (and, when a cache directory is shared, to a warm-cache rerun).
     BatchResult Multi = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
     EngineConfig OneCfg = Eng.config();
     OneCfg.Jobs = 1;
@@ -157,44 +317,41 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr,
                  "OK: %llu benchmarks, %llu shards, %llu runs; --jobs %u "
-                 "output identical to --jobs 1\n",
+                 "output identical to --jobs 1 (%llu analyzed, %llu from "
+                 "cache)\n",
                  static_cast<unsigned long long>(Multi.Stats.Benchmarks),
                  static_cast<unsigned long long>(Multi.Stats.Shards),
                  static_cast<unsigned long long>(Multi.Stats.Runs),
-                 Eng.config().Jobs);
+                 Eng.config().Jobs,
+                 static_cast<unsigned long long>(Multi.Stats.AnalyzedShards),
+                 static_cast<unsigned long long>(Multi.Stats.CachedShards));
     return 0;
   }
 
   BatchResult Result = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
-
-  std::string Rendered;
-  if (Json) {
-    Rendered = Result.renderJson();
-    Rendered += "\n";
-  } else {
-    for (const BenchmarkResult &BR : Result.Benchmarks) {
-      Rendered += "=== " + BR.Name + " ===\n";
-      Rendered += BR.Rep.render();
-      Rendered += "\n";
-    }
+  if (Result.Stats.EmitFailures > 0) {
+    std::fprintf(stderr,
+                 "error: failed to write %llu shard document(s) to %s; "
+                 "the emitted set is incomplete\n",
+                 static_cast<unsigned long long>(Result.Stats.EmitFailures),
+                 Cfg.EmitShardDir.c_str());
+    return 1;
   }
 
-  if (OutFile.empty()) {
-    std::fputs(Rendered.c_str(), stdout);
-  } else {
-    std::ofstream Out(OutFile, std::ios::binary);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
-      return 1;
-    }
-    Out << Rendered;
-  }
+  std::string Rendered =
+      Json ? Result.renderJson() + "\n" : renderText(Result);
+  int Rc = emitRendered(Rendered, OutFile);
+  if (Rc != 0)
+    return Rc;
 
   std::fprintf(stderr,
-               "analyzed %llu benchmarks (%llu shards, %llu runs) with "
-               "--jobs %u in %.2fs; program cache: %llu hits, %llu misses\n",
+               "analyzed %llu benchmarks (%llu shards: %llu analyzed, %llu "
+               "cached; %llu runs) with --jobs %u in %.2fs; program cache: "
+               "%llu hits, %llu misses\n",
                static_cast<unsigned long long>(Result.Stats.Benchmarks),
                static_cast<unsigned long long>(Result.Stats.Shards),
+               static_cast<unsigned long long>(Result.Stats.AnalyzedShards),
+               static_cast<unsigned long long>(Result.Stats.CachedShards),
                static_cast<unsigned long long>(Result.Stats.Runs),
                Eng.config().Jobs, Result.Stats.WallSeconds,
                static_cast<unsigned long long>(Result.Stats.CacheHits),

@@ -151,7 +151,11 @@ public:
   /// Runs the program once under full instrumentation; records accumulate.
   void runOnInput(const std::vector<double> &Inputs);
 
+  /// Per-operation records accumulated so far, keyed by pc. Live views:
+  /// they grow as runOnInput is called.
   const std::map<uint32_t, OpRecord> &opRecords() const { return Ops; }
+
+  /// Per-spot records accumulated so far, keyed by pc.
   const std::map<uint32_t, SpotRecord> &spotRecords() const { return Spots; }
 
   /// Copies the accumulated records out as a mergeable value.
@@ -161,8 +165,14 @@ public:
   /// uninstrumented interpreter's, by construction).
   const std::vector<Value> &lastOutputs() const { return LastOutputs; }
 
+  /// The analyzed program (the lowered form when WrapLibraryCalls is
+  /// off).
   const Program &program() const { return Prog; }
+
+  /// The configuration this analysis was constructed with.
   const AnalysisConfig &config() const { return Cfg; }
+
+  /// Cumulative cost/size counters across all runs so far (Table 1).
   AnalysisStats stats() const;
 
   /// Candidate root causes: flagged op records whose influence reached an

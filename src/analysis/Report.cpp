@@ -6,6 +6,7 @@
 
 #include "analysis/Report.h"
 
+#include "analysis/Serialize.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -26,18 +27,6 @@ std::string herbgrind::fpcoreForRecord(const OpRecord &Rec,
     Out += "\n  :pre " + Pre;
   Out += "\n  " + Rec.Expr->fpcoreBody() + ")";
   return Out;
-}
-
-static const char *spotKindName(SpotKind K) {
-  switch (K) {
-  case SpotKind::Output:
-    return "Output";
-  case SpotKind::Comparison:
-    return "Compare";
-  case SpotKind::Conversion:
-    return "Conversion";
-  }
-  return "?";
 }
 
 static RootCauseReport buildRootCause(uint32_t PC, const OpRecord &Rec,
@@ -157,11 +146,11 @@ std::string Report::renderJson() const {
     if (!FirstSpot)
       Out += ",";
     FirstSpot = false;
-    Out += format("{\"kind\":\"%s\",\"pc\":%u,\"loc\":\"%s\","
+    Out += format("{\"kind\":\"%s\",\"pc\":%u,\"loc\":%s,"
                   "\"executions\":%llu,\"erroneous\":%llu,"
                   "\"maxErrorBits\":%s,\"rootCauses\":[",
                   spotKindName(SR.Kind), SR.PC,
-                  jsonEscape(SR.Loc.str()).c_str(),
+                  renderSourceLocJson(SR.Loc).c_str(),
                   static_cast<unsigned long long>(SR.Executions),
                   static_cast<unsigned long long>(SR.Erroneous),
                   formatDoubleShortest(SR.MaxErrorBits).c_str());
@@ -170,11 +159,11 @@ std::string Report::renderJson() const {
       if (!FirstRC)
         Out += ",";
       FirstRC = false;
-      Out += format("{\"pc\":%u,\"loc\":\"%s\",\"fpcore\":\"%s\","
+      Out += format("{\"pc\":%u,\"loc\":%s,\"fpcore\":\"%s\","
                     "\"body\":\"%s\",\"numVars\":%u,\"opCount\":%u,"
                     "\"flagged\":%llu,\"maxLocalError\":%s,"
                     "\"avgLocalError\":%s,\"exampleInput\":\"%s\"}",
-                    RC.PC, jsonEscape(RC.Loc.str()).c_str(),
+                    RC.PC, renderSourceLocJson(RC.Loc).c_str(),
                     jsonEscape(RC.FPCore).c_str(),
                     jsonEscape(RC.Body).c_str(), RC.NumVars, RC.OpCount,
                     static_cast<unsigned long long>(RC.Flagged),

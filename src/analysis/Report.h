@@ -24,27 +24,27 @@ namespace herbgrind {
 /// One candidate root cause ready for presentation or for feeding to the
 /// improvement tool.
 struct RootCauseReport {
-  uint32_t PC = 0;
-  SourceLoc Loc;
-  std::string FPCore;     ///< Full "(FPCore (vars) :pre ... body)" text.
-  std::string Body;       ///< Just the expression body.
-  uint32_t NumVars = 0;
-  unsigned OpCount = 0;
-  uint64_t Flagged = 0;
-  double MaxLocalError = 0.0;
-  double AvgLocalError = 0.0;
-  std::string ExampleInput; ///< "(v0, v1, ...)" of a problematic round.
+  uint32_t PC = 0;            ///< The candidate operation's pc.
+  SourceLoc Loc;              ///< Where the operation came from.
+  std::string FPCore;         ///< Full "(FPCore (vars) :pre ... body)" text.
+  std::string Body;           ///< Just the expression body.
+  uint32_t NumVars = 0;       ///< Distinct variables in the expression.
+  unsigned OpCount = 0;       ///< Operation nodes in the expression.
+  uint64_t Flagged = 0;       ///< Rounds with local error above Tl.
+  double MaxLocalError = 0.0; ///< Worst local error observed, in bits.
+  double AvgLocalError = 0.0; ///< Mean local error across executions.
+  std::string ExampleInput;   ///< "(v0, v1, ...)" of a problematic round.
 };
 
 /// One erroneous spot with its root causes.
 struct SpotReport {
-  uint32_t PC = 0;
-  SpotKind Kind = SpotKind::Output;
-  SourceLoc Loc;
-  uint64_t Executions = 0;
-  uint64_t Erroneous = 0;
-  double MaxErrorBits = 0.0;
-  std::vector<RootCauseReport> RootCauses;
+  uint32_t PC = 0;                 ///< The spot's pc.
+  SpotKind Kind = SpotKind::Output; ///< Output, comparison, or conversion.
+  SourceLoc Loc;                   ///< Where the spot came from.
+  uint64_t Executions = 0;         ///< Times the spot executed.
+  uint64_t Erroneous = 0;          ///< Times it was observably wrong.
+  double MaxErrorBits = 0.0;       ///< Worst output error, in bits.
+  std::vector<RootCauseReport> RootCauses; ///< Most-flagged first.
 };
 
 /// The full report.
@@ -56,7 +56,10 @@ struct Report {
 
   /// Deterministic JSON rendering (machine-readable batch output; no
   /// timings or other nondeterminism, so equal analyses render to equal
-  /// bytes).
+  /// bytes). The format is specified field-by-field in
+  /// docs/REPORT_SCHEMA.md and read back by parseReportJson
+  /// (analysis/Serialize.h): parse(renderJson()) re-renders to the same
+  /// bytes.
   std::string renderJson() const;
 
   /// All distinct root causes across spots (deduplicated by pc).

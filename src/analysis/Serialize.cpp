@@ -1,0 +1,740 @@
+//===- analysis/Serialize.cpp - Result wire format ------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Serialize.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace herbgrind;
+
+//===----------------------------------------------------------------------===//
+// Small enum/value helpers shared by render and parse
+//===----------------------------------------------------------------------===//
+
+const char *herbgrind::spotKindName(SpotKind K) {
+  switch (K) {
+  case SpotKind::Output:
+    return "Output";
+  case SpotKind::Comparison:
+    return "Compare";
+  case SpotKind::Conversion:
+    return "Conversion";
+  }
+  return "?";
+}
+
+static bool parseSpotKind(const std::string &Name, SpotKind &Out) {
+  for (SpotKind K :
+       {SpotKind::Output, SpotKind::Comparison, SpotKind::Conversion})
+    if (Name == spotKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+static const char *rangeModeName(RangeMode M) {
+  switch (M) {
+  case RangeMode::Off:
+    return "off";
+  case RangeMode::Single:
+    return "single";
+  case RangeMode::SignSplit:
+    return "sign-split";
+  }
+  return "?";
+}
+
+static bool parseRangeMode(const std::string &Name, RangeMode &Out) {
+  for (RangeMode M : {RangeMode::Off, RangeMode::Single, RangeMode::SignSplit})
+    if (Name == rangeModeName(M)) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
+/// Opcode from its IR mnemonic (the unique "add.f64"-style name).
+static bool parseOpcode(const std::string &Name, Opcode &Out) {
+  for (unsigned I = 0; I < static_cast<unsigned>(Opcode::NumOpcodes); ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    if (Name == opInfo(Op).Name) {
+      Out = Op;
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Typed field accessors (parse-side)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fetches a required field of a given JSON kind, accumulating a
+/// field-path error message on failure.
+struct Fields {
+  const JsonValue &Obj;
+  std::string &Err;
+  const char *Ctx;
+
+  bool fail(const char *Name, const char *What) {
+    Err = format("%s: field '%s' %s", Ctx, Name, What);
+    return false;
+  }
+
+  bool u64(const char *Name, uint64_t &Out) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isNumber())
+      return fail(Name, "missing or not a number");
+    // strtoull would silently wrap a negative token to a huge count.
+    if (!F->Num.empty() && F->Num[0] == '-')
+      return fail(Name, "must be a non-negative integer");
+    Out = F->asU64();
+    return true;
+  }
+
+  bool u32(const char *Name, uint32_t &Out) {
+    uint64_t V;
+    if (!u64(Name, V))
+      return false;
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+
+  bool dbl(const char *Name, double &Out) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isNumber())
+      return fail(Name, "missing or not a number");
+    Out = F->asDouble();
+    return true;
+  }
+
+  bool boolean(const char *Name, bool &Out) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isBool())
+      return fail(Name, "missing or not a boolean");
+    Out = F->BoolVal;
+    return true;
+  }
+
+  bool str(const char *Name, std::string &Out) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isString())
+      return fail(Name, "missing or not a string");
+    Out = F->Str;
+    return true;
+  }
+
+  const JsonValue *array(const char *Name) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isArray()) {
+      fail(Name, "missing or not an array");
+      return nullptr;
+    }
+    return F;
+  }
+
+  const JsonValue *object(const char *Name) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isObject()) {
+      fail(Name, "missing or not an object");
+      return nullptr;
+    }
+    return F;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Source locations
+//===----------------------------------------------------------------------===//
+
+std::string herbgrind::renderSourceLocJson(const SourceLoc &Loc) {
+  return format("{\"file\":\"%s\",\"line\":%d,\"func\":\"%s\"}",
+                jsonEscape(Loc.File).c_str(), Loc.Line,
+                jsonEscape(Loc.Function).c_str());
+}
+
+static bool parseSourceLoc(const JsonValue &V, SourceLoc &Out,
+                           std::string &Err) {
+  if (!V.isObject()) {
+    Err = "loc: not an object";
+    return false;
+  }
+  Fields F{V, Err, "loc"};
+  uint64_t Line;
+  if (!F.str("file", Out.File) || !F.u64("line", Line) ||
+      !F.str("func", Out.Function))
+    return false;
+  Out.Line = static_cast<int>(Line);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Running statistics
+//===----------------------------------------------------------------------===//
+
+static std::string renderStatJson(const RunningStat &S) {
+  return format("{\"count\":%llu,\"sum\":%s,\"max\":%s}",
+                static_cast<unsigned long long>(S.count()),
+                formatDoubleShortest(S.sum()).c_str(),
+                formatDoubleShortest(S.max()).c_str());
+}
+
+static bool parseStat(const JsonValue &V, RunningStat &Out, std::string &Err) {
+  if (!V.isObject()) {
+    Err = "stat: not an object";
+    return false;
+  }
+  Fields F{V, Err, "stat"};
+  uint64_t Count;
+  double Sum, Max;
+  if (!F.u64("count", Count) || !F.dbl("sum", Sum) || !F.dbl("max", Max))
+    return false;
+  Out = RunningStat::fromParts(Count, Sum, Max);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Input summaries
+//===----------------------------------------------------------------------===//
+
+static bool parseVarSummary(const JsonValue &V, VarSummary &Out,
+                            std::string &Err) {
+  if (!V.isObject()) {
+    Err = "varSummary: not an object";
+    return false;
+  }
+  Fields F{V, Err, "varSummary"};
+  if (!F.u64("count", Out.Count) || !F.boolean("sawNaN", Out.SawNaN) ||
+      !F.boolean("sawZero", Out.SawZero) || !F.dbl("example", Out.Example))
+    return false;
+  auto Range = [&](const char *Name, bool &Has, double &Lo,
+                   double &Hi) -> bool {
+    const JsonValue *R = V.field(Name);
+    if (!R)
+      return true; // absent range: the flag stays false
+    if (!R->isArray() || R->Arr.size() != 2 || !R->Arr[0].isNumber() ||
+        !R->Arr[1].isNumber())
+      return F.fail(Name, "not a [lo, hi] number pair");
+    Has = true;
+    Lo = R->Arr[0].asDouble();
+    Hi = R->Arr[1].asDouble();
+    return true;
+  };
+  return Range("range", Out.HasRange, Out.Lo, Out.Hi) &&
+         Range("neg", Out.HasNeg, Out.NegLo, Out.NegHi) &&
+         Range("pos", Out.HasPos, Out.PosLo, Out.PosHi);
+}
+
+static std::string renderInputsJson(const InputCharacteristics &C) {
+  std::string Out = "[";
+  for (size_t I = 0; I < C.Vars.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += C.Vars[I].renderJson();
+  }
+  Out += "]";
+  return Out;
+}
+
+static bool parseInputs(const JsonValue &V, InputCharacteristics &Out,
+                        std::string &Err) {
+  if (!V.isArray()) {
+    Err = "inputs: not an array";
+    return false;
+  }
+  Out.Vars.resize(V.Arr.size());
+  for (size_t I = 0; I < V.Arr.size(); ++I)
+    if (!parseVarSummary(V.Arr[I], Out.Vars[I], Err))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic expressions
+//===----------------------------------------------------------------------===//
+
+std::string herbgrind::renderSymExprJson(const SymExpr &E) {
+  switch (E.Kind) {
+  case SymExpr::SEKind::Const:
+    return format("{\"const\":%s}", formatDoubleShortest(E.ConstVal).c_str());
+  case SymExpr::SEKind::Var:
+    return format("{\"var\":%u}", E.VarIdx);
+  case SymExpr::SEKind::Op: {
+    std::string Out =
+        format("{\"op\":\"%s\",\"site\":%u,\"kids\":[", opInfo(E.Op).Name,
+               E.Site);
+    for (size_t I = 0; I < E.Kids.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += renderSymExprJson(*E.Kids[I]);
+    }
+    Out += "]}";
+    return Out;
+  }
+  }
+  return "{}";
+}
+
+static std::unique_ptr<SymExpr> parseSymExpr(const JsonValue &V,
+                                             std::string &Err) {
+  if (!V.isObject()) {
+    Err = "expr: node is not an object";
+    return nullptr;
+  }
+  if (const JsonValue *C = V.field("const")) {
+    if (!C->isNumber()) {
+      Err = "expr: 'const' is not a number";
+      return nullptr;
+    }
+    return SymExpr::makeConst(C->asDouble());
+  }
+  if (const JsonValue *X = V.field("var")) {
+    if (!X->isNumber()) {
+      Err = "expr: 'var' is not a number";
+      return nullptr;
+    }
+    return SymExpr::makeVar(static_cast<uint32_t>(X->asU64()));
+  }
+  Fields F{V, Err, "expr"};
+  std::string OpName;
+  uint32_t Site;
+  if (!F.str("op", OpName) || !F.u32("site", Site))
+    return nullptr;
+  Opcode Op;
+  if (!parseOpcode(OpName, Op)) {
+    Err = format("expr: unknown opcode '%s'", OpName.c_str());
+    return nullptr;
+  }
+  const JsonValue *Kids = F.array("kids");
+  if (!Kids)
+    return nullptr;
+  std::unique_ptr<SymExpr> Node = SymExpr::makeOp(Op, Site);
+  for (const JsonValue &KidVal : Kids->Arr) {
+    std::unique_ptr<SymExpr> Kid = parseSymExpr(KidVal, Err);
+    if (!Kid)
+      return nullptr;
+    Node->Kids.push_back(std::move(Kid));
+  }
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation and spot records
+//===----------------------------------------------------------------------===//
+
+static std::string renderOpRecordJson(uint32_t PC, const OpRecord &Rec) {
+  std::string Out = format(
+      "{\"pc\":%u,\"op\":\"%s\",\"loc\":%s,\"executions\":%llu,"
+      "\"flagged\":%llu,\"compensations\":%llu,\"localError\":%s,"
+      "\"maxFlaggedLocalError\":%s,\"nextVarIdx\":%u",
+      PC, opInfo(Rec.Op).Name, renderSourceLocJson(Rec.Loc).c_str(),
+      static_cast<unsigned long long>(Rec.Executions),
+      static_cast<unsigned long long>(Rec.Flagged),
+      static_cast<unsigned long long>(Rec.CompensationsDetected),
+      renderStatJson(Rec.LocalError).c_str(),
+      formatDoubleShortest(Rec.MaxFlaggedLocalError).c_str(), Rec.NextVarIdx);
+  if (Rec.Expr)
+    Out += ",\"expr\":" + renderSymExprJson(*Rec.Expr);
+  Out += ",\"totalInputs\":" + renderInputsJson(Rec.TotalInputs);
+  Out += ",\"problematicInputs\":" + renderInputsJson(Rec.ProblematicInputs);
+  Out += ",\"exampleProblematic\":[";
+  for (size_t I = 0; I < Rec.ExampleProblematic.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += format(
+        "{\"var\":%u,\"value\":%s}", Rec.ExampleProblematic[I].Idx,
+        formatDoubleShortest(Rec.ExampleProblematic[I].Value).c_str());
+  }
+  Out += "]}";
+  return Out;
+}
+
+static bool parseOpRecord(const JsonValue &V, uint32_t &PC, OpRecord &Rec,
+                          std::string &Err) {
+  if (!V.isObject()) {
+    Err = "op record: not an object";
+    return false;
+  }
+  Fields F{V, Err, "op record"};
+  std::string OpName;
+  if (!F.u32("pc", PC) || !F.str("op", OpName) ||
+      !F.u64("executions", Rec.Executions) || !F.u64("flagged", Rec.Flagged) ||
+      !F.u64("compensations", Rec.CompensationsDetected) ||
+      !F.dbl("maxFlaggedLocalError", Rec.MaxFlaggedLocalError) ||
+      !F.u32("nextVarIdx", Rec.NextVarIdx))
+    return false;
+  if (!parseOpcode(OpName, Rec.Op)) {
+    Err = format("op record: unknown opcode '%s'", OpName.c_str());
+    return false;
+  }
+  const JsonValue *Loc = F.object("loc");
+  if (!Loc || !parseSourceLoc(*Loc, Rec.Loc, Err))
+    return false;
+  const JsonValue *Stat = F.object("localError");
+  if (!Stat || !parseStat(*Stat, Rec.LocalError, Err))
+    return false;
+  if (const JsonValue *E = V.field("expr")) {
+    Rec.Expr = parseSymExpr(*E, Err);
+    if (!Rec.Expr)
+      return false;
+  }
+  const JsonValue *Total = V.field("totalInputs");
+  const JsonValue *Prob = V.field("problematicInputs");
+  if (!Total || !parseInputs(*Total, Rec.TotalInputs, Err) || !Prob ||
+      !parseInputs(*Prob, Rec.ProblematicInputs, Err)) {
+    if (Err.empty())
+      Err = "op record: missing input summaries";
+    return false;
+  }
+  const JsonValue *Ex = F.array("exampleProblematic");
+  if (!Ex)
+    return false;
+  for (const JsonValue &B : Ex->Arr) {
+    if (!B.isObject()) {
+      Err = "op record: example binding is not an object";
+      return false;
+    }
+    Fields BF{B, Err, "example binding"};
+    VarBinding Binding{0, 0.0};
+    if (!BF.u32("var", Binding.Idx) || !BF.dbl("value", Binding.Value))
+      return false;
+    Rec.ExampleProblematic.push_back(Binding);
+  }
+  return true;
+}
+
+static std::string renderSpotRecordJson(uint32_t PC, const SpotRecord &Spot) {
+  std::string Out = format(
+      "{\"pc\":%u,\"kind\":\"%s\",\"loc\":%s,\"executions\":%llu,"
+      "\"erroneous\":%llu,\"errorBits\":%s,\"influencingOps\":[",
+      PC, spotKindName(Spot.Kind), renderSourceLocJson(Spot.Loc).c_str(),
+      static_cast<unsigned long long>(Spot.Executions),
+      static_cast<unsigned long long>(Spot.Erroneous),
+      renderStatJson(Spot.ErrorBits).c_str());
+  bool First = true;
+  for (uint32_t Op : Spot.InfluencingOps) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("%u", Op);
+  }
+  Out += "]}";
+  return Out;
+}
+
+static bool parseSpotRecord(const JsonValue &V, uint32_t &PC, SpotRecord &Spot,
+                            std::string &Err) {
+  if (!V.isObject()) {
+    Err = "spot record: not an object";
+    return false;
+  }
+  Fields F{V, Err, "spot record"};
+  std::string KindName;
+  if (!F.u32("pc", PC) || !F.str("kind", KindName) ||
+      !F.u64("executions", Spot.Executions) ||
+      !F.u64("erroneous", Spot.Erroneous))
+    return false;
+  if (!parseSpotKind(KindName, Spot.Kind)) {
+    Err = format("spot record: unknown kind '%s'", KindName.c_str());
+    return false;
+  }
+  const JsonValue *Loc = F.object("loc");
+  if (!Loc || !parseSourceLoc(*Loc, Spot.Loc, Err))
+    return false;
+  const JsonValue *Stat = F.object("errorBits");
+  if (!Stat || !parseStat(*Stat, Spot.ErrorBits, Err))
+    return false;
+  const JsonValue *Ops = F.array("influencingOps");
+  if (!Ops)
+    return false;
+  for (const JsonValue &Op : Ops->Arr) {
+    if (!Op.isNumber()) {
+      Err = "spot record: influencing op is not a number";
+      return false;
+    }
+    Spot.InfluencingOps.insert(static_cast<uint32_t>(Op.asU64()));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis results
+//===----------------------------------------------------------------------===//
+
+std::string herbgrind::renderAnalysisResultJson(const AnalysisResult &R) {
+  std::string Out = format("{\"ranges\":\"%s\",\"equivDepth\":%u,\"ops\":[",
+                           rangeModeName(R.Ranges), R.EquivDepth);
+  bool First = true;
+  for (const auto &[PC, Rec] : R.Ops) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += renderOpRecordJson(PC, Rec);
+  }
+  Out += "],\"spots\":[";
+  First = true;
+  for (const auto &[PC, Spot] : R.Spots) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += renderSpotRecordJson(PC, Spot);
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool herbgrind::parseAnalysisResultJson(const JsonValue &V, AnalysisResult &Out,
+                                        std::string &Err) {
+  if (!V.isObject()) {
+    Err = "result: not an object";
+    return false;
+  }
+  Fields F{V, Err, "result"};
+  std::string RangesName;
+  if (!F.str("ranges", RangesName) || !F.u32("equivDepth", Out.EquivDepth))
+    return false;
+  if (!parseRangeMode(RangesName, Out.Ranges)) {
+    Err = format("result: unknown range mode '%s'", RangesName.c_str());
+    return false;
+  }
+  const JsonValue *Ops = F.array("ops");
+  if (!Ops)
+    return false;
+  for (const JsonValue &RecVal : Ops->Arr) {
+    uint32_t PC;
+    OpRecord Rec;
+    if (!parseOpRecord(RecVal, PC, Rec, Err))
+      return false;
+    if (!Out.Ops.emplace(PC, std::move(Rec)).second) {
+      Err = format("result: duplicate op record for pc %u", PC);
+      return false;
+    }
+  }
+  const JsonValue *Spots = F.array("spots");
+  if (!Spots)
+    return false;
+  for (const JsonValue &SpotVal : Spots->Arr) {
+    uint32_t PC;
+    SpotRecord Spot;
+    if (!parseSpotRecord(SpotVal, PC, Spot, Err))
+      return false;
+    if (!Out.Spots.emplace(PC, std::move(Spot)).second) {
+      Err = format("result: duplicate spot record for pc %u", PC);
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shard documents
+//===----------------------------------------------------------------------===//
+
+/// Checks a document's {"format","version"} envelope: the tag must match
+/// and the major version must be known. Minor versions are additive, so
+/// any minor of a known major is accepted.
+static bool checkEnvelope(const JsonValue &V, const char *ExpectedFormat,
+                          std::string &Err) {
+  const JsonValue *Format = V.field("format");
+  if (!Format || !Format->isString() || Format->Str != ExpectedFormat) {
+    Err = format("document is not a %s file (bad or missing 'format')",
+                 ExpectedFormat);
+    return false;
+  }
+  const JsonValue *Version = V.field("version");
+  if (!Version || !Version->isObject()) {
+    Err = "missing 'version' object";
+    return false;
+  }
+  const JsonValue *Major = Version->field("major");
+  if (!Major || !Major->isNumber()) {
+    Err = "missing 'version.major'";
+    return false;
+  }
+  if (Major->asI64() != WireFormatMajor) {
+    Err = format("unsupported %s major version %lld (this reader "
+                 "understands %d)",
+                 ExpectedFormat, static_cast<long long>(Major->asI64()),
+                 WireFormatMajor);
+    return false;
+  }
+  return true;
+}
+
+std::string herbgrind::renderShardJson(const std::string &ConfigHash,
+                                       const std::string &Benchmark,
+                                       uint64_t BenchIndex,
+                                       uint64_t ShardIndex, uint64_t RunBegin,
+                                       uint64_t RunEnd,
+                                       const AnalysisResult &Result) {
+  return format(
+      "{\"format\":\"herbgrind-shard\","
+      "\"version\":{\"major\":%d,\"minor\":%d},"
+      "\"configHash\":\"%s\",\"benchmark\":\"%s\",\"benchIndex\":%llu,"
+      "\"shardIndex\":%llu,\"runBegin\":%llu,\"runEnd\":%llu,"
+      "\"result\":%s}",
+      WireFormatMajor, WireFormatMinor, jsonEscape(ConfigHash).c_str(),
+      jsonEscape(Benchmark).c_str(),
+      static_cast<unsigned long long>(BenchIndex),
+      static_cast<unsigned long long>(ShardIndex),
+      static_cast<unsigned long long>(RunBegin),
+      static_cast<unsigned long long>(RunEnd),
+      renderAnalysisResultJson(Result).c_str());
+}
+
+std::string herbgrind::renderShardJson(const ShardDoc &Doc) {
+  return renderShardJson(Doc.ConfigHash, Doc.Benchmark, Doc.BenchIndex,
+                         Doc.ShardIndex, Doc.RunBegin, Doc.RunEnd, Doc.Result);
+}
+
+bool herbgrind::parseShardJson(const std::string &Text, ShardDoc &Out,
+                               std::string &Err) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
+  }
+  if (!R.Value.isObject()) {
+    Err = "shard document is not an object";
+    return false;
+  }
+  if (!checkEnvelope(R.Value, "herbgrind-shard", Err))
+    return false;
+  Fields F{R.Value, Err, "shard"};
+  if (!F.str("configHash", Out.ConfigHash) ||
+      !F.str("benchmark", Out.Benchmark) ||
+      !F.u64("benchIndex", Out.BenchIndex) ||
+      !F.u64("shardIndex", Out.ShardIndex) ||
+      !F.u64("runBegin", Out.RunBegin) || !F.u64("runEnd", Out.RunEnd))
+    return false;
+  if (Out.RunEnd < Out.RunBegin) {
+    Err = format("shard: runEnd (%llu) precedes runBegin (%llu)",
+                 static_cast<unsigned long long>(Out.RunEnd),
+                 static_cast<unsigned long long>(Out.RunBegin));
+    return false;
+  }
+  const JsonValue *Result = F.object("result");
+  return Result && parseAnalysisResultJson(*Result, Out.Result, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Presentation-level reports
+//===----------------------------------------------------------------------===//
+
+bool herbgrind::parseReport(const JsonValue &V, Report &Out, std::string &Err) {
+  if (!V.isObject()) {
+    Err = "report: not an object";
+    return false;
+  }
+  Fields F{V, Err, "report"};
+  const JsonValue *Spots = F.array("spots");
+  if (!Spots)
+    return false;
+  for (const JsonValue &SpotVal : Spots->Arr) {
+    if (!SpotVal.isObject()) {
+      Err = "report: spot is not an object";
+      return false;
+    }
+    Fields SF{SpotVal, Err, "report spot"};
+    SpotReport SR;
+    std::string KindName;
+    if (!SF.str("kind", KindName) || !SF.u32("pc", SR.PC) ||
+        !SF.u64("executions", SR.Executions) ||
+        !SF.u64("erroneous", SR.Erroneous) ||
+        !SF.dbl("maxErrorBits", SR.MaxErrorBits))
+      return false;
+    if (!parseSpotKind(KindName, SR.Kind)) {
+      Err = format("report: unknown spot kind '%s'", KindName.c_str());
+      return false;
+    }
+    const JsonValue *Loc = SF.object("loc");
+    if (!Loc || !parseSourceLoc(*Loc, SR.Loc, Err))
+      return false;
+    const JsonValue *Causes = SF.array("rootCauses");
+    if (!Causes)
+      return false;
+    for (const JsonValue &CauseVal : Causes->Arr) {
+      if (!CauseVal.isObject()) {
+        Err = "report: root cause is not an object";
+        return false;
+      }
+      Fields CF{CauseVal, Err, "root cause"};
+      RootCauseReport RC;
+      if (!CF.u32("pc", RC.PC) || !CF.str("fpcore", RC.FPCore) ||
+          !CF.str("body", RC.Body) || !CF.u32("numVars", RC.NumVars) ||
+          !CF.u64("flagged", RC.Flagged) ||
+          !CF.dbl("maxLocalError", RC.MaxLocalError) ||
+          !CF.dbl("avgLocalError", RC.AvgLocalError) ||
+          !CF.str("exampleInput", RC.ExampleInput))
+        return false;
+      uint64_t OpCount;
+      if (!CF.u64("opCount", OpCount))
+        return false;
+      RC.OpCount = static_cast<unsigned>(OpCount);
+      const JsonValue *CLoc = CF.object("loc");
+      if (!CLoc || !parseSourceLoc(*CLoc, RC.Loc, Err))
+        return false;
+      SR.RootCauses.push_back(std::move(RC));
+    }
+    Out.Spots.push_back(std::move(SR));
+  }
+  return true;
+}
+
+bool herbgrind::parseReportJson(const std::string &Text, Report &Out,
+                                std::string &Err) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
+  }
+  return parseReport(R.Value, Out, Err);
+}
+
+bool herbgrind::parseBatchReportJson(const std::string &Text,
+                                     BatchReportDoc &Out, std::string &Err) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
+  }
+  if (!R.Value.isObject()) {
+    Err = "batch report document is not an object";
+    return false;
+  }
+  if (!checkEnvelope(R.Value, "herbgrind-report", Err))
+    return false;
+  Fields F{R.Value, Err, "batch report"};
+  const JsonValue *Benchmarks = F.array("benchmarks");
+  if (!Benchmarks)
+    return false;
+  for (const JsonValue &BenchVal : Benchmarks->Arr) {
+    if (!BenchVal.isObject()) {
+      Err = "batch report: benchmark entry is not an object";
+      return false;
+    }
+    Fields BF{BenchVal, Err, "benchmark entry"};
+    BatchReportDoc::Entry E;
+    if (!BF.str("name", E.Name) || !BF.u64("shards", E.Shards) ||
+        !BF.u64("runs", E.Runs))
+      return false;
+    const JsonValue *Rep = BF.object("report");
+    if (!Rep || !parseReport(*Rep, E.Rep, Err))
+      return false;
+    Out.Benchmarks.push_back(std::move(E));
+  }
+  return true;
+}

@@ -1,0 +1,122 @@
+//===- analysis/Serialize.h - Result wire format ----------------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON wire format for analysis results: rendering AND read-back for
+/// `AnalysisResult` (with its `OpRecord`/`SpotRecord` maps, symbolic
+/// expressions, and input summaries) and for presentation-level `Report`s.
+/// This is what makes shard results durable values: the result cache
+/// persists them between sweeps, and `--emit-shard`/`--merge-shards` ship
+/// them between machines.
+///
+/// The contract is exact round-tripping: `parse(render(x))` reconstructs
+/// `x` bit-for-bit (doubles are printed with shortest round-trip decimals
+/// and reparsed with strtod), so folding a parsed shard into a sweep
+/// produces output byte-identical to folding the in-memory original.
+///
+/// The format is versioned (see REPORT_SCHEMA.md). Readers accept any
+/// minor version of a known major version and reject everything else --
+/// a major bump means fields changed meaning, and a silently misread
+/// cache entry would corrupt a merged report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_ANALYSIS_SERIALIZE_H
+#define HERBGRIND_ANALYSIS_SERIALIZE_H
+
+#include "analysis/Analysis.h"
+#include "analysis/Report.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace herbgrind {
+
+/// Wire format version. The major number is embedded in every shard and
+/// report document and checked on read-back; it also feeds the engine's
+/// config hash, so a version bump invalidates persistent caches.
+constexpr int WireFormatMajor = 1;
+/// Minor version: additive, backward-compatible changes only.
+constexpr int WireFormatMinor = 0;
+
+/// Spot kind name used in wire documents and text reports ("Output",
+/// "Compare", "Conversion").
+const char *spotKindName(SpotKind K);
+
+/// Renders a source location as {"file":...,"line":...,"func":...}.
+std::string renderSourceLocJson(const SourceLoc &Loc);
+
+/// Renders a symbolic expression tree: operation nodes are
+/// {"op":<mnemonic>,"site":<pc>,"kids":[...]}, leaves {"const":<v>} or
+/// {"var":<idx>}.
+std::string renderSymExprJson(const SymExpr &E);
+
+/// Renders one analysis snapshot -- the value the engine shards and
+/// merges -- as the wire format's "result" object.
+std::string renderAnalysisResultJson(const AnalysisResult &R);
+
+/// Parses a "result" object back; returns false and sets \p Err on
+/// malformed input. On success \p Out merges byte-identically with (and
+/// re-renders byte-identically to) the value it was rendered from.
+bool parseAnalysisResultJson(const JsonValue &V, AnalysisResult &Out,
+                             std::string &Err);
+
+/// One shard-result document: an `AnalysisResult` plus the identity
+/// needed to place it in a sweep (which benchmark, which slice of the
+/// sampled inputs) and the engine config hash that guards merges of
+/// incompatible shards.
+struct ShardDoc {
+  std::string ConfigHash; ///< engine::configHash() of the producing sweep.
+  std::string Benchmark;  ///< Benchmark name (presentation only).
+  uint64_t BenchIndex = 0; ///< Benchmark position in the sweep's core list.
+  uint64_t ShardIndex = 0; ///< Shard number within the benchmark.
+  uint64_t RunBegin = 0;   ///< First sampled-input index (inclusive).
+  uint64_t RunEnd = 0;     ///< Last sampled-input index (exclusive).
+  AnalysisResult Result;
+};
+
+/// Renders a complete shard document (versioned envelope + result).
+std::string renderShardJson(const ShardDoc &Doc);
+
+/// Same, from the envelope fields and a borrowed result (no ShardDoc --
+/// and so no deep copy of the records -- required).
+std::string renderShardJson(const std::string &ConfigHash,
+                            const std::string &Benchmark, uint64_t BenchIndex,
+                            uint64_t ShardIndex, uint64_t RunBegin,
+                            uint64_t RunEnd, const AnalysisResult &Result);
+
+/// Parses a shard document. Rejects wrong "format" tags and unknown
+/// major versions.
+bool parseShardJson(const std::string &Text, ShardDoc &Out, std::string &Err);
+
+/// Parses a presentation-level report object ({"spots":[...]}, the value
+/// of a batch document's per-benchmark "report" field). Round trip:
+/// parseReport(render(r)) re-renders to the same bytes.
+bool parseReport(const JsonValue &V, Report &Out, std::string &Err);
+
+/// Convenience wrapper: parses JSON text into a Report.
+bool parseReportJson(const std::string &Text, Report &Out, std::string &Err);
+
+/// A parsed batch report document (what `herbgrind_batch --json` and
+/// `BatchResult::renderJson()` emit).
+struct BatchReportDoc {
+  struct Entry {
+    std::string Name;
+    uint64_t Shards = 0;
+    uint64_t Runs = 0;
+    Report Rep;
+  };
+  std::vector<Entry> Benchmarks;
+};
+
+/// Parses a full batch report document, checking its versioned envelope
+/// (format "herbgrind-report"; unknown major versions are rejected).
+bool parseBatchReportJson(const std::string &Text, BatchReportDoc &Out,
+                          std::string &Err);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_ANALYSIS_SERIALIZE_H

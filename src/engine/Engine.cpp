@@ -6,13 +6,18 @@
 
 #include "engine/Engine.h"
 
+#include "engine/ResultCache.h"
 #include "engine/ThreadPool.h"
 #include "fpcore/Corpus.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <map>
+#include <mutex>
 #include <thread>
 
 using namespace herbgrind;
@@ -64,7 +69,13 @@ Engine::Engine(EngineConfig Config) : Cfg(Config) {
     Cfg.SamplesPerBenchmark = 1;
   if (Cfg.ShardSize < 1)
     Cfg.ShardSize = 1;
+  if (Cfg.ShardEnd < Cfg.ShardBegin)
+    Cfg.ShardEnd = Cfg.ShardBegin;
+  if (!Cfg.CacheDir.empty())
+    RC = std::make_unique<ResultCache>(Cfg.CacheDir, configHash(Cfg));
 }
+
+Engine::~Engine() = default;
 
 namespace {
 
@@ -77,68 +88,155 @@ struct Shard {
   size_t End = 0;
 };
 
+/// Per-benchmark streaming-reduction state: shards fold into the
+/// BenchmarkResult the moment every earlier shard has; later arrivals
+/// wait in Pending. The fold order is ascending shard index whatever the
+/// completion order, so the reduction stays deterministic while it
+/// overlaps analysis.
+struct BenchFold {
+  std::mutex M;
+  size_t NextIndex = 0; ///< Next shard index the accumulator expects.
+  std::map<size_t, AnalysisResult> Pending; ///< Out-of-order completions.
+};
+
 } // namespace
 
 BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   auto Start = std::chrono::steady_clock::now();
   size_t CacheHits0 = Cache.hits(), CacheMisses0 = Cache.misses();
+  // Core identities (printed FPCores) feed only cache keys; emit-only
+  // runs stamp documents with the config hash alone, computed once.
+  bool NeedIdentity = RC != nullptr;
+  std::string CfgHash;
+  if (RC)
+    CfgHash = RC->configHash();
+  else if (!Cfg.EmitShardDir.empty())
+    CfgHash = configHash(Cfg);
+  if (!Cfg.EmitShardDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Cfg.EmitShardDir, Ec);
+  }
 
   // Phase 1 (serial, cheap): sample every benchmark's inputs up front and
-  // lay out the shard list. Both depend only on the configuration.
+  // lay out the shard list. Both depend only on the configuration: the
+  // layout covers the full sample range even when only a shard-index
+  // slice of it executes, so distributed slices stay merge-compatible.
   std::vector<std::vector<std::vector<double>>> Inputs(Cores.size());
+  std::vector<uint64_t> Seeds(Cores.size());
+  std::vector<std::string> Identities(Cores.size());
   std::vector<Shard> Shards;
   for (size_t B = 0; B < Cores.size(); ++B) {
+    Seeds[B] = deriveSeed(Cfg.Seed, B);
     Inputs[B] = sampleBenchmarkInputs(Cores[B], Cfg.SamplesPerBenchmark,
-                                      deriveSeed(Cfg.Seed, B));
+                                      Seeds[B]);
+    if (NeedIdentity)
+      Identities[B] = Cores[B].print();
     size_t N = Inputs[B].size();
     size_t Step = static_cast<size_t>(Cfg.ShardSize);
     for (size_t Lo = 0, Idx = 0; Lo < N; Lo += Step, ++Idx)
-      Shards.push_back({B, Idx, Lo, std::min(Lo + Step, N)});
+      if (Idx >= Cfg.ShardBegin && Idx < Cfg.ShardEnd)
+        Shards.push_back({B, Idx, Lo, std::min(Lo + Step, N)});
   }
 
-  // Phase 2 (parallel): every shard runs in its own Herbgrind instance;
-  // results land in a pre-sized table, so completion order is not
-  // observable.
-  std::vector<AnalysisResult> ShardResults(Shards.size());
+  BatchResult Out;
+  Out.Benchmarks.resize(Cores.size());
+  std::vector<BenchFold> Folds(Cores.size());
+  for (size_t B = 0; B < Cores.size(); ++B) {
+    Out.Benchmarks[B].Name = Cores[B].Name;
+    Out.Benchmarks[B].Records.Ranges = Cfg.Analysis.Ranges;
+    Out.Benchmarks[B].Records.EquivDepth = Cfg.Analysis.EquivDepth;
+    // Executed shard indices per benchmark are a contiguous slice, so the
+    // streaming fold starts at the slice's first index.
+    Folds[B].NextIndex = Cfg.ShardBegin;
+  }
+
+  // Phase 2 (parallel): every shard is satisfied from the result cache or
+  // analyzed by its own Herbgrind instance, then folded into its
+  // benchmark's accumulator in ascending shard order. The fold happens on
+  // whichever worker completes the gap shard, overlapping reduce with
+  // analyze; only out-of-order completions buffer.
+  std::atomic<uint64_t> Analyzed{0}, Cached{0}, EmitFailed{0};
   {
     ThreadPool Pool(Cfg.Jobs);
     for (size_t S = 0; S < Shards.size(); ++S) {
-      Pool.submit([this, S, &Shards, &Cores, &Inputs, &ShardResults] {
+      Pool.submit([this, S, &Shards, &Cores, &Inputs, &Seeds, &Identities,
+                   &Folds, &Out, &Analyzed, &Cached, &EmitFailed,
+                   &CfgHash] {
         const Shard &Sh = Shards[S];
-        const Program &P = Cache.get(Cores[Sh.Bench]);
-        Herbgrind HG(P, Cfg.Analysis);
-        for (size_t I = Sh.Begin; I < Sh.End; ++I)
-          HG.runOnInput(Inputs[Sh.Bench][I]);
-        ShardResults[S] = HG.snapshot();
+        ResultCache::ShardKey Key;
+        if (RC) {
+          Key.CoreIdentity = Identities[Sh.Bench];
+          Key.DerivedSeed = Seeds[Sh.Bench];
+          Key.BenchIndex = Sh.Bench;
+          Key.ShardIndex = Sh.Index;
+          Key.RunBegin = Sh.Begin;
+          Key.RunEnd = Sh.End;
+        }
+
+        AnalysisResult Result;
+        bool FromCache = RC && RC->lookup(Key, Result);
+        if (FromCache) {
+          ++Cached;
+        } else {
+          const Program &P = Cache.get(Cores[Sh.Bench]);
+          Herbgrind HG(P, Cfg.Analysis);
+          for (size_t I = Sh.Begin; I < Sh.End; ++I)
+            HG.runOnInput(Inputs[Sh.Bench][I]);
+          Result = HG.snapshot();
+          ++Analyzed;
+          if (RC)
+            RC->store(Key, Cores[Sh.Bench].Name, Result);
+        }
+        if (!Cfg.EmitShardDir.empty()) {
+          std::string Name = format("shard-b%05llu-s%05llu.json",
+                                    static_cast<unsigned long long>(Sh.Bench),
+                                    static_cast<unsigned long long>(Sh.Index));
+          if (!writeFileAtomic(Cfg.EmitShardDir + "/" + Name,
+                               renderShardJson(CfgHash, Cores[Sh.Bench].Name,
+                                               Sh.Bench, Sh.Index, Sh.Begin,
+                                               Sh.End, Result)))
+            ++EmitFailed;
+        }
+
+        // Streaming in-order fold. The arriving shard parks in Pending,
+        // then everything contiguous from NextIndex folds in; shard sizes
+        // are recovered from the layout (End - Begin == ShardSize except
+        // for the tail shard).
+        BenchFold &Fold = Folds[Sh.Bench];
+        BenchmarkResult &BR = Out.Benchmarks[Sh.Bench];
+        size_t Step = static_cast<size_t>(Cfg.ShardSize);
+        size_t Total = Inputs[Sh.Bench].size();
+        std::lock_guard<std::mutex> Lock(Fold.M);
+        Fold.Pending.emplace(Sh.Index, std::move(Result));
+        for (auto It = Fold.Pending.find(Fold.NextIndex);
+             It != Fold.Pending.end();
+             It = Fold.Pending.find(Fold.NextIndex)) {
+          if (BR.Shards == 0)
+            BR.Records = std::move(It->second);
+          else
+            BR.Records.mergeFrom(It->second);
+          ++BR.Shards;
+          size_t Lo = Fold.NextIndex * Step;
+          BR.Runs += std::min(Lo + Step, Total) - Lo;
+          Fold.Pending.erase(It);
+          ++Fold.NextIndex;
+        }
       });
     }
     Pool.waitAll();
   }
 
-  // Phase 3 (serial, deterministic): reduce each benchmark's shards in
-  // ascending shard order -- the same fold at any worker count.
-  BatchResult Out;
-  Out.Benchmarks.resize(Cores.size());
-  for (size_t B = 0; B < Cores.size(); ++B) {
-    Out.Benchmarks[B].Name = Cores[B].Name;
-    Out.Benchmarks[B].Records.Ranges = Cfg.Analysis.Ranges;
-    Out.Benchmarks[B].Records.EquivDepth = Cfg.Analysis.EquivDepth;
-  }
-  for (size_t S = 0; S < Shards.size(); ++S) {
-    BenchmarkResult &BR = Out.Benchmarks[Shards[S].Bench];
-    if (BR.Shards == 0)
-      BR.Records = std::move(ShardResults[S]);
-    else
-      BR.Records.mergeFrom(ShardResults[S]);
-    ++BR.Shards;
-    BR.Runs += Shards[S].End - Shards[S].Begin;
-  }
+  // Phase 3 (serial, cheap): build the per-benchmark reports from the
+  // merged records and collect the statistics.
   for (BenchmarkResult &BR : Out.Benchmarks) {
     BR.Rep = buildReport(BR.Records);
     Out.Stats.Shards += BR.Shards;
     Out.Stats.Runs += BR.Runs;
   }
   Out.Stats.Benchmarks = Cores.size();
+  Out.Stats.AnalyzedShards = Analyzed.load();
+  Out.Stats.CachedShards = Cached.load();
+  Out.Stats.EmitFailures = EmitFailed.load();
   Out.Stats.CacheHits = Cache.hits() - CacheHits0;
   Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;
   Out.Stats.WallSeconds =
@@ -167,7 +265,10 @@ Report BatchResult::merged() const {
 }
 
 std::string BatchResult::renderJson() const {
-  std::string Out = "{\"benchmarks\":[";
+  std::string Out = format("{\"format\":\"herbgrind-report\","
+                           "\"version\":{\"major\":%d,\"minor\":%d},"
+                           "\"benchmarks\":[",
+                           WireFormatMajor, WireFormatMinor);
   bool First = true;
   for (const BenchmarkResult &BR : Benchmarks) {
     if (!First)
@@ -182,4 +283,92 @@ std::string BatchResult::renderJson() const {
   }
   Out += "]}";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Merging emitted shard documents (the distributed workflow)
+//===----------------------------------------------------------------------===//
+
+bool herbgrind::engine::mergeShards(std::vector<ShardDoc> Docs,
+                                    BatchResult &Out, std::string &Err,
+                                    std::string *Warnings) {
+  if (Docs.empty()) {
+    Err = "no shard documents to merge";
+    return false;
+  }
+  for (const ShardDoc &D : Docs)
+    if (D.ConfigHash != Docs.front().ConfigHash) {
+      Err = format("config hash mismatch: shard %llu of '%s' has %s, "
+                   "expected %s (shards from different sweep "
+                   "configurations cannot merge)",
+                   static_cast<unsigned long long>(D.ShardIndex),
+                   D.Benchmark.c_str(), D.ConfigHash.c_str(),
+                   Docs.front().ConfigHash.c_str());
+      return false;
+    }
+
+  std::stable_sort(Docs.begin(), Docs.end(),
+                   [](const ShardDoc &A, const ShardDoc &B) {
+                     if (A.BenchIndex != B.BenchIndex)
+                       return A.BenchIndex < B.BenchIndex;
+                     return A.ShardIndex < B.ShardIndex;
+                   });
+
+  for (size_t I = 0; I + 1 < Docs.size(); ++I) {
+    const ShardDoc &A = Docs[I], &B = Docs[I + 1];
+    if (A.BenchIndex != B.BenchIndex)
+      continue;
+    if (A.Benchmark != B.Benchmark) {
+      Err = format("benchmark index %llu names both '%s' and '%s'",
+                   static_cast<unsigned long long>(A.BenchIndex),
+                   A.Benchmark.c_str(), B.Benchmark.c_str());
+      return false;
+    }
+    if (A.ShardIndex == B.ShardIndex) {
+      Err = format("duplicate shard %llu for benchmark '%s'",
+                   static_cast<unsigned long long>(A.ShardIndex),
+                   A.Benchmark.c_str());
+      return false;
+    }
+    if (Warnings && B.RunBegin != A.RunEnd)
+      *Warnings += format("gap in '%s' between shard %llu (runs end %llu) "
+                          "and shard %llu (runs begin %llu); merging the "
+                          "shards present\n",
+                          A.Benchmark.c_str(),
+                          static_cast<unsigned long long>(A.ShardIndex),
+                          static_cast<unsigned long long>(A.RunEnd),
+                          static_cast<unsigned long long>(B.ShardIndex),
+                          static_cast<unsigned long long>(B.RunBegin));
+  }
+
+  for (size_t I = 0; I < Docs.size();) {
+    size_t J = I;
+    while (J < Docs.size() && Docs[J].BenchIndex == Docs[I].BenchIndex)
+      ++J;
+    // The pairwise pass above cannot see a missing *leading* shard.
+    if (Warnings && Docs[I].RunBegin != 0)
+      *Warnings += format("'%s' starts at shard %llu (runs begin %llu), "
+                          "not at the beginning of the sweep; merging the "
+                          "shards present\n",
+                          Docs[I].Benchmark.c_str(),
+                          static_cast<unsigned long long>(Docs[I].ShardIndex),
+                          static_cast<unsigned long long>(Docs[I].RunBegin));
+    BenchmarkResult BR;
+    BR.Name = Docs[I].Benchmark;
+    for (size_t K = I; K < J; ++K) {
+      if (K == I)
+        BR.Records = std::move(Docs[K].Result);
+      else
+        BR.Records.mergeFrom(Docs[K].Result);
+      ++BR.Shards;
+      BR.Runs += Docs[K].RunEnd - Docs[K].RunBegin;
+    }
+    BR.Rep = buildReport(BR.Records);
+    Out.Stats.Shards += BR.Shards;
+    Out.Stats.Runs += BR.Runs;
+    Out.Benchmarks.push_back(std::move(BR));
+    I = J;
+  }
+  Out.Stats.Benchmarks = Out.Benchmarks.size();
+  return true;
 }

@@ -10,9 +10,23 @@
 /// Herbgrind instances and reduces the per-shard records with the
 /// AnalysisResult merge machinery. Everything is deterministic by
 /// construction -- inputs are sampled up front from per-benchmark seeds,
-/// shard boundaries depend only on the configuration, and shards are
-/// merged in ascending shard order -- so a run with N workers produces a
-/// report byte-identical to a run with one.
+/// shard boundaries depend only on the configuration, and each benchmark's
+/// shards are folded in ascending shard order -- so a run with N workers
+/// produces a report byte-identical to a run with one.
+///
+/// The reduction is *streaming*: a finished shard folds into its
+/// benchmark's accumulator as soon as every earlier shard has (out-of-
+/// order completions wait in a small pending buffer), so reduce overlaps
+/// analyze and peak memory stays proportional to the out-of-order window
+/// rather than the total shard count.
+///
+/// Results are durable values. With a cache directory configured, every
+/// shard's records persist as a wire-format document keyed by FPCore
+/// identity + sampling seed + sample range + config hash, and a repeated
+/// sweep analyzes only new or invalidated shards (see ResultCache.h).
+/// With an emit directory configured, the same documents are written for
+/// off-machine merging; `mergeShards` folds them back into a BatchResult
+/// byte-identical to a single-machine sweep's.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,13 +35,18 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/Report.h"
+#include "analysis/Serialize.h"
 #include "fpcore/Compile.h"
 
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace herbgrind {
 namespace engine {
+
+class ResultCache;
 
 /// Batch-run configuration.
 struct EngineConfig {
@@ -42,6 +61,21 @@ struct EngineConfig {
   uint64_t Seed = 0xcafe;
   /// Per-shard analysis configuration.
   AnalysisConfig Analysis;
+  /// Persistent shard-result cache directory; empty disables caching.
+  /// Cached shards skip analysis entirely and fold into the sweep through
+  /// the same in-order reduction, byte-identically.
+  std::string CacheDir;
+  /// When non-empty, every shard's result is also written here as a wire
+  /// format document (shard-b<bench>-s<shard>.json) for off-machine
+  /// merging with mergeShards / `herbgrind_batch --merge-shards`.
+  std::string EmitShardDir;
+  /// Half-open per-benchmark shard-index range to execute; the default
+  /// covers every shard. Shard boundaries are laid out over the full
+  /// sample count regardless, so two machines running disjoint ranges of
+  /// the same configuration produce shards that merge into exactly the
+  /// full sweep's report.
+  size_t ShardBegin = 0;
+  size_t ShardEnd = std::numeric_limits<size_t>::max();
 };
 
 /// One benchmark's merged outcome.
@@ -49,18 +83,23 @@ struct BenchmarkResult {
   std::string Name;
   AnalysisResult Records; ///< Shard records merged in shard order.
   Report Rep;             ///< Built from the merged records.
-  uint64_t Shards = 0;
-  uint64_t Runs = 0;
+  uint64_t Shards = 0;    ///< Shards folded in (executed ones only).
+  uint64_t Runs = 0;      ///< Sampled inputs analyzed or loaded from cache.
 };
 
 /// Aggregate run statistics (informational; never part of deterministic
 /// output).
 struct EngineStats {
   uint64_t Benchmarks = 0;
-  uint64_t Shards = 0;
+  uint64_t Shards = 0;         ///< Shards folded (analyzed + cached).
   uint64_t Runs = 0;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
+  uint64_t AnalyzedShards = 0; ///< Shards actually executed this sweep.
+  uint64_t CachedShards = 0;   ///< Shards satisfied by the result cache.
+  uint64_t EmitFailures = 0;   ///< EmitShardDir documents that failed to
+                               ///< write (callers should treat > 0 as an
+                               ///< error: the emitted set is incomplete).
+  uint64_t CacheHits = 0;      ///< Compiled-program cache hits.
+  uint64_t CacheMisses = 0;    ///< Compiled-program cache misses.
   double WallSeconds = 0.0;
 };
 
@@ -72,17 +111,21 @@ struct BatchResult {
   /// Corpus-wide report: per-benchmark reports folded together.
   Report merged() const;
 
-  /// Deterministic JSON: configuration echo plus per-benchmark reports.
-  /// Byte-identical across worker counts and repeated runs.
+  /// Deterministic JSON: a versioned envelope (REPORT_SCHEMA.md) around
+  /// the per-benchmark reports. Byte-identical across worker counts,
+  /// repeated runs, warm/cold caches, and single- vs multi-machine
+  /// sweeps of the same configuration.
   std::string renderJson() const;
 };
 
 /// The batch driver. One engine owns a compiled-program cache, so
 /// repeated runs (e.g. a jobs sweep in the scaling bench) recompile
-/// nothing.
+/// nothing; with EngineConfig::CacheDir set it also owns a persistent
+/// shard-result cache shared across processes and machines.
 class Engine {
 public:
   explicit Engine(EngineConfig Cfg = {});
+  ~Engine();
 
   /// Analyzes every core, sharded and in parallel.
   BatchResult run(const std::vector<fpcore::Core> &Cores);
@@ -93,10 +136,30 @@ public:
 
   const EngineConfig &config() const { return Cfg; }
 
+  /// The persistent shard-result cache, or nullptr when CacheDir is
+  /// empty.
+  const ResultCache *resultCache() const { return RC.get(); }
+
 private:
   EngineConfig Cfg;
   fpcore::ProgramCache Cache;
+  std::unique_ptr<ResultCache> RC;
 };
+
+/// Folds shard wire-format documents (from `--emit-shard` runs, possibly
+/// on different machines, or straight from a cache directory) back into a
+/// BatchResult. Documents are grouped by benchmark index and folded in
+/// ascending shard order -- the same deterministic reduction the engine
+/// uses -- so merging a sweep's complete shard set reproduces that
+/// sweep's report byte-identically.
+///
+/// Fails (returns false, sets \p Err) on an empty input, mismatched
+/// config hashes, inconsistent benchmark identities, or duplicate shards.
+/// Gaps in shard coverage are permitted -- a partial merge is a correct
+/// report over the shards present -- but are described in \p Warnings
+/// when provided.
+bool mergeShards(std::vector<ShardDoc> Docs, BatchResult &Out,
+                 std::string &Err, std::string *Warnings = nullptr);
 
 } // namespace engine
 } // namespace herbgrind

@@ -1,0 +1,150 @@
+//===- engine/ResultCache.cpp - Persistent shard-result cache -------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ResultCache.h"
+
+#include "engine/Engine.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+static uint64_t fnv1a64(const std::string &S, uint64_t H = 0xcbf29ce484222325ULL) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string herbgrind::engine::configHash(const EngineConfig &Cfg) {
+  const AnalysisConfig &A = Cfg.Analysis;
+  // A canonical description of everything that can change a shard's
+  // records. Doubles print shortest-round-trip, so distinct values never
+  // collapse. Jobs / cache and emit directories / shard-range selection
+  // are deliberately absent: they affect scheduling, not values.
+  std::string Canon = format(
+      "herbgrind-wire-v%d|samples=%d|shardSize=%d|seed=%llu|Tl=%s|Tm=%s|"
+      "prec=%zu|maxDepth=%u|equivDepth=%u|wrapLibm=%d|comp=%d|ranges=%d|"
+      "typeAnalysis=%d|sharedShadow=%d|pools=%d|maxSteps=%llu",
+      WireFormatMajor, Cfg.SamplesPerBenchmark, Cfg.ShardSize,
+      static_cast<unsigned long long>(Cfg.Seed),
+      formatDoubleShortest(A.LocalErrorThreshold).c_str(),
+      formatDoubleShortest(A.OutputErrorThreshold).c_str(), A.PrecisionBits,
+      A.MaxExprDepth, A.EquivDepth, A.WrapLibraryCalls ? 1 : 0,
+      A.DetectCompensation ? 1 : 0, static_cast<int>(A.Ranges),
+      A.UseTypeAnalysis ? 1 : 0, A.SharedShadowValues ? 1 : 0,
+      A.UsePools ? 1 : 0, static_cast<unsigned long long>(A.MaxSteps));
+  return format("%016llx",
+                static_cast<unsigned long long>(fnv1a64(Canon)));
+}
+
+//===----------------------------------------------------------------------===//
+// File IO
+//===----------------------------------------------------------------------===//
+
+bool herbgrind::engine::writeFileAtomic(const std::string &Path,
+                                        const std::string &Data) {
+  // The temp name only needs to be unique per writer; deterministic
+  // content makes same-entry races benign either way.
+  std::string Tmp =
+      Path + format(".tmp.%llx",
+                    static_cast<unsigned long long>(
+                        std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Data;
+    if (!Out)
+      return false;
+  }
+  std::error_code Ec;
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+bool herbgrind::engine::readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return false;
+  Out = Buf.str();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The cache
+//===----------------------------------------------------------------------===//
+
+ResultCache::ResultCache(std::string Directory, std::string ConfigHash)
+    : Dir(std::move(Directory)), Hash(std::move(ConfigHash)) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  // A failed mkdir degrades to an always-miss, never-store cache; the
+  // sweep still runs correctly.
+}
+
+std::string ResultCache::entryPath(const ShardKey &Key) const {
+  uint64_t H = fnv1a64(Hash);
+  H = fnv1a64(Key.CoreIdentity, H);
+  H = fnv1a64(format("|seed=%llu|bench=%llu|shard=%llu|range=%llu:%llu",
+                     static_cast<unsigned long long>(Key.DerivedSeed),
+                     static_cast<unsigned long long>(Key.BenchIndex),
+                     static_cast<unsigned long long>(Key.ShardIndex),
+                     static_cast<unsigned long long>(Key.RunBegin),
+                     static_cast<unsigned long long>(Key.RunEnd)),
+              H);
+  return Dir + "/" + format("%016llx", static_cast<unsigned long long>(H)) +
+         ".shard.json";
+}
+
+bool ResultCache::lookup(const ShardKey &Key, AnalysisResult &Out) {
+  std::string Text;
+  if (!readFile(entryPath(Key), Text)) {
+    ++Misses;
+    return false;
+  }
+  ShardDoc Doc;
+  std::string Err;
+  if (!parseShardJson(Text, Doc, Err) || Doc.ConfigHash != Hash ||
+      Doc.ShardIndex != Key.ShardIndex || Doc.RunBegin != Key.RunBegin ||
+      Doc.RunEnd != Key.RunEnd) {
+    // Corrupt or foreign entry: treat as absent; a fresh store will
+    // overwrite it.
+    ++Misses;
+    return false;
+  }
+  Out = std::move(Doc.Result);
+  ++Hits;
+  return true;
+}
+
+void ResultCache::store(const ShardKey &Key, const std::string &BenchName,
+                        const AnalysisResult &Result) {
+  std::string Text =
+      renderShardJson(Hash, BenchName, Key.BenchIndex, Key.ShardIndex,
+                      Key.RunBegin, Key.RunEnd, Result);
+  if (!writeFileAtomic(entryPath(Key), Text))
+    ++StoreFailures;
+}

@@ -126,6 +126,25 @@ std::string VarSummary::preClause(RangeMode Mode,
   return "(or " + join(Parts, " ") + ")";
 }
 
+std::string VarSummary::renderJson() const {
+  std::string Out = format(
+      "{\"count\":%llu,\"sawNaN\":%s,\"sawZero\":%s,\"example\":%s",
+      static_cast<unsigned long long>(Count), SawNaN ? "true" : "false",
+      SawZero ? "true" : "false", formatDoubleShortest(Example).c_str());
+  auto Range = [&](const char *Key, double Lo, double Hi) {
+    Out += format(",\"%s\":[%s,%s]", Key, formatDoubleShortest(Lo).c_str(),
+                  formatDoubleShortest(Hi).c_str());
+  };
+  if (HasRange)
+    Range("range", Lo, Hi);
+  if (HasNeg)
+    Range("neg", NegLo, NegHi);
+  if (HasPos)
+    Range("pos", PosLo, PosHi);
+  Out += "}";
+  return Out;
+}
+
 void InputCharacteristics::record(const std::vector<VarBinding> &Bindings) {
   for (const VarBinding &B : Bindings) {
     if (Vars.size() <= B.Idx)

@@ -1,0 +1,383 @@
+//===- support/Json.cpp - Minimal JSON reader -----------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdlib>
+
+using namespace herbgrind;
+
+double JsonValue::asDouble() const {
+  if (K != Kind::Number)
+    return 0.0;
+  return std::strtod(Num.c_str(), nullptr);
+}
+
+uint64_t JsonValue::asU64() const {
+  if (K != Kind::Number)
+    return 0;
+  return std::strtoull(Num.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::asI64() const {
+  if (K != Kind::Number)
+    return 0;
+  return std::strtoll(Num.c_str(), nullptr, 10);
+}
+
+const JsonValue *JsonValue::field(const char *Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Val] : Obj)
+    if (Key == Name)
+      return &Val;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over the document text.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value, 0)) {
+      R.Error = Err;
+      R.ErrorOffset = ErrOff;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = "trailing garbage after document";
+      R.ErrorOffset = Pos;
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  // Deep enough for any real report (symbolic expressions are depth-
+  // bounded by the analysis config), small enough to never smash the
+  // stack on adversarial input.
+  static constexpr int MaxDepth = 512;
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+  size_t ErrOff = 0;
+
+  bool fail(const std::string &Message) {
+    if (Err.empty()) {
+      Err = Message;
+      ErrOff = Pos;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        return;
+      ++Pos;
+    }
+  }
+
+  bool literal(const char *Word) {
+    size_t N = 0;
+    while (Word[N])
+      ++N;
+    if (Text.compare(Pos, N, Word) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of document");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      if (!literal("true"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    // The writers' nonfinite extension (see Json.h).
+    case 'N':
+      if (!literal("NAN"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Number;
+      Out.Num = "NAN";
+      return true;
+    case 'I':
+      if (!literal("INFINITY"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Number;
+      Out.Num = "INFINITY";
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val, Depth + 1))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Val));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Val));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool hexDigit(char C, unsigned &D) {
+    if (C >= '0' && C <= '9')
+      D = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<unsigned>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      D = static_cast<unsigned>(C - 'A' + 10);
+    else
+      return false;
+    return true;
+  }
+
+  void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  /// Reads the 4 hex digits of a \uXXXX escape (cursor already past the
+  /// 'u').
+  bool hexQuad(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned D;
+      if (!hexDigit(Text[Pos + I], D))
+        return fail("invalid \\u escape");
+      Code = (Code << 4) | D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!hexQuad(Code))
+          return false;
+        if (Code >= 0xd800 && Code <= 0xdbff) {
+          // High surrogate: a low surrogate must follow, and the pair
+          // decodes to one supplementary-plane code point.
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("high surrogate without a \\u low surrogate");
+          Pos += 2;
+          unsigned Low;
+          if (!hexQuad(Low))
+            return false;
+          if (Low < 0xdc00 || Low > 0xdfff)
+            return fail("high surrogate followed by a non-low surrogate");
+          Code = 0x10000 + ((Code - 0xd800) << 10) + (Low - 0xdc00);
+        } else if (Code >= 0xdc00 && Code <= 0xdfff) {
+          return fail("unpaired low surrogate");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    // -INFINITY: the only signed word token the writers produce.
+    if (Pos < Text.size() && Text[Pos] == 'I') {
+      if (!literal("INFINITY"))
+        return fail("invalid token");
+      Out.K = JsonValue::Kind::Number;
+      Out.Num = Text.substr(Start, Pos - Start);
+      return true;
+    }
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Pos == DigitsStart)
+      return fail("invalid number");
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      size_t FracStart = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      if (Pos == FracStart)
+        return fail("digits required after decimal point");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      size_t ExpStart = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      if (Pos == ExpStart)
+        return fail("digits required in exponent");
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = Text.substr(Start, Pos - Start);
+    return true;
+  }
+};
+
+} // namespace
+
+JsonParseResult herbgrind::parseJson(const std::string &Text) {
+  return Parser(Text).run();
+}

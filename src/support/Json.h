@@ -1,0 +1,80 @@
+//===- support/Json.h - Minimal JSON reader ---------------------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free JSON reader for the result wire format. Two
+/// properties matter here and drove the design:
+///
+///  - **Exact numeric round-trips.** Numbers keep their raw token text;
+///    `asDouble()` reparses it with strtod and `asU64()` with strtoull.
+///    Since every double the writers emit is printed with the shortest
+///    round-tripping decimal (`formatDoubleShortest`), parse(render(x))
+///    recovers x bit-for-bit.
+///  - **The writers' nonfinite extension.** `formatDoubleShortest` prints
+///    NaN and infinities as the bare tokens `NAN`, `INFINITY` and
+///    `-INFINITY` (deterministic, grep-able); the reader accepts exactly
+///    those tokens as numbers on top of RFC 8259.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_JSON_H
+#define HERBGRIND_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace herbgrind {
+
+/// One parsed JSON value (a plain owned DOM node).
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool BoolVal = false;    ///< For Bool.
+  std::string Num;         ///< For Number: the raw source token.
+  std::string Str;         ///< For String: the unescaped text.
+  std::vector<JsonValue> Arr; ///< For Array.
+  std::vector<std::pair<std::string, JsonValue>> Obj; ///< For Object.
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Reparses the raw number token as a double (exact for tokens written
+  /// with formatDoubleShortest, including NAN/INFINITY/-INFINITY).
+  double asDouble() const;
+
+  /// Reparses the raw number token as an unsigned 64-bit integer.
+  uint64_t asU64() const;
+
+  /// Reparses the raw number token as a signed 64-bit integer.
+  int64_t asI64() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *field(const char *Name) const;
+};
+
+/// Outcome of parseJson: a value, or an error with its source offset.
+struct JsonParseResult {
+  bool Ok = false;
+  JsonValue Value;
+  std::string Error;
+  size_t ErrorOffset = 0;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Nesting is bounded to keep hostile inputs from
+/// overflowing the stack.
+JsonParseResult parseJson(const std::string &Text);
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_JSON_H

@@ -43,6 +43,16 @@ public:
     Max = std::max(Max, Other.Max);
   }
 
+  /// Reconstructs an aggregate from its serialized parts (the shard
+  /// wire format's read-back path). Inverse of (count(), sum(), max()).
+  static RunningStat fromParts(uint64_t Count, double Sum, double Max) {
+    RunningStat S;
+    S.Count = Count;
+    S.Sum = Sum;
+    S.Max = Max;
+    return S;
+  }
+
   uint64_t count() const { return Count; }
   double sum() const { return Sum; }
   double max() const { return Count ? Max : 0.0; }

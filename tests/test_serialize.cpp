@@ -1,0 +1,637 @@
+//===- tests/test_serialize.cpp - Wire format & result cache --------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistence layer's contract: (1) the JSON reader round-trips
+// numbers exactly, including the writers' NAN/INFINITY extension; (2)
+// parse(render(x)) of an AnalysisResult re-renders byte-identically AND
+// merges byte-identically with the in-memory original, corpus-wide; (3)
+// presentation reports and batch documents round-trip; (4) unknown major
+// versions are rejected; (5) the result cache hits on identical sweeps,
+// invalidates on config/seed/FPCore changes, survives corruption, and a
+// warm sweep analyzes zero shards while producing identical bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "engine/ResultCache.h"
+#include "fpcore/Compile.h"
+#include "fpcore/Corpus.h"
+#include "herbgrind/Herbgrind.h"
+#include "support/FloatBits.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Program cancellationKernel() {
+  ProgramBuilder B;
+  auto X = B.input(0);
+  auto T = B.op(Opcode::SubF64, B.op(Opcode::AddF64, X, B.constF64(1.0)), X);
+  B.out(T);
+  B.halt();
+  return B.finish();
+}
+
+AnalysisResult analyzeChunk(const Program &P,
+                            const std::vector<std::vector<double>> &Inputs,
+                            size_t Begin, size_t End) {
+  Herbgrind HG(P);
+  for (size_t I = Begin; I < End; ++I)
+    HG.runOnInput(Inputs[I]);
+  return HG.snapshot();
+}
+
+/// render -> parse -> assert both re-render identity and report identity.
+AnalysisResult roundTrip(const AnalysisResult &R, const std::string &Ctx) {
+  std::string Json = renderAnalysisResultJson(R);
+  JsonParseResult Parsed = parseJson(Json);
+  EXPECT_TRUE(Parsed.Ok) << Ctx << ": " << Parsed.Error;
+  AnalysisResult Back;
+  std::string Err;
+  EXPECT_TRUE(parseAnalysisResultJson(Parsed.Value, Back, Err))
+      << Ctx << ": " << Err;
+  EXPECT_EQ(renderAnalysisResultJson(Back), Json) << Ctx;
+  EXPECT_EQ(buildReport(Back).renderJson(), buildReport(R).renderJson())
+      << Ctx;
+  return Back;
+}
+
+/// A scoped temp directory under the system temp root.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("herbgrind-test-" + Tag + "-" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+};
+
+std::vector<fpcore::Core> smallCorpusSubset(size_t MaxBenchmarks) {
+  std::vector<fpcore::Core> Cores;
+  for (const fpcore::Core &C : fpcore::corpus()) {
+    if (!fpcore::isCompilable(C))
+      continue;
+    Cores.push_back(C.clone());
+    if (Cores.size() >= MaxBenchmarks)
+      break;
+  }
+  return Cores;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The JSON reader
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesScalarsAndStructure) {
+  JsonParseResult R = parseJson(
+      "{\"a\":1,\"b\":-2.5e-3,\"c\":\"x\\n\\\"y\\\"\",\"d\":[true,false,"
+      "null],\"e\":{\"nested\":[]}}");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Value.isObject());
+  EXPECT_EQ(R.Value.field("a")->asU64(), 1u);
+  EXPECT_EQ(R.Value.field("b")->asDouble(), -2.5e-3);
+  EXPECT_EQ(R.Value.field("c")->Str, "x\n\"y\"");
+  ASSERT_TRUE(R.Value.field("d")->isArray());
+  EXPECT_EQ(R.Value.field("d")->Arr.size(), 3u);
+  EXPECT_TRUE(R.Value.field("d")->Arr[0].BoolVal);
+  EXPECT_TRUE(R.Value.field("d")->Arr[2].isNull());
+  EXPECT_TRUE(R.Value.field("e")->field("nested")->isArray());
+  EXPECT_EQ(R.Value.field("missing"), nullptr);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double X : {0.1, 1.0 / 3.0, 2.061152e-09, -1e308, 4.9e-324, 0.0,
+                   1e16, 123456789.123456789}) {
+    std::string Doc = "[" + formatDoubleShortest(X) + "]";
+    JsonParseResult R = parseJson(Doc);
+    ASSERT_TRUE(R.Ok) << Doc;
+    EXPECT_EQ(bitsOfDouble(R.Value.Arr[0].asDouble()), bitsOfDouble(X))
+        << Doc;
+  }
+}
+
+TEST(Json, AcceptsTheNonfiniteExtension) {
+  JsonParseResult R = parseJson("[NAN,INFINITY,-INFINITY]");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Value.Arr.size(), 3u);
+  EXPECT_TRUE(std::isnan(R.Value.Arr[0].asDouble()));
+  EXPECT_EQ(R.Value.Arr[1].asDouble(), HUGE_VAL);
+  EXPECT_EQ(R.Value.Arr[2].asDouble(), -HUGE_VAL);
+}
+
+TEST(Json, DecodesSurrogatePairsAndRejectsLoneSurrogates) {
+  JsonParseResult R = parseJson("\"\\ud83d\\ude00\""); // U+1F600
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.Str, "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(parseJson("\"\\ud83d\"").Ok);        // unpaired high
+  EXPECT_FALSE(parseJson("\"\\ude00\"").Ok);        // unpaired low
+  EXPECT_FALSE(parseJson("\"\\ud83d\\u0041\"").Ok); // high + non-low
+  EXPECT_FALSE(parseJson("\"\\ud83dx\"").Ok);       // high + literal
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "[1] garbage",
+        "\"unterminated", "[1.]", "[1e]", "[+1]", "{1:2}", "[Infinity]"}) {
+    EXPECT_FALSE(parseJson(Bad).Ok) << "accepted: " << Bad;
+  }
+}
+
+TEST(Json, BoundsNestingDepth) {
+  std::string Deep(2000, '[');
+  Deep += std::string(2000, ']');
+  EXPECT_FALSE(parseJson(Deep).Ok);
+  std::string Fine = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_TRUE(parseJson(Fine).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisResult round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(Serialize, KernelResultRoundTripsExactly) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs;
+  Rng R(0xbeef);
+  for (int I = 0; I < 8; ++I)
+    Inputs.push_back({R.betweenOrdinals(1.0, 1e16)});
+  AnalysisResult Result = analyzeChunk(P, Inputs, 0, 8);
+  AnalysisResult Back = roundTrip(Result, "cancellation");
+
+  // Parsed records keep exact bit-level values, not just report text.
+  for (const auto &[PC, Rec] : Result.Ops) {
+    ASSERT_TRUE(Back.Ops.count(PC));
+    const OpRecord &B = Back.Ops.at(PC);
+    EXPECT_EQ(B.Executions, Rec.Executions);
+    EXPECT_EQ(B.Flagged, Rec.Flagged);
+    EXPECT_EQ(B.NextVarIdx, Rec.NextVarIdx);
+    EXPECT_EQ(bitsOfDouble(B.LocalError.sum()),
+              bitsOfDouble(Rec.LocalError.sum()));
+    EXPECT_EQ(bitsOfDouble(B.MaxFlaggedLocalError),
+              bitsOfDouble(Rec.MaxFlaggedLocalError));
+    ASSERT_EQ(static_cast<bool>(B.Expr), static_cast<bool>(Rec.Expr));
+    if (Rec.Expr)
+      EXPECT_EQ(B.Expr->fpcoreBody(), Rec.Expr->fpcoreBody());
+    ASSERT_EQ(B.ExampleProblematic.size(), Rec.ExampleProblematic.size());
+    for (size_t I = 0; I < Rec.ExampleProblematic.size(); ++I) {
+      EXPECT_EQ(B.ExampleProblematic[I].Idx, Rec.ExampleProblematic[I].Idx);
+      EXPECT_EQ(bitsOfDouble(B.ExampleProblematic[I].Value),
+                bitsOfDouble(Rec.ExampleProblematic[I].Value));
+    }
+  }
+  for (const auto &[PC, Spot] : Result.Spots) {
+    ASSERT_TRUE(Back.Spots.count(PC));
+    EXPECT_EQ(Back.Spots.at(PC).InfluencingOps, Spot.InfluencingOps);
+    EXPECT_EQ(Back.Spots.at(PC).Kind, Spot.Kind);
+  }
+}
+
+TEST(Serialize, ParsedShardsMergeLikeInMemoryShards) {
+  // The acceptance property, benchmark by benchmark over the corpus:
+  // rendering each shard to JSON, parsing it back, and folding the parsed
+  // values produces the same report bytes as folding the originals.
+  int Tested = 0;
+  for (size_t BI = 0; BI < fpcore::corpus().size() && Tested < 10; ++BI) {
+    const fpcore::Core &C = fpcore::corpus()[BI];
+    if (!fpcore::isCompilable(C))
+      continue;
+    ++Tested;
+    Program P = fpcore::compile(C);
+    Rng R(0x1234 + BI);
+    std::vector<fpcore::VarRange> Ranges = fpcore::sampleRanges(C);
+    std::vector<std::vector<double>> Inputs;
+    for (int I = 0; I < 9; ++I) {
+      std::vector<double> In;
+      for (const fpcore::VarRange &VR : Ranges)
+        In.push_back(R.betweenOrdinals(VR.Lo, VR.Hi));
+      Inputs.push_back(std::move(In));
+    }
+
+    AnalysisResult Direct = analyzeChunk(P, Inputs, 0, 3);
+    AnalysisResult S2 = analyzeChunk(P, Inputs, 3, 6);
+    AnalysisResult S3 = analyzeChunk(P, Inputs, 6, 9);
+
+    AnalysisResult ViaWire = roundTrip(Direct, C.Name);
+    ViaWire.mergeFrom(roundTrip(S2, C.Name));
+    ViaWire.mergeFrom(roundTrip(S3, C.Name));
+
+    Direct.mergeFrom(S2);
+    Direct.mergeFrom(S3);
+    EXPECT_EQ(buildReport(ViaWire).renderJson(),
+              buildReport(Direct).renderJson())
+        << C.Name;
+  }
+  EXPECT_GE(Tested, 8);
+}
+
+TEST(Serialize, EmptyResultRoundTrips) {
+  AnalysisResult Empty;
+  Empty.Ranges = RangeMode::Single;
+  Empty.EquivDepth = 3;
+  AnalysisResult Back = roundTrip(Empty, "empty");
+  EXPECT_EQ(Back.Ranges, RangeMode::Single);
+  EXPECT_EQ(Back.EquivDepth, 3u);
+  EXPECT_TRUE(Back.Ops.empty());
+  EXPECT_TRUE(Back.Spots.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Shard documents and versioning
+//===----------------------------------------------------------------------===//
+
+TEST(Serialize, ShardDocRoundTrips) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs = {{1e15}, {2e15}, {3e15}};
+  ShardDoc Doc;
+  Doc.ConfigHash = "0123456789abcdef";
+  Doc.Benchmark = "bench \"quoted\" name";
+  Doc.BenchIndex = 3;
+  Doc.ShardIndex = 7;
+  Doc.RunBegin = 14;
+  Doc.RunEnd = 17;
+  Doc.Result = analyzeChunk(P, Inputs, 0, 3);
+  std::string Json = renderShardJson(Doc);
+
+  ShardDoc Back;
+  std::string Err;
+  ASSERT_TRUE(parseShardJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.ConfigHash, Doc.ConfigHash);
+  EXPECT_EQ(Back.Benchmark, Doc.Benchmark);
+  EXPECT_EQ(Back.BenchIndex, 3u);
+  EXPECT_EQ(Back.ShardIndex, 7u);
+  EXPECT_EQ(Back.RunBegin, 14u);
+  EXPECT_EQ(Back.RunEnd, 17u);
+  EXPECT_EQ(renderShardJson(Back), Json);
+}
+
+TEST(Serialize, RejectsUnknownMajorVersionAndForeignFormats) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs = {{1e15}};
+  std::string Json = renderShardJson("hash", "b", 0, 0, 0, 1,
+                                     analyzeChunk(P, Inputs, 0, 1));
+
+  // A future major version must be refused, not misread.
+  std::string Bumped = Json;
+  std::string Needle = format("\"major\":%d", WireFormatMajor);
+  size_t At = Bumped.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  Bumped.replace(At, Needle.size(), format("\"major\":%d",
+                                           WireFormatMajor + 1));
+  ShardDoc Out;
+  std::string Err;
+  EXPECT_FALSE(parseShardJson(Bumped, Out, Err));
+  EXPECT_NE(Err.find("major version"), std::string::npos) << Err;
+
+  // A newer *minor* version of the same major still parses.
+  std::string MinorBump = Json;
+  Needle = format("\"minor\":%d", WireFormatMinor);
+  At = MinorBump.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  MinorBump.replace(At, Needle.size(),
+                    format("\"minor\":%d", WireFormatMinor + 3));
+  ShardDoc Out2;
+  EXPECT_TRUE(parseShardJson(MinorBump, Out2, Err)) << Err;
+
+  // Wrong format tag, invalid JSON, wrong shapes.
+  ShardDoc Out3;
+  EXPECT_FALSE(parseShardJson("{\"format\":\"something-else\","
+                              "\"version\":{\"major\":1}}",
+                              Out3, Err));
+  EXPECT_FALSE(parseShardJson("not json", Out3, Err));
+  EXPECT_FALSE(parseShardJson("[]", Out3, Err));
+
+  // Inverted run ranges and negative counters must not wrap through
+  // strtoull into huge u64s.
+  std::string Inverted = Json;
+  Needle = "\"runBegin\":0,\"runEnd\":1";
+  At = Inverted.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  Inverted.replace(At, Needle.size(), "\"runBegin\":3,\"runEnd\":1");
+  ShardDoc Out4;
+  EXPECT_FALSE(parseShardJson(Inverted, Out4, Err));
+  EXPECT_NE(Err.find("precedes"), std::string::npos) << Err;
+
+  std::string Negative = Json;
+  At = Negative.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  Negative.replace(At, Needle.size(), "\"runBegin\":0,\"runEnd\":-1");
+  ShardDoc Out5;
+  EXPECT_FALSE(parseShardJson(Negative, Out5, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Presentation reports and batch documents
+//===----------------------------------------------------------------------===//
+
+TEST(Serialize, ReportRoundTripsByteIdentically) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs;
+  // Above 2^53 the +1 is swallowed entirely, so the output spot is
+  // reliably erroneous and the report non-trivial.
+  Rng R(0x7777);
+  for (int I = 0; I < 6; ++I)
+    Inputs.push_back({R.betweenOrdinals(1e16, 1e18)});
+  Report Rep = buildReport(analyzeChunk(P, Inputs, 0, 6));
+  ASSERT_FALSE(Rep.Spots.empty());
+
+  std::string Json = Rep.renderJson();
+  Report Back;
+  std::string Err;
+  ASSERT_TRUE(parseReportJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.renderJson(), Json);
+  // The parsed report also renders the same human-readable text.
+  EXPECT_EQ(Back.render(), Rep.render());
+}
+
+TEST(Serialize, BatchReportDocumentRoundTrips) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(4);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 6;
+  Cfg.ShardSize = 2;
+  BatchResult Result = Engine(Cfg).run(Cores);
+  std::string Json = Result.renderJson();
+
+  BatchReportDoc Doc;
+  std::string Err;
+  ASSERT_TRUE(parseBatchReportJson(Json, Doc, Err)) << Err;
+  ASSERT_EQ(Doc.Benchmarks.size(), Cores.size());
+  for (size_t I = 0; I < Doc.Benchmarks.size(); ++I) {
+    EXPECT_EQ(Doc.Benchmarks[I].Name, Result.Benchmarks[I].Name);
+    EXPECT_EQ(Doc.Benchmarks[I].Shards, Result.Benchmarks[I].Shards);
+    EXPECT_EQ(Doc.Benchmarks[I].Runs, Result.Benchmarks[I].Runs);
+    EXPECT_EQ(Doc.Benchmarks[I].Rep.renderJson(),
+              Result.Benchmarks[I].Rep.renderJson());
+  }
+
+  // The envelope is versioned like shard documents.
+  std::string Bumped = Json;
+  std::string Needle = format("\"major\":%d", WireFormatMajor);
+  Bumped.replace(Bumped.find(Needle), Needle.size(),
+                 format("\"major\":%d", WireFormatMajor + 1));
+  BatchReportDoc Doc2;
+  EXPECT_FALSE(parseBatchReportJson(Bumped, Doc2, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Merging emitted shard documents
+//===----------------------------------------------------------------------===//
+
+TEST(MergeShards, ReproducesTheDirectSweepByteIdentically) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(5);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 7;
+  Cfg.ShardSize = 3;
+  std::string Direct = Engine(Cfg).run(Cores).renderJson();
+
+  // Two "machines" run disjoint shard ranges, emitting wire documents.
+  TempDir DirA("emitA"), DirB("emitB");
+  EngineConfig CfgA = Cfg;
+  CfgA.ShardBegin = 0;
+  CfgA.ShardEnd = 2;
+  CfgA.EmitShardDir = DirA.Path;
+  Engine(CfgA).run(Cores);
+  EngineConfig CfgB = Cfg;
+  CfgB.ShardBegin = 2;
+  CfgB.EmitShardDir = DirB.Path;
+  Engine(CfgB).run(Cores);
+
+  std::vector<ShardDoc> Docs;
+  for (const std::string &Dir : {DirA.Path, DirB.Path})
+    for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+      std::string Text, Err;
+      ASSERT_TRUE(readFile(Entry.path().string(), Text));
+      ShardDoc Doc;
+      ASSERT_TRUE(parseShardJson(Text, Doc, Err)) << Err;
+      Docs.push_back(std::move(Doc));
+    }
+  ASSERT_EQ(Docs.size(), 5u * 3u); // ceil(7/3) = 3 shards per benchmark
+
+  BatchResult Merged;
+  std::string Err, Warnings;
+  ASSERT_TRUE(mergeShards(std::move(Docs), Merged, Err, &Warnings)) << Err;
+  EXPECT_TRUE(Warnings.empty()) << Warnings;
+  EXPECT_EQ(Merged.renderJson(), Direct);
+  EXPECT_EQ(Merged.Stats.Runs, 7u * 5u);
+}
+
+TEST(MergeShards, RejectsMixedConfigsAndDuplicates) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs = {{1e15}, {2e15}};
+  auto MakeDoc = [&](const char *Hash, uint64_t ShardIdx) {
+    ShardDoc D;
+    D.ConfigHash = Hash;
+    D.Benchmark = "k";
+    D.ShardIndex = ShardIdx;
+    D.RunBegin = ShardIdx;
+    D.RunEnd = ShardIdx + 1;
+    D.Result = analyzeChunk(P, Inputs, ShardIdx, ShardIdx + 1);
+    return D;
+  };
+
+  std::vector<ShardDoc> Mixed;
+  Mixed.push_back(MakeDoc("aaaa", 0));
+  Mixed.push_back(MakeDoc("bbbb", 1));
+  BatchResult Out;
+  std::string Err;
+  EXPECT_FALSE(mergeShards(std::move(Mixed), Out, Err));
+  EXPECT_NE(Err.find("config hash"), std::string::npos) << Err;
+
+  std::vector<ShardDoc> Dup;
+  Dup.push_back(MakeDoc("aaaa", 0));
+  Dup.push_back(MakeDoc("aaaa", 0));
+  BatchResult Out2;
+  EXPECT_FALSE(mergeShards(std::move(Dup), Out2, Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos) << Err;
+
+  std::vector<ShardDoc> Empty;
+  BatchResult Out3;
+  EXPECT_FALSE(mergeShards(std::move(Empty), Out3, Err));
+
+  // A gap merges (partial results are valid) but is reported.
+  std::vector<ShardDoc> Gappy;
+  Gappy.push_back(MakeDoc("aaaa", 0));
+  ShardDoc Later = MakeDoc("aaaa", 1);
+  Later.RunBegin = 5;
+  Later.RunEnd = 6;
+  Gappy.push_back(std::move(Later));
+  BatchResult Out4;
+  std::string Warnings;
+  EXPECT_TRUE(mergeShards(std::move(Gappy), Out4, Err, &Warnings)) << Err;
+  EXPECT_NE(Warnings.find("gap"), std::string::npos) << Warnings;
+
+  // So is a missing *leading* shard (set starts past run 0).
+  std::vector<ShardDoc> Headless;
+  Headless.push_back(MakeDoc("aaaa", 1));
+  BatchResult Out5;
+  std::string Warnings2;
+  EXPECT_TRUE(mergeShards(std::move(Headless), Out5, Err, &Warnings2))
+      << Err;
+  EXPECT_NE(Warnings2.find("starts at shard"), std::string::npos)
+      << Warnings2;
+}
+
+//===----------------------------------------------------------------------===//
+// The persistent result cache
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCache, WarmSweepAnalyzesNothingAndMatchesByteForByte) {
+  TempDir Dir("cache-warm");
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(5);
+  EngineConfig Cfg;
+  Cfg.Jobs = 3;
+  Cfg.SamplesPerBenchmark = 7;
+  Cfg.ShardSize = 3;
+  Cfg.CacheDir = Dir.Path;
+
+  BatchResult Cold = Engine(Cfg).run(Cores);
+  EXPECT_EQ(Cold.Stats.AnalyzedShards, Cold.Stats.Shards);
+  EXPECT_EQ(Cold.Stats.CachedShards, 0u);
+
+  BatchResult Warm = Engine(Cfg).run(Cores);
+  EXPECT_EQ(Warm.Stats.AnalyzedShards, 0u);
+  EXPECT_EQ(Warm.Stats.CachedShards, Warm.Stats.Shards);
+  EXPECT_EQ(Warm.renderJson(), Cold.renderJson());
+
+  // And the cached sweep matches an uncached engine too.
+  EngineConfig Plain = Cfg;
+  Plain.CacheDir.clear();
+  EXPECT_EQ(Engine(Plain).run(Cores).renderJson(), Cold.renderJson());
+}
+
+TEST(ResultCache, InvalidatesOnConfigSeedAndProgramChanges) {
+  TempDir Dir("cache-inval");
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(2);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 4;
+  Cfg.ShardSize = 2;
+  Cfg.CacheDir = Dir.Path;
+  BatchResult First = Engine(Cfg).run(Cores);
+  EXPECT_EQ(First.Stats.CachedShards, 0u);
+
+  // An analysis-config change hashes differently: full re-analysis.
+  EngineConfig Changed = Cfg;
+  Changed.Analysis.LocalErrorThreshold = 7.5;
+  EXPECT_NE(configHash(Changed), configHash(Cfg));
+  BatchResult Re = Engine(Changed).run(Cores);
+  EXPECT_EQ(Re.Stats.CachedShards, 0u);
+  EXPECT_EQ(Re.Stats.AnalyzedShards, Re.Stats.Shards);
+
+  // A seed change likewise.
+  EngineConfig Reseeded = Cfg;
+  Reseeded.Seed = 0xfeed;
+  EXPECT_NE(configHash(Reseeded), configHash(Cfg));
+  EXPECT_EQ(Engine(Reseeded).run(Cores).Stats.CachedShards, 0u);
+
+  // Swapping one benchmark for another (different FPCore identity at the
+  // same index) misses for the new program, still hits for the old one.
+  std::vector<fpcore::Core> Swapped;
+  Swapped.push_back(Cores[0].clone());
+  Swapped.push_back(smallCorpusSubset(3)[2].clone());
+  BatchResult Mixed = Engine(Cfg).run(Swapped);
+  EXPECT_EQ(Mixed.Stats.CachedShards, Mixed.Stats.Shards / 2);
+  EXPECT_EQ(Mixed.Stats.AnalyzedShards, Mixed.Stats.Shards / 2);
+
+  // The original sweep is still fully warm.
+  EXPECT_EQ(Engine(Cfg).run(Cores).Stats.AnalyzedShards, 0u);
+}
+
+TEST(ResultCache, CorruptEntriesAreMissesNotErrors) {
+  TempDir Dir("cache-corrupt");
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(2);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 4;
+  Cfg.ShardSize = 2;
+  Cfg.CacheDir = Dir.Path;
+  std::string Expected = Engine(Cfg).run(Cores).renderJson();
+
+  // Truncate one entry and scribble garbage over another.
+  std::vector<std::string> Entries;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path))
+    Entries.push_back(E.path().string());
+  ASSERT_GE(Entries.size(), 2u);
+  std::sort(Entries.begin(), Entries.end());
+  std::ofstream(Entries[0], std::ios::binary | std::ios::trunc)
+      << "{\"truncated";
+  std::ofstream(Entries[1], std::ios::binary | std::ios::trunc)
+      << "not even json";
+
+  BatchResult Re = Engine(Cfg).run(Cores);
+  EXPECT_EQ(Re.Stats.AnalyzedShards, 2u); // exactly the two spoiled ones
+  EXPECT_EQ(Re.renderJson(), Expected);
+
+  // The re-store healed them.
+  EXPECT_EQ(Engine(Cfg).run(Cores).Stats.AnalyzedShards, 0u);
+}
+
+TEST(ResultCache, EmitFailuresAreCountedNotSwallowed) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(1);
+  EngineConfig Cfg;
+  Cfg.Jobs = 1;
+  Cfg.SamplesPerBenchmark = 2;
+  Cfg.ShardSize = 2;
+  // A path that cannot be created as a directory: every write fails.
+  TempDir Dir("emit-fail");
+  std::string File = Dir.Path + "/not-a-dir";
+  std::ofstream(File, std::ios::binary) << "x";
+  Cfg.EmitShardDir = File;
+  BatchResult R = Engine(Cfg).run(Cores);
+  EXPECT_EQ(R.Stats.EmitFailures, R.Stats.Shards);
+  EXPECT_GT(R.Stats.EmitFailures, 0u);
+}
+
+TEST(ResultCache, ShardRangeSlicesShareTheCache) {
+  TempDir Dir("cache-range");
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(3);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 8;
+  Cfg.ShardSize = 2; // 4 shards per benchmark
+  Cfg.CacheDir = Dir.Path;
+
+  EngineConfig Half = Cfg;
+  Half.ShardEnd = 2;
+  BatchResult A = Engine(Half).run(Cores);
+  EXPECT_EQ(A.Stats.Shards, 3u * 2u);
+  EXPECT_EQ(A.Stats.Runs, 3u * 4u);
+
+  // The full sweep reuses the first half's shards from the cache.
+  BatchResult Full = Engine(Cfg).run(Cores);
+  EXPECT_EQ(Full.Stats.CachedShards, 3u * 2u);
+  EXPECT_EQ(Full.Stats.AnalyzedShards, 3u * 2u);
+
+  // And matches an uncached full sweep byte-for-byte.
+  EngineConfig Plain = Cfg;
+  Plain.CacheDir.clear();
+  EXPECT_EQ(Engine(Plain).run(Cores).renderJson(), Full.renderJson());
+}
