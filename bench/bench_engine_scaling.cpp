@@ -9,30 +9,114 @@
 // byte-identical to the single-worker report, so the table doubles as a
 // determinism audit.
 //
+// The run also probes the allocation-free shadow hot path: a steady-state
+// single-benchmark analysis is timed against the uninstrumented
+// interpreter (the Table 1 "Herbgrind overhead" shape) while the
+// per-thread limb allocator's counters verify that shadowed operations
+// perform zero heap allocations.
+//
+// Everything is recorded to a machine-readable JSON file (default
+// BENCH_engine.json, or --json-out FILE) so the perf trajectory is
+// tracked commit over commit.
+//
 // With a cache directory argument, a cold/warm pair of runs at the top
 // jobs count additionally measures the result cache: the warm sweep must
 // analyze zero shards and emit the same bytes.
 //
-// Usage: bench_engine_scaling [samples-per-benchmark] [shard-size]
-//                             [cache-dir]
+// Usage: bench_engine_scaling [--json-out FILE] [samples-per-benchmark]
+//                             [shard-size] [cache-dir]
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "engine/Engine.h"
+#include "support/Format.h"
+#include "support/LimbAlloc.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 using namespace herbgrind;
+using namespace herbgrind::bench;
 using namespace herbgrind::engine;
+
+namespace {
+
+/// Steady-state shadow hot path probe: analyze one transcendental-free
+/// corpus benchmark repeatedly with one reused Herbgrind instance, and
+/// count limb-cache heap allocations once the caches are warm.
+struct HotPathProbe {
+  double NativeSeconds = 0.0;
+  double HerbgrindSeconds = 0.0;
+  uint64_t ShadowOps = 0;
+  uint64_t SteadyHeapAllocs = 0;
+  uint64_t SteadyCacheHits = 0;
+  bool Ok = false;
+};
+
+HotPathProbe runHotPathProbe() {
+  HotPathProbe Probe;
+  const int Samples = 64;
+  for (const fpcore::Core &C : fpcore::corpus()) {
+    if (!isStraightLine(*C.Body) || !fpcore::isCompilable(C))
+      continue;
+    Program P = fpcore::compile(C);
+    std::vector<std::vector<double>> Inputs = sampleInputs(C, Samples);
+
+    // Warm the native baseline the same way the instrumented run is
+    // warmed below, so the recorded overhead factor compares steady
+    // state to steady state.
+    for (const auto &In : Inputs)
+      interpret(P, In);
+    Probe.NativeSeconds += timeIt([&] {
+      for (const auto &In : Inputs)
+        interpret(P, In);
+    });
+
+    Herbgrind HG(P);
+    // Warm-up pass: populates the limb cache, pool slabs, and constant
+    // caches; its allocations are one-time setup, not per-op cost.
+    for (const auto &In : Inputs)
+      HG.runOnInput(In);
+    uint64_t Ops0 = HG.stats().ShadowOpsExecuted;
+    limballoc::resetCounters();
+    Probe.HerbgrindSeconds += timeIt([&] {
+      for (const auto &In : Inputs)
+        HG.runOnInput(In);
+    });
+    Probe.SteadyHeapAllocs += limballoc::heapAllocs();
+    Probe.SteadyCacheHits += limballoc::cacheHits();
+    Probe.ShadowOps += HG.stats().ShadowOpsExecuted - Ops0;
+  }
+  Probe.Ok = Probe.ShadowOps > 0;
+  return Probe;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   EngineConfig Cfg;
-  Cfg.SamplesPerBenchmark = Argc > 1 ? std::atoi(Argv[1]) : 32;
-  Cfg.ShardSize = Argc > 2 ? std::atoi(Argv[2]) : 4;
+  std::string JsonOut = "BENCH_engine.json";
+  std::vector<const char *> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json-out") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --json-out needs a file path\n");
+        return 2;
+      }
+      JsonOut = Argv[++I];
+    } else {
+      Positional.push_back(Argv[I]);
+    }
+  }
+  Cfg.SamplesPerBenchmark =
+      Positional.size() > 0 ? std::atoi(Positional[0]) : 32;
+  Cfg.ShardSize = Positional.size() > 1 ? std::atoi(Positional[1]) : 4;
 
   unsigned HW = std::thread::hardware_concurrency();
   if (HW == 0)
@@ -52,6 +136,7 @@ int main(int Argc, char **Argv) {
   std::printf("%6s %10s %10s %9s %11s  %s\n", "jobs", "wall(s)", "runs/s",
               "speedup", "efficiency", "deterministic");
 
+  std::string JobsJson;
   std::string Reference;
   double BaseSeconds = 0.0;
   for (unsigned J : JobCounts) {
@@ -74,14 +159,47 @@ int main(int Argc, char **Argv) {
                 Identical ? "yes" : "NO -- BUG");
     if (!Identical)
       return 1;
+    if (!JobsJson.empty())
+      JobsJson += ",";
+    JobsJson += format(
+        "{\"jobs\":%u,\"wall_s\":%s,\"runs\":%llu,\"runs_per_s\":%s,"
+        "\"speedup\":%s,\"deterministic\":true}",
+        J, formatDoubleShortest(R.Stats.WallSeconds).c_str(),
+        static_cast<unsigned long long>(R.Stats.Runs),
+        formatDoubleShortest(R.Stats.Runs /
+                             std::max(R.Stats.WallSeconds, 1e-9))
+            .c_str(),
+        formatDoubleShortest(Speedup).c_str());
   }
 
-  if (Argc > 3) {
+  // The allocation-free hot path probe (bench_table1_overhead's Herbgrind
+  // row, instrumented): zero steady-state heap allocations is the
+  // structural claim; the overhead factor is the perf trajectory number.
+  HotPathProbe Probe = runHotPathProbe();
+  double Overhead = Probe.NativeSeconds > 0.0
+                        ? Probe.HerbgrindSeconds / Probe.NativeSeconds
+                        : 0.0;
+  double AllocsPerOp =
+      Probe.ShadowOps
+          ? static_cast<double>(Probe.SteadyHeapAllocs) / Probe.ShadowOps
+          : 0.0;
+  std::printf("\nshadow hot path (steady state, straight-line corpus):\n"
+              "  native %.3fs, herbgrind %.3fs (%.1fx overhead); "
+              "%llu shadow ops, %llu heap allocs (%.6f/op), "
+              "%llu limb-cache hits\n",
+              Probe.NativeSeconds, Probe.HerbgrindSeconds, Overhead,
+              static_cast<unsigned long long>(Probe.ShadowOps),
+              static_cast<unsigned long long>(Probe.SteadyHeapAllocs),
+              AllocsPerOp,
+              static_cast<unsigned long long>(Probe.SteadyCacheHits));
+
+  std::string CacheJson = "null";
+  if (Positional.size() > 2) {
     // Result-cache section: a cold sweep populates the cache, the warm
     // sweep must satisfy every shard from it and reproduce the bytes.
     Cfg.Jobs = JobCounts.back();
-    Cfg.CacheDir = Argv[3];
-    std::printf("\nresult cache (%s), jobs %u:\n", Argv[3], Cfg.Jobs);
+    Cfg.CacheDir = Positional[2];
+    std::printf("\nresult cache (%s), jobs %u:\n", Positional[2], Cfg.Jobs);
     Engine Eng(Cfg);
     BatchResult Cold = Eng.runCorpus();
     BatchResult Warm = Eng.runCorpus();
@@ -100,6 +218,57 @@ int main(int Argc, char **Argv) {
                 Speedup, Identical ? "yes" : "NO -- BUG");
     if (!Identical || Warm.Stats.AnalyzedShards != 0)
       return 1;
+    CacheJson = format(
+        "{\"cold_s\":%s,\"warm_s\":%s,\"warm_cached_shards\":%llu,"
+        "\"warm_speedup\":%s}",
+        formatDoubleShortest(Cold.Stats.WallSeconds).c_str(),
+        formatDoubleShortest(Warm.Stats.WallSeconds).c_str(),
+        static_cast<unsigned long long>(Warm.Stats.CachedShards),
+        formatDoubleShortest(Speedup).c_str());
+  }
+
+  std::string Json = format(
+      "{\"schema\":\"herbgrind-bench-engine-v1\","
+      "\"samples_per_benchmark\":%d,\"shard_size\":%d,"
+      "\"hardware_threads\":%u,\"jobs\":[%s],"
+      "\"hot_path\":{\"native_s\":%s,\"herbgrind_s\":%s,"
+      "\"overhead_factor\":%s,\"shadow_ops\":%llu,"
+      "\"steady_heap_allocs\":%llu,\"allocs_per_op\":%s,"
+      "\"limb_cache_hits\":%llu},"
+      "\"cache\":%s}\n",
+      Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
+      formatDoubleShortest(Probe.NativeSeconds).c_str(),
+      formatDoubleShortest(Probe.HerbgrindSeconds).c_str(),
+      formatDoubleShortest(Overhead).c_str(),
+      static_cast<unsigned long long>(Probe.ShadowOps),
+      static_cast<unsigned long long>(Probe.SteadyHeapAllocs),
+      formatDoubleShortest(AllocsPerOp).c_str(),
+      static_cast<unsigned long long>(Probe.SteadyCacheHits),
+      CacheJson.c_str());
+  std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
+  if (Out) {
+    Out << Json;
+    std::printf("\nrecorded %s\n", JsonOut.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", JsonOut.c_str());
+  }
+
+  // The zero-allocation acceptance gate: a steady-state shadowed op must
+  // not reach the heap at the default 256-bit precision. A probe that
+  // measured nothing is itself a failure -- otherwise a corpus change
+  // could silently turn the gate vacuous.
+  if (!Probe.Ok) {
+    std::fprintf(stderr, "FAIL: hot-path probe matched no straight-line "
+                         "benchmarks; the zero-allocation gate measured "
+                         "nothing\n");
+    return 1;
+  }
+  if (Probe.SteadyHeapAllocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations in steady-state shadow "
+                 "execution (expected 0)\n",
+                 static_cast<unsigned long long>(Probe.SteadyHeapAllocs));
+    return 1;
   }
   return 0;
 }

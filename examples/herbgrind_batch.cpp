@@ -32,6 +32,8 @@
 #include "fpcore/Corpus.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -55,6 +57,11 @@ static int usage(const char *Prog) {
       "  --name BENCH      analyze one corpus benchmark (repeatable)\n"
       "  --cache-dir DIR   persistent shard-result cache: repeated sweeps\n"
       "                    analyze only new or invalidated shards\n"
+      "  --cache-max-bytes N  prune the cache to N bytes after the sweep\n"
+      "                    (LRU by mtime; 0 = unbounded, the default)\n"
+      "  --cache-gc        GC mode: prune --cache-dir to an explicitly\n"
+      "                    given --cache-max-bytes and exit (no analysis;\n"
+      "                    an explicit 0 empties the cache)\n"
       "  --emit-shard DIR  also write each shard result as a wire-format\n"
       "                    document (for --merge-shards on another machine)\n"
       "  --shard-range LO:HI  run only per-benchmark shard indices\n"
@@ -177,9 +184,44 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
   return Rc;
 }
 
+/// `--cache-gc`: a standalone LRU pruning pass over a cache directory.
+/// The cap must be explicit: in sweep mode an absent --cache-max-bytes
+/// means "unbounded", and silently turning that default into "delete
+/// everything" here would be a trap.
+static int runCacheGc(const std::string &CacheDir, uint64_t MaxBytes,
+                      bool MaxBytesSet) {
+  if (CacheDir.empty()) {
+    std::fprintf(stderr, "error: --cache-gc needs --cache-dir\n");
+    return 2;
+  }
+  if (!MaxBytesSet) {
+    std::fprintf(stderr,
+                 "error: --cache-gc needs an explicit --cache-max-bytes "
+                 "(0 empties the cache)\n");
+    return 2;
+  }
+  CacheGcStats Stats;
+  std::string Err;
+  if (!gcCacheDir(CacheDir, MaxBytes, Stats, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "cache %s: %llu entries (%llu bytes); pruned %llu entries "
+               "(%llu bytes) to fit %llu bytes\n",
+               CacheDir.c_str(),
+               static_cast<unsigned long long>(Stats.Entries),
+               static_cast<unsigned long long>(Stats.Bytes),
+               static_cast<unsigned long long>(Stats.PrunedEntries),
+               static_cast<unsigned long long>(Stats.PrunedBytes),
+               static_cast<unsigned long long>(MaxBytes));
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   EngineConfig Cfg;
-  bool Json = false, SelfTest = false, MergeShards = false;
+  bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
+  bool CacheMaxSet = false;
   std::string OutFile;
   std::vector<Core> Cores;
   std::vector<std::string> MergeArgs;
@@ -223,6 +265,29 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Cfg.CacheDir = V;
+    } else if (std::strcmp(Arg, "--cache-max-bytes") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      char *End = nullptr;
+      errno = 0;
+      Cfg.CacheMaxBytes = std::strtoull(V, &End, 10);
+      // A partially-consumed value ("1G", "abc") must not silently become
+      // a tiny cap that the GC then prunes everything to, a negative one
+      // must not wrap to an effectively unbounded cap, base 10 keeps
+      // "010" meaning ten (not octal eight), and an out-of-range value
+      // must not saturate to an unbounded cap.
+      if (*V == 0 || !std::isdigit(static_cast<unsigned char>(*V)) ||
+          End == nullptr || *End != 0 || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: --cache-max-bytes wants a plain byte count, "
+                     "got '%s'\n",
+                     V);
+        return 2;
+      }
+      CacheMaxSet = true;
+    } else if (std::strcmp(Arg, "--cache-gc") == 0) {
+      CacheGc = true;
     } else if (std::strcmp(Arg, "--emit-shard") == 0) {
       const char *V = NextValue();
       if (!V)
@@ -294,6 +359,9 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (CacheGc)
+    return runCacheGc(Cfg.CacheDir, Cfg.CacheMaxBytes, CacheMaxSet);
+
   if (MergeShards)
     return runMergeShards(MergeArgs, Json, OutFile);
 
@@ -329,6 +397,9 @@ int main(int Argc, char **Argv) {
   }
 
   BatchResult Result = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+  if (!Result.Stats.CacheGcError.empty())
+    std::fprintf(stderr, "warning: cache GC failed (cap not enforced): %s\n",
+                 Result.Stats.CacheGcError.c_str());
   if (Result.Stats.EmitFailures > 0) {
     std::fprintf(stderr,
                  "error: failed to write %llu shard document(s) to %s; "

@@ -64,6 +64,24 @@ Herbgrind::Herbgrind(const Program &P, AnalysisConfig Config)
   Skippable.reserve(Prog.size());
   for (const Statement &S : Prog.statements())
     Skippable.push_back(computeSkippable(S, TempTypes));
+  // One shadow state serves every run: runOnInput resets it in place, so
+  // its value pool and memory-table buckets are reused run over run.
+  Shadow = std::make_unique<ShadowState>(Arena, Sets, Prog.numTemps(),
+                                         Cfg.UsePools,
+                                         Cfg.SharedShadowValues);
+}
+
+void Herbgrind::reset() {
+  Shadow->reset();
+  Arena.resetForReuse();
+  // Interned influence sets survive on purpose: they are value-interned,
+  // so reuse cannot change results, only skip re-interning.
+  Ops.clear();
+  Spots.clear();
+  LastOutputs.clear();
+  TotalSteps = 0;
+  ShadowOps = 0;
+  Skipped = 0;
 }
 
 AnalysisStats Herbgrind::stats() const {
@@ -72,8 +90,7 @@ AnalysisStats Herbgrind::stats() const {
   St.ShadowOpsExecuted = ShadowOps;
   St.SkippedByTypeAnalysis = Skipped;
   St.TraceNodesAllocated = Arena.totalAllocated();
-  St.ShadowValuesAllocated =
-      ShadowValuesEver + (Shadow ? Shadow->totalValuesCreated() : 0);
+  St.ShadowValuesAllocated = Shadow->totalValuesCreated();
   St.InfluenceSetsInterned = Sets.internedSets();
   return St;
 }
@@ -124,12 +141,10 @@ double Herbgrind::valueErrorBits(const ShadowValue *SV,
 void Herbgrind::runOnInput(const std::vector<double> &Inputs) {
   MachineState State(Prog, Inputs);
   // Shadow state is per-run: concrete memory starts fresh, so stale shadow
-  // cells from a previous run would be wrong.
-  if (Shadow)
-    ShadowValuesEver += Shadow->totalValuesCreated();
-  Shadow = std::make_unique<ShadowState>(Arena, Sets, Prog.numTemps(),
-                                         Cfg.UsePools,
-                                         Cfg.SharedShadowValues);
+  // cells from a previous run would be wrong. Resetting in place (instead
+  // of rebuilding) keeps the value pool's slabs and the memory table's
+  // buckets warm across the runs of a shard.
+  Shadow->reset();
 
   bool Running = true;
   while (Running && State.Steps < Cfg.MaxSteps) {
@@ -412,8 +427,10 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
     Reals[I] = ArgSV[I]->Real;
   }
 
-  // [[.]]_R: the op over the reals.
-  BigFloat RealResult = evalRealOp(Op, Reals, NumArgs);
+  // [[.]]_R: the op over the reals, destination-passing straight into the
+  // value the result shadow will own.
+  BigFloat RealResult;
+  evalRealOpInto(RealResult, Op, Reals, NumArgs);
 
   // Local error (Section 4.2): the error the op would produce even on
   // exactly-computed inputs: E( F(f_R(v)), f_F(F(v)) ).
@@ -557,15 +574,18 @@ void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
     return;
   }
   ValueType Ty = Args[0].Ty;
-  auto RealOf = [&](ShadowValue *SV, const Value &V) {
+  BigFloat TmpA, TmpB;
+  auto RealOf = [&](ShadowValue *SV, const Value &V,
+                    BigFloat &Tmp) -> const BigFloat & {
     if (SV)
-      return SV->Real;
-    return Ty == ValueType::F32
-               ? BigFloat::fromFloat(V.F32, Cfg.PrecisionBits)
-               : BigFloat::fromDouble(V.F64, Cfg.PrecisionBits);
+      return SV->Real; // borrow the shadow's real; no copy on the hot path
+    Tmp = Ty == ValueType::F32
+              ? BigFloat::fromFloat(V.F32, Cfg.PrecisionBits)
+              : BigFloat::fromDouble(V.F64, Cfg.PrecisionBits);
+    return Tmp;
   };
-  bool RealPred = evalRealPredicate(S.Op, RealOf(A, Args[0]),
-                                    RealOf(B, Args[1]));
+  bool RealPred = evalRealPredicate(S.Op, RealOf(A, Args[0], TmpA),
+                                    RealOf(B, Args[1], TmpB));
   bool FloatPred = Result.asI64() != 0;
   // Note: Figure 4 in the paper attaches the argument influences to the
   // *agreeing* case; per the surrounding text ("cases when it diverges ...

@@ -151,6 +151,13 @@ public:
   /// Runs the program once under full instrumentation; records accumulate.
   void runOnInput(const std::vector<double> &Inputs);
 
+  /// Clears every accumulated record and all shadow state, returning the
+  /// instance to its freshly-constructed condition while keeping its
+  /// arenas' slabs, interned influence sets, and compiled program. A reset
+  /// instance produces records identical to a new one's; the batch engine
+  /// uses this to recycle worker-local instances across shards.
+  void reset();
+
   /// Per-operation records accumulated so far, keyed by pc. Live views:
   /// they grow as runOnInput is called.
   const std::map<uint32_t, OpRecord> &opRecords() const { return Ops; }
@@ -213,7 +220,6 @@ private:
   uint64_t TotalSteps = 0;
   uint64_t ShadowOps = 0;
   uint64_t Skipped = 0;
-  size_t ShadowValuesEver = 0;
 };
 
 } // namespace herbgrind

@@ -12,105 +12,154 @@
 
 using namespace herbgrind;
 
-BigFloat herbgrind::evalRealOp(Opcode Op, const BigFloat *Args,
+void herbgrind::evalRealOpInto(BigFloat &Dst, Opcode Op, const BigFloat *Args,
                                unsigned NumArgs) {
   assert(NumArgs == opInfo(Op).Arity && "arity mismatch");
   (void)NumArgs;
   const BigFloat &A = Args[0];
   switch (Op) {
+  // The core arithmetic runs destination-passing end to end: no temporary
+  // shadow value is materialized anywhere on this path.
   case Opcode::AddF64:
   case Opcode::AddF32:
-    return BigFloat::add(A, Args[1]);
+    BigFloat::addInto(Dst, A, Args[1]);
+    return;
   case Opcode::SubF64:
   case Opcode::SubF32:
-    return BigFloat::sub(A, Args[1]);
+    BigFloat::subInto(Dst, A, Args[1]);
+    return;
   case Opcode::MulF64:
   case Opcode::MulF32:
-    return BigFloat::mul(A, Args[1]);
+    BigFloat::mulInto(Dst, A, Args[1]);
+    return;
   case Opcode::DivF64:
   case Opcode::DivF32:
-    return BigFloat::div(A, Args[1]);
+    BigFloat::divInto(Dst, A, Args[1]);
+    return;
   case Opcode::SqrtF64:
   case Opcode::SqrtF32:
-    return BigFloat::sqrt(A);
+    BigFloat::sqrtInto(Dst, A);
+    return;
   case Opcode::NegF64:
   case Opcode::NegF32:
-    return A.negated();
+    Dst = A.negated();
+    return;
   case Opcode::AbsF64:
   case Opcode::AbsF32:
-    return A.abs();
+    Dst = A.abs();
+    return;
   case Opcode::MinF64:
-    return BigFloat::fmin(A, Args[1]);
+    Dst = BigFloat::fmin(A, Args[1]);
+    return;
   case Opcode::MaxF64:
-    return BigFloat::fmax(A, Args[1]);
+    Dst = BigFloat::fmax(A, Args[1]);
+    return;
   case Opcode::FmaF64:
-    return BigFloat::fma(A, Args[1], Args[2]);
+    Dst = BigFloat::fma(A, Args[1], Args[2]);
+    return;
   case Opcode::CopySignF64:
-    return A.copySign(Args[1]);
+    Dst = A.copySign(Args[1]);
+    return;
 
+  // Wrapped library calls: the transcendental kernels draw their
+  // temporaries from the per-thread limb cache, so these too are
+  // allocation-free in steady state.
   case Opcode::ExpF64:
-    return realmath::exp(A);
+    Dst = realmath::exp(A);
+    return;
   case Opcode::Exp2F64:
-    return realmath::exp2(A);
+    Dst = realmath::exp2(A);
+    return;
   case Opcode::Expm1F64:
-    return realmath::expm1(A);
+    Dst = realmath::expm1(A);
+    return;
   case Opcode::LogF64:
-    return realmath::log(A);
+    Dst = realmath::log(A);
+    return;
   case Opcode::Log2F64:
-    return realmath::log2(A);
+    Dst = realmath::log2(A);
+    return;
   case Opcode::Log10F64:
-    return realmath::log10(A);
+    Dst = realmath::log10(A);
+    return;
   case Opcode::Log1pF64:
-    return realmath::log1p(A);
+    Dst = realmath::log1p(A);
+    return;
   case Opcode::SinF64:
-    return realmath::sin(A);
+    Dst = realmath::sin(A);
+    return;
   case Opcode::CosF64:
-    return realmath::cos(A);
+    Dst = realmath::cos(A);
+    return;
   case Opcode::TanF64:
-    return realmath::tan(A);
+    Dst = realmath::tan(A);
+    return;
   case Opcode::AsinF64:
-    return realmath::asin(A);
+    Dst = realmath::asin(A);
+    return;
   case Opcode::AcosF64:
-    return realmath::acos(A);
+    Dst = realmath::acos(A);
+    return;
   case Opcode::AtanF64:
-    return realmath::atan(A);
+    Dst = realmath::atan(A);
+    return;
   case Opcode::Atan2F64:
-    return realmath::atan2(A, Args[1]);
+    Dst = realmath::atan2(A, Args[1]);
+    return;
   case Opcode::SinhF64:
-    return realmath::sinh(A);
+    Dst = realmath::sinh(A);
+    return;
   case Opcode::CoshF64:
-    return realmath::cosh(A);
+    Dst = realmath::cosh(A);
+    return;
   case Opcode::TanhF64:
-    return realmath::tanh(A);
+    Dst = realmath::tanh(A);
+    return;
   case Opcode::PowF64:
-    return realmath::pow(A, Args[1]);
+    Dst = realmath::pow(A, Args[1]);
+    return;
   case Opcode::CbrtF64:
-    return realmath::cbrt(A);
+    Dst = realmath::cbrt(A);
+    return;
   case Opcode::HypotF64:
-    return realmath::hypot(A, Args[1]);
+    Dst = realmath::hypot(A, Args[1]);
+    return;
   case Opcode::FmodF64:
-    return realmath::fmod(A, Args[1]);
+    Dst = realmath::fmod(A, Args[1]);
+    return;
 
   case Opcode::FloorF64:
-    return A.floor();
+    Dst = A.floor();
+    return;
   case Opcode::CeilF64:
-    return A.ceil();
+    Dst = A.ceil();
+    return;
   case Opcode::RoundF64:
-    return A.roundNearest();
+    Dst = A.roundNearest();
+    return;
   case Opcode::TruncF64:
-    return A.trunc();
+    Dst = A.trunc();
+    return;
 
   // Conversions are the identity over the reals; any precision change is
   // pure rounding, which the local-error metric accounts for separately.
   case Opcode::F64toF32:
   case Opcode::F32toF64:
-    return A;
+    Dst = A;
+    return;
 
   default:
     break;
   }
-  assert(false && "evalRealOp on an opcode without real semantics");
-  return BigFloat::nan();
+  assert(false && "evalRealOpInto on an opcode without real semantics");
+  Dst = BigFloat::nan();
+}
+
+BigFloat herbgrind::evalRealOp(Opcode Op, const BigFloat *Args,
+                               unsigned NumArgs) {
+  BigFloat R;
+  evalRealOpInto(R, Op, Args, NumArgs);
+  return R;
 }
 
 bool herbgrind::evalRealPredicate(Opcode Op, const BigFloat &A,

@@ -21,10 +21,17 @@
 
 namespace herbgrind {
 
-/// Evaluates a scalar float opcode over reals. \p Args must have the
-/// opcode's arity. Works for every opcode with a float result that
-/// evalScalarOp supports (including conversions, whose real semantics is
-/// the identity).
+/// Evaluates a scalar float opcode over reals into \p Dst (which may alias
+/// an argument). \p Args must have the opcode's arity. Works for every
+/// opcode with a float result that evalScalarOp supports (including
+/// conversions, whose real semantics is the identity). This is the shadow
+/// hot path's entry point: with the core ops' destination-passing forms and
+/// BigFloat's inline limb storage it performs no heap allocation at the
+/// default precision.
+void evalRealOpInto(BigFloat &Dst, Opcode Op, const BigFloat *Args,
+                    unsigned NumArgs);
+
+/// Value-returning convenience wrapper around evalRealOpInto.
 BigFloat evalRealOp(Opcode Op, const BigFloat *Args, unsigned NumArgs);
 
 /// Evaluates a float comparison opcode over reals (IEEE NaN semantics).

@@ -71,8 +71,11 @@ Engine::Engine(EngineConfig Config) : Cfg(Config) {
     Cfg.ShardSize = 1;
   if (Cfg.ShardEnd < Cfg.ShardBegin)
     Cfg.ShardEnd = Cfg.ShardBegin;
-  if (!Cfg.CacheDir.empty())
+  if (!Cfg.CacheDir.empty()) {
     RC = std::make_unique<ResultCache>(Cfg.CacheDir, configHash(Cfg));
+    // True LRU recency only matters when something will prune by it.
+    RC->setTouchOnHit(Cfg.CacheMaxBytes > 0);
+  }
 }
 
 Engine::~Engine() = default;
@@ -101,8 +104,13 @@ struct BenchFold {
 
 } // namespace
 
+/// Monotonic id per Engine::run call; guards the worker-local analyzer
+/// cache against ever comparing a recycled Program address across runs.
+static std::atomic<uint64_t> GlobalRunCounter{0};
+
 BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   auto Start = std::chrono::steady_clock::now();
+  const uint64_t RunId = GlobalRunCounter.fetch_add(1) + 1;
   size_t CacheHits0 = Cache.hits(), CacheMisses0 = Cache.misses();
   // Core identities (printed FPCores) feed only cache keys; emit-only
   // runs stamp documents with the config hash alone, computed once.
@@ -159,9 +167,13 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   {
     ThreadPool Pool(Cfg.Jobs);
     for (size_t S = 0; S < Shards.size(); ++S) {
-      Pool.submit([this, S, &Shards, &Cores, &Inputs, &Seeds, &Identities,
-                   &Folds, &Out, &Analyzed, &Cached, &EmitFailed,
-                   &CfgHash] {
+      // Benchmark-affine placement: a benchmark's shards land on one
+      // worker (stealing still rebalances), so the worker-local analyzer
+      // below actually gets reused across them at any jobs count.
+      Pool.submitTo(Shards[S].Bench, [this, S, RunId, &Shards, &Cores,
+                                      &Inputs, &Seeds, &Identities, &Folds,
+                                      &Out, &Analyzed, &Cached, &EmitFailed,
+                                      &CfgHash] {
         const Shard &Sh = Shards[S];
         ResultCache::ShardKey Key;
         if (RC) {
@@ -178,11 +190,34 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
         if (FromCache) {
           ++Cached;
         } else {
+          // Worker-local analyzer reuse: consecutive shards of the same
+          // benchmark on this worker recycle one Herbgrind instance --
+          // its trace arena, shadow-value pool, interned influence sets,
+          // and per-thread limb scratch all stay warm -- instead of
+          // rebuilding the arenas per shard. reset() restores the exact
+          // fresh-instance records contract, so reports stay byte-
+          // identical at any worker count (the selftest checks this).
+          // The Program-address identity is only meaningful within one
+          // run() (ProgramCache never evicts during it); the RunId in
+          // the key makes a recycled Program address harmless even if
+          // worker threads ever outlive a run.
+          struct WorkerAnalyzer {
+            uint64_t Run = 0;
+            const Program *Prog = nullptr;
+            std::unique_ptr<Herbgrind> HG;
+          };
+          thread_local WorkerAnalyzer WA;
           const Program &P = Cache.get(Cores[Sh.Bench]);
-          Herbgrind HG(P, Cfg.Analysis);
+          if (WA.Run == RunId && WA.Prog == &P && WA.HG) {
+            WA.HG->reset();
+          } else {
+            WA.HG = std::make_unique<Herbgrind>(P, Cfg.Analysis);
+            WA.Run = RunId;
+            WA.Prog = &P;
+          }
           for (size_t I = Sh.Begin; I < Sh.End; ++I)
-            HG.runOnInput(Inputs[Sh.Bench][I]);
-          Result = HG.snapshot();
+            WA.HG->runOnInput(Inputs[Sh.Bench][I]);
+          Result = WA.HG->snapshot();
           ++Analyzed;
           if (RC)
             RC->store(Key, Cores[Sh.Bench].Name, Result);
@@ -239,6 +274,19 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   Out.Stats.EmitFailures = EmitFailed.load();
   Out.Stats.CacheHits = Cache.hits() - CacheHits0;
   Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;
+  if (RC && Cfg.CacheMaxBytes > 0) {
+    // Post-run LRU pruning keeps the result cache under its cap; a
+    // failure never fails the sweep (the cache is an accelerator, not
+    // load-bearing) but is reported so an unenforced cap is visible.
+    CacheGcStats Gc;
+    std::string GcErr;
+    if (RC->gc(Cfg.CacheMaxBytes, Gc, GcErr)) {
+      Out.Stats.CachePrunedEntries = Gc.PrunedEntries;
+      Out.Stats.CachePrunedBytes = Gc.PrunedBytes;
+    } else {
+      Out.Stats.CacheGcError = std::move(GcErr);
+    }
+  }
   Out.Stats.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();

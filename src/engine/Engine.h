@@ -65,6 +65,12 @@ struct EngineConfig {
   /// Cached shards skip analysis entirely and fold into the sweep through
   /// the same in-order reduction, byte-identically.
   std::string CacheDir;
+  /// Size cap for CacheDir in bytes; when nonzero, the sweep ends with an
+  /// LRU-by-mtime garbage collection pass that prunes the directory down
+  /// to the cap (see engine::gcCacheDir). 0 leaves the cache unbounded.
+  /// Never part of the config hash: pruning changes what is cached, not
+  /// what any shard's records contain.
+  uint64_t CacheMaxBytes = 0;
   /// When non-empty, every shard's result is also written here as a wire
   /// format document (shard-b<bench>-s<shard>.json) for off-machine
   /// merging with mergeShards / `herbgrind_batch --merge-shards`.
@@ -100,6 +106,12 @@ struct EngineStats {
                                ///< error: the emitted set is incomplete).
   uint64_t CacheHits = 0;      ///< Compiled-program cache hits.
   uint64_t CacheMisses = 0;    ///< Compiled-program cache misses.
+  uint64_t CachePrunedEntries = 0; ///< Result-cache entries GC'd post-run.
+  uint64_t CachePrunedBytes = 0;   ///< Bytes the post-run GC reclaimed.
+  /// Non-empty when a configured post-run cache GC failed: the cap was
+  /// NOT enforced this sweep. Callers should surface this to the
+  /// operator (the CLI prints it to stderr).
+  std::string CacheGcError;
   double WallSeconds = 0.0;
 };
 

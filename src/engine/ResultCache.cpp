@@ -9,11 +9,13 @@
 #include "engine/Engine.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 using namespace herbgrind;
 using namespace herbgrind::engine;
@@ -120,8 +122,9 @@ std::string ResultCache::entryPath(const ShardKey &Key) const {
 }
 
 bool ResultCache::lookup(const ShardKey &Key, AnalysisResult &Out) {
+  std::string Path = entryPath(Key);
   std::string Text;
-  if (!readFile(entryPath(Key), Text)) {
+  if (!readFile(Path, Text)) {
     ++Misses;
     return false;
   }
@@ -137,6 +140,13 @@ bool ResultCache::lookup(const ShardKey &Key, AnalysisResult &Out) {
   }
   Out = std::move(Doc.Result);
   ++Hits;
+  if (TouchOnHit) {
+    // Refresh the entry so LRU-by-mtime pruning (gcCacheDir) keeps hot
+    // shards.
+    std::error_code Ec;
+    std::filesystem::last_write_time(
+        Path, std::filesystem::file_time_type::clock::now(), Ec);
+  }
   return true;
 }
 
@@ -147,4 +157,66 @@ void ResultCache::store(const ShardKey &Key, const std::string &BenchName,
                       Key.RunBegin, Key.RunEnd, Result);
   if (!writeFileAtomic(entryPath(Key), Text))
     ++StoreFailures;
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+bool herbgrind::engine::gcCacheDir(const std::string &Dir, uint64_t MaxBytes,
+                                   CacheGcStats &Stats, std::string &Err) {
+  namespace fs = std::filesystem;
+  struct Entry {
+    fs::path Path;
+    fs::file_time_type MTime;
+    uint64_t Size;
+  };
+  std::vector<Entry> Entries;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec), End;
+  if (Ec) {
+    Err = format("cannot read cache directory %s: %s", Dir.c_str(),
+                 Ec.message().c_str());
+    return false;
+  }
+  const std::string Suffix = ".shard.json";
+  for (; !Ec && It != End; It.increment(Ec)) {
+    const fs::path &P = It->path();
+    std::string Name = P.filename().string();
+    if (Name.size() < Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    std::error_code SizeEc, TimeEc;
+    uint64_t Size = fs::file_size(P, SizeEc);
+    fs::file_time_type MTime = fs::last_write_time(P, TimeEc);
+    if (SizeEc || TimeEc)
+      continue; // vanished under a concurrent writer: skip
+    Entries.push_back({P, MTime, Size});
+    ++Stats.Entries;
+    Stats.Bytes += Size;
+  }
+  if (Ec) {
+    Err = format("cannot read cache directory %s: %s", Dir.c_str(),
+                 Ec.message().c_str());
+    return false;
+  }
+
+  if (Stats.Bytes <= MaxBytes)
+    return true;
+
+  // Oldest first; prune until the survivors fit the cap.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.MTime < B.MTime; });
+  uint64_t Remaining = Stats.Bytes;
+  for (const Entry &E : Entries) {
+    if (Remaining <= MaxBytes)
+      break;
+    std::error_code RmEc;
+    if (!fs::remove(E.Path, RmEc) || RmEc)
+      continue; // already gone or busy: fine either way
+    Remaining -= E.Size;
+    ++Stats.PrunedEntries;
+    Stats.PrunedBytes += E.Size;
+  }
+  return true;
 }

@@ -53,6 +53,23 @@ bool writeFileAtomic(const std::string &Path, const std::string &Data);
 /// read.
 bool readFile(const std::string &Path, std::string &Out);
 
+/// Outcome of a cache garbage collection pass.
+struct CacheGcStats {
+  uint64_t Entries = 0;       ///< Cache entries found before pruning.
+  uint64_t Bytes = 0;         ///< Their total size in bytes.
+  uint64_t PrunedEntries = 0; ///< Entries deleted by this pass.
+  uint64_t PrunedBytes = 0;   ///< Bytes reclaimed by this pass.
+};
+
+/// Prunes a cache directory's `*.shard.json` entries down to at most
+/// \p MaxBytes, deleting least-recently-used entries first (mtime order;
+/// caches with touch-on-hit enabled refresh entries on lookup, so hot
+/// shards survive). MaxBytes 0 empties the cache. Tolerates concurrent writers: entries that vanish
+/// mid-scan are skipped. Returns false only when the directory itself
+/// cannot be read.
+bool gcCacheDir(const std::string &Dir, uint64_t MaxBytes, CacheGcStats &Stats,
+                std::string &Err);
+
 /// The persistent cache. One instance serves all of an engine's workers
 /// concurrently; the only shared mutable state is the hit/miss counters.
 class ResultCache {
@@ -88,6 +105,19 @@ public:
   /// debugging).
   std::string entryPath(const ShardKey &Key) const;
 
+  /// Prunes this cache's directory to \p MaxBytes (LRU by mtime); see
+  /// gcCacheDir.
+  bool gc(uint64_t MaxBytes, CacheGcStats &Stats, std::string &Err) const {
+    return gcCacheDir(Dir, MaxBytes, Stats, Err);
+  }
+
+  /// Enables refreshing an entry's mtime on every hit so LRU pruning sees
+  /// true recency. Off by default: without a size cap the extra metadata
+  /// write per hit buys nothing and perturbs mtimes that rsync-shared
+  /// caches compare. When left off, gcCacheDir's LRU order degrades to
+  /// FIFO-by-store-time, which is still a correct pruning order.
+  void setTouchOnHit(bool Enabled) { TouchOnHit = Enabled; }
+
   const std::string &directory() const { return Dir; }
   const std::string &configHash() const { return Hash; }
   uint64_t hits() const { return Hits.load(); }
@@ -97,6 +127,7 @@ public:
 private:
   std::string Dir;
   std::string Hash;
+  bool TouchOnHit = false;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> StoreFailures{0};

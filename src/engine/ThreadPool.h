@@ -17,6 +17,7 @@
 #ifndef HERBGRIND_ENGINE_THREADPOOL_H
 #define HERBGRIND_ENGINE_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -57,10 +58,19 @@ public:
   /// Enqueues one task. Tasks are distributed round-robin across worker
   /// queues; idle workers steal, so placement only affects locality.
   void submit(std::function<void()> Task) {
+    submitTo(NextQueue.fetch_add(1, std::memory_order_relaxed),
+             std::move(Task));
+  }
+
+  /// Enqueues one task with a placement hint (taken modulo the worker
+  /// count). Work stealing still rebalances, so the hint is purely a
+  /// locality lever -- the engine uses it to keep one benchmark's shards
+  /// on one worker, which is what lets the worker-local analyzer reuse
+  /// its arenas across them.
+  void submitTo(size_t QueueHint, std::function<void()> Task) {
     {
       std::unique_lock<std::mutex> Lock(Mutex);
-      Queues[NextQueue].push_back(std::move(Task));
-      NextQueue = (NextQueue + 1) % Queues.size();
+      Queues[QueueHint % Queues.size()].push_back(std::move(Task));
       ++Pending;
     }
     WorkReady.notify_one();
@@ -120,7 +130,7 @@ private:
   std::condition_variable WorkReady;
   std::condition_variable AllDone;
   size_t Pending = 0;
-  size_t NextQueue = 0;
+  std::atomic<size_t> NextQueue{0};
   bool Stopping = false;
 };
 

@@ -317,7 +317,7 @@ BigFloat fpcore::evalReal(const Expr &E, const RealEnv &Env, size_t PrecBits,
   if (N == "+" && Arity >= 2) {
     BigFloat Acc = A(0);
     for (size_t I = 1; I < Arity; ++I)
-      Acc = BigFloat::add(Acc, A(I));
+      BigFloat::addInto(Acc, Acc, A(I));
     return Acc;
   }
   if (N == "-" && Arity == 1)
@@ -325,13 +325,13 @@ BigFloat fpcore::evalReal(const Expr &E, const RealEnv &Env, size_t PrecBits,
   if (N == "-" && Arity >= 2) {
     BigFloat Acc = A(0);
     for (size_t I = 1; I < Arity; ++I)
-      Acc = BigFloat::sub(Acc, A(I));
+      BigFloat::subInto(Acc, Acc, A(I));
     return Acc;
   }
   if (N == "*" && Arity >= 2) {
     BigFloat Acc = A(0);
     for (size_t I = 1; I < Arity; ++I)
-      Acc = BigFloat::mul(Acc, A(I));
+      BigFloat::mulInto(Acc, Acc, A(I));
     return Acc;
   }
   if (N == "/")

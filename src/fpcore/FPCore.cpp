@@ -260,10 +260,13 @@ bool isNumber(const std::string &Tok, double &Out) {
   if (Slash != std::string::npos && Slash > 0) {
     char *E1 = nullptr;
     char *E2 = nullptr;
-    double N = std::strtod(Tok.substr(0, Slash).c_str(), &E1);
+    // The numerator string must outlive E1, which points into its buffer.
+    std::string Num = Tok.substr(0, Slash);
+    double N = std::strtod(Num.c_str(), &E1);
     std::string Den = Tok.substr(Slash + 1);
     double D = std::strtod(Den.c_str(), &E2);
-    if (E1 && *E1 == 0 && E2 == Den.c_str() + Den.size() && D != 0) {
+    if (E1 == Num.c_str() + Num.size() && E2 == Den.c_str() + Den.size() &&
+        D != 0) {
       Out = N / D;
       return true;
     }

@@ -7,8 +7,15 @@
 // Representation: a finite value is (-1)^Neg * frac * 2^Exp where frac is a
 // little-endian limb vector read as a fraction in [1/2, 1) (the top bit of
 // the top limb is always set). All rounding is round-to-nearest-even and is
-// performed by BigFloatBuilder::makeRounded from an extended mantissa plus a
-// sticky flag summarizing any nonzero bits below the extended mantissa.
+// performed by BigFloatBuilder::makeRoundedInto from an extended mantissa
+// plus a sticky flag summarizing any nonzero bits below it.
+//
+// The limb kernels below are mpn-style: they operate on raw limb pointers,
+// and every intermediate mantissa lives in a fixed-capacity stack scratch
+// buffer (Scratch, 16 limbs inline -- enough for every operation at the
+// default 256-bit precision and for the 384-bit transcendental working
+// precision). Wider precisions spill the scratch to the per-thread limb
+// cache, so even they do not reach the heap in steady state.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +27,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace herbgrind;
 
@@ -39,11 +47,13 @@ size_t BigFloat::limbsForPrecision(size_t PrecBits) {
 }
 
 //===----------------------------------------------------------------------===//
-// Limb-vector helpers (little-endian).
+// Raw limb kernels (little-endian).
 //===----------------------------------------------------------------------===//
 
 namespace {
-using LimbVec = std::vector<uint64_t>;
+/// Stack scratch for intermediate mantissas; covers every buffer the core
+/// operations need at <= 6-limb (384-bit) working precision.
+using Scratch = InlineLimbs<16>;
 } // namespace
 
 static int leadingZeros64(uint64_t X) {
@@ -51,17 +61,16 @@ static int leadingZeros64(uint64_t X) {
   return __builtin_clzll(X);
 }
 
-static bool vecIsZero(const LimbVec &V) {
-  for (uint64_t Limb : V)
-    if (Limb != 0)
+static bool vecIsZero(const uint64_t *V, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    if (V[I] != 0)
       return false;
   return true;
 }
 
 /// Compares equal-length magnitude vectors: -1, 0, +1.
-static int cmpVec(const LimbVec &A, const LimbVec &B) {
-  assert(A.size() == B.size() && "cmpVec requires equal lengths");
-  for (size_t I = A.size(); I-- > 0;) {
+static int cmpVec(const uint64_t *A, const uint64_t *B, size_t N) {
+  for (size_t I = N; I-- > 0;) {
     if (A[I] != B[I])
       return A[I] < B[I] ? -1 : 1;
   }
@@ -69,10 +78,9 @@ static int cmpVec(const LimbVec &A, const LimbVec &B) {
 }
 
 /// A += B (equal lengths); returns the carry out.
-static uint64_t addVecInPlace(LimbVec &A, const LimbVec &B) {
-  assert(A.size() == B.size() && "addVecInPlace requires equal lengths");
+static uint64_t addVecInPlace(uint64_t *A, const uint64_t *B, size_t N) {
   unsigned __int128 Carry = 0;
-  for (size_t I = 0; I < A.size(); ++I) {
+  for (size_t I = 0; I < N; ++I) {
     unsigned __int128 Sum = (unsigned __int128)A[I] + B[I] + Carry;
     A[I] = static_cast<uint64_t>(Sum);
     Carry = Sum >> 64;
@@ -81,34 +89,34 @@ static uint64_t addVecInPlace(LimbVec &A, const LimbVec &B) {
 }
 
 /// A -= B (equal lengths, requires A >= B).
-static void subVecInPlace(LimbVec &A, const LimbVec &B) {
-  assert(A.size() == B.size() && "subVecInPlace requires equal lengths");
+static void subVecInPlace(uint64_t *A, const uint64_t *B, size_t N) {
   unsigned __int128 Borrow = 0;
-  for (size_t I = 0; I < A.size(); ++I) {
+  for (size_t I = 0; I < N; ++I) {
     unsigned __int128 Diff = (unsigned __int128)A[I] - B[I] - Borrow;
     A[I] = static_cast<uint64_t>(Diff);
     Borrow = (Diff >> 64) & 1;
   }
   assert(Borrow == 0 && "subVecInPlace requires A >= B");
+  (void)Borrow;
 }
 
 /// Subtracts 1 from A (requires A != 0).
-static void decrementVec(LimbVec &A) {
-  for (uint64_t &Limb : A) {
-    if (Limb-- != 0)
+static void decrementVec(uint64_t *A, size_t N) {
+  for (size_t I = 0; I < N; ++I) {
+    if (A[I]-- != 0)
       return;
   }
   assert(false && "decrementVec underflow");
 }
 
 /// Adds 1 at bit position Pos (must not overflow the vector).
-static void addBitAt(LimbVec &A, size_t Pos) {
+static void addBitAt(uint64_t *A, size_t N, size_t Pos) {
   size_t LimbIdx = Pos / 64;
-  assert(LimbIdx < A.size() && "addBitAt position out of range");
+  assert(LimbIdx < N && "addBitAt position out of range");
   uint64_t Old = A[LimbIdx];
   A[LimbIdx] += 1ULL << (Pos % 64);
   bool Carry = A[LimbIdx] < Old;
-  for (size_t I = LimbIdx + 1; Carry && I < A.size(); ++I) {
+  for (size_t I = LimbIdx + 1; Carry && I < N; ++I) {
     ++A[I];
     Carry = A[I] == 0;
   }
@@ -116,23 +124,22 @@ static void addBitAt(LimbVec &A, size_t Pos) {
 }
 
 /// Reads bit Pos of A (0 = least significant).
-static bool getBit(const LimbVec &A, size_t Pos) {
+static bool getBit(const uint64_t *A, size_t N, size_t Pos) {
   size_t LimbIdx = Pos / 64;
-  if (LimbIdx >= A.size())
+  if (LimbIdx >= N)
     return false;
   return (A[LimbIdx] >> (Pos % 64)) & 1;
 }
 
 /// Shifts A right by Shift bits in place; ORs dropped nonzero bits into
 /// Sticky.
-static void shiftRightVec(LimbVec &A, size_t Shift, bool &Sticky) {
-  size_t N = A.size();
+static void shiftRightVec(uint64_t *A, size_t N, size_t Shift, bool &Sticky) {
   size_t LimbShift = Shift / 64;
   size_t BitShift = Shift % 64;
   if (LimbShift >= N) {
-    if (!vecIsZero(A))
+    if (!vecIsZero(A, N))
       Sticky = true;
-    std::fill(A.begin(), A.end(), 0);
+    std::memset(A, 0, N * sizeof(uint64_t));
     return;
   }
   for (size_t I = 0; I < LimbShift; ++I)
@@ -152,17 +159,16 @@ static void shiftRightVec(LimbVec &A, size_t Shift, bool &Sticky) {
       A[I] = Low | High;
     }
   }
-  std::fill(A.end() - LimbShift, A.end(), 0);
+  std::memset(A + (N - LimbShift), 0, LimbShift * sizeof(uint64_t));
 }
 
 /// Shifts A left by Shift bits in place (bits shifted past the top are
 /// dropped; callers guarantee they are zero).
-static void shiftLeftVec(LimbVec &A, size_t Shift) {
-  size_t N = A.size();
+static void shiftLeftVec(uint64_t *A, size_t N, size_t Shift) {
   size_t LimbShift = Shift / 64;
   size_t BitShift = Shift % 64;
   if (LimbShift >= N) {
-    std::fill(A.begin(), A.end(), 0);
+    std::memset(A, 0, N * sizeof(uint64_t));
     return;
   }
   if (BitShift == 0) {
@@ -177,53 +183,51 @@ static void shiftLeftVec(LimbVec &A, size_t Shift) {
       A[I] = High | Low;
     }
   }
-  std::fill(A.begin(), A.begin() + LimbShift, 0);
+  std::memset(A, 0, LimbShift * sizeof(uint64_t));
 }
 
-/// Schoolbook multiplication; result has A.size() + B.size() limbs.
-static LimbVec mulVec(const LimbVec &A, const LimbVec &B) {
-  LimbVec R(A.size() + B.size(), 0);
-  for (size_t I = 0; I < A.size(); ++I) {
+/// Schoolbook multiplication into R (NA + NB limbs, zeroed by the caller).
+/// R must not alias A or B; A and B may alias each other.
+static void mulVec(uint64_t *R, const uint64_t *A, size_t NA,
+                   const uint64_t *B, size_t NB) {
+  for (size_t I = 0; I < NA; ++I) {
     if (A[I] == 0)
       continue;
     unsigned __int128 Carry = 0;
-    for (size_t J = 0; J < B.size(); ++J) {
-      unsigned __int128 Cur =
-          (unsigned __int128)A[I] * B[J] + R[I + J] + Carry;
+    for (size_t J = 0; J < NB; ++J) {
+      unsigned __int128 Cur = (unsigned __int128)A[I] * B[J] + R[I + J] + Carry;
       R[I + J] = static_cast<uint64_t>(Cur);
       Carry = Cur >> 64;
     }
-    R[I + B.size()] += static_cast<uint64_t>(Carry);
+    R[I + NB] += static_cast<uint64_t>(Carry);
   }
-  return R;
 }
 
-/// Knuth algorithm D: divides U by V (V normalized: top bit of V.back() is
-/// set, V.size() >= 1, U.size() >= V.size()). Returns the quotient; the
-/// remainder is left in U (its top limbs zeroed).
-static LimbVec divmodVec(LimbVec &U, const LimbVec &V) {
-  size_t NU = U.size();
-  size_t NV = V.size();
+/// Knuth algorithm D: divides U (NU limbs) by V (NV limbs, normalized: top
+/// bit of V[NV-1] set, NU >= NV >= 1). Writes the quotient's NU - NV + 1
+/// limbs to Q and leaves the remainder in U (its top limbs zeroed).
+/// \p RScratch must hold NU + 1 limbs; Q and RScratch must not alias U or V.
+static void divmodVec(uint64_t *U, size_t NU, const uint64_t *V, size_t NV,
+                      uint64_t *Q, uint64_t *RScratch) {
   assert(NV >= 1 && NU >= NV && "divmodVec size mismatch");
-  assert((V.back() >> 63) == 1 && "divisor must be normalized");
+  assert((V[NV - 1] >> 63) == 1 && "divisor must be normalized");
 
   if (NV == 1) {
-    LimbVec Q(NU, 0);
     unsigned __int128 Rem = 0;
     for (size_t I = NU; I-- > 0;) {
       unsigned __int128 Cur = (Rem << 64) | U[I];
       Q[I] = static_cast<uint64_t>(Cur / V[0]);
       Rem = Cur % V[0];
     }
-    std::fill(U.begin(), U.end(), 0);
+    std::memset(U, 0, NU * sizeof(uint64_t));
     U[0] = static_cast<uint64_t>(Rem);
-    return Q;
+    return;
   }
 
   // Work on a copy of U with one extra high limb.
-  LimbVec R(U.begin(), U.end());
-  R.push_back(0);
-  LimbVec Q(NU - NV + 1, 0);
+  uint64_t *R = RScratch;
+  std::memcpy(R, U, NU * sizeof(uint64_t));
+  R[NU] = 0;
 
   for (size_t JP1 = NU - NV + 1; JP1-- > 0;) {
     size_t J = JP1;
@@ -259,8 +263,7 @@ static LimbVec divmodVec(LimbVec &U, const LimbVec &V) {
       --QDigit;
       unsigned __int128 AddCarry = 0;
       for (size_t I = 0; I < NV; ++I) {
-        unsigned __int128 Sum =
-            (unsigned __int128)R[J + I] + V[I] + AddCarry;
+        unsigned __int128 Sum = (unsigned __int128)R[J + I] + V[I] + AddCarry;
         R[J + I] = static_cast<uint64_t>(Sum);
         AddCarry = Sum >> 64;
       }
@@ -272,81 +275,80 @@ static LimbVec divmodVec(LimbVec &U, const LimbVec &V) {
   // Remainder is R[0 .. NV-1].
   for (size_t I = 0; I < NU; ++I)
     U[I] = I < NV ? R[I] : 0;
-  return Q;
 }
 
 //===----------------------------------------------------------------------===//
 // Rounding construction.
 //===----------------------------------------------------------------------===//
 
-BigFloat BigFloatBuilder::makeRounded(bool Neg, int64_t Exp,
-                                      const std::vector<uint64_t> &Mant,
+void BigFloatBuilder::makeRoundedInto(BigFloat &Dst, bool Neg, int64_t Exp,
+                                      const uint64_t *Mant, size_t MantLimbs,
                                       bool Sticky, size_t TargetLimbs) {
-  assert(!Mant.empty() && (Mant.back() >> 63) == 1 &&
-         "makeRounded requires a normalized mantissa");
-  BigFloat Result;
-  Result.K = BigFloat::Kind::Finite;
-  Result.Neg = Neg;
-  Result.Exp = Exp;
-  Result.LimbCountHint = static_cast<uint32_t>(TargetLimbs);
+  assert(MantLimbs > 0 && (Mant[MantLimbs - 1] >> 63) == 1 &&
+         "makeRoundedInto requires a normalized mantissa");
+  Dst.K = BigFloat::Kind::Finite;
+  Dst.Neg = Neg;
+  Dst.Exp = Exp;
+  Dst.LimbCountHint = static_cast<uint32_t>(TargetLimbs);
 
-  if (Mant.size() <= TargetLimbs) {
+  if (MantLimbs <= TargetLimbs) {
     // Exact (apart from Sticky bits strictly below the round position, which
     // round to nothing because the round bit itself is zero).
-    Result.Limbs.assign(TargetLimbs, 0);
-    std::copy(Mant.begin(), Mant.end(),
-              Result.Limbs.end() - static_cast<ptrdiff_t>(Mant.size()));
-    return Result;
+    Dst.Limbs.assignZeros(TargetLimbs);
+    std::memcpy(Dst.Limbs.data() + (TargetLimbs - MantLimbs), Mant,
+                MantLimbs * sizeof(uint64_t));
+    return;
   }
 
-  size_t Drop = Mant.size() - TargetLimbs;
+  size_t Drop = MantLimbs - TargetLimbs;
   bool RoundBit = (Mant[Drop - 1] >> 63) & 1;
   bool StickyLocal = Sticky || (Mant[Drop - 1] & ~(1ULL << 63)) != 0;
   for (size_t I = 0; I + 1 < Drop && !StickyLocal; ++I)
     StickyLocal = Mant[I] != 0;
 
-  Result.Limbs.assign(Mant.begin() + static_cast<ptrdiff_t>(Drop),
-                      Mant.end());
-  bool LowBit = Result.Limbs[0] & 1;
+  Dst.Limbs.assignCopy(Mant + Drop, TargetLimbs);
+  uint64_t *L = Dst.Limbs.data();
+  bool LowBit = L[0] & 1;
   if (RoundBit && (StickyLocal || LowBit)) {
     // Increment; on carry-out the mantissa becomes exactly 2^(64*Target),
     // i.e. frac 1/2 at Exp+1.
     uint64_t Carry = 1;
-    for (size_t I = 0; I < Result.Limbs.size() && Carry; ++I) {
-      Result.Limbs[I] += Carry;
-      Carry = Result.Limbs[I] == 0 ? 1 : 0;
+    for (size_t I = 0; I < TargetLimbs && Carry; ++I) {
+      L[I] += Carry;
+      Carry = L[I] == 0 ? 1 : 0;
     }
     if (Carry) {
-      std::fill(Result.Limbs.begin(), Result.Limbs.end(), 0);
-      Result.Limbs.back() = 1ULL << 63;
-      ++Result.Exp;
+      std::memset(L, 0, TargetLimbs * sizeof(uint64_t));
+      L[TargetLimbs - 1] = 1ULL << 63;
+      ++Dst.Exp;
     }
   }
-  assert((Result.Limbs.back() >> 63) == 1 && "rounding lost normalization");
-  return Result;
+  assert((Dst.Limbs.back() >> 63) == 1 && "rounding lost normalization");
 }
 
-BigFloat BigFloatBuilder::normalizeAndRound(bool Neg, int64_t Exp,
-                                            std::vector<uint64_t> Mant,
-                                            bool Sticky, size_t TargetLimbs) {
-  size_t TopIdx = Mant.size();
+void BigFloatBuilder::normalizeAndRoundInto(BigFloat &Dst, bool Neg,
+                                            int64_t Exp, uint64_t *Mant,
+                                            size_t MantLimbs, bool Sticky,
+                                            size_t TargetLimbs) {
+  size_t TopIdx = MantLimbs;
   while (TopIdx > 0 && Mant[TopIdx - 1] == 0)
     --TopIdx;
   if (TopIdx == 0) {
     assert(!Sticky && "cannot normalize a pure-sticky value");
-    return BigFloat::zero(false);
+    Dst = BigFloat::zero(false);
+    return;
   }
-  size_t Shift = (Mant.size() - TopIdx) * 64 +
+  size_t Shift = (MantLimbs - TopIdx) * 64 +
                  static_cast<size_t>(leadingZeros64(Mant[TopIdx - 1]));
   // When Sticky bits exist below the buffer, the left shift must not move
   // the round position past them; callers size their buffers to guarantee
   // this (see BigFloat.cpp commentary on add/div/sqrt).
-  assert(!Sticky || Mant.size() > TargetLimbs);
-  assert(!Sticky || Shift <= 64 * (Mant.size() - TargetLimbs));
+  assert(!Sticky || MantLimbs > TargetLimbs);
+  assert(!Sticky || Shift <= 64 * (MantLimbs - TargetLimbs));
   if (Shift > 0)
-    shiftLeftVec(Mant, Shift);
-  return makeRounded(Neg, Exp - static_cast<int64_t>(Shift), Mant, Sticky,
-                     TargetLimbs);
+    shiftLeftVec(Mant, MantLimbs, Shift);
+  makeRoundedInto(Dst, Neg, Exp - static_cast<int64_t>(Shift), Mant,
+                  MantLimbs, Sticky, TargetLimbs);
 }
 
 //===----------------------------------------------------------------------===//
@@ -389,8 +391,8 @@ BigFloat BigFloat::fromMantissaExp(bool Negative, uint64_t Mant, int64_t Exp2,
   R.K = Kind::Finite;
   R.Neg = Negative;
   R.Exp = Exp2 + 64 - Lz;
-  R.Limbs.assign(N, 0);
-  R.Limbs.back() = Mant << Lz;
+  R.Limbs.assignZeros(N);
+  R.Limbs[N - 1] = Mant << Lz;
   R.LimbCountHint = static_cast<uint32_t>(N);
   return R;
 }
@@ -467,10 +469,9 @@ static const IEEEFormat FloatFormat = {24, 128, -125, 149, 127};
 /// Extracts the top KeepBits bits of a normalized mantissa as an integer,
 /// rounding to nearest-even with the remaining bits (plus StickyIn).
 /// The result may be 2^KeepBits (carry), which callers must handle.
-static uint64_t roundTopBits(const LimbVec &Limbs, int KeepBits,
+static uint64_t roundTopBits(const uint64_t *Limbs, size_t N, int KeepBits,
                              bool StickyIn) {
   assert(KeepBits >= 0 && KeepBits <= 63 && "roundTopBits range");
-  size_t N = Limbs.size();
   // The kept bits, round bit, and the top of the sticky region all live in
   // the top two limbs; gather them into one 128-bit window.
   unsigned __int128 Window = (unsigned __int128)Limbs[N - 1] << 64;
@@ -495,7 +496,8 @@ static uint64_t roundTopBits(const LimbVec &Limbs, int KeepBits,
 static uint64_t roundToIEEEBits(const BigFloat &X, const IEEEFormat &Fmt) {
   uint64_t SignBit = X.isNegative() ? 1ULL << (Fmt.MantBits == 53 ? 63 : 31)
                                     : 0;
-  const LimbVec &Limbs = BigFloatBuilder::limbs(X);
+  const uint64_t *Limbs = BigFloatBuilder::limbs(X);
+  size_t N = BigFloatBuilder::limbCount(X);
   int64_t Exp = BigFloatBuilder::rawExp(X);
   uint64_t InfBits =
       Fmt.MantBits == 53 ? 0x7ffULL << 52 : static_cast<uint64_t>(0xff) << 23;
@@ -505,7 +507,7 @@ static uint64_t roundToIEEEBits(const BigFloat &X, const IEEEFormat &Fmt) {
     return SignBit | InfBits;
 
   if (Exp >= Fmt.MinNormal) {
-    uint64_t M = roundTopBits(Limbs, Fmt.MantBits, false);
+    uint64_t M = roundTopBits(Limbs, N, Fmt.MantBits, false);
     if (M >> Fmt.MantBits) {
       // Carried to the next binade.
       M >>= 1;
@@ -523,7 +525,7 @@ static uint64_t roundToIEEEBits(const BigFloat &X, const IEEEFormat &Fmt) {
   if (KeepBits64 < 0)
     return SignBit; // magnitude below half the smallest subnormal
   int KeepBits = static_cast<int>(std::min<int64_t>(KeepBits64, 63));
-  uint64_t K = roundTopBits(Limbs, KeepBits, false);
+  uint64_t K = roundTopBits(Limbs, N, KeepBits, false);
   // K may equal 2^KeepBits, which is the next subnormal (or the smallest
   // normal when KeepBits == FieldBits); the bit pattern works out in both
   // cases because the subnormal field and exponent field are adjacent.
@@ -601,13 +603,14 @@ BigFloat BigFloat::withPrecision(size_t PrecBits) const {
   if (N == Limbs.size())
     return R;
   if (N > Limbs.size()) {
-    LimbVec NewLimbs(N, 0);
-    std::copy(Limbs.begin(), Limbs.end(),
-              NewLimbs.end() - static_cast<ptrdiff_t>(Limbs.size()));
-    R.Limbs = std::move(NewLimbs);
+    R.Limbs.assignZeros(N);
+    std::memcpy(R.Limbs.data() + (N - Limbs.size()), Limbs.data(),
+                Limbs.size() * sizeof(uint64_t));
     return R;
   }
-  return BigFloatBuilder::makeRounded(Neg, Exp, Limbs, false, N);
+  BigFloatBuilder::makeRoundedInto(R, Neg, Exp, Limbs.data(), Limbs.size(),
+                                   false, N);
+  return R;
 }
 
 //===----------------------------------------------------------------------===//
@@ -637,7 +640,7 @@ bool BigFloat::isInteger() const {
   // Fractional bits are the low (TotalBits - Exp) bits.
   size_t FracBits = static_cast<size_t>(TotalBits - Exp);
   for (size_t Pos = 0; Pos < FracBits; ++Pos)
-    if (getBit(Limbs, Pos))
+    if (getBit(Limbs.data(), Limbs.size(), Pos))
       return false;
   return true;
 }
@@ -649,7 +652,8 @@ bool BigFloat::isOddInteger() const {
   if (Exp > TotalBits)
     return false; // huge => divisible by large powers of two
   // The units bit of the integer part sits at position TotalBits - Exp.
-  return getBit(Limbs, static_cast<size_t>(TotalBits - Exp));
+  return getBit(Limbs.data(), Limbs.size(),
+                static_cast<size_t>(TotalBits - Exp));
 }
 
 //===----------------------------------------------------------------------===//
@@ -679,6 +683,27 @@ BigFloat BigFloat::copySign(const BigFloat &SignSource) const {
 // Comparison.
 //===----------------------------------------------------------------------===//
 
+/// Magnitude comparison of two finite nonzero values (signs ignored).
+static int cmpFiniteMagnitudes(const BigFloat &A, const BigFloat &B) {
+  int64_t EA = BigFloatBuilder::rawExp(A);
+  int64_t EB = BigFloatBuilder::rawExp(B);
+  if (EA != EB)
+    return EA < EB ? -1 : 1;
+  // Compare mantissas, treating missing low limbs as zero.
+  const uint64_t *LA = BigFloatBuilder::limbs(A);
+  const uint64_t *LB = BigFloatBuilder::limbs(B);
+  size_t NA = BigFloatBuilder::limbCount(A);
+  size_t NB = BigFloatBuilder::limbCount(B);
+  size_t N = std::max(NA, NB);
+  for (size_t I = N; I-- > 0;) {
+    uint64_t VA = I >= N - NA ? LA[I - (N - NA)] : 0;
+    uint64_t VB = I >= N - NB ? LB[I - (N - NB)] : 0;
+    if (VA != VB)
+      return VA < VB ? -1 : 1;
+  }
+  return 0;
+}
+
 int BigFloat::cmp(const BigFloat &A, const BigFloat &B) {
   assert(!A.isNaN() && !B.isNaN() && "cmp of NaN");
   bool AZero = A.isZero();
@@ -697,19 +722,7 @@ int BigFloat::cmp(const BigFloat &A, const BigFloat &B) {
       return 0;
     return A.isInf() ? SignFactor : -SignFactor;
   }
-  if (A.Exp != B.Exp)
-    return A.Exp < B.Exp ? -SignFactor : SignFactor;
-  // Compare mantissas, treating missing low limbs as zero.
-  size_t NA = A.Limbs.size();
-  size_t NB = B.Limbs.size();
-  size_t N = std::max(NA, NB);
-  for (size_t I = N; I-- > 0;) {
-    uint64_t LA = I >= N - NA ? A.Limbs[I - (N - NA)] : 0;
-    uint64_t LB = I >= N - NB ? B.Limbs[I - (N - NB)] : 0;
-    if (LA != LB)
-      return LA < LB ? -SignFactor : SignFactor;
-  }
-  return 0;
+  return SignFactor * cmpFiniteMagnitudes(A, B);
 }
 
 bool BigFloat::lt(const BigFloat &A, const BigFloat &B) {
@@ -759,150 +772,173 @@ static size_t resultLimbs(const BigFloat &A, const BigFloat &B) {
 }
 
 /// Magnitude |A| + |B| with the given result sign (both finite nonzero).
-static BigFloat addMagnitudes(const BigFloat &A, const BigFloat &B, bool Neg,
-                              size_t Target) {
-  const LimbVec &MA = BigFloatBuilder::limbs(A);
-  const LimbVec &MB = BigFloatBuilder::limbs(B);
-  int64_t EA = BigFloatBuilder::rawExp(A);
-  int64_t EB = BigFloatBuilder::rawExp(B);
-  const LimbVec *Hi = &MA;
-  const LimbVec *Lo = &MB;
-  int64_t EHi = EA;
-  int64_t ELo = EB;
-  if (EA < EB) {
-    std::swap(Hi, Lo);
+/// Reads both operands into scratch before writing Dst, so Dst may alias.
+static void addMagnitudesInto(BigFloat &Dst, const BigFloat &A,
+                              const BigFloat &B, bool Neg, size_t Target) {
+  const uint64_t *MHi = BigFloatBuilder::limbs(A);
+  const uint64_t *MLo = BigFloatBuilder::limbs(B);
+  size_t NHi = BigFloatBuilder::limbCount(A);
+  size_t NLo = BigFloatBuilder::limbCount(B);
+  int64_t EHi = BigFloatBuilder::rawExp(A);
+  int64_t ELo = BigFloatBuilder::rawExp(B);
+  if (EHi < ELo) {
+    std::swap(MHi, MLo);
+    std::swap(NHi, NLo);
     std::swap(EHi, ELo);
   }
   size_t W = Target + 2;
-  assert(Hi->size() <= Target && Lo->size() <= Target &&
+  assert(NHi <= Target && NLo <= Target &&
          "operand precision exceeds result precision");
 
   // Place Hi's mantissa at the top of a W-limb buffer.
-  LimbVec Buf(W, 0);
-  std::copy(Hi->begin(), Hi->end(),
-            Buf.end() - static_cast<ptrdiff_t>(Hi->size()));
+  Scratch Buf;
+  Buf.assignZeros(W);
+  std::memcpy(Buf.data() + (W - NHi), MHi, NHi * sizeof(uint64_t));
   // Place Lo at the top too, then shift it down into alignment.
-  LimbVec LoBuf(W, 0);
-  std::copy(Lo->begin(), Lo->end(),
-            LoBuf.end() - static_cast<ptrdiff_t>(Lo->size()));
+  Scratch LoBuf;
+  LoBuf.assignZeros(W);
+  std::memcpy(LoBuf.data() + (W - NLo), MLo, NLo * sizeof(uint64_t));
   bool Sticky = false;
   uint64_t Diff = static_cast<uint64_t>(EHi - ELo);
   if (Diff >= W * 64) {
-    std::fill(LoBuf.begin(), LoBuf.end(), 0);
+    std::memset(LoBuf.data(), 0, W * sizeof(uint64_t));
     Sticky = true;
   } else {
-    shiftRightVec(LoBuf, static_cast<size_t>(Diff), Sticky);
+    shiftRightVec(LoBuf.data(), W, static_cast<size_t>(Diff), Sticky);
   }
 
-  uint64_t Carry = addVecInPlace(Buf, LoBuf);
+  uint64_t Carry = addVecInPlace(Buf.data(), LoBuf.data(), W);
   int64_t Exp = EHi;
   if (Carry) {
-    shiftRightVec(Buf, 1, Sticky);
-    Buf.back() |= 1ULL << 63;
+    shiftRightVec(Buf.data(), W, 1, Sticky);
+    Buf[W - 1] |= 1ULL << 63;
     ++Exp;
   }
-  return BigFloatBuilder::normalizeAndRound(Neg, Exp, std::move(Buf), Sticky,
-                                            Target);
+  BigFloatBuilder::normalizeAndRoundInto(Dst, Neg, Exp, Buf.data(), W, Sticky,
+                                         Target);
 }
 
-/// Magnitude |A| - |B| requiring |A| > |B| strictly at the buffer level is
-/// not assumed: handles |A| == |B| by returning +0. Sign Neg applies to the
-/// |A| >= |B| orientation; the caller pre-orders operands.
-static BigFloat subMagnitudes(const BigFloat &A, const BigFloat &B, bool Neg,
-                              size_t Target) {
-  const LimbVec &MA = BigFloatBuilder::limbs(A);
-  const LimbVec &MB = BigFloatBuilder::limbs(B);
+/// Magnitude |A| - |B| with |A| > |B| (the caller pre-orders operands and
+/// peels off the exactly-equal case). Sign Neg applies to the |A| >= |B|
+/// orientation. Alias-safe like addMagnitudesInto.
+static void subMagnitudesInto(BigFloat &Dst, const BigFloat &A,
+                              const BigFloat &B, bool Neg, size_t Target) {
+  const uint64_t *MA = BigFloatBuilder::limbs(A);
+  const uint64_t *MB = BigFloatBuilder::limbs(B);
+  size_t NA = BigFloatBuilder::limbCount(A);
+  size_t NB = BigFloatBuilder::limbCount(B);
   int64_t EA = BigFloatBuilder::rawExp(A);
   int64_t EB = BigFloatBuilder::rawExp(B);
-  assert(EA >= EB && "subMagnitudes requires pre-ordered operands");
+  assert(EA >= EB && "subMagnitudesInto requires pre-ordered operands");
   size_t W = Target + 2;
-  LimbVec Buf(W, 0);
-  std::copy(MA.begin(), MA.end(),
-            Buf.end() - static_cast<ptrdiff_t>(MA.size()));
-  LimbVec LoBuf(W, 0);
-  std::copy(MB.begin(), MB.end(),
-            LoBuf.end() - static_cast<ptrdiff_t>(MB.size()));
+  Scratch Buf;
+  Buf.assignZeros(W);
+  std::memcpy(Buf.data() + (W - NA), MA, NA * sizeof(uint64_t));
+  Scratch LoBuf;
+  LoBuf.assignZeros(W);
+  std::memcpy(LoBuf.data() + (W - NB), MB, NB * sizeof(uint64_t));
   bool Sticky = false;
   uint64_t Diff = static_cast<uint64_t>(EA - EB);
   if (Diff >= W * 64) {
-    std::fill(LoBuf.begin(), LoBuf.end(), 0);
+    std::memset(LoBuf.data(), 0, W * sizeof(uint64_t));
     Sticky = true;
   } else {
-    shiftRightVec(LoBuf, static_cast<size_t>(Diff), Sticky);
+    shiftRightVec(LoBuf.data(), W, static_cast<size_t>(Diff), Sticky);
   }
 
   // Equal buffers imply exactly equal values (Sticky requires an exponent
   // gap >= 1, which forces LoBuf's top bit clear while Buf's is set), and
   // the caller already peeled off the exactly-equal case.
-  assert(cmpVec(Buf, LoBuf) > 0 && "subMagnitudes operands not pre-ordered");
-  subVecInPlace(Buf, LoBuf);
+  assert(cmpVec(Buf.data(), LoBuf.data(), W) > 0 &&
+         "subMagnitudesInto operands not pre-ordered");
+  subVecInPlace(Buf.data(), LoBuf.data(), W);
   if (Sticky) {
     // The dropped bits of B make the true result slightly smaller than Buf;
     // represent that as (Buf - 1ulp) + sticky.
-    assert(!vecIsZero(Buf) && "sticky subtraction cannot cancel to zero");
-    decrementVec(Buf);
-    if (vecIsZero(Buf)) {
+    assert(!vecIsZero(Buf.data(), W) &&
+           "sticky subtraction cannot cancel to zero");
+    decrementVec(Buf.data(), W);
+    if (vecIsZero(Buf.data(), W)) {
       // Result is strictly between 0 and one buffer ulp: impossible, since
       // Sticky requires an exponent gap much larger than the buffer.
       assert(false && "sticky cancellation to zero");
     }
   }
-  return BigFloatBuilder::normalizeAndRound(Neg, EA, std::move(Buf), Sticky,
-                                            Target);
+  BigFloatBuilder::normalizeAndRoundInto(Dst, Neg, EA, Buf.data(), W, Sticky,
+                                         Target);
 }
 
-BigFloat BigFloat::add(const BigFloat &A, const BigFloat &B) {
+void BigFloat::addInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B) {
   size_t Target = resultLimbs(A, B);
-  if (A.isNaN() || B.isNaN())
-    return nan();
+  if (A.isNaN() || B.isNaN()) {
+    Dst = nan();
+    return;
+  }
   if (A.isInf() || B.isInf()) {
     if (A.isInf() && B.isInf())
-      return A.Neg == B.Neg ? A : nan();
-    return A.isInf() ? A : B;
+      Dst = A.Neg == B.Neg ? A : nan();
+    else
+      Dst = A.isInf() ? A : B;
+    return;
   }
-  if (A.isZero() && B.isZero())
-    return zero(A.Neg && B.Neg);
-  if (A.isZero())
-    return B.withPrecision(Target * 64);
-  if (B.isZero())
-    return A.withPrecision(Target * 64);
+  if (A.isZero() && B.isZero()) {
+    Dst = zero(A.Neg && B.Neg);
+    return;
+  }
+  if (A.isZero()) {
+    Dst = B.withPrecision(Target * 64);
+    return;
+  }
+  if (B.isZero()) {
+    Dst = A.withPrecision(Target * 64);
+    return;
+  }
 
-  if (A.Neg == B.Neg)
-    return addMagnitudes(A, B, A.Neg, Target);
+  if (A.Neg == B.Neg) {
+    addMagnitudesInto(Dst, A, B, A.Neg, Target);
+    return;
+  }
 
   // Opposite signs: compute |larger| - |smaller| with the larger's sign.
+  int MagCmp = cmpFiniteMagnitudes(A, B);
+  if (MagCmp == 0) {
+    Dst = zero(false);
+    return;
+  }
   const BigFloat *Big = &A;
   const BigFloat *Small = &B;
-  int MagCmp = cmp(A.abs(), B.abs());
-  if (MagCmp == 0)
-    return zero(false);
   if (MagCmp < 0)
     std::swap(Big, Small);
-  return subMagnitudes(*Big, *Small, Big->Neg, Target);
+  subMagnitudesInto(Dst, *Big, *Small, Big->Neg, Target);
 }
 
-BigFloat BigFloat::sub(const BigFloat &A, const BigFloat &B) {
-  return add(A, B.negated());
+void BigFloat::subInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B) {
+  addInto(Dst, A, B.negated());
 }
 
-BigFloat BigFloat::mul(const BigFloat &A, const BigFloat &B) {
+void BigFloat::mulInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B) {
   size_t Target = resultLimbs(A, B);
-  if (A.isNaN() || B.isNaN())
-    return nan();
+  if (A.isNaN() || B.isNaN()) {
+    Dst = nan();
+    return;
+  }
   bool Neg = A.Neg != B.Neg;
   if (A.isInf() || B.isInf()) {
-    if (A.isZero() || B.isZero())
-      return nan();
-    return inf(Neg);
+    Dst = A.isZero() || B.isZero() ? nan() : inf(Neg);
+    return;
   }
-  if (A.isZero() || B.isZero())
-    return zero(Neg);
+  if (A.isZero() || B.isZero()) {
+    Dst = zero(Neg);
+    return;
+  }
 
-  LimbVec MA = A.Limbs;
-  LimbVec MB = B.Limbs;
-  LimbVec Prod = mulVec(MA, MB);
-  return BigFloatBuilder::normalizeAndRound(Neg, A.Exp + B.Exp,
-                                            std::move(Prod), false, Target);
+  size_t NA = A.Limbs.size();
+  size_t NB = B.Limbs.size();
+  Scratch Prod;
+  Prod.assignZeros(NA + NB);
+  mulVec(Prod.data(), A.Limbs.data(), NA, B.Limbs.data(), NB);
+  BigFloatBuilder::normalizeAndRoundInto(Dst, Neg, A.Exp + B.Exp, Prod.data(),
+                                         NA + NB, false, Target);
 }
 
 BigFloat BigFloat::mulExact(const BigFloat &A, const BigFloat &B) {
@@ -916,104 +952,165 @@ BigFloat BigFloat::mulExact(const BigFloat &A, const BigFloat &B) {
   }
   if (A.isZero() || B.isZero())
     return zero(Neg);
-  LimbVec Prod = mulVec(A.Limbs, B.Limbs);
-  size_t Target = A.Limbs.size() + B.Limbs.size();
-  return BigFloatBuilder::normalizeAndRound(Neg, A.Exp + B.Exp,
-                                            std::move(Prod), false, Target);
+  size_t NA = A.Limbs.size();
+  size_t NB = B.Limbs.size();
+  Scratch Prod;
+  Prod.assignZeros(NA + NB);
+  mulVec(Prod.data(), A.Limbs.data(), NA, B.Limbs.data(), NB);
+  BigFloat R;
+  BigFloatBuilder::normalizeAndRoundInto(R, Neg, A.Exp + B.Exp, Prod.data(),
+                                         NA + NB, false, NA + NB);
+  return R;
 }
 
-BigFloat BigFloat::div(const BigFloat &A, const BigFloat &B) {
+void BigFloat::divInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B) {
   size_t Target = resultLimbs(A, B);
-  if (A.isNaN() || B.isNaN())
-    return nan();
+  if (A.isNaN() || B.isNaN()) {
+    Dst = nan();
+    return;
+  }
   bool Neg = A.Neg != B.Neg;
   if (A.isInf()) {
-    if (B.isInf())
-      return nan();
-    return inf(Neg);
+    Dst = B.isInf() ? nan() : inf(Neg);
+    return;
   }
-  if (B.isInf())
-    return zero(Neg);
-  if (B.isZero())
-    return A.isZero() ? nan() : inf(Neg);
-  if (A.isZero())
-    return zero(Neg);
+  if (B.isInf()) {
+    Dst = zero(Neg);
+    return;
+  }
+  if (B.isZero()) {
+    Dst = A.isZero() ? nan() : inf(Neg);
+    return;
+  }
+  if (A.isZero()) {
+    Dst = zero(Neg);
+    return;
+  }
 
-  // Extend both mantissas to Target limbs.
+  int64_t ExpA = A.Exp, ExpB = B.Exp;
+  // Extend the divisor's mantissa to Target limbs.
   size_t N = Target;
-  LimbVec MA(N, 0);
-  std::copy(A.Limbs.begin(), A.Limbs.end(),
-            MA.end() - static_cast<ptrdiff_t>(A.Limbs.size()));
-  LimbVec MB(N, 0);
-  std::copy(B.Limbs.begin(), B.Limbs.end(),
-            MB.end() - static_cast<ptrdiff_t>(B.Limbs.size()));
+  Scratch MB;
+  MB.assignZeros(N);
+  std::memcpy(MB.data() + (N - B.Limbs.size()), B.Limbs.data(),
+              B.Limbs.size() * sizeof(uint64_t));
 
   // U = MA * 2^(64*(N+1)); quotient has N+2 limbs, top limb in {0, 1}.
-  LimbVec U(2 * N + 1, 0);
-  std::copy(MA.begin(), MA.end(), U.begin() + static_cast<ptrdiff_t>(N + 1));
-  LimbVec Q = divmodVec(U, MB);
-  bool Sticky = !vecIsZero(U);
-  assert(Q.size() == N + 2 && "unexpected quotient width");
-  return BigFloatBuilder::normalizeAndRound(
-      Neg, A.Exp - B.Exp + 64, std::move(Q), Sticky, Target);
+  size_t NU = 2 * N + 1;
+  Scratch U;
+  U.assignZeros(NU);
+  std::memcpy(U.data() + (N + 1) + (N - A.Limbs.size()), A.Limbs.data(),
+              A.Limbs.size() * sizeof(uint64_t));
+  size_t QN = NU - N + 1; // == N + 2
+  Scratch Q;
+  Q.assignZeros(QN);
+  Scratch RS;
+  RS.assignZeros(NU + 1);
+  divmodVec(U.data(), NU, MB.data(), N, Q.data(), RS.data());
+  bool Sticky = !vecIsZero(U.data(), NU);
+  BigFloatBuilder::normalizeAndRoundInto(Dst, Neg, ExpA - ExpB + 64, Q.data(),
+                                         QN, Sticky, Target);
 }
 
-BigFloat BigFloat::sqrt(const BigFloat &X) {
-  if (X.isNaN())
-    return nan();
-  if (X.isZero())
-    return X;
-  if (X.Neg)
-    return nan();
-  if (X.isInf())
-    return inf(false);
+void BigFloat::sqrtInto(BigFloat &Dst, const BigFloat &X) {
+  if (X.isNaN()) {
+    Dst = nan();
+    return;
+  }
+  if (X.isZero()) {
+    Dst = X;
+    return;
+  }
+  if (X.Neg) {
+    Dst = nan();
+    return;
+  }
+  if (X.isInf()) {
+    Dst = inf(false);
+    return;
+  }
 
   size_t N = X.Limbs.size();
   // Normalize to an even exponent: value = F * 2^E with E even and
   // F in [1/4, 1).
   int64_t E = X.Exp;
-  LimbVec F(N + 1, 0); // one extra low guard limb for the odd-exponent shift
-  std::copy(X.Limbs.begin(), X.Limbs.end(), F.begin() + 1);
+  Scratch F; // one extra low guard limb for the odd-exponent shift
+  F.assignZeros(N + 1);
+  std::memcpy(F.data() + 1, X.Limbs.data(), N * sizeof(uint64_t));
   if (E & 1) {
     bool Dummy = false;
-    shiftRightVec(F, 1, Dummy);
+    shiftRightVec(F.data(), N + 1, 1, Dummy);
     assert(!Dummy && "guard limb absorbed the shift");
     E += 1;
   }
 
   // Integer square root of Num = F * 2^(64*(N+1)) interpreted as an integer
-  // of 2*(N+1) limbs. Result S = floor(sqrt(F') ) has N+1 limbs with the top
+  // of 2*(N+1) limbs. Result S = floor(sqrt(F')) has N+1 limbs with the top
   // bit set, i.e. exactly the mantissa-plus-guard-limb we want.
   size_t NI = N + 1;
-  LimbVec Num(2 * NI, 0);
-  std::copy(F.begin(), F.end(), Num.begin() + static_cast<ptrdiff_t>(NI));
+  Scratch Num;
+  Num.assignZeros(2 * NI);
+  std::memcpy(Num.data() + NI, F.data(), NI * sizeof(uint64_t));
 
   // Classic bit-pair integer square root.
-  LimbVec Rem(2 * NI, 0);
-  LimbVec Root(2 * NI, 0);
+  Scratch Rem;
+  Rem.assignZeros(2 * NI);
+  Scratch Root;
+  Root.assignZeros(2 * NI);
+  Scratch Trial;
+  Trial.assignZeros(2 * NI);
   for (size_t I = NI * 64; I-- > 0;) {
     // Rem = Rem*4 + next two bits of Num.
-    shiftLeftVec(Rem, 2);
-    if (getBit(Num, 2 * I + 1))
-      addBitAt(Rem, 1);
-    if (getBit(Num, 2 * I))
-      addBitAt(Rem, 0);
+    shiftLeftVec(Rem.data(), 2 * NI, 2);
+    if (getBit(Num.data(), 2 * NI, 2 * I + 1))
+      addBitAt(Rem.data(), 2 * NI, 1);
+    if (getBit(Num.data(), 2 * NI, 2 * I))
+      addBitAt(Rem.data(), 2 * NI, 0);
     // Trial = Root*4 + 1 (Root currently holds the partial root shifted so
     // its low bit is at position 0).
-    LimbVec Trial = Root;
-    shiftLeftVec(Trial, 2);
-    addBitAt(Trial, 0);
-    shiftLeftVec(Root, 1);
-    if (cmpVec(Rem, Trial) >= 0) {
-      subVecInPlace(Rem, Trial);
-      addBitAt(Root, 0);
+    std::memcpy(Trial.data(), Root.data(), 2 * NI * sizeof(uint64_t));
+    shiftLeftVec(Trial.data(), 2 * NI, 2);
+    addBitAt(Trial.data(), 2 * NI, 0);
+    shiftLeftVec(Root.data(), 2 * NI, 1);
+    if (cmpVec(Rem.data(), Trial.data(), 2 * NI) >= 0) {
+      subVecInPlace(Rem.data(), Trial.data(), 2 * NI);
+      addBitAt(Root.data(), 2 * NI, 0);
     }
   }
-  bool Sticky = !vecIsZero(Rem);
-  Root.resize(NI);
-  assert((Root.back() >> 63) == 1 && "isqrt result not normalized");
-  return BigFloatBuilder::normalizeAndRound(false, E / 2, std::move(Root),
-                                            Sticky, N);
+  bool Sticky = !vecIsZero(Rem.data(), 2 * NI);
+  assert((Root[NI - 1] >> 63) == 1 && "isqrt result not normalized");
+  BigFloatBuilder::normalizeAndRoundInto(Dst, false, E / 2, Root.data(), NI,
+                                         Sticky, N);
+}
+
+BigFloat BigFloat::add(const BigFloat &A, const BigFloat &B) {
+  BigFloat R;
+  addInto(R, A, B);
+  return R;
+}
+
+BigFloat BigFloat::sub(const BigFloat &A, const BigFloat &B) {
+  BigFloat R;
+  subInto(R, A, B);
+  return R;
+}
+
+BigFloat BigFloat::mul(const BigFloat &A, const BigFloat &B) {
+  BigFloat R;
+  mulInto(R, A, B);
+  return R;
+}
+
+BigFloat BigFloat::div(const BigFloat &A, const BigFloat &B) {
+  BigFloat R;
+  divInto(R, A, B);
+  return R;
+}
+
+BigFloat BigFloat::sqrt(const BigFloat &X) {
+  BigFloat R;
+  sqrtInto(R, X);
+  return R;
 }
 
 BigFloat BigFloat::fma(const BigFloat &A, const BigFloat &B,
@@ -1073,7 +1170,7 @@ BigFloat BigFloat::trunc() const {
     R.Limbs[I] = 0;
   if (PartialBits)
     R.Limbs[FullLimbs] &= ~((1ULL << PartialBits) - 1);
-  if (vecIsZero(R.Limbs))
+  if (vecIsZero(R.Limbs.data(), R.Limbs.size()))
     return zero(Neg);
   return R;
 }
@@ -1108,25 +1205,26 @@ BigFloat BigFloat::ceil() const {
 /// Fraction comparison helper: -1 if |frac| < 1/2, 0 if == 1/2, +1 if > 1/2.
 static int cmpFractionToHalf(const BigFloat &X) {
   assert(hasFraction(X) && "no fraction to compare");
-  const LimbVec &Limbs = BigFloatBuilder::limbs(X);
+  const uint64_t *Limbs = BigFloatBuilder::limbs(X);
+  size_t N = BigFloatBuilder::limbCount(X);
   int64_t Exp = BigFloatBuilder::rawExp(X);
-  int64_t TotalBits = static_cast<int64_t>(Limbs.size()) * 64;
+  int64_t TotalBits = static_cast<int64_t>(N) * 64;
   if (Exp <= 0) {
     // |X| < 1: fraction is |X| itself. |X| >= 1/2 iff Exp == 0.
     if (Exp < 0)
       return -1;
     // Exp == 0: |X| in [1/2, 1); equal to 1/2 iff only the top bit is set.
     for (size_t Pos = 0; Pos < static_cast<size_t>(TotalBits) - 1; ++Pos)
-      if (getBit(Limbs, Pos))
+      if (getBit(Limbs, N, Pos))
         return 1;
     return 0;
   }
   // The first fractional bit sits at position TotalBits - Exp - 1.
   size_t HalfPos = static_cast<size_t>(TotalBits - Exp - 1);
-  if (!getBit(Limbs, HalfPos))
+  if (!getBit(Limbs, N, HalfPos))
     return -1;
   for (size_t Pos = 0; Pos < HalfPos; ++Pos)
-    if (getBit(Limbs, Pos))
+    if (getBit(Limbs, N, Pos))
       return 1;
   return 0;
 }

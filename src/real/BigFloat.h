@@ -13,6 +13,15 @@
 /// 64-bit limbs; the paper's default is 1000 bits, ours is 256 (configurable
 /// via setDefaultPrecisionBits, swept in the tests).
 ///
+/// Storage is small-size-optimized: up to four limbs (256 bits, the default
+/// precision) live inline in the object, so the shadow hot path never heap-
+/// allocates per value; wider precisions spill to a per-thread recycled
+/// block cache (support/LimbAlloc.h). Every binary operation also has a
+/// destination-passing variant (`addInto(Dst, A, B)` etc.); these are
+/// alias-safe (Dst may be A and/or B) and reuse Dst's spilled capacity,
+/// which is what makes the transcendental series loops in RealMath.cpp
+/// allocation-free in steady state.
+///
 /// Core operations (add, sub, mul, div, sqrt, conversions to double/float)
 /// are correctly rounded to the result precision under round-to-nearest-even.
 /// Transcendental functions live in real/RealMath.h and are faithful at the
@@ -24,10 +33,11 @@
 #ifndef HERBGRIND_REAL_BIGFLOAT_H
 #define HERBGRIND_REAL_BIGFLOAT_H
 
+#include "support/LimbAlloc.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace herbgrind {
 
@@ -35,6 +45,9 @@ namespace herbgrind {
 class BigFloat {
 public:
   enum class Kind : uint8_t { Zero, Finite, Inf, NaN };
+
+  /// Limbs stored inline in the object (256 bits, the default precision).
+  static constexpr unsigned InlineLimbCount = 4;
 
   /// Constructs +0 at the default precision.
   BigFloat() = default;
@@ -112,7 +125,18 @@ public:
 
   /// \name Arithmetic. Results are correctly rounded to the larger operand
   /// precision. Special values follow IEEE-754 semantics.
+  ///
+  /// The `*Into` forms write the result into \p Dst, which may alias either
+  /// operand; they reuse Dst's storage and are the allocation-free spelling
+  /// used by the shadow hot path. The value-returning forms are thin
+  /// wrappers.
   /// @{
+  static void addInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B);
+  static void subInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B);
+  static void mulInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B);
+  static void divInto(BigFloat &Dst, const BigFloat &A, const BigFloat &B);
+  static void sqrtInto(BigFloat &Dst, const BigFloat &X);
+
   static BigFloat add(const BigFloat &A, const BigFloat &B);
   static BigFloat sub(const BigFloat &A, const BigFloat &B);
   static BigFloat mul(const BigFloat &A, const BigFloat &B);
@@ -177,35 +201,39 @@ private:
   bool Neg = false;
   /// Exponent: value = frac * 2^Exp with frac in [1/2, 1). Only for Finite.
   int64_t Exp = 0;
-  /// Little-endian mantissa limbs; top bit of Limbs.back() set when Finite.
-  std::vector<uint64_t> Limbs;
+  /// Little-endian mantissa limbs; top bit of the top limb set when Finite.
+  /// Inline up to InlineLimbCount limbs; spills to the per-thread limb
+  /// cache above that.
+  InlineLimbs<InlineLimbCount> Limbs;
   /// Precision carried by specials (and equal to Limbs.size() when Finite).
   uint32_t LimbCountHint = 1;
 };
 
 /// Internal constructor/rounding toolkit shared with RealMath.cpp. Public
-/// API users never need this.
+/// API users never need this. Mantissas are raw little-endian limb buffers;
+/// the `Into` entry points require that \p Mant does not alias \p Dst's
+/// storage (every caller rounds out of a scratch buffer).
 class BigFloatBuilder {
 public:
-  /// Builds a finite value by rounding an extended mantissa to TargetLimbs.
-  /// \p Mant is little-endian with its top bit set (normalized); \p Sticky
-  /// accounts for any nonzero bits below Mant; the value being rounded is
-  /// (-1)^Neg * frac(Mant) * 2^Exp.
-  static BigFloat makeRounded(bool Neg, int64_t Exp,
-                              const std::vector<uint64_t> &Mant, bool Sticky,
-                              size_t TargetLimbs);
+  /// Builds a finite value by rounding an extended mantissa to TargetLimbs
+  /// into \p Dst. \p Mant is little-endian with its top bit set
+  /// (normalized); \p Sticky accounts for any nonzero bits below Mant; the
+  /// value being rounded is (-1)^Neg * frac(Mant) * 2^Exp.
+  static void makeRoundedInto(BigFloat &Dst, bool Neg, int64_t Exp,
+                              const uint64_t *Mant, size_t MantLimbs,
+                              bool Sticky, size_t TargetLimbs);
 
-  /// Normalizes a possibly-denormalized extended mantissa (shifts out
-  /// leading zero bits, adjusting Exp), then rounds. Returns zero if Mant is
-  /// all zeros and Sticky is clear; asserts if Mant is zero but Sticky set.
-  static BigFloat normalizeAndRound(bool Neg, int64_t Exp,
-                                    std::vector<uint64_t> Mant, bool Sticky,
-                                    size_t TargetLimbs);
+  /// Normalizes a possibly-denormalized extended mantissa in place (shifts
+  /// out leading zero bits, adjusting Exp), then rounds into \p Dst. Writes
+  /// zero if Mant is all zeros and Sticky is clear; asserts if Mant is zero
+  /// but Sticky set.
+  static void normalizeAndRoundInto(BigFloat &Dst, bool Neg, int64_t Exp,
+                                    uint64_t *Mant, size_t MantLimbs,
+                                    bool Sticky, size_t TargetLimbs);
 
   /// Direct access for RealMath: mantissa limbs of a finite value.
-  static const std::vector<uint64_t> &limbs(const BigFloat &X) {
-    return X.Limbs;
-  }
+  static const uint64_t *limbs(const BigFloat &X) { return X.Limbs.data(); }
+  static size_t limbCount(const BigFloat &X) { return X.Limbs.size(); }
   static int64_t rawExp(const BigFloat &X) { return X.Exp; }
 };
 

@@ -29,14 +29,22 @@ static const size_t GuardBits = 128;
 //===----------------------------------------------------------------------===//
 
 /// Divides a finite nonzero BigFloat by a small positive integer with a
-/// single limb pass (the workhorse of all the series below).
-static BigFloat divBySmall(const BigFloat &X, uint64_t D) {
+/// single limb pass (the workhorse of all the series below). Alias-safe
+/// destination-passing: \p Dst may be \p X; the quotient is built in stack
+/// scratch before Dst is written, so steady-state series loops never
+/// allocate.
+static void divBySmallInto(BigFloat &Dst, const BigFloat &X, uint64_t D) {
   assert(D > 0 && "division by zero");
-  if (!X.isFinite() || X.isZero())
-    return X;
-  const std::vector<uint64_t> &M = BigFloatBuilder::limbs(X);
-  size_t N = M.size();
-  std::vector<uint64_t> Q(N + 1, 0);
+  if (!X.isFinite() || X.isZero()) {
+    Dst = X;
+    return;
+  }
+  const uint64_t *M = BigFloatBuilder::limbs(X);
+  size_t N = BigFloatBuilder::limbCount(X);
+  bool NegX = X.isNegative();
+  int64_t ExpX = BigFloatBuilder::rawExp(X);
+  InlineLimbs<16> Q;
+  Q.assignZeros(N + 1);
   unsigned __int128 Rem = 0;
   for (size_t I = N; I-- > 0;) {
     unsigned __int128 Cur = (Rem << 64) | M[I];
@@ -46,9 +54,14 @@ static BigFloat divBySmall(const BigFloat &X, uint64_t D) {
   unsigned __int128 Cur = Rem << 64;
   Q[0] = static_cast<uint64_t>(Cur / D);
   bool Sticky = (Cur % D) != 0;
-  return BigFloatBuilder::normalizeAndRound(X.isNegative(),
-                                            BigFloatBuilder::rawExp(X),
-                                            std::move(Q), Sticky, N);
+  BigFloatBuilder::normalizeAndRoundInto(Dst, NegX, ExpX, Q.data(), N + 1,
+                                         Sticky, N);
+}
+
+static BigFloat divBySmall(const BigFloat &X, uint64_t D) {
+  BigFloat R;
+  divBySmallInto(R, X, D);
+  return R;
 }
 
 /// True when adding Term to a sum of magnitude ~Ref can no longer change
@@ -85,13 +98,14 @@ static BigFloat atanReciprocal(uint64_t M, size_t PrecBits) {
   BigFloat Pow = divBySmall(one(WP), M);
   BigFloat Sum = Pow;
   BigFloat Ref = Sum;
+  BigFloat Term;
   bool Negate = true;
   for (uint64_t K = 1;; ++K, Negate = !Negate) {
-    Pow = divBySmall(Pow, MSquared);
-    BigFloat Term = divBySmall(Pow, 2 * K + 1);
+    divBySmallInto(Pow, Pow, MSquared);
+    divBySmallInto(Term, Pow, 2 * K + 1);
     if (negligible(Term, Ref, WP))
       break;
-    Sum = BigFloat::add(Sum, Negate ? Term.negated() : Term);
+    BigFloat::addInto(Sum, Sum, Negate ? Term.negated() : Term);
   }
   return Sum;
 }
@@ -123,12 +137,13 @@ BigFloat realmath::ln2(size_t PrecBits) {
     // ln2 = 2*atanh(1/3) = 2 * sum 1/((2k+1) 3^(2k+1)).
     BigFloat Pow = divBySmall(one(WP), 3);
     BigFloat Sum = Pow;
+    BigFloat Term;
     for (uint64_t K = 1;; ++K) {
-      Pow = divBySmall(Pow, 9);
-      BigFloat Term = divBySmall(Pow, 2 * K + 1);
+      divBySmallInto(Pow, Pow, 9);
+      divBySmallInto(Term, Pow, 2 * K + 1);
       if (negligible(Term, Sum, WP))
         break;
-      Sum = BigFloat::add(Sum, Term);
+      BigFloat::addInto(Sum, Sum, Term);
     }
     Cached = BigFloat::scalb(Sum, 1).withPrecision(P);
     CachedPrec = P;
@@ -193,10 +208,11 @@ BigFloat realmath::exp(const BigFloat &X) {
   BigFloat Sum = one(WP);
   BigFloat Term = one(WP);
   for (uint64_t I = 1;; ++I) {
-    Term = divBySmall(BigFloat::mul(Term, R), I);
+    BigFloat::mulInto(Term, Term, R);
+    divBySmallInto(Term, Term, I);
     if (negligible(Term, Sum, WP))
       break;
-    Sum = BigFloat::add(Sum, Term);
+    BigFloat::addInto(Sum, Sum, Term);
   }
   return BigFloat::scalb(Sum, KInt).withPrecision(Prec);
 }
@@ -217,10 +233,11 @@ BigFloat realmath::expm1(const BigFloat &X) {
     BigFloat Sum = R;
     BigFloat Term = R;
     for (uint64_t I = 2;; ++I) {
-      Term = divBySmall(BigFloat::mul(Term, R), I);
+      BigFloat::mulInto(Term, Term, R);
+      divBySmallInto(Term, Term, I);
       if (negligible(Term, Sum, WP))
         break;
-      Sum = BigFloat::add(Sum, Term);
+      BigFloat::addInto(Sum, Sum, Term);
     }
     return Sum.withPrecision(Prec);
   }
@@ -260,12 +277,13 @@ static BigFloat atanhTimes2(const BigFloat &T, size_t WP) {
   BigFloat T2 = BigFloat::mul(T, T);
   BigFloat Pow = T;
   BigFloat Sum = T;
+  BigFloat Term;
   for (uint64_t K = 1;; ++K) {
-    Pow = BigFloat::mul(Pow, T2);
-    BigFloat Term = divBySmall(Pow, 2 * K + 1);
+    BigFloat::mulInto(Pow, Pow, T2);
+    divBySmallInto(Term, Pow, 2 * K + 1);
     if (negligible(Term, Sum, WP))
       break;
-    Sum = BigFloat::add(Sum, Term);
+    BigFloat::addInto(Sum, Sum, Term);
   }
   return BigFloat::scalb(Sum, 1);
 }
@@ -384,10 +402,11 @@ static BigFloat sinTaylor(const BigFloat &R, size_t WP) {
   BigFloat Term = R;
   BigFloat Sum = R;
   for (uint64_t K = 1;; ++K) {
-    Term = divBySmall(BigFloat::mul(Term, R2), (2 * K) * (2 * K + 1));
+    BigFloat::mulInto(Term, Term, R2);
+    divBySmallInto(Term, Term, (2 * K) * (2 * K + 1));
     if (negligible(Term, Sum, WP))
       break;
-    Sum = BigFloat::add(Sum, Term);
+    BigFloat::addInto(Sum, Sum, Term);
   }
   return Sum;
 }
@@ -401,10 +420,11 @@ static BigFloat cosTaylor(const BigFloat &R, size_t WP) {
   BigFloat Term = One;
   BigFloat Sum = One;
   for (uint64_t K = 1;; ++K) {
-    Term = divBySmall(BigFloat::mul(Term, R2), (2 * K - 1) * (2 * K));
+    BigFloat::mulInto(Term, Term, R2);
+    divBySmallInto(Term, Term, (2 * K - 1) * (2 * K));
     if (negligible(Term, Sum, WP))
       break;
-    Sum = BigFloat::add(Sum, Term);
+    BigFloat::addInto(Sum, Sum, Term);
   }
   return Sum;
 }
@@ -507,12 +527,13 @@ BigFloat realmath::atan(const BigFloat &X) {
   if (!A.isZero()) {
     BigFloat A2 = BigFloat::mul(A, A).negated();
     BigFloat Pow = A;
+    BigFloat Term;
     for (uint64_t K = 1;; ++K) {
-      Pow = BigFloat::mul(Pow, A2);
-      BigFloat Term = divBySmall(Pow, 2 * K + 1);
+      BigFloat::mulInto(Pow, Pow, A2);
+      divBySmallInto(Term, Pow, 2 * K + 1);
       if (negligible(Term, Sum, WP))
         break;
-      Sum = BigFloat::add(Sum, Term);
+      BigFloat::addInto(Sum, Sum, Term);
     }
   }
   BigFloat V = BigFloat::scalb(Sum, Halvings);
@@ -612,10 +633,11 @@ BigFloat realmath::sinh(const BigFloat &X) {
     BigFloat Term = R;
     BigFloat Sum = R;
     for (uint64_t K = 1;; ++K) {
-      Term = divBySmall(BigFloat::mul(Term, R2), (2 * K) * (2 * K + 1));
+      BigFloat::mulInto(Term, Term, R2);
+      divBySmallInto(Term, Term, (2 * K) * (2 * K + 1));
       if (negligible(Term, Sum, WP))
         break;
-      Sum = BigFloat::add(Sum, Term);
+      BigFloat::addInto(Sum, Sum, Term);
     }
     return Sum.withPrecision(Prec);
   }
@@ -671,8 +693,8 @@ static BigFloat powInt(const BigFloat &X, int64_t N, size_t WP) {
   BigFloat Acc = one(WP);
   while (E) {
     if (E & 1)
-      Acc = BigFloat::mul(Acc, Base);
-    Base = BigFloat::mul(Base, Base);
+      BigFloat::mulInto(Acc, Acc, Base);
+    BigFloat::mulInto(Base, Base, Base);
     E >>= 1;
   }
   return Invert ? BigFloat::div(one(WP), Acc) : Acc;

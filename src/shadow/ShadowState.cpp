@@ -10,7 +10,9 @@
 
 using namespace herbgrind;
 
-ShadowState::~ShadowState() {
+ShadowState::~ShadowState() { reset(); }
+
+void ShadowState::reset() {
   for (uint32_t T = 0; T < Temps.size(); ++T)
     clearTemp(T);
   for (auto &[Off, C] : ThreadState)

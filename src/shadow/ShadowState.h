@@ -60,6 +60,16 @@ public:
   ShadowState(const ShadowState &) = delete;
   ShadowState &operator=(const ShadowState &) = delete;
 
+  /// Releases every held shadow value and clears all storage, leaving the
+  /// state exactly as freshly constructed -- but keeping the value pool's
+  /// slabs and the memory table's buckets, so a reset-and-rerun (the batch
+  /// engine's per-run cycle within a shard) re-allocates no shadow-value
+  /// storage. Note the scope: the map/unordered_map *node* allocations of
+  /// shadow memory and thread state are still freed here and re-made by
+  /// the next run's stores; the zero-allocation invariant the benches
+  /// gate covers shadow values and arithmetic scratch, not these cells.
+  void reset();
+
   /// Creates a shadow value; takes ownership of one reference to \p Trace.
   /// The caller receives one reference to the result.
   ShadowValue *create(BigFloat Real, TraceNode *Trace, const InflSet *Infl,

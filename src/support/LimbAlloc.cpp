@@ -1,0 +1,129 @@
+//===- support/LimbAlloc.cpp - Recycled limb storage ----------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Blocks are bucketed by power-of-two capacity from 8 to 1024 limbs; each
+// bucket keeps a bounded LIFO stack (hot blocks stay cache-warm, and the
+// worst-case cached footprint per thread is a few hundred kilobytes).
+// Requests above the largest bucket fall through to plain new/delete --
+// they only occur for extreme precisions or extreme argument-reduction
+// exponents, never in the steady-state shadow hot path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LimbAlloc.h"
+
+namespace herbgrind {
+namespace limballoc {
+namespace {
+
+constexpr size_t MinCap = 8;      // smallest bucketed capacity, in limbs
+constexpr size_t NumBuckets = 8;  // 8, 16, 32, 64, 128, 256, 512, 1024
+constexpr size_t MaxPerBucket = 32;
+
+/// The cache proper is a trivially-destructible, constant-initialized
+/// thread_local, so it is valid to touch at ANY point of thread shutdown
+/// -- in particular from the destructors of other thread_locals that own
+/// spilled BigFloats (RealMath's cached constants), whose order relative
+/// to a destructor here is unknowable. A separate Reaper thread_local
+/// frees the cached blocks and flips Dead; releases arriving after that
+/// fall through to plain delete[].
+struct ThreadCache {
+  uint64_t *Blocks[NumBuckets][MaxPerBucket];
+  size_t Tops[NumBuckets];
+  uint64_t HeapAllocs;
+  uint64_t CacheHits;
+  bool Dead;
+};
+
+thread_local ThreadCache TLS; // zero-initialized, no destructor
+
+struct Reaper {
+  ~Reaper() {
+    for (size_t B = 0; B < NumBuckets; ++B)
+      for (size_t I = 0; I < TLS.Tops[B]; ++I)
+        delete[] TLS.Blocks[B][I];
+    for (size_t B = 0; B < NumBuckets; ++B)
+      TLS.Tops[B] = 0;
+    TLS.Dead = true;
+  }
+};
+
+/// Registers the reaper for this thread; called from every code path
+/// that can put a block into the cache (acquire, and the caching branch
+/// of release -- a thread can receive and destroy a spilled value it
+/// never acquired). Registration order guarantees the reaper is
+/// destroyed before any earlier-constructed thread_local whose
+/// destructor might still release blocks.
+void ensureReaper() {
+  thread_local Reaper R;
+  (void)R;
+}
+
+/// Bucket index for a capacity request; returns NumBuckets when the
+/// request is too large to bucket.
+size_t bucketFor(size_t Limbs) {
+  size_t Cap = MinCap;
+  for (size_t B = 0; B < NumBuckets; ++B, Cap *= 2)
+    if (Limbs <= Cap)
+      return B;
+  return NumBuckets;
+}
+
+size_t bucketCap(size_t B) { return MinCap << B; }
+
+} // namespace
+
+uint64_t *acquire(size_t Limbs, size_t &CapOut) {
+  size_t B = bucketFor(Limbs);
+  if (B == NumBuckets) {
+    ++TLS.HeapAllocs;
+    CapOut = Limbs;
+    return new uint64_t[Limbs];
+  }
+  CapOut = bucketCap(B);
+  if (TLS.Dead) {
+    ++TLS.HeapAllocs;
+    return new uint64_t[CapOut];
+  }
+  ensureReaper();
+  if (TLS.Tops[B] > 0) {
+    ++TLS.CacheHits;
+    return TLS.Blocks[B][--TLS.Tops[B]];
+  }
+  ++TLS.HeapAllocs;
+  return new uint64_t[CapOut];
+}
+
+void release(uint64_t *Ptr, size_t Cap) {
+  if (!Ptr)
+    return;
+  size_t B = bucketFor(Cap);
+  // Only exact bucket capacities are cached; anything else came from the
+  // fall-through path (or a foreign size) and goes straight back. So do
+  // every release after the reaper ran (thread shutdown).
+  if (!TLS.Dead && B < NumBuckets && bucketCap(B) == Cap &&
+      TLS.Tops[B] < MaxPerBucket) {
+    // A thread can cache its first block here without ever acquiring
+    // (a spilled value created on another thread, destroyed on this
+    // one); the reaper must still be registered or the cache leaks at
+    // thread exit.
+    ensureReaper();
+    TLS.Blocks[B][TLS.Tops[B]++] = Ptr;
+    return;
+  }
+  delete[] Ptr;
+}
+
+uint64_t heapAllocs() { return TLS.HeapAllocs; }
+uint64_t cacheHits() { return TLS.CacheHits; }
+
+void resetCounters() {
+  TLS.HeapAllocs = 0;
+  TLS.CacheHits = 0;
+}
+
+} // namespace limballoc
+} // namespace herbgrind

@@ -1,0 +1,164 @@
+//===- support/LimbAlloc.h - Recycled limb storage --------------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation substrate of the shadow hot path. Two pieces:
+///
+///  * `limballoc`: a per-thread, size-bucketed cache of limb blocks. Every
+///    spilled mantissa and every oversized scratch buffer draws from it, so
+///    steady-state shadow execution -- including the transcendental kernels,
+///    which work above the inline capacity -- performs no heap allocation:
+///    blocks released by one operation are reused by the next. This is the
+///    "per-thread scratch workspace" of the allocation-free design; the
+///    counters it exposes are how the benches prove the zero-allocation
+///    claim.
+///
+///  * `InlineLimbs<Cap>`: a small-size-optimized limb vector. Up to \p Cap
+///    limbs live inline in the object; larger sizes spill to a limballoc
+///    block. BigFloat stores its mantissa in an `InlineLimbs<4>` (256 bits,
+///    the default shadow precision), and the arithmetic kernels use wider
+///    instantiations as stack scratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_LIMBALLOC_H
+#define HERBGRIND_SUPPORT_LIMBALLOC_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace herbgrind {
+namespace limballoc {
+
+/// Acquires a zero-uninitialized block of at least \p Limbs limbs from the
+/// calling thread's cache (or the heap on a cold miss). The actual capacity
+/// granted is returned through \p CapOut and must be passed back to
+/// release().
+uint64_t *acquire(size_t Limbs, size_t &CapOut);
+
+/// Returns a block to the calling thread's cache (or the heap when the
+/// cache is full or the block is oversized).
+void release(uint64_t *Ptr, size_t Cap);
+
+/// \name Per-thread instrumentation counters.
+/// The benches assert the zero-allocation property with these: in steady
+/// state `heapAllocs()` stops moving while `cacheHits()` keeps counting.
+/// @{
+uint64_t heapAllocs();  ///< Blocks that hit operator new[] on this thread.
+uint64_t cacheHits();   ///< Blocks served from this thread's cache.
+void resetCounters();   ///< Zeroes both counters (thread-local).
+/// @}
+
+} // namespace limballoc
+
+/// A limb vector with \p InlineCap limbs of inline storage and limballoc
+/// spill. Assignment-only by design: both mutators (assignZeros,
+/// assignCopy) overwrite the full new size, and capacity growth does NOT
+/// preserve prior contents. Once spilled, the heap block is kept for the
+/// object's lifetime so destination-passing loops reuse capacity instead
+/// of reallocating.
+template <unsigned InlineCap> class InlineLimbs {
+public:
+  InlineLimbs() = default;
+
+  InlineLimbs(const InlineLimbs &O) { assignCopy(O.data(), O.size()); }
+
+  InlineLimbs(InlineLimbs &&O) noexcept {
+    stealFrom(O);
+  }
+
+  InlineLimbs &operator=(const InlineLimbs &O) {
+    if (this != &O)
+      assignCopy(O.data(), O.size());
+    return *this;
+  }
+
+  InlineLimbs &operator=(InlineLimbs &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (HeapPtr)
+      limballoc::release(HeapPtr, HeapCap);
+    stealFrom(O);
+    return *this;
+  }
+
+  ~InlineLimbs() {
+    if (HeapPtr)
+      limballoc::release(HeapPtr, HeapCap);
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  uint64_t *data() { return HeapPtr ? HeapPtr : InlineBuf; }
+  const uint64_t *data() const { return HeapPtr ? HeapPtr : InlineBuf; }
+
+  uint64_t operator[](size_t I) const {
+    assert(I < Count && "limb index out of range");
+    return data()[I];
+  }
+  uint64_t &operator[](size_t I) {
+    assert(I < Count && "limb index out of range");
+    return data()[I];
+  }
+
+  uint64_t back() const {
+    assert(Count > 0 && "back of empty limb vector");
+    return data()[Count - 1];
+  }
+
+  /// Sets the size to \p N with every limb zero.
+  void assignZeros(size_t N) {
+    ensureCap(N);
+    std::memset(data(), 0, N * sizeof(uint64_t));
+    Count = static_cast<uint32_t>(N);
+  }
+
+  /// Copies \p N limbs from \p P (which must not alias this storage).
+  void assignCopy(const uint64_t *P, size_t N) {
+    ensureCap(N);
+    if (N)
+      std::memcpy(data(), P, N * sizeof(uint64_t));
+    Count = static_cast<uint32_t>(N);
+  }
+
+private:
+  /// Grows capacity; existing contents are NOT preserved (both assign
+  /// forms overwrite the full new size).
+  void ensureCap(size_t N) {
+    size_t Cap = HeapPtr ? HeapCap : InlineCap;
+    if (N <= Cap)
+      return;
+    size_t NewCap = 0;
+    uint64_t *Block = limballoc::acquire(N, NewCap);
+    if (HeapPtr)
+      limballoc::release(HeapPtr, HeapCap);
+    HeapPtr = Block;
+    HeapCap = static_cast<uint32_t>(NewCap);
+  }
+
+  void stealFrom(InlineLimbs &O) {
+    Count = O.Count;
+    HeapPtr = O.HeapPtr;
+    HeapCap = O.HeapCap;
+    if (!HeapPtr && Count)
+      std::memcpy(InlineBuf, O.InlineBuf, Count * sizeof(uint64_t));
+    O.HeapPtr = nullptr;
+    O.HeapCap = 0;
+    O.Count = 0;
+  }
+
+  uint64_t InlineBuf[InlineCap];
+  uint64_t *HeapPtr = nullptr;
+  uint32_t Count = 0;
+  uint32_t HeapCap = 0;
+};
+
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_LIMBALLOC_H

@@ -9,7 +9,9 @@
 /// shadow values and trace nodes are allocated and freed at a very high rate,
 /// so each such type gets a pool of fixed-size slots with a free-list stack.
 /// The pool can be disabled (falling back to new/delete) so the optimization
-/// ablation bench can measure its effect.
+/// ablation bench can measure its effect. reset() recycles a drained pool --
+/// slabs are kept and the slot cursor rewinds -- which is how the batch
+/// engine reuses shard-local arenas across runs instead of rebuilding them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <new>
 #include <utility>
@@ -35,9 +39,7 @@ public:
   Pool(const Pool &) = delete;
   Pool &operator=(const Pool &) = delete;
 
-  ~Pool() {
-    assert(LiveCount == 0 && "pool destroyed with live objects");
-  }
+  ~Pool() { checkDrained("destroyed"); }
 
   /// Allocates and constructs an object.
   template <typename... Args> T *create(Args &&...CtorArgs) {
@@ -63,18 +65,49 @@ public:
     FreeStack.push_back(Object);
   }
 
+  /// Recycles the pool for a fresh round of allocations without releasing
+  /// its slabs: the free stack empties and the slot cursor rewinds, so the
+  /// next create() round reuses the already-grown slabs front to back.
+  /// Requires every object to have been destroy()ed first. Safe on a pool
+  /// constructed disabled (there is nothing pooled to recycle).
+  void reset() {
+    checkDrained("reset");
+    FreeStack.clear();
+    CurSlab = 0;
+    NextInSlab = 0;
+  }
+
   /// Number of currently live objects.
   size_t live() const { return LiveCount; }
 
-  /// Number of create() calls over the pool's lifetime.
+  /// Number of create() calls over the pool's lifetime (reset() does not
+  /// rewind this; it is the cumulative cost statistic).
   size_t totalAllocated() const { return TotalAllocated; }
 
   /// Whether pooled allocation is in effect (vs. plain new/delete).
   bool enabled() const { return Enabled; }
 
 private:
+  /// Enforces the pool-is-empty precondition; the assert macro cannot
+  /// interpolate the count, so report it first and name the actual leak
+  /// size. Aborts even in NDEBUG builds: proceeding (destroying slabs
+  /// under live objects, or rewinding the cursor over them) would turn a
+  /// loud leak into silent aliasing corruption.
+  void checkDrained(const char *What) {
+    if (LiveCount != 0) {
+      std::fprintf(stderr, "Pool %s with %zu live object(s) of size %zu\n",
+                   What, LiveCount, sizeof(T));
+      std::abort();
+    }
+  }
+
   union Slot {
     alignas(T) unsigned char Storage[sizeof(T)];
+  };
+
+  struct Slab {
+    std::unique_ptr<Slot[]> Mem;
+    size_t Size = 0;
   };
 
   void *takeSlot() {
@@ -83,19 +116,24 @@ private:
       FreeStack.pop_back();
       return Result;
     }
-    if (NextInSlab == SlabSize || Slabs.empty()) {
-      SlabSize = Slabs.empty() ? 64 : SlabSize * 2;
-      if (SlabSize > 65536)
-        SlabSize = 65536;
-      Slabs.push_back(std::make_unique<Slot[]>(SlabSize));
+    while (CurSlab < Slabs.size()) {
+      if (NextInSlab < Slabs[CurSlab].Size)
+        return &Slabs[CurSlab].Mem[NextInSlab++];
+      ++CurSlab;
       NextInSlab = 0;
     }
-    return &Slabs.back()[NextInSlab++];
+    size_t NewSize = Slabs.empty() ? 64 : Slabs.back().Size * 2;
+    if (NewSize > 65536)
+      NewSize = 65536;
+    Slabs.push_back({std::make_unique<Slot[]>(NewSize), NewSize});
+    CurSlab = Slabs.size() - 1;
+    NextInSlab = 1;
+    return &Slabs.back().Mem[0];
   }
 
   bool Enabled;
-  std::vector<std::unique_ptr<Slot[]>> Slabs;
-  size_t SlabSize = 0;
+  std::vector<Slab> Slabs;
+  size_t CurSlab = 0;
   size_t NextInSlab = 0;
   std::vector<void *> FreeStack;
   size_t LiveCount = 0;

@@ -65,9 +65,14 @@ double Rng::betweenOrdinals(double Lo, double Hi) {
   assert(Lo <= Hi && "empty sampling range");
   int64_t OrdLo = ordinalOfDouble(Lo);
   int64_t OrdHi = ordinalOfDouble(Hi);
-  uint64_t Span = static_cast<uint64_t>(OrdHi - OrdLo);
+  // Wide ranges overflow int64 differences; compute the span and the
+  // offset addition in uint64, where wraparound is defined (and matches
+  // the two's-complement result bit for bit, keeping sampling streams
+  // stable).
+  uint64_t Span = static_cast<uint64_t>(OrdHi) - static_cast<uint64_t>(OrdLo);
   uint64_t Offset = Span == UINT64_MAX ? next() : nextBelow(Span + 1);
-  return doubleFromOrdinal(OrdLo + static_cast<int64_t>(Offset));
+  return doubleFromOrdinal(
+      static_cast<int64_t>(static_cast<uint64_t>(OrdLo) + Offset));
 }
 
 double Rng::anyFiniteDouble() {

@@ -27,11 +27,22 @@ std::string TraceNode::str() const {
   return S;
 }
 
-TraceArena::~TraceArena() {
-  // Release the references held by the trim cache; everything else must
-  // already have been released by the analysis.
-  for (auto &[Key, Node] : TrimCache)
+TraceArena::~TraceArena() { dropTrimCache(); }
+
+void TraceArena::resetForReuse() {
+  dropTrimCache();
+  NodePool.reset();
+}
+
+void TraceArena::dropTrimCache() {
+  // Release the references the trim cache holds -- on the result AND on
+  // the key node (retained so a dead key's pool slot cannot be recycled
+  // into a new node that would alias a stale cache entry). Everything
+  // else must already have been released by the analysis.
+  for (auto &[Key, Node] : TrimCache) {
+    release(const_cast<TraceNode *>(Key.N));
     release(Node);
+  }
   TrimCache.clear();
 }
 
@@ -114,7 +125,10 @@ TraceNode *TraceArena::trim(TraceNode *N, uint32_t ToDepth) {
     }
     Result->Depth = Depth;
   }
-  // The cache keeps the single reference created above; callers borrow.
+  // The cache keeps the single reference created above (callers borrow)
+  // and retains the key node: entries are looked up by address, so the
+  // key must stay alive or its recycled slot could alias a fresh node.
+  retain(N);
   TrimCache.emplace(Key, Result);
   return Result;
 }

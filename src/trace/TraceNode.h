@@ -85,6 +85,13 @@ public:
   void retain(TraceNode *N);
   void release(TraceNode *N);
 
+  /// Recycles the arena for a fresh analysis round: drops the trim cache
+  /// (and the references it holds) and rewinds the node pool's slabs. Every
+  /// node outside the trim cache must already have been released. This is
+  /// what lets the batch engine reuse a shard-local arena across shards
+  /// instead of rebuilding it.
+  void resetForReuse();
+
   /// Structural fingerprint of a subtree to EquivDepth levels, used to
   /// decide which subtrees anti-unification may map to the same variable.
   uint64_t fingerprint(TraceNode *N);
@@ -100,6 +107,7 @@ public:
 
 private:
   TraceNode *trim(TraceNode *N, uint32_t ToDepth);
+  void dropTrimCache();
   uint64_t fingerprintRec(TraceNode *N, uint32_t DepthLeft);
   bool equivalentRec(TraceNode *A, TraceNode *B, uint32_t DepthLeft);
 

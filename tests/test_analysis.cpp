@@ -528,8 +528,9 @@ TEST(Analysis, RangeModesAffectPreconditions) {
       HG.runOnInput(
           {Rand.uniformReal(0.01, 0.25), Rand.uniformReal(-1e-9, 1e-9)});
     Report Rep = buildReport(HG);
-    ASSERT_FALSE(Rep.allRootCauses().empty());
-    const std::string &FPCore = Rep.allRootCauses()[0].FPCore;
+    std::vector<RootCauseReport> Causes = Rep.allRootCauses();
+    ASSERT_FALSE(Causes.empty());
+    const std::string &FPCore = Causes[0].FPCore;
     if (Mode == RangeMode::Off)
       EXPECT_EQ(FPCore.find(":pre"), std::string::npos);
     else

@@ -16,12 +16,14 @@
 #include "real/BigFloat.h"
 
 #include "support/FloatBits.h"
+#include "support/LimbAlloc.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 using namespace herbgrind;
 
@@ -48,6 +50,11 @@ bool sameDoubleBits(double A, double B) {
 }
 
 class BigFloatPrecisionTest : public ::testing::TestWithParam<size_t> {};
+
+/// Sweeps every limb count from 1 to 8: precisions 64..256 exercise the
+/// inline-limb representation, 320..512 the spilled one. Results must be
+/// bit-identical across the inline/heap boundary.
+class BigFloatLimbSweepTest : public ::testing::TestWithParam<size_t> {};
 
 } // namespace
 
@@ -244,6 +251,175 @@ TEST(BigFloat, FmaMatchesHardware) {
     EXPECT_TRUE(sameDoubleBits(F.toDouble(), std::fma(A, B, C)))
         << A << " " << B << " " << C;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// The inline <-> heap limb boundary (1 to 8 limbs)
+//===----------------------------------------------------------------------===//
+
+INSTANTIATE_TEST_SUITE_P(LimbCounts, BigFloatLimbSweepTest,
+                         ::testing::Values(64, 128, 192, 256, 320, 384, 448,
+                                           512));
+
+TEST_P(BigFloatLimbSweepTest, ArithmeticMatchesWideReference) {
+  // Oracle: with moderate exponent gaps, 1024-bit add/sub/mul of doubles is
+  // exact, so rounding the exact value once to P bits must reproduce the
+  // P-bit operation (which is correctly rounded by contract) for every limb
+  // count, inline or spilled.
+  size_t Prec = GetParam();
+  Rng R(601);
+  for (int I = 0; I < 2000; ++I) {
+    double A = R.uniformReal(-1e12, 1e12);
+    double B = R.uniformReal(-1e12, 1e12);
+    BigFloat PA = BigFloat::fromDouble(A, Prec);
+    BigFloat PB = BigFloat::fromDouble(B, Prec);
+    BigFloat WA = BigFloat::fromDouble(A, 1024);
+    BigFloat WB = BigFloat::fromDouble(B, 1024);
+    EXPECT_EQ(BigFloat::cmp(BigFloat::add(PA, PB),
+                            BigFloat::add(WA, WB).withPrecision(Prec)),
+              0)
+        << A << " + " << B << " prec " << Prec;
+    EXPECT_EQ(BigFloat::cmp(BigFloat::sub(PA, PB),
+                            BigFloat::sub(WA, WB).withPrecision(Prec)),
+              0)
+        << A << " - " << B << " prec " << Prec;
+    EXPECT_EQ(BigFloat::cmp(BigFloat::mul(PA, PB),
+                            BigFloat::mul(WA, WB).withPrecision(Prec)),
+              0)
+        << A << " * " << B << " prec " << Prec;
+  }
+}
+
+TEST_P(BigFloatLimbSweepTest, AliasedDestinationPassing) {
+  // The Into forms are alias-safe: Dst aliasing one or both operands must
+  // give the exact value-returning result, at every limb count.
+  size_t Prec = GetParam();
+  Rng R(602);
+  for (int I = 0; I < 1000; ++I) {
+    double XD = R.uniformReal(-1e6, 1e6);
+    double YD = R.uniformReal(-1e6, 1e6);
+    BigFloat X = BigFloat::fromDouble(XD, Prec);
+    BigFloat Y = BigFloat::fromDouble(YD, Prec);
+
+    BigFloat A = X;
+    BigFloat::addInto(A, A, A); // Dst == both operands
+    EXPECT_EQ(BigFloat::cmp(A, BigFloat::add(X, X)), 0) << XD;
+
+    BigFloat M = X;
+    BigFloat::mulInto(M, M, M);
+    EXPECT_EQ(BigFloat::cmp(M, BigFloat::mul(X, X)), 0) << XD;
+
+    BigFloat S = X;
+    BigFloat::subInto(S, S, Y); // Dst == first operand
+    EXPECT_EQ(BigFloat::cmp(S, BigFloat::sub(X, Y)), 0) << XD << " " << YD;
+
+    BigFloat S2 = Y;
+    BigFloat::subInto(S2, X, S2); // Dst == second operand
+    EXPECT_EQ(BigFloat::cmp(S2, BigFloat::sub(X, Y)), 0) << XD << " " << YD;
+
+    if (!Y.isZero()) {
+      BigFloat D = X;
+      BigFloat::divInto(D, D, Y);
+      EXPECT_EQ(BigFloat::cmp(D, BigFloat::div(X, Y)), 0) << XD << " " << YD;
+
+      BigFloat D2 = X;
+      BigFloat::divInto(D2, D2, D2); // x/x == 1 exactly
+      EXPECT_EQ(BigFloat::cmp(D2, BigFloat::fromInt64(1, Prec)), 0) << XD;
+    }
+
+    BigFloat Q = X.abs();
+    BigFloat::sqrtInto(Q, Q);
+    EXPECT_EQ(BigFloat::cmp(Q, BigFloat::sqrt(X.abs())), 0) << XD;
+  }
+}
+
+TEST_P(BigFloatLimbSweepTest, AliasedSpecialValues) {
+  size_t Prec = GetParam();
+  BigFloat Inf = BigFloat::inf(false);
+  BigFloat::subInto(Inf, Inf, Inf); // inf - inf aliased -> NaN
+  EXPECT_TRUE(Inf.isNaN());
+
+  BigFloat Z = BigFloat::zero(false);
+  BigFloat::divInto(Z, Z, Z); // 0/0 aliased -> NaN
+  EXPECT_TRUE(Z.isNaN());
+
+  BigFloat X = BigFloat::fromDouble(3.5, Prec);
+  BigFloat::subInto(X, X, X); // x - x aliased -> +0
+  EXPECT_TRUE(X.isZero());
+  EXPECT_FALSE(X.isNegative());
+}
+
+TEST(BigFloat, CopyAndMoveAcrossInlineHeapBoundary) {
+  // 256 bits (4 limbs) is the inline representation, 512 bits (8 limbs)
+  // spills. Copies and moves in all four direction combinations must
+  // preserve the exact value.
+  BigFloat Inline =
+      BigFloat::div(BigFloat::fromInt64(1, 256), BigFloat::fromInt64(3, 256));
+  BigFloat Spilled =
+      BigFloat::div(BigFloat::fromInt64(1, 512), BigFloat::fromInt64(3, 512));
+  EXPECT_EQ(Inline.precisionBits(), 256u);
+  EXPECT_EQ(Spilled.precisionBits(), 512u);
+
+  // Copy construct both ways.
+  BigFloat CopyOfInline = Inline;
+  BigFloat CopyOfSpilled = Spilled;
+  EXPECT_EQ(BigFloat::cmp(CopyOfInline, Inline), 0);
+  EXPECT_EQ(BigFloat::cmp(CopyOfSpilled, Spilled), 0);
+  EXPECT_EQ(CopyOfSpilled.debugStr(), Spilled.debugStr());
+
+  // Cross-assign: an inline-valued object receives a spilled value and
+  // vice versa (exercises storage adoption in both directions).
+  BigFloat A = Inline;
+  A = Spilled;
+  EXPECT_EQ(BigFloat::cmp(A, Spilled), 0);
+  EXPECT_EQ(A.precisionBits(), 512u);
+  BigFloat B = Spilled;
+  B = Inline;
+  EXPECT_EQ(BigFloat::cmp(B, Inline), 0);
+  EXPECT_EQ(B.precisionBits(), 256u);
+
+  // Moves preserve the value; the source is only required to be valid for
+  // destruction/reassignment afterwards.
+  BigFloat MovedSpill = std::move(A);
+  EXPECT_EQ(BigFloat::cmp(MovedSpill, Spilled), 0);
+  A = MovedSpill; // reassign the moved-from object
+  EXPECT_EQ(BigFloat::cmp(A, Spilled), 0);
+  BigFloat MovedInline = std::move(B);
+  EXPECT_EQ(BigFloat::cmp(MovedInline, Inline), 0);
+
+  // Round-tripping a spilled value through withPrecision back to an inline
+  // width crosses the boundary in arithmetic form too.
+  BigFloat Narrowed = Spilled.withPrecision(256);
+  EXPECT_EQ(BigFloat::cmp(Narrowed, Inline), 0);
+  BigFloat Widened = Inline.withPrecision(512);
+  EXPECT_EQ(Widened.precisionBits(), 512u);
+  EXPECT_EQ(BigFloat::cmp(Widened.withPrecision(256), Inline), 0);
+}
+
+TEST(BigFloat, SteadyStateArithmeticIsAllocationFree) {
+  // At the default 256-bit precision every value is inline and every
+  // scratch buffer is stack-resident: after a warm-up round, add/sub/mul/
+  // div/sqrt must perform zero heap allocations.
+  Rng R(603);
+  auto Round = [&] {
+    BigFloat Acc = BigFloat::fromDouble(1.0, 256);
+    BigFloat T;
+    for (int I = 0; I < 200; ++I) {
+      BigFloat X = BigFloat::fromDouble(R.uniformReal(0.5, 2.0), 256);
+      BigFloat::mulInto(T, Acc, X);
+      BigFloat::addInto(Acc, T, X);
+      BigFloat::divInto(Acc, Acc, X);
+      BigFloat::sqrtInto(T, Acc.abs());
+      BigFloat::subInto(Acc, Acc, T);
+      BigFloat::addInto(Acc, Acc, BigFloat::fromDouble(1.5, 256));
+    }
+    return Acc;
+  };
+  Round(); // warm-up: may touch the limb cache cold paths
+  limballoc::resetCounters();
+  Round();
+  EXPECT_EQ(limballoc::heapAllocs(), 0u)
+      << "steady-state 256-bit arithmetic reached the heap";
 }
 
 //===----------------------------------------------------------------------===//

@@ -635,3 +635,50 @@ TEST(ResultCache, ShardRangeSlicesShareTheCache) {
   Plain.CacheDir.clear();
   EXPECT_EQ(Engine(Plain).run(Cores).renderJson(), Full.renderJson());
 }
+
+TEST(ResultCache, GcPrunesLeastRecentlyUsedToTheCap) {
+  TempDir Dir("cache-gc");
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(3);
+  EngineConfig Cfg;
+  Cfg.Jobs = 1;
+  Cfg.SamplesPerBenchmark = 8;
+  Cfg.ShardSize = 2;
+  Cfg.CacheDir = Dir.Path;
+  std::string Reference = Engine(Cfg).run(Cores).renderJson();
+
+  CacheGcStats Before;
+  std::string Err;
+  ASSERT_TRUE(gcCacheDir(Dir.Path, UINT64_MAX, Before, Err)) << Err;
+  ASSERT_GT(Before.Entries, 0u);
+  EXPECT_EQ(Before.PrunedEntries, 0u); // unbounded cap prunes nothing
+
+  // Prune to roughly half the current footprint: some entries must go,
+  // and the survivors must fit the cap.
+  uint64_t Cap = Before.Bytes / 2;
+  CacheGcStats Pruned;
+  ASSERT_TRUE(gcCacheDir(Dir.Path, Cap, Pruned, Err)) << Err;
+  EXPECT_GT(Pruned.PrunedEntries, 0u);
+  EXPECT_LT(Pruned.PrunedEntries, Pruned.Entries);
+  EXPECT_LE(Pruned.Bytes - Pruned.PrunedBytes, Cap);
+
+  // A pruned cache is just colder: the rerun refills it byte-identically.
+  BatchResult Rerun = Engine(Cfg).run(Cores);
+  EXPECT_GT(Rerun.Stats.AnalyzedShards, 0u);
+  EXPECT_GT(Rerun.Stats.CachedShards, 0u);
+  EXPECT_EQ(Rerun.renderJson(), Reference);
+
+  // Cap 0 empties the cache entirely.
+  CacheGcStats Emptied;
+  ASSERT_TRUE(gcCacheDir(Dir.Path, 0, Emptied, Err)) << Err;
+  EXPECT_EQ(Emptied.PrunedEntries, Emptied.Entries);
+
+  // The engine's own post-run GC honors CacheMaxBytes.
+  EngineConfig Capped = Cfg;
+  Capped.CacheMaxBytes = Cap;
+  BatchResult AutoGc = Engine(Capped).run(Cores);
+  EXPECT_EQ(AutoGc.renderJson(), Reference);
+  EXPECT_GT(AutoGc.Stats.CachePrunedEntries, 0u);
+  CacheGcStats After;
+  ASSERT_TRUE(gcCacheDir(Dir.Path, UINT64_MAX, After, Err)) << Err;
+  EXPECT_LE(After.Bytes, Cap);
+}

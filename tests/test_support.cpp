@@ -239,6 +239,41 @@ TEST(Pool, DisabledFallsBackToHeap) {
   EXPECT_FALSE(P.enabled());
 }
 
+TEST(Pool, ResetRewindsSlabs) {
+  Pool<Tracked> P;
+  std::vector<Tracked *> Objs;
+  for (int I = 0; I < 200; ++I)
+    Objs.push_back(P.create(I));
+  void *FirstSlot = Objs.front();
+  for (Tracked *T : Objs)
+    P.destroy(T);
+  P.reset();
+  // After reset the pool hands out the already-grown slabs front to back,
+  // starting from the very first slot.
+  Tracked *A = P.create(42);
+  EXPECT_EQ(static_cast<void *>(A), FirstSlot);
+  EXPECT_EQ(A->Value, 42);
+  // Allocation keeps working past the first slab boundary after a rewind.
+  std::vector<Tracked *> Round2{A};
+  for (int I = 0; I < 300; ++I)
+    Round2.push_back(P.create(I));
+  for (Tracked *T : Round2)
+    P.destroy(T);
+  EXPECT_EQ(P.live(), 0u);
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(Pool, ResetSafeWhenDisabled) {
+  Pool<Tracked> P(/*Enabled=*/false);
+  Tracked *A = P.create(3);
+  P.destroy(A);
+  P.reset(); // nothing pooled to recycle; must be a safe no-op
+  Tracked *B = P.create(4);
+  EXPECT_EQ(B->Value, 4);
+  P.destroy(B);
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
 //===----------------------------------------------------------------------===//
 // RunningStat
 //===----------------------------------------------------------------------===//
