@@ -30,6 +30,7 @@
 
 #include "BenchCommon.h"
 #include "engine/Engine.h"
+#include "improve/BatchImprove.h"
 #include "support/Format.h"
 #include "support/LimbAlloc.h"
 
@@ -139,6 +140,7 @@ int main(int Argc, char **Argv) {
   std::string JobsJson;
   std::string Reference;
   double BaseSeconds = 0.0;
+  BatchResult LastResult; // top-jobs sweep, reused by the improver probe
   for (unsigned J : JobCounts) {
     Cfg.Jobs = J;
     Engine Eng(Cfg); // fresh engine: cache warmup is part of every run
@@ -170,7 +172,24 @@ int main(int Argc, char **Argv) {
                              std::max(R.Stats.WallSeconds, 1e-9))
             .c_str(),
         formatDoubleShortest(Speedup).c_str());
+    LastResult = std::move(R);
   }
+
+  // Batch-improver throughput: run the corpus-wide repair pass over the
+  // top-jobs sweep's merged root causes, so improver speed is tracked
+  // commit over commit like shadow-op throughput.
+  improve::BatchImproveConfig BCfg;
+  BCfg.Jobs = JobCounts.back();
+  improve::BatchImproveStats IStats = improve::batchImprove(LastResult, BCfg);
+  double RecordsPerS =
+      IStats.WallSeconds > 0.0 ? IStats.Candidates / IStats.WallSeconds : 0.0;
+  std::printf("\nbatch improver (jobs %u): %llu root causes (%llu "
+              "significant, %llu improved) in %.3fs (%.0f records/s)\n",
+              BCfg.Jobs,
+              static_cast<unsigned long long>(IStats.Candidates),
+              static_cast<unsigned long long>(IStats.Significant),
+              static_cast<unsigned long long>(IStats.Improved),
+              IStats.WallSeconds, RecordsPerS);
 
   // The allocation-free hot path probe (bench_table1_overhead's Herbgrind
   // row, instrumented): zero steady-state heap allocations is the
@@ -235,6 +254,8 @@ int main(int Argc, char **Argv) {
       "\"overhead_factor\":%s,\"shadow_ops\":%llu,"
       "\"steady_heap_allocs\":%llu,\"allocs_per_op\":%s,"
       "\"limb_cache_hits\":%llu},"
+      "\"improve\":{\"jobs\":%u,\"wall_s\":%s,\"candidates\":%llu,"
+      "\"significant\":%llu,\"improved\":%llu,\"records_per_s\":%s},"
       "\"cache\":%s}\n",
       Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
       formatDoubleShortest(Probe.NativeSeconds).c_str(),
@@ -244,6 +265,11 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned long long>(Probe.SteadyHeapAllocs),
       formatDoubleShortest(AllocsPerOp).c_str(),
       static_cast<unsigned long long>(Probe.SteadyCacheHits),
+      BCfg.Jobs, formatDoubleShortest(IStats.WallSeconds).c_str(),
+      static_cast<unsigned long long>(IStats.Candidates),
+      static_cast<unsigned long long>(IStats.Significant),
+      static_cast<unsigned long long>(IStats.Improved),
+      formatDoubleShortest(RecordsPerS).c_str(),
       CacheJson.c_str());
   std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
   if (Out) {

@@ -16,12 +16,17 @@
 //   --merge-shards      fold shard documents (files or directories of
 //                       them) into the report a single full sweep of the
 //                       same configuration would have produced
+//   --improve           run the batch improver over every merged root
+//                       cause (works after a sweep and on merged shard
+//                       documents; outcomes land in the report's
+//                       "improvements" section and in the result cache)
 //
 // Usage:
 //   herbgrind_batch [--jobs N] [--samples N] [--shard N] [--seed S]
 //                   [--cache-dir D] [--emit-shard D] [--shard-range LO:HI]
+//                   [--improve] [--improve-samples N]
 //                   [--name BENCH]... [file.fpcore]... [--json] [--out F]
-//   herbgrind_batch --merge-shards [--json] [--out F] PATH...
+//   herbgrind_batch --merge-shards [--improve] [--json] [--out F] PATH...
 //   herbgrind_batch --list
 //   herbgrind_batch --selftest [engine options]   # jobs-invariance check
 //
@@ -30,6 +35,7 @@
 #include "engine/Engine.h"
 #include "engine/ResultCache.h"
 #include "fpcore/Corpus.h"
+#include "improve/BatchImprove.h"
 
 #include <algorithm>
 #include <cctype>
@@ -38,6 +44,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +75,11 @@ static int usage(const char *Prog) {
       "                    [LO, HI) of the full layout\n"
       "  --merge-shards    merge mode: remaining paths are shard documents\n"
       "                    (or directories of *.json) to fold into a report\n"
+      "  --improve         run the batch improver over every merged root\n"
+      "                    cause; outcomes are appended to the report (and\n"
+      "                    cached in --cache-dir when one is configured)\n"
+      "  --improve-samples N  sampled points per improver run (default "
+      "256)\n"
       "  --json            emit a JSON report instead of text\n"
       "  --out FILE        write the report to FILE instead of stdout\n"
       "  --list            list corpus benchmark names\n"
@@ -93,6 +105,48 @@ static int emitRendered(const std::string &Rendered,
   }
   Out << Rendered;
   return 0;
+}
+
+/// Re-enforces a configured --cache-max-bytes after an improve pass
+/// stored fresh entries (any engine-side GC ran before they existed): a
+/// capped directory never ends an --improve run over its bound. Folds GC
+/// statistics into \p Stats when given, otherwise warns on failure.
+static void enforceCacheCap(ResultCache *Cache, uint64_t MaxBytes,
+                            EngineStats *Stats) {
+  if (!Cache || MaxBytes == 0)
+    return;
+  CacheGcStats Gc;
+  std::string GcErr;
+  if (Cache->gc(MaxBytes, Gc, GcErr)) {
+    if (Stats) {
+      Stats->CachePrunedEntries += Gc.PrunedEntries;
+      Stats->CachePrunedBytes += Gc.PrunedBytes;
+    }
+  } else if (Stats && Stats->CacheGcError.empty()) {
+    Stats->CacheGcError = std::move(GcErr);
+  } else if (!Stats) {
+    std::fprintf(stderr, "warning: cache GC failed (cap not enforced): %s\n",
+                 GcErr.c_str());
+  }
+}
+
+/// Runs the batch improver over a sweep's (or merge's) result, attaching
+/// outcomes to the per-benchmark reports. Statistics go to stderr so the
+/// report stream stays byte-comparable.
+static void runImprovePass(BatchResult &Result,
+                           const improve::BatchImproveConfig &BCfg,
+                           ResultCache *Cache) {
+  improve::BatchImproveStats S = improve::batchImprove(Result, BCfg, Cache);
+  std::fprintf(stderr,
+               "improver: %llu root causes across %llu benchmarks "
+               "(%llu significant, %llu improved) in %.2fs "
+               "(%llu analyzed, %llu cached)\n",
+               static_cast<unsigned long long>(S.Candidates),
+               static_cast<unsigned long long>(S.Benchmarks),
+               static_cast<unsigned long long>(S.Significant),
+               static_cast<unsigned long long>(S.Improved), S.WallSeconds,
+               static_cast<unsigned long long>(S.AnalyzedRecords),
+               static_cast<unsigned long long>(S.CachedRecords));
 }
 
 static std::string renderText(const BatchResult &Result) {
@@ -137,7 +191,10 @@ static bool collectShardPaths(const std::vector<std::string> &Args,
 }
 
 static int runMergeShards(const std::vector<std::string> &Args, bool Json,
-                          const std::string &OutFile) {
+                          const std::string &OutFile, bool Improve,
+                          const improve::BatchImproveConfig &BCfg,
+                          const std::string &CacheDir,
+                          uint64_t CacheMaxBytes) {
   if (Args.empty()) {
     std::fprintf(stderr,
                  "error: --merge-shards needs shard files or directories\n");
@@ -162,6 +219,9 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
     }
     Docs.push_back(std::move(Doc));
   }
+  // The documents carry the producing sweep's config hash; a cache opened
+  // with it shares improver entries with that sweep's own --improve runs.
+  std::string DocsHash = Docs.empty() ? std::string() : Docs.front().ConfigHash;
 
   BatchResult Result;
   std::string Err, Warnings;
@@ -171,6 +231,16 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
   }
   if (!Warnings.empty())
     std::fprintf(stderr, "warning: %s", Warnings.c_str());
+
+  if (Improve) {
+    std::unique_ptr<ResultCache> Cache;
+    if (!CacheDir.empty()) {
+      Cache = std::make_unique<ResultCache>(CacheDir, DocsHash);
+      Cache->setTouchOnHit(CacheMaxBytes > 0);
+    }
+    runImprovePass(Result, BCfg, Cache.get());
+    enforceCacheCap(Cache.get(), CacheMaxBytes, nullptr);
+  }
 
   std::string Rendered =
       Json ? Result.renderJson() + "\n" : renderText(Result);
@@ -221,7 +291,8 @@ static int runCacheGc(const std::string &CacheDir, uint64_t MaxBytes,
 int main(int Argc, char **Argv) {
   EngineConfig Cfg;
   bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
-  bool CacheMaxSet = false;
+  bool CacheMaxSet = false, Improve = false;
+  improve::BatchImproveConfig BCfg;
   std::string OutFile;
   std::vector<Core> Cores;
   std::vector<std::string> MergeArgs;
@@ -307,6 +378,17 @@ int main(int Argc, char **Argv) {
       Cfg.ShardEnd = static_cast<size_t>(Hi);
     } else if (std::strcmp(Arg, "--merge-shards") == 0) {
       MergeShards = true;
+    } else if (std::strcmp(Arg, "--improve") == 0) {
+      Improve = true;
+    } else if (std::strcmp(Arg, "--improve-samples") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      BCfg.Improve.SampleCount = std::atoi(V);
+      if (BCfg.Improve.SampleCount < 1) {
+        std::fprintf(stderr, "error: --improve-samples must be >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--name") == 0) {
       const char *V = NextValue();
       if (!V)
@@ -359,11 +441,14 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  BCfg.Jobs = Cfg.Jobs;
+
   if (CacheGc)
     return runCacheGc(Cfg.CacheDir, Cfg.CacheMaxBytes, CacheMaxSet);
 
   if (MergeShards)
-    return runMergeShards(MergeArgs, Json, OutFile);
+    return runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
+                          Cfg.CacheDir, Cfg.CacheMaxBytes);
 
   Engine Eng(Cfg);
   bool WholeCorpus = Cores.empty();
@@ -377,6 +462,18 @@ int main(int Argc, char **Argv) {
     OneCfg.Jobs = 1;
     Engine One(OneCfg);
     BatchResult Single = WholeCorpus ? One.runCorpus() : One.run(Cores);
+    if (Improve) {
+      // The improver is part of the determinism contract too: its
+      // outcomes must not depend on the worker count either. The
+      // single-worker leg deliberately bypasses the cache -- otherwise
+      // it would read back the entries the multi-worker leg just
+      // stored and compare the cache with itself.
+      runImprovePass(Multi, BCfg, Eng.resultCache());
+      enforceCacheCap(Eng.resultCache(), Cfg.CacheMaxBytes, nullptr);
+      improve::BatchImproveConfig OneBCfg = BCfg;
+      OneBCfg.Jobs = 1;
+      runImprovePass(Single, OneBCfg, nullptr);
+    }
     if (Multi.renderJson() != Single.renderJson()) {
       std::fprintf(stderr,
                    "FAIL: --jobs %u report differs from --jobs 1 report\n",
@@ -397,6 +494,10 @@ int main(int Argc, char **Argv) {
   }
 
   BatchResult Result = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+  if (Improve) {
+    runImprovePass(Result, BCfg, Eng.resultCache());
+    enforceCacheCap(Eng.resultCache(), Cfg.CacheMaxBytes, &Result.Stats);
+  }
   if (!Result.Stats.CacheGcError.empty())
     std::fprintf(stderr, "warning: cache GC failed (cap not enforced): %s\n",
                  Result.Stats.CacheGcError.c_str());

@@ -133,6 +133,44 @@ void Report::mergeFrom(const Report &Other) {
                 return A.PC < B.PC;
               });
   }
+  if (!Other.Improvements.empty()) {
+    // Pc spaces are per-program (exactly why spots merge on (pc, loc)),
+    // so cross-benchmark folds key on (pc, expression): two programs
+    // blaming different expressions at the same pc keep both records.
+    // A full-key collision (same expression under different recorded
+    // regimes) keeps the strongest outcome -- mirroring the root-cause
+    // policy above -- with field-wise tie-breaks so the benchmark fold
+    // order never decides.
+    auto Stronger = [](const ImproveRecord &X, const ImproveRecord &Y) {
+      if (X.Improved != Y.Improved)
+        return X.Improved;
+      double GX = X.ErrorBefore - X.ErrorAfter;
+      double GY = Y.ErrorBefore - Y.ErrorAfter;
+      if (GX != GY)
+        return GX > GY;
+      if (X.ErrorBefore != Y.ErrorBefore)
+        return X.ErrorBefore > Y.ErrorBefore;
+      return X.Rewritten < Y.Rewritten;
+    };
+    for (const ImproveRecord &IR : Other.Improvements) {
+      ImproveRecord *Have = nullptr;
+      for (ImproveRecord &Mine : Improvements)
+        if (Mine.PC == IR.PC && Mine.Original == IR.Original) {
+          Have = &Mine;
+          break;
+        }
+      if (!Have)
+        Improvements.push_back(IR);
+      else if (Stronger(IR, *Have))
+        *Have = IR;
+    }
+    std::sort(Improvements.begin(), Improvements.end(),
+              [](const ImproveRecord &A, const ImproveRecord &B) {
+                if (A.PC != B.PC)
+                  return A.PC < B.PC;
+                return A.Original < B.Original;
+              });
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -173,7 +211,23 @@ std::string Report::renderJson() const {
     }
     Out += "]}";
   }
-  Out += "]}";
+  Out += "]";
+  // The improvements section is emitted only when an improver pass ran:
+  // an empty vector renders the exact pre-1.1 bytes, so reports without
+  // improver results stay byte-identical to older writers'.
+  if (!Improvements.empty()) {
+    Out += ",\"improvements\":[";
+    bool FirstIR = true;
+    for (const ImproveRecord &IR : Improvements) {
+      if (!FirstIR)
+        Out += ",";
+      FirstIR = false;
+      Out += format("{\"pc\":%u,%s}", IR.PC,
+                    renderImproveOutcomeJson(IR).c_str());
+    }
+    Out += "]";
+  }
+  Out += "}";
   return Out;
 }
 
@@ -225,6 +279,25 @@ std::string Report::render() const {
                     RC.Loc.str().c_str(),
                     static_cast<unsigned long long>(RC.Flagged),
                     RC.MaxLocalError);
+    }
+    Out += "\n";
+  }
+  if (!Improvements.empty()) {
+    uint64_t Improved = 0;
+    for (const ImproveRecord &IR : Improvements)
+      Improved += IR.Improved ? 1 : 0;
+    Out += format("Improver suggestions (%zu root causes, %llu improved):\n",
+                  Improvements.size(),
+                  static_cast<unsigned long long>(Improved));
+    for (const ImproveRecord &IR : Improvements) {
+      Out += format("  pc %u: %s   (%.1f bits mean error%s)\n", IR.PC,
+                    IR.Original.c_str(), IR.ErrorBefore,
+                    IR.HadSignificantError ? ", significant" : "");
+      if (IR.Improved)
+        Out += format("    -> %s   (%.1f bits mean error)\n",
+                      IR.Rewritten.c_str(), IR.ErrorAfter);
+      else
+        Out += "    (no accuracy-improving rewrite in the database)\n";
     }
     Out += "\n";
   }

@@ -36,6 +36,21 @@ struct RootCauseReport {
   std::string ExampleInput;   ///< "(v0, v1, ...)" of a problematic round.
 };
 
+/// One batch-improver outcome for a candidate root cause: the Section 8.1
+/// judgment ("does Herbie actually fix what Herbgrind blamed?") made
+/// corpus-wide. Produced by improve::batchImprove, attached to the report
+/// it ran over, and carried through the versioned wire format (the
+/// "improvements" section, added in wire format 1.1).
+struct ImproveRecord {
+  uint32_t PC = 0;          ///< Root-cause operation pc (record identity).
+  std::string Original;     ///< Expression body fed to the improver.
+  std::string Rewritten;    ///< Most accurate rewrite found ("" when none).
+  double ErrorBefore = 0.0; ///< Mean bits of error, original expression.
+  double ErrorAfter = 0.0;  ///< Mean bits of error, best version found.
+  bool HadSignificantError = false; ///< Above the paper's > 5 bits bar.
+  bool Improved = false;    ///< Gain reached the improver's threshold.
+};
+
 /// One erroneous spot with its root causes.
 struct SpotReport {
   uint32_t PC = 0;                 ///< The spot's pc.
@@ -50,6 +65,12 @@ struct SpotReport {
 /// The full report.
 struct Report {
   std::vector<SpotReport> Spots;
+
+  /// Batch-improver outcomes for this report's root causes, ascending by
+  /// pc. Empty unless improve::batchImprove ran over the report; an empty
+  /// vector renders exactly as the pre-1.1 format did, so reports without
+  /// an improver pass stay byte-identical to older writers'.
+  std::vector<ImproveRecord> Improvements;
 
   /// Paper-style rendering.
   std::string render() const;
@@ -67,7 +88,11 @@ struct Report {
 
   /// Folds another report in at the presentation level: spots for the same
   /// (pc, location) combine their counters and keep each root cause's
-  /// strongest version; other spots append. This is the aggregation used
+  /// strongest version; other spots append. Improver records append for
+  /// (pc, expression) pairs this report has none for -- pc spaces are
+  /// per-program, so unrelated expressions sharing a pc both survive --
+  /// keep the strongest outcome on a full-key collision, and the merged
+  /// list re-sorts by pc. This is the aggregation used
   /// for corpus-wide summaries over per-benchmark reports. For shards of
   /// one program prefer merging `AnalysisResult`s and rebuilding -- that
   /// path anti-unifies the underlying expressions and is exact.

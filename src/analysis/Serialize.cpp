@@ -629,6 +629,71 @@ bool herbgrind::parseShardJson(const std::string &Text, ShardDoc &Out,
 }
 
 //===----------------------------------------------------------------------===//
+// Improver records and the improve cache document
+//===----------------------------------------------------------------------===//
+
+std::string herbgrind::renderImproveOutcomeJson(const ImproveRecord &R) {
+  return format("\"original\":\"%s\",\"rewritten\":\"%s\","
+                "\"errorBefore\":%s,\"errorAfter\":%s,"
+                "\"significant\":%s,\"improved\":%s",
+                jsonEscape(R.Original).c_str(),
+                jsonEscape(R.Rewritten).c_str(),
+                formatDoubleShortest(R.ErrorBefore).c_str(),
+                formatDoubleShortest(R.ErrorAfter).c_str(),
+                R.HadSignificantError ? "true" : "false",
+                R.Improved ? "true" : "false");
+}
+
+static bool parseImproveOutcome(const JsonValue &V, ImproveRecord &Out,
+                                std::string &Err) {
+  Fields F{V, Err, "improve record"};
+  return F.str("original", Out.Original) &&
+         F.str("rewritten", Out.Rewritten) &&
+         F.dbl("errorBefore", Out.ErrorBefore) &&
+         F.dbl("errorAfter", Out.ErrorAfter) &&
+         F.boolean("significant", Out.HadSignificantError) &&
+         F.boolean("improved", Out.Improved);
+}
+
+std::string herbgrind::renderImproveDocJson(const ImproveDoc &Doc) {
+  return format("{\"format\":\"herbgrind-improve\","
+                "\"version\":{\"major\":%d,\"minor\":%d},"
+                "\"configHash\":\"%s\",\"improveHash\":\"%s\","
+                "\"expr\":\"%s\",\"specs\":\"%s\",\"record\":{%s}}",
+                WireFormatMajor, WireFormatMinor,
+                jsonEscape(Doc.ConfigHash).c_str(),
+                jsonEscape(Doc.ImproveHash).c_str(),
+                jsonEscape(Doc.ExprIdentity).c_str(),
+                jsonEscape(Doc.SpecIdentity).c_str(),
+                renderImproveOutcomeJson(Doc.Record).c_str());
+}
+
+bool herbgrind::parseImproveDocJson(const std::string &Text, ImproveDoc &Out,
+                                    std::string &Err) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
+  }
+  if (!R.Value.isObject()) {
+    Err = "improve document is not an object";
+    return false;
+  }
+  if (!checkEnvelope(R.Value, "herbgrind-improve", Err))
+    return false;
+  Fields F{R.Value, Err, "improve"};
+  if (!F.str("configHash", Out.ConfigHash) ||
+      !F.str("improveHash", Out.ImproveHash) ||
+      !F.str("expr", Out.ExprIdentity) || !F.str("specs", Out.SpecIdentity))
+    return false;
+  const JsonValue *Rec = F.object("record");
+  if (!Rec || !parseImproveOutcome(*Rec, Out.Record, Err))
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // Presentation-level reports
 //===----------------------------------------------------------------------===//
 
@@ -688,6 +753,25 @@ bool herbgrind::parseReport(const JsonValue &V, Report &Out, std::string &Err) {
       SR.RootCauses.push_back(std::move(RC));
     }
     Out.Spots.push_back(std::move(SR));
+  }
+  // Optional improvements section (absent from pre-1.1 writers and from
+  // reports no improver pass ran over); absence round-trips to absence.
+  if (const JsonValue *Imp = V.field("improvements")) {
+    if (!Imp->isArray()) {
+      Err = "report: 'improvements' is not an array";
+      return false;
+    }
+    for (const JsonValue &RecVal : Imp->Arr) {
+      if (!RecVal.isObject()) {
+        Err = "report: improvement is not an object";
+        return false;
+      }
+      Fields IF{RecVal, Err, "improve record"};
+      ImproveRecord IR;
+      if (!IF.u32("pc", IR.PC) || !parseImproveOutcome(RecVal, IR, Err))
+        return false;
+      Out.Improvements.push_back(std::move(IR));
+    }
   }
   return true;
 }

@@ -40,7 +40,9 @@ namespace herbgrind {
 /// config hash, so a version bump invalidates persistent caches.
 constexpr int WireFormatMajor = 1;
 /// Minor version: additive, backward-compatible changes only.
-constexpr int WireFormatMinor = 0;
+/// History: 1.1 added the optional report "improvements" section
+/// (ImproveRecord) and the "herbgrind-improve" cache document.
+constexpr int WireFormatMinor = 1;
 
 /// Spot kind name used in wire documents and text reports ("Output",
 /// "Compare", "Conversion").
@@ -92,9 +94,39 @@ std::string renderShardJson(const std::string &ConfigHash,
 /// major versions.
 bool parseShardJson(const std::string &Text, ShardDoc &Out, std::string &Err);
 
+/// Renders an ImproveRecord's outcome fields (everything but the pc,
+/// which is positional identity and rendered by the container): the
+/// shared body of the report "improvements" section and the improve
+/// cache document.
+std::string renderImproveOutcomeJson(const ImproveRecord &R);
+
+/// One cached batch-improver outcome: the record plus the identities
+/// that validate a cache hit (the producing sweep's config hash, the
+/// improver-config hash, and the exact expression/sampling-spec text the
+/// improver ran on). Stored by engine::ResultCache as
+/// `<key>.improve.json`.
+struct ImproveDoc {
+  std::string ConfigHash;   ///< engine::configHash() of the sweep.
+  std::string ImproveHash;  ///< improve::improveConfigHash() of the pass.
+  std::string ExprIdentity; ///< Printed expression the improver ran on.
+  std::string SpecIdentity; ///< Canonical sampling-spec text.
+  ImproveRecord Record;     ///< The outcome (PC is not persisted: the
+                            ///< same expression can be blamed at many
+                            ///< sites; callers re-stamp identity).
+};
+
+/// Renders a complete improve-cache document (versioned envelope).
+std::string renderImproveDocJson(const ImproveDoc &Doc);
+
+/// Parses an improve-cache document. Rejects wrong "format" tags and
+/// unknown major versions.
+bool parseImproveDocJson(const std::string &Text, ImproveDoc &Out,
+                         std::string &Err);
+
 /// Parses a presentation-level report object ({"spots":[...]}, the value
 /// of a batch document's per-benchmark "report" field). Round trip:
-/// parseReport(render(r)) re-renders to the same bytes.
+/// parseReport(render(r)) re-renders to the same bytes. The
+/// "improvements" section is optional (absent in pre-1.1 documents).
 bool parseReport(const JsonValue &V, Report &Out, std::string &Err);
 
 /// Convenience wrapper: parses JSON text into a Report.

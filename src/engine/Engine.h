@@ -149,8 +149,10 @@ public:
   const EngineConfig &config() const { return Cfg; }
 
   /// The persistent shard-result cache, or nullptr when CacheDir is
-  /// empty.
+  /// empty. The non-const form exists for follow-on passes (the batch
+  /// improver) that store their own entries in the same directory.
   const ResultCache *resultCache() const { return RC.get(); }
+  ResultCache *resultCache() { return RC.get(); }
 
 private:
   EngineConfig Cfg;

@@ -160,6 +160,61 @@ void ResultCache::store(const ShardKey &Key, const std::string &BenchName,
 }
 
 //===----------------------------------------------------------------------===//
+// Improver outcomes
+//===----------------------------------------------------------------------===//
+
+std::string ResultCache::improveEntryPath(const ImproveKey &Key) const {
+  uint64_t H = fnv1a64(Hash);
+  H = fnv1a64(Key.ImproveHash, H);
+  H = fnv1a64("|expr=", H);
+  H = fnv1a64(Key.ExprIdentity, H);
+  H = fnv1a64("|specs=", H);
+  H = fnv1a64(Key.SpecIdentity, H);
+  return Dir + "/" + format("%016llx", static_cast<unsigned long long>(H)) +
+         ".improve.json";
+}
+
+bool ResultCache::lookupImprove(const ImproveKey &Key, ImproveRecord &Out) {
+  std::string Path = improveEntryPath(Key);
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    ++Misses;
+    return false;
+  }
+  ImproveDoc Doc;
+  std::string Err;
+  // Full identity validation, not just the filename hash: a colliding or
+  // foreign entry must read as absent, never as a wrong outcome.
+  if (!parseImproveDocJson(Text, Doc, Err) || Doc.ConfigHash != Hash ||
+      Doc.ImproveHash != Key.ImproveHash ||
+      Doc.ExprIdentity != Key.ExprIdentity ||
+      Doc.SpecIdentity != Key.SpecIdentity) {
+    ++Misses;
+    return false;
+  }
+  Out = std::move(Doc.Record);
+  ++Hits;
+  if (TouchOnHit) {
+    std::error_code Ec;
+    std::filesystem::last_write_time(
+        Path, std::filesystem::file_time_type::clock::now(), Ec);
+  }
+  return true;
+}
+
+void ResultCache::storeImprove(const ImproveKey &Key,
+                               const ImproveRecord &Rec) {
+  ImproveDoc Doc;
+  Doc.ConfigHash = Hash;
+  Doc.ImproveHash = Key.ImproveHash;
+  Doc.ExprIdentity = Key.ExprIdentity;
+  Doc.SpecIdentity = Key.SpecIdentity;
+  Doc.Record = Rec;
+  if (!writeFileAtomic(improveEntryPath(Key), renderImproveDocJson(Doc)))
+    ++StoreFailures;
+}
+
+//===----------------------------------------------------------------------===//
 // Garbage collection
 //===----------------------------------------------------------------------===//
 
@@ -179,12 +234,20 @@ bool herbgrind::engine::gcCacheDir(const std::string &Dir, uint64_t MaxBytes,
                  Ec.message().c_str());
     return false;
   }
-  const std::string Suffix = ".shard.json";
+  // Both entry kinds the cache writes are subject to the cap.
+  const std::string Suffixes[] = {".shard.json", ".improve.json"};
+  auto IsEntry = [&](const std::string &Name) {
+    for (const std::string &Suffix : Suffixes)
+      if (Name.size() >= Suffix.size() &&
+          Name.compare(Name.size() - Suffix.size(), Suffix.size(),
+                       Suffix) == 0)
+        return true;
+    return false;
+  };
   for (; !Ec && It != End; It.increment(Ec)) {
     const fs::path &P = It->path();
     std::string Name = P.filename().string();
-    if (Name.size() < Suffix.size() ||
-        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    if (!IsEntry(Name))
       continue;
     std::error_code SizeEc, TimeEc;
     uint64_t Size = fs::file_size(P, SizeEc);

@@ -61,7 +61,8 @@ struct CacheGcStats {
   uint64_t PrunedBytes = 0;   ///< Bytes reclaimed by this pass.
 };
 
-/// Prunes a cache directory's `*.shard.json` entries down to at most
+/// Prunes a cache directory's entries (`*.shard.json` shard results and
+/// `*.improve.json` improver outcomes) down to at most
 /// \p MaxBytes, deleting least-recently-used entries first (mtime order;
 /// caches with touch-on-hit enabled refresh entries on lookup, so hot
 /// shards survive). MaxBytes 0 empties the cache. Tolerates concurrent writers: entries that vanish
@@ -104,6 +105,32 @@ public:
   /// The entry file for a key (deterministic; exposed for tests and
   /// debugging).
   std::string entryPath(const ShardKey &Key) const;
+
+  /// Identity of one batch-improver outcome: the exact expression and
+  /// sampling specs the improver ran on plus the improver-config hash
+  /// (improve::improveConfigHash). The sweep config hash this cache was
+  /// opened with is folded in implicitly, so entries never leak across
+  /// sweep configurations.
+  struct ImproveKey {
+    std::string ExprIdentity; ///< Printed FPCore expression fragment.
+    std::string SpecIdentity; ///< improve::specIdentity() of the specs.
+    std::string ImproveHash;  ///< Canonical improver-config string.
+  };
+
+  /// Looks an improver outcome up; on a hit fills \p Out with the cached
+  /// record (its PC field is meaningless -- callers re-stamp identity).
+  /// Any validation failure (missing file, parse error, version or
+  /// config/improve-hash mismatch, different expression or specs) is a
+  /// miss.
+  bool lookupImprove(const ImproveKey &Key, ImproveRecord &Out);
+
+  /// Persists one improver outcome. IO failures are counted but
+  /// otherwise ignored, like store().
+  void storeImprove(const ImproveKey &Key, const ImproveRecord &Rec);
+
+  /// The entry file for an improver outcome (deterministic; exposed for
+  /// tests and debugging).
+  std::string improveEntryPath(const ImproveKey &Key) const;
 
   /// Prunes this cache's directory to \p MaxBytes (LRU by mtime); see
   /// gcCacheDir.

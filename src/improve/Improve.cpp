@@ -13,6 +13,7 @@
 #include <cassert>
 #include <cmath>
 #include <functional>
+#include <limits>
 
 using namespace herbgrind;
 using namespace herbgrind::improve;
@@ -22,6 +23,11 @@ using fpcore::ExprPtr;
 //===----------------------------------------------------------------------===//
 // Sampling and error measurement
 //===----------------------------------------------------------------------===//
+
+SampleSpec improve::SampleSpec::wholeLine() {
+  return interval(-std::numeric_limits<double>::max(),
+                  std::numeric_limits<double>::max());
+}
 
 std::vector<fpcore::DoubleEnv>
 improve::samplePoints(const std::vector<std::string> &Params,
@@ -35,9 +41,21 @@ improve::samplePoints(const std::vector<std::string> &Params,
     for (size_t P = 0; P < Params.size(); ++P) {
       const SampleSpec &Spec = Specs[P];
       assert(!Spec.Intervals.empty() && "empty sample spec");
-      const auto &[Lo, Hi] =
-          Spec.Intervals[R.nextBelow(Spec.Intervals.size())];
-      Env[Params[P]] = Lo <= Hi ? R.betweenOrdinals(Lo, Hi) : Lo;
+      auto [Lo, Hi] = Spec.Intervals[R.nextBelow(Spec.Intervals.size())];
+      if (std::isnan(Lo) || std::isnan(Hi)) {
+        // An unsampleable interval (NaN endpoint) degrades to the
+        // whole-line default: NaN sample values would make every
+        // candidate's float and real evaluations agree (NaN == NaN at
+        // zero bits of error), hiding all error on that variable.
+        Lo = -std::numeric_limits<double>::max();
+        Hi = std::numeric_limits<double>::max();
+      } else if (Lo > Hi) {
+        // An inverted interval means swapped endpoints, not the
+        // degenerate point Lo; collapsing it would sample one constant
+        // and likewise hide all error on that variable.
+        std::swap(Lo, Hi);
+      }
+      Env[Params[P]] = R.betweenOrdinals(Lo, Hi);
     }
     Points.push_back(std::move(Env));
   }
@@ -50,9 +68,53 @@ double improve::meanErrorBits(const Expr &E,
   if (Points.empty())
     return 0.0;
   double Sum = 0.0;
-  for (const fpcore::DoubleEnv &P : Points)
-    Sum += fpcore::pointErrorBits(E, P, PrecBits);
+  for (const fpcore::DoubleEnv &P : Points) {
+    double Bits = fpcore::pointErrorBits(E, P, PrecBits);
+    // An invalid point must saturate, not poison: one NaN in the sum
+    // would make the mean NaN, and every candidate would then compare
+    // as "no improvement". 64 bits is the doubles' maximum (Herbie's
+    // convention for points a candidate cannot evaluate).
+    if (!std::isfinite(Bits))
+      Bits = 64.0;
+    Sum += Bits;
+  }
   return Sum / static_cast<double>(Points.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+bool improve::sameExpr(const Expr &A, const Expr &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Expr::Kind::Num:
+    return bitsOfDouble(A.Num) == bitsOfDouble(B.Num);
+  case Expr::Kind::Var:
+  case Expr::Kind::Const:
+    return A.Name == B.Name;
+  default:
+    break;
+  }
+  // Binder lists must agree in full -- names, initializer counts, update
+  // counts, and sequencing -- before any element is compared; indexing
+  // B's vectors over A's sizes would read out of bounds on let/while
+  // forms with differing arities.
+  if (A.Name != B.Name || A.Args.size() != B.Args.size() ||
+      A.Binds != B.Binds || A.Inits.size() != B.Inits.size() ||
+      A.Updates.size() != B.Updates.size() || A.Sequential != B.Sequential)
+    return false;
+  for (size_t I = 0; I < A.Args.size(); ++I)
+    if (!sameExpr(*A.Args[I], *B.Args[I]))
+      return false;
+  for (size_t I = 0; I < A.Inits.size(); ++I)
+    if (!sameExpr(*A.Inits[I], *B.Inits[I]))
+      return false;
+  for (size_t I = 0; I < A.Updates.size(); ++I)
+    if (!sameExpr(*A.Updates[I], *B.Updates[I]))
+      return false;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -80,31 +142,6 @@ ExprPtr op2(const char *N, ExprPtr A, ExprPtr B) {
   Args.push_back(std::move(A));
   Args.push_back(std::move(B));
   return Expr::op(N, std::move(Args));
-}
-
-/// Structural equality of expressions.
-bool sameExpr(const Expr &A, const Expr &B) {
-  if (A.K != B.K)
-    return false;
-  switch (A.K) {
-  case Expr::Kind::Num:
-    return bitsOfDouble(A.Num) == bitsOfDouble(B.Num);
-  case Expr::Kind::Var:
-  case Expr::Kind::Const:
-    return A.Name == B.Name;
-  default:
-    break;
-  }
-  if (A.Name != B.Name || A.Args.size() != B.Args.size() ||
-      A.Binds != B.Binds)
-    return false;
-  for (size_t I = 0; I < A.Args.size(); ++I)
-    if (!sameExpr(*A.Args[I], *B.Args[I]))
-      return false;
-  for (size_t I = 0; I < A.Inits.size(); ++I)
-    if (!sameExpr(*A.Inits[I], *B.Inits[I]))
-      return false;
-  return true;
 }
 
 /// Emits every known accuracy rewrite of the node E (not recursive).
@@ -385,6 +422,18 @@ ExprPtr improve::fromSymExpr(const SymExpr &S) {
   return Expr::op(Info.FPCoreName, std::move(Args));
 }
 
+/// Appends [Lo, Hi] to \p S normalized: endpoints swapped into order and
+/// NaN endpoints dropped (a summary carrying NaN bounds describes no
+/// sampleable range). Returns false when the interval was dropped.
+static bool pushInterval(SampleSpec &S, double Lo, double Hi) {
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return false;
+  if (Lo > Hi)
+    std::swap(Lo, Hi);
+  S.Intervals.push_back({Lo, Hi});
+  return true;
+}
+
 std::vector<SampleSpec>
 improve::specsFromCharacteristics(const InputCharacteristics &Chars,
                                   uint32_t NumVars, RangeMode Mode) {
@@ -397,16 +446,26 @@ improve::specsFromCharacteristics(const InputCharacteristics &Chars,
     }
     const VarSummary &V = Chars.Vars[I];
     if (Mode == RangeMode::Single) {
-      Specs.push_back(SampleSpec::interval(V.Lo, V.Hi));
+      SampleSpec S;
+      if (!pushInterval(S, V.Lo, V.Hi))
+        S = SampleSpec::wholeLine();
+      Specs.push_back(std::move(S));
       continue;
     }
     SampleSpec S;
+    bool Dropped = false;
     if (V.HasNeg)
-      S.Intervals.push_back({V.NegLo, V.NegHi});
+      Dropped |= !pushInterval(S, V.NegLo, V.NegHi);
     if (V.HasPos)
-      S.Intervals.push_back({V.PosLo, V.PosHi});
-    if (V.SawZero || S.Intervals.empty())
+      Dropped |= !pushInterval(S, V.PosLo, V.PosHi);
+    if (V.SawZero)
       S.Intervals.push_back({0.0, 0.0});
+    // Nothing sampleable left: if a NaN-bounded subrange was dropped,
+    // degrade to the whole line (like Single mode) -- falling back to
+    // the point {0, 0} would collapse every sample to one constant and
+    // hide all error on the variable.
+    if (S.Intervals.empty())
+      S = Dropped ? SampleSpec::wholeLine() : SampleSpec::interval(0.0, 0.0);
     Specs.push_back(std::move(S));
   }
   return Specs;

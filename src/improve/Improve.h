@@ -33,7 +33,10 @@ enum class RangeMode : uint8_t;
 namespace improve {
 
 /// Per-variable sampling specification: one or more intervals (sign-split
-/// characteristics give two).
+/// characteristics give two). Intervals are sampled ordinal-uniformly, so
+/// wide spans cover every binade instead of clustering at the magnitude
+/// of the endpoints; an inverted interval (Lo > Hi) is treated as its
+/// normalized [Hi, Lo] form by the sampler.
 struct SampleSpec {
   std::vector<std::pair<double, double>> Intervals;
 
@@ -42,7 +45,11 @@ struct SampleSpec {
     S.Intervals.push_back({Lo, Hi});
     return S;
   }
-  static SampleSpec wholeLine() { return interval(-1e9, 1e9); }
+  /// The whole finite double line [-DBL_MAX, DBL_MAX]. Ordinal-uniform
+  /// sampling makes this meaningful (every exponent is equally likely,
+  /// Herbie's sampler); it is the fallback when no range characteristic
+  /// is available (RangeMode::Off, or a variable with no recorded range).
+  static SampleSpec wholeLine();
 };
 
 struct ImproveConfig {
@@ -58,15 +65,25 @@ struct ImproveConfig {
 };
 
 /// Samples points for the given variables (ordinal-uniform within each
-/// interval, like Herbie's sampler).
+/// interval, like Herbie's sampler). Inverted intervals are normalized,
+/// never collapsed to a single endpoint; an interval with a NaN
+/// endpoint degrades to the whole finite line.
 std::vector<fpcore::DoubleEnv>
 samplePoints(const std::vector<std::string> &Params,
              const std::vector<SampleSpec> &Specs, int Count, Rng &R);
 
-/// Mean bits of error of E over the sample points.
+/// Mean bits of error of E over the sample points. Invalid points --
+/// a per-point error that is NaN or infinite -- saturate to the doubles'
+/// maximum of 64 bits (Herbie's convention) instead of poisoning the
+/// mean, so a partial domain cannot make every rewrite look like "no
+/// improvement".
 double meanErrorBits(const fpcore::Expr &E,
                      const std::vector<fpcore::DoubleEnv> &Points,
                      size_t PrecBits);
+
+/// Structural equality of expressions, including let/while binder
+/// initializers and while-loop updates (exposed for tests).
+bool sameExpr(const fpcore::Expr &A, const fpcore::Expr &B);
 
 struct ImproveResult {
   fpcore::ExprPtr Best;       ///< The most accurate version found.

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace herbgrind;
 using namespace herbgrind::improve;
 using fpcore::Expr;
@@ -149,6 +152,141 @@ TEST(Improve, SpecsFromCharacteristics) {
   EXPECT_EQ(Split[0].Intervals[0].second, -1.0);
   EXPECT_EQ(Split[0].Intervals[1].first, 3.0);
   EXPECT_EQ(Split[0].Intervals[1].second, 5.0);
+}
+
+TEST(Improve, SameExprChecksBinderArityBeforeComparing) {
+  // Regression: comparing let/while forms used to index B's initializers
+  // over A's count -- an out-of-bounds read whenever the arities differ
+  // (equal bind-name vectors do not guarantee equal initializer counts
+  // on hand-built or partially-rewritten trees).
+  auto MakeLet = [](size_t NumInits) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Let;
+    E->Binds = {"a"};
+    for (size_t I = 0; I < NumInits; ++I)
+      E->Inits.push_back(Expr::num(static_cast<double>(I + 1)));
+    E->Args.push_back(Expr::var("a"));
+    return E;
+  };
+  ExprPtr One = MakeLet(1), Zero = MakeLet(0), Two = MakeLet(2);
+  EXPECT_TRUE(sameExpr(*One, *One));
+  EXPECT_FALSE(sameExpr(*One, *Zero));
+  EXPECT_FALSE(sameExpr(*Zero, *One));
+  EXPECT_FALSE(sameExpr(*One, *Two));
+}
+
+TEST(Improve, SameExprDistinguishesWhileUpdatesAndSequencing) {
+  auto MakeWhile = [](double Step, bool Sequential) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::While;
+    E->Sequential = Sequential;
+    E->Binds = {"i"};
+    E->Inits.push_back(Expr::num(0.0));
+    std::vector<ExprPtr> Add;
+    Add.push_back(Expr::var("i"));
+    Add.push_back(Expr::num(Step));
+    E->Updates.push_back(Expr::op("+", std::move(Add)));
+    std::vector<ExprPtr> Cmp;
+    Cmp.push_back(Expr::var("i"));
+    Cmp.push_back(Expr::num(3.0));
+    E->Args.push_back(Expr::op("<", std::move(Cmp)));
+    E->Args.push_back(Expr::var("i"));
+    return E;
+  };
+  ExprPtr A = MakeWhile(1.0, false);
+  ExprPtr B = MakeWhile(2.0, false);
+  ExprPtr C = MakeWhile(1.0, true);
+  EXPECT_TRUE(sameExpr(*A, *A));
+  EXPECT_FALSE(sameExpr(*A, *B)) << "updates must be compared";
+  EXPECT_FALSE(sameExpr(*A, *C)) << "while vs while* must differ";
+}
+
+TEST(Improve, MeanErrorStaysFiniteOnPartialDomains) {
+  // Regression: one non-finite per-point error used to poison the whole
+  // mean, making every candidate compare as "no improvement". Points
+  // where the expression is undefined must saturate instead.
+  Rng R(7);
+  ExprPtr Log = parseE("(log x)");
+  auto NegPoints =
+      samplePoints({"x"}, {SampleSpec::interval(-2.0, -1.0)}, 32, R);
+  EXPECT_TRUE(std::isfinite(meanErrorBits(*Log, NegPoints, 256)));
+
+  // An improvable expression still improves when the sampled interval
+  // leaks into its undefined region (x < 0 makes sqrt(x) NaN).
+  SampleSpec Leaky;
+  Leaky.Intervals.push_back({-0.5, -1e-6});
+  Leaky.Intervals.push_back({1.0, 1e9});
+  ImproveResult Res =
+      improveOn("(- (sqrt (+ x 1)) (sqrt x))", {"x"}, {Leaky});
+  EXPECT_TRUE(std::isfinite(Res.ErrorBefore));
+  EXPECT_TRUE(std::isfinite(Res.ErrorAfter));
+  EXPECT_TRUE(Res.Improved) << "before " << Res.ErrorBefore << " after "
+                            << Res.ErrorAfter;
+}
+
+TEST(Improve, InvertedIntervalsAreNormalizedNotCollapsed) {
+  // Regression: an inverted interval used to collapse every sample to
+  // the single point Lo, hiding all error on that variable.
+  Rng R(11);
+  auto Points = samplePoints({"x"}, {SampleSpec::interval(5.0, 1.0)}, 64, R);
+  bool AllSame = true;
+  for (const auto &Env : Points) {
+    double V = Env.at("x");
+    EXPECT_GE(V, 1.0);
+    EXPECT_LE(V, 5.0);
+    AllSame = AllSame && V == Points.front().at("x");
+  }
+  EXPECT_FALSE(AllSame);
+}
+
+TEST(Improve, NaNIntervalEndpointsDegradeToTheWholeLine) {
+  // Direct callers can hand samplePoints a NaN-bounded interval; it must
+  // neither abort (betweenOrdinals requires ordered finite bounds) nor
+  // emit NaN samples (NaN points score zero error and hide everything).
+  Rng R(13);
+  auto Points = samplePoints(
+      {"x"}, {SampleSpec::interval(std::nan(""), 1.0)}, 16, R);
+  for (const auto &Env : Points)
+    EXPECT_FALSE(std::isnan(Env.at("x")));
+}
+
+TEST(Improve, SpecsNormalizeInvertedAndNaNRanges) {
+  InputCharacteristics Chars;
+  Chars.Vars.resize(1);
+  Chars.Vars[0].HasRange = true;
+  Chars.Vars[0].Lo = 3.0; // inverted on purpose
+  Chars.Vars[0].Hi = -2.0;
+  auto Specs = specsFromCharacteristics(Chars, 1, RangeMode::Single);
+  ASSERT_EQ(Specs[0].Intervals.size(), 1u);
+  EXPECT_EQ(Specs[0].Intervals[0].first, -2.0);
+  EXPECT_EQ(Specs[0].Intervals[0].second, 3.0);
+
+  Chars.Vars[0].Hi = std::nan("");
+  auto NaNSpecs = specsFromCharacteristics(Chars, 1, RangeMode::Single);
+  ASSERT_EQ(NaNSpecs[0].Intervals.size(), 1u);
+  // A NaN bound describes no sampleable range; the sampler falls back to
+  // the whole line rather than propagating NaN sample values.
+  EXPECT_EQ(NaNSpecs[0].Intervals[0].first,
+            -std::numeric_limits<double>::max());
+
+  // SignSplit with its only subrange NaN-bounded must degrade to the
+  // whole line too, not to the degenerate point {0, 0}.
+  Chars.Vars[0].HasNeg = true;
+  Chars.Vars[0].NegLo = std::nan("");
+  Chars.Vars[0].NegHi = -1.0;
+  Chars.Vars[0].HasPos = false;
+  Chars.Vars[0].SawZero = false;
+  auto SplitNaN = specsFromCharacteristics(Chars, 1, RangeMode::SignSplit);
+  ASSERT_EQ(SplitNaN[0].Intervals.size(), 1u);
+  EXPECT_EQ(SplitNaN[0].Intervals[0].first,
+            -std::numeric_limits<double>::max());
+}
+
+TEST(Improve, WholeLineSpansTheFiniteDoubles) {
+  SampleSpec S = SampleSpec::wholeLine();
+  ASSERT_EQ(S.Intervals.size(), 1u);
+  EXPECT_EQ(S.Intervals[0].first, -std::numeric_limits<double>::max());
+  EXPECT_EQ(S.Intervals[0].second, std::numeric_limits<double>::max());
 }
 
 TEST(Improve, VariancePairRewrite) {

@@ -400,6 +400,96 @@ TEST(Serialize, BatchReportDocumentRoundTrips) {
   EXPECT_FALSE(parseBatchReportJson(Bumped, Doc2, Err));
 }
 
+TEST(Serialize, ImproveRecordsRoundTripByteIdentically) {
+  Program P = cancellationKernel();
+  std::vector<std::vector<double>> Inputs;
+  Rng R(0x8888);
+  for (int I = 0; I < 6; ++I)
+    Inputs.push_back({R.betweenOrdinals(1e16, 1e18)});
+  Report Rep = buildReport(analyzeChunk(P, Inputs, 0, 6));
+  ASSERT_FALSE(Rep.Spots.empty());
+
+  ImproveRecord IR;
+  IR.PC = Rep.Spots[0].RootCauses.empty()
+              ? 7u
+              : Rep.Spots[0].RootCauses[0].PC;
+  IR.Original = "(- (+ x 1) x)";
+  IR.Rewritten = "1";
+  IR.ErrorBefore = 37.25;
+  IR.ErrorAfter = 0.0;
+  IR.HadSignificantError = true;
+  IR.Improved = true;
+  Rep.Improvements.push_back(IR);
+  ImproveRecord None;
+  None.PC = IR.PC + 1;
+  None.Original = "(sqrt \"q\\uote\")"; // exercises string escaping
+  None.ErrorBefore = 1.5;
+  None.ErrorAfter = 1.5;
+  Rep.Improvements.push_back(None);
+
+  std::string Json = Rep.renderJson();
+  EXPECT_NE(Json.find("\"improvements\":["), std::string::npos);
+  Report Back;
+  std::string Err;
+  ASSERT_TRUE(parseReportJson(Json, Back, Err)) << Err;
+  ASSERT_EQ(Back.Improvements.size(), 2u);
+  EXPECT_EQ(Back.Improvements[0].Rewritten, "1");
+  EXPECT_TRUE(Back.Improvements[0].Improved);
+  EXPECT_FALSE(Back.Improvements[1].Improved);
+  EXPECT_EQ(Back.renderJson(), Json);
+  EXPECT_EQ(Back.render(), Rep.render());
+}
+
+TEST(Serialize, PreImprovementsMinorVersionsAreAccepted) {
+  // A 1.0 writer never emitted an "improvements" section; this reader
+  // must accept such documents (any minor of a known major) and
+  // round-trip the absence to absence.
+  std::string Doc = format(
+      "{\"format\":\"herbgrind-report\","
+      "\"version\":{\"major\":%d,\"minor\":0},"
+      "\"benchmarks\":[{\"name\":\"b\",\"shards\":1,\"runs\":2,"
+      "\"report\":{\"spots\":[]}}]}",
+      WireFormatMajor);
+  BatchReportDoc Out;
+  std::string Err;
+  ASSERT_TRUE(parseBatchReportJson(Doc, Out, Err)) << Err;
+  ASSERT_EQ(Out.Benchmarks.size(), 1u);
+  EXPECT_TRUE(Out.Benchmarks[0].Rep.Improvements.empty());
+  EXPECT_EQ(Out.Benchmarks[0].Rep.renderJson(), "{\"spots\":[]}");
+}
+
+TEST(Serialize, ImproveDocRoundTripsAndRejectsForeignEnvelopes) {
+  ImproveDoc Doc;
+  Doc.ConfigHash = "92d1a30a41a09a3f";
+  Doc.ImproveHash = "improve-v1|samples=256";
+  Doc.ExprIdentity = "(- (sqrt (+ x 1)) (sqrt x))";
+  Doc.SpecIdentity = "[1,1000000000]";
+  Doc.Record.Original = Doc.ExprIdentity;
+  Doc.Record.Rewritten = "(/ 1 (+ (sqrt (+ x 1)) (sqrt x)))";
+  Doc.Record.ErrorBefore = 23.456789;
+  Doc.Record.ErrorAfter = 0.25;
+  Doc.Record.HadSignificantError = true;
+  Doc.Record.Improved = true;
+
+  std::string Json = renderImproveDocJson(Doc);
+  ImproveDoc Back;
+  std::string Err;
+  ASSERT_TRUE(parseImproveDocJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(renderImproveDocJson(Back), Json);
+  EXPECT_EQ(Back.Record.Rewritten, Doc.Record.Rewritten);
+  EXPECT_EQ(Back.Record.ErrorBefore, Doc.Record.ErrorBefore);
+
+  // Wrong format tag and unknown major are both rejected.
+  ImproveDoc Out;
+  EXPECT_FALSE(parseImproveDocJson(
+      renderShardJson("h", "b", 0, 0, 0, 1, AnalysisResult{}), Out, Err));
+  std::string Bumped = Json;
+  std::string Needle = format("\"major\":%d", WireFormatMajor);
+  Bumped.replace(Bumped.find(Needle), Needle.size(),
+                 format("\"major\":%d", WireFormatMajor + 1));
+  EXPECT_FALSE(parseImproveDocJson(Bumped, Out, Err));
+}
+
 //===----------------------------------------------------------------------===//
 // Merging emitted shard documents
 //===----------------------------------------------------------------------===//
