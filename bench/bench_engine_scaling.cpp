@@ -31,10 +31,14 @@
 #include "BenchCommon.h"
 #include "engine/Engine.h"
 #include "improve/BatchImprove.h"
+#include "native/Context.h"
+#include "native/Kernel.h"
 #include "support/Format.h"
 #include "support/LimbAlloc.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -95,6 +99,114 @@ HotPathProbe runHotPathProbe() {
     Probe.ShadowOps += HG.stats().ShadowOpsExecuted - Ops0;
   }
   Probe.Ok = Probe.ShadowOps > 0;
+  return Probe;
+}
+
+/// Native-frontend overhead probe: the same quadratic-root kernel run
+/// four ways -- raw doubles, native::Real under a Context, the
+/// uninstrumented interpreter, and the instrumented interpreter -- so the
+/// per-op cost of the operator-overloading frontend is tracked against
+/// both the hardware floor and the IR path it bypasses.
+struct NativeProbe {
+  double RawSeconds = 0.0;
+  double NativeSeconds = 0.0;
+  double InterpSeconds = 0.0;
+  double HerbgrindSeconds = 0.0;
+  uint64_t ShadowOps = 0;
+};
+
+NativeProbe runNativeProbe() {
+  using herbgrind::native::Real;
+  const int Samples = 512;
+  const int Reps = 4;
+
+  // One input set for all four implementations.
+  Rng R(0x5eed);
+  std::vector<std::array<double, 3>> Inputs;
+  Inputs.reserve(Samples);
+  for (int I = 0; I < Samples; ++I)
+    Inputs.push_back({R.betweenOrdinals(1.0, 10.0),
+                      R.betweenOrdinals(100.0, 1e6),
+                      R.betweenOrdinals(1.0, 10.0)});
+
+  NativeProbe Probe;
+
+  // Raw doubles: the hardware floor. The accumulated sink keeps the
+  // optimizer honest.
+  volatile double Sink = 0.0;
+  for (const auto &In : Inputs) // warm
+    Sink += (-In[1] + std::sqrt(In[1] * In[1] - 4.0 * In[0] * In[2])) /
+            (2.0 * In[0]);
+  Probe.RawSeconds = timeIt([&] {
+    for (int Rep = 0; Rep < Reps; ++Rep)
+      for (const auto &In : Inputs)
+        Sink += (-In[1] + std::sqrt(In[1] * In[1] - 4.0 * In[0] * In[2])) /
+                (2.0 * In[0]);
+  });
+
+  // native::Real under a steady-state context, running the *registered*
+  // quadratic kernel so the bench times exactly the code the engine
+  // sweeps (one definition, no drift).
+  const herbgrind::native::Kernel *QK = nullptr;
+  for (const herbgrind::native::Kernel &K : herbgrind::native::demoKernels())
+    if (K.Name == "native quadratic root")
+      QK = &K;
+  if (!QK) {
+    std::fprintf(stderr, "native probe: quadratic demo kernel missing\n");
+    return Probe;
+  }
+  herbgrind::native::Context Ctx;
+  auto NativeOnce = [&](const std::array<double, 3> &In) {
+    Ctx.run(*QK, In.data(), In.size());
+  };
+  for (const auto &In : Inputs) // warm-up: pools, caches, site table
+    NativeOnce(In);
+  uint64_t Ops0 = Ctx.stats().ShadowOpsExecuted;
+  Probe.NativeSeconds = timeIt([&] {
+    for (int Rep = 0; Rep < Reps; ++Rep)
+      for (const auto &In : Inputs)
+        NativeOnce(In);
+  });
+  Probe.ShadowOps = Ctx.stats().ShadowOpsExecuted - Ops0;
+
+  // The same math as hand-built IR, uninstrumented and instrumented.
+  ProgramBuilder PB;
+  auto A = PB.input(0);
+  auto B = PB.input(1);
+  auto Cc = PB.input(2);
+  auto Disc = PB.op(Opcode::SubF64, PB.op(Opcode::MulF64, B, B),
+                    PB.op(Opcode::MulF64,
+                          PB.op(Opcode::MulF64, PB.constF64(4.0), A), Cc));
+  auto Root = PB.op(
+      Opcode::DivF64,
+      PB.op(Opcode::AddF64, PB.op(Opcode::NegF64, B),
+            PB.op(Opcode::SqrtF64, Disc)),
+      PB.op(Opcode::MulF64, PB.constF64(2.0), A));
+  PB.out(Root);
+  PB.halt();
+  Program P = PB.finish();
+
+  std::vector<std::vector<double>> InputVecs;
+  InputVecs.reserve(Inputs.size());
+  for (const auto &In : Inputs)
+    InputVecs.push_back({In[0], In[1], In[2]});
+
+  for (const auto &In : InputVecs)
+    interpret(P, In);
+  Probe.InterpSeconds = timeIt([&] {
+    for (int Rep = 0; Rep < Reps; ++Rep)
+      for (const auto &In : InputVecs)
+        interpret(P, In);
+  });
+
+  Herbgrind HG(P);
+  for (const auto &In : InputVecs)
+    HG.runOnInput(In);
+  Probe.HerbgrindSeconds = timeIt([&] {
+    for (int Rep = 0; Rep < Reps; ++Rep)
+      for (const auto &In : InputVecs)
+        HG.runOnInput(In);
+  });
   return Probe;
 }
 
@@ -212,6 +324,21 @@ int main(int Argc, char **Argv) {
               AllocsPerOp,
               static_cast<unsigned long long>(Probe.SteadyCacheHits));
 
+  // Native-frontend overhead: the operator-overloading path against the
+  // hardware floor and against the interpreter it bypasses.
+  NativeProbe NP = runNativeProbe();
+  auto Over = [](double S, double Base) { return Base > 0.0 ? S / Base : 0.0; };
+  std::printf("\nnative frontend (quadratic kernel, steady state):\n"
+              "  raw double %.3fs, native::Real %.3fs (%.1fx), "
+              "interpreter %.3fs (%.1fx), instrumented interpreter %.3fs "
+              "(%.1fx); %llu shadow ops (%.0f ns/op native)\n",
+              NP.RawSeconds, NP.NativeSeconds,
+              Over(NP.NativeSeconds, NP.RawSeconds), NP.InterpSeconds,
+              Over(NP.InterpSeconds, NP.RawSeconds), NP.HerbgrindSeconds,
+              Over(NP.HerbgrindSeconds, NP.RawSeconds),
+              static_cast<unsigned long long>(NP.ShadowOps),
+              NP.ShadowOps ? 1e9 * NP.NativeSeconds / NP.ShadowOps : 0.0);
+
   std::string CacheJson = "null";
   if (Positional.size() > 2) {
     // Result-cache section: a cold sweep populates the cache, the warm
@@ -256,6 +383,9 @@ int main(int Argc, char **Argv) {
       "\"limb_cache_hits\":%llu},"
       "\"improve\":{\"jobs\":%u,\"wall_s\":%s,\"candidates\":%llu,"
       "\"significant\":%llu,\"improved\":%llu,\"records_per_s\":%s},"
+      "\"native\":{\"raw_s\":%s,\"native_s\":%s,\"interp_s\":%s,"
+      "\"herbgrind_s\":%s,\"shadow_ops\":%llu,\"native_overhead\":%s,"
+      "\"interp_overhead\":%s,\"herbgrind_overhead\":%s},"
       "\"cache\":%s}\n",
       Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
       formatDoubleShortest(Probe.NativeSeconds).c_str(),
@@ -270,6 +400,14 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned long long>(IStats.Significant),
       static_cast<unsigned long long>(IStats.Improved),
       formatDoubleShortest(RecordsPerS).c_str(),
+      formatDoubleShortest(NP.RawSeconds).c_str(),
+      formatDoubleShortest(NP.NativeSeconds).c_str(),
+      formatDoubleShortest(NP.InterpSeconds).c_str(),
+      formatDoubleShortest(NP.HerbgrindSeconds).c_str(),
+      static_cast<unsigned long long>(NP.ShadowOps),
+      formatDoubleShortest(Over(NP.NativeSeconds, NP.RawSeconds)).c_str(),
+      formatDoubleShortest(Over(NP.InterpSeconds, NP.RawSeconds)).c_str(),
+      formatDoubleShortest(Over(NP.HerbgrindSeconds, NP.RawSeconds)).c_str(),
       CacheJson.c_str());
   std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
   if (Out) {

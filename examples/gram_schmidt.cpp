@@ -9,9 +9,11 @@
 // as the example problematic input, linking the output error to the
 // violated precondition rather than to the procedure itself.
 //
-// The kernel runs through heap memory (vectors live in arrays, like the
-// Polybench C code), so the root-cause traces also demonstrate tracking
-// through loads and stores.
+// This version uses the native instrumentation frontend: the kernel below
+// is ordinary C++ -- change Real back to double and it still compiles --
+// analyzed by swapping the scalar type and marking inputs/outputs. (The
+// original hand-built ProgramBuilder IR version of this example predates
+// src/native/; quickstart.cpp remains the IR walkthrough.)
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,84 +22,68 @@
 #include <cstdio>
 
 using namespace herbgrind;
+using native::Real;
 
 namespace {
 
 const int Dim = 3;
-const uint64_t VecA = 0x1000; // first input vector
-const uint64_t VecB = 0x2000; // second input vector (nearly dependent)
-const uint64_t OutQ = 0x3000; // normalized second basis vector
 
-/// dot = sum_i mem[A + 8i] * mem[B + 8i], unrolled.
-ProgramBuilder::Temp dot(ProgramBuilder &B, uint64_t A, uint64_t C) {
-  ProgramBuilder::Temp Acc = B.constF64(0.0);
-  for (int I = 0; I < Dim; ++I) {
-    auto Ai = B.load(B.constI64(static_cast<int64_t>(A)), 8 * I,
-                     ValueType::F64);
-    auto Ci = B.load(B.constI64(static_cast<int64_t>(C)), 8 * I,
-                     ValueType::F64);
-    Acc = B.op(Opcode::AddF64, Acc, B.op(Opcode::MulF64, Ai, Ci));
-  }
+Real dot(native::Context &C, const Real *X, const Real *Y) {
+  HG_LOC(C);
+  Real Acc = 0.0;
+  for (int I = 0; I < Dim; ++I)
+    Acc += X[I] * Y[I];
   return Acc;
 }
 
-Program buildKernel() {
-  ProgramBuilder B;
-  using T = ProgramBuilder::Temp;
-  B.setLoc(SourceLoc("gramschmidt.c", 41, "kernel_gramschmidt"));
-
-  // Store the basis: a = inputs 0-2, b = inputs 3-5.
-  for (int I = 0; I < Dim; ++I)
-    B.store(B.constI64(VecA), 8 * I, B.input(static_cast<unsigned>(I)));
-  for (int I = 0; I < Dim; ++I)
-    B.store(B.constI64(VecB), 8 * I, B.input(static_cast<unsigned>(I + 3)));
-
-  // r = (b . a) / (a . a); w = b - r*a; q = w / ||w||.
-  B.setLoc(SourceLoc("gramschmidt.c", 54, "kernel_gramschmidt"));
-  T R = B.op(Opcode::DivF64, dot(B, VecB, VecA), dot(B, VecA, VecA));
+/// The second orthonormal basis vector: q = w / ||w|| for the projection
+/// residual w = b - ((b.a)/(a.a)) a. Plain C++ on the drop-in type.
+void kernelGramSchmidt(native::Context &C, const double *In) {
+  Real A[Dim], B[Dim], Q[Dim];
   for (int I = 0; I < Dim; ++I) {
-    auto Ai = B.load(B.constI64(VecA), 8 * I, ValueType::F64);
-    auto Bi = B.load(B.constI64(VecB), 8 * I, ValueType::F64);
-    B.setLoc(SourceLoc("gramschmidt.c", 58, "kernel_gramschmidt"));
-    B.store(B.constI64(OutQ), 8 * I,
-            B.op(Opcode::SubF64, Bi, B.op(Opcode::MulF64, R, Ai)));
+    A[I] = C.input(static_cast<size_t>(I), In[I]);
+    B[I] = C.input(static_cast<size_t>(I + Dim), In[I + Dim]);
   }
-  B.setLoc(SourceLoc("gramschmidt.c", 61, "kernel_gramschmidt"));
-  T Norm = B.op(Opcode::SqrtF64, dot(B, OutQ, OutQ));
+  // dot() stamps its own line, so re-stamp after each call: an HG_LOC
+  // placed *before* a helper that also uses HG_LOC would be overridden.
+  Real BdotA = dot(C, B, A);
+  Real AdotA = dot(C, A, A);
+  HG_LOC(C);
+  Real R = BdotA / AdotA;
   for (int I = 0; I < Dim; ++I) {
-    auto Wi = B.load(B.constI64(OutQ), 8 * I, ValueType::F64);
-    B.setLoc(SourceLoc("gramschmidt.c", 64, "kernel_gramschmidt"));
-    B.out(B.op(Opcode::DivF64, Wi, Norm));
+    HG_LOC(C);
+    Q[I] = B[I] - R * A[I];
   }
-  B.halt();
-  return B.finish();
+  Real QdotQ = dot(C, Q, Q);
+  HG_LOC(C);
+  Real Norm = sqrt(QdotQ);
+  for (int I = 0; I < Dim; ++I) {
+    HG_LOC(C);
+    C.output(Q[I] / Norm);
+  }
 }
 
 } // namespace
 
 int main() {
-  Program P = buildKernel();
   AnalysisConfig Cfg;
   Cfg.MaxExprDepth = 5; // keep reported fragments human-sized
-  Herbgrind HG(P, Cfg);
+  native::Context C(Cfg);
 
   // Healthy bases first: no report expected.
-  HG.runOnInput({0.3, 0.7, -0.2, 1.0, 0.1, 0.8});
-  HG.runOnInput({1.5, -0.4, 0.9, -0.2, 2.0, 0.3});
-  std::printf("Healthy runs produced q = (%g, %g, %g)\n",
-              HG.lastOutputs()[0].asF64(), HG.lastOutputs()[1].asF64(),
-              HG.lastOutputs()[2].asF64());
+  double Healthy1[] = {0.3, 0.7, -0.2, 1.0, 0.1, 0.8};
+  double Healthy2[] = {1.5, -0.4, 0.9, -0.2, 2.0, 0.3};
+  kernelGramSchmidt(C, Healthy1);
+  kernelGramSchmidt(C, Healthy2);
 
   // The rank-deficient case the Polybench generator produced: b is an
   // exact multiple of a, so the projection residual w is a zero vector --
   // an invalid input to normalization -- and q becomes 0/0.
-  HG.runOnInput({0.3, 0.7, -0.2, 0.6, 1.4, -0.4});
-  std::printf("Degenerate run produced q = (%g, %g, %g)\n",
-              HG.lastOutputs()[0].asF64(), HG.lastOutputs()[1].asF64(),
-              HG.lastOutputs()[2].asF64());
+  double Degenerate[] = {0.3, 0.7, -0.2, 0.6, 1.4, -0.4};
+  kernelGramSchmidt(C, Degenerate);
 
-  std::printf("\n--- Herbgrind report ---\n%s",
-              buildReport(HG).render().c_str());
+  std::printf("--- Herbgrind report (native frontend) ---\n%s",
+              buildReport(C).render().c_str());
   std::printf("The maximal (64-bit) error marks the NaN the real execution "
               "produces when normalizing a vector that is exactly zero in "
               "the reals: the Gram-Schmidt precondition was violated by its "

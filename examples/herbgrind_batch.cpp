@@ -36,6 +36,7 @@
 #include "engine/ResultCache.h"
 #include "fpcore/Corpus.h"
 #include "improve/BatchImprove.h"
+#include "native/Kernel.h"
 
 #include <algorithm>
 #include <cctype>
@@ -62,6 +63,9 @@ static int usage(const char *Prog) {
       "  --shard N         inputs per shard (default 16)\n"
       "  --seed S          base sampling seed (default 0xcafe)\n"
       "  --name BENCH      analyze one corpus benchmark (repeatable)\n"
+      "  --native          also sweep the bundled native-frontend demo\n"
+      "                    kernels (real C++ code instrumented through\n"
+      "                    native::Real); alone, sweep only those\n"
       "  --cache-dir DIR   persistent shard-result cache: repeated sweeps\n"
       "                    analyze only new or invalidated shards\n"
       "  --cache-max-bytes N  prune the cache to N bytes after the sweep\n"
@@ -291,7 +295,7 @@ static int runCacheGc(const std::string &CacheDir, uint64_t MaxBytes,
 int main(int Argc, char **Argv) {
   EngineConfig Cfg;
   bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
-  bool CacheMaxSet = false, Improve = false;
+  bool CacheMaxSet = false, Improve = false, Native = false;
   improve::BatchImproveConfig BCfg;
   std::string OutFile;
   std::vector<Core> Cores;
@@ -405,6 +409,8 @@ int main(int Argc, char **Argv) {
                      V);
         return 1;
       }
+    } else if (std::strcmp(Arg, "--native") == 0) {
+      Native = true;
     } else if (std::strcmp(Arg, "--json") == 0) {
       Json = true;
     } else if (std::strcmp(Arg, "--selftest") == 0) {
@@ -450,18 +456,25 @@ int main(int Argc, char **Argv) {
     return runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
                           Cfg.CacheDir, Cfg.CacheMaxBytes);
 
+  // --native adds the demo kernels; with no other selection it sweeps
+  // only those. Otherwise an empty selection means the whole corpus.
+  std::vector<herbgrind::native::Kernel> Kernels;
+  if (Native)
+    Kernels = herbgrind::native::demoKernels();
+  if (Cores.empty() && !Native)
+    Cores = compilableCorpus();
+
   Engine Eng(Cfg);
-  bool WholeCorpus = Cores.empty();
 
   if (SelfTest) {
     // The headline determinism property: a multi-worker run must be
     // byte-identical to a single-worker run of the same configuration
     // (and, when a cache directory is shared, to a warm-cache rerun).
-    BatchResult Multi = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+    BatchResult Multi = Eng.run(Cores, Kernels);
     EngineConfig OneCfg = Eng.config();
     OneCfg.Jobs = 1;
     Engine One(OneCfg);
-    BatchResult Single = WholeCorpus ? One.runCorpus() : One.run(Cores);
+    BatchResult Single = One.run(Cores, Kernels);
     if (Improve) {
       // The improver is part of the determinism contract too: its
       // outcomes must not depend on the worker count either. The
@@ -493,7 +506,7 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  BatchResult Result = WholeCorpus ? Eng.runCorpus() : Eng.run(Cores);
+  BatchResult Result = Eng.run(Cores, Kernels);
   if (Improve) {
     runImprovePass(Result, BCfg, Eng.resultCache());
     enforceCacheCap(Eng.resultCache(), Cfg.CacheMaxBytes, &Result.Stats);

@@ -10,6 +10,11 @@
 // execution diverges at the loop bound, and the report links the divergent
 // compare to the inaccurate increment.
 //
+// This version uses the native instrumentation frontend: the controller is
+// an ordinary C++ while-loop over the drop-in Real type (the original
+// hand-built ProgramBuilder IR version predates src/native/), so the loop
+// that the paper instruments at the binary level is here a *real* loop.
+//
 //===----------------------------------------------------------------------===//
 
 #include "herbgrind/Herbgrind.h"
@@ -17,51 +22,34 @@
 #include <cstdio>
 
 using namespace herbgrind;
+using native::Real;
 
 namespace {
 
-/// The controller: drives measure toward the setpoint with a P+I loop,
-/// counting iterations; outputs the final measure and iteration count.
-Program buildController(double Bound) {
-  ProgramBuilder B;
-  using T = ProgramBuilder::Temp;
-  T Setpoint = B.constF64(5.0);
-  T Kp = B.constF64(0.8);
-  T Ki = B.constF64(0.05);
-  T Dt = B.constF64(0.2);
-  T M = B.newTemp();
-  B.copyTo(M, B.input(0));
-  T Integral = B.newTemp();
-  B.copyTo(Integral, B.constF64(0.0));
-  T Time = B.newTemp();
-  B.copyTo(Time, B.constF64(0.0));
-  T Count = B.newTemp();
-  B.copyTo(Count, B.constF64(0.0));
-  T One = B.constF64(1.0);
-  T BoundT = B.constF64(Bound);
+int IncrementLine = 0; ///< Source line of the drifting t += dt.
 
-  auto Head = B.newLabel();
-  auto Done = B.newLabel();
-  B.bind(Head);
-  B.setLoc(SourceLoc("pid.c", 17, "main"));
-  B.branchIf(B.op(Opcode::CmpGEF64, Time, BoundT), Done);
-  // e = setpoint - m; integral += e*dt; m += 0.01*(kp*e + ki*integral).
-  T E = B.op(Opcode::SubF64, Setpoint, M);
-  B.copyTo(Integral,
-           B.op(Opcode::AddF64, Integral, B.op(Opcode::MulF64, E, Dt)));
-  T Control = B.op(Opcode::AddF64, B.op(Opcode::MulF64, Kp, E),
-                   B.op(Opcode::MulF64, Ki, Integral));
-  B.copyTo(M, B.op(Opcode::AddF64, M,
-                   B.op(Opcode::MulF64, B.constF64(0.01), Control)));
-  B.setLoc(SourceLoc("pid.c", 24, "main"));
-  B.copyTo(Time, B.op(Opcode::AddF64, Time, Dt));
-  B.copyTo(Count, B.op(Opcode::AddF64, Count, One));
-  B.jump(Head);
-  B.bind(Done);
-  B.out(M);
-  B.out(Count);
-  B.halt();
-  return B.finish();
+/// The controller: drives measure toward the setpoint with a P+I loop,
+/// counting iterations; returns the iteration count.
+double controller(native::Context &C, double Bound) {
+  Real Setpoint = 5.0, Kp = 0.8, Ki = 0.05, Dt = 0.2;
+  Real M = C.input(0, 0.0);
+  Real Integral = 0.0, Time = 0.0, Count = 0.0;
+  // The for-header idiom stamps the loop condition's site each trip.
+  for (HG_LOC(C); Time < Real(Bound); HG_LOC(C)) {
+    HG_LOC(C);
+    Real E = Setpoint - M;
+    HG_LOC(C);
+    Integral += E * Dt;
+    HG_LOC(C);
+    M += 0.01 * (Kp * E + Ki * Integral);
+    IncrementLine = __LINE__; HG_LOC(C); Time += Dt;
+    HG_LOC(C);
+    Count += 1.0;
+  }
+  HG_LOC(C);
+  C.output(M);
+  HG_LOC(C); // outputs are spots keyed by location: one line each
+  return C.output(Count);
 }
 
 } // namespace
@@ -70,21 +58,19 @@ int main() {
   // The paper: with bound 10.0 the loop runs 51 times, not 50, because
   // fifty additions of 0.2 land 3.5e-15 below 10.
   for (double Bound : {8.0, 10.0, 12.0}) {
-    Program P = buildController(Bound);
     AnalysisConfig Cfg;
     // A control system is a critical application: lower the local error
     // threshold to track even sub-bit error sources (Section 8.2's
     // discussion of threshold choice).
     Cfg.LocalErrorThreshold = 0.01;
-    Herbgrind HG(P, Cfg);
-    HG.runOnInput({0.0});
-    double Iters = HG.lastOutputs()[1].asF64();
+    native::Context C(Cfg);
+    double Iters = controller(C, Bound);
     double Expected = Bound / 0.2;
     std::printf("bound %.1f: %g iterations (exact arithmetic: %g)%s\n",
                 Bound, Iters, Expected,
                 Iters != Expected ? "   <-- EXTRA ITERATION" : "");
 
-    for (const auto &[PC, Spot] : HG.spotRecords()) {
+    for (const auto &[PC, Spot] : C.spotRecords()) {
       if (Spot.Kind != SpotKind::Comparison || Spot.Erroneous == 0)
         continue;
       std::printf("  divergent loop condition @ %s "
@@ -93,8 +79,8 @@ int main() {
                   static_cast<unsigned long long>(Spot.Erroneous),
                   static_cast<unsigned long long>(Spot.Executions));
       for (uint32_t OpPC : Spot.InfluencingOps) {
-        const OpRecord &Rec = HG.opRecords().at(OpPC);
-        if (Rec.Loc.Line == 24)
+        const OpRecord &Rec = C.opRecords().at(OpPC);
+        if (Rec.Loc.Line == IncrementLine)
           std::printf("  influenced by the increment at %s: %s\n",
                       Rec.Loc.str().c_str(),
                       Rec.Expr->fpcoreBody().c_str());

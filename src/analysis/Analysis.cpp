@@ -119,8 +119,8 @@ ShadowValue *Herbgrind::lazyShadow(uint32_t Temp, unsigned Lane,
   return SV;
 }
 
-double Herbgrind::valueErrorBits(const ShadowValue *SV,
-                                 const Value &Concrete) const {
+double herbgrind::shadowValueErrorBits(const ShadowValue *SV,
+                                       const Value &Concrete) {
   bool ConcreteNaN = Concrete.Ty == ValueType::F32 ? std::isnan(Concrete.F32)
                                                    : std::isnan(Concrete.F64);
   // The paper reports NaN values as maximal error even when the shadow
@@ -133,6 +133,7 @@ double Herbgrind::valueErrorBits(const ShadowValue *SV,
     return bitsOfErrorFloat(Concrete.F32, SV->Real.toFloat());
   return bitsOfErrorDouble(Concrete.F64, SV->Real.toDouble());
 }
+
 
 //===----------------------------------------------------------------------===//
 // The main loop
@@ -414,18 +415,36 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
                                   const Value *ArgConcrete, unsigned NumArgs,
                                   const Value &ConcreteResult) {
   ++ShadowOps;
-  const OpInfo &Info = opInfo(Op);
-  ValueType ResultTy = Info.ResultTy;
 
   // Gather (or lazily create) shadow inputs: Figure 4's
   //   v = if MR[x] in R then MR[x] else M[x].
   ShadowValue *ArgSV[3] = {nullptr, nullptr, nullptr};
-  BigFloat Reals[3];
-  for (unsigned I = 0; I < NumArgs; ++I) {
-    ValueType ArgTy = ArgConcrete[I].Ty;
-    ArgSV[I] = lazyShadow(ArgTemps[I], ArgLanes[I], ArgConcrete[I], ArgTy);
-    Reals[I] = ArgSV[I]->Real;
+  for (unsigned I = 0; I < NumArgs; ++I)
+    ArgSV[I] = lazyShadow(ArgTemps[I], ArgLanes[I], ArgConcrete[I],
+                          ArgConcrete[I].Ty);
+
+  OpRecord &Rec = Ops[PC];
+  if (Rec.Executions == 0) {
+    Rec.Op = Op;
+    Rec.Loc = Loc;
   }
+  ShadowValue *Out = shadowScalarOpCore(Cfg, *Shadow, Rec, Op, PC, ArgSV,
+                                        ArgConcrete, NumArgs, ConcreteResult);
+  Shadow->setTempLane(DstTemp, DstLane, Out);
+}
+
+ShadowValue *herbgrind::shadowScalarOpCore(
+    const AnalysisConfig &Cfg, ShadowState &Shadow, OpRecord &Rec, Opcode Op,
+    uint32_t PC, ShadowValue *const *ArgSV, const Value *ArgConcrete,
+    unsigned NumArgs, const Value &ConcreteResult) {
+  const OpInfo &Info = opInfo(Op);
+  ValueType ResultTy = Info.ResultTy;
+  TraceArena &Arena = Shadow.arena();
+  InfluenceSets &Sets = Shadow.sets();
+
+  BigFloat Reals[3];
+  for (unsigned I = 0; I < NumArgs; ++I)
+    Reals[I] = ArgSV[I]->Real;
 
   // [[.]]_R: the op over the reals, destination-passing straight into the
   // value the result shadow will own.
@@ -466,11 +485,6 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
   // an add/sub that returns one of its arguments in the reals, without
   // making its error worse, is treated as passing that argument through;
   // the other (compensating) term's influences are dropped.
-  OpRecord &Rec = Ops[PC];
-  if (Rec.Executions == 0) {
-    Rec.Op = Op;
-    Rec.Loc = Loc;
-  }
   const InflSet *Infl = nullptr;
   bool IsAddSub = Op == Opcode::AddF64 || Op == Opcode::SubF64 ||
                   Op == Opcode::AddF32 || Op == Opcode::SubF32;
@@ -488,7 +502,7 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
                                              RealResult.toFloat())
                           : bitsOfErrorDouble(ConcreteResult.F64,
                                               RealResult.toDouble());
-      double ArgErr = valueErrorBits(ArgSV[Pass], ArgConcrete[Pass]);
+      double ArgErr = shadowValueErrorBits(ArgSV[Pass], ArgConcrete[Pass]);
       if (OutErr <= ArgErr) {
         Infl = ArgSV[Pass]->Influences;
         ++Rec.CompensationsDetected;
@@ -547,33 +561,25 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
     }
   }
 
-  // Install the result shadow (create consumes the trace reference).
-  ShadowValue *Out =
-      Shadow->create(std::move(RealResult), Trace, Infl, ResultTy);
-  Shadow->setTempLane(DstTemp, DstLane, Out);
+  // The result shadow (create consumes the trace reference).
+  return Shadow.create(std::move(RealResult), Trace, Infl, ResultTy);
 }
 
 //===----------------------------------------------------------------------===//
 // Spots (Section 4.2)
 //===----------------------------------------------------------------------===//
 
-void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
-                                     const Value *Args, const Value &Result) {
-  SpotRecord &Spot = Spots[PC];
-  if (Spot.Executions == 0) {
-    Spot.Kind = SpotKind::Comparison;
-    Spot.Loc = S.Loc;
-  }
-  ++Spot.Executions;
-
-  ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
-  ShadowValue *B = Shadow->tempLane(S.Args[1], 0);
+void herbgrind::shadowComparisonSpotCore(const AnalysisConfig &Cfg,
+                                         SpotRecord &Spot, Opcode Op,
+                                         ShadowValue *A, ShadowValue *B,
+                                         const Value &ConcA,
+                                         const Value &ConcB, bool FloatPred) {
   if (!A && !B) {
     // No shadows: the real predicate trivially agrees with the float one.
     Spot.ErrorBits.add(0.0);
     return;
   }
-  ValueType Ty = Args[0].Ty;
+  ValueType Ty = ConcA.Ty;
   BigFloat TmpA, TmpB;
   auto RealOf = [&](ShadowValue *SV, const Value &V,
                     BigFloat &Tmp) -> const BigFloat & {
@@ -584,9 +590,8 @@ void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
               : BigFloat::fromDouble(V.F64, Cfg.PrecisionBits);
     return Tmp;
   };
-  bool RealPred = evalRealPredicate(S.Op, RealOf(A, Args[0], TmpA),
-                                    RealOf(B, Args[1], TmpB));
-  bool FloatPred = Result.asI64() != 0;
+  bool RealPred =
+      evalRealPredicate(Op, RealOf(A, ConcA, TmpA), RealOf(B, ConcB, TmpB));
   // Note: Figure 4 in the paper attaches the argument influences to the
   // *agreeing* case; per the surrounding text ("cases when it diverges ...
   // are reported as errors") we attach them on divergence.
@@ -602,23 +607,14 @@ void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
   }
 }
 
-void Herbgrind::shadowConversionSpot(const Statement &S, uint32_t PC,
-                                     const Value *Args, const Value &Result) {
-  SpotRecord &Spot = Spots[PC];
-  if (Spot.Executions == 0) {
-    Spot.Kind = SpotKind::Conversion;
-    Spot.Loc = S.Loc;
-  }
-  ++Spot.Executions;
-
-  ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
-  (void)Args;
+void herbgrind::shadowConversionSpotCore(SpotRecord &Spot, ShadowValue *A,
+                                         int64_t IntResult) {
   if (!A) {
     Spot.ErrorBits.add(0.0);
     return;
   }
   int64_t RealInt = A->Real.toInt64Trunc();
-  if (RealInt != Result.asI64()) {
+  if (RealInt != IntResult) {
     ++Spot.Erroneous;
     Spot.ErrorBits.add(1.0);
     for (uint32_t OpPC : *A->Influences)
@@ -626,6 +622,46 @@ void Herbgrind::shadowConversionSpot(const Statement &S, uint32_t PC,
   } else {
     Spot.ErrorBits.add(0.0);
   }
+}
+
+void herbgrind::shadowOutputSpotCore(const AnalysisConfig &Cfg,
+                                     SpotRecord &Spot, ShadowValue *SV,
+                                     const Value &LaneVal) {
+  ++Spot.Executions;
+  double Err = shadowValueErrorBits(SV, LaneVal);
+  Spot.ErrorBits.add(Err);
+  if (Err > Cfg.OutputErrorThreshold) {
+    ++Spot.Erroneous;
+    if (SV)
+      for (uint32_t OpPC : *SV->Influences)
+        Spot.InfluencingOps.insert(OpPC);
+  }
+}
+
+void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
+                                     const Value *Args, const Value &Result) {
+  SpotRecord &Spot = Spots[PC];
+  if (Spot.Executions == 0) {
+    Spot.Kind = SpotKind::Comparison;
+    Spot.Loc = S.Loc;
+  }
+  ++Spot.Executions;
+  shadowComparisonSpotCore(Cfg, Spot, S.Op, Shadow->tempLane(S.Args[0], 0),
+                           Shadow->tempLane(S.Args[1], 0), Args[0], Args[1],
+                           Result.asI64() != 0);
+}
+
+void Herbgrind::shadowConversionSpot(const Statement &S, uint32_t PC,
+                                     const Value *Args, const Value &Result) {
+  (void)Args;
+  SpotRecord &Spot = Spots[PC];
+  if (Spot.Executions == 0) {
+    Spot.Kind = SpotKind::Conversion;
+    Spot.Loc = S.Loc;
+  }
+  ++Spot.Executions;
+  shadowConversionSpotCore(Spot, Shadow->tempLane(S.Args[0], 0),
+                           Result.asI64());
 }
 
 void Herbgrind::shadowOutputSpot(const Statement &S, uint32_t PC,
@@ -640,21 +676,13 @@ void Herbgrind::shadowOutputSpot(const Statement &S, uint32_t PC,
 
   unsigned Lanes = Out.laneCount();
   for (unsigned L = 0; L < Lanes; ++L) {
-    ++Spot.Executions;
     ShadowValue *SV = Shadow->tempLane(S.Args[0], L);
     Value LaneVal = Out;
     if (Out.Ty == ValueType::V2F64)
       LaneVal = Value::ofF64(Out.V2F64[L]);
     else if (Out.Ty == ValueType::V4F32)
       LaneVal = Value::ofF32(Out.V4F32[L]);
-    double Err = valueErrorBits(SV, LaneVal);
-    Spot.ErrorBits.add(Err);
-    if (Err > Cfg.OutputErrorThreshold) {
-      ++Spot.Erroneous;
-      if (SV)
-        for (uint32_t OpPC : *SV->Influences)
-          Spot.InfluencingOps.insert(OpPC);
-    }
+    shadowOutputSpotCore(Cfg, Spot, SV, LaneVal);
   }
 }
 
@@ -830,7 +858,9 @@ AnalysisResult Herbgrind::snapshot() const {
 // Result extraction
 //===----------------------------------------------------------------------===//
 
-std::vector<uint32_t> Herbgrind::reportedRootCauses() const {
+std::vector<uint32_t> herbgrind::reportedRootCausesFromRecords(
+    const std::map<uint32_t, OpRecord> &Ops,
+    const std::map<uint32_t, SpotRecord> &Spots) {
   // Only operations whose influence reached an erroneous spot are reported
   // (Section 4.2 footnote 7).
   std::set<uint32_t> Reached;
@@ -846,4 +876,8 @@ std::vector<uint32_t> Herbgrind::reportedRootCauses() const {
     return A < B;
   });
   return Result;
+}
+
+std::vector<uint32_t> Herbgrind::reportedRootCauses() const {
+  return reportedRootCausesFromRecords(Ops, Spots);
 }

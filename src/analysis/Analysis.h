@@ -132,6 +132,60 @@ struct AnalysisResult {
   void mergeFrom(const AnalysisResult &Other);
 };
 
+/// \name Frontend-independent shadow semantics
+/// The analysis below the operand-gathering layer, shared by the
+/// interpreter frontend (Herbgrind, which finds operands in shadow
+/// temporaries) and the native frontend (native::Context, which finds them
+/// on live native::Real values). Both frontends funnel into these cores so
+/// the two execution modes cannot drift apart semantically.
+/// @{
+
+/// Bits of error between a shadowed value's real and its concrete float
+/// (Section 4.2's E); NaN concretes report maximal error per the paper.
+double shadowValueErrorBits(const ShadowValue *SV, const Value &Concrete);
+
+/// One shadowed scalar float operation (Figure 4): evaluates the op over
+/// the reals, measures local error, detects compensating terms, propagates
+/// influences, extends the concrete trace, and folds everything into
+/// \p Rec (whose Op/Loc the caller has already stamped). \p PC is the
+/// operation's stable static identity (an interpreter pc or an interned
+/// native callsite). Returns the result's shadow value; the caller owns
+/// one reference.
+ShadowValue *shadowScalarOpCore(const AnalysisConfig &Cfg, ShadowState &Shadow,
+                                OpRecord &Rec, Opcode Op, uint32_t PC,
+                                ShadowValue *const *ArgSV,
+                                const Value *ArgConcrete, unsigned NumArgs,
+                                const Value &ConcreteResult);
+
+/// One comparison-spot observation: evaluates the predicate over the reals
+/// (unshadowed arguments fall back to their concrete bits) and folds
+/// agreement or divergence into \p Spot, whose Kind/Loc/Executions the
+/// caller has already updated. \p FloatPred is the concrete float
+/// predicate's outcome.
+void shadowComparisonSpotCore(const AnalysisConfig &Cfg, SpotRecord &Spot,
+                              Opcode Op, ShadowValue *A, ShadowValue *B,
+                              const Value &ConcA, const Value &ConcB,
+                              bool FloatPred);
+
+/// One float-to-int conversion-spot observation (\p IntResult is the
+/// concrete truncation's value). Caller updates Kind/Loc/Executions.
+void shadowConversionSpotCore(SpotRecord &Spot, ShadowValue *A,
+                              int64_t IntResult);
+
+/// One scalar output-spot observation; increments Executions itself (the
+/// interpreter counts SIMD outputs per lane). Caller stamps Kind/Loc.
+void shadowOutputSpotCore(const AnalysisConfig &Cfg, SpotRecord &Spot,
+                          ShadowValue *SV, const Value &LaneVal);
+
+/// Candidate root causes of a record set: flagged op records whose
+/// influence reached an erroneous spot, most-flagged first (Section 4.2,
+/// footnote 7).
+std::vector<uint32_t>
+reportedRootCausesFromRecords(const std::map<uint32_t, OpRecord> &Ops,
+                              const std::map<uint32_t, SpotRecord> &Spots);
+
+/// @}
+
 /// Cumulative cost/size statistics (Table 1 and the optimization bench).
 struct AnalysisStats {
   uint64_t InstrumentedSteps = 0;
@@ -205,7 +259,6 @@ private:
                            const Value *Args, const Value &Result);
   ShadowValue *lazyShadow(uint32_t Temp, unsigned Lane, const Value &Concrete,
                           ValueType Ty);
-  double valueErrorBits(const ShadowValue *SV, const Value &Concrete) const;
 
   Program Prog;
   AnalysisConfig Cfg;

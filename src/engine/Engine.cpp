@@ -9,6 +9,8 @@
 #include "engine/ResultCache.h"
 #include "engine/ThreadPool.h"
 #include "fpcore/Corpus.h"
+#include "native/Context.h"
+#include "native/Kernel.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -37,20 +39,46 @@ static uint64_t deriveSeed(uint64_t Base, uint64_t Index) {
 }
 
 static std::vector<std::vector<double>>
-sampleBenchmarkInputs(const fpcore::Core &C, int Count, uint64_t Seed) {
+sampleSourceInputs(const std::vector<std::pair<double, double>> &Ranges,
+                   int Count, uint64_t Seed) {
   Rng R(Seed);
-  std::vector<fpcore::VarRange> Ranges = fpcore::sampleRanges(C);
   std::vector<std::vector<double>> Sets;
   Sets.reserve(static_cast<size_t>(Count));
   for (int I = 0; I < Count; ++I) {
     std::vector<double> In;
     In.reserve(Ranges.size());
-    for (const fpcore::VarRange &VR : Ranges)
-      In.push_back(R.betweenOrdinals(VR.Lo, VR.Hi));
+    for (const auto &[Lo, Hi] : Ranges)
+      In.push_back(R.betweenOrdinals(Lo, Hi));
     Sets.push_back(std::move(In));
   }
   return Sets;
 }
+
+namespace {
+
+/// One benchmark the generic sweep driver can run, whatever frontend it
+/// executes under: everything the driver needs is a name, a cache
+/// identity, sampling ranges, and a way to analyze a slice of sampled
+/// inputs into mergeable records. The FPCore path wraps a compiled
+/// program in a worker-local Herbgrind; the native path wraps a
+/// registered Kernel in a worker-local native::Context.
+struct SweepSource {
+  std::string Name;
+  std::vector<std::pair<double, double>> Ranges;
+  /// Cache/wire identity; computed lazily (FPCore printing is not free)
+  /// and only when a result cache or emit directory needs it.
+  std::function<std::string()> MakeIdentity;
+  /// Analyzes sampled inputs [Begin, End); must be callable concurrently
+  /// with itself -- across sources AND across shards of one source
+  /// (work stealing rebalances affine queues). Worker-local analyzer
+  /// state (thread_local) is the only mutable state it may keep.
+  std::function<AnalysisResult(
+      uint64_t RunId, const std::vector<std::vector<double>> &Inputs,
+      size_t Begin, size_t End)>
+      AnalyzeShard;
+};
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // The batch driver
@@ -108,12 +136,17 @@ struct BenchFold {
 /// cache against ever comparing a recycled Program address across runs.
 static std::atomic<uint64_t> GlobalRunCounter{0};
 
-BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
+/// The frontend-agnostic sweep driver: everything the engine promises --
+/// deterministic sharding and sampling, result-cache satisfaction,
+/// emit-shard documents, streaming in-order reduction, post-run cache GC
+/// -- lives here once, shared by the FPCore and native entry points.
+static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
+                                const std::vector<SweepSource> &Sources) {
   auto Start = std::chrono::steady_clock::now();
   const uint64_t RunId = GlobalRunCounter.fetch_add(1) + 1;
-  size_t CacheHits0 = Cache.hits(), CacheMisses0 = Cache.misses();
-  // Core identities (printed FPCores) feed only cache keys; emit-only
-  // runs stamp documents with the config hash alone, computed once.
+  // Source identities (printed FPCores, kernel identity strings) feed
+  // only cache keys; emit-only runs stamp documents with the config hash
+  // alone, computed once.
   bool NeedIdentity = RC != nullptr;
   std::string CfgHash;
   if (RC)
@@ -129,16 +162,16 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   // lay out the shard list. Both depend only on the configuration: the
   // layout covers the full sample range even when only a shard-index
   // slice of it executes, so distributed slices stay merge-compatible.
-  std::vector<std::vector<std::vector<double>>> Inputs(Cores.size());
-  std::vector<uint64_t> Seeds(Cores.size());
-  std::vector<std::string> Identities(Cores.size());
+  std::vector<std::vector<std::vector<double>>> Inputs(Sources.size());
+  std::vector<uint64_t> Seeds(Sources.size());
+  std::vector<std::string> Identities(Sources.size());
   std::vector<Shard> Shards;
-  for (size_t B = 0; B < Cores.size(); ++B) {
+  for (size_t B = 0; B < Sources.size(); ++B) {
     Seeds[B] = deriveSeed(Cfg.Seed, B);
-    Inputs[B] = sampleBenchmarkInputs(Cores[B], Cfg.SamplesPerBenchmark,
-                                      Seeds[B]);
+    Inputs[B] = sampleSourceInputs(Sources[B].Ranges,
+                                   Cfg.SamplesPerBenchmark, Seeds[B]);
     if (NeedIdentity)
-      Identities[B] = Cores[B].print();
+      Identities[B] = Sources[B].MakeIdentity();
     size_t N = Inputs[B].size();
     size_t Step = static_cast<size_t>(Cfg.ShardSize);
     for (size_t Lo = 0, Idx = 0; Lo < N; Lo += Step, ++Idx)
@@ -147,10 +180,10 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   }
 
   BatchResult Out;
-  Out.Benchmarks.resize(Cores.size());
-  std::vector<BenchFold> Folds(Cores.size());
-  for (size_t B = 0; B < Cores.size(); ++B) {
-    Out.Benchmarks[B].Name = Cores[B].Name;
+  Out.Benchmarks.resize(Sources.size());
+  std::vector<BenchFold> Folds(Sources.size());
+  for (size_t B = 0; B < Sources.size(); ++B) {
+    Out.Benchmarks[B].Name = Sources[B].Name;
     Out.Benchmarks[B].Records.Ranges = Cfg.Analysis.Ranges;
     Out.Benchmarks[B].Records.EquivDepth = Cfg.Analysis.EquivDepth;
     // Executed shard indices per benchmark are a contiguous slice, so the
@@ -159,18 +192,19 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   }
 
   // Phase 2 (parallel): every shard is satisfied from the result cache or
-  // analyzed by its own Herbgrind instance, then folded into its
-  // benchmark's accumulator in ascending shard order. The fold happens on
-  // whichever worker completes the gap shard, overlapping reduce with
-  // analyze; only out-of-order completions buffer.
+  // analyzed by its source's frontend, then folded into its benchmark's
+  // accumulator in ascending shard order. The fold happens on whichever
+  // worker completes the gap shard, overlapping reduce with analyze; only
+  // out-of-order completions buffer.
   std::atomic<uint64_t> Analyzed{0}, Cached{0}, EmitFailed{0};
   {
     ThreadPool Pool(Cfg.Jobs);
     for (size_t S = 0; S < Shards.size(); ++S) {
       // Benchmark-affine placement: a benchmark's shards land on one
       // worker (stealing still rebalances), so the worker-local analyzer
-      // below actually gets reused across them at any jobs count.
-      Pool.submitTo(Shards[S].Bench, [this, S, RunId, &Shards, &Cores,
+      // inside AnalyzeShard actually gets reused across them at any jobs
+      // count.
+      Pool.submitTo(Shards[S].Bench, [RC, &Cfg, S, RunId, &Shards, &Sources,
                                       &Inputs, &Seeds, &Identities, &Folds,
                                       &Out, &Analyzed, &Cached, &EmitFailed,
                                       &CfgHash] {
@@ -190,44 +224,19 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
         if (FromCache) {
           ++Cached;
         } else {
-          // Worker-local analyzer reuse: consecutive shards of the same
-          // benchmark on this worker recycle one Herbgrind instance --
-          // its trace arena, shadow-value pool, interned influence sets,
-          // and per-thread limb scratch all stay warm -- instead of
-          // rebuilding the arenas per shard. reset() restores the exact
-          // fresh-instance records contract, so reports stay byte-
-          // identical at any worker count (the selftest checks this).
-          // The Program-address identity is only meaningful within one
-          // run() (ProgramCache never evicts during it); the RunId in
-          // the key makes a recycled Program address harmless even if
-          // worker threads ever outlive a run.
-          struct WorkerAnalyzer {
-            uint64_t Run = 0;
-            const Program *Prog = nullptr;
-            std::unique_ptr<Herbgrind> HG;
-          };
-          thread_local WorkerAnalyzer WA;
-          const Program &P = Cache.get(Cores[Sh.Bench]);
-          if (WA.Run == RunId && WA.Prog == &P && WA.HG) {
-            WA.HG->reset();
-          } else {
-            WA.HG = std::make_unique<Herbgrind>(P, Cfg.Analysis);
-            WA.Run = RunId;
-            WA.Prog = &P;
-          }
-          for (size_t I = Sh.Begin; I < Sh.End; ++I)
-            WA.HG->runOnInput(Inputs[Sh.Bench][I]);
-          Result = WA.HG->snapshot();
+          Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
+                                                  Sh.Begin, Sh.End);
           ++Analyzed;
           if (RC)
-            RC->store(Key, Cores[Sh.Bench].Name, Result);
+            RC->store(Key, Sources[Sh.Bench].Name, Result);
         }
         if (!Cfg.EmitShardDir.empty()) {
           std::string Name = format("shard-b%05llu-s%05llu.json",
                                     static_cast<unsigned long long>(Sh.Bench),
                                     static_cast<unsigned long long>(Sh.Index));
           if (!writeFileAtomic(Cfg.EmitShardDir + "/" + Name,
-                               renderShardJson(CfgHash, Cores[Sh.Bench].Name,
+                               renderShardJson(CfgHash,
+                                               Sources[Sh.Bench].Name,
                                                Sh.Bench, Sh.Index, Sh.Begin,
                                                Sh.End, Result)))
             ++EmitFailed;
@@ -268,12 +277,10 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
     Out.Stats.Shards += BR.Shards;
     Out.Stats.Runs += BR.Runs;
   }
-  Out.Stats.Benchmarks = Cores.size();
+  Out.Stats.Benchmarks = Sources.size();
   Out.Stats.AnalyzedShards = Analyzed.load();
   Out.Stats.CachedShards = Cached.load();
   Out.Stats.EmitFailures = EmitFailed.load();
-  Out.Stats.CacheHits = Cache.hits() - CacheHits0;
-  Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;
   if (RC && Cfg.CacheMaxBytes > 0) {
     // Post-run LRU pruning keeps the result cache under its cap; a
     // failure never fails the sweep (the cache is an accelerator, not
@@ -293,13 +300,121 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
   return Out;
 }
 
-BatchResult Engine::runCorpus() {
-  std::vector<fpcore::Core> Cores;
-  for (const fpcore::Core &C : fpcore::corpus())
-    if (fpcore::isCompilable(C))
-      Cores.push_back(C.clone());
-  return run(Cores);
+//===----------------------------------------------------------------------===//
+// Frontend entry points
+//===----------------------------------------------------------------------===//
+
+/// Worker-local analyzer reuse shared by both frontends: consecutive
+/// shards of the same benchmark on one worker recycle one analyzer -- its
+/// trace arena, shadow-value pool, interned influence sets, and
+/// per-thread limb scratch all stay warm -- instead of rebuilding the
+/// arenas per shard. reset() restores the exact fresh-instance records
+/// contract, so reports stay byte-identical at any worker count (the
+/// selftest checks this). \p Key is the benchmark's address identity,
+/// only meaningful within one run() (ProgramCache never evicts during
+/// it, and caller-owned kernel vectors outlive it); the RunId in the
+/// cache makes a recycled address harmless even if worker threads ever
+/// outlive a run. One thread_local cache exists per analyzer type.
+template <typename Analyzer, typename MakeFn, typename RunOneFn>
+static AnalysisResult
+analyzeShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
+                        RunOneFn RunOne,
+                        const std::vector<std::vector<double>> &Inputs,
+                        size_t Begin, size_t End) {
+  struct Worker {
+    uint64_t Run = 0;
+    const void *Key = nullptr;
+    std::unique_ptr<Analyzer> A;
+  };
+  thread_local Worker W;
+  if (W.Run == RunId && W.Key == Key && W.A) {
+    W.A->reset();
+  } else {
+    W.A = Make();
+    W.Run = RunId;
+    W.Key = Key;
+  }
+  for (size_t I = Begin; I < End; ++I)
+    RunOne(*W.A, Inputs[I]);
+  return W.A->snapshot();
 }
+
+/// Wraps one FPCore core as a sweep source: analysis runs a worker-local
+/// Herbgrind instance over the compiled program.
+static SweepSource coreSource(const fpcore::Core &C,
+                              fpcore::ProgramCache &Cache,
+                              const AnalysisConfig &ACfg) {
+  SweepSource Src;
+  Src.Name = C.Name;
+  std::vector<std::pair<double, double>> Ranges;
+  for (const fpcore::VarRange &VR : fpcore::sampleRanges(C))
+    Ranges.push_back({VR.Lo, VR.Hi});
+  Src.Ranges = std::move(Ranges);
+  Src.MakeIdentity = [&C] { return C.print(); };
+  Src.AnalyzeShard = [&C, &Cache, &ACfg](
+                         uint64_t RunId,
+                         const std::vector<std::vector<double>> &Inputs,
+                         size_t Begin, size_t End) {
+    const Program &P = Cache.get(C);
+    return analyzeShardWorkerLocal<Herbgrind>(
+        RunId, &P, [&] { return std::make_unique<Herbgrind>(P, ACfg); },
+        [](Herbgrind &HG, const std::vector<double> &In) {
+          HG.runOnInput(In);
+        },
+        Inputs, Begin, End);
+  };
+  return Src;
+}
+
+/// Wraps one native kernel as a sweep source: analysis runs the kernel's
+/// actual C++ code under a worker-local native::Context. The context's
+/// content-hashed op identities are what keep this mergeable and cacheable
+/// exactly like the interpreter path.
+static SweepSource kernelSource(const native::Kernel &K,
+                                const AnalysisConfig &ACfg) {
+  SweepSource Src;
+  Src.Name = K.Name;
+  for (const native::Kernel::InputRange &R : K.Inputs)
+    Src.Ranges.push_back({R.Lo, R.Hi});
+  Src.MakeIdentity = [&K] { return K.identity(); };
+  Src.AnalyzeShard = [&K, &ACfg](
+                         uint64_t RunId,
+                         const std::vector<std::vector<double>> &Inputs,
+                         size_t Begin, size_t End) {
+    return analyzeShardWorkerLocal<native::Context>(
+        RunId, &K, [&] { return std::make_unique<native::Context>(ACfg); },
+        [&K](native::Context &C, const std::vector<double> &In) {
+          C.run(K, In);
+        },
+        Inputs, Begin, End);
+  };
+  return Src;
+}
+
+BatchResult Engine::run(const std::vector<fpcore::Core> &Cores) {
+  return run(Cores, {});
+}
+
+BatchResult Engine::run(const std::vector<native::Kernel> &Kernels) {
+  return run({}, Kernels);
+}
+
+BatchResult Engine::run(const std::vector<fpcore::Core> &Cores,
+                        const std::vector<native::Kernel> &Kernels) {
+  size_t CacheHits0 = Cache.hits(), CacheMisses0 = Cache.misses();
+  std::vector<SweepSource> Sources;
+  Sources.reserve(Cores.size() + Kernels.size());
+  for (const fpcore::Core &C : Cores)
+    Sources.push_back(coreSource(C, Cache, Cfg.Analysis));
+  for (const native::Kernel &K : Kernels)
+    Sources.push_back(kernelSource(K, Cfg.Analysis));
+  BatchResult Out = runSweepImpl(Cfg, RC.get(), Sources);
+  Out.Stats.CacheHits = Cache.hits() - CacheHits0;
+  Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;
+  return Out;
+}
+
+BatchResult Engine::runCorpus() { return run(fpcore::compilableCorpus()); }
 
 //===----------------------------------------------------------------------===//
 // Batch output

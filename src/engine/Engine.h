@@ -44,6 +44,11 @@
 #include <vector>
 
 namespace herbgrind {
+
+namespace native {
+struct Kernel;
+}
+
 namespace engine {
 
 class ResultCache;
@@ -141,6 +146,17 @@ public:
 
   /// Analyzes every core, sharded and in parallel.
   BatchResult run(const std::vector<fpcore::Core> &Cores);
+
+  /// Analyzes every registered native kernel: real C++ code instrumented
+  /// through native::Real is swept exactly like an FPCore benchmark
+  /// (deterministic sharding, byte-identical merging at any worker
+  /// count, shard-result caching keyed by Kernel::identity()).
+  BatchResult run(const std::vector<native::Kernel> &Kernels);
+
+  /// One combined sweep over FPCore cores followed by native kernels
+  /// (benchmark indices cover the concatenation, in that order).
+  BatchResult run(const std::vector<fpcore::Core> &Cores,
+                  const std::vector<native::Kernel> &Kernels);
 
   /// Analyzes the whole bundled corpus (skipping any core the compiler
   /// does not support).

@@ -6,6 +6,8 @@
 
 #include "fpcore/Corpus.h"
 
+#include "fpcore/Compile.h"
+
 #include <cassert>
 
 using namespace herbgrind;
@@ -334,6 +336,14 @@ const std::vector<std::string> &fpcore::corpusSources() {
   static const std::vector<std::string> Sources(std::begin(CorpusSources),
                                                 std::end(CorpusSources));
   return Sources;
+}
+
+std::vector<Core> fpcore::compilableCorpus() {
+  std::vector<Core> Cores;
+  for (const Core &C : corpus())
+    if (isCompilable(C))
+      Cores.push_back(C.clone());
+  return Cores;
 }
 
 const std::vector<Core> &fpcore::corpus() {

@@ -30,6 +30,10 @@ const std::vector<std::string> &corpusSources();
 /// compiles; the test suite enforces this.
 const std::vector<Core> &corpus();
 
+/// Fresh clones of every compilable corpus benchmark: the default sweep
+/// selection shared by Engine::runCorpus and the batch CLI.
+std::vector<Core> compilableCorpus();
+
 } // namespace fpcore
 } // namespace herbgrind
 

@@ -5,7 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The public API of herbgrind-cpp in one include:
+/// The public API of herbgrind-cpp in one include.
+///
+/// The native frontend: analyze actual C++ code by swapping `double` for
+/// the drop-in type,
+///
+/// \code
+///   native::Context C;
+///   native::Real X = C.input(0, 1e16);
+///   HG_LOC(C);
+///   native::Real T = (X + 1.0) - X;
+///   C.output(T);
+///   puts(buildReport(C).render().c_str());
+/// \endcode
+///
+/// or build the abstract-machine IR directly (quickstart.cpp walks
+/// through this form):
 ///
 /// \code
 ///   ProgramBuilder B;
@@ -22,7 +37,10 @@
 ///   puts(R.render().c_str());
 /// \endcode
 ///
-/// See DESIGN.md for the system inventory and the paper mapping.
+/// Batch workflows (engine sweeps, wire-format serialization, result
+/// caching, the corpus-wide improver) are included too -- this header is
+/// the whole public surface. See docs/ARCHITECTURE.md for the system
+/// inventory and the paper mapping.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,8 +49,17 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/Report.h"
+#include "analysis/Serialize.h"
+#include "engine/Engine.h"
+#include "engine/ResultCache.h"
+#include "fpcore/Corpus.h"
+#include "improve/BatchImprove.h"
+#include "improve/Improve.h"
 #include "ir/Interpreter.h"
 #include "ir/LibmLowering.h"
 #include "ir/Program.h"
+#include "native/Context.h"
+#include "native/Kernel.h"
+#include "native/Real.h"
 
 #endif // HERBGRIND_HERBGRIND_H

@@ -1,0 +1,162 @@
+//===- native/Real.cpp - Drop-in shadowed double --------------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Real.h"
+
+#include "native/Context.h"
+
+#include <cassert>
+
+using namespace herbgrind;
+using namespace herbgrind::native;
+
+//===----------------------------------------------------------------------===//
+// Value semantics (shadow references follow the copies, Section 6 sharing)
+//===----------------------------------------------------------------------===//
+
+Real::Real(const Real &O) : Val(O.Val), SV(O.SV), Ctx(O.Ctx) {
+  if (SV)
+    Ctx->retainShadow(SV);
+}
+
+Real::Real(Real &&O) noexcept : Val(O.Val), SV(O.SV), Ctx(O.Ctx) {
+  O.SV = nullptr;
+  O.Ctx = nullptr;
+}
+
+Real &Real::operator=(const Real &O) {
+  if (this == &O)
+    return *this;
+  if (O.SV)
+    O.Ctx->retainShadow(O.SV);
+  if (SV)
+    Ctx->releaseShadow(SV);
+  Val = O.Val;
+  SV = O.SV;
+  Ctx = O.Ctx;
+  return *this;
+}
+
+Real &Real::operator=(Real &&O) noexcept {
+  if (this == &O)
+    return *this;
+  if (SV)
+    Ctx->releaseShadow(SV);
+  Val = O.Val;
+  SV = O.SV;
+  Ctx = O.Ctx;
+  O.SV = nullptr;
+  O.Ctx = nullptr;
+  return *this;
+}
+
+Real::~Real() {
+  if (SV)
+    Ctx->releaseShadow(SV);
+}
+
+Real Real::input(unsigned Index) {
+  Context *C = Context::active();
+  assert(C && "Real::input needs an active native::Context");
+  return C->input(Index);
+}
+
+int64_t Real::toInt64() const { return Context::conversionOp(*this); }
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+Real herbgrind::native::operator+(const Real &A, const Real &B) {
+  return Context::binaryOp(Opcode::AddF64, A, B);
+}
+Real herbgrind::native::operator-(const Real &A, const Real &B) {
+  return Context::binaryOp(Opcode::SubF64, A, B);
+}
+Real herbgrind::native::operator*(const Real &A, const Real &B) {
+  return Context::binaryOp(Opcode::MulF64, A, B);
+}
+Real herbgrind::native::operator/(const Real &A, const Real &B) {
+  return Context::binaryOp(Opcode::DivF64, A, B);
+}
+
+Real Real::operator-() const { return Context::unaryOp(Opcode::NegF64, *this); }
+
+Real &Real::operator+=(const Real &O) { return *this = *this + O; }
+Real &Real::operator-=(const Real &O) { return *this = *this - O; }
+Real &Real::operator*=(const Real &O) { return *this = *this * O; }
+Real &Real::operator/=(const Real &O) { return *this = *this / O; }
+
+bool herbgrind::native::operator<(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpLTF64, A, B);
+}
+bool herbgrind::native::operator<=(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpLEF64, A, B);
+}
+bool herbgrind::native::operator>(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpGTF64, A, B);
+}
+bool herbgrind::native::operator>=(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpGEF64, A, B);
+}
+bool herbgrind::native::operator==(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpEQF64, A, B);
+}
+bool herbgrind::native::operator!=(const Real &A, const Real &B) {
+  return Context::comparisonOp(Opcode::CmpNEF64, A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Math functions
+//===----------------------------------------------------------------------===//
+
+#define HG_NATIVE_UNARY(Name, Op)                                            \
+  Real herbgrind::native::Name(const Real &X) {                              \
+    return Context::unaryOp(Opcode::Op, X);                                  \
+  }
+#define HG_NATIVE_BINARY(Name, Op)                                           \
+  Real herbgrind::native::Name(const Real &A, const Real &B) {               \
+    return Context::binaryOp(Opcode::Op, A, B);                              \
+  }
+
+HG_NATIVE_UNARY(sqrt, SqrtF64)
+HG_NATIVE_UNARY(fabs, AbsF64)
+HG_NATIVE_UNARY(abs, AbsF64)
+HG_NATIVE_BINARY(fmin, MinF64)
+HG_NATIVE_BINARY(fmax, MaxF64)
+HG_NATIVE_BINARY(copysign, CopySignF64)
+HG_NATIVE_UNARY(exp, ExpF64)
+HG_NATIVE_UNARY(exp2, Exp2F64)
+HG_NATIVE_UNARY(expm1, Expm1F64)
+HG_NATIVE_UNARY(log, LogF64)
+HG_NATIVE_UNARY(log2, Log2F64)
+HG_NATIVE_UNARY(log10, Log10F64)
+HG_NATIVE_UNARY(log1p, Log1pF64)
+HG_NATIVE_UNARY(sin, SinF64)
+HG_NATIVE_UNARY(cos, CosF64)
+HG_NATIVE_UNARY(tan, TanF64)
+HG_NATIVE_UNARY(asin, AsinF64)
+HG_NATIVE_UNARY(acos, AcosF64)
+HG_NATIVE_UNARY(atan, AtanF64)
+HG_NATIVE_BINARY(atan2, Atan2F64)
+HG_NATIVE_UNARY(sinh, SinhF64)
+HG_NATIVE_UNARY(cosh, CoshF64)
+HG_NATIVE_UNARY(tanh, TanhF64)
+HG_NATIVE_BINARY(pow, PowF64)
+HG_NATIVE_UNARY(cbrt, CbrtF64)
+HG_NATIVE_BINARY(hypot, HypotF64)
+HG_NATIVE_BINARY(fmod, FmodF64)
+HG_NATIVE_UNARY(floor, FloorF64)
+HG_NATIVE_UNARY(ceil, CeilF64)
+HG_NATIVE_UNARY(round, RoundF64)
+HG_NATIVE_UNARY(trunc, TruncF64)
+
+Real herbgrind::native::fma(const Real &A, const Real &B, const Real &C) {
+  return Context::ternaryOp(Opcode::FmaF64, A, B, C);
+}
+
+#undef HG_NATIVE_UNARY
+#undef HG_NATIVE_BINARY

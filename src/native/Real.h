@@ -1,0 +1,170 @@
+//===- native/Real.h - Drop-in shadowed double for real C++ code -*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// native::Real: a drop-in numeric type that makes ordinary C++ code
+/// analyzable by the Herbgrind machinery. Change `double` to
+/// `herbgrind::native::Real` and every `+ - * /`, comparison, and math
+/// call executes natively (bit-identical to the double program) while
+/// also driving the high-precision shadow, the expression traces, and the
+/// influence sets of the active native::Context -- the role the paper's
+/// Valgrind/VEX instrumentation plays for binaries, delivered as a
+/// header-only operator-overloading frontend instead:
+///
+/// \code
+///   native::Context C;
+///   Real x = C.input(0, 1e16);
+///   HG_LOC(C);
+///   Real y = (x + 1.0) - x;      // shadowed add + sub, recorded
+///   C.output(y);                  // an output spot
+///   puts(buildReport(C).render().c_str());
+/// \endcode
+///
+/// Operations look for their context on the operands first, then fall
+/// back to Context::active() (constants have none until first use); with
+/// no context anywhere the math still runs, just unshadowed. Overloaded
+/// operators cannot capture std::source_location-style defaults, so op
+/// identity comes from the context's current location: drop HG_LOC(ctx)
+/// on the lines you want blamed individually (unmarked operations merge
+/// per opcode under the unknown location). A Real belongs to the context
+/// that first shadowed it; under a different context only its concrete
+/// double carries over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_NATIVE_REAL_H
+#define HERBGRIND_NATIVE_REAL_H
+
+#include "support/SourceLoc.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace herbgrind {
+
+struct ShadowValue;
+
+namespace native {
+
+class Context;
+
+/// The drop-in shadowed double.
+class Real {
+public:
+  Real() = default;
+  /// Implicit on purpose: `x + 1.0` and `Real y = 0.0` are the drop-in
+  /// story. The constant stays unshadowed until an operation touches it.
+  Real(double V) : Val(V) {}
+
+  Real(const Real &O);
+  Real(Real &&O) noexcept;
+  Real &operator=(const Real &O);
+  Real &operator=(Real &&O) noexcept;
+  ~Real();
+
+  /// The concrete double (bit-identical to the uninstrumented program's).
+  double value() const { return Val; }
+  bool shadowed() const { return SV != nullptr; }
+
+  /// Bound input \p Index of the active context (Context::bindInputs);
+  /// the shadowed leaf the analysis roots traces and summaries at.
+  static Real input(unsigned Index);
+
+  Real &operator+=(const Real &O);
+  Real &operator-=(const Real &O);
+  Real &operator*=(const Real &O);
+  Real &operator/=(const Real &O);
+  Real operator-() const;
+  Real operator+() const { return *this; }
+
+  /// Truncating float-to-int conversion: a spot (Section 4.2).
+  int64_t toInt64() const;
+
+private:
+  friend class Context;
+  double Val = 0.0;
+  /// Lazily installed leaf shadow (mutable: first use under a context
+  /// shadows a const operand in place, exactly like the interpreter's
+  /// lazy shadowing of temporaries).
+  mutable ShadowValue *SV = nullptr;
+  mutable Context *Ctx = nullptr;
+};
+
+/// \name Arithmetic (mixed Real/double forms come via the implicit ctor)
+/// @{
+Real operator+(const Real &A, const Real &B);
+Real operator-(const Real &A, const Real &B);
+Real operator*(const Real &A, const Real &B);
+Real operator/(const Real &A, const Real &B);
+/// @}
+
+/// \name Comparisons: the float-to-discrete boundary, i.e. spots
+/// @{
+bool operator<(const Real &A, const Real &B);
+bool operator<=(const Real &A, const Real &B);
+bool operator>(const Real &A, const Real &B);
+bool operator>=(const Real &A, const Real &B);
+bool operator==(const Real &A, const Real &B);
+bool operator!=(const Real &A, const Real &B);
+/// @}
+
+/// \name Math functions (mirroring ir/Opcode's scalar f64 coverage).
+/// Library calls are wrapped ops (Section 5.3): the shadow computes the
+/// mathematical function exactly, the concrete side calls libm.
+/// @{
+Real sqrt(const Real &X);
+Real fabs(const Real &X);
+Real abs(const Real &X);
+Real fmin(const Real &A, const Real &B);
+Real fmax(const Real &A, const Real &B);
+Real fma(const Real &A, const Real &B, const Real &C);
+Real copysign(const Real &A, const Real &B);
+Real exp(const Real &X);
+Real exp2(const Real &X);
+Real expm1(const Real &X);
+Real log(const Real &X);
+Real log2(const Real &X);
+Real log10(const Real &X);
+Real log1p(const Real &X);
+Real sin(const Real &X);
+Real cos(const Real &X);
+Real tan(const Real &X);
+Real asin(const Real &X);
+Real acos(const Real &X);
+Real atan(const Real &X);
+Real atan2(const Real &A, const Real &B);
+Real sinh(const Real &X);
+Real cosh(const Real &X);
+Real tanh(const Real &X);
+Real pow(const Real &A, const Real &B);
+Real cbrt(const Real &X);
+Real hypot(const Real &A, const Real &B);
+Real fmod(const Real &A, const Real &B);
+Real floor(const Real &X);
+Real ceil(const Real &X);
+Real round(const Real &X);
+Real trunc(const Real &X);
+/// @}
+
+} // namespace native
+} // namespace herbgrind
+
+/// Stamps the current source line as the location of the native
+/// operations recorded after it (the op-identity key; see Context.h).
+/// The C++17 stand-in for std::source_location capture, which overloaded
+/// operators could not perform even in C++20. Each expansion owns one
+/// static SourceLoc, so re-stamping a line (every loop iteration) is a
+/// pointer compare -- no strings are built on the hot path -- and the
+/// context caches interned site ids per callsite. Usable wherever an
+/// expression is (the `for (HG_LOC(C); cond; HG_LOC(C))` loop idiom).
+#define HG_LOC(Ctx)                                                          \
+  ([](::herbgrind::native::Context &HgCtx_, const char *HgFunc_) {           \
+    static const ::herbgrind::SourceLoc HgLoc_(__FILE__, __LINE__,           \
+                                               HgFunc_);                     \
+    HgCtx_.stampLoc(HgLoc_);                                                 \
+  }((Ctx), __func__))
+
+#endif // HERBGRIND_NATIVE_REAL_H
