@@ -29,12 +29,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "analysis/OpProfile.h"
 #include "engine/Engine.h"
 #include "improve/BatchImprove.h"
 #include "native/Context.h"
 #include "native/Kernel.h"
 #include "support/Format.h"
 #include "support/LimbAlloc.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <array>
@@ -339,6 +341,61 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(NP.ShadowOps),
               NP.ShadowOps ? 1e9 * NP.NativeSeconds / NP.ShadowOps : 0.0);
 
+  // Op-profiler probe: sweep the bundled quadratic native kernel with
+  // sampling at period 1 and rank where the shadow time goes. At period 1
+  // the ranked rows account for every measured nanosecond, so coverage
+  // below 0.9 means attribution itself broke (the acceptance gate).
+  metrics::resetAll();
+  opprof::enable(1);
+  EngineConfig PCfg;
+  PCfg.Jobs = JobCounts.back();
+  PCfg.SamplesPerBenchmark = Cfg.SamplesPerBenchmark;
+  PCfg.ShardSize = Cfg.ShardSize;
+  std::vector<herbgrind::native::Kernel> QuadOnly;
+  for (const herbgrind::native::Kernel &K : herbgrind::native::demoKernels())
+    if (K.Name == "native quadratic root")
+      QuadOnly.push_back(K);
+  BatchResult ProfResult = Engine(PCfg).run(QuadOnly);
+  opprof::disable();
+  std::vector<opprof::OpProfileRow> ProfRows;
+  for (const BenchmarkResult &BR : ProfResult.Benchmarks)
+    opprof::accumulateOpProfile(BR.Records.Ops, ProfRows);
+  opprof::finalizeOpProfile(ProfRows);
+  uint64_t ProfTotalNs =
+      metrics::snapshot().counterValue("profile.shadow_ns");
+  uint64_t ProfRowNs = 0;
+  for (const opprof::OpProfileRow &R : ProfRows)
+    ProfRowNs += R.Nanos;
+  double ProfCoverage =
+      ProfTotalNs ? static_cast<double>(ProfRowNs) / ProfTotalNs : 0.0;
+  std::printf("\nop profiler (quadratic kernel sweep, jobs %u, sample "
+              "period 1):\n%s",
+              PCfg.Jobs,
+              opprof::renderOpProfileTable(ProfRows, 10, ProfTotalNs)
+                  .c_str());
+  std::string ProfRowsJson;
+  size_t ProfTop = std::min<size_t>(ProfRows.size(), 10);
+  for (size_t I = 0; I < ProfTop; ++I) {
+    const opprof::OpProfileRow &R = ProfRows[I];
+    if (!ProfRowsJson.empty())
+      ProfRowsJson += ",";
+    ProfRowsJson += format(
+        "{\"op\":\"%s\",\"loc\":\"%s\",\"executions\":%llu,"
+        "\"samples\":%llu,\"ns\":%llu,\"est_ns\":%s,"
+        "\"limb_allocs\":%llu,\"limb_hits\":%llu}",
+        opInfo(R.Op).Name, jsonEscape(R.Loc.str()).c_str(),
+        static_cast<unsigned long long>(R.Executions),
+        static_cast<unsigned long long>(R.Samples),
+        static_cast<unsigned long long>(R.Nanos),
+        formatDoubleShortest(R.estNanos()).c_str(),
+        static_cast<unsigned long long>(R.LimbAllocs),
+        static_cast<unsigned long long>(R.LimbHits));
+  }
+  std::string ProfileJson = format(
+      "{\"total_ns\":%llu,\"coverage\":%s,\"rows\":[%s]}",
+      static_cast<unsigned long long>(ProfTotalNs),
+      formatDoubleShortest(ProfCoverage).c_str(), ProfRowsJson.c_str());
+
   std::string CacheJson = "null";
   if (Positional.size() > 2) {
     // Result-cache section: a cold sweep populates the cache, the warm
@@ -386,6 +443,7 @@ int main(int Argc, char **Argv) {
       "\"native\":{\"raw_s\":%s,\"native_s\":%s,\"interp_s\":%s,"
       "\"herbgrind_s\":%s,\"shadow_ops\":%llu,\"native_overhead\":%s,"
       "\"interp_overhead\":%s,\"herbgrind_overhead\":%s},"
+      "\"profile\":%s,"
       "\"cache\":%s}\n",
       Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
       formatDoubleShortest(Probe.NativeSeconds).c_str(),
@@ -408,7 +466,7 @@ int main(int Argc, char **Argv) {
       formatDoubleShortest(Over(NP.NativeSeconds, NP.RawSeconds)).c_str(),
       formatDoubleShortest(Over(NP.InterpSeconds, NP.RawSeconds)).c_str(),
       formatDoubleShortest(Over(NP.HerbgrindSeconds, NP.RawSeconds)).c_str(),
-      CacheJson.c_str());
+      ProfileJson.c_str(), CacheJson.c_str());
   std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
   if (Out) {
     Out << Json;
@@ -432,6 +490,17 @@ int main(int Argc, char **Argv) {
                  "FAIL: %llu heap allocations in steady-state shadow "
                  "execution (expected 0)\n",
                  static_cast<unsigned long long>(Probe.SteadyHeapAllocs));
+    return 1;
+  }
+  // The profiler acceptance gate: the ranked rows must account for at
+  // least 90% of the measured shadow time (100% at sample period 1
+  // unless attribution lost samples somewhere).
+  if (ProfRows.empty() || ProfCoverage < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: op profiler covered %.1f%% of %llu ns measured "
+                 "shadow time (expected >= 90%%)\n",
+                 100.0 * ProfCoverage,
+                 static_cast<unsigned long long>(ProfTotalNs));
     return 1;
   }
   return 0;

@@ -32,22 +32,29 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/OpProfile.h"
 #include "engine/Engine.h"
 #include "engine/ResultCache.h"
 #include "fpcore/Corpus.h"
 #include "improve/BatchImprove.h"
 #include "native/Kernel.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace herbgrind;
@@ -86,6 +93,16 @@ static int usage(const char *Prog) {
       "256)\n"
       "  --json            emit a JSON report instead of text\n"
       "  --out FILE        write the report to FILE instead of stdout\n"
+      "  --metrics-out FILE  write the sweep's telemetry document (merged\n"
+      "                    metrics + hot-op profile) as versioned JSON;\n"
+      "                    never affects report bytes (docs/TELEMETRY.md)\n"
+      "  --trace-out FILE  write spans as Chrome trace-event JSON (load in\n"
+      "                    Perfetto / chrome://tracing)\n"
+      "  --profile-ops     attribute shadow-op wall time and limb traffic\n"
+      "                    to (site, opcode) identities; prints a ranked\n"
+      "                    cost table to stderr\n"
+      "  --profile-period N  measure every Nth shadow op (default 1)\n"
+      "  --progress        print a heartbeat line to stderr during sweeps\n"
       "  --list            list corpus benchmark names\n"
       "  --selftest        verify --jobs N output matches --jobs 1, then "
       "exit\n"
@@ -109,6 +126,98 @@ static int emitRendered(const std::string &Rendered,
   }
   Out << Rendered;
   return 0;
+}
+
+/// The `--progress` heartbeat: a helper thread that samples the metrics
+/// registry about once a second and prints sweep progress to stderr. The
+/// report stream is untouched, so heartbeats never perturb comparisons.
+class ProgressHeartbeat {
+public:
+  void start() {
+    T = std::thread([this] {
+      std::unique_lock<std::mutex> Lock(M);
+      while (!CV.wait_for(Lock, std::chrono::seconds(1),
+                          [this] { return Stop; })) {
+        metrics::Snapshot S = metrics::snapshot();
+        const metrics::GaugeSample *Total = S.findGauge("engine.shards_total");
+        std::fprintf(
+            stderr,
+            "progress: %llu/%lld shards (%llu analyzed, %llu cached), "
+            "%llu improver records\n",
+            static_cast<unsigned long long>(
+                S.counterValue("engine.shards_done")),
+            static_cast<long long>(Total ? Total->Value : 0),
+            static_cast<unsigned long long>(
+                S.counterValue("engine.shards_analyzed")),
+            static_cast<unsigned long long>(
+                S.counterValue("engine.shards_cached")),
+            static_cast<unsigned long long>(
+                S.counterValue("improve.records_analyzed") +
+                S.counterValue("improve.records_cached")));
+      }
+    });
+  }
+
+  ~ProgressHeartbeat() {
+    if (!T.joinable())
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    CV.notify_all();
+    T.join();
+  }
+
+private:
+  std::thread T;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stop = false;
+};
+
+/// Writes \p Text to \p Path; diagnoses (but does not abort on) failure.
+static int writeTextFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (Out)
+    Out << Text;
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Emits the post-run telemetry outputs: stops tracing and writes the
+/// Chrome trace (--trace-out), assembles the telemetry document from the
+/// metrics snapshot plus the op profile accumulated in \p Result's records
+/// (--metrics-out), and prints the ranked hot-op table (--profile-ops).
+/// Returns nonzero if any requested file failed to write.
+static int emitTelemetry(const std::string &MetricsOut,
+                         const std::string &TraceOut, bool ProfileOps,
+                         const BatchResult *Result) {
+  int Rc = 0;
+  if (!TraceOut.empty()) {
+    trace::stop();
+    Rc |= writeTextFile(TraceOut, trace::renderChromeTrace());
+  }
+  if (MetricsOut.empty() && !ProfileOps)
+    return Rc;
+  TelemetryDoc Doc;
+  Doc.Metrics = metrics::snapshot();
+  if (Result)
+    for (const BenchmarkResult &BR : Result->Benchmarks)
+      opprof::accumulateOpProfile(BR.Records.Ops, Doc.Profile);
+  opprof::finalizeOpProfile(Doc.Profile);
+  Doc.ProfileTotalNanos = Doc.Metrics.counterValue("profile.shadow_ns");
+  if (!MetricsOut.empty())
+    Rc |= writeTextFile(MetricsOut, renderTelemetryJson(Doc) + "\n");
+  if (ProfileOps)
+    std::fputs(
+        opprof::renderOpProfileTable(Doc.Profile, 10, Doc.ProfileTotalNanos)
+            .c_str(),
+        stderr);
+  return Rc;
 }
 
 /// Re-enforces a configured --cache-max-bytes after an improve pass
@@ -296,8 +405,10 @@ int main(int Argc, char **Argv) {
   EngineConfig Cfg;
   bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
   bool CacheMaxSet = false, Improve = false, Native = false;
+  bool ProfileOps = false, Progress = false;
+  uint32_t ProfilePeriod = 1;
   improve::BatchImproveConfig BCfg;
-  std::string OutFile;
+  std::string OutFile, MetricsOut, TraceOut;
   std::vector<Core> Cores;
   std::vector<std::string> MergeArgs;
 
@@ -420,6 +531,30 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       OutFile = V;
+    } else if (std::strcmp(Arg, "--metrics-out") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      MetricsOut = V;
+    } else if (std::strcmp(Arg, "--trace-out") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      TraceOut = V;
+    } else if (std::strcmp(Arg, "--profile-ops") == 0) {
+      ProfileOps = true;
+    } else if (std::strcmp(Arg, "--profile-period") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      int P = std::atoi(V);
+      if (P < 1) {
+        std::fprintf(stderr, "error: --profile-period must be >= 1\n");
+        return 2;
+      }
+      ProfilePeriod = static_cast<uint32_t>(P);
+    } else if (std::strcmp(Arg, "--progress") == 0) {
+      Progress = true;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
     } else if (MergeShards) {
@@ -452,9 +587,24 @@ int main(int Argc, char **Argv) {
   if (CacheGc)
     return runCacheGc(Cfg.CacheDir, Cfg.CacheMaxBytes, CacheMaxSet);
 
-  if (MergeShards)
-    return runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
-                          Cfg.CacheDir, Cfg.CacheMaxBytes);
+  // Arm telemetry before any work runs. All of it observes from the side:
+  // the report stream is byte-identical with every flag on or off.
+  if (!TraceOut.empty())
+    trace::start();
+  if (ProfileOps)
+    opprof::enable(ProfilePeriod);
+  ProgressHeartbeat Heartbeat;
+  if (Progress)
+    Heartbeat.start();
+
+  if (MergeShards) {
+    int Rc = runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
+                            Cfg.CacheDir, Cfg.CacheMaxBytes);
+    // Merged shard documents carry no profiler fields (nothing executed
+    // here), so the telemetry covers the merge/improve work itself.
+    int TRc = emitTelemetry(MetricsOut, TraceOut, ProfileOps, nullptr);
+    return Rc != 0 ? Rc : TRc;
+  }
 
   // --native adds the demo kernels; with no other selection it sweeps
   // only those. Otherwise an empty selection means the whole corpus.
@@ -503,7 +653,7 @@ int main(int Argc, char **Argv) {
                  Eng.config().Jobs,
                  static_cast<unsigned long long>(Multi.Stats.AnalyzedShards),
                  static_cast<unsigned long long>(Multi.Stats.CachedShards));
-    return 0;
+    return emitTelemetry(MetricsOut, TraceOut, ProfileOps, &Multi);
   }
 
   BatchResult Result = Eng.run(Cores, Kernels);
@@ -541,5 +691,18 @@ int main(int Argc, char **Argv) {
                Eng.config().Jobs, Result.Stats.WallSeconds,
                static_cast<unsigned long long>(Result.Stats.CacheHits),
                static_cast<unsigned long long>(Result.Stats.CacheMisses));
-  return 0;
+  std::fprintf(
+      stderr,
+      "limb alloc: %llu heap, %llu cached; result cache: %llu hits, %llu "
+      "misses, %llu store failures; pool: %llu tasks, %llu steals, max "
+      "queue %llu\n",
+      static_cast<unsigned long long>(Result.Stats.LimbHeapAllocs),
+      static_cast<unsigned long long>(Result.Stats.LimbCacheHits),
+      static_cast<unsigned long long>(Result.Stats.ResultCacheHits),
+      static_cast<unsigned long long>(Result.Stats.ResultCacheMisses),
+      static_cast<unsigned long long>(Result.Stats.ResultCacheStoreFailures),
+      static_cast<unsigned long long>(Result.Stats.PoolTasks),
+      static_cast<unsigned long long>(Result.Stats.PoolSteals),
+      static_cast<unsigned long long>(Result.Stats.PoolMaxQueueDepth));
+  return emitTelemetry(MetricsOut, TraceOut, ProfileOps, &Result);
 }

@@ -6,9 +6,12 @@
 
 #include "analysis/Analysis.h"
 
+#include "analysis/OpProfile.h"
 #include "analysis/RealOps.h"
 #include "ir/LibmLowering.h"
 #include "support/FloatBits.h"
+#include "support/LimbAlloc.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 #include <cmath>
@@ -437,6 +440,17 @@ ShadowValue *herbgrind::shadowScalarOpCore(
     const AnalysisConfig &Cfg, ShadowState &Shadow, OpRecord &Rec, Opcode Op,
     uint32_t PC, ShadowValue *const *ArgSV, const Value *ArgConcrete,
     unsigned NumArgs, const Value &ConcreteResult) {
+  // Cost attribution (opprof, --profile-ops): bracket this execution with
+  // a clock read and a limballoc counter delta. One relaxed load when the
+  // profiler is off.
+  const bool ProfThis = opprof::shouldSample();
+  uint64_t ProfT0 = 0, ProfHeap0 = 0, ProfHits0 = 0;
+  if (ProfThis) {
+    ProfHeap0 = limballoc::heapAllocs();
+    ProfHits0 = limballoc::cacheHits();
+    ProfT0 = metrics::nowNanos();
+  }
+
   const OpInfo &Info = opInfo(Op);
   ValueType ResultTy = Info.ResultTy;
   TraceArena &Arena = Shadow.arena();
@@ -562,7 +576,13 @@ ShadowValue *herbgrind::shadowScalarOpCore(
   }
 
   // The result shadow (create consumes the trace reference).
-  return Shadow.create(std::move(RealResult), Trace, Infl, ResultTy);
+  ShadowValue *Result = Shadow.create(std::move(RealResult), Trace, Infl,
+                                      ResultTy);
+  if (ProfThis)
+    opprof::recordSample(Rec, metrics::nowNanos() - ProfT0,
+                         limballoc::heapAllocs() - ProfHeap0,
+                         limballoc::cacheHits() - ProfHits0);
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -718,6 +738,10 @@ OpRecord OpRecord::clone() const {
   R.ProblematicInputs = ProblematicInputs;
   R.MaxFlaggedLocalError = MaxFlaggedLocalError;
   R.ExampleProblematic = ExampleProblematic;
+  R.ProfSamples = ProfSamples;
+  R.ProfNanos = ProfNanos;
+  R.ProfLimbAllocs = ProfLimbAllocs;
+  R.ProfLimbHits = ProfLimbHits;
   return R;
 }
 
@@ -815,6 +839,10 @@ void OpRecord::mergeFrom(const OpRecord &Other, uint32_t EquivDepth) {
   LocalError.merge(Other.LocalError);
   MaxFlaggedLocalError = std::max(MaxFlaggedLocalError,
                                   Other.MaxFlaggedLocalError);
+  ProfSamples += Other.ProfSamples;
+  ProfNanos += Other.ProfNanos;
+  ProfLimbAllocs += Other.ProfLimbAllocs;
+  ProfLimbHits += Other.ProfLimbHits;
 }
 
 AnalysisResult AnalysisResult::clone() const {

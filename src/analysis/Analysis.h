@@ -98,6 +98,18 @@ struct OpRecord {
   double MaxFlaggedLocalError = 0.0;
   std::vector<VarBinding> ExampleProblematic; ///< Bindings at worst round.
 
+  /// \name Profiler cost attribution (opprof, --profile-ops)
+  /// Accumulated only while the op profiler samples; deliberately outside
+  /// the wire format -- never serialized, never rendered into reports --
+  /// so enabling the profiler cannot perturb report bytes. Merged and
+  /// cloned with the record like every other aggregate.
+  /// @{
+  uint64_t ProfSamples = 0;
+  uint64_t ProfNanos = 0;
+  uint64_t ProfLimbAllocs = 0;
+  uint64_t ProfLimbHits = 0;
+  /// @}
+
   /// Deep copy (the symbolic expression is owned).
   OpRecord clone() const;
 

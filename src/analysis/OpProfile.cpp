@@ -1,0 +1,123 @@
+//===- analysis/OpProfile.cpp - Hot-op shadow-cost profiler ---------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OpProfile.h"
+
+#include "analysis/Analysis.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+
+namespace herbgrind {
+namespace opprof {
+
+std::atomic<uint32_t> SamplePeriodAtomic{0};
+
+void enable(uint32_t SamplePeriod) {
+  SamplePeriodAtomic.store(SamplePeriod == 0 ? 1 : SamplePeriod,
+                           std::memory_order_relaxed);
+}
+
+void disable() { SamplePeriodAtomic.store(0, std::memory_order_relaxed); }
+
+uint32_t samplePeriod() {
+  return SamplePeriodAtomic.load(std::memory_order_relaxed);
+}
+
+bool shouldSampleSlow() {
+  uint32_t P = SamplePeriodAtomic.load(std::memory_order_relaxed);
+  if (P <= 1)
+    return P == 1;
+  thread_local uint32_t Tick = 0;
+  return ++Tick % P == 0;
+}
+
+void recordSample(OpRecord &Rec, uint64_t Nanos, uint64_t LimbAllocs,
+                  uint64_t LimbHits) {
+  Rec.ProfSamples += 1;
+  Rec.ProfNanos += Nanos;
+  Rec.ProfLimbAllocs += LimbAllocs;
+  Rec.ProfLimbHits += LimbHits;
+  static metrics::Counter Ops = metrics::counter("profile.shadow_ops_measured");
+  static metrics::Counter Ns = metrics::counter("profile.shadow_ns");
+  static metrics::Counter Heap = metrics::counter("profile.limb_heap_allocs");
+  static metrics::Counter Hits = metrics::counter("profile.limb_cache_hits");
+  Ops.add(1);
+  Ns.add(Nanos);
+  Heap.add(LimbAllocs);
+  Hits.add(LimbHits);
+}
+
+void accumulateOpProfile(const std::map<uint32_t, OpRecord> &Ops,
+                         std::vector<OpProfileRow> &Rows) {
+  for (const auto &KV : Ops) {
+    const OpRecord &Rec = KV.second;
+    if (Rec.Executions == 0)
+      continue;
+    OpProfileRow *Row = nullptr;
+    for (OpProfileRow &R : Rows)
+      if (R.Op == Rec.Op && R.Loc == Rec.Loc) {
+        Row = &R;
+        break;
+      }
+    if (!Row) {
+      Rows.emplace_back();
+      Row = &Rows.back();
+      Row->Op = Rec.Op;
+      Row->Loc = Rec.Loc;
+    }
+    Row->Executions += Rec.Executions;
+    Row->Samples += Rec.ProfSamples;
+    Row->Nanos += Rec.ProfNanos;
+    Row->LimbAllocs += Rec.ProfLimbAllocs;
+    Row->LimbHits += Rec.ProfLimbHits;
+  }
+}
+
+void finalizeOpProfile(std::vector<OpProfileRow> &Rows) {
+  std::sort(Rows.begin(), Rows.end(),
+            [](const OpProfileRow &A, const OpProfileRow &B) {
+              double EA = A.estNanos(), EB = B.estNanos();
+              if (EA != EB)
+                return EA > EB;
+              if (!(A.Loc == B.Loc))
+                return A.Loc.str() < B.Loc.str();
+              return static_cast<unsigned>(A.Op) < static_cast<unsigned>(B.Op);
+            });
+}
+
+std::string renderOpProfileTable(const std::vector<OpProfileRow> &Rows,
+                                 size_t TopN, uint64_t TotalNanos) {
+  std::string Out;
+  Out += "hot shadow ops (by estimated wall time):\n";
+  Out += format("  %-4s %-12s %-34s %12s %10s %12s %8s %10s\n", "#", "op",
+                "site", "execs", "samples", "est_us", "%total", "limb a/h");
+  size_t N = TopN == 0 ? Rows.size() : std::min(TopN, Rows.size());
+  double CoveredNs = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    const OpProfileRow &R = Rows[I];
+    double EstNs = R.estNanos();
+    CoveredNs += EstNs;
+    double Pct = TotalNanos == 0 ? 0.0 : 100.0 * EstNs / TotalNanos;
+    std::string Site = R.Loc.str();
+    if (Site.size() > 34)
+      Site = "..." + Site.substr(Site.size() - 31);
+    Out += format("  %-4zu %-12s %-34s %12llu %10llu %12.1f %7.1f%% %5llu/%llu\n",
+                  I + 1, opInfo(R.Op).Name, Site.c_str(),
+                  (unsigned long long)R.Executions,
+                  (unsigned long long)R.Samples, EstNs / 1000.0, Pct,
+                  (unsigned long long)R.LimbAllocs,
+                  (unsigned long long)R.LimbHits);
+  }
+  if (TotalNanos > 0)
+    Out += format("  top %zu rows cover %.1f%% of %.1f us measured shadow time\n",
+                  N, 100.0 * CoveredNs / TotalNanos, TotalNanos / 1000.0);
+  return Out;
+}
+
+} // namespace opprof
+} // namespace herbgrind

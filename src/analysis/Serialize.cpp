@@ -108,6 +108,14 @@ struct Fields {
     return true;
   }
 
+  bool i64(const char *Name, int64_t &Out) {
+    const JsonValue *F = Obj.field(Name);
+    if (!F || !F->isNumber())
+      return fail(Name, "missing or not a number");
+    Out = F->asI64();
+    return true;
+  }
+
   bool dbl(const char *Name, double &Out) {
     const JsonValue *F = Obj.field(Name);
     if (!F || !F->isNumber())
@@ -541,10 +549,11 @@ bool herbgrind::parseAnalysisResultJson(const JsonValue &V, AnalysisResult &Out,
 //===----------------------------------------------------------------------===//
 
 /// Checks a document's {"format","version"} envelope: the tag must match
-/// and the major version must be known. Minor versions are additive, so
-/// any minor of a known major is accepted.
+/// and the major version must equal \p ExpectedMajor (the report wire
+/// format and the telemetry document version independently). Minor
+/// versions are additive, so any minor of a known major is accepted.
 static bool checkEnvelope(const JsonValue &V, const char *ExpectedFormat,
-                          std::string &Err) {
+                          int ExpectedMajor, std::string &Err) {
   const JsonValue *Format = V.field("format");
   if (!Format || !Format->isString() || Format->Str != ExpectedFormat) {
     Err = format("document is not a %s file (bad or missing 'format')",
@@ -561,11 +570,11 @@ static bool checkEnvelope(const JsonValue &V, const char *ExpectedFormat,
     Err = "missing 'version.major'";
     return false;
   }
-  if (Major->asI64() != WireFormatMajor) {
+  if (Major->asI64() != ExpectedMajor) {
     Err = format("unsupported %s major version %lld (this reader "
                  "understands %d)",
                  ExpectedFormat, static_cast<long long>(Major->asI64()),
-                 WireFormatMajor);
+                 ExpectedMajor);
     return false;
   }
   return true;
@@ -609,7 +618,7 @@ bool herbgrind::parseShardJson(const std::string &Text, ShardDoc &Out,
     Err = "shard document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-shard", Err))
+  if (!checkEnvelope(R.Value, "herbgrind-shard", WireFormatMajor, Err))
     return false;
   Fields F{R.Value, Err, "shard"};
   if (!F.str("configHash", Out.ConfigHash) ||
@@ -680,7 +689,7 @@ bool herbgrind::parseImproveDocJson(const std::string &Text, ImproveDoc &Out,
     Err = "improve document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-improve", Err))
+  if (!checkEnvelope(R.Value, "herbgrind-improve", WireFormatMajor, Err))
     return false;
   Fields F{R.Value, Err, "improve"};
   if (!F.str("configHash", Out.ConfigHash) ||
@@ -799,7 +808,7 @@ bool herbgrind::parseBatchReportJson(const std::string &Text,
     Err = "batch report document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-report", Err))
+  if (!checkEnvelope(R.Value, "herbgrind-report", WireFormatMajor, Err))
     return false;
   Fields F{R.Value, Err, "batch report"};
   const JsonValue *Benchmarks = F.array("benchmarks");
@@ -819,6 +828,192 @@ bool herbgrind::parseBatchReportJson(const std::string &Text,
     if (!Rep || !parseReport(*Rep, E.Rep, Err))
       return false;
     Out.Benchmarks.push_back(std::move(E));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry documents
+//===----------------------------------------------------------------------===//
+
+std::string herbgrind::renderTelemetryJson(const TelemetryDoc &Doc) {
+  std::string Out;
+  Out.reserve(1024);
+  Out += format("{\"format\":\"herbgrind-telemetry\","
+                "\"version\":{\"major\":%d,\"minor\":%d},",
+                TelemetryFormatMajor, TelemetryFormatMinor);
+
+  Out += "\"counters\":[";
+  bool First = true;
+  for (const metrics::CounterSample &C : Doc.Metrics.Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("{\"name\":\"%s\",\"value\":%llu}",
+                  jsonEscape(C.Name).c_str(),
+                  static_cast<unsigned long long>(C.Value));
+  }
+  Out += "],\"gauges\":[";
+  First = true;
+  for (const metrics::GaugeSample &G : Doc.Metrics.Gauges) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("{\"name\":\"%s\",\"value\":%lld,\"max\":%lld}",
+                  jsonEscape(G.Name).c_str(), static_cast<long long>(G.Value),
+                  static_cast<long long>(G.Max));
+  }
+  Out += "],\"timers\":[";
+  First = true;
+  for (const metrics::TimerSample &T : Doc.Metrics.Timers) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("{\"name\":\"%s\",\"count\":%llu,\"sumNs\":%llu,"
+                  "\"maxNs\":%llu,\"buckets\":[",
+                  jsonEscape(T.Name).c_str(),
+                  static_cast<unsigned long long>(T.Count),
+                  static_cast<unsigned long long>(T.SumNanos),
+                  static_cast<unsigned long long>(T.MaxNanos));
+    for (unsigned B = 0; B < metrics::TimerBuckets; ++B)
+      Out += format(B ? ",%llu" : "%llu",
+                    static_cast<unsigned long long>(T.Buckets[B]));
+    Out += "]}";
+  }
+  Out += format("],\"profile\":{\"totalNs\":%llu,\"ops\":[",
+                static_cast<unsigned long long>(Doc.ProfileTotalNanos));
+  First = true;
+  for (const opprof::OpProfileRow &R : Doc.Profile) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("{\"op\":\"%s\",\"loc\":%s,\"executions\":%llu,"
+                  "\"samples\":%llu,\"ns\":%llu,\"limbAllocs\":%llu,"
+                  "\"limbHits\":%llu}",
+                  opInfo(R.Op).Name, renderSourceLocJson(R.Loc).c_str(),
+                  static_cast<unsigned long long>(R.Executions),
+                  static_cast<unsigned long long>(R.Samples),
+                  static_cast<unsigned long long>(R.Nanos),
+                  static_cast<unsigned long long>(R.LimbAllocs),
+                  static_cast<unsigned long long>(R.LimbHits));
+  }
+  Out += "]}}";
+  return Out;
+}
+
+bool herbgrind::parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
+                                   std::string &Err) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
+  }
+  if (!R.Value.isObject()) {
+    Err = "telemetry document is not an object";
+    return false;
+  }
+  if (!checkEnvelope(R.Value, "herbgrind-telemetry", TelemetryFormatMajor,
+                     Err))
+    return false;
+  Fields F{R.Value, Err, "telemetry"};
+
+  const JsonValue *Counters = F.array("counters");
+  if (!Counters)
+    return false;
+  for (const JsonValue &CV : Counters->Arr) {
+    if (!CV.isObject()) {
+      Err = "telemetry: counter entry is not an object";
+      return false;
+    }
+    Fields CF{CV, Err, "telemetry counter"};
+    metrics::CounterSample C;
+    if (!CF.str("name", C.Name) || !CF.u64("value", C.Value))
+      return false;
+    Out.Metrics.Counters.push_back(std::move(C));
+  }
+
+  const JsonValue *Gauges = F.array("gauges");
+  if (!Gauges)
+    return false;
+  for (const JsonValue &GV : Gauges->Arr) {
+    if (!GV.isObject()) {
+      Err = "telemetry: gauge entry is not an object";
+      return false;
+    }
+    Fields GF{GV, Err, "telemetry gauge"};
+    metrics::GaugeSample G;
+    if (!GF.str("name", G.Name) || !GF.i64("value", G.Value) ||
+        !GF.i64("max", G.Max))
+      return false;
+    Out.Metrics.Gauges.push_back(std::move(G));
+  }
+
+  const JsonValue *Timers = F.array("timers");
+  if (!Timers)
+    return false;
+  for (const JsonValue &TV : Timers->Arr) {
+    if (!TV.isObject()) {
+      Err = "telemetry: timer entry is not an object";
+      return false;
+    }
+    Fields TF{TV, Err, "telemetry timer"};
+    metrics::TimerSample T;
+    if (!TF.str("name", T.Name) || !TF.u64("count", T.Count) ||
+        !TF.u64("sumNs", T.SumNanos) || !TF.u64("maxNs", T.MaxNanos))
+      return false;
+    const JsonValue *Buckets = TF.array("buckets");
+    if (!Buckets)
+      return false;
+    if (Buckets->Arr.size() != metrics::TimerBuckets) {
+      Err = format("telemetry timer '%s': expected %u buckets, got %zu",
+                   T.Name.c_str(), metrics::TimerBuckets,
+                   Buckets->Arr.size());
+      return false;
+    }
+    for (unsigned B = 0; B < metrics::TimerBuckets; ++B) {
+      if (!Buckets->Arr[B].isNumber()) {
+        Err = "telemetry timer: bucket is not a number";
+        return false;
+      }
+      T.Buckets[B] = Buckets->Arr[B].asU64();
+    }
+    Out.Metrics.Timers.push_back(std::move(T));
+  }
+
+  const JsonValue *Profile = F.object("profile");
+  if (!Profile)
+    return false;
+  Fields PF{*Profile, Err, "telemetry profile"};
+  if (!PF.u64("totalNs", Out.ProfileTotalNanos))
+    return false;
+  const JsonValue *Rows = PF.array("ops");
+  if (!Rows)
+    return false;
+  for (const JsonValue &RV : Rows->Arr) {
+    if (!RV.isObject()) {
+      Err = "telemetry: profile row is not an object";
+      return false;
+    }
+    Fields RF{RV, Err, "telemetry profile row"};
+    opprof::OpProfileRow Row;
+    std::string OpName;
+    if (!RF.str("op", OpName))
+      return false;
+    if (!parseOpcode(OpName, Row.Op)) {
+      Err = format("telemetry profile row: unknown opcode '%s'",
+                   OpName.c_str());
+      return false;
+    }
+    const JsonValue *Loc = RF.object("loc");
+    if (!Loc || !parseSourceLoc(*Loc, Row.Loc, Err))
+      return false;
+    if (!RF.u64("executions", Row.Executions) ||
+        !RF.u64("samples", Row.Samples) || !RF.u64("ns", Row.Nanos) ||
+        !RF.u64("limbAllocs", Row.LimbAllocs) ||
+        !RF.u64("limbHits", Row.LimbHits))
+      return false;
+    Out.Profile.push_back(std::move(Row));
   }
   return true;
 }

@@ -28,8 +28,10 @@
 #define HERBGRIND_ANALYSIS_SERIALIZE_H
 
 #include "analysis/Analysis.h"
+#include "analysis/OpProfile.h"
 #include "analysis/Report.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 
 #include <string>
 
@@ -148,6 +150,35 @@ struct BatchReportDoc {
 /// (format "herbgrind-report"; unknown major versions are rejected).
 bool parseBatchReportJson(const std::string &Text, BatchReportDoc &Out,
                           std::string &Err);
+
+/// Telemetry document version (format "herbgrind-telemetry"). Versioned
+/// independently of the report wire format: telemetry is observational,
+/// can evolve faster, and must never force a cache-invalidating report
+/// major bump. Same discipline otherwise -- readers accept any minor of a
+/// known major and reject everything else.
+constexpr int TelemetryFormatMajor = 1;
+constexpr int TelemetryFormatMinor = 0;
+
+/// One sweep's telemetry: the merged metrics snapshot plus (when
+/// `--profile-ops` ran) the ranked hot-op cost profile. This is what
+/// `herbgrind_batch --metrics-out` writes. Deliberately separate from the
+/// report stream: reports stay byte-identical whether or not telemetry
+/// was collected.
+struct TelemetryDoc {
+  metrics::Snapshot Metrics;
+  std::vector<opprof::OpProfileRow> Profile; ///< Ranked (finalized) rows.
+  uint64_t ProfileTotalNanos = 0; ///< Measured shadow ns (profile.shadow_ns).
+};
+
+/// Renders a complete telemetry document (versioned envelope + metrics +
+/// optional profile). Deterministic given a deterministic snapshot: names
+/// are sorted, rows keep their ranked order.
+std::string renderTelemetryJson(const TelemetryDoc &Doc);
+
+/// Parses a telemetry document. Rejects wrong "format" tags and unknown
+/// major versions. Round trip: parse(render(d)) re-renders byte-identically.
+bool parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
+                        std::string &Err);
 
 } // namespace herbgrind
 

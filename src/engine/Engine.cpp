@@ -12,7 +12,10 @@
 #include "native/Context.h"
 #include "native/Kernel.h"
 #include "support/Format.h"
+#include "support/LimbAlloc.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -144,6 +147,24 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
                                 const std::vector<SweepSource> &Sources) {
   auto Start = std::chrono::steady_clock::now();
   const uint64_t RunId = GlobalRunCounter.fetch_add(1) + 1;
+
+  // Telemetry handles (registration is idempotent; see docs/TELEMETRY.md
+  // for the metric taxonomy). All of it observes -- nothing below feeds
+  // back into analysis or report content.
+  static metrics::Counter MShardsDone = metrics::counter("engine.shards_done");
+  static metrics::Counter MShardsAnalyzed =
+      metrics::counter("engine.shards_analyzed");
+  static metrics::Counter MShardsCached =
+      metrics::counter("engine.shards_cached");
+  static metrics::Counter MRuns = metrics::counter("engine.runs");
+  static metrics::Counter MLimbHeap = metrics::counter("limb.heap_allocs");
+  static metrics::Counter MLimbHits = metrics::counter("limb.cache_hits");
+  static metrics::Timer TProbe = metrics::timer("engine.shard_cache_probe_ns");
+  static metrics::Timer TAnalyze = metrics::timer("engine.shard_analyze_ns");
+  static metrics::Timer TReduce = metrics::timer("engine.shard_reduce_ns");
+  static metrics::Timer TRun = metrics::timer("engine.run_ns");
+  metrics::ScopedTimer RunTimer(TRun);
+  trace::Span RunSpan("engine.run", "engine");
   // Source identities (printed FPCores, kernel identity strings) feed
   // only cache keys; emit-only runs stamp documents with the config hash
   // alone, computed once.
@@ -179,6 +200,9 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
         Shards.push_back({B, Idx, Lo, std::min(Lo + Step, N)});
   }
 
+  metrics::gauge("engine.benchmarks").set(static_cast<int64_t>(Sources.size()));
+  metrics::gauge("engine.shards_total").set(static_cast<int64_t>(Shards.size()));
+
   BatchResult Out;
   Out.Benchmarks.resize(Sources.size());
   std::vector<BenchFold> Folds(Sources.size());
@@ -197,6 +221,10 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   // worker completes the gap shard, overlapping reduce with analyze; only
   // out-of-order completions buffer.
   std::atomic<uint64_t> Analyzed{0}, Cached{0}, EmitFailed{0};
+  std::atomic<uint64_t> LimbHeap{0}, LimbHits{0};
+  const uint64_t RcHits0 = RC ? RC->hits() : 0;
+  const uint64_t RcMisses0 = RC ? RC->misses() : 0;
+  const uint64_t RcStoreFail0 = RC ? RC->storeFailures() : 0;
   {
     ThreadPool Pool(Cfg.Jobs);
     for (size_t S = 0; S < Shards.size(); ++S) {
@@ -207,8 +235,13 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
       Pool.submitTo(Shards[S].Bench, [RC, &Cfg, S, RunId, &Shards, &Sources,
                                       &Inputs, &Seeds, &Identities, &Folds,
                                       &Out, &Analyzed, &Cached, &EmitFailed,
-                                      &CfgHash] {
+                                      &LimbHeap, &LimbHits, &CfgHash] {
         const Shard &Sh = Shards[S];
+        std::string SpanArgs =
+            trace::enabled()
+                ? format("{\"bench\":%zu,\"shard\":%zu,\"runs\":%zu}",
+                         Sh.Bench, Sh.Index, Sh.End - Sh.Begin)
+                : std::string();
         ResultCache::ShardKey Key;
         if (RC) {
           Key.CoreIdentity = Identities[Sh.Bench];
@@ -220,16 +253,40 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
         }
 
         AnalysisResult Result;
-        bool FromCache = RC && RC->lookup(Key, Result);
+        bool FromCache = false;
+        if (RC) {
+          trace::Span ProbeSpan("shard.cache_probe", "engine", SpanArgs);
+          metrics::ScopedTimer ProbeTimer(TProbe);
+          FromCache = RC->lookup(Key, Result);
+        }
         if (FromCache) {
           ++Cached;
+          MShardsCached.add(1);
         } else {
-          Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
-                                                  Sh.Begin, Sh.End);
+          // Limb-traffic deltas bracket the analysis on this worker
+          // thread (the counters are thread-local), so the sum over
+          // shards is the sweep's total allocator activity.
+          uint64_t Heap0 = limballoc::heapAllocs();
+          uint64_t Hits0 = limballoc::cacheHits();
+          {
+            trace::Span AnalyzeSpan("shard.analyze", "engine", SpanArgs);
+            metrics::ScopedTimer AnalyzeTimer(TAnalyze);
+            Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
+                                                    Sh.Begin, Sh.End);
+          }
+          uint64_t HeapD = limballoc::heapAllocs() - Heap0;
+          uint64_t HitsD = limballoc::cacheHits() - Hits0;
+          LimbHeap += HeapD;
+          LimbHits += HitsD;
+          MLimbHeap.add(HeapD);
+          MLimbHits.add(HitsD);
           ++Analyzed;
+          MShardsAnalyzed.add(1);
           if (RC)
             RC->store(Key, Sources[Sh.Bench].Name, Result);
         }
+        MShardsDone.add(1);
+        MRuns.add(Sh.End - Sh.Begin);
         if (!Cfg.EmitShardDir.empty()) {
           std::string Name = format("shard-b%05llu-s%05llu.json",
                                     static_cast<unsigned long long>(Sh.Bench),
@@ -250,6 +307,8 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
         BenchmarkResult &BR = Out.Benchmarks[Sh.Bench];
         size_t Step = static_cast<size_t>(Cfg.ShardSize);
         size_t Total = Inputs[Sh.Bench].size();
+        trace::Span ReduceSpan("shard.reduce", "engine", SpanArgs);
+        metrics::ScopedTimer ReduceTimer(TReduce);
         std::lock_guard<std::mutex> Lock(Fold.M);
         Fold.Pending.emplace(Sh.Index, std::move(Result));
         for (auto It = Fold.Pending.find(Fold.NextIndex);
@@ -268,6 +327,16 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
       });
     }
     Pool.waitAll();
+    ThreadPool::PoolStats PS = Pool.stats();
+    Out.Stats.PoolTasks = PS.Executed;
+    Out.Stats.PoolSteals = PS.Steals;
+    Out.Stats.PoolMaxQueueDepth = PS.MaxQueueDepth;
+    metrics::counter("pool.tasks_submitted").add(PS.Submitted);
+    metrics::counter("pool.tasks_executed").add(PS.Executed);
+    metrics::counter("pool.steals").add(PS.Steals);
+    metrics::gauge("pool.max_queue_depth")
+        .set(static_cast<int64_t>(PS.MaxQueueDepth));
+    metrics::gauge("pool.workers").set(static_cast<int64_t>(Pool.workers()));
   }
 
   // Phase 3 (serial, cheap): build the per-benchmark reports from the
@@ -281,6 +350,17 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   Out.Stats.AnalyzedShards = Analyzed.load();
   Out.Stats.CachedShards = Cached.load();
   Out.Stats.EmitFailures = EmitFailed.load();
+  Out.Stats.LimbHeapAllocs = LimbHeap.load();
+  Out.Stats.LimbCacheHits = LimbHits.load();
+  if (RC) {
+    Out.Stats.ResultCacheHits = RC->hits() - RcHits0;
+    Out.Stats.ResultCacheMisses = RC->misses() - RcMisses0;
+    Out.Stats.ResultCacheStoreFailures = RC->storeFailures() - RcStoreFail0;
+    metrics::counter("rcache.hits").add(Out.Stats.ResultCacheHits);
+    metrics::counter("rcache.misses").add(Out.Stats.ResultCacheMisses);
+    metrics::counter("rcache.store_failures")
+        .add(Out.Stats.ResultCacheStoreFailures);
+  }
   if (RC && Cfg.CacheMaxBytes > 0) {
     // Post-run LRU pruning keeps the result cache under its cap; a
     // failure never fails the sweep (the cache is an accelerator, not

@@ -113,6 +113,18 @@ struct EngineStats {
   uint64_t CacheMisses = 0;    ///< Compiled-program cache misses.
   uint64_t CachePrunedEntries = 0; ///< Result-cache entries GC'd post-run.
   uint64_t CachePrunedBytes = 0;   ///< Bytes the post-run GC reclaimed.
+  uint64_t ResultCacheHits = 0;    ///< Shard result-cache lookup hits.
+  uint64_t ResultCacheMisses = 0;  ///< Shard result-cache lookup misses.
+  uint64_t ResultCacheStoreFailures = 0; ///< Shard documents that failed
+                                         ///< to persist (cache only; the
+                                         ///< sweep's results are intact).
+  uint64_t LimbHeapAllocs = 0; ///< Limb blocks that hit operator new[]
+                               ///< during shard analysis (all workers).
+  uint64_t LimbCacheHits = 0;  ///< Limb blocks served from thread caches
+                               ///< during shard analysis (all workers).
+  uint64_t PoolTasks = 0;         ///< Thread-pool tasks executed.
+  uint64_t PoolSteals = 0;        ///< Tasks taken from another worker.
+  uint64_t PoolMaxQueueDepth = 0; ///< Deepest any worker queue ever got.
   /// Non-empty when a configured post-run cache GC failed: the cap was
   /// NOT enforced this sweep. Callers should surface this to the
   /// operator (the CLI prints it to stderr).

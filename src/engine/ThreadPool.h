@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -58,7 +59,11 @@ public:
   /// Enqueues one task. Tasks are distributed round-robin across worker
   /// queues; idle workers steal, so placement only affects locality.
   void submit(std::function<void()> Task) {
-    submitTo(NextQueue.fetch_add(1, std::memory_order_relaxed),
+    // 64-bit: a 32-bit size_t counter would wrap after 4G submissions,
+    // skewing round-robin placement mid-sweep.
+    submitTo(static_cast<size_t>(
+                 NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                 Queues.size()),
              std::move(Task));
   }
 
@@ -70,8 +75,12 @@ public:
   void submitTo(size_t QueueHint, std::function<void()> Task) {
     {
       std::unique_lock<std::mutex> Lock(Mutex);
-      Queues[QueueHint % Queues.size()].push_back(std::move(Task));
+      std::deque<std::function<void()>> &Q = Queues[QueueHint % Queues.size()];
+      Q.push_back(std::move(Task));
       ++Pending;
+      ++Counters.Submitted;
+      if (Q.size() > Counters.MaxQueueDepth)
+        Counters.MaxQueueDepth = Q.size();
     }
     WorkReady.notify_one();
   }
@@ -80,6 +89,19 @@ public:
   void waitAll() {
     std::unique_lock<std::mutex> Lock(Mutex);
     AllDone.wait(Lock, [this] { return Pending == 0; });
+  }
+
+  /// Pool utilization counters (telemetry; see docs/TELEMETRY.md).
+  struct PoolStats {
+    uint64_t Submitted = 0;     ///< Tasks enqueued.
+    uint64_t Executed = 0;      ///< Tasks completed.
+    uint64_t Steals = 0;        ///< Tasks taken from another worker's queue.
+    uint64_t MaxQueueDepth = 0; ///< Deepest any single queue ever got.
+  };
+
+  PoolStats stats() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    return Counters;
   }
 
 private:
@@ -105,12 +127,15 @@ private:
             }
           Task = std::move(Queues[Victim].front());
           Queues[Victim].pop_front();
+          if (Victim != Me)
+            ++Counters.Steals;
         }
       }
       Task();
       {
         std::unique_lock<std::mutex> Lock(Mutex);
         --Pending;
+        ++Counters.Executed;
         if (Pending == 0)
           AllDone.notify_all();
       }
@@ -130,7 +155,8 @@ private:
   std::condition_variable WorkReady;
   std::condition_variable AllDone;
   size_t Pending = 0;
-  std::atomic<size_t> NextQueue{0};
+  PoolStats Counters; ///< Guarded by Mutex, like the queues it describes.
+  std::atomic<uint64_t> NextQueue{0};
   bool Stopping = false;
 };
 

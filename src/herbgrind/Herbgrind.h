@@ -48,6 +48,7 @@
 #define HERBGRIND_HERBGRIND_H
 
 #include "analysis/Analysis.h"
+#include "analysis/OpProfile.h"
 #include "analysis/Report.h"
 #include "analysis/Serialize.h"
 #include "engine/Engine.h"
@@ -61,5 +62,7 @@
 #include "native/Context.h"
 #include "native/Kernel.h"
 #include "native/Real.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #endif // HERBGRIND_HERBGRIND_H

@@ -10,6 +10,8 @@
 #include "engine/ThreadPool.h"
 #include "inputs/InputSummary.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -63,6 +65,14 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
   auto Start = std::chrono::steady_clock::now();
   BatchImproveStats Stats;
 
+  static metrics::Counter MAnalyzed =
+      metrics::counter("improve.records_analyzed");
+  static metrics::Counter MCached = metrics::counter("improve.records_cached");
+  static metrics::Timer TRecord = metrics::timer("improve.record_ns");
+  static metrics::Timer TBatch = metrics::timer("improve.batch_ns");
+  metrics::ScopedTimer BatchTimer(TBatch);
+  trace::Span BatchSpan("improve.batch", "improve");
+
   // Phase 1 (serial, cheap): enumerate the qualifying records -- every
   // distinct root cause the report presents whose merged OpRecord still
   // carries a symbolic expression -- in deterministic identity order
@@ -104,6 +114,12 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
       Pool.submit([&Batch, &Results, &Cfg, &ImproveHash, &Analyzed, &Cached,
                    Cache, T] {
         const engine::BenchmarkResult &BR = Batch.Benchmarks[T.Bench];
+        trace::Span RecordSpan(
+            "improve.record", "improve",
+            trace::enabled()
+                ? format("{\"bench\":%zu,\"pc\":%u}", T.Bench, T.PC)
+                : std::string());
+        metrics::ScopedTimer RecordTimer(TRecord);
         const OpRecord &Rec = BR.Records.Ops.at(T.PC);
         fpcore::ExprPtr Frag = fromSymExpr(*Rec.Expr);
         uint32_t NumVars = Rec.Expr->numVars();
@@ -126,6 +142,7 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
         }
         if (Cache && Cache->lookupImprove(Key, IR)) {
           ++Cached;
+          MCached.add(1);
         } else {
           std::vector<std::string> Params;
           for (uint32_t V = 0; V < NumVars; ++V)
@@ -139,6 +156,7 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
           IR.HadSignificantError = Fix.HadSignificantError;
           IR.Improved = Fix.Improved;
           ++Analyzed;
+          MAnalyzed.add(1);
           if (Cache)
             Cache->storeImprove(Key, IR);
         }
@@ -147,6 +165,12 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
       });
     }
     Pool.waitAll();
+    engine::ThreadPool::PoolStats PS = Pool.stats();
+    metrics::counter("pool.tasks_submitted").add(PS.Submitted);
+    metrics::counter("pool.tasks_executed").add(PS.Executed);
+    metrics::counter("pool.steals").add(PS.Steals);
+    metrics::gauge("pool.max_queue_depth")
+        .set(static_cast<int64_t>(PS.MaxQueueDepth));
   }
 
   // Phase 3 (serial, cheap): attach the outcomes -- already in ascending

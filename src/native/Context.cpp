@@ -8,6 +8,7 @@
 
 #include "native/Kernel.h"
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstring>
@@ -268,6 +269,11 @@ double Context::output(const Real &R) {
 }
 
 void Context::run(const Kernel &K, const double *Vals, size_t N) {
+  trace::Span InvokeSpan("kernel.invoke", "native",
+                         trace::enabled()
+                             ? format("{\"kernel\":\"%s\"}",
+                                      jsonEscape(K.Name).c_str())
+                             : std::string());
   Activation Act(*this);
   // Every invocation starts from the unknown location: a kernel op that
   // runs before the kernel's first HG_LOC must key identically on every

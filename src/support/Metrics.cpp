@@ -1,0 +1,289 @@
+//===- support/Metrics.cpp - Lock-cheap metrics registry ------------------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Layout: the registry assigns each counter one cell index and each timer a
+// contiguous block of 3 + TimerBuckets cells; every thread owns a
+// fixed-capacity slab of relaxed atomics indexed by those cells. Slabs of
+// live threads sit on a registry list; a thread-exit destructor folds the
+// slab into a retained-totals array so worker counts survive pool teardown.
+// The registry itself is a leaked singleton -- thread_local destructors may
+// run arbitrarily late at process exit and must always find it alive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace herbgrind {
+namespace metrics {
+namespace {
+
+/// Upper bound on cells across all counters and timers. Each timer takes
+/// 3 + TimerBuckets cells, so this comfortably fits hundreds of metrics;
+/// registration asserts (and saturates to a dead cell) beyond it.
+constexpr uint32_t SlabCells = 4096;
+
+/// Index of the overflow cell: writes land there when registration runs
+/// out of slab space, so handles stay valid (if meaningless) rather than
+/// stray.
+constexpr uint32_t DeadCell = SlabCells - 1;
+
+struct Slab {
+  std::atomic<uint64_t> Cells[SlabCells]; // zero-initialized
+};
+
+struct GaugeCell {
+  std::atomic<int64_t> Value{0};
+  std::atomic<int64_t> Max{0};
+};
+
+struct Registry {
+  std::mutex M;
+  // Name -> cell index (counters) or block base (timers). Gauges own
+  // their cells directly (stable addresses in a node-based map).
+  std::map<std::string, uint32_t> CounterCells;
+  std::map<std::string, uint32_t> TimerCells;
+  std::map<std::string, GaugeCell> Gauges;
+  uint32_t NextCell = 0;
+  std::vector<Slab *> LiveSlabs;
+  uint64_t Retired[SlabCells] = {};
+
+  uint32_t allocCells(uint32_t N) {
+    if (NextCell + N > DeadCell) {
+      assert(false && "metrics slab exhausted");
+      return DeadCell;
+    }
+    uint32_t Base = NextCell;
+    NextCell += N;
+    return Base;
+  }
+};
+
+Registry &registry() {
+  static Registry *R = new Registry(); // leaked: see file comment
+  return *R;
+}
+
+/// The calling thread's slab, registered on first touch and retired (folded
+/// into Registry::Retired) when the thread exits.
+struct ThreadSlab {
+  Slab *S = nullptr;
+
+  Slab *get() {
+    if (!S) {
+      S = new Slab();
+      Registry &R = registry();
+      std::lock_guard<std::mutex> L(R.M);
+      R.LiveSlabs.push_back(S);
+    }
+    return S;
+  }
+
+  ~ThreadSlab() {
+    if (!S)
+      return;
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    for (uint32_t I = 0; I < SlabCells; ++I)
+      R.Retired[I] += S->Cells[I].load(std::memory_order_relaxed);
+    // Timer max cells combine by max, not sum: undo the += above.
+    for (const auto &KV : R.TimerCells) {
+      uint32_t MaxIdx = KV.second + 2;
+      uint64_t V = S->Cells[MaxIdx].load(std::memory_order_relaxed);
+      R.Retired[MaxIdx] = std::max(R.Retired[MaxIdx] - V, V);
+    }
+    R.LiveSlabs.erase(std::find(R.LiveSlabs.begin(), R.LiveSlabs.end(), S));
+    delete S;
+  }
+};
+
+thread_local ThreadSlab TLSlab;
+
+std::atomic<uint64_t> &cell(uint32_t Index) {
+  return TLSlab.get()->Cells[Index];
+}
+
+unsigned bucketOf(uint64_t Nanos) {
+  unsigned B = 0;
+  while (Nanos > 1 && B + 1 < TimerBuckets) {
+    Nanos >>= 1;
+    ++B;
+  }
+  return B;
+}
+
+} // namespace
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Counter::add(uint64_t N) const {
+  if (Cell == UINT32_MAX)
+    return;
+  cell(Cell).fetch_add(N, std::memory_order_relaxed);
+}
+
+Counter counter(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.CounterCells.find(Name);
+  if (It == R.CounterCells.end())
+    It = R.CounterCells.emplace(Name, R.allocCells(1)).first;
+  return Counter(It->second);
+}
+
+void Gauge::set(int64_t V) const {
+  if (!CellPtr)
+    return;
+  auto *G = static_cast<GaugeCell *>(CellPtr);
+  G->Value.store(V, std::memory_order_relaxed);
+  int64_t Prev = G->Max.load(std::memory_order_relaxed);
+  while (V > Prev &&
+         !G->Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed))
+    ;
+}
+
+void Gauge::add(int64_t D) const {
+  if (!CellPtr)
+    return;
+  auto *G = static_cast<GaugeCell *>(CellPtr);
+  int64_t V = G->Value.fetch_add(D, std::memory_order_relaxed) + D;
+  int64_t Prev = G->Max.load(std::memory_order_relaxed);
+  while (V > Prev &&
+         !G->Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed))
+    ;
+}
+
+Gauge gauge(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  return Gauge(&R.Gauges[Name]);
+}
+
+void Timer::record(uint64_t Nanos) const {
+  if (Cell == UINT32_MAX)
+    return;
+  Slab *S = TLSlab.get();
+  S->Cells[Cell].fetch_add(1, std::memory_order_relaxed);
+  S->Cells[Cell + 1].fetch_add(Nanos, std::memory_order_relaxed);
+  // Max: per-thread slabs are only ever written by their owner, so a
+  // load/store race-free max is fine with relaxed atomics.
+  std::atomic<uint64_t> &MaxCell = S->Cells[Cell + 2];
+  if (Nanos > MaxCell.load(std::memory_order_relaxed))
+    MaxCell.store(Nanos, std::memory_order_relaxed);
+  S->Cells[Cell + 3 + bucketOf(Nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Timer timer(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.TimerCells.find(Name);
+  if (It == R.TimerCells.end())
+    It = R.TimerCells.emplace(Name, R.allocCells(3 + TimerBuckets)).first;
+  return Timer(It->second);
+}
+
+uint64_t Snapshot::counterValue(const std::string &Name) const {
+  for (const CounterSample &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+const GaugeSample *Snapshot::findGauge(const std::string &Name) const {
+  for (const GaugeSample &G : Gauges)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const TimerSample *Snapshot::findTimer(const std::string &Name) const {
+  for (const TimerSample &T : Timers)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+
+  // Merge live slabs onto the retained totals of exited threads.
+  std::vector<uint64_t> Sum(R.Retired, R.Retired + SlabCells);
+  for (const Slab *S : R.LiveSlabs)
+    for (uint32_t I = 0; I < SlabCells; ++I)
+      Sum[I] += S->Cells[I].load(std::memory_order_relaxed);
+
+  Snapshot Out;
+  Out.Counters.reserve(R.CounterCells.size());
+  for (const auto &KV : R.CounterCells)
+    Out.Counters.push_back({KV.first, Sum[KV.second]});
+  Out.Gauges.reserve(R.Gauges.size());
+  for (const auto &KV : R.Gauges)
+    Out.Gauges.push_back({KV.first,
+                          KV.second.Value.load(std::memory_order_relaxed),
+                          KV.second.Max.load(std::memory_order_relaxed)});
+  Out.Timers.reserve(R.TimerCells.size());
+  for (const auto &KV : R.TimerCells) {
+    TimerSample T;
+    T.Name = KV.first;
+    uint32_t Base = KV.second;
+    T.Count = Sum[Base];
+    T.SumNanos = Sum[Base + 1];
+    // Max across threads: the per-thread max cells all sum into Sum, which
+    // is wrong for a max -- take the max over live slabs and Retired
+    // directly instead.
+    T.MaxNanos = R.Retired[Base + 2];
+    for (const Slab *S : R.LiveSlabs)
+      T.MaxNanos = std::max(
+          T.MaxNanos, S->Cells[Base + 2].load(std::memory_order_relaxed));
+    for (unsigned B = 0; B < TimerBuckets; ++B)
+      T.Buckets[B] = Sum[Base + 3 + B];
+    Out.Timers.push_back(std::move(T));
+  }
+  // std::map iteration is already name-sorted; keep the invariant explicit
+  // against future container changes.
+  std::sort(Out.Counters.begin(), Out.Counters.end(),
+            [](const CounterSample &A, const CounterSample &B) {
+              return A.Name < B.Name;
+            });
+  std::sort(Out.Gauges.begin(), Out.Gauges.end(),
+            [](const GaugeSample &A, const GaugeSample &B) {
+              return A.Name < B.Name;
+            });
+  std::sort(Out.Timers.begin(), Out.Timers.end(),
+            [](const TimerSample &A, const TimerSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (uint32_t I = 0; I < SlabCells; ++I)
+    R.Retired[I] = 0;
+  for (Slab *S : R.LiveSlabs)
+    for (uint32_t I = 0; I < SlabCells; ++I)
+      S->Cells[I].store(0, std::memory_order_relaxed);
+  for (auto &KV : R.Gauges) {
+    KV.second.Value.store(0, std::memory_order_relaxed);
+    KV.second.Max.store(0, std::memory_order_relaxed);
+  }
+}
+
+} // namespace metrics
+} // namespace herbgrind

@@ -772,3 +772,74 @@ TEST(ResultCache, GcPrunesLeastRecentlyUsedToTheCap) {
   ASSERT_TRUE(gcCacheDir(Dir.Path, UINT64_MAX, After, Err)) << Err;
   EXPECT_LE(After.Bytes, Cap);
 }
+
+//===----------------------------------------------------------------------===//
+// The telemetry document (versioned independently of the report format)
+//===----------------------------------------------------------------------===//
+
+TEST(Serialize, TelemetryDocumentRoundTripsAndKeepsItsOwnVersion) {
+  // Telemetry carries its own major/minor so observability can evolve
+  // without forcing a report-format bump (which would invalidate every
+  // result cache on disk).
+  TelemetryDoc Doc;
+  metrics::CounterSample C;
+  C.Name = "engine.runs";
+  C.Value = 776;
+  Doc.Metrics.Counters.push_back(C);
+  metrics::GaugeSample G;
+  G.Name = "pool.workers";
+  G.Value = 4;
+  G.Max = 4;
+  Doc.Metrics.Gauges.push_back(G);
+  metrics::TimerSample T;
+  T.Name = "engine.run_ns";
+  T.Count = 1;
+  T.SumNanos = 123456789;
+  T.MaxNanos = 123456789;
+  T.Buckets[26] = 1;
+  Doc.Metrics.Timers.push_back(T);
+  opprof::OpProfileRow Row;
+  Row.Op = Opcode::SqrtF64;
+  Row.Loc = SourceLoc("quad.cpp", 17, "quadratic");
+  Row.Executions = 640;
+  Row.Samples = 640;
+  Row.Nanos = 987654;
+  Row.LimbHits = 12;
+  Doc.Profile.push_back(Row);
+  Doc.ProfileTotalNanos = 1000000;
+
+  std::string Json = renderTelemetryJson(Doc);
+  EXPECT_NE(Json.find("\"format\":\"herbgrind-telemetry\""),
+            std::string::npos);
+
+  TelemetryDoc Back;
+  std::string Err;
+  ASSERT_TRUE(parseTelemetryJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(renderTelemetryJson(Back), Json);
+  ASSERT_EQ(Back.Profile.size(), 1u);
+  EXPECT_EQ(Back.Profile[0].Op, Opcode::SqrtF64);
+  EXPECT_EQ(Back.Profile[0].Loc.str(), "quad.cpp:17 in quadratic");
+  const metrics::TimerSample *TS = Back.Metrics.findTimer("engine.run_ns");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_EQ(TS->Buckets[26], 1u);
+
+  // Unknown telemetry major: refused, like every other document family.
+  std::string Needle = format("\"major\":%d", TelemetryFormatMajor);
+  size_t At = Json.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  std::string Bumped = Json;
+  Bumped.replace(At, Needle.size(),
+                 format("\"major\":%d", TelemetryFormatMajor + 2));
+  TelemetryDoc Out;
+  EXPECT_FALSE(parseTelemetryJson(Bumped, Out, Err));
+  EXPECT_NE(Err.find("major version"), std::string::npos) << Err;
+
+  // The report parsers refuse a telemetry document and vice versa: the
+  // format tags keep the two families apart even at the same version.
+  ShardDoc Foreign;
+  EXPECT_FALSE(parseShardJson(Json, Foreign, Err));
+  EXPECT_FALSE(parseTelemetryJson(
+      "{\"format\":\"herbgrind-shard\",\"version\":{\"major\":1,"
+      "\"minor\":0}}",
+      Out, Err));
+}

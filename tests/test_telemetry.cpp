@@ -1,0 +1,571 @@
+//===- tests/test_telemetry.cpp - Metrics, tracing, op profiler -----------===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability layer's contract: (1) the metrics registry merges
+// counters, gauges, and timer histograms across threads, including
+// threads that exited before the snapshot; (2) trace spans record real
+// intervals and render as Chrome trace-event JSON that parses; (3) the op
+// profiler attributes shadow cost to (SourceLoc, opcode) sites, survives
+// clone/merge, and at sample period 1 its rows account for the full
+// measured total; (4) the telemetry document round-trips through the
+// serializer and rejects unknown major versions; (5) ThreadPool counts
+// submissions, executions, and steals; and -- the load-bearing clause --
+// (6) enabling every piece of telemetry at once leaves the engine's
+// report bytes identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OpProfile.h"
+#include "engine/Engine.h"
+#include "engine/ThreadPool.h"
+#include "fpcore/Compile.h"
+#include "fpcore/Corpus.h"
+#include "herbgrind/Herbgrind.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+using namespace herbgrind;
+using namespace herbgrind::engine;
+
+namespace {
+
+std::vector<fpcore::Core> smallCorpusSubset(size_t MaxBenchmarks) {
+  std::vector<fpcore::Core> Cores;
+  for (const fpcore::Core &C : fpcore::corpus()) {
+    if (!fpcore::isCompilable(C))
+      continue;
+    Cores.push_back(C.clone());
+    if (Cores.size() >= MaxBenchmarks)
+      break;
+  }
+  return Cores;
+}
+
+/// Every test begins from a clean registry; the suites share a process.
+struct TelemetryTest : ::testing::Test {
+  void SetUp() override {
+    metrics::resetAll();
+    trace::stop();
+    trace::clear();
+    opprof::disable();
+  }
+  void TearDown() override {
+    opprof::disable();
+    trace::stop();
+    trace::clear();
+    metrics::resetAll();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, CountersMergeAcrossThreadsIncludingExitedOnes) {
+  metrics::Counter C = metrics::counter("test.counter_merge");
+  C.add();        // this thread
+  C.add(41);      // this thread again
+  // Two short-lived threads: their slabs retire before the snapshot and
+  // must still be counted.
+  std::thread A([&] { C.add(100); });
+  std::thread B([&] { metrics::counter("test.counter_merge").add(1000); });
+  A.join();
+  B.join();
+  EXPECT_EQ(metrics::snapshot().counterValue("test.counter_merge"), 1142u);
+
+  // Registration is idempotent: the same name is the same cell.
+  metrics::counter("test.counter_merge").add(8);
+  EXPECT_EQ(metrics::snapshot().counterValue("test.counter_merge"), 1150u);
+
+  // Missing names read as zero rather than erroring.
+  EXPECT_EQ(metrics::snapshot().counterValue("test.never_registered"), 0u);
+}
+
+TEST_F(TelemetryTest, GaugesTrackLevelAndHighWatermark) {
+  metrics::Gauge G = metrics::gauge("test.gauge");
+  G.set(5);
+  G.add(7); // 12: the high watermark
+  G.sub(9); // 3: the final level
+  metrics::Snapshot S = metrics::snapshot();
+  const metrics::GaugeSample *GS = S.findGauge("test.gauge");
+  ASSERT_NE(GS, nullptr);
+  EXPECT_EQ(GS->Value, 3);
+  EXPECT_EQ(GS->Max, 12);
+  EXPECT_EQ(S.findGauge("test.no_such_gauge"), nullptr);
+}
+
+TEST_F(TelemetryTest, TimersHistogramCountSumMaxAndBuckets) {
+  metrics::Timer T = metrics::timer("test.timer");
+  T.record(1);    // bucket 0
+  T.record(9);    // floor(log2 9) = 3
+  T.record(1000); // floor(log2 1000) = 9
+  metrics::Snapshot S = metrics::snapshot();
+  const metrics::TimerSample *TS = S.findTimer("test.timer");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_EQ(TS->Count, 3u);
+  EXPECT_EQ(TS->SumNanos, 1010u);
+  EXPECT_EQ(TS->MaxNanos, 1000u);
+  EXPECT_EQ(TS->Buckets[0], 1u);
+  EXPECT_EQ(TS->Buckets[3], 1u);
+  EXPECT_EQ(TS->Buckets[9], 1u);
+  uint64_t Total = 0;
+  for (uint64_t B : TS->Buckets)
+    Total += B;
+  EXPECT_EQ(Total, 3u);
+}
+
+TEST_F(TelemetryTest, TimerMaxSurvivesThreadExitAsMaxNotSum) {
+  // The subtle retirement case: max cells from exited threads must fold
+  // by max. Two exited threads recording 100 and 60 must yield max 100,
+  // not 160, and a live-thread 30 must not disturb it.
+  metrics::Timer T = metrics::timer("test.timer_retire");
+  std::thread A([&] { T.record(100); });
+  A.join();
+  std::thread B([&] { T.record(60); });
+  B.join();
+  T.record(30);
+  const metrics::Snapshot S = metrics::snapshot();
+  const metrics::TimerSample *TS = S.findTimer("test.timer_retire");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_EQ(TS->Count, 3u);
+  EXPECT_EQ(TS->SumNanos, 190u);
+  EXPECT_EQ(TS->MaxNanos, 100u);
+}
+
+TEST_F(TelemetryTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  metrics::Counter C = metrics::counter("test.reset");
+  C.add(5);
+  metrics::gauge("test.reset_gauge").set(9);
+  metrics::resetAll();
+  metrics::Snapshot S = metrics::snapshot();
+  EXPECT_EQ(S.counterValue("test.reset"), 0u);
+  const metrics::GaugeSample *GS = S.findGauge("test.reset_gauge");
+  ASSERT_NE(GS, nullptr);
+  EXPECT_EQ(GS->Value, 0);
+  EXPECT_EQ(GS->Max, 0);
+  // The old handle still works after the reset.
+  C.add(2);
+  EXPECT_EQ(metrics::snapshot().counterValue("test.reset"), 2u);
+}
+
+TEST_F(TelemetryTest, SnapshotIsNameSorted) {
+  metrics::counter("test.zz").add(1);
+  metrics::counter("test.aa").add(1);
+  metrics::Snapshot S = metrics::snapshot();
+  for (size_t I = 1; I < S.Counters.size(); ++I)
+    EXPECT_LT(S.Counters[I - 1].Name, S.Counters[I].Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace spans
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, SpansRecordOnlyWhileEnabled) {
+  { trace::Span S("telemetry.test.before", "test"); }
+  EXPECT_TRUE(trace::collect().empty());
+
+  trace::start();
+  EXPECT_TRUE(trace::enabled());
+  { trace::Span S("telemetry.test.during", "test", "{\"k\":1}"); }
+  trace::stop();
+  EXPECT_FALSE(trace::enabled());
+  { trace::Span S("telemetry.test.after", "test"); }
+
+  std::vector<trace::Event> Events = trace::collect();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "telemetry.test.during");
+  EXPECT_STREQ(Events[0].Cat, "test");
+  EXPECT_EQ(Events[0].Args, "{\"k\":1}");
+}
+
+TEST_F(TelemetryTest, SpansFromExitedThreadsSurviveAndSortByStart) {
+  trace::start();
+  {
+    trace::Span Outer("telemetry.test.outer", "test");
+    std::thread T([] { trace::Span Inner("telemetry.test.inner", "test"); });
+    T.join();
+  }
+  trace::stop();
+  std::vector<trace::Event> Events = trace::collect();
+  ASSERT_EQ(Events.size(), 2u);
+  // collect() sorts by start time: the outer span opened first but closed
+  // last, so ordering by start puts it first -- and its interval encloses
+  // the inner one.
+  EXPECT_EQ(Events[0].Name, "telemetry.test.outer");
+  EXPECT_EQ(Events[1].Name, "telemetry.test.inner");
+  EXPECT_LE(Events[0].StartNanos, Events[1].StartNanos);
+  EXPECT_GE(Events[0].StartNanos + Events[0].DurNanos,
+            Events[1].StartNanos + Events[1].DurNanos);
+  EXPECT_NE(Events[0].Tid, Events[1].Tid);
+}
+
+TEST_F(TelemetryTest, ChromeTraceJsonParsesWithExpectedShape) {
+  trace::start();
+  { trace::Span S("telemetry.test.json", "test", "{\"shard\":3}"); }
+  trace::stop();
+  std::string Json = trace::renderChromeTrace();
+
+  JsonParseResult R = parseJson(Json);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const JsonValue &Root = R.Value;
+  ASSERT_TRUE(Root.isObject());
+  const JsonValue *EventsV = Root.field("traceEvents");
+  ASSERT_NE(EventsV, nullptr);
+  ASSERT_TRUE(EventsV->isArray());
+  bool Found = false;
+  for (const JsonValue &Ev : EventsV->Arr) {
+    const JsonValue *Name = Ev.field("name");
+    if (!Name || Name->Str != "telemetry.test.json")
+      continue;
+    Found = true;
+    ASSERT_NE(Ev.field("ph"), nullptr);
+    EXPECT_EQ(Ev.field("ph")->Str, "X");
+    EXPECT_EQ(Ev.field("cat")->Str, "test");
+    ASSERT_NE(Ev.field("ts"), nullptr);
+    ASSERT_NE(Ev.field("dur"), nullptr);
+    const JsonValue *Args = Ev.field("args");
+    ASSERT_NE(Args, nullptr);
+    ASSERT_TRUE(Args->isObject());
+    ASSERT_NE(Args->field("shard"), nullptr);
+    EXPECT_EQ(Args->field("shard")->asU64(), 3u);
+  }
+  EXPECT_TRUE(Found);
+  const JsonValue *Unit = Root.field("displayTimeUnit");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(Unit->Str, "ns");
+}
+
+//===----------------------------------------------------------------------===//
+// The op profiler
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, ProfilerAttributesCostToOpRecordsWhenEnabled) {
+  ProgramBuilder B;
+  auto X = B.input(0);
+  auto T = B.op(Opcode::SubF64, B.op(Opcode::AddF64, X, B.constF64(1.0)), X);
+  B.out(T);
+  B.halt();
+  Program P = B.finish();
+
+  // Disabled (the default): no cost recorded anywhere.
+  {
+    Herbgrind HG(P);
+    HG.runOnInput({1e15});
+    for (const auto &[PC, Rec] : HG.opRecords()) {
+      EXPECT_EQ(Rec.ProfSamples, 0u) << "pc " << PC;
+      EXPECT_EQ(Rec.ProfNanos, 0u) << "pc " << PC;
+    }
+  }
+  EXPECT_EQ(metrics::snapshot().counterValue("profile.shadow_ops_measured"),
+            0u);
+
+  // Enabled at period 1: every shadow-op execution is measured.
+  opprof::enable(1);
+  Herbgrind HG(P);
+  HG.runOnInput({1e15});
+  HG.runOnInput({2.5});
+  opprof::disable();
+
+  uint64_t TotalSamples = 0, TotalNanos = 0;
+  for (const auto &[PC, Rec] : HG.opRecords()) {
+    EXPECT_EQ(Rec.ProfSamples, Rec.Executions) << "pc " << PC;
+    EXPECT_GT(Rec.ProfNanos, 0u) << "pc " << PC;
+    TotalSamples += Rec.ProfSamples;
+    TotalNanos += Rec.ProfNanos;
+  }
+  EXPECT_EQ(TotalSamples, 4u); // 2 ops x 2 runs
+
+  // The global counters agree with the per-record sums: that is the >=90%
+  // acceptance property -- at period 1 attribution is exact (100%).
+  metrics::Snapshot S = metrics::snapshot();
+  EXPECT_EQ(S.counterValue("profile.shadow_ops_measured"), TotalSamples);
+  EXPECT_EQ(S.counterValue("profile.shadow_ns"), TotalNanos);
+}
+
+TEST_F(TelemetryTest, ProfilerSamplePeriodSkipsExecutions) {
+  ProgramBuilder B;
+  auto X = B.input(0);
+  B.out(B.op(Opcode::AddF64, X, B.constF64(1.0)));
+  B.halt();
+  Program P = B.finish();
+
+  opprof::enable(4);
+  EXPECT_EQ(opprof::samplePeriod(), 4u);
+  Herbgrind HG(P);
+  for (int I = 0; I < 8; ++I)
+    HG.runOnInput({static_cast<double>(I)});
+  opprof::disable();
+  EXPECT_EQ(opprof::samplePeriod(), 0u);
+
+  uint64_t Samples = 0, Executions = 0;
+  for (const auto &[PC, Rec] : HG.opRecords()) {
+    Samples += Rec.ProfSamples;
+    Executions += Rec.Executions;
+  }
+  EXPECT_EQ(Executions, 8u);
+  EXPECT_EQ(Samples, 2u); // every 4th execution on this thread
+}
+
+TEST_F(TelemetryTest, ProfileFieldsSurviveCloneAndSumOnMerge) {
+  // Executed records must carry expressions for mergeFrom; a constant
+  // leaf is the smallest well-formed one.
+  OpRecord A;
+  A.Op = Opcode::MulF64;
+  A.Loc = SourceLoc("a.cpp", 10, "f");
+  A.Executions = 6;
+  A.Expr = SymExpr::makeConst(2.0);
+  A.ProfSamples = 3;
+  A.ProfNanos = 300;
+  A.ProfLimbAllocs = 2;
+  A.ProfLimbHits = 7;
+
+  OpRecord C = A.clone();
+  EXPECT_EQ(C.ProfSamples, 3u);
+  EXPECT_EQ(C.ProfNanos, 300u);
+  EXPECT_EQ(C.ProfLimbAllocs, 2u);
+  EXPECT_EQ(C.ProfLimbHits, 7u);
+
+  OpRecord B;
+  B.Op = Opcode::MulF64;
+  B.Loc = A.Loc;
+  B.Executions = 4;
+  B.Expr = SymExpr::makeConst(2.0);
+  B.ProfSamples = 1;
+  B.ProfNanos = 50;
+  B.ProfLimbAllocs = 1;
+  B.ProfLimbHits = 2;
+  A.mergeFrom(B, 3);
+  EXPECT_EQ(A.ProfSamples, 4u);
+  EXPECT_EQ(A.ProfNanos, 350u);
+  EXPECT_EQ(A.ProfLimbAllocs, 3u);
+  EXPECT_EQ(A.ProfLimbHits, 9u);
+}
+
+TEST_F(TelemetryTest, ProfileRowsMergeBySiteRankAndExtrapolate) {
+  std::map<uint32_t, OpRecord> Ops;
+  // Two PCs at the same (Loc, Op) site must merge into one row.
+  OpRecord &R1 = Ops[1];
+  R1.Op = Opcode::AddF64;
+  R1.Loc = SourceLoc("k.cpp", 5, "hot");
+  R1.Executions = 10;
+  R1.ProfSamples = 5;
+  R1.ProfNanos = 500;
+  OpRecord &R2 = Ops[2];
+  R2.Op = Opcode::AddF64;
+  R2.Loc = SourceLoc("k.cpp", 5, "hot");
+  R2.Executions = 10;
+  R2.ProfSamples = 5;
+  R2.ProfNanos = 300;
+  // A cheaper site at another line.
+  OpRecord &R3 = Ops[3];
+  R3.Op = Opcode::SqrtF64;
+  R3.Loc = SourceLoc("k.cpp", 9, "cold");
+  R3.Executions = 4;
+  R3.ProfSamples = 2;
+  R3.ProfNanos = 100;
+  // A record the analysis saw but never executed contributes nothing.
+  OpRecord &R4 = Ops[4];
+  R4.Op = Opcode::DivF64;
+  R4.Executions = 0;
+
+  std::vector<opprof::OpProfileRow> Rows;
+  opprof::accumulateOpProfile(Ops, Rows);
+  opprof::finalizeOpProfile(Rows);
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].Loc.Line, 5);
+  EXPECT_EQ(Rows[0].Executions, 20u);
+  EXPECT_EQ(Rows[0].Samples, 10u);
+  EXPECT_EQ(Rows[0].Nanos, 800u);
+  // 800 ns over 10 of 20 executions extrapolates to 1600.
+  EXPECT_DOUBLE_EQ(Rows[0].estNanos(), 1600.0);
+  EXPECT_EQ(Rows[1].Loc.Line, 9);
+  EXPECT_DOUBLE_EQ(Rows[1].estNanos(), 200.0);
+
+  std::string Table = opprof::renderOpProfileTable(Rows, 10, 900);
+  EXPECT_NE(Table.find("add.f64"), std::string::npos);
+  EXPECT_NE(Table.find("sqrt.f64"), std::string::npos);
+  EXPECT_NE(Table.find("k.cpp:5 in hot"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The telemetry document
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, TelemetryDocRoundTripsByteIdentically) {
+  metrics::counter("test.doc_counter").add(42);
+  metrics::gauge("test.doc_gauge").set(-3);
+  metrics::timer("test.doc_timer").record(1024);
+
+  TelemetryDoc Doc;
+  Doc.Metrics = metrics::snapshot();
+  opprof::OpProfileRow Row;
+  Row.Op = Opcode::AddF64;
+  Row.Loc = SourceLoc("q.fpcore", 3, "quad");
+  Row.Executions = 100;
+  Row.Samples = 25;
+  Row.Nanos = 12345;
+  Row.LimbAllocs = 6;
+  Row.LimbHits = 9;
+  Doc.Profile.push_back(Row);
+  Doc.ProfileTotalNanos = 12345;
+
+  std::string Json = renderTelemetryJson(Doc);
+  TelemetryDoc Back;
+  std::string Err;
+  ASSERT_TRUE(parseTelemetryJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.Metrics.counterValue("test.doc_counter"), 42u);
+  const metrics::GaugeSample *GS = Back.Metrics.findGauge("test.doc_gauge");
+  ASSERT_NE(GS, nullptr);
+  EXPECT_EQ(GS->Value, -3);
+  const metrics::TimerSample *TS = Back.Metrics.findTimer("test.doc_timer");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_EQ(TS->Count, 1u);
+  EXPECT_EQ(TS->SumNanos, 1024u);
+  EXPECT_EQ(TS->Buckets[10], 1u);
+  ASSERT_EQ(Back.Profile.size(), 1u);
+  EXPECT_EQ(Back.Profile[0].Op, Opcode::AddF64);
+  EXPECT_EQ(Back.Profile[0].Loc.str(), "q.fpcore:3 in quad");
+  EXPECT_EQ(Back.Profile[0].Samples, 25u);
+  EXPECT_EQ(Back.ProfileTotalNanos, 12345u);
+
+  // parse(render(x)) re-renders byte-identically.
+  EXPECT_EQ(renderTelemetryJson(Back), Json);
+}
+
+TEST_F(TelemetryTest, TelemetryDocRejectsUnknownMajorAndGarbage) {
+  TelemetryDoc Doc;
+  Doc.Metrics = metrics::snapshot();
+  std::string Json = renderTelemetryJson(Doc);
+
+  std::string Needle = format("\"major\":%d", TelemetryFormatMajor);
+  size_t At = Json.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  std::string Bumped = Json;
+  Bumped.replace(At, Needle.size(),
+                 format("\"major\":%d", TelemetryFormatMajor + 1));
+  TelemetryDoc Out;
+  std::string Err;
+  EXPECT_FALSE(parseTelemetryJson(Bumped, Out, Err));
+  EXPECT_NE(Err.find("major version"), std::string::npos) << Err;
+
+  // A newer minor of the same major still parses.
+  std::string MinorBump = Json;
+  Needle = format("\"minor\":%d", TelemetryFormatMinor);
+  At = MinorBump.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  MinorBump.replace(At, Needle.size(),
+                    format("\"minor\":%d", TelemetryFormatMinor + 5));
+  EXPECT_TRUE(parseTelemetryJson(MinorBump, Out, Err)) << Err;
+
+  EXPECT_FALSE(parseTelemetryJson("not json", Out, Err));
+  EXPECT_FALSE(parseTelemetryJson("[]", Out, Err));
+  // A report document is not a telemetry document.
+  EXPECT_FALSE(parseTelemetryJson(
+      "{\"format\":\"herbgrind-batch\",\"version\":{\"major\":1,\"minor\":0}}",
+      Out, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool counters
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, SingleWorkerPoolNeverSteals) {
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 32; ++I)
+    Pool.submit([&] { ++Ran; });
+  Pool.waitAll();
+  ThreadPool::PoolStats S = Pool.stats();
+  EXPECT_EQ(Ran.load(), 32);
+  EXPECT_EQ(S.Submitted, 32u);
+  EXPECT_EQ(S.Executed, 32u);
+  EXPECT_EQ(S.Steals, 0u);
+  EXPECT_GE(S.MaxQueueDepth, 1u);
+}
+
+TEST_F(TelemetryTest, BlockedWorkerForcesStealsOntoTheFreeOne) {
+  ThreadPool Pool(2);
+  std::promise<void> Release;
+  std::shared_future<void> Gate(Release.get_future());
+  std::atomic<bool> BlockerRunning{false};
+  std::atomic<int> Ran{0};
+
+  // One worker parks on the blocker; with it held, the free worker must
+  // drain BOTH queues, so at least the other queue's half of the tasks
+  // (31 of 64, counting round-robin skew) are steals.
+  Pool.submit([&, Gate] {
+    BlockerRunning = true;
+    Gate.wait();
+  });
+  while (!BlockerRunning)
+    std::this_thread::yield();
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&] { ++Ran; });
+  while (Ran.load() < 64)
+    std::this_thread::yield();
+  Release.set_value();
+  Pool.waitAll();
+
+  ThreadPool::PoolStats S = Pool.stats();
+  EXPECT_EQ(S.Submitted, 65u);
+  EXPECT_EQ(S.Executed, 65u);
+  EXPECT_GE(S.Steals, 31u);
+  EXPECT_GE(S.MaxQueueDepth, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The contract that matters: telemetry never touches report bytes
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, FullTelemetryLeavesEngineReportBytesIdentical) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(4);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 8;
+  Cfg.ShardSize = 4;
+
+  std::string Plain = Engine(Cfg).run(Cores).renderJson();
+  metrics::resetAll(); // count only the instrumented sweep below
+
+  trace::start();
+  opprof::enable(1);
+  BatchResult Instrumented = Engine(Cfg).run(Cores);
+  opprof::disable();
+  trace::stop();
+
+  EXPECT_EQ(Instrumented.renderJson(), Plain);
+
+  // The instrumented sweep actually produced telemetry: spans exist, the
+  // engine counters moved, and the profiler attributed nonzero cost.
+  EXPECT_FALSE(trace::collect().empty());
+  metrics::Snapshot S = metrics::snapshot();
+  EXPECT_GT(S.counterValue("engine.shards_done"), 0u);
+  EXPECT_GT(S.counterValue("profile.shadow_ns"), 0u);
+
+  std::vector<opprof::OpProfileRow> Rows;
+  for (const BenchmarkResult &BR : Instrumented.Benchmarks)
+    opprof::accumulateOpProfile(BR.Records.Ops, Rows);
+  opprof::finalizeOpProfile(Rows);
+  ASSERT_FALSE(Rows.empty());
+  uint64_t RowNanos = 0;
+  for (const opprof::OpProfileRow &R : Rows)
+    RowNanos += R.Nanos;
+  // Sample period 1: the rows account for every measured nanosecond of
+  // the sweep (>= the acceptance bar of 90% by construction).
+  EXPECT_EQ(RowNanos, S.counterValue("profile.shadow_ns"));
+  // EngineStats mirrors the new counters.
+  EXPECT_EQ(Instrumented.Stats.PoolTasks, S.counterValue("pool.tasks_executed"));
+}
