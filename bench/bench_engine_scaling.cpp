@@ -430,6 +430,66 @@ int main(int Argc, char **Argv) {
         formatDoubleShortest(Speedup).c_str());
   }
 
+  // Tiered shadowing: the same mixed workload (corpus cores plus the
+  // native demo kernels, quadratic included) under all three tiers. The
+  // perf claim is wall-clock: confirm skips the full shadow for every
+  // benchmark tier 0 clears, fast skips it for every run, and both only
+  // pay off while the escalation fraction stays below 1.0 -- which is
+  // the acceptance gate, alongside confirm's byte-identity.
+  std::vector<fpcore::Core> TierCores = fpcore::compilableCorpus();
+  std::vector<herbgrind::native::Kernel> TierKernels =
+      herbgrind::native::demoKernels();
+  EngineConfig TCfg;
+  TCfg.Jobs = JobCounts.back();
+  TCfg.SamplesPerBenchmark = Cfg.SamplesPerBenchmark;
+  TCfg.ShardSize = Cfg.ShardSize;
+  auto RunTier = [&](TierMode Tier) {
+    TCfg.Tier = Tier;
+    return Engine(TCfg).run(TierCores, TierKernels);
+  };
+  BatchResult TFull = RunTier(TierMode::Full);
+  BatchResult TConfirm = RunTier(TierMode::Confirm);
+  BatchResult TFast = RunTier(TierMode::Fast);
+  bool TierIdentical = TConfirm.renderJson() == TFull.renderJson();
+  double ConfirmFraction =
+      TFull.Stats.Benchmarks
+          ? static_cast<double>(TConfirm.Stats.ConfirmedBenchmarks) /
+                TFull.Stats.Benchmarks
+          : 1.0;
+  double FastFraction =
+      TFast.Stats.Runs ? static_cast<double>(TFast.Stats.EscalatedRuns) /
+                             TFast.Stats.Runs
+                       : 1.0;
+  std::printf("\ntiered shadowing (mixed workload, jobs %u):\n"
+              "  full %.3fs; confirm %.3fs (%llu/%llu benchmarks "
+              "escalated, %.0f%%), identical: %s; fast %.3fs (%llu/%llu "
+              "runs escalated, %.0f%%)\n",
+              TCfg.Jobs, TFull.Stats.WallSeconds,
+              TConfirm.Stats.WallSeconds,
+              static_cast<unsigned long long>(
+                  TConfirm.Stats.ConfirmedBenchmarks),
+              static_cast<unsigned long long>(TFull.Stats.Benchmarks),
+              100.0 * ConfirmFraction, TierIdentical ? "yes" : "NO -- BUG",
+              TFast.Stats.WallSeconds,
+              static_cast<unsigned long long>(TFast.Stats.EscalatedRuns),
+              static_cast<unsigned long long>(TFast.Stats.Runs),
+              100.0 * FastFraction);
+  std::string TieredJson = format(
+      "{\"full_s\":%s,\"confirm_s\":%s,\"fast_s\":%s,\"benchmarks\":%llu,"
+      "\"confirmed_benchmarks\":%llu,\"confirm_escalation_fraction\":%s,"
+      "\"fast_runs\":%llu,\"fast_escalated_runs\":%llu,"
+      "\"fast_escalation_fraction\":%s,\"confirm_identical\":%s}",
+      formatDoubleShortest(TFull.Stats.WallSeconds).c_str(),
+      formatDoubleShortest(TConfirm.Stats.WallSeconds).c_str(),
+      formatDoubleShortest(TFast.Stats.WallSeconds).c_str(),
+      static_cast<unsigned long long>(TFull.Stats.Benchmarks),
+      static_cast<unsigned long long>(TConfirm.Stats.ConfirmedBenchmarks),
+      formatDoubleShortest(ConfirmFraction).c_str(),
+      static_cast<unsigned long long>(TFast.Stats.Runs),
+      static_cast<unsigned long long>(TFast.Stats.EscalatedRuns),
+      formatDoubleShortest(FastFraction).c_str(),
+      TierIdentical ? "true" : "false");
+
   std::string Json = format(
       "{\"schema\":\"herbgrind-bench-engine-v1\","
       "\"samples_per_benchmark\":%d,\"shard_size\":%d,"
@@ -444,6 +504,7 @@ int main(int Argc, char **Argv) {
       "\"herbgrind_s\":%s,\"shadow_ops\":%llu,\"native_overhead\":%s,"
       "\"interp_overhead\":%s,\"herbgrind_overhead\":%s},"
       "\"profile\":%s,"
+      "\"tiered\":%s,"
       "\"cache\":%s}\n",
       Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
       formatDoubleShortest(Probe.NativeSeconds).c_str(),
@@ -466,7 +527,7 @@ int main(int Argc, char **Argv) {
       formatDoubleShortest(Over(NP.NativeSeconds, NP.RawSeconds)).c_str(),
       formatDoubleShortest(Over(NP.InterpSeconds, NP.RawSeconds)).c_str(),
       formatDoubleShortest(Over(NP.HerbgrindSeconds, NP.RawSeconds)).c_str(),
-      ProfileJson.c_str(), CacheJson.c_str());
+      ProfileJson.c_str(), TieredJson.c_str(), CacheJson.c_str());
   std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
   if (Out) {
     Out << Json;
@@ -501,6 +562,21 @@ int main(int Argc, char **Argv) {
                  "shadow time (expected >= 90%%)\n",
                  100.0 * ProfCoverage,
                  static_cast<unsigned long long>(ProfTotalNs));
+    return 1;
+  }
+  // The tiering acceptance gates: confirm must reproduce full's bytes,
+  // and tier 0 must actually clear something on the mixed workload -- an
+  // escalation fraction of 1.0 means the cheap tier buys nothing.
+  if (!TierIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: confirm-tier report differs from full tier\n");
+    return 1;
+  }
+  if (ConfirmFraction >= 1.0 || FastFraction >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: tier-0 escalated everything (confirm %.2f, fast "
+                 "%.2f); the predicate tier is vacuous\n",
+                 ConfirmFraction, FastFraction);
     return 1;
   }
   return 0;

@@ -69,6 +69,12 @@ static int usage(const char *Prog) {
       "  --samples N       sampled inputs per benchmark (default 64)\n"
       "  --shard N         inputs per shard (default 16)\n"
       "  --seed S          base sampling seed (default 0xcafe)\n"
+      "  --tier MODE       shadowing tier: full (default; every run under\n"
+      "                    the 256-bit shadow), confirm (tier-0 error\n"
+      "                    predicates sweep first, suspect benchmarks\n"
+      "                    replay in full -- report bytes identical to\n"
+      "                    full), fast (per-run escalation; root causes a\n"
+      "                    subset of full's, counters differ)\n"
       "  --name BENCH      analyze one corpus benchmark (repeatable)\n"
       "  --native          also sweep the bundled native-frontend demo\n"
       "                    kernels (real C++ code instrumented through\n"
@@ -446,6 +452,22 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Cfg.Seed = std::strtoull(V, nullptr, 0);
+    } else if (std::strcmp(Arg, "--tier") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      if (std::strcmp(V, "full") == 0)
+        Cfg.Tier = TierMode::Full;
+      else if (std::strcmp(V, "confirm") == 0)
+        Cfg.Tier = TierMode::Confirm;
+      else if (std::strcmp(V, "fast") == 0)
+        Cfg.Tier = TierMode::Fast;
+      else {
+        std::fprintf(stderr,
+                     "error: --tier wants full, confirm, or fast; got '%s'\n",
+                     V);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--cache-dir") == 0) {
       const char *V = NextValue();
       if (!V)
@@ -704,5 +726,16 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned long long>(Result.Stats.PoolTasks),
       static_cast<unsigned long long>(Result.Stats.PoolSteals),
       static_cast<unsigned long long>(Result.Stats.PoolMaxQueueDepth));
+  if (Cfg.Tier != TierMode::Full)
+    std::fprintf(
+        stderr,
+        "tier: %s; %llu tier-0 runs (%llu ops), %llu escalated runs, "
+        "%llu/%llu benchmarks confirmed\n",
+        Cfg.Tier == TierMode::Confirm ? "confirm" : "fast",
+        static_cast<unsigned long long>(Result.Stats.Tier0Runs),
+        static_cast<unsigned long long>(Result.Stats.Tier0Ops),
+        static_cast<unsigned long long>(Result.Stats.EscalatedRuns),
+        static_cast<unsigned long long>(Result.Stats.ConfirmedBenchmarks),
+        static_cast<unsigned long long>(Result.Stats.Benchmarks));
   return emitTelemetry(MetricsOut, TraceOut, ProfileOps, &Result);
 }

@@ -6,6 +6,7 @@
 
 #include "analysis/Analysis.h"
 
+#include "analysis/ErrorPredict.h"
 #include "analysis/OpProfile.h"
 #include "analysis/RealOps.h"
 #include "ir/LibmLowering.h"
@@ -85,6 +86,7 @@ void Herbgrind::reset() {
   TotalSteps = 0;
   ShadowOps = 0;
   Skipped = 0;
+  RunSuspect = false;
 }
 
 AnalysisStats Herbgrind::stats() const {
@@ -149,6 +151,7 @@ void Herbgrind::runOnInput(const std::vector<double> &Inputs) {
   // of rebuilding) keeps the value pool's slabs and the memory table's
   // buckets warm across the runs of a shard.
   Shadow->reset();
+  RunSuspect = false;
 
   bool Running = true;
   while (Running && State.Steps < Cfg.MaxSteps) {
@@ -419,6 +422,21 @@ void Herbgrind::shadowFloatScalar(Opcode Op, uint32_t PC,
                                   const Value &ConcreteResult) {
   ++ShadowOps;
 
+  if (Cfg.PredicateOnly) {
+    // Tier 0: no reals, no traces, no records -- just propagate the
+    // conservative running-error pair. Unshadowed operands are exact.
+    errpredict::PredVal ArgP[3];
+    for (unsigned I = 0; I < NumArgs; ++I)
+      if (ShadowValue *SV = Shadow->tempLane(ArgTemps[I], ArgLanes[I]))
+        ArgP[I] = {SV->PredDelta, SV->PredNoise};
+    errpredict::PredOp P = errpredict::predictScalarOp(
+        Op, ArgConcrete, ArgP, NumArgs, ConcreteResult);
+    Shadow->setTempLane(DstTemp, DstLane,
+                        Shadow->createPredicate(P.Delta, P.Noise,
+                                                opInfo(Op).ResultTy));
+    return;
+  }
+
   // Gather (or lazily create) shadow inputs: Figure 4's
   //   v = if MR[x] in R then MR[x] else M[x].
   ShadowValue *ArgSV[3] = {nullptr, nullptr, nullptr};
@@ -660,6 +678,19 @@ void herbgrind::shadowOutputSpotCore(const AnalysisConfig &Cfg,
 
 void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
                                      const Value *Args, const Value &Result) {
+  if (Cfg.PredicateOnly) {
+    ShadowValue *A = Shadow->tempLane(S.Args[0], 0);
+    ShadowValue *B = Shadow->tempLane(S.Args[1], 0);
+    // With no shadows the real predicate trivially agrees; otherwise ask
+    // whether the operand intervals allow the predicate to flip.
+    if ((A || B) &&
+        errpredict::comparisonSuspect(
+            Args[0], Args[1],
+            A ? errpredict::predTotal(A->PredDelta, A->PredNoise) : 0.0,
+            B ? errpredict::predTotal(B->PredDelta, B->PredNoise) : 0.0))
+      RunSuspect = true;
+    return;
+  }
   SpotRecord &Spot = Spots[PC];
   if (Spot.Executions == 0) {
     Spot.Kind = SpotKind::Comparison;
@@ -673,7 +704,14 @@ void Herbgrind::shadowComparisonSpot(const Statement &S, uint32_t PC,
 
 void Herbgrind::shadowConversionSpot(const Statement &S, uint32_t PC,
                                      const Value *Args, const Value &Result) {
-  (void)Args;
+  if (Cfg.PredicateOnly) {
+    if (ShadowValue *A = Shadow->tempLane(S.Args[0], 0))
+      if (errpredict::conversionSuspect(
+              Args[0].asF64(),
+              errpredict::predTotal(A->PredDelta, A->PredNoise)))
+        RunSuspect = true;
+    return;
+  }
   SpotRecord &Spot = Spots[PC];
   if (Spot.Executions == 0) {
     Spot.Kind = SpotKind::Conversion;
@@ -688,6 +726,23 @@ void Herbgrind::shadowOutputSpot(const Statement &S, uint32_t PC,
                                  const Value &Out) {
   if (Out.Ty == ValueType::I64)
     return; // integer outputs flow through conversion spots already
+  if (Cfg.PredicateOnly) {
+    unsigned Lanes = Out.laneCount();
+    for (unsigned L = 0; L < Lanes; ++L) {
+      ShadowValue *SV = Shadow->tempLane(S.Args[0], L);
+      Value LaneVal = Out;
+      if (Out.Ty == ValueType::V2F64)
+        LaneVal = Value::ofF64(Out.V2F64[L]);
+      else if (Out.Ty == ValueType::V4F32)
+        LaneVal = Value::ofF32(Out.V4F32[L]);
+      if (errpredict::outputSuspect(
+              LaneVal,
+              SV ? errpredict::predTotal(SV->PredDelta, SV->PredNoise) : 0.0,
+              Cfg.OutputErrorThreshold))
+        RunSuspect = true;
+    }
+    return;
+  }
   SpotRecord &Spot = Spots[PC];
   if (Spot.Executions == 0) {
     Spot.Kind = SpotKind::Output;

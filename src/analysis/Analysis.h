@@ -62,6 +62,15 @@ struct AnalysisConfig {
   bool UsePools = true;
   /// Step budget per run.
   uint64_t MaxSteps = 100'000'000;
+  /// Tier-0 predicate mode (the cheap tier of the tiered pipeline): no
+  /// BigFloat shadows, no traces, no records -- every float op propagates
+  /// only a conservative |real - concrete| bound (analysis/ErrorPredict),
+  /// and spot observations set the per-run suspect flag instead of
+  /// recording anything. A suspect run must be re-analyzed in full mode;
+  /// a clean run is guaranteed to contribute no erroneous spots. Not part
+  /// of the engine's config hash: it never changes full-mode results,
+  /// only which runs pay for them.
+  bool PredicateOnly = false;
 };
 
 enum class SpotKind : uint8_t { Output, Comparison, Conversion };
@@ -238,6 +247,12 @@ public:
   /// uninstrumented interpreter's, by construction).
   const std::vector<Value> &lastOutputs() const { return LastOutputs; }
 
+  /// Tier-0 verdict of the most recent run (predicate mode only): true
+  /// when some spot predicate could not rule out an erroneous observation,
+  /// i.e. the run needs the full BigFloat shadow. Always false in full
+  /// mode.
+  bool lastRunSuspect() const { return RunSuspect; }
+
   /// The analyzed program (the lowered form when WrapLibraryCalls is
   /// off).
   const Program &program() const { return Prog; }
@@ -285,6 +300,7 @@ private:
   uint64_t TotalSteps = 0;
   uint64_t ShadowOps = 0;
   uint64_t Skipped = 0;
+  bool RunSuspect = false;
 };
 
 } // namespace herbgrind

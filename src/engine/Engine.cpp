@@ -59,6 +59,23 @@ sampleSourceInputs(const std::vector<std::pair<double, double>> &Ranges,
 
 namespace {
 
+/// What a tier-0 (predicate-only) pass over one shard observed: the
+/// suspect verdict that drives escalation, plus cost counters.
+struct Tier0Outcome {
+  bool Suspect = false;
+  uint64_t Runs = 0;
+  uint64_t Ops = 0; ///< Shadow ops the predicate analyzer executed.
+};
+
+/// One fast-tier shard: full-shadow records for the escalated runs only,
+/// plus the tier accounting.
+struct FastOutcome {
+  AnalysisResult Result;
+  uint64_t Tier0Runs = 0;
+  uint64_t Tier0Ops = 0;
+  uint64_t EscalatedRuns = 0;
+};
+
 /// One benchmark the generic sweep driver can run, whatever frontend it
 /// executes under: everything the driver needs is a name, a cache
 /// identity, sampling ranges, and a way to analyze a slice of sampled
@@ -79,6 +96,21 @@ struct SweepSource {
       uint64_t RunId, const std::vector<std::vector<double>> &Inputs,
       size_t Begin, size_t End)>
       AnalyzeShard;
+  /// Tier-0 sweep of the same slice: runs the frontend in predicate-only
+  /// mode (no BigFloat, no traces, no records) and reports whether any
+  /// run was suspect. Same concurrency contract as AnalyzeShard; uses a
+  /// separate worker-local analyzer so the two never alias.
+  std::function<Tier0Outcome(
+      uint64_t RunId, const std::vector<std::vector<double>> &Inputs,
+      size_t Begin, size_t End)>
+      Tier0Shard;
+  /// Fast-tier analysis of the slice: every run executes at tier 0
+  /// first, and only suspect runs replay under the full shadow, whose
+  /// records are the result.
+  std::function<FastOutcome(
+      uint64_t RunId, const std::vector<std::vector<double>> &Inputs,
+      size_t Begin, size_t End)>
+      FastShard;
 };
 
 } // namespace
@@ -159,6 +191,12 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   static metrics::Counter MRuns = metrics::counter("engine.runs");
   static metrics::Counter MLimbHeap = metrics::counter("limb.heap_allocs");
   static metrics::Counter MLimbHits = metrics::counter("limb.cache_hits");
+  static metrics::Counter MTier0Runs = metrics::counter("tier0.runs");
+  static metrics::Counter MTier0Ops = metrics::counter("tier0.ops");
+  static metrics::Counter MTierEscalations =
+      metrics::counter("tier.escalations");
+  static metrics::Counter MTierConfirmations =
+      metrics::counter("tier.confirmations");
   static metrics::Timer TProbe = metrics::timer("engine.shard_cache_probe_ns");
   static metrics::Timer TAnalyze = metrics::timer("engine.shard_analyze_ns");
   static metrics::Timer TReduce = metrics::timer("engine.shard_reduce_ns");
@@ -215,11 +253,57 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
     Folds[B].NextIndex = Cfg.ShardBegin;
   }
 
+  // Phase 2a (parallel, Confirm tier only): a predicate-only sweep over
+  // every shard decides per benchmark whether the full shadow is needed
+  // at all. The tier-0 pass is pure native-double arithmetic -- no
+  // BigFloat, no traces -- so running it over the whole layout costs a
+  // small fraction of one full shard. Predicate soundness (an erroneous
+  // full-mode spot implies a suspect tier-0 run) is what lets a clean
+  // verdict skip phase 2b for the benchmark without changing the report.
+  std::vector<char> BenchSuspect(Sources.size(),
+                                 Cfg.Tier != TierMode::Confirm ? 1 : 0);
+  std::atomic<uint64_t> Tier0Runs{0}, Tier0Ops{0}, EscalatedRuns{0};
+  uint64_t PoolTasks = 0, PoolSteals = 0, PoolMaxDepth = 0;
+  if (Cfg.Tier == TierMode::Confirm) {
+    trace::Span Tier0Span("engine.tier0", "engine");
+    std::vector<std::atomic<char>> SuspectFlags(Sources.size());
+    for (auto &F : SuspectFlags)
+      F.store(0, std::memory_order_relaxed);
+    ThreadPool Pool(Cfg.Jobs);
+    for (size_t S = 0; S < Shards.size(); ++S)
+      Pool.submitTo(Shards[S].Bench, [S, RunId, &Shards, &Sources, &Inputs,
+                                      &SuspectFlags, &Tier0Runs, &Tier0Ops] {
+        const Shard &Sh = Shards[S];
+        // A benchmark already marked suspect needs no further verdicts;
+        // the remaining tier-0 shards are skipped, not run for show.
+        if (SuspectFlags[Sh.Bench].load(std::memory_order_relaxed))
+          return;
+        Tier0Outcome O =
+            Sources[Sh.Bench].Tier0Shard(RunId, Inputs[Sh.Bench], Sh.Begin,
+                                         Sh.End);
+        Tier0Runs += O.Runs;
+        Tier0Ops += O.Ops;
+        if (O.Suspect)
+          SuspectFlags[Sh.Bench].store(1, std::memory_order_relaxed);
+      });
+    Pool.waitAll();
+    ThreadPool::PoolStats PS = Pool.stats();
+    PoolTasks += PS.Executed;
+    PoolSteals += PS.Steals;
+    PoolMaxDepth = std::max<uint64_t>(PoolMaxDepth, PS.MaxQueueDepth);
+    for (size_t B = 0; B < Sources.size(); ++B)
+      BenchSuspect[B] = SuspectFlags[B].load(std::memory_order_relaxed);
+  }
+
   // Phase 2 (parallel): every shard is satisfied from the result cache or
   // analyzed by its source's frontend, then folded into its benchmark's
   // accumulator in ascending shard order. The fold happens on whichever
   // worker completes the gap shard, overlapping reduce with analyze; only
-  // out-of-order completions buffer.
+  // out-of-order completions buffer. In Confirm tier, benchmarks cleared
+  // by phase 2a fold empty records -- their full-shadow report is empty
+  // too, so the rendered output is unchanged -- and skip the cache in
+  // both directions (an empty record set must never masquerade as a full
+  // one under the shared hash).
   std::atomic<uint64_t> Analyzed{0}, Cached{0}, EmitFailed{0};
   std::atomic<uint64_t> LimbHeap{0}, LimbHits{0};
   const uint64_t RcHits0 = RC ? RC->hits() : 0;
@@ -235,15 +319,22 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
       Pool.submitTo(Shards[S].Bench, [RC, &Cfg, S, RunId, &Shards, &Sources,
                                       &Inputs, &Seeds, &Identities, &Folds,
                                       &Out, &Analyzed, &Cached, &EmitFailed,
-                                      &LimbHeap, &LimbHits, &CfgHash] {
+                                      &LimbHeap, &LimbHits, &CfgHash,
+                                      &BenchSuspect, &Tier0Runs, &Tier0Ops,
+                                      &EscalatedRuns] {
         const Shard &Sh = Shards[S];
+        // Confirm tier, benchmark cleared by phase 2a: no probe, no
+        // analysis, no store -- fold an empty shard so the layout's
+        // shard/run accounting (and the emitted document set) stays
+        // complete.
+        const bool Cleared = !BenchSuspect[Sh.Bench];
         std::string SpanArgs =
             trace::enabled()
                 ? format("{\"bench\":%zu,\"shard\":%zu,\"runs\":%zu}",
                          Sh.Bench, Sh.Index, Sh.End - Sh.Begin)
                 : std::string();
         ResultCache::ShardKey Key;
-        if (RC) {
+        if (RC && !Cleared) {
           Key.CoreIdentity = Identities[Sh.Bench];
           Key.DerivedSeed = Seeds[Sh.Bench];
           Key.BenchIndex = Sh.Bench;
@@ -254,12 +345,14 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
 
         AnalysisResult Result;
         bool FromCache = false;
-        if (RC) {
+        if (RC && !Cleared) {
           trace::Span ProbeSpan("shard.cache_probe", "engine", SpanArgs);
           metrics::ScopedTimer ProbeTimer(TProbe);
           FromCache = RC->lookup(Key, Result);
         }
-        if (FromCache) {
+        if (Cleared) {
+          // Nothing to do: Result stays empty.
+        } else if (FromCache) {
           ++Cached;
           MShardsCached.add(1);
         } else {
@@ -271,8 +364,26 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
           {
             trace::Span AnalyzeSpan("shard.analyze", "engine", SpanArgs);
             metrics::ScopedTimer AnalyzeTimer(TAnalyze);
-            Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
-                                                    Sh.Begin, Sh.End);
+            if (Cfg.Tier == TierMode::Fast) {
+              FastOutcome FO = Sources[Sh.Bench].FastShard(
+                  RunId, Inputs[Sh.Bench], Sh.Begin, Sh.End);
+              Result = std::move(FO.Result);
+              Tier0Runs += FO.Tier0Runs;
+              Tier0Ops += FO.Tier0Ops;
+              EscalatedRuns += FO.EscalatedRuns;
+              MTier0Runs.add(FO.Tier0Runs);
+              MTier0Ops.add(FO.Tier0Ops);
+              MTierEscalations.add(FO.EscalatedRuns);
+            } else {
+              Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
+                                                      Sh.Begin, Sh.End);
+              if (Cfg.Tier == TierMode::Confirm) {
+                // Every run of a suspect benchmark replays under the full
+                // shadow: that is the escalation cost of this tier.
+                EscalatedRuns += Sh.End - Sh.Begin;
+                MTierEscalations.add(Sh.End - Sh.Begin);
+              }
+            }
           }
           uint64_t HeapD = limballoc::heapAllocs() - Heap0;
           uint64_t HitsD = limballoc::cacheHits() - Hits0;
@@ -328,9 +439,12 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
     }
     Pool.waitAll();
     ThreadPool::PoolStats PS = Pool.stats();
-    Out.Stats.PoolTasks = PS.Executed;
-    Out.Stats.PoolSteals = PS.Steals;
-    Out.Stats.PoolMaxQueueDepth = PS.MaxQueueDepth;
+    PoolTasks += PS.Executed;
+    PoolSteals += PS.Steals;
+    PoolMaxDepth = std::max<uint64_t>(PoolMaxDepth, PS.MaxQueueDepth);
+    Out.Stats.PoolTasks = PoolTasks;
+    Out.Stats.PoolSteals = PoolSteals;
+    Out.Stats.PoolMaxQueueDepth = PoolMaxDepth;
     metrics::counter("pool.tasks_submitted").add(PS.Submitted);
     metrics::counter("pool.tasks_executed").add(PS.Executed);
     metrics::counter("pool.steals").add(PS.Steals);
@@ -352,6 +466,17 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   Out.Stats.EmitFailures = EmitFailed.load();
   Out.Stats.LimbHeapAllocs = LimbHeap.load();
   Out.Stats.LimbCacheHits = LimbHits.load();
+  Out.Stats.Tier0Runs = Tier0Runs.load();
+  Out.Stats.Tier0Ops = Tier0Ops.load();
+  Out.Stats.EscalatedRuns = EscalatedRuns.load();
+  if (Cfg.Tier == TierMode::Confirm) {
+    for (size_t B = 0; B < Sources.size(); ++B)
+      if (BenchSuspect[B])
+        ++Out.Stats.ConfirmedBenchmarks;
+    MTierConfirmations.add(Out.Stats.ConfirmedBenchmarks);
+    MTier0Runs.add(Out.Stats.Tier0Runs);
+    MTier0Ops.add(Out.Stats.Tier0Ops);
+  }
   if (RC) {
     Out.Stats.ResultCacheHits = RC->hits() - RcHits0;
     Out.Stats.ResultCacheMisses = RC->misses() - RcMisses0;
@@ -419,6 +544,89 @@ analyzeShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
   return W.A->snapshot();
 }
 
+/// Tier-0 sibling of analyzeShardWorkerLocal: a worker-local
+/// predicate-only analyzer sweeps the slice and reports the suspect
+/// verdict. Each call site instantiates its own thread_local cache (the
+/// Make/RunOne lambda types are part of the template identity), so a
+/// tier-0 analyzer can never be mistaken for a full one even under the
+/// same (RunId, Key).
+template <typename Analyzer, typename MakeFn, typename RunOneFn>
+static Tier0Outcome
+tier0ShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
+                      RunOneFn RunOne,
+                      const std::vector<std::vector<double>> &Inputs,
+                      size_t Begin, size_t End) {
+  struct Worker {
+    uint64_t Run = 0;
+    const void *Key = nullptr;
+    std::unique_ptr<Analyzer> A;
+  };
+  thread_local Worker W;
+  if (W.Run == RunId && W.Key == Key && W.A) {
+    W.A->reset();
+  } else {
+    W.A = Make();
+    W.Run = RunId;
+    W.Key = Key;
+  }
+  Tier0Outcome Out;
+  uint64_t Ops0 = W.A->stats().ShadowOpsExecuted;
+  for (size_t I = Begin; I < End; ++I) {
+    RunOne(*W.A, Inputs[I]);
+    ++Out.Runs;
+    if (W.A->lastRunSuspect()) {
+      Out.Suspect = true;
+      break; // One suspect run settles the shard's verdict.
+    }
+  }
+  Out.Ops = W.A->stats().ShadowOpsExecuted - Ops0;
+  return Out;
+}
+
+/// Fast-tier sibling: one worker-local *pair* of analyzers -- tier-0
+/// predicates and the full shadow -- sweeps the slice; every run executes
+/// at tier 0 and only suspect runs replay under the full shadow. The
+/// escalation decision is per-run deterministic, and escalated runs
+/// accumulate in sampling order, so fast-tier sweeps stay byte-identical
+/// across worker counts like everything else in the engine.
+template <typename Analyzer, typename MakeT0Fn, typename MakeFullFn,
+          typename RunOneFn>
+static FastOutcome
+fastShardWorkerLocal(uint64_t RunId, const void *Key, MakeT0Fn MakeT0,
+                     MakeFullFn MakeFull, RunOneFn RunOne,
+                     const std::vector<std::vector<double>> &Inputs,
+                     size_t Begin, size_t End) {
+  struct Worker {
+    uint64_t Run = 0;
+    const void *Key = nullptr;
+    std::unique_ptr<Analyzer> T0;
+    std::unique_ptr<Analyzer> Full;
+  };
+  thread_local Worker W;
+  if (W.Run == RunId && W.Key == Key && W.T0 && W.Full) {
+    W.T0->reset();
+    W.Full->reset();
+  } else {
+    W.T0 = MakeT0();
+    W.Full = MakeFull();
+    W.Run = RunId;
+    W.Key = Key;
+  }
+  FastOutcome Out;
+  uint64_t Ops0 = W.T0->stats().ShadowOpsExecuted;
+  for (size_t I = Begin; I < End; ++I) {
+    RunOne(*W.T0, Inputs[I]);
+    ++Out.Tier0Runs;
+    if (W.T0->lastRunSuspect()) {
+      RunOne(*W.Full, Inputs[I]);
+      ++Out.EscalatedRuns;
+    }
+  }
+  Out.Tier0Ops = W.T0->stats().ShadowOpsExecuted - Ops0;
+  Out.Result = W.Full->snapshot();
+  return Out;
+}
+
 /// Wraps one FPCore core as a sweep source: analysis runs a worker-local
 /// Herbgrind instance over the compiled program.
 static SweepSource coreSource(const fpcore::Core &C,
@@ -438,6 +646,33 @@ static SweepSource coreSource(const fpcore::Core &C,
     const Program &P = Cache.get(C);
     return analyzeShardWorkerLocal<Herbgrind>(
         RunId, &P, [&] { return std::make_unique<Herbgrind>(P, ACfg); },
+        [](Herbgrind &HG, const std::vector<double> &In) {
+          HG.runOnInput(In);
+        },
+        Inputs, Begin, End);
+  };
+  AnalysisConfig PCfg = ACfg;
+  PCfg.PredicateOnly = true;
+  Src.Tier0Shard = [&C, &Cache, PCfg](
+                       uint64_t RunId,
+                       const std::vector<std::vector<double>> &Inputs,
+                       size_t Begin, size_t End) {
+    const Program &P = Cache.get(C);
+    return tier0ShardWorkerLocal<Herbgrind>(
+        RunId, &P, [&] { return std::make_unique<Herbgrind>(P, PCfg); },
+        [](Herbgrind &HG, const std::vector<double> &In) {
+          HG.runOnInput(In);
+        },
+        Inputs, Begin, End);
+  };
+  Src.FastShard = [&C, &Cache, &ACfg, PCfg](
+                      uint64_t RunId,
+                      const std::vector<std::vector<double>> &Inputs,
+                      size_t Begin, size_t End) {
+    const Program &P = Cache.get(C);
+    return fastShardWorkerLocal<Herbgrind>(
+        RunId, &P, [&] { return std::make_unique<Herbgrind>(P, PCfg); },
+        [&] { return std::make_unique<Herbgrind>(P, ACfg); },
         [](Herbgrind &HG, const std::vector<double> &In) {
           HG.runOnInput(In);
         },
@@ -463,6 +698,30 @@ static SweepSource kernelSource(const native::Kernel &K,
                          size_t Begin, size_t End) {
     return analyzeShardWorkerLocal<native::Context>(
         RunId, &K, [&] { return std::make_unique<native::Context>(ACfg); },
+        [&K](native::Context &C, const std::vector<double> &In) {
+          C.run(K, In);
+        },
+        Inputs, Begin, End);
+  };
+  AnalysisConfig PCfg = ACfg;
+  PCfg.PredicateOnly = true;
+  Src.Tier0Shard = [&K, PCfg](uint64_t RunId,
+                              const std::vector<std::vector<double>> &Inputs,
+                              size_t Begin, size_t End) {
+    return tier0ShardWorkerLocal<native::Context>(
+        RunId, &K, [&] { return std::make_unique<native::Context>(PCfg); },
+        [&K](native::Context &C, const std::vector<double> &In) {
+          C.run(K, In);
+        },
+        Inputs, Begin, End);
+  };
+  Src.FastShard = [&K, &ACfg, PCfg](
+                      uint64_t RunId,
+                      const std::vector<std::vector<double>> &Inputs,
+                      size_t Begin, size_t End) {
+    return fastShardWorkerLocal<native::Context>(
+        RunId, &K, [&] { return std::make_unique<native::Context>(PCfg); },
+        [&] { return std::make_unique<native::Context>(ACfg); },
         [&K](native::Context &C, const std::vector<double> &In) {
           C.run(K, In);
         },

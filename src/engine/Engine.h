@@ -53,6 +53,31 @@ namespace engine {
 
 class ResultCache;
 
+/// How much shadowing a sweep performs (docs/ARCHITECTURE.md, "Tiered
+/// shadowing").
+enum class TierMode {
+  /// Every run carries the full 256-bit shadow. The baseline.
+  Full,
+  /// Per-run escalation: every sampled input first executes under the
+  /// cheap tier-0 error predicates (native doubles, no BigFloat); only
+  /// runs whose spot predicates cannot rule out an erroneous observation
+  /// re-execute under the full shadow. Reports contain only escalated
+  /// runs, so root causes are a subset of Full's (predicate soundness
+  /// makes the *erroneous* set complete, but Executions/Flagged counts
+  /// differ); cached shards live under a distinct "tier=fast" hash so
+  /// they never alias Full entries.
+  Fast,
+  /// Per-benchmark confirmation (the default tiered mode): a parallel
+  /// tier-0 pass sweeps every shard first, then benchmarks with at least
+  /// one suspect run re-run under the full shadow. Predicate soundness
+  /// (a full-mode erroneous spot implies a tier-0 suspect run) makes the
+  /// final report byte-identical to Full's; confirmed shards store
+  /// genuine full records, so Confirm shares Full's cache hash and the
+  /// two modes warm each other's caches. Clean benchmarks fold empty
+  /// records (their Full report is empty too) and are never cached.
+  Confirm,
+};
+
 /// Batch-run configuration.
 struct EngineConfig {
   /// Worker threads; 0 means hardware concurrency.
@@ -66,6 +91,9 @@ struct EngineConfig {
   uint64_t Seed = 0xcafe;
   /// Per-shard analysis configuration.
   AnalysisConfig Analysis;
+  /// Shadowing tier (see TierMode). Part of the config hash only for
+  /// Fast (whose records genuinely differ); Confirm shares Full's hash.
+  TierMode Tier = TierMode::Full;
   /// Persistent shard-result cache directory; empty disables caching.
   /// Cached shards skip analysis entirely and fold into the sweep through
   /// the same in-order reduction, byte-identically.
@@ -122,6 +150,13 @@ struct EngineStats {
                                ///< during shard analysis (all workers).
   uint64_t LimbCacheHits = 0;  ///< Limb blocks served from thread caches
                                ///< during shard analysis (all workers).
+  uint64_t Tier0Runs = 0; ///< Runs executed under tier-0 predicates.
+  uint64_t Tier0Ops = 0;  ///< Shadow ops executed at tier 0.
+  uint64_t EscalatedRuns = 0; ///< Runs re-executed under the full shadow
+                              ///< because of a tier-0 suspect verdict.
+  uint64_t ConfirmedBenchmarks = 0; ///< Confirm mode: benchmarks whose
+                                    ///< tier-0 verdict forced the full
+                                    ///< confirmation pass.
   uint64_t PoolTasks = 0;         ///< Thread-pool tasks executed.
   uint64_t PoolSteals = 0;        ///< Tasks taken from another worker.
   uint64_t PoolMaxQueueDepth = 0; ///< Deepest any worker queue ever got.

@@ -50,6 +50,13 @@ std::string herbgrind::engine::configHash(const EngineConfig &Cfg) {
       A.DetectCompensation ? 1 : 0, static_cast<int>(A.Ranges),
       A.UseTypeAnalysis ? 1 : 0, A.SharedShadowValues ? 1 : 0,
       A.UsePools ? 1 : 0, static_cast<unsigned long long>(A.MaxSteps));
+  // The fast tier's records cover escalated runs only, so they must
+  // never alias a full sweep's. Confirm-tier records ARE full records
+  // (suspect benchmarks replay under the full shadow; clean ones skip
+  // the cache entirely), so Confirm deliberately shares Full's hash --
+  // appending nothing also keeps every pre-tier cache entry valid.
+  if (Cfg.Tier == TierMode::Fast)
+    Canon += "|tier=fast";
   return format("%016llx",
                 static_cast<unsigned long long>(fnv1a64(Canon)));
 }

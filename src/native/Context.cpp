@@ -6,6 +6,7 @@
 
 #include "native/Context.h"
 
+#include "analysis/ErrorPredict.h"
 #include "native/Kernel.h"
 #include "support/Format.h"
 #include "support/Trace.h"
@@ -110,6 +111,7 @@ void Context::reset() {
   Spots.clear();
   ShadowOps = 0;
   SpotOps = 0;
+  RunSuspect = false;
 }
 
 ContextStats Context::stats() const {
@@ -250,13 +252,24 @@ Real Context::input(size_t I, double V) {
   Real R;
   R.Val = V;
   R.Ctx = this;
-  R.SV = Shadow->create(BigFloat::fromDouble(V, Cfg.PrecisionBits),
-                        Arena.leaf(V), Sets.empty(), ValueType::F64);
+  R.SV = Cfg.PredicateOnly
+             ? Shadow->createPredicate(0.0, 0.0, ValueType::F64)
+             : Shadow->create(BigFloat::fromDouble(V, Cfg.PrecisionBits),
+                              Arena.leaf(V), Sets.empty(), ValueType::F64);
   return R;
 }
 
 double Context::output(const Real &R) {
   ++SpotOps;
+  if (Cfg.PredicateOnly) {
+    double E = (R.SV && R.Ctx == this)
+                   ? errpredict::predTotal(R.SV->PredDelta, R.SV->PredNoise)
+                   : 0.0;
+    if (errpredict::outputSuspect(Value::ofF64(R.Val), E,
+                                  Cfg.OutputErrorThreshold))
+      RunSuspect = true;
+    return R.Val;
+  }
   uint32_t PC = outputSite();
   SpotRecord &Spot = Spots[PC];
   if (Spot.Executions == 0) {
@@ -275,6 +288,7 @@ void Context::run(const Kernel &K, const double *Vals, size_t N) {
                                       jsonEscape(K.Name).c_str())
                              : std::string());
   Activation Act(*this);
+  RunSuspect = false; // each invocation gets its own tier-0 verdict
   // Every invocation starts from the unknown location: a kernel op that
   // runs before the kernel's first HG_LOC must key identically on every
   // invocation, not under whatever location the previous invocation's
@@ -303,6 +317,26 @@ void Context::run(const Kernel &K, const std::vector<double> &Vals) {
 
 Real Context::applyOp(Opcode Op, const Real *const *Args, unsigned N) {
   ++ShadowOps;
+  if (Cfg.PredicateOnly) {
+    // Tier 0: concrete evaluation plus bound propagation; no reals, no
+    // site interning, no records. Operands without a this-context shadow
+    // are exact (their concrete bits are their real).
+    Value ArgVals[3];
+    errpredict::PredVal ArgP[3];
+    for (unsigned I = 0; I < N; ++I) {
+      ArgVals[I] = Value::ofF64(Args[I]->Val);
+      if (Args[I]->SV && Args[I]->Ctx == this)
+        ArgP[I] = {Args[I]->SV->PredDelta, Args[I]->SV->PredNoise};
+    }
+    Value Concrete = evalScalarOp(Op, ArgVals, N);
+    errpredict::PredOp P =
+        errpredict::predictScalarOp(Op, ArgVals, ArgP, N, Concrete);
+    Real R;
+    R.Val = Concrete.F64;
+    R.SV = Shadow->createPredicate(P.Delta, P.Noise, ValueType::F64);
+    R.Ctx = this;
+    return R;
+  }
   Value ArgVals[3];
   ShadowValue *ArgSV[3] = {nullptr, nullptr, nullptr};
   ShadowValue *Ephemeral[3] = {nullptr, nullptr, nullptr};
@@ -338,6 +372,18 @@ bool Context::applyComparison(Opcode Op, const Real &A, const Real &B) {
   Value ArgVals[2] = {Value::ofF64(A.Val), Value::ofF64(B.Val)};
   bool FloatPred = evalScalarOp(Op, ArgVals, 2).asI64() != 0;
 
+  if (Cfg.PredicateOnly) {
+    ShadowValue *SA = (A.SV && A.Ctx == this) ? A.SV : nullptr;
+    ShadowValue *SB = (B.SV && B.Ctx == this) ? B.SV : nullptr;
+    if ((SA || SB) &&
+        errpredict::comparisonSuspect(
+            ArgVals[0], ArgVals[1],
+            SA ? errpredict::predTotal(SA->PredDelta, SA->PredNoise) : 0.0,
+            SB ? errpredict::predTotal(SB->PredDelta, SB->PredNoise) : 0.0))
+      RunSuspect = true;
+    return FloatPred;
+  }
+
   uint32_t PC = opSite(Op);
   SpotRecord &Spot = Spots[PC];
   if (Spot.Executions == 0) {
@@ -359,6 +405,14 @@ int64_t Context::applyConversion(const Real &A) {
   ++SpotOps;
   Value AV = Value::ofF64(A.Val);
   int64_t IntResult = evalScalarOp(Opcode::F64toI64, &AV, 1).asI64();
+
+  if (Cfg.PredicateOnly) {
+    if (A.SV && A.Ctx == this &&
+        errpredict::conversionSuspect(
+            A.Val, errpredict::predTotal(A.SV->PredDelta, A.SV->PredNoise)))
+      RunSuspect = true;
+    return IntResult;
+  }
 
   uint32_t PC = opSite(Opcode::F64toI64);
   SpotRecord &Spot = Spots[PC];

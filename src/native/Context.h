@@ -145,6 +145,11 @@ public:
 
   const AnalysisConfig &config() const { return Cfg; }
   ContextStats stats() const;
+
+  /// Tier-0 verdict of the most recent run() (predicate mode only): true
+  /// when some spot predicate could not rule out an erroneous observation.
+  /// Always false in full mode.
+  bool lastRunSuspect() const { return RunSuspect; }
   /// @}
 
   /// \name Op dispatch backing Real's operators
@@ -239,6 +244,7 @@ private:
   uint64_t ShadowOps = 0;
   uint64_t SpotOps = 0;
   uint64_t Collisions = 0;
+  bool RunSuspect = false;
 
   /// Interned-site table: hashed id -> canonical key string, for
   /// collision accounting. Content-derived ids survive reset().

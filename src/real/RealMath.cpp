@@ -373,6 +373,16 @@ struct CircularReduction {
 };
 } // namespace
 
+/// Reducing an argument of exponent E costs ~E bits of pi (time and
+/// memory both). Past ~1M bits that is unpayable -- and pointless for a
+/// shadow: such magnitudes only arise from intermediates like
+/// exp(exp(x)) whose rounded double is already +/-inf, so the trig
+/// functions return NaN instead, matching what the concrete program
+/// computes from the overflowed value.
+static bool circularReductionFeasible(const BigFloat &X) {
+  return X.exponent() <= (int64_t{1} << 20);
+}
+
 static CircularReduction reduceCircular(const BigFloat &X, size_t WP) {
   assert(X.isFinite() && !X.isZero() && "reduce of non-finite");
   if (X.exponent() <= -1) {
@@ -436,6 +446,8 @@ BigFloat realmath::sin(const BigFloat &X) {
     return BigFloat::nan();
   if (X.isZero())
     return X;
+  if (!circularReductionFeasible(X))
+    return BigFloat::nan();
   CircularReduction CR = reduceCircular(X, WP);
   BigFloat V;
   switch (CR.Quadrant) {
@@ -462,6 +474,8 @@ BigFloat realmath::cos(const BigFloat &X) {
     return BigFloat::nan();
   if (X.isZero())
     return one(Prec);
+  if (!circularReductionFeasible(X))
+    return BigFloat::nan();
   CircularReduction CR = reduceCircular(X, WP);
   BigFloat V;
   switch (CR.Quadrant) {
@@ -488,6 +502,8 @@ BigFloat realmath::tan(const BigFloat &X) {
     return BigFloat::nan();
   if (X.isZero())
     return X;
+  if (!circularReductionFeasible(X))
+    return BigFloat::nan();
   CircularReduction CR = reduceCircular(X, WP);
   BigFloat S = sinTaylor(CR.R, WP);
   BigFloat C = cosTaylor(CR.R, WP);

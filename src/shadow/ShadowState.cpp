@@ -34,6 +34,24 @@ ShadowValue *ShadowState::create(BigFloat Real, TraceNode *Trace,
   SV->Real = std::move(Real);
   SV->Trace = Trace; // takes over the caller's reference
   SV->Influences = Infl;
+  SV->PredDelta = 0.0;
+  SV->PredNoise = 0.0;
+  SV->Ty = Ty;
+  SV->RefCount = 1;
+  return SV;
+}
+
+ShadowValue *ShadowState::createPredicate(double PredDelta, double PredNoise,
+                                          ValueType Ty) {
+  assert((Ty == ValueType::F64 || Ty == ValueType::F32) &&
+         "only scalar floats are shadowed");
+  // The pool slot's Real keeps whatever limbs it last held; predicate
+  // values never read it, and skipping the BigFloat store is the point.
+  ShadowValue *SV = ValuePool.create();
+  SV->Trace = nullptr;
+  SV->Influences = nullptr;
+  SV->PredDelta = PredDelta;
+  SV->PredNoise = PredNoise;
   SV->Ty = Ty;
   SV->RefCount = 1;
   return SV;
@@ -48,7 +66,8 @@ void ShadowState::release(ShadowValue *SV) {
   assert(SV && SV->RefCount > 0 && "release of dead shadow value");
   if (--SV->RefCount > 0)
     return;
-  Arena.release(SV->Trace);
+  if (SV->Trace)
+    Arena.release(SV->Trace);
   ValuePool.destroy(SV);
 }
 
@@ -59,6 +78,8 @@ ShadowValue *ShadowState::share(ShadowValue *SV) {
     return SV;
   }
   // Sharing disabled (optimization ablation): deep-copy the shadow value.
+  if (!SV->Trace)
+    return createPredicate(SV->PredDelta, SV->PredNoise, SV->Ty);
   Arena.retain(SV->Trace);
   return create(SV->Real, SV->Trace, SV->Influences, SV->Ty);
 }

@@ -38,11 +38,20 @@
 
 namespace herbgrind {
 
-/// One shadowed scalar float value.
+/// One shadowed scalar float value. Two flavours share this struct: the
+/// full 256-bit shadow (Real/Trace/Influences populated) and the tier-0
+/// predicate shadow (Trace == nullptr; only PredDelta/PredNoise are
+/// meaningful, Real is whatever the pool slot last held and must not be
+/// read).
 struct ShadowValue {
   BigFloat Real;
-  TraceNode *Trace = nullptr;          ///< One reference owned.
+  TraceNode *Trace = nullptr;          ///< One reference owned; null in
+                                       ///< predicate-only values.
   const InflSet *Influences = nullptr; ///< Interned; not owned.
+  double PredDelta = 0.0; ///< Tier-0 signed estimate of (real - concrete)
+                          ///< (predicate values only).
+  double PredNoise = 0.0; ///< Tier-0 bound on the estimate's own error;
+                          ///< |real - concrete| <= |PredDelta| + PredNoise.
   ValueType Ty = ValueType::F64;       ///< F64 or F32.
   uint32_t RefCount = 0;
 };
@@ -74,6 +83,12 @@ public:
   /// The caller receives one reference to the result.
   ShadowValue *create(BigFloat Real, TraceNode *Trace, const InflSet *Infl,
                       ValueType Ty);
+
+  /// Creates a tier-0 predicate shadow value: no BigFloat conversion, no
+  /// trace node, no influence set -- just the conservative running-error
+  /// pair. The caller receives one reference.
+  ShadowValue *createPredicate(double PredDelta, double PredNoise,
+                               ValueType Ty);
 
   void retain(ShadowValue *SV);
   void release(ShadowValue *SV);
