@@ -68,6 +68,9 @@ static int usage(const char *Prog) {
       "  --jobs N          worker threads (default: hardware concurrency)\n"
       "  --samples N       sampled inputs per benchmark (default 64)\n"
       "  --shard N         inputs per shard (default 16)\n"
+      "  --batch N         sample points per batched analyzer call (the\n"
+      "                    SoA hot path; default 1 = scalar point-at-a-\n"
+      "                    time; report bytes are identical at every value)\n"
       "  --seed S          base sampling seed (default 0xcafe)\n"
       "  --tier MODE       shadowing tier: full (default; every run under\n"
       "                    the 256-bit shadow), confirm (tier-0 error\n"
@@ -447,6 +450,16 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       Cfg.ShardSize = std::atoi(V);
+    } else if (std::strcmp(Arg, "--batch") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      int Lanes = std::atoi(V);
+      if (Lanes < 1) {
+        std::fprintf(stderr, "error: --batch must be >= 1\n");
+        return 2;
+      }
+      Cfg.BatchLanes = static_cast<unsigned>(Lanes);
     } else if (std::strcmp(Arg, "--seed") == 0) {
       const char *V = NextValue();
       if (!V)
@@ -647,6 +660,20 @@ int main(int Argc, char **Argv) {
     OneCfg.Jobs = 1;
     Engine One(OneCfg);
     BatchResult Single = One.run(Cores, Kernels);
+    // Batching is part of the same contract: the lane count must never
+    // change report bytes. The extra leg flips --batch (scalar when the
+    // main legs ran batched, 8 lanes otherwise) and bypasses the cache
+    // so it genuinely re-executes rather than reading back stored shards.
+    EngineConfig BatchCfg = OneCfg;
+    BatchCfg.BatchLanes = Cfg.BatchLanes > 1 ? 1 : 8;
+    BatchCfg.CacheDir.clear();
+    Engine Batched(BatchCfg);
+    if (Batched.run(Cores, Kernels).renderJson() != Single.renderJson()) {
+      std::fprintf(stderr,
+                   "FAIL: --batch %u report differs from --batch %u report\n",
+                   BatchCfg.BatchLanes, Eng.config().BatchLanes);
+      return 1;
+    }
     if (Improve) {
       // The improver is part of the determinism contract too: its
       // outcomes must not depend on the worker count either. The
@@ -667,7 +694,8 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr,
                  "OK: %llu benchmarks, %llu shards, %llu runs; --jobs %u "
-                 "output identical to --jobs 1 (%llu analyzed, %llu from "
+                 "output identical to --jobs 1, batched output identical "
+                 "to scalar (%llu analyzed, %llu from "
                  "cache)\n",
                  static_cast<unsigned long long>(Multi.Stats.Benchmarks),
                  static_cast<unsigned long long>(Multi.Stats.Shards),

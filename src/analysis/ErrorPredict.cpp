@@ -95,8 +95,8 @@ double twoSumResidual(double A, double B, double S) {
 }
 
 /// Running-error refinement: for ops whose rounding residual is exactly
-/// representable (2Sum for +/-, fma-based 2Prod for *), replace the
-/// interval result with a *signed* estimate
+/// representable (2Sum for +/-, fma-based 2Prod for *, fma(q, b, -a)
+/// for /), replace the interval result with a *signed* estimate
 ///   real = concrete + Delta, up to +-Noise
 /// propagated through the op in double arithmetic. Delta carries the
 /// residual with its sign, so compensated algorithms that re-inject it
@@ -175,6 +175,67 @@ void refineRunningError(Opcode Op, const double *C, const PredVal *Args,
     // the floor costs two subnormal quanta of tightness.
     if (N0 != 0.0 || N1 != 0.0)
       NoiseIn += 2.0 * DMin;
+    break;
+  }
+  case Opcode::DivF64: {
+    // Division has an exact residual too: for q = fl(a / b), the value
+    // q*b - a is representable (away from the subnormal floor), so
+    // r = fma(q, b, -a) recovers it exactly and a - q*b = -r. With
+    // real0 = a + d0 +- n0 and real1 = b + d1 +- n1,
+    //   real0/real1 - q = (-r + d0 - q*d1 +- (n0 + |q|*n1))
+    //                     / (b + d1 +- n1).
+    // The numerator folds with measured residuals like the mul row; the
+    // denominator's wiggle and the final division's own rounding become
+    // noise terms bounded through DenLo = |b| - (|d1| + n1).
+    double D1 = Args[1].Delta, N1 = Args[1].Noise;
+    double W1 = std::fabs(D1) + N1;
+    double DenLo = std::fabs(C[1]) - W1;
+    if (!(DenLo > 0.0))
+      return; // denominator interval reaches zero: keep the fallback
+    auto Hazard = [](double Prod, double A, double B) {
+      return A != 0.0 && B != 0.0 && std::fabs(Prod) < 0x1p-968;
+    };
+    // A noise product or quotient that flushes to zero stops being a
+    // bound; substitute one subnormal quantum (the true value was below
+    // it, so the substitute still dominates).
+    auto MulNF = [](double A, double B) {
+      double Q = A * B;
+      return Q == 0.0 && A != 0.0 && B != 0.0 ? DMin : Q;
+    };
+    auto DivNF = [](double A, double B) {
+      double Q = A / B;
+      return Q == 0.0 && A != 0.0 ? DMin : Q;
+    };
+    double R = std::fma(CR, C[1], -C[0]);
+    double P1 = CR * D1, F1 = std::fma(CR, D1, -P1);
+    double S1 = D0 - P1;
+    double E1 = twoSumResidual(D0, -P1, S1);
+    double NumD = S1 - R; // the folded numerator -r + d0 - q*d1
+    double E2 = twoSumResidual(S1, -R, NumD);
+    double SlopNum = (std::fabs(F1) + std::fabs(E1)) + std::fabs(E2);
+    if (Hazard(C[0], CR, C[1]) || Hazard(P1, CR, D1))
+      SlopNum += 4.0 * DMin;
+    DeltaOut = NumD / C[1];
+    // The division's own rounding, measured exactly with one more fma:
+    // NumD / b - DeltaOut = -RQ / b.
+    double RQ = std::fma(DeltaOut, C[1], -NumD);
+    double RQAbs = std::fabs(RQ);
+    if (Hazard(NumD, DeltaOut, C[1]))
+      RQAbs += DMin;
+    double Ns = N0 + MulNF(std::fabs(CR), N1);
+    // |trueDelta - DeltaOut| decomposes over
+    //   Num/Den - NumD/b = (Num - NumD)/Den + NumD*(b - Den)/(Den*b)
+    // plus the measured rounding of the division itself.
+    double T1 = DivNF(Ns + SlopNum, DenLo);
+    double T2 =
+        DivNF(MulNF(std::fabs(NumD), W1), MulNF(std::fabs(C[1]), DenLo));
+    NoiseIn = T1 + T2;
+    Slop = DivNF(RQAbs, std::fabs(C[1]));
+    // Subnormal-but-nonzero noise terms above round absolutely, not
+    // relatively (the tail's relative inflation misses them); a few
+    // quanta cover every such loss.
+    if (Ns != 0.0 || SlopNum != 0.0 || W1 != 0.0 || RQAbs != 0.0)
+      Slop += 4.0 * DMin;
     break;
   }
   case Opcode::NegF64:

@@ -134,6 +134,8 @@ Engine::Engine(EngineConfig Config) : Cfg(Config) {
     Cfg.ShardSize = 1;
   if (Cfg.ShardEnd < Cfg.ShardBegin)
     Cfg.ShardEnd = Cfg.ShardBegin;
+  if (Cfg.BatchLanes < 1)
+    Cfg.BatchLanes = 1;
   if (!Cfg.CacheDir.empty()) {
     RC = std::make_unique<ResultCache>(Cfg.CacheDir, configHash(Cfg));
     // True LRU recency only matters when something will prune by it.
@@ -520,10 +522,11 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
 /// it, and caller-owned kernel vectors outlive it); the RunId in the
 /// cache makes a recycled address harmless even if worker threads ever
 /// outlive a run. One thread_local cache exists per analyzer type.
-template <typename Analyzer, typename MakeFn, typename RunOneFn>
+template <typename Analyzer, typename MakeFn, typename RunOneFn,
+          typename RunBatchFn>
 static AnalysisResult
 analyzeShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
-                        RunOneFn RunOne,
+                        RunOneFn RunOne, RunBatchFn RunBatch, unsigned Lanes,
                         const std::vector<std::vector<double>> &Inputs,
                         size_t Begin, size_t End) {
   struct Worker {
@@ -539,8 +542,17 @@ analyzeShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
     W.Run = RunId;
     W.Key = Key;
   }
-  for (size_t I = Begin; I < End; ++I)
-    RunOne(*W.A, Inputs[I]);
+  if (Lanes <= 1) {
+    for (size_t I = Begin; I < End; ++I)
+      RunOne(*W.A, Inputs[I]);
+  } else {
+    // Batched hot path: the frontend guarantees records byte-identical
+    // to the scalar loop at every lane count (the per-lane verdicts are
+    // irrelevant here -- full analysis records everything).
+    std::vector<uint8_t> Suspects;
+    for (size_t I = Begin; I < End; I += Lanes)
+      RunBatch(*W.A, &Inputs[I], std::min<size_t>(Lanes, End - I), Suspects);
+  }
   return W.A->snapshot();
 }
 
@@ -550,10 +562,11 @@ analyzeShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
 /// Make/RunOne lambda types are part of the template identity), so a
 /// tier-0 analyzer can never be mistaken for a full one even under the
 /// same (RunId, Key).
-template <typename Analyzer, typename MakeFn, typename RunOneFn>
+template <typename Analyzer, typename MakeFn, typename RunOneFn,
+          typename RunBatchFn>
 static Tier0Outcome
 tier0ShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
-                      RunOneFn RunOne,
+                      RunOneFn RunOne, RunBatchFn RunBatch, unsigned Lanes,
                       const std::vector<std::vector<double>> &Inputs,
                       size_t Begin, size_t End) {
   struct Worker {
@@ -571,12 +584,31 @@ tier0ShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
   }
   Tier0Outcome Out;
   uint64_t Ops0 = W.A->stats().ShadowOpsExecuted;
-  for (size_t I = Begin; I < End; ++I) {
-    RunOne(*W.A, Inputs[I]);
-    ++Out.Runs;
-    if (W.A->lastRunSuspect()) {
-      Out.Suspect = true;
-      break; // One suspect run settles the shard's verdict.
+  if (Lanes <= 1) {
+    for (size_t I = Begin; I < End; ++I) {
+      RunOne(*W.A, Inputs[I]);
+      ++Out.Runs;
+      if (W.A->lastRunSuspect()) {
+        Out.Suspect = true;
+        break; // One suspect run settles the shard's verdict.
+      }
+    }
+  } else {
+    // Batched: verdicts scan in lane order and Runs counts scanned lanes,
+    // so the suspect verdict and run accounting match the scalar loop's
+    // early break exactly. The batch may have *executed* lanes past the
+    // first suspect one -- Ops is informational and may exceed scalar's.
+    std::vector<uint8_t> Suspects;
+    for (size_t I = Begin; I < End && !Out.Suspect; I += Lanes) {
+      size_t N = std::min<size_t>(Lanes, End - I);
+      RunBatch(*W.A, &Inputs[I], N, Suspects);
+      for (size_t L = 0; L < N; ++L) {
+        ++Out.Runs;
+        if (Suspects[L]) {
+          Out.Suspect = true;
+          break;
+        }
+      }
     }
   }
   Out.Ops = W.A->stats().ShadowOpsExecuted - Ops0;
@@ -590,10 +622,11 @@ tier0ShardWorkerLocal(uint64_t RunId, const void *Key, MakeFn Make,
 /// accumulate in sampling order, so fast-tier sweeps stay byte-identical
 /// across worker counts like everything else in the engine.
 template <typename Analyzer, typename MakeT0Fn, typename MakeFullFn,
-          typename RunOneFn>
+          typename RunOneFn, typename RunBatchFn>
 static FastOutcome
 fastShardWorkerLocal(uint64_t RunId, const void *Key, MakeT0Fn MakeT0,
-                     MakeFullFn MakeFull, RunOneFn RunOne,
+                     MakeFullFn MakeFull, RunOneFn RunOne, RunBatchFn RunBatch,
+                     unsigned Lanes,
                      const std::vector<std::vector<double>> &Inputs,
                      size_t Begin, size_t End) {
   struct Worker {
@@ -614,12 +647,30 @@ fastShardWorkerLocal(uint64_t RunId, const void *Key, MakeT0Fn MakeT0,
   }
   FastOutcome Out;
   uint64_t Ops0 = W.T0->stats().ShadowOpsExecuted;
-  for (size_t I = Begin; I < End; ++I) {
-    RunOne(*W.T0, Inputs[I]);
-    ++Out.Tier0Runs;
-    if (W.T0->lastRunSuspect()) {
-      RunOne(*W.Full, Inputs[I]);
-      ++Out.EscalatedRuns;
+  if (Lanes <= 1) {
+    for (size_t I = Begin; I < End; ++I) {
+      RunOne(*W.T0, Inputs[I]);
+      ++Out.Tier0Runs;
+      if (W.T0->lastRunSuspect()) {
+        RunOne(*W.Full, Inputs[I]);
+        ++Out.EscalatedRuns;
+      }
+    }
+  } else {
+    // Batched: tier 0 sweeps whole batches, then suspect lanes escalate
+    // scalar in ascending lane order. Per-lane verdicts are independent
+    // of batching, so the full analyzer sees exactly the scalar loop's
+    // escalation sequence and its records stay byte-identical.
+    std::vector<uint8_t> Suspects;
+    for (size_t I = Begin; I < End; I += Lanes) {
+      size_t N = std::min<size_t>(Lanes, End - I);
+      RunBatch(*W.T0, &Inputs[I], N, Suspects);
+      Out.Tier0Runs += N;
+      for (size_t L = 0; L < N; ++L)
+        if (Suspects[L]) {
+          RunOne(*W.Full, Inputs[I + L]);
+          ++Out.EscalatedRuns;
+        }
     }
   }
   Out.Tier0Ops = W.T0->stats().ShadowOpsExecuted - Ops0;
@@ -631,7 +682,7 @@ fastShardWorkerLocal(uint64_t RunId, const void *Key, MakeT0Fn MakeT0,
 /// Herbgrind instance over the compiled program.
 static SweepSource coreSource(const fpcore::Core &C,
                               fpcore::ProgramCache &Cache,
-                              const AnalysisConfig &ACfg) {
+                              const AnalysisConfig &ACfg, unsigned Lanes) {
   SweepSource Src;
   Src.Name = C.Name;
   std::vector<std::pair<double, double>> Ranges;
@@ -639,33 +690,35 @@ static SweepSource coreSource(const fpcore::Core &C,
     Ranges.push_back({VR.Lo, VR.Hi});
   Src.Ranges = std::move(Ranges);
   Src.MakeIdentity = [&C] { return C.print(); };
-  Src.AnalyzeShard = [&C, &Cache, &ACfg](
+  auto RunOne = [](Herbgrind &HG, const std::vector<double> &In) {
+    HG.runOnInput(In);
+  };
+  auto RunBatch = [](Herbgrind &HG, const std::vector<double> *Tuples,
+                     size_t N, std::vector<uint8_t> &Suspects) {
+    HG.runOnBatch(Tuples, N);
+    Suspects = HG.laneSuspects();
+  };
+  Src.AnalyzeShard = [&C, &Cache, &ACfg, RunOne, RunBatch, Lanes](
                          uint64_t RunId,
                          const std::vector<std::vector<double>> &Inputs,
                          size_t Begin, size_t End) {
     const Program &P = Cache.get(C);
     return analyzeShardWorkerLocal<Herbgrind>(
         RunId, &P, [&] { return std::make_unique<Herbgrind>(P, ACfg); },
-        [](Herbgrind &HG, const std::vector<double> &In) {
-          HG.runOnInput(In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
   AnalysisConfig PCfg = ACfg;
   PCfg.PredicateOnly = true;
-  Src.Tier0Shard = [&C, &Cache, PCfg](
+  Src.Tier0Shard = [&C, &Cache, PCfg, RunOne, RunBatch, Lanes](
                        uint64_t RunId,
                        const std::vector<std::vector<double>> &Inputs,
                        size_t Begin, size_t End) {
     const Program &P = Cache.get(C);
     return tier0ShardWorkerLocal<Herbgrind>(
         RunId, &P, [&] { return std::make_unique<Herbgrind>(P, PCfg); },
-        [](Herbgrind &HG, const std::vector<double> &In) {
-          HG.runOnInput(In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
-  Src.FastShard = [&C, &Cache, &ACfg, PCfg](
+  Src.FastShard = [&C, &Cache, &ACfg, PCfg, RunOne, RunBatch, Lanes](
                       uint64_t RunId,
                       const std::vector<std::vector<double>> &Inputs,
                       size_t Begin, size_t End) {
@@ -673,10 +726,7 @@ static SweepSource coreSource(const fpcore::Core &C,
     return fastShardWorkerLocal<Herbgrind>(
         RunId, &P, [&] { return std::make_unique<Herbgrind>(P, PCfg); },
         [&] { return std::make_unique<Herbgrind>(P, ACfg); },
-        [](Herbgrind &HG, const std::vector<double> &In) {
-          HG.runOnInput(In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
   return Src;
 }
@@ -686,46 +736,45 @@ static SweepSource coreSource(const fpcore::Core &C,
 /// content-hashed op identities are what keep this mergeable and cacheable
 /// exactly like the interpreter path.
 static SweepSource kernelSource(const native::Kernel &K,
-                                const AnalysisConfig &ACfg) {
+                                const AnalysisConfig &ACfg, unsigned Lanes) {
   SweepSource Src;
   Src.Name = K.Name;
   for (const native::Kernel::InputRange &R : K.Inputs)
     Src.Ranges.push_back({R.Lo, R.Hi});
   Src.MakeIdentity = [&K] { return K.identity(); };
-  Src.AnalyzeShard = [&K, &ACfg](
+  auto RunOne = [&K](native::Context &C, const std::vector<double> &In) {
+    C.run(K, In);
+  };
+  auto RunBatch = [&K](native::Context &C, const std::vector<double> *Tuples,
+                       size_t N, std::vector<uint8_t> &Suspects) {
+    C.runBatch(K, Tuples, N, &Suspects);
+  };
+  Src.AnalyzeShard = [&ACfg, RunOne, RunBatch, Lanes, &K](
                          uint64_t RunId,
                          const std::vector<std::vector<double>> &Inputs,
                          size_t Begin, size_t End) {
     return analyzeShardWorkerLocal<native::Context>(
         RunId, &K, [&] { return std::make_unique<native::Context>(ACfg); },
-        [&K](native::Context &C, const std::vector<double> &In) {
-          C.run(K, In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
   AnalysisConfig PCfg = ACfg;
   PCfg.PredicateOnly = true;
-  Src.Tier0Shard = [&K, PCfg](uint64_t RunId,
-                              const std::vector<std::vector<double>> &Inputs,
-                              size_t Begin, size_t End) {
+  Src.Tier0Shard = [PCfg, RunOne, RunBatch, Lanes, &K](
+                       uint64_t RunId,
+                       const std::vector<std::vector<double>> &Inputs,
+                       size_t Begin, size_t End) {
     return tier0ShardWorkerLocal<native::Context>(
         RunId, &K, [&] { return std::make_unique<native::Context>(PCfg); },
-        [&K](native::Context &C, const std::vector<double> &In) {
-          C.run(K, In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
-  Src.FastShard = [&K, &ACfg, PCfg](
+  Src.FastShard = [&ACfg, PCfg, RunOne, RunBatch, Lanes, &K](
                       uint64_t RunId,
                       const std::vector<std::vector<double>> &Inputs,
                       size_t Begin, size_t End) {
     return fastShardWorkerLocal<native::Context>(
         RunId, &K, [&] { return std::make_unique<native::Context>(PCfg); },
         [&] { return std::make_unique<native::Context>(ACfg); },
-        [&K](native::Context &C, const std::vector<double> &In) {
-          C.run(K, In);
-        },
-        Inputs, Begin, End);
+        RunOne, RunBatch, Lanes, Inputs, Begin, End);
   };
   return Src;
 }
@@ -744,9 +793,9 @@ BatchResult Engine::run(const std::vector<fpcore::Core> &Cores,
   std::vector<SweepSource> Sources;
   Sources.reserve(Cores.size() + Kernels.size());
   for (const fpcore::Core &C : Cores)
-    Sources.push_back(coreSource(C, Cache, Cfg.Analysis));
+    Sources.push_back(coreSource(C, Cache, Cfg.Analysis, Cfg.BatchLanes));
   for (const native::Kernel &K : Kernels)
-    Sources.push_back(kernelSource(K, Cfg.Analysis));
+    Sources.push_back(kernelSource(K, Cfg.Analysis, Cfg.BatchLanes));
   BatchResult Out = runSweepImpl(Cfg, RC.get(), Sources);
   Out.Stats.CacheHits = Cache.hits() - CacheHits0;
   Out.Stats.CacheMisses = Cache.misses() - CacheMisses0;

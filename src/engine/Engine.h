@@ -115,6 +115,13 @@ struct EngineConfig {
   /// full sweep's report.
   size_t ShardBegin = 0;
   size_t ShardEnd = std::numeric_limits<size_t>::max();
+  /// Sample points each batched analyzer call processes at once (the SoA
+  /// hot path; docs/ARCHITECTURE.md, "Batched evaluation"). 1 runs the
+  /// scalar point-at-a-time loops unchanged. Purely a scheduling knob --
+  /// reports are byte-identical at every lane count, so like Jobs it is
+  /// deliberately absent from the config hash and batched sweeps share
+  /// scalar sweeps' caches.
+  unsigned BatchLanes = 1;
 };
 
 /// One benchmark's merged outcome.

@@ -9,6 +9,7 @@
 #include "real/RealMath.h"
 #include "support/FloatBits.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -21,6 +22,101 @@ using namespace herbgrind::fpcore;
 
 static bool evalBoolDouble(const Expr &E, const DoubleEnv &Env,
                            uint64_t MaxLoopIters);
+
+/// Applies operator \p N to \p Arity pre-evaluated operand values. The
+/// one dispatch shared by evalDouble and evalDoubleBatch, so the scalar
+/// and batched paths cannot drift apart numerically. Every operator
+/// consumes each operand exactly once in argument order, so strict
+/// pre-evaluation matches the recursive evaluation bit for bit.
+static double applyDoubleOp(const std::string &N, const double *V,
+                            size_t Arity) {
+  if (N == "+" && Arity >= 2) {
+    double Acc = V[0];
+    for (size_t I = 1; I < Arity; ++I)
+      Acc += V[I];
+    return Acc;
+  }
+  if (N == "-" && Arity == 1)
+    return -V[0];
+  if (N == "-" && Arity >= 2) {
+    double Acc = V[0];
+    for (size_t I = 1; I < Arity; ++I)
+      Acc -= V[I];
+    return Acc;
+  }
+  if (N == "*" && Arity >= 2) {
+    double Acc = V[0];
+    for (size_t I = 1; I < Arity; ++I)
+      Acc *= V[I];
+    return Acc;
+  }
+  if (N == "/")
+    return V[0] / V[1];
+  if (N == "sqrt")
+    return std::sqrt(V[0]);
+  if (N == "fabs")
+    return std::fabs(V[0]);
+  if (N == "fmin")
+    return std::fmin(V[0], V[1]);
+  if (N == "fmax")
+    return std::fmax(V[0], V[1]);
+  if (N == "fma")
+    return std::fma(V[0], V[1], V[2]);
+  if (N == "copysign")
+    return std::copysign(V[0], V[1]);
+  if (N == "exp")
+    return std::exp(V[0]);
+  if (N == "exp2")
+    return std::exp2(V[0]);
+  if (N == "expm1")
+    return std::expm1(V[0]);
+  if (N == "log")
+    return std::log(V[0]);
+  if (N == "log2")
+    return std::log2(V[0]);
+  if (N == "log10")
+    return std::log10(V[0]);
+  if (N == "log1p")
+    return std::log1p(V[0]);
+  if (N == "sin")
+    return std::sin(V[0]);
+  if (N == "cos")
+    return std::cos(V[0]);
+  if (N == "tan")
+    return std::tan(V[0]);
+  if (N == "asin")
+    return std::asin(V[0]);
+  if (N == "acos")
+    return std::acos(V[0]);
+  if (N == "atan")
+    return std::atan(V[0]);
+  if (N == "atan2")
+    return std::atan2(V[0], V[1]);
+  if (N == "sinh")
+    return std::sinh(V[0]);
+  if (N == "cosh")
+    return std::cosh(V[0]);
+  if (N == "tanh")
+    return std::tanh(V[0]);
+  if (N == "pow")
+    return std::pow(V[0], V[1]);
+  if (N == "cbrt")
+    return std::cbrt(V[0]);
+  if (N == "hypot")
+    return std::hypot(V[0], V[1]);
+  if (N == "fmod")
+    return std::fmod(V[0], V[1]);
+  if (N == "floor")
+    return std::floor(V[0]);
+  if (N == "ceil")
+    return std::ceil(V[0]);
+  if (N == "round")
+    return std::round(V[0]);
+  if (N == "trunc")
+    return std::trunc(V[0]);
+  assert(false && "unsupported operator in double evaluation");
+  return std::nan("");
+}
 
 double fpcore::evalDouble(const Expr &E, const DoubleEnv &Env,
                           uint64_t MaxLoopIters) {
@@ -95,95 +191,65 @@ double fpcore::evalDouble(const Expr &E, const DoubleEnv &Env,
     break;
   }
 
-  auto A = [&](size_t I) { return evalDouble(*E.Args[I], Env, MaxLoopIters); };
-  const std::string &N = E.Name;
+  double Vals[8];
+  std::vector<double> Heap;
   size_t Arity = E.Args.size();
-  if (N == "+" && Arity >= 2) {
-    double Acc = A(0);
-    for (size_t I = 1; I < Arity; ++I)
-      Acc += A(I);
-    return Acc;
+  double *V = Vals;
+  if (Arity > 8) {
+    Heap.resize(Arity);
+    V = Heap.data();
   }
-  if (N == "-" && Arity == 1)
-    return -A(0);
-  if (N == "-" && Arity >= 2) {
-    double Acc = A(0);
-    for (size_t I = 1; I < Arity; ++I)
-      Acc -= A(I);
-    return Acc;
+  for (size_t I = 0; I < Arity; ++I)
+    V[I] = evalDouble(*E.Args[I], Env, MaxLoopIters);
+  return applyDoubleOp(E.Name, V, Arity);
+}
+
+void fpcore::evalDoubleBatch(const Expr &E, const DoubleEnv *Envs,
+                             size_t NumLanes, double *Out,
+                             uint64_t MaxLoopIters) {
+  if (NumLanes == 0)
+    return;
+  switch (E.K) {
+  case Expr::Kind::Num:
+  case Expr::Kind::Const: {
+    // Lane-invariant leaves (no variable reads): evaluate once against
+    // the first environment and broadcast.
+    std::fill_n(Out, NumLanes, evalDouble(E, Envs[0], MaxLoopIters));
+    return;
   }
-  if (N == "*" && Arity >= 2) {
-    double Acc = A(0);
-    for (size_t I = 1; I < Arity; ++I)
-      Acc *= A(I);
-    return Acc;
+  case Expr::Kind::Var:
+    for (size_t L = 0; L < NumLanes; ++L) {
+      auto It = Envs[L].find(E.Name);
+      assert(It != Envs[L].end() && "unbound variable");
+      Out[L] = It->second;
+    }
+    return;
+  case Expr::Kind::If:
+  case Expr::Kind::Let:
+  case Expr::Kind::While:
+    // Control flow and bindings can diverge per lane; run the whole
+    // subtree scalar per lane (bit-identical by construction -- it is
+    // exactly the code path evalDouble takes).
+    for (size_t L = 0; L < NumLanes; ++L)
+      Out[L] = evalDouble(E, Envs[L], MaxLoopIters);
+    return;
+  case Expr::Kind::Op:
+    break;
   }
-  if (N == "/")
-    return A(0) / A(1);
-  if (N == "sqrt")
-    return std::sqrt(A(0));
-  if (N == "fabs")
-    return std::fabs(A(0));
-  if (N == "fmin")
-    return std::fmin(A(0), A(1));
-  if (N == "fmax")
-    return std::fmax(A(0), A(1));
-  if (N == "fma")
-    return std::fma(A(0), A(1), A(2));
-  if (N == "copysign")
-    return std::copysign(A(0), A(1));
-  if (N == "exp")
-    return std::exp(A(0));
-  if (N == "exp2")
-    return std::exp2(A(0));
-  if (N == "expm1")
-    return std::expm1(A(0));
-  if (N == "log")
-    return std::log(A(0));
-  if (N == "log2")
-    return std::log2(A(0));
-  if (N == "log10")
-    return std::log10(A(0));
-  if (N == "log1p")
-    return std::log1p(A(0));
-  if (N == "sin")
-    return std::sin(A(0));
-  if (N == "cos")
-    return std::cos(A(0));
-  if (N == "tan")
-    return std::tan(A(0));
-  if (N == "asin")
-    return std::asin(A(0));
-  if (N == "acos")
-    return std::acos(A(0));
-  if (N == "atan")
-    return std::atan(A(0));
-  if (N == "atan2")
-    return std::atan2(A(0), A(1));
-  if (N == "sinh")
-    return std::sinh(A(0));
-  if (N == "cosh")
-    return std::cosh(A(0));
-  if (N == "tanh")
-    return std::tanh(A(0));
-  if (N == "pow")
-    return std::pow(A(0), A(1));
-  if (N == "cbrt")
-    return std::cbrt(A(0));
-  if (N == "hypot")
-    return std::hypot(A(0), A(1));
-  if (N == "fmod")
-    return std::fmod(A(0), A(1));
-  if (N == "floor")
-    return std::floor(A(0));
-  if (N == "ceil")
-    return std::ceil(A(0));
-  if (N == "round")
-    return std::round(A(0));
-  if (N == "trunc")
-    return std::trunc(A(0));
-  assert(false && "unsupported operator in double evaluation");
-  return std::nan("");
+
+  // One contiguous argument matrix per Op node -- argument I's lanes at
+  // Scratch[I * NumLanes ..] -- then one gather + dispatch per lane.
+  size_t Arity = E.Args.size();
+  std::vector<double> Scratch(Arity * NumLanes);
+  for (size_t I = 0; I < Arity; ++I)
+    evalDoubleBatch(*E.Args[I], Envs, NumLanes, Scratch.data() + I * NumLanes,
+                    MaxLoopIters);
+  std::vector<double> V(Arity);
+  for (size_t L = 0; L < NumLanes; ++L) {
+    for (size_t I = 0; I < Arity; ++I)
+      V[I] = Scratch[I * NumLanes + L];
+    Out[L] = applyDoubleOp(E.Name, V.data(), Arity);
+  }
 }
 
 static bool evalBoolDouble(const Expr &E, const DoubleEnv &Env,

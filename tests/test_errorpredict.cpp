@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -175,6 +176,84 @@ TEST(ErrorPredict, AbsErrBoundDominatesTrueErrorOnRandomChains) {
   // The bound must be *useful*, not inf everywhere: most random ops land
   // in the known rows of the predicate table.
   EXPECT_GT(Useful * 2, Checked);
+}
+
+//===----------------------------------------------------------------------===//
+// The exact-residual div refinement
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorPredict, DivRefinementRecoversExactResidualOnExactInputs) {
+  // For exact operands the refined div row must carry the *true*
+  // rounding error of q = fl(a/b) as its signed Delta -- computed as
+  // -fma(q, b, -a) / b -- with a Noise bound orders of magnitude below
+  // the interval row's half-ulp (whose Delta is 0).
+  Rng Rand(0xd1f);
+  int Inexact = 0;
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double A = Rand.betweenOrdinals(1.0, 1e9);
+    double B = Rand.betweenOrdinals(1.0, 1e6);
+    if (Rand.nextBelow(2))
+      A = -A;
+    if (Rand.nextBelow(2))
+      B = -B;
+    double Q = A / B;
+    Value V[2] = {Value::ofF64(A), Value::ofF64(B)};
+    PredVal E[2]; // exact leaves
+    PredOp P = predictScalarOp(Opcode::DivF64, V, E, 2, Value::ofF64(Q));
+    double R = std::fma(Q, B, -A);
+    EXPECT_EQ(P.Delta, -R / B) << "trial " << Trial;
+    EXPECT_LT(P.Noise, 0x1p-80 * std::fabs(Q) + 1e-300) << "trial " << Trial;
+    if (R != 0.0)
+      ++Inexact;
+    // The pair must still be sound against the BigFloat ground truth.
+    Tracked T;
+    T.C = Q;
+    T.R = evalRealOp(Opcode::DivF64,
+                     std::array<BigFloat, 2>{BigFloat::fromDouble(A),
+                                             BigFloat::fromDouble(B)}
+                         .data(),
+                     2);
+    T.P = {P.Delta, P.Noise};
+    double Floor = std::fabs(Q) * 0x1p-200;
+    if (T.P.Noise >= Floor)
+      EXPECT_LE(trueDeltaDev(T), T.P.Noise * (1.0 + 1e-9)) << "trial " << Trial;
+  }
+  ASSERT_GT(Inexact, 0) << "vacuous: every sampled quotient was exact";
+}
+
+TEST(ErrorPredict, DivRefinementStaysSoundWithErroneousArguments) {
+  // Feed the div row argument pairs that already carry signed error and
+  // noise, and check |real - (q + Delta)| <= Noise against a BigFloat
+  // evaluation of the *true* perturbed quotient at the Delta corner.
+  Rng Rand(0xd1f2);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double A = Rand.betweenOrdinals(1.0, 1e9);
+    double B = Rand.betweenOrdinals(1.0, 1e6);
+    if (Rand.nextBelow(2))
+      A = -A;
+    if (Rand.nextBelow(2))
+      B = -B;
+    double DA = Rand.uniformReal(-1e-8, 1e-8) * A;
+    double DB = Rand.uniformReal(-1e-8, 1e-8) * B;
+    PredVal E[2] = {{DA, 0.0}, {DB, 0.0}};
+    double Q = A / B;
+    Value V[2] = {Value::ofF64(A), Value::ofF64(B)};
+    PredOp P = predictScalarOp(Opcode::DivF64, V, E, 2, Value::ofF64(Q));
+    ASSERT_TRUE(std::isfinite(P.Noise)) << "trial " << Trial;
+    // real0 = A + DA exactly, real1 = B + DB exactly (Noise = 0).
+    BigFloat RA, RB, RQ;
+    BigFloat::addInto(RA, BigFloat::fromDouble(A), BigFloat::fromDouble(DA));
+    BigFloat::addInto(RB, BigFloat::fromDouble(B), BigFloat::fromDouble(DB));
+    RQ = BigFloat::div(RA, RB);
+    Tracked T;
+    T.C = Q;
+    T.R = RQ;
+    T.P = {P.Delta, P.Noise};
+    double Floor = std::fabs(Q) * 0x1p-200;
+    if (T.P.Noise >= Floor)
+      EXPECT_LE(trueDeltaDev(T), T.P.Noise * (1.0 + 1e-9))
+          << "trial " << Trial << " A " << A << " B " << B;
+  }
 }
 
 //===----------------------------------------------------------------------===//
