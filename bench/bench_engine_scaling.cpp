@@ -573,6 +573,81 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned long long>(BP.Runs),
       BatchIdentical ? "true" : "false");
 
+  // Wire-format probe: both encodings of the corpus batch report
+  // document (the top-jobs sweep), sized and timed. The claims: HGB is
+  // at least 4x smaller than the JSON bytes on this document, and the
+  // binary round trip re-renders both formats to the exact same bytes.
+  const std::string WireJson = LastResult.renderWire(WireEncoding::Json);
+  const std::string WireBin = LastResult.renderWire(WireEncoding::Binary);
+  double SizeRatio = WireBin.empty()
+                         ? 0.0
+                         : static_cast<double>(WireJson.size()) /
+                               static_cast<double>(WireBin.size());
+  const int WireReps = 20;
+  double EncJsonS = timeIt([&] {
+    for (int I = 0; I < WireReps; ++I) {
+      std::string S = LastResult.renderWire(WireEncoding::Json);
+      if (S.size() != WireJson.size())
+        std::abort();
+    }
+  });
+  double EncBinS = timeIt([&] {
+    for (int I = 0; I < WireReps; ++I) {
+      std::string S = LastResult.renderWire(WireEncoding::Binary);
+      if (S.size() != WireBin.size())
+        std::abort();
+    }
+  });
+  BatchReportDoc WireDoc;
+  std::string WireErr;
+  bool WireRoundTrip = parseBatchReport(WireBin, WireDoc, WireErr) &&
+                       renderBatchReportJson(WireDoc) == WireJson &&
+                       renderBatchReportBinary(WireDoc) == WireBin;
+  double DecJsonS = timeIt([&] {
+    for (int I = 0; I < WireReps; ++I) {
+      BatchReportDoc D;
+      std::string E;
+      if (!parseBatchReport(WireJson, D, E))
+        std::abort();
+    }
+  });
+  double DecBinS = timeIt([&] {
+    for (int I = 0; I < WireReps; ++I) {
+      BatchReportDoc D;
+      std::string E;
+      if (!parseBatchReport(WireBin, D, E))
+        std::abort();
+    }
+  });
+  auto MBPerS = [&](size_t Bytes, double Seconds) {
+    return Seconds > 0.0
+               ? static_cast<double>(Bytes) * WireReps / Seconds / 1e6
+               : 0.0;
+  };
+  std::printf("\nwire formats (corpus batch report document):\n"
+              "  json %zu bytes, hgb %zu bytes (%.2fx smaller); encode "
+              "json %.0f MB/s, hgb %.0f MB/s; decode json %.0f MB/s, hgb "
+              "%.0f MB/s; round trip identical: %s\n",
+              WireJson.size(), WireBin.size(), SizeRatio,
+              MBPerS(WireJson.size(), EncJsonS),
+              MBPerS(WireBin.size(), EncBinS),
+              MBPerS(WireJson.size(), DecJsonS),
+              MBPerS(WireBin.size(), DecBinS),
+              WireRoundTrip ? "yes" : "NO -- BUG");
+  std::string WireSectionJson = format(
+      "{\"json_bytes\":%llu,\"hgb_bytes\":%llu,\"size_ratio\":%s,"
+      "\"encode_json_mb_s\":%s,\"encode_hgb_mb_s\":%s,"
+      "\"decode_json_mb_s\":%s,\"decode_hgb_mb_s\":%s,"
+      "\"roundtrip_identical\":%s}",
+      static_cast<unsigned long long>(WireJson.size()),
+      static_cast<unsigned long long>(WireBin.size()),
+      formatDoubleShortest(SizeRatio).c_str(),
+      formatDoubleShortest(MBPerS(WireJson.size(), EncJsonS)).c_str(),
+      formatDoubleShortest(MBPerS(WireBin.size(), EncBinS)).c_str(),
+      formatDoubleShortest(MBPerS(WireJson.size(), DecJsonS)).c_str(),
+      formatDoubleShortest(MBPerS(WireBin.size(), DecBinS)).c_str(),
+      WireRoundTrip ? "true" : "false");
+
   std::string Json = format(
       "{\"schema\":\"herbgrind-bench-engine-v1\","
       "\"samples_per_benchmark\":%d,\"shard_size\":%d,"
@@ -589,6 +664,7 @@ int main(int Argc, char **Argv) {
       "\"profile\":%s,"
       "\"tiered\":%s,"
       "\"batched\":%s,"
+      "\"wire\":%s,"
       "\"cache\":%s}\n",
       Cfg.SamplesPerBenchmark, Cfg.ShardSize, HW, JobsJson.c_str(),
       formatDoubleShortest(Probe.NativeSeconds).c_str(),
@@ -612,7 +688,7 @@ int main(int Argc, char **Argv) {
       formatDoubleShortest(Over(NP.InterpSeconds, NP.RawSeconds)).c_str(),
       formatDoubleShortest(Over(NP.HerbgrindSeconds, NP.RawSeconds)).c_str(),
       ProfileJson.c_str(), TieredJson.c_str(), BatchedJson.c_str(),
-      CacheJson.c_str());
+      WireSectionJson.c_str(), CacheJson.c_str());
   std::ofstream Out(JsonOut, std::ios::binary | std::ios::trunc);
   if (Out) {
     Out << Json;
@@ -680,6 +756,23 @@ int main(int Argc, char **Argv) {
                  "FAIL: batched tier-0 hot path %.2fx over scalar "
                  "(expected >= 1.5x over %llu runs)\n",
                  BatchSpeedup, static_cast<unsigned long long>(BP.Runs));
+    return 1;
+  }
+  // The wire-format acceptance gates: the binary round trip must be
+  // lossless to the byte in both directions, and HGB must earn its
+  // existence -- at least 4x smaller than the JSON bytes on the corpus
+  // batch document (interning plus the LZSS body codec).
+  if (!WireRoundTrip) {
+    std::fprintf(stderr, "FAIL: HGB batch document round trip is not "
+                         "byte-identical (%s)\n",
+                 WireErr.empty() ? "re-render mismatch" : WireErr.c_str());
+    return 1;
+  }
+  if (SizeRatio < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: HGB batch document only %.2fx smaller than JSON "
+                 "(%zu vs %zu bytes; expected >= 4x)\n",
+                 SizeRatio, WireBin.size(), WireJson.size());
     return 1;
   }
   return 0;

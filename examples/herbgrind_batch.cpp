@@ -24,9 +24,12 @@
 // Usage:
 //   herbgrind_batch [--jobs N] [--samples N] [--shard N] [--seed S]
 //                   [--cache-dir D] [--emit-shard D] [--shard-range LO:HI]
+//                   [--wire-format json|binary]
 //                   [--improve] [--improve-samples N]
 //                   [--name BENCH]... [file.fpcore]... [--json] [--out F]
 //   herbgrind_batch --merge-shards [--improve] [--json] [--out F] PATH...
+//   herbgrind_batch hgb2json FILE [--out F]   # HGB document -> exact JSON
+//   herbgrind_batch json2hgb FILE [--out F]   # JSON document -> HGB
 //   herbgrind_batch --list
 //   herbgrind_batch --selftest [engine options]   # jobs-invariance check
 //
@@ -38,8 +41,10 @@
 #include "fpcore/Corpus.h"
 #include "improve/BatchImprove.h"
 #include "native/Kernel.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
+#include "support/WireBinary.h"
 
 #include <algorithm>
 #include <cctype>
@@ -91,6 +96,10 @@ static int usage(const char *Prog) {
       "                    an explicit 0 empties the cache)\n"
       "  --emit-shard DIR  also write each shard result as a wire-format\n"
       "                    document (for --merge-shards on another machine)\n"
+      "  --wire-format F   encoding for documents this sweep writes (cache\n"
+      "                    entries, emitted shards): json (default) or\n"
+      "                    binary (HGB, the compact format). Readers sniff,\n"
+      "                    so either setting consumes either format\n"
       "  --shard-range LO:HI  run only per-benchmark shard indices\n"
       "                    [LO, HI) of the full layout\n"
       "  --merge-shards    merge mode: remaining paths are shard documents\n"
@@ -102,6 +111,7 @@ static int usage(const char *Prog) {
       "256)\n"
       "  --json            emit a JSON report instead of text\n"
       "  --out FILE        write the report to FILE instead of stdout\n"
+      "  --report-out FILE same as --out (service-shaped callers)\n"
       "  --metrics-out FILE  write the sweep's telemetry document (merged\n"
       "                    metrics + hot-op profile) as versioned JSON;\n"
       "                    never affects report bytes (docs/TELEMETRY.md)\n"
@@ -115,6 +125,10 @@ static int usage(const char *Prog) {
       "  --list            list corpus benchmark names\n"
       "  --selftest        verify --jobs N output matches --jobs 1, then "
       "exit\n"
+      "Subcommands (first argument):\n"
+      "  hgb2json FILE [--out F]  rewrite an HGB document (any family) as\n"
+      "                    the exact JSON bytes the JSON backend emits\n"
+      "  json2hgb FILE [--out F]  rewrite a JSON document as HGB\n"
       "With no files and no --name, the whole bundled corpus is analyzed.\n",
       Prog);
   return 2;
@@ -282,8 +296,8 @@ static std::string renderText(const BatchResult &Result) {
 }
 
 /// Collects shard-document paths: each argument is a file, or a directory
-/// whose *.json entries (sorted, for reproducible error messages) are
-/// taken. Iteration uses the error_code API throughout -- a directory
+/// whose *.json / *.hgb entries (sorted, for reproducible error messages)
+/// are taken. Iteration uses the error_code API throughout -- a directory
 /// that turns unreadable mid-walk is a diagnostic, not a terminate().
 static bool collectShardPaths(const std::vector<std::string> &Args,
                               std::vector<std::string> &Paths) {
@@ -295,7 +309,7 @@ static bool collectShardPaths(const std::vector<std::string> &Args,
       fs::directory_iterator It(Arg, Ec), End;
       for (; !Ec && It != End; It.increment(Ec)) {
         const fs::path &P = It->path();
-        if (P.extension() == ".json")
+        if (P.extension() == ".json" || P.extension() == ".hgb")
           Entries.push_back(P.string());
       }
       if (Ec) {
@@ -315,8 +329,8 @@ static bool collectShardPaths(const std::vector<std::string> &Args,
 static int runMergeShards(const std::vector<std::string> &Args, bool Json,
                           const std::string &OutFile, bool Improve,
                           const improve::BatchImproveConfig &BCfg,
-                          const std::string &CacheDir,
-                          uint64_t CacheMaxBytes) {
+                          const std::string &CacheDir, uint64_t CacheMaxBytes,
+                          WireEncoding WireFormat) {
   if (Args.empty()) {
     std::fprintf(stderr,
                  "error: --merge-shards needs shard files or directories\n");
@@ -335,7 +349,9 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
     }
     ShardDoc Doc;
     std::string Err;
-    if (!parseShardJson(Text, Doc, Err)) {
+    // parseShard sniffs the encoding, so one merge can fold shards
+    // emitted as JSON on one machine and HGB on another.
+    if (!parseShard(Text, Doc, Err)) {
       std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
       return 1;
     }
@@ -359,6 +375,7 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
     if (!CacheDir.empty()) {
       Cache = std::make_unique<ResultCache>(CacheDir, DocsHash);
       Cache->setTouchOnHit(CacheMaxBytes > 0);
+      Cache->setWireEncoding(WireFormat);
     }
     runImprovePass(Result, BCfg, Cache.get());
     enforceCacheCap(Cache.get(), CacheMaxBytes, nullptr);
@@ -374,6 +391,151 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
                  static_cast<unsigned long long>(Result.Stats.Runs),
                  static_cast<unsigned long long>(Result.Stats.Benchmarks));
   return Rc;
+}
+
+/// Writes conversion output; stdout goes through fwrite because HGB
+/// documents contain NUL bytes.
+static int emitConverted(const std::string &Data, const std::string &OutFile) {
+  if (OutFile.empty()) {
+    if (std::fwrite(Data.data(), 1, Data.size(), stdout) != Data.size()) {
+      std::fprintf(stderr, "error: cannot write to stdout\n");
+      return 1;
+    }
+    return 0;
+  }
+  return writeTextFile(OutFile, Data);
+}
+
+/// The `hgb2json` / `json2hgb` subcommands: rewrite one wire document in
+/// the other encoding, any family. Family detection is the same rule the
+/// sniffing parsers use -- the HGB header carries a family tag; a JSON
+/// document carries its family in the envelope's "format" key (a bare
+/// {"spots":...} object is a presentation-level report). Conversion is
+/// lossless both ways: hgb2json emits the exact bytes the JSON backend
+/// would have, so hgb2json(json2hgb(doc)) == doc.
+static int runConvert(bool ToJson, const std::string &InFile,
+                      const std::string &OutFile) {
+  const char *Cmd = ToJson ? "hgb2json" : "json2hgb";
+  std::string Text;
+  if (!readFile(InFile, Text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", InFile.c_str());
+    return 1;
+  }
+  if (wire::isBinary(Text) != ToJson) {
+    std::fprintf(stderr, "error: %s: %s expects %s input\n", InFile.c_str(),
+                 Cmd, ToJson ? "an HGB" : "a JSON");
+    return 1;
+  }
+
+  // Determine the family without fully decoding the document.
+  wire::Family Fam;
+  if (ToJson) {
+    int Major, Minor;
+    if (!wire::sniffBinary(Text, Fam, Major, Minor)) {
+      std::fprintf(stderr, "error: %s: malformed HGB header\n",
+                   InFile.c_str());
+      return 1;
+    }
+  } else {
+    JsonParseResult R = parseJson(Text);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: %s: JSON parse error at offset %zu: %s\n",
+                   InFile.c_str(), R.ErrorOffset, R.Error.c_str());
+      return 1;
+    }
+    const JsonValue *Format = R.Value.field("format");
+    std::string Tag = Format && Format->isString() ? Format->Str : "";
+    if (Tag == "herbgrind-shard")
+      Fam = wire::Family::Shard;
+    else if (Tag == "herbgrind-improve")
+      Fam = wire::Family::Improve;
+    else if (Tag == "herbgrind-report")
+      Fam = wire::Family::BatchReport;
+    else if (Tag == "herbgrind-telemetry")
+      Fam = wire::Family::Telemetry;
+    else if (Tag.empty() && R.Value.field("spots"))
+      Fam = wire::Family::Report;
+    else {
+      std::fprintf(stderr,
+                   "error: %s: not a herbgrind wire document "
+                   "(unrecognized \"format\": \"%s\")\n",
+                   InFile.c_str(), Tag.c_str());
+      return 1;
+    }
+  }
+
+  // Decode with the family's sniffing parser, re-render in the target
+  // encoding. Trailing newlines mirror what the CLI itself writes: report
+  // and telemetry documents end with one, cache/shard documents do not.
+  std::string Out, Err;
+  switch (Fam) {
+  case wire::Family::Shard: {
+    ShardDoc Doc;
+    if (!parseShard(Text, Doc, Err))
+      break;
+    Out = renderShard(Doc, ToJson ? WireEncoding::Json : WireEncoding::Binary);
+    break;
+  }
+  case wire::Family::Improve: {
+    ImproveDoc Doc;
+    if (!parseImproveDoc(Text, Doc, Err))
+      break;
+    Out = renderImproveDoc(Doc,
+                           ToJson ? WireEncoding::Json : WireEncoding::Binary);
+    break;
+  }
+  case wire::Family::Report: {
+    Report R;
+    if (!parseReportDoc(Text, R, Err))
+      break;
+    Out = ToJson ? R.renderJson() + "\n" : renderReportBinary(R);
+    break;
+  }
+  case wire::Family::BatchReport: {
+    BatchReportDoc Doc;
+    if (!parseBatchReport(Text, Doc, Err))
+      break;
+    Out = ToJson ? renderBatchReportJson(Doc) + "\n"
+                 : renderBatchReportBinary(Doc);
+    break;
+  }
+  case wire::Family::Telemetry: {
+    TelemetryDoc Doc;
+    if (!parseTelemetry(Text, Doc, Err))
+      break;
+    Out = ToJson ? renderTelemetryJson(Doc) + "\n"
+                 : renderTelemetryBinary(Doc);
+    break;
+  }
+  }
+  if (!Err.empty()) {
+    std::fprintf(stderr, "error: %s: %s\n", InFile.c_str(), Err.c_str());
+    return 1;
+  }
+  return emitConverted(Out, OutFile);
+}
+
+/// Parses the argument tail of a conversion subcommand: one input file
+/// plus an optional --out.
+static int convertMain(bool ToJson, int Argc, char **Argv) {
+  std::string InFile, OutFile;
+  for (int I = 2; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--out") == 0 && I + 1 < Argc) {
+      OutFile = Argv[++I];
+    } else if (Arg[0] == '-') {
+      return usage(Argv[0]);
+    } else if (InFile.empty()) {
+      InFile = Arg;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (InFile.empty()) {
+    std::fprintf(stderr, "error: %s needs an input file\n", Argv[1]);
+    return 2;
+  }
+  return runConvert(ToJson, InFile, OutFile);
 }
 
 /// `--cache-gc`: a standalone LRU pruning pass over a cache directory.
@@ -411,6 +573,13 @@ static int runCacheGc(const std::string &CacheDir, uint64_t MaxBytes,
 }
 
 int main(int Argc, char **Argv) {
+  // Conversion subcommands dispatch on the first argument so their
+  // argument tails never collide with sweep options.
+  if (Argc > 1 && std::strcmp(Argv[1], "hgb2json") == 0)
+    return convertMain(/*ToJson=*/true, Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "json2hgb") == 0)
+    return convertMain(/*ToJson=*/false, Argc, Argv);
+
   EngineConfig Cfg;
   bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
   bool CacheMaxSet = false, Improve = false, Native = false;
@@ -526,6 +695,20 @@ int main(int Argc, char **Argv) {
       }
       Cfg.ShardBegin = static_cast<size_t>(Lo);
       Cfg.ShardEnd = static_cast<size_t>(Hi);
+    } else if (std::strcmp(Arg, "--wire-format") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      if (std::strcmp(V, "json") == 0)
+        Cfg.WireFormat = WireEncoding::Json;
+      else if (std::strcmp(V, "binary") == 0)
+        Cfg.WireFormat = WireEncoding::Binary;
+      else {
+        std::fprintf(stderr,
+                     "error: --wire-format wants json or binary; got '%s'\n",
+                     V);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--merge-shards") == 0) {
       MergeShards = true;
     } else if (std::strcmp(Arg, "--improve") == 0) {
@@ -561,7 +744,8 @@ int main(int Argc, char **Argv) {
       Json = true;
     } else if (std::strcmp(Arg, "--selftest") == 0) {
       SelfTest = true;
-    } else if (std::strcmp(Arg, "--out") == 0) {
+    } else if (std::strcmp(Arg, "--out") == 0 ||
+               std::strcmp(Arg, "--report-out") == 0) {
       const char *V = NextValue();
       if (!V)
         return usage(Argv[0]);
@@ -634,7 +818,7 @@ int main(int Argc, char **Argv) {
 
   if (MergeShards) {
     int Rc = runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
-                            Cfg.CacheDir, Cfg.CacheMaxBytes);
+                            Cfg.CacheDir, Cfg.CacheMaxBytes, Cfg.WireFormat);
     // Merged shard documents carry no profiler fields (nothing executed
     // here), so the telemetry covers the merge/improve work itself.
     int TRc = emitTelemetry(MetricsOut, TraceOut, ProfileOps, nullptr);

@@ -173,63 +173,8 @@ void Report::mergeFrom(const Report &Other) {
   }
 }
 
-//===----------------------------------------------------------------------===//
-// JSON rendering
-//===----------------------------------------------------------------------===//
-
-std::string Report::renderJson() const {
-  std::string Out = "{\"spots\":[";
-  bool FirstSpot = true;
-  for (const SpotReport &SR : Spots) {
-    if (!FirstSpot)
-      Out += ",";
-    FirstSpot = false;
-    Out += format("{\"kind\":\"%s\",\"pc\":%u,\"loc\":%s,"
-                  "\"executions\":%llu,\"erroneous\":%llu,"
-                  "\"maxErrorBits\":%s,\"rootCauses\":[",
-                  spotKindName(SR.Kind), SR.PC,
-                  renderSourceLocJson(SR.Loc).c_str(),
-                  static_cast<unsigned long long>(SR.Executions),
-                  static_cast<unsigned long long>(SR.Erroneous),
-                  formatDoubleShortest(SR.MaxErrorBits).c_str());
-    bool FirstRC = true;
-    for (const RootCauseReport &RC : SR.RootCauses) {
-      if (!FirstRC)
-        Out += ",";
-      FirstRC = false;
-      Out += format("{\"pc\":%u,\"loc\":%s,\"fpcore\":\"%s\","
-                    "\"body\":\"%s\",\"numVars\":%u,\"opCount\":%u,"
-                    "\"flagged\":%llu,\"maxLocalError\":%s,"
-                    "\"avgLocalError\":%s,\"exampleInput\":\"%s\"}",
-                    RC.PC, renderSourceLocJson(RC.Loc).c_str(),
-                    jsonEscape(RC.FPCore).c_str(),
-                    jsonEscape(RC.Body).c_str(), RC.NumVars, RC.OpCount,
-                    static_cast<unsigned long long>(RC.Flagged),
-                    formatDoubleShortest(RC.MaxLocalError).c_str(),
-                    formatDoubleShortest(RC.AvgLocalError).c_str(),
-                    jsonEscape(RC.ExampleInput).c_str());
-    }
-    Out += "]}";
-  }
-  Out += "]";
-  // The improvements section is emitted only when an improver pass ran:
-  // an empty vector renders the exact pre-1.1 bytes, so reports without
-  // improver results stay byte-identical to older writers'.
-  if (!Improvements.empty()) {
-    Out += ",\"improvements\":[";
-    bool FirstIR = true;
-    for (const ImproveRecord &IR : Improvements) {
-      if (!FirstIR)
-        Out += ",";
-      FirstIR = false;
-      Out += format("{\"pc\":%u,%s}", IR.PC,
-                    renderImproveOutcomeJson(IR).c_str());
-    }
-    Out += "]";
-  }
-  Out += "}";
-  return Out;
-}
+// Report::renderJson lives in Serialize.cpp: the JSON shape is one
+// schema traversal shared with the HGB binary backend.
 
 std::vector<RootCauseReport> Report::allRootCauses() const {
   std::vector<RootCauseReport> All;

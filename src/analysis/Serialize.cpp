@@ -3,10 +3,21 @@
 // Part of herbgrind-cpp. MIT license; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every document family below is ONE schema traversal, written against the
+// abstract wire::Encoder/wire::Decoder interface. The JSON backend
+// reproduces the historical hand-rendered bytes exactly; the HGB binary
+// backend reads/writes the same traversal positionally. Field order in the
+// encode functions IS the wire format -- both the JSON byte layout and the
+// binary field sequence -- so changing it is a format change.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Serialize.h"
 
 #include "support/Format.h"
+#include "support/Wire.h"
+#include "support/WireBinary.h"
 
 #include <cassert>
 
@@ -71,92 +82,18 @@ static bool parseOpcode(const std::string &Name, Opcode &Out) {
   return false;
 }
 
-//===----------------------------------------------------------------------===//
-// Typed field accessors (parse-side)
-//===----------------------------------------------------------------------===//
-
 namespace {
 
-/// Fetches a required field of a given JSON kind, accumulating a
-/// field-path error message on failure.
-struct Fields {
-  const JsonValue &Obj;
-  std::string &Err;
-  const char *Ctx;
-
-  bool fail(const char *Name, const char *What) {
-    Err = format("%s: field '%s' %s", Ctx, Name, What);
-    return false;
+/// Names the decoder's schema context ("op record", "loc", ...) for the
+/// dynamic extent of one decode function, restoring the caller's on exit
+/// so nested decodes don't mislabel the fields that follow them.
+struct ScopedCtx {
+  wire::Decoder &D;
+  const char *Saved;
+  ScopedCtx(wire::Decoder &Dec, const char *C) : D(Dec), Saved(Dec.context()) {
+    D.setContext(C);
   }
-
-  bool u64(const char *Name, uint64_t &Out) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isNumber())
-      return fail(Name, "missing or not a number");
-    // strtoull would silently wrap a negative token to a huge count.
-    if (!F->Num.empty() && F->Num[0] == '-')
-      return fail(Name, "must be a non-negative integer");
-    Out = F->asU64();
-    return true;
-  }
-
-  bool u32(const char *Name, uint32_t &Out) {
-    uint64_t V;
-    if (!u64(Name, V))
-      return false;
-    Out = static_cast<uint32_t>(V);
-    return true;
-  }
-
-  bool i64(const char *Name, int64_t &Out) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isNumber())
-      return fail(Name, "missing or not a number");
-    Out = F->asI64();
-    return true;
-  }
-
-  bool dbl(const char *Name, double &Out) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isNumber())
-      return fail(Name, "missing or not a number");
-    Out = F->asDouble();
-    return true;
-  }
-
-  bool boolean(const char *Name, bool &Out) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isBool())
-      return fail(Name, "missing or not a boolean");
-    Out = F->BoolVal;
-    return true;
-  }
-
-  bool str(const char *Name, std::string &Out) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isString())
-      return fail(Name, "missing or not a string");
-    Out = F->Str;
-    return true;
-  }
-
-  const JsonValue *array(const char *Name) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isArray()) {
-      fail(Name, "missing or not an array");
-      return nullptr;
-    }
-    return F;
-  }
-
-  const JsonValue *object(const char *Name) {
-    const JsonValue *F = Obj.field(Name);
-    if (!F || !F->isObject()) {
-      fail(Name, "missing or not an object");
-      return nullptr;
-    }
-    return F;
-  }
+  ~ScopedCtx() { D.setContext(Saved); }
 };
 
 } // namespace
@@ -165,47 +102,55 @@ struct Fields {
 // Source locations
 //===----------------------------------------------------------------------===//
 
-std::string herbgrind::renderSourceLocJson(const SourceLoc &Loc) {
-  return format("{\"file\":\"%s\",\"line\":%d,\"func\":\"%s\"}",
-                jsonEscape(Loc.File).c_str(), Loc.Line,
-                jsonEscape(Loc.Function).c_str());
+static void encodeSourceLoc(wire::Encoder &E, const SourceLoc &Loc) {
+  E.beginObject();
+  E.key("file");
+  E.str(Loc.File);
+  E.key("line");
+  E.i64(Loc.Line);
+  E.key("func");
+  E.str(Loc.Function);
+  E.endObject();
 }
 
-static bool parseSourceLoc(const JsonValue &V, SourceLoc &Out,
-                           std::string &Err) {
-  if (!V.isObject()) {
-    Err = "loc: not an object";
-    return false;
-  }
-  Fields F{V, Err, "loc"};
-  uint64_t Line;
-  if (!F.str("file", Out.File) || !F.u64("line", Line) ||
-      !F.str("func", Out.Function))
+static bool decodeSourceLoc(wire::Decoder &D, SourceLoc &Out) {
+  ScopedCtx C(D, "loc");
+  int64_t Line = 0;
+  if (!D.beginObject() || !D.key("file") || !D.str(Out.File) ||
+      !D.key("line") || !D.i64(Line) || !D.key("func") ||
+      !D.str(Out.Function))
     return false;
   Out.Line = static_cast<int>(Line);
-  return true;
+  return D.endObject();
+}
+
+std::string herbgrind::renderSourceLocJson(const SourceLoc &Loc) {
+  wire::JsonEncoder E;
+  encodeSourceLoc(E, Loc);
+  return E.take();
 }
 
 //===----------------------------------------------------------------------===//
 // Running statistics
 //===----------------------------------------------------------------------===//
 
-static std::string renderStatJson(const RunningStat &S) {
-  return format("{\"count\":%llu,\"sum\":%s,\"max\":%s}",
-                static_cast<unsigned long long>(S.count()),
-                formatDoubleShortest(S.sum()).c_str(),
-                formatDoubleShortest(S.max()).c_str());
+static void encodeStat(wire::Encoder &E, const RunningStat &S) {
+  E.beginObject();
+  E.key("count");
+  E.u64(S.count());
+  E.key("sum");
+  E.dbl(S.sum());
+  E.key("max");
+  E.dbl(S.max());
+  E.endObject();
 }
 
-static bool parseStat(const JsonValue &V, RunningStat &Out, std::string &Err) {
-  if (!V.isObject()) {
-    Err = "stat: not an object";
-    return false;
-  }
-  Fields F{V, Err, "stat"};
-  uint64_t Count;
-  double Sum, Max;
-  if (!F.u64("count", Count) || !F.dbl("sum", Sum) || !F.dbl("max", Max))
+static bool decodeStat(wire::Decoder &D, RunningStat &Out) {
+  ScopedCtx C(D, "stat");
+  uint64_t Count = 0;
+  double Sum = 0, Max = 0;
+  if (!D.beginObject() || !D.key("count") || !D.u64(Count) || !D.key("sum") ||
+      !D.dbl(Sum) || !D.key("max") || !D.dbl(Max) || !D.endObject())
     return false;
   Out = RunningStat::fromParts(Count, Sum, Max);
   return true;
@@ -215,331 +160,480 @@ static bool parseStat(const JsonValue &V, RunningStat &Out, std::string &Err) {
 // Input summaries
 //===----------------------------------------------------------------------===//
 
-static bool parseVarSummary(const JsonValue &V, VarSummary &Out,
-                            std::string &Err) {
-  if (!V.isObject()) {
-    Err = "varSummary: not an object";
+static void encodeVarSummary(wire::Encoder &E, const VarSummary &S) {
+  E.beginObject();
+  E.key("count");
+  E.u64(S.Count);
+  E.key("sawNaN");
+  E.boolean(S.SawNaN);
+  E.key("sawZero");
+  E.boolean(S.SawZero);
+  E.key("example");
+  E.dbl(S.Example);
+  auto Range = [&](const char *Key, bool Has, double Lo, double Hi) {
+    E.present(Has);
+    if (!Has)
+      return;
+    E.key(Key);
+    E.beginArray(2);
+    E.dbl(Lo);
+    E.dbl(Hi);
+    E.endArray();
+  };
+  Range("range", S.HasRange, S.Lo, S.Hi);
+  Range("neg", S.HasNeg, S.NegLo, S.NegHi);
+  Range("pos", S.HasPos, S.PosLo, S.PosHi);
+  E.endObject();
+}
+
+static bool decodeVarSummary(wire::Decoder &D, VarSummary &Out) {
+  ScopedCtx C(D, "varSummary");
+  if (!D.beginObject() || !D.key("count") || !D.u64(Out.Count) ||
+      !D.key("sawNaN") || !D.boolean(Out.SawNaN) || !D.key("sawZero") ||
+      !D.boolean(Out.SawZero) || !D.key("example") || !D.dbl(Out.Example))
     return false;
-  }
-  Fields F{V, Err, "varSummary"};
-  if (!F.u64("count", Out.Count) || !F.boolean("sawNaN", Out.SawNaN) ||
-      !F.boolean("sawZero", Out.SawZero) || !F.dbl("example", Out.Example))
-    return false;
-  auto Range = [&](const char *Name, bool &Has, double &Lo,
-                   double &Hi) -> bool {
-    const JsonValue *R = V.field(Name);
-    if (!R)
+  auto Range = [&](const char *Key, bool &Has, double &Lo, double &Hi) {
+    if (!D.present(Key, Has))
+      return false;
+    if (!Has)
       return true; // absent range: the flag stays false
-    if (!R->isArray() || R->Arr.size() != 2 || !R->Arr[0].isNumber() ||
-        !R->Arr[1].isNumber())
-      return F.fail(Name, "not a [lo, hi] number pair");
-    Has = true;
-    Lo = R->Arr[0].asDouble();
-    Hi = R->Arr[1].asDouble();
-    return true;
+    uint64_t N = 0;
+    if (!D.key(Key) || !D.beginArray(N))
+      return false;
+    if (N != 2)
+      return D.failOver(
+          format("varSummary: field '%s' not a [lo, hi] number pair", Key));
+    return D.element() && D.dbl(Lo) && D.element() && D.dbl(Hi) &&
+           D.endArray();
   };
   return Range("range", Out.HasRange, Out.Lo, Out.Hi) &&
          Range("neg", Out.HasNeg, Out.NegLo, Out.NegHi) &&
-         Range("pos", Out.HasPos, Out.PosLo, Out.PosHi);
+         Range("pos", Out.HasPos, Out.PosLo, Out.PosHi) && D.endObject();
 }
 
-static std::string renderInputsJson(const InputCharacteristics &C) {
-  std::string Out = "[";
-  for (size_t I = 0; I < C.Vars.size(); ++I) {
-    if (I != 0)
-      Out += ",";
-    Out += C.Vars[I].renderJson();
-  }
-  Out += "]";
-  return Out;
+// Defined here rather than in InputSummary.cpp so the schema exists
+// exactly once, in the traversal above.
+std::string VarSummary::renderJson() const {
+  wire::JsonEncoder E;
+  encodeVarSummary(E, *this);
+  return E.take();
 }
 
-static bool parseInputs(const JsonValue &V, InputCharacteristics &Out,
-                        std::string &Err) {
-  if (!V.isArray()) {
-    Err = "inputs: not an array";
+static void encodeInputs(wire::Encoder &E, const InputCharacteristics &C) {
+  E.beginArray(C.Vars.size());
+  for (const VarSummary &V : C.Vars)
+    encodeVarSummary(E, V);
+  E.endArray();
+}
+
+static bool decodeInputs(wire::Decoder &D, InputCharacteristics &Out) {
+  ScopedCtx C(D, "inputs");
+  uint64_t N = 0;
+  if (!D.beginArray(N))
     return false;
-  }
-  Out.Vars.resize(V.Arr.size());
-  for (size_t I = 0; I < V.Arr.size(); ++I)
-    if (!parseVarSummary(V.Arr[I], Out.Vars[I], Err))
+  Out.Vars.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    VarSummary V;
+    if (!D.element() || !decodeVarSummary(D, V))
       return false;
-  return true;
+    Out.Vars.push_back(std::move(V));
+  }
+  return D.endArray();
 }
 
 //===----------------------------------------------------------------------===//
 // Symbolic expressions
 //===----------------------------------------------------------------------===//
 
-std::string herbgrind::renderSymExprJson(const SymExpr &E) {
-  switch (E.Kind) {
+static const char *const SymExprKeys[] = {"const", "var"};
+
+static void encodeSymExpr(wire::Encoder &E, const SymExpr &Ex) {
+  E.beginObject();
+  switch (Ex.Kind) {
   case SymExpr::SEKind::Const:
-    return format("{\"const\":%s}", formatDoubleShortest(E.ConstVal).c_str());
+    E.variantTag(0);
+    E.key("const");
+    E.dbl(Ex.ConstVal);
+    break;
   case SymExpr::SEKind::Var:
-    return format("{\"var\":%u}", E.VarIdx);
-  case SymExpr::SEKind::Op: {
-    std::string Out =
-        format("{\"op\":\"%s\",\"site\":%u,\"kids\":[", opInfo(E.Op).Name,
-               E.Site);
-    for (size_t I = 0; I < E.Kids.size(); ++I) {
-      if (I != 0)
-        Out += ",";
-      Out += renderSymExprJson(*E.Kids[I]);
-    }
-    Out += "]}";
-    return Out;
+    E.variantTag(1);
+    E.key("var");
+    E.u32(Ex.VarIdx);
+    break;
+  case SymExpr::SEKind::Op:
+    E.variantTag(2);
+    E.key("op");
+    E.str(opInfo(Ex.Op).Name);
+    E.key("site");
+    E.u32(Ex.Site);
+    E.key("kids");
+    E.beginArray(Ex.Kids.size());
+    for (const auto &Kid : Ex.Kids)
+      encodeSymExpr(E, *Kid);
+    E.endArray();
+    break;
   }
-  }
-  return "{}";
+  E.endObject();
 }
 
-static std::unique_ptr<SymExpr> parseSymExpr(const JsonValue &V,
-                                             std::string &Err) {
-  if (!V.isObject()) {
-    Err = "expr: node is not an object";
+static std::unique_ptr<SymExpr> decodeSymExpr(wire::Decoder &D) {
+  ScopedCtx C(D, "expr");
+  if (!D.beginObject())
     return nullptr;
+  unsigned Tag = 0;
+  if (!D.variant(SymExprKeys, 2, Tag))
+    return nullptr;
+  std::unique_ptr<SymExpr> Node;
+  switch (Tag) {
+  case 0: {
+    double V = 0;
+    if (!D.key("const") || !D.dbl(V))
+      return nullptr;
+    Node = SymExpr::makeConst(V);
+    break;
   }
-  if (const JsonValue *C = V.field("const")) {
-    if (!C->isNumber()) {
-      Err = "expr: 'const' is not a number";
+  case 1: {
+    uint32_t Idx = 0;
+    if (!D.key("var") || !D.u32(Idx))
+      return nullptr;
+    Node = SymExpr::makeVar(Idx);
+    break;
+  }
+  default: {
+    std::string OpName;
+    uint32_t Site = 0;
+    if (!D.key("op") || !D.str(OpName) || !D.key("site") || !D.u32(Site))
+      return nullptr;
+    Opcode Op;
+    if (!parseOpcode(OpName, Op)) {
+      D.failOver(format("expr: unknown opcode '%s'", OpName.c_str()));
       return nullptr;
     }
-    return SymExpr::makeConst(C->asDouble());
-  }
-  if (const JsonValue *X = V.field("var")) {
-    if (!X->isNumber()) {
-      Err = "expr: 'var' is not a number";
+    Node = SymExpr::makeOp(Op, Site);
+    uint64_t N = 0;
+    if (!D.key("kids") || !D.beginArray(N))
       return nullptr;
+    for (uint64_t I = 0; I < N; ++I) {
+      if (!D.element())
+        return nullptr;
+      std::unique_ptr<SymExpr> Kid = decodeSymExpr(D);
+      if (!Kid)
+        return nullptr;
+      Node->Kids.push_back(std::move(Kid));
     }
-    return SymExpr::makeVar(static_cast<uint32_t>(X->asU64()));
-  }
-  Fields F{V, Err, "expr"};
-  std::string OpName;
-  uint32_t Site;
-  if (!F.str("op", OpName) || !F.u32("site", Site))
-    return nullptr;
-  Opcode Op;
-  if (!parseOpcode(OpName, Op)) {
-    Err = format("expr: unknown opcode '%s'", OpName.c_str());
-    return nullptr;
-  }
-  const JsonValue *Kids = F.array("kids");
-  if (!Kids)
-    return nullptr;
-  std::unique_ptr<SymExpr> Node = SymExpr::makeOp(Op, Site);
-  for (const JsonValue &KidVal : Kids->Arr) {
-    std::unique_ptr<SymExpr> Kid = parseSymExpr(KidVal, Err);
-    if (!Kid)
+    if (!D.endArray())
       return nullptr;
-    Node->Kids.push_back(std::move(Kid));
+    break;
   }
+  }
+  if (!D.endObject())
+    return nullptr;
   return Node;
+}
+
+std::string herbgrind::renderSymExprJson(const SymExpr &E) {
+  wire::JsonEncoder Enc;
+  encodeSymExpr(Enc, E);
+  return Enc.take();
 }
 
 //===----------------------------------------------------------------------===//
 // Operation and spot records
 //===----------------------------------------------------------------------===//
 
-static std::string renderOpRecordJson(uint32_t PC, const OpRecord &Rec) {
-  std::string Out = format(
-      "{\"pc\":%u,\"op\":\"%s\",\"loc\":%s,\"executions\":%llu,"
-      "\"flagged\":%llu,\"compensations\":%llu,\"localError\":%s,"
-      "\"maxFlaggedLocalError\":%s,\"nextVarIdx\":%u",
-      PC, opInfo(Rec.Op).Name, renderSourceLocJson(Rec.Loc).c_str(),
-      static_cast<unsigned long long>(Rec.Executions),
-      static_cast<unsigned long long>(Rec.Flagged),
-      static_cast<unsigned long long>(Rec.CompensationsDetected),
-      renderStatJson(Rec.LocalError).c_str(),
-      formatDoubleShortest(Rec.MaxFlaggedLocalError).c_str(), Rec.NextVarIdx);
-  if (Rec.Expr)
-    Out += ",\"expr\":" + renderSymExprJson(*Rec.Expr);
-  Out += ",\"totalInputs\":" + renderInputsJson(Rec.TotalInputs);
-  Out += ",\"problematicInputs\":" + renderInputsJson(Rec.ProblematicInputs);
-  Out += ",\"exampleProblematic\":[";
-  for (size_t I = 0; I < Rec.ExampleProblematic.size(); ++I) {
-    if (I != 0)
-      Out += ",";
-    Out += format(
-        "{\"var\":%u,\"value\":%s}", Rec.ExampleProblematic[I].Idx,
-        formatDoubleShortest(Rec.ExampleProblematic[I].Value).c_str());
+static void encodeOpRecord(wire::Encoder &E, uint32_t PC, const OpRecord &Rec) {
+  E.beginObject();
+  E.key("pc");
+  E.u32(PC);
+  E.key("op");
+  E.str(opInfo(Rec.Op).Name);
+  E.key("loc");
+  encodeSourceLoc(E, Rec.Loc);
+  E.key("executions");
+  E.u64(Rec.Executions);
+  E.key("flagged");
+  E.u64(Rec.Flagged);
+  E.key("compensations");
+  E.u64(Rec.CompensationsDetected);
+  E.key("localError");
+  encodeStat(E, Rec.LocalError);
+  E.key("maxFlaggedLocalError");
+  E.dbl(Rec.MaxFlaggedLocalError);
+  E.key("nextVarIdx");
+  E.u32(Rec.NextVarIdx);
+  E.present(Rec.Expr != nullptr);
+  if (Rec.Expr) {
+    E.key("expr");
+    encodeSymExpr(E, *Rec.Expr);
   }
-  Out += "]}";
-  return Out;
+  E.key("totalInputs");
+  encodeInputs(E, Rec.TotalInputs);
+  E.key("problematicInputs");
+  encodeInputs(E, Rec.ProblematicInputs);
+  E.key("exampleProblematic");
+  E.beginArray(Rec.ExampleProblematic.size());
+  for (const VarBinding &B : Rec.ExampleProblematic) {
+    E.beginObject();
+    E.key("var");
+    E.u32(B.Idx);
+    E.key("value");
+    E.dbl(B.Value);
+    E.endObject();
+  }
+  E.endArray();
+  E.endObject();
 }
 
-static bool parseOpRecord(const JsonValue &V, uint32_t &PC, OpRecord &Rec,
-                          std::string &Err) {
-  if (!V.isObject()) {
-    Err = "op record: not an object";
-    return false;
-  }
-  Fields F{V, Err, "op record"};
+static bool decodeOpRecord(wire::Decoder &D, uint32_t &PC, OpRecord &Rec) {
+  ScopedCtx C(D, "op record");
   std::string OpName;
-  if (!F.u32("pc", PC) || !F.str("op", OpName) ||
-      !F.u64("executions", Rec.Executions) || !F.u64("flagged", Rec.Flagged) ||
-      !F.u64("compensations", Rec.CompensationsDetected) ||
-      !F.dbl("maxFlaggedLocalError", Rec.MaxFlaggedLocalError) ||
-      !F.u32("nextVarIdx", Rec.NextVarIdx))
+  if (!D.beginObject() || !D.key("pc") || !D.u32(PC) || !D.key("op") ||
+      !D.str(OpName))
     return false;
-  if (!parseOpcode(OpName, Rec.Op)) {
-    Err = format("op record: unknown opcode '%s'", OpName.c_str());
+  if (!parseOpcode(OpName, Rec.Op))
+    return D.failOver(
+        format("op record: unknown opcode '%s'", OpName.c_str()));
+  if (!D.key("loc") || !decodeSourceLoc(D, Rec.Loc))
     return false;
-  }
-  const JsonValue *Loc = F.object("loc");
-  if (!Loc || !parseSourceLoc(*Loc, Rec.Loc, Err))
+  if (!D.key("executions") || !D.u64(Rec.Executions) || !D.key("flagged") ||
+      !D.u64(Rec.Flagged) || !D.key("compensations") ||
+      !D.u64(Rec.CompensationsDetected))
     return false;
-  const JsonValue *Stat = F.object("localError");
-  if (!Stat || !parseStat(*Stat, Rec.LocalError, Err))
+  if (!D.key("localError") || !decodeStat(D, Rec.LocalError))
     return false;
-  if (const JsonValue *E = V.field("expr")) {
-    Rec.Expr = parseSymExpr(*E, Err);
+  if (!D.key("maxFlaggedLocalError") || !D.dbl(Rec.MaxFlaggedLocalError) ||
+      !D.key("nextVarIdx") || !D.u32(Rec.NextVarIdx))
+    return false;
+  bool HasExpr = false;
+  if (!D.present("expr", HasExpr))
+    return false;
+  if (HasExpr) {
+    if (!D.key("expr"))
+      return false;
+    Rec.Expr = decodeSymExpr(D);
     if (!Rec.Expr)
       return false;
   }
-  const JsonValue *Total = V.field("totalInputs");
-  const JsonValue *Prob = V.field("problematicInputs");
-  if (!Total || !parseInputs(*Total, Rec.TotalInputs, Err) || !Prob ||
-      !parseInputs(*Prob, Rec.ProblematicInputs, Err)) {
-    if (Err.empty())
-      Err = "op record: missing input summaries";
+  if (!D.key("totalInputs") || !decodeInputs(D, Rec.TotalInputs) ||
+      !D.key("problematicInputs") || !decodeInputs(D, Rec.ProblematicInputs))
     return false;
-  }
-  const JsonValue *Ex = F.array("exampleProblematic");
-  if (!Ex)
+  uint64_t N = 0;
+  if (!D.key("exampleProblematic") || !D.beginArray(N))
     return false;
-  for (const JsonValue &B : Ex->Arr) {
-    if (!B.isObject()) {
-      Err = "op record: example binding is not an object";
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx BC(D, "example binding");
+    VarBinding B{0, 0.0};
+    if (!D.element() || !D.beginObject() || !D.key("var") || !D.u32(B.Idx) ||
+        !D.key("value") || !D.dbl(B.Value) || !D.endObject())
       return false;
-    }
-    Fields BF{B, Err, "example binding"};
-    VarBinding Binding{0, 0.0};
-    if (!BF.u32("var", Binding.Idx) || !BF.dbl("value", Binding.Value))
-      return false;
-    Rec.ExampleProblematic.push_back(Binding);
+    Rec.ExampleProblematic.push_back(B);
   }
-  return true;
+  return D.endArray() && D.endObject();
 }
 
-static std::string renderSpotRecordJson(uint32_t PC, const SpotRecord &Spot) {
-  std::string Out = format(
-      "{\"pc\":%u,\"kind\":\"%s\",\"loc\":%s,\"executions\":%llu,"
-      "\"erroneous\":%llu,\"errorBits\":%s,\"influencingOps\":[",
-      PC, spotKindName(Spot.Kind), renderSourceLocJson(Spot.Loc).c_str(),
-      static_cast<unsigned long long>(Spot.Executions),
-      static_cast<unsigned long long>(Spot.Erroneous),
-      renderStatJson(Spot.ErrorBits).c_str());
-  bool First = true;
-  for (uint32_t Op : Spot.InfluencingOps) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("%u", Op);
-  }
-  Out += "]}";
-  return Out;
+static void encodeSpotRecord(wire::Encoder &E, uint32_t PC,
+                             const SpotRecord &Spot) {
+  E.beginObject();
+  E.key("pc");
+  E.u32(PC);
+  E.key("kind");
+  E.str(spotKindName(Spot.Kind));
+  E.key("loc");
+  encodeSourceLoc(E, Spot.Loc);
+  E.key("executions");
+  E.u64(Spot.Executions);
+  E.key("erroneous");
+  E.u64(Spot.Erroneous);
+  E.key("errorBits");
+  encodeStat(E, Spot.ErrorBits);
+  E.key("influencingOps");
+  E.beginArray(Spot.InfluencingOps.size());
+  for (uint32_t Op : Spot.InfluencingOps)
+    E.u32(Op);
+  E.endArray();
+  E.endObject();
 }
 
-static bool parseSpotRecord(const JsonValue &V, uint32_t &PC, SpotRecord &Spot,
-                            std::string &Err) {
-  if (!V.isObject()) {
-    Err = "spot record: not an object";
-    return false;
-  }
-  Fields F{V, Err, "spot record"};
+static bool decodeSpotRecord(wire::Decoder &D, uint32_t &PC,
+                             SpotRecord &Spot) {
+  ScopedCtx C(D, "spot record");
   std::string KindName;
-  if (!F.u32("pc", PC) || !F.str("kind", KindName) ||
-      !F.u64("executions", Spot.Executions) ||
-      !F.u64("erroneous", Spot.Erroneous))
+  if (!D.beginObject() || !D.key("pc") || !D.u32(PC) || !D.key("kind") ||
+      !D.str(KindName))
     return false;
-  if (!parseSpotKind(KindName, Spot.Kind)) {
-    Err = format("spot record: unknown kind '%s'", KindName.c_str());
+  if (!parseSpotKind(KindName, Spot.Kind))
+    return D.failOver(
+        format("spot record: unknown kind '%s'", KindName.c_str()));
+  if (!D.key("loc") || !decodeSourceLoc(D, Spot.Loc))
     return false;
-  }
-  const JsonValue *Loc = F.object("loc");
-  if (!Loc || !parseSourceLoc(*Loc, Spot.Loc, Err))
+  if (!D.key("executions") || !D.u64(Spot.Executions) ||
+      !D.key("erroneous") || !D.u64(Spot.Erroneous))
     return false;
-  const JsonValue *Stat = F.object("errorBits");
-  if (!Stat || !parseStat(*Stat, Spot.ErrorBits, Err))
+  if (!D.key("errorBits") || !decodeStat(D, Spot.ErrorBits))
     return false;
-  const JsonValue *Ops = F.array("influencingOps");
-  if (!Ops)
+  uint64_t N = 0;
+  if (!D.key("influencingOps") || !D.beginArray(N))
     return false;
-  for (const JsonValue &Op : Ops->Arr) {
-    if (!Op.isNumber()) {
-      Err = "spot record: influencing op is not a number";
+  for (uint64_t I = 0; I < N; ++I) {
+    uint32_t Op = 0;
+    if (!D.element() || !D.u32(Op))
       return false;
-    }
-    Spot.InfluencingOps.insert(static_cast<uint32_t>(Op.asU64()));
+    Spot.InfluencingOps.insert(Op);
   }
-  return true;
+  return D.endArray() && D.endObject();
 }
 
 //===----------------------------------------------------------------------===//
 // Analysis results
 //===----------------------------------------------------------------------===//
 
+static void encodeAnalysisResult(wire::Encoder &E, const AnalysisResult &R) {
+  E.beginObject();
+  E.key("ranges");
+  E.str(rangeModeName(R.Ranges));
+  E.key("equivDepth");
+  E.u32(R.EquivDepth);
+  E.key("ops");
+  E.beginArray(R.Ops.size());
+  for (const auto &[PC, Rec] : R.Ops)
+    encodeOpRecord(E, PC, Rec);
+  E.endArray();
+  E.key("spots");
+  E.beginArray(R.Spots.size());
+  for (const auto &[PC, Spot] : R.Spots)
+    encodeSpotRecord(E, PC, Spot);
+  E.endArray();
+  E.endObject();
+}
+
+static bool decodeAnalysisResult(wire::Decoder &D, AnalysisResult &Out) {
+  ScopedCtx C(D, "result");
+  std::string RangesName;
+  if (!D.beginObject() || !D.key("ranges") || !D.str(RangesName) ||
+      !D.key("equivDepth") || !D.u32(Out.EquivDepth))
+    return false;
+  if (!parseRangeMode(RangesName, Out.Ranges))
+    return D.failOver(
+        format("result: unknown range mode '%s'", RangesName.c_str()));
+  uint64_t NumOps = 0;
+  if (!D.key("ops") || !D.beginArray(NumOps))
+    return false;
+  for (uint64_t I = 0; I < NumOps; ++I) {
+    uint32_t PC = 0;
+    OpRecord Rec;
+    if (!D.element() || !decodeOpRecord(D, PC, Rec))
+      return false;
+    if (!Out.Ops.emplace(PC, std::move(Rec)).second)
+      return D.failOver(format("result: duplicate op record for pc %u", PC));
+  }
+  if (!D.endArray())
+    return false;
+  uint64_t NumSpots = 0;
+  if (!D.key("spots") || !D.beginArray(NumSpots))
+    return false;
+  for (uint64_t I = 0; I < NumSpots; ++I) {
+    uint32_t PC = 0;
+    SpotRecord Spot;
+    if (!D.element() || !decodeSpotRecord(D, PC, Spot))
+      return false;
+    if (!Out.Spots.emplace(PC, std::move(Spot)).second)
+      return D.failOver(
+          format("result: duplicate spot record for pc %u", PC));
+  }
+  return D.endArray() && D.endObject();
+}
+
 std::string herbgrind::renderAnalysisResultJson(const AnalysisResult &R) {
-  std::string Out = format("{\"ranges\":\"%s\",\"equivDepth\":%u,\"ops\":[",
-                           rangeModeName(R.Ranges), R.EquivDepth);
-  bool First = true;
-  for (const auto &[PC, Rec] : R.Ops) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += renderOpRecordJson(PC, Rec);
-  }
-  Out += "],\"spots\":[";
-  First = true;
-  for (const auto &[PC, Spot] : R.Spots) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += renderSpotRecordJson(PC, Spot);
-  }
-  Out += "]}";
-  return Out;
+  wire::JsonEncoder E;
+  encodeAnalysisResult(E, R);
+  return E.take();
 }
 
 bool herbgrind::parseAnalysisResultJson(const JsonValue &V, AnalysisResult &Out,
                                         std::string &Err) {
-  if (!V.isObject()) {
-    Err = "result: not an object";
+  wire::JsonDecoder D(V);
+  if (!decodeAnalysisResult(D, Out)) {
+    Err = D.error();
     return false;
   }
-  Fields F{V, Err, "result"};
-  std::string RangesName;
-  if (!F.str("ranges", RangesName) || !F.u32("equivDepth", Out.EquivDepth))
-    return false;
-  if (!parseRangeMode(RangesName, Out.Ranges)) {
-    Err = format("result: unknown range mode '%s'", RangesName.c_str());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Envelopes: JSON {"format","version"} keys, HGB header fields
+//===----------------------------------------------------------------------===//
+
+/// Writes the JSON document envelope. The binary backend never calls
+/// this: the HGB header already carries family + major + minor, and
+/// duplicating them as body fields would tax every small document.
+static void encodeJsonEnvelope(wire::JsonEncoder &E, const char *Fmt,
+                               int Major, int Minor) {
+  E.key("format");
+  E.str(Fmt);
+  E.key("version");
+  E.beginObject();
+  E.key("major");
+  E.i64(Major);
+  E.key("minor");
+  E.i64(Minor);
+  E.endObject();
+}
+
+/// Checks a JSON document's {"format","version"} envelope: the tag must
+/// match and the major version must equal \p ExpectedMajor (the report
+/// wire format and the telemetry document version independently). Minor
+/// versions are additive, so any minor of a known major is accepted --
+/// including a missing "minor" from a hypothetical older writer.
+static bool decodeJsonEnvelope(wire::JsonDecoder &D, const char *Fmt,
+                               int ExpectedMajor) {
+  std::string Tag;
+  if (!D.key("format") || !D.str(Tag) || Tag != Fmt)
+    return D.failOver(
+        format("document is not a %s file (bad or missing 'format')", Fmt));
+  if (!D.key("version") || !D.beginObject())
+    return D.failOver("missing 'version' object");
+  int64_t Major = 0;
+  if (!D.key("major") || !D.i64(Major))
+    return D.failOver("missing 'version.major'");
+  if (Major != ExpectedMajor)
+    return D.failOver(format("unsupported %s major version %lld (this "
+                             "reader understands %d)",
+                             Fmt, static_cast<long long>(Major),
+                             ExpectedMajor));
+  return D.endObject();
+}
+
+/// The binary counterpart: validates the already-parsed HGB header
+/// against the expected family and major version.
+static bool checkBinaryHeader(wire::BinaryDecoder &D, wire::Family F,
+                              const char *Fmt, int ExpectedMajor,
+                              std::string &Err) {
+  if (!D.ok()) {
+    Err = D.error();
     return false;
   }
-  const JsonValue *Ops = F.array("ops");
-  if (!Ops)
+  if (D.family() != F) {
+    Err = format("document is not a %s file (HGB family '%s')", Fmt,
+                 wire::familyName(D.family()));
     return false;
-  for (const JsonValue &RecVal : Ops->Arr) {
-    uint32_t PC;
-    OpRecord Rec;
-    if (!parseOpRecord(RecVal, PC, Rec, Err))
-      return false;
-    if (!Out.Ops.emplace(PC, std::move(Rec)).second) {
-      Err = format("result: duplicate op record for pc %u", PC);
-      return false;
-    }
   }
-  const JsonValue *Spots = F.array("spots");
-  if (!Spots)
+  if (D.major() != ExpectedMajor) {
+    Err = format("unsupported %s major version %d (this reader "
+                 "understands %d)",
+                 Fmt, D.major(), ExpectedMajor);
     return false;
-  for (const JsonValue &SpotVal : Spots->Arr) {
-    uint32_t PC;
-    SpotRecord Spot;
-    if (!parseSpotRecord(SpotVal, PC, Spot, Err))
-      return false;
-    if (!Out.Spots.emplace(PC, std::move(Spot)).second) {
-      Err = format("result: duplicate spot record for pc %u", PC);
-      return false;
-    }
+  }
+  return true;
+}
+
+/// Wraps parseJson with the uniform offset-bearing error message.
+static bool parseJsonText(const std::string &Text, JsonParseResult &R,
+                          std::string &Err) {
+  R = parseJson(Text);
+  if (!R.Ok) {
+    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
+                 R.Error.c_str());
+    return false;
   }
   return true;
 }
@@ -548,36 +642,40 @@ bool herbgrind::parseAnalysisResultJson(const JsonValue &V, AnalysisResult &Out,
 // Shard documents
 //===----------------------------------------------------------------------===//
 
-/// Checks a document's {"format","version"} envelope: the tag must match
-/// and the major version must equal \p ExpectedMajor (the report wire
-/// format and the telemetry document version independently). Minor
-/// versions are additive, so any minor of a known major is accepted.
-static bool checkEnvelope(const JsonValue &V, const char *ExpectedFormat,
-                          int ExpectedMajor, std::string &Err) {
-  const JsonValue *Format = V.field("format");
-  if (!Format || !Format->isString() || Format->Str != ExpectedFormat) {
-    Err = format("document is not a %s file (bad or missing 'format')",
-                 ExpectedFormat);
+static void encodeShardBody(wire::Encoder &E, const std::string &ConfigHash,
+                            const std::string &Benchmark, uint64_t BenchIndex,
+                            uint64_t ShardIndex, uint64_t RunBegin,
+                            uint64_t RunEnd, const AnalysisResult &Result) {
+  E.key("configHash");
+  E.str(ConfigHash);
+  E.key("benchmark");
+  E.str(Benchmark);
+  E.key("benchIndex");
+  E.u64(BenchIndex);
+  E.key("shardIndex");
+  E.u64(ShardIndex);
+  E.key("runBegin");
+  E.u64(RunBegin);
+  E.key("runEnd");
+  E.u64(RunEnd);
+  E.key("result");
+  encodeAnalysisResult(E, Result);
+}
+
+static bool decodeShardBody(wire::Decoder &D, ShardDoc &Out) {
+  ScopedCtx C(D, "shard");
+  if (!D.key("configHash") || !D.str(Out.ConfigHash) || !D.key("benchmark") ||
+      !D.str(Out.Benchmark) || !D.key("benchIndex") ||
+      !D.u64(Out.BenchIndex) || !D.key("shardIndex") ||
+      !D.u64(Out.ShardIndex) || !D.key("runBegin") || !D.u64(Out.RunBegin) ||
+      !D.key("runEnd") || !D.u64(Out.RunEnd))
     return false;
-  }
-  const JsonValue *Version = V.field("version");
-  if (!Version || !Version->isObject()) {
-    Err = "missing 'version' object";
-    return false;
-  }
-  const JsonValue *Major = Version->field("major");
-  if (!Major || !Major->isNumber()) {
-    Err = "missing 'version.major'";
-    return false;
-  }
-  if (Major->asI64() != ExpectedMajor) {
-    Err = format("unsupported %s major version %lld (this reader "
-                 "understands %d)",
-                 ExpectedFormat, static_cast<long long>(Major->asI64()),
-                 ExpectedMajor);
-    return false;
-  }
-  return true;
+  if (Out.RunEnd < Out.RunBegin)
+    return D.failOver(
+        format("shard: runEnd (%llu) precedes runBegin (%llu)",
+               static_cast<unsigned long long>(Out.RunEnd),
+               static_cast<unsigned long long>(Out.RunBegin)));
+  return D.key("result") && decodeAnalysisResult(D, Out.Result);
 }
 
 std::string herbgrind::renderShardJson(const std::string &ConfigHash,
@@ -586,19 +684,13 @@ std::string herbgrind::renderShardJson(const std::string &ConfigHash,
                                        uint64_t ShardIndex, uint64_t RunBegin,
                                        uint64_t RunEnd,
                                        const AnalysisResult &Result) {
-  return format(
-      "{\"format\":\"herbgrind-shard\","
-      "\"version\":{\"major\":%d,\"minor\":%d},"
-      "\"configHash\":\"%s\",\"benchmark\":\"%s\",\"benchIndex\":%llu,"
-      "\"shardIndex\":%llu,\"runBegin\":%llu,\"runEnd\":%llu,"
-      "\"result\":%s}",
-      WireFormatMajor, WireFormatMinor, jsonEscape(ConfigHash).c_str(),
-      jsonEscape(Benchmark).c_str(),
-      static_cast<unsigned long long>(BenchIndex),
-      static_cast<unsigned long long>(ShardIndex),
-      static_cast<unsigned long long>(RunBegin),
-      static_cast<unsigned long long>(RunEnd),
-      renderAnalysisResultJson(Result).c_str());
+  wire::JsonEncoder E;
+  E.beginObject();
+  encodeJsonEnvelope(E, "herbgrind-shard", WireFormatMajor, WireFormatMinor);
+  encodeShardBody(E, ConfigHash, Benchmark, BenchIndex, ShardIndex, RunBegin,
+                  RunEnd, Result);
+  E.endObject();
+  return E.take();
 }
 
 std::string herbgrind::renderShardJson(const ShardDoc &Doc) {
@@ -606,228 +698,505 @@ std::string herbgrind::renderShardJson(const ShardDoc &Doc) {
                          Doc.ShardIndex, Doc.RunBegin, Doc.RunEnd, Doc.Result);
 }
 
+std::string herbgrind::renderShardBinary(const std::string &ConfigHash,
+                                         const std::string &Benchmark,
+                                         uint64_t BenchIndex,
+                                         uint64_t ShardIndex,
+                                         uint64_t RunBegin, uint64_t RunEnd,
+                                         const AnalysisResult &Result) {
+  wire::BinaryEncoder E(wire::Family::Shard, WireFormatMajor, WireFormatMinor);
+  encodeShardBody(E, ConfigHash, Benchmark, BenchIndex, ShardIndex, RunBegin,
+                  RunEnd, Result);
+  return E.take();
+}
+
+std::string herbgrind::renderShardBinary(const ShardDoc &Doc) {
+  return renderShardBinary(Doc.ConfigHash, Doc.Benchmark, Doc.BenchIndex,
+                           Doc.ShardIndex, Doc.RunBegin, Doc.RunEnd,
+                           Doc.Result);
+}
+
+std::string herbgrind::renderShard(const ShardDoc &Doc, WireEncoding Enc) {
+  return Enc == WireEncoding::Binary ? renderShardBinary(Doc)
+                                     : renderShardJson(Doc);
+}
+
 bool herbgrind::parseShardJson(const std::string &Text, ShardDoc &Out,
                                std::string &Err) {
-  JsonParseResult R = parseJson(Text);
-  if (!R.Ok) {
-    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
-                 R.Error.c_str());
+  JsonParseResult R;
+  if (!parseJsonText(Text, R, Err))
     return false;
-  }
   if (!R.Value.isObject()) {
     Err = "shard document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-shard", WireFormatMajor, Err))
-    return false;
-  Fields F{R.Value, Err, "shard"};
-  if (!F.str("configHash", Out.ConfigHash) ||
-      !F.str("benchmark", Out.Benchmark) ||
-      !F.u64("benchIndex", Out.BenchIndex) ||
-      !F.u64("shardIndex", Out.ShardIndex) ||
-      !F.u64("runBegin", Out.RunBegin) || !F.u64("runEnd", Out.RunEnd))
-    return false;
-  if (Out.RunEnd < Out.RunBegin) {
-    Err = format("shard: runEnd (%llu) precedes runBegin (%llu)",
-                 static_cast<unsigned long long>(Out.RunEnd),
-                 static_cast<unsigned long long>(Out.RunBegin));
+  wire::JsonDecoder D(R.Value);
+  if (!D.beginObject() ||
+      !decodeJsonEnvelope(D, "herbgrind-shard", WireFormatMajor) ||
+      !decodeShardBody(D, Out) || !D.endObject()) {
+    Err = D.error();
     return false;
   }
-  const JsonValue *Result = F.object("result");
-  return Result && parseAnalysisResultJson(*Result, Out.Result, Err);
+  return true;
+}
+
+static bool parseShardBinary(const std::string &Text, ShardDoc &Out,
+                             std::string &Err) {
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::Shard, "herbgrind-shard",
+                         WireFormatMajor, Err))
+    return false;
+  if (!decodeShardBody(D, Out)) {
+    Err = D.error();
+    return false;
+  }
+  if (!D.atEnd()) {
+    Err = "shard: trailing bytes after HGB document";
+    return false;
+  }
+  return true;
+}
+
+bool herbgrind::parseShard(const std::string &Text, ShardDoc &Out,
+                           std::string &Err) {
+  return wire::isBinary(Text) ? parseShardBinary(Text, Out, Err)
+                              : parseShardJson(Text, Out, Err);
 }
 
 //===----------------------------------------------------------------------===//
 // Improver records and the improve cache document
 //===----------------------------------------------------------------------===//
 
-std::string herbgrind::renderImproveOutcomeJson(const ImproveRecord &R) {
-  return format("\"original\":\"%s\",\"rewritten\":\"%s\","
-                "\"errorBefore\":%s,\"errorAfter\":%s,"
-                "\"significant\":%s,\"improved\":%s",
-                jsonEscape(R.Original).c_str(),
-                jsonEscape(R.Rewritten).c_str(),
-                formatDoubleShortest(R.ErrorBefore).c_str(),
-                formatDoubleShortest(R.ErrorAfter).c_str(),
-                R.HadSignificantError ? "true" : "false",
-                R.Improved ? "true" : "false");
+static void encodeImproveOutcome(wire::Encoder &E, const ImproveRecord &R) {
+  E.key("original");
+  E.str(R.Original);
+  E.key("rewritten");
+  E.str(R.Rewritten);
+  E.key("errorBefore");
+  E.dbl(R.ErrorBefore);
+  E.key("errorAfter");
+  E.dbl(R.ErrorAfter);
+  E.key("significant");
+  E.boolean(R.HadSignificantError);
+  E.key("improved");
+  E.boolean(R.Improved);
 }
 
-static bool parseImproveOutcome(const JsonValue &V, ImproveRecord &Out,
-                                std::string &Err) {
-  Fields F{V, Err, "improve record"};
-  return F.str("original", Out.Original) &&
-         F.str("rewritten", Out.Rewritten) &&
-         F.dbl("errorBefore", Out.ErrorBefore) &&
-         F.dbl("errorAfter", Out.ErrorAfter) &&
-         F.boolean("significant", Out.HadSignificantError) &&
-         F.boolean("improved", Out.Improved);
+static bool decodeImproveOutcome(wire::Decoder &D, ImproveRecord &Out) {
+  ScopedCtx C(D, "improve record");
+  return D.key("original") && D.str(Out.Original) && D.key("rewritten") &&
+         D.str(Out.Rewritten) && D.key("errorBefore") &&
+         D.dbl(Out.ErrorBefore) && D.key("errorAfter") &&
+         D.dbl(Out.ErrorAfter) && D.key("significant") &&
+         D.boolean(Out.HadSignificantError) && D.key("improved") &&
+         D.boolean(Out.Improved);
+}
+
+std::string herbgrind::renderImproveOutcomeJson(const ImproveRecord &R) {
+  wire::JsonEncoder E;
+  E.beginObject();
+  encodeImproveOutcome(E, R);
+  E.endObject();
+  std::string S = E.take();
+  // Callers splice the fragment into their own object, so strip the
+  // braces the encoder needs for key bookkeeping.
+  return S.substr(1, S.size() - 2);
+}
+
+static void encodeImproveDocBody(wire::Encoder &E, const ImproveDoc &Doc) {
+  E.key("configHash");
+  E.str(Doc.ConfigHash);
+  E.key("improveHash");
+  E.str(Doc.ImproveHash);
+  E.key("expr");
+  E.str(Doc.ExprIdentity);
+  E.key("specs");
+  E.str(Doc.SpecIdentity);
+  E.key("record");
+  E.beginObject();
+  encodeImproveOutcome(E, Doc.Record);
+  E.endObject();
+}
+
+static bool decodeImproveDocBody(wire::Decoder &D, ImproveDoc &Out) {
+  ScopedCtx C(D, "improve");
+  if (!D.key("configHash") || !D.str(Out.ConfigHash) ||
+      !D.key("improveHash") || !D.str(Out.ImproveHash) || !D.key("expr") ||
+      !D.str(Out.ExprIdentity) || !D.key("specs") || !D.str(Out.SpecIdentity))
+    return false;
+  return D.key("record") && D.beginObject() &&
+         decodeImproveOutcome(D, Out.Record) && D.endObject();
 }
 
 std::string herbgrind::renderImproveDocJson(const ImproveDoc &Doc) {
-  return format("{\"format\":\"herbgrind-improve\","
-                "\"version\":{\"major\":%d,\"minor\":%d},"
-                "\"configHash\":\"%s\",\"improveHash\":\"%s\","
-                "\"expr\":\"%s\",\"specs\":\"%s\",\"record\":{%s}}",
-                WireFormatMajor, WireFormatMinor,
-                jsonEscape(Doc.ConfigHash).c_str(),
-                jsonEscape(Doc.ImproveHash).c_str(),
-                jsonEscape(Doc.ExprIdentity).c_str(),
-                jsonEscape(Doc.SpecIdentity).c_str(),
-                renderImproveOutcomeJson(Doc.Record).c_str());
+  wire::JsonEncoder E;
+  E.beginObject();
+  encodeJsonEnvelope(E, "herbgrind-improve", WireFormatMajor, WireFormatMinor);
+  encodeImproveDocBody(E, Doc);
+  E.endObject();
+  return E.take();
+}
+
+std::string herbgrind::renderImproveDocBinary(const ImproveDoc &Doc) {
+  wire::BinaryEncoder E(wire::Family::Improve, WireFormatMajor,
+                        WireFormatMinor);
+  encodeImproveDocBody(E, Doc);
+  return E.take();
+}
+
+std::string herbgrind::renderImproveDoc(const ImproveDoc &Doc,
+                                        WireEncoding Enc) {
+  return Enc == WireEncoding::Binary ? renderImproveDocBinary(Doc)
+                                     : renderImproveDocJson(Doc);
 }
 
 bool herbgrind::parseImproveDocJson(const std::string &Text, ImproveDoc &Out,
                                     std::string &Err) {
-  JsonParseResult R = parseJson(Text);
-  if (!R.Ok) {
-    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
-                 R.Error.c_str());
+  JsonParseResult R;
+  if (!parseJsonText(Text, R, Err))
     return false;
-  }
   if (!R.Value.isObject()) {
     Err = "improve document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-improve", WireFormatMajor, Err))
+  wire::JsonDecoder D(R.Value);
+  if (!D.beginObject() ||
+      !decodeJsonEnvelope(D, "herbgrind-improve", WireFormatMajor) ||
+      !decodeImproveDocBody(D, Out) || !D.endObject()) {
+    Err = D.error();
     return false;
-  Fields F{R.Value, Err, "improve"};
-  if (!F.str("configHash", Out.ConfigHash) ||
-      !F.str("improveHash", Out.ImproveHash) ||
-      !F.str("expr", Out.ExprIdentity) || !F.str("specs", Out.SpecIdentity))
-    return false;
-  const JsonValue *Rec = F.object("record");
-  if (!Rec || !parseImproveOutcome(*Rec, Out.Record, Err))
-    return false;
+  }
   return true;
+}
+
+static bool parseImproveDocBinary(const std::string &Text, ImproveDoc &Out,
+                                  std::string &Err) {
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::Improve, "herbgrind-improve",
+                         WireFormatMajor, Err))
+    return false;
+  if (!decodeImproveDocBody(D, Out)) {
+    Err = D.error();
+    return false;
+  }
+  if (!D.atEnd()) {
+    Err = "improve: trailing bytes after HGB document";
+    return false;
+  }
+  return true;
+}
+
+bool herbgrind::parseImproveDoc(const std::string &Text, ImproveDoc &Out,
+                                std::string &Err) {
+  return wire::isBinary(Text) ? parseImproveDocBinary(Text, Out, Err)
+                              : parseImproveDocJson(Text, Out, Err);
 }
 
 //===----------------------------------------------------------------------===//
 // Presentation-level reports
 //===----------------------------------------------------------------------===//
 
-bool herbgrind::parseReport(const JsonValue &V, Report &Out, std::string &Err) {
-  if (!V.isObject()) {
-    Err = "report: not an object";
-    return false;
-  }
-  Fields F{V, Err, "report"};
-  const JsonValue *Spots = F.array("spots");
-  if (!Spots)
-    return false;
-  for (const JsonValue &SpotVal : Spots->Arr) {
-    if (!SpotVal.isObject()) {
-      Err = "report: spot is not an object";
-      return false;
+static void encodeReportBody(wire::Encoder &E, const Report &R) {
+  E.beginObject();
+  E.key("spots");
+  E.beginArray(R.Spots.size());
+  for (const SpotReport &SR : R.Spots) {
+    E.beginObject();
+    E.key("kind");
+    E.str(spotKindName(SR.Kind));
+    E.key("pc");
+    E.u32(SR.PC);
+    E.key("loc");
+    encodeSourceLoc(E, SR.Loc);
+    E.key("executions");
+    E.u64(SR.Executions);
+    E.key("erroneous");
+    E.u64(SR.Erroneous);
+    E.key("maxErrorBits");
+    E.dbl(SR.MaxErrorBits);
+    E.key("rootCauses");
+    E.beginArray(SR.RootCauses.size());
+    for (const RootCauseReport &RC : SR.RootCauses) {
+      E.beginObject();
+      E.key("pc");
+      E.u32(RC.PC);
+      E.key("loc");
+      encodeSourceLoc(E, RC.Loc);
+      E.key("fpcore");
+      E.str(RC.FPCore);
+      E.key("body");
+      E.str(RC.Body);
+      E.key("numVars");
+      E.u32(RC.NumVars);
+      E.key("opCount");
+      E.u64(RC.OpCount);
+      E.key("flagged");
+      E.u64(RC.Flagged);
+      E.key("maxLocalError");
+      E.dbl(RC.MaxLocalError);
+      E.key("avgLocalError");
+      E.dbl(RC.AvgLocalError);
+      E.key("exampleInput");
+      E.str(RC.ExampleInput);
+      E.endObject();
     }
-    Fields SF{SpotVal, Err, "report spot"};
+    E.endArray();
+    E.endObject();
+  }
+  E.endArray();
+  // The improvements section is emitted only when an improver pass ran:
+  // an empty vector renders the exact pre-1.1 bytes, so reports without
+  // improver results stay byte-identical to older writers'.
+  E.present(!R.Improvements.empty());
+  if (!R.Improvements.empty()) {
+    E.key("improvements");
+    E.beginArray(R.Improvements.size());
+    for (const ImproveRecord &IR : R.Improvements) {
+      E.beginObject();
+      E.key("pc");
+      E.u32(IR.PC);
+      encodeImproveOutcome(E, IR);
+      E.endObject();
+    }
+    E.endArray();
+  }
+  E.endObject();
+}
+
+static bool decodeReportBody(wire::Decoder &D, Report &Out) {
+  ScopedCtx C(D, "report");
+  if (!D.beginObject())
+    return false;
+  uint64_t NumSpots = 0;
+  if (!D.key("spots") || !D.beginArray(NumSpots))
+    return false;
+  for (uint64_t I = 0; I < NumSpots; ++I) {
+    ScopedCtx SC(D, "report spot");
     SpotReport SR;
     std::string KindName;
-    if (!SF.str("kind", KindName) || !SF.u32("pc", SR.PC) ||
-        !SF.u64("executions", SR.Executions) ||
-        !SF.u64("erroneous", SR.Erroneous) ||
-        !SF.dbl("maxErrorBits", SR.MaxErrorBits))
+    if (!D.element() || !D.beginObject() || !D.key("kind") ||
+        !D.str(KindName))
       return false;
-    if (!parseSpotKind(KindName, SR.Kind)) {
-      Err = format("report: unknown spot kind '%s'", KindName.c_str());
+    if (!parseSpotKind(KindName, SR.Kind))
+      return D.failOver(
+          format("report: unknown spot kind '%s'", KindName.c_str()));
+    if (!D.key("pc") || !D.u32(SR.PC) || !D.key("loc") ||
+        !decodeSourceLoc(D, SR.Loc) || !D.key("executions") ||
+        !D.u64(SR.Executions) || !D.key("erroneous") ||
+        !D.u64(SR.Erroneous) || !D.key("maxErrorBits") ||
+        !D.dbl(SR.MaxErrorBits))
       return false;
-    }
-    const JsonValue *Loc = SF.object("loc");
-    if (!Loc || !parseSourceLoc(*Loc, SR.Loc, Err))
+    uint64_t NumCauses = 0;
+    if (!D.key("rootCauses") || !D.beginArray(NumCauses))
       return false;
-    const JsonValue *Causes = SF.array("rootCauses");
-    if (!Causes)
-      return false;
-    for (const JsonValue &CauseVal : Causes->Arr) {
-      if (!CauseVal.isObject()) {
-        Err = "report: root cause is not an object";
-        return false;
-      }
-      Fields CF{CauseVal, Err, "root cause"};
+    for (uint64_t J = 0; J < NumCauses; ++J) {
+      ScopedCtx CC(D, "root cause");
       RootCauseReport RC;
-      if (!CF.u32("pc", RC.PC) || !CF.str("fpcore", RC.FPCore) ||
-          !CF.str("body", RC.Body) || !CF.u32("numVars", RC.NumVars) ||
-          !CF.u64("flagged", RC.Flagged) ||
-          !CF.dbl("maxLocalError", RC.MaxLocalError) ||
-          !CF.dbl("avgLocalError", RC.AvgLocalError) ||
-          !CF.str("exampleInput", RC.ExampleInput))
-        return false;
-      uint64_t OpCount;
-      if (!CF.u64("opCount", OpCount))
+      uint64_t OpCount = 0;
+      if (!D.element() || !D.beginObject() || !D.key("pc") || !D.u32(RC.PC) ||
+          !D.key("loc") || !decodeSourceLoc(D, RC.Loc) || !D.key("fpcore") ||
+          !D.str(RC.FPCore) || !D.key("body") || !D.str(RC.Body) ||
+          !D.key("numVars") || !D.u32(RC.NumVars) || !D.key("opCount") ||
+          !D.u64(OpCount) || !D.key("flagged") || !D.u64(RC.Flagged) ||
+          !D.key("maxLocalError") || !D.dbl(RC.MaxLocalError) ||
+          !D.key("avgLocalError") || !D.dbl(RC.AvgLocalError) ||
+          !D.key("exampleInput") || !D.str(RC.ExampleInput) ||
+          !D.endObject())
         return false;
       RC.OpCount = static_cast<unsigned>(OpCount);
-      const JsonValue *CLoc = CF.object("loc");
-      if (!CLoc || !parseSourceLoc(*CLoc, RC.Loc, Err))
-        return false;
       SR.RootCauses.push_back(std::move(RC));
     }
+    if (!D.endArray() || !D.endObject())
+      return false;
     Out.Spots.push_back(std::move(SR));
   }
+  if (!D.endArray())
+    return false;
   // Optional improvements section (absent from pre-1.1 writers and from
   // reports no improver pass ran over); absence round-trips to absence.
-  if (const JsonValue *Imp = V.field("improvements")) {
-    if (!Imp->isArray()) {
-      Err = "report: 'improvements' is not an array";
+  bool HasImp = false;
+  if (!D.present("improvements", HasImp))
+    return false;
+  if (HasImp) {
+    uint64_t N = 0;
+    if (!D.key("improvements") || !D.beginArray(N))
       return false;
-    }
-    for (const JsonValue &RecVal : Imp->Arr) {
-      if (!RecVal.isObject()) {
-        Err = "report: improvement is not an object";
-        return false;
-      }
-      Fields IF{RecVal, Err, "improve record"};
+    for (uint64_t I = 0; I < N; ++I) {
       ImproveRecord IR;
-      if (!IF.u32("pc", IR.PC) || !parseImproveOutcome(RecVal, IR, Err))
+      if (!D.element() || !D.beginObject() || !D.key("pc") || !D.u32(IR.PC) ||
+          !decodeImproveOutcome(D, IR) || !D.endObject())
         return false;
       Out.Improvements.push_back(std::move(IR));
     }
+    if (!D.endArray())
+      return false;
+  }
+  return D.endObject();
+}
+
+// Defined here rather than in Report.cpp so the schema exists exactly
+// once, in the traversal above.
+std::string Report::renderJson() const {
+  wire::JsonEncoder E;
+  encodeReportBody(E, *this);
+  return E.take();
+}
+
+bool herbgrind::parseReport(const JsonValue &V, Report &Out,
+                            std::string &Err) {
+  wire::JsonDecoder D(V);
+  if (!decodeReportBody(D, Out)) {
+    Err = D.error();
+    return false;
   }
   return true;
 }
 
 bool herbgrind::parseReportJson(const std::string &Text, Report &Out,
                                 std::string &Err) {
-  JsonParseResult R = parseJson(Text);
-  if (!R.Ok) {
-    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
-                 R.Error.c_str());
+  JsonParseResult R;
+  if (!parseJsonText(Text, R, Err))
+    return false;
+  return parseReport(R.Value, Out, Err);
+}
+
+std::string herbgrind::renderReportBinary(const Report &R) {
+  wire::BinaryEncoder E(wire::Family::Report, WireFormatMajor,
+                        WireFormatMinor);
+  encodeReportBody(E, R);
+  return E.take();
+}
+
+bool herbgrind::parseReportDoc(const std::string &Text, Report &Out,
+                               std::string &Err) {
+  if (!wire::isBinary(Text))
+    return parseReportJson(Text, Out, Err);
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::Report, "report", WireFormatMajor,
+                         Err))
+    return false;
+  if (!decodeReportBody(D, Out)) {
+    Err = D.error();
     return false;
   }
-  return parseReport(R.Value, Out, Err);
+  if (!D.atEnd()) {
+    Err = "report: trailing bytes after HGB document";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch report documents
+//===----------------------------------------------------------------------===//
+
+static void encodeBatchBody(wire::Encoder &E,
+                            const std::vector<BatchReportEntryRef> &Entries) {
+  E.key("benchmarks");
+  E.beginArray(Entries.size());
+  for (const BatchReportEntryRef &En : Entries) {
+    E.beginObject();
+    E.key("name");
+    E.str(*En.Name);
+    E.key("shards");
+    E.u64(En.Shards);
+    E.key("runs");
+    E.u64(En.Runs);
+    E.key("report");
+    encodeReportBody(E, *En.Rep);
+    E.endObject();
+  }
+  E.endArray();
+}
+
+static bool decodeBatchBody(wire::Decoder &D, BatchReportDoc &Out) {
+  ScopedCtx C(D, "batch report");
+  uint64_t N = 0;
+  if (!D.key("benchmarks") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx BC(D, "benchmark entry");
+    BatchReportDoc::Entry En;
+    if (!D.element() || !D.beginObject() || !D.key("name") ||
+        !D.str(En.Name) || !D.key("shards") || !D.u64(En.Shards) ||
+        !D.key("runs") || !D.u64(En.Runs))
+      return false;
+    if (!D.key("report") || !decodeReportBody(D, En.Rep) || !D.endObject())
+      return false;
+    Out.Benchmarks.push_back(std::move(En));
+  }
+  return D.endArray();
+}
+
+std::string herbgrind::renderBatchReportJson(
+    const std::vector<BatchReportEntryRef> &Entries) {
+  wire::JsonEncoder E;
+  E.beginObject();
+  encodeJsonEnvelope(E, "herbgrind-report", WireFormatMajor, WireFormatMinor);
+  encodeBatchBody(E, Entries);
+  E.endObject();
+  return E.take();
+}
+
+std::string herbgrind::renderBatchReportBinary(
+    const std::vector<BatchReportEntryRef> &Entries) {
+  wire::BinaryEncoder E(wire::Family::BatchReport, WireFormatMajor,
+                        WireFormatMinor);
+  encodeBatchBody(E, Entries);
+  return E.take();
+}
+
+static std::vector<BatchReportEntryRef>
+batchRefs(const BatchReportDoc &Doc) {
+  std::vector<BatchReportEntryRef> Entries;
+  Entries.reserve(Doc.Benchmarks.size());
+  for (const BatchReportDoc::Entry &En : Doc.Benchmarks)
+    Entries.push_back({&En.Name, En.Shards, En.Runs, &En.Rep});
+  return Entries;
+}
+
+std::string herbgrind::renderBatchReportJson(const BatchReportDoc &Doc) {
+  return renderBatchReportJson(batchRefs(Doc));
+}
+
+std::string herbgrind::renderBatchReportBinary(const BatchReportDoc &Doc) {
+  return renderBatchReportBinary(batchRefs(Doc));
 }
 
 bool herbgrind::parseBatchReportJson(const std::string &Text,
                                      BatchReportDoc &Out, std::string &Err) {
-  JsonParseResult R = parseJson(Text);
-  if (!R.Ok) {
-    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
-                 R.Error.c_str());
+  JsonParseResult R;
+  if (!parseJsonText(Text, R, Err))
     return false;
-  }
   if (!R.Value.isObject()) {
     Err = "batch report document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-report", WireFormatMajor, Err))
+  wire::JsonDecoder D(R.Value);
+  if (!D.beginObject() ||
+      !decodeJsonEnvelope(D, "herbgrind-report", WireFormatMajor) ||
+      !decodeBatchBody(D, Out) || !D.endObject()) {
+    Err = D.error();
     return false;
-  Fields F{R.Value, Err, "batch report"};
-  const JsonValue *Benchmarks = F.array("benchmarks");
-  if (!Benchmarks)
+  }
+  return true;
+}
+
+bool herbgrind::parseBatchReport(const std::string &Text, BatchReportDoc &Out,
+                                 std::string &Err) {
+  if (!wire::isBinary(Text))
+    return parseBatchReportJson(Text, Out, Err);
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::BatchReport, "herbgrind-report",
+                         WireFormatMajor, Err))
     return false;
-  for (const JsonValue &BenchVal : Benchmarks->Arr) {
-    if (!BenchVal.isObject()) {
-      Err = "batch report: benchmark entry is not an object";
-      return false;
-    }
-    Fields BF{BenchVal, Err, "benchmark entry"};
-    BatchReportDoc::Entry E;
-    if (!BF.str("name", E.Name) || !BF.u64("shards", E.Shards) ||
-        !BF.u64("runs", E.Runs))
-      return false;
-    const JsonValue *Rep = BF.object("report");
-    if (!Rep || !parseReport(*Rep, E.Rep, Err))
-      return false;
-    Out.Benchmarks.push_back(std::move(E));
+  if (!decodeBatchBody(D, Out)) {
+    Err = D.error();
+    return false;
+  }
+  if (!D.atEnd()) {
+    Err = "batch report: trailing bytes after HGB document";
+    return false;
   }
   return true;
 }
@@ -836,184 +1205,213 @@ bool herbgrind::parseBatchReportJson(const std::string &Text,
 // Telemetry documents
 //===----------------------------------------------------------------------===//
 
-std::string herbgrind::renderTelemetryJson(const TelemetryDoc &Doc) {
-  std::string Out;
-  Out.reserve(1024);
-  Out += format("{\"format\":\"herbgrind-telemetry\","
-                "\"version\":{\"major\":%d,\"minor\":%d},",
-                TelemetryFormatMajor, TelemetryFormatMinor);
-
-  Out += "\"counters\":[";
-  bool First = true;
-  for (const metrics::CounterSample &C : Doc.Metrics.Counters) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("{\"name\":\"%s\",\"value\":%llu}",
-                  jsonEscape(C.Name).c_str(),
-                  static_cast<unsigned long long>(C.Value));
+static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
+  E.key("counters");
+  E.beginArray(Doc.Metrics.Counters.size());
+  for (const metrics::CounterSample &Cs : Doc.Metrics.Counters) {
+    E.beginObject();
+    E.key("name");
+    E.str(Cs.Name);
+    E.key("value");
+    E.u64(Cs.Value);
+    E.endObject();
   }
-  Out += "],\"gauges\":[";
-  First = true;
+  E.endArray();
+  E.key("gauges");
+  E.beginArray(Doc.Metrics.Gauges.size());
   for (const metrics::GaugeSample &G : Doc.Metrics.Gauges) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("{\"name\":\"%s\",\"value\":%lld,\"max\":%lld}",
-                  jsonEscape(G.Name).c_str(), static_cast<long long>(G.Value),
-                  static_cast<long long>(G.Max));
+    E.beginObject();
+    E.key("name");
+    E.str(G.Name);
+    E.key("value");
+    E.i64(G.Value);
+    E.key("max");
+    E.i64(G.Max);
+    E.endObject();
   }
-  Out += "],\"timers\":[";
-  First = true;
+  E.endArray();
+  E.key("timers");
+  E.beginArray(Doc.Metrics.Timers.size());
   for (const metrics::TimerSample &T : Doc.Metrics.Timers) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("{\"name\":\"%s\",\"count\":%llu,\"sumNs\":%llu,"
-                  "\"maxNs\":%llu,\"buckets\":[",
-                  jsonEscape(T.Name).c_str(),
-                  static_cast<unsigned long long>(T.Count),
-                  static_cast<unsigned long long>(T.SumNanos),
-                  static_cast<unsigned long long>(T.MaxNanos));
+    E.beginObject();
+    E.key("name");
+    E.str(T.Name);
+    E.key("count");
+    E.u64(T.Count);
+    E.key("sumNs");
+    E.u64(T.SumNanos);
+    E.key("maxNs");
+    E.u64(T.MaxNanos);
+    E.key("buckets");
+    E.beginArray(metrics::TimerBuckets);
     for (unsigned B = 0; B < metrics::TimerBuckets; ++B)
-      Out += format(B ? ",%llu" : "%llu",
-                    static_cast<unsigned long long>(T.Buckets[B]));
-    Out += "]}";
+      E.u64(T.Buckets[B]);
+    E.endArray();
+    E.endObject();
   }
-  Out += format("],\"profile\":{\"totalNs\":%llu,\"ops\":[",
-                static_cast<unsigned long long>(Doc.ProfileTotalNanos));
-  First = true;
+  E.endArray();
+  E.key("profile");
+  E.beginObject();
+  E.key("totalNs");
+  E.u64(Doc.ProfileTotalNanos);
+  E.key("ops");
+  E.beginArray(Doc.Profile.size());
   for (const opprof::OpProfileRow &R : Doc.Profile) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("{\"op\":\"%s\",\"loc\":%s,\"executions\":%llu,"
-                  "\"samples\":%llu,\"ns\":%llu,\"limbAllocs\":%llu,"
-                  "\"limbHits\":%llu}",
-                  opInfo(R.Op).Name, renderSourceLocJson(R.Loc).c_str(),
-                  static_cast<unsigned long long>(R.Executions),
-                  static_cast<unsigned long long>(R.Samples),
-                  static_cast<unsigned long long>(R.Nanos),
-                  static_cast<unsigned long long>(R.LimbAllocs),
-                  static_cast<unsigned long long>(R.LimbHits));
+    E.beginObject();
+    E.key("op");
+    E.str(opInfo(R.Op).Name);
+    E.key("loc");
+    encodeSourceLoc(E, R.Loc);
+    E.key("executions");
+    E.u64(R.Executions);
+    E.key("samples");
+    E.u64(R.Samples);
+    E.key("ns");
+    E.u64(R.Nanos);
+    E.key("limbAllocs");
+    E.u64(R.LimbAllocs);
+    E.key("limbHits");
+    E.u64(R.LimbHits);
+    E.endObject();
   }
-  Out += "]}}";
-  return Out;
+  E.endArray();
+  E.endObject();
+}
+
+static bool decodeTelemetryBody(wire::Decoder &D, TelemetryDoc &Out) {
+  ScopedCtx C(D, "telemetry");
+  uint64_t N = 0;
+  if (!D.key("counters") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx CC(D, "telemetry counter");
+    metrics::CounterSample Cs;
+    if (!D.element() || !D.beginObject() || !D.key("name") ||
+        !D.str(Cs.Name) || !D.key("value") || !D.u64(Cs.Value) ||
+        !D.endObject())
+      return false;
+    Out.Metrics.Counters.push_back(std::move(Cs));
+  }
+  if (!D.endArray())
+    return false;
+  if (!D.key("gauges") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx GC(D, "telemetry gauge");
+    metrics::GaugeSample G;
+    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(G.Name) ||
+        !D.key("value") || !D.i64(G.Value) || !D.key("max") ||
+        !D.i64(G.Max) || !D.endObject())
+      return false;
+    Out.Metrics.Gauges.push_back(std::move(G));
+  }
+  if (!D.endArray())
+    return false;
+  if (!D.key("timers") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx TC(D, "telemetry timer");
+    metrics::TimerSample T;
+    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(T.Name) ||
+        !D.key("count") || !D.u64(T.Count) || !D.key("sumNs") ||
+        !D.u64(T.SumNanos) || !D.key("maxNs") || !D.u64(T.MaxNanos))
+      return false;
+    uint64_t NumBuckets = 0;
+    if (!D.key("buckets") || !D.beginArray(NumBuckets))
+      return false;
+    if (NumBuckets != metrics::TimerBuckets)
+      return D.failOver(
+          format("telemetry timer '%s': expected %u buckets, got %zu",
+                 T.Name.c_str(), metrics::TimerBuckets,
+                 static_cast<size_t>(NumBuckets)));
+    for (unsigned B = 0; B < metrics::TimerBuckets; ++B)
+      if (!D.element() || !D.u64(T.Buckets[B]))
+        return false;
+    if (!D.endArray() || !D.endObject())
+      return false;
+    Out.Metrics.Timers.push_back(std::move(T));
+  }
+  if (!D.endArray())
+    return false;
+  ScopedCtx PC(D, "telemetry profile");
+  if (!D.key("profile") || !D.beginObject() || !D.key("totalNs") ||
+      !D.u64(Out.ProfileTotalNanos))
+    return false;
+  if (!D.key("ops") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx RC(D, "telemetry profile row");
+    opprof::OpProfileRow Row;
+    std::string OpName;
+    if (!D.element() || !D.beginObject() || !D.key("op") || !D.str(OpName))
+      return false;
+    if (!parseOpcode(OpName, Row.Op))
+      return D.failOver(format("telemetry profile row: unknown opcode '%s'",
+                               OpName.c_str()));
+    if (!D.key("loc") || !decodeSourceLoc(D, Row.Loc))
+      return false;
+    if (!D.key("executions") || !D.u64(Row.Executions) ||
+        !D.key("samples") || !D.u64(Row.Samples) || !D.key("ns") ||
+        !D.u64(Row.Nanos) || !D.key("limbAllocs") ||
+        !D.u64(Row.LimbAllocs) || !D.key("limbHits") ||
+        !D.u64(Row.LimbHits) || !D.endObject())
+      return false;
+    Out.Profile.push_back(std::move(Row));
+  }
+  return D.endArray() && D.endObject();
+}
+
+std::string herbgrind::renderTelemetryJson(const TelemetryDoc &Doc) {
+  wire::JsonEncoder E;
+  E.beginObject();
+  encodeJsonEnvelope(E, "herbgrind-telemetry", TelemetryFormatMajor,
+                     TelemetryFormatMinor);
+  encodeTelemetryBody(E, Doc);
+  E.endObject();
+  return E.take();
+}
+
+std::string herbgrind::renderTelemetryBinary(const TelemetryDoc &Doc) {
+  wire::BinaryEncoder E(wire::Family::Telemetry, TelemetryFormatMajor,
+                        TelemetryFormatMinor);
+  encodeTelemetryBody(E, Doc);
+  return E.take();
 }
 
 bool herbgrind::parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
                                    std::string &Err) {
-  JsonParseResult R = parseJson(Text);
-  if (!R.Ok) {
-    Err = format("JSON parse error at offset %zu: %s", R.ErrorOffset,
-                 R.Error.c_str());
+  JsonParseResult R;
+  if (!parseJsonText(Text, R, Err))
     return false;
-  }
   if (!R.Value.isObject()) {
     Err = "telemetry document is not an object";
     return false;
   }
-  if (!checkEnvelope(R.Value, "herbgrind-telemetry", TelemetryFormatMajor,
-                     Err))
+  wire::JsonDecoder D(R.Value);
+  if (!D.beginObject() ||
+      !decodeJsonEnvelope(D, "herbgrind-telemetry", TelemetryFormatMajor) ||
+      !decodeTelemetryBody(D, Out) || !D.endObject()) {
+    Err = D.error();
     return false;
-  Fields F{R.Value, Err, "telemetry"};
-
-  const JsonValue *Counters = F.array("counters");
-  if (!Counters)
-    return false;
-  for (const JsonValue &CV : Counters->Arr) {
-    if (!CV.isObject()) {
-      Err = "telemetry: counter entry is not an object";
-      return false;
-    }
-    Fields CF{CV, Err, "telemetry counter"};
-    metrics::CounterSample C;
-    if (!CF.str("name", C.Name) || !CF.u64("value", C.Value))
-      return false;
-    Out.Metrics.Counters.push_back(std::move(C));
   }
+  return true;
+}
 
-  const JsonValue *Gauges = F.array("gauges");
-  if (!Gauges)
+bool herbgrind::parseTelemetry(const std::string &Text, TelemetryDoc &Out,
+                               std::string &Err) {
+  if (!wire::isBinary(Text))
+    return parseTelemetryJson(Text, Out, Err);
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::Telemetry, "herbgrind-telemetry",
+                         TelemetryFormatMajor, Err))
     return false;
-  for (const JsonValue &GV : Gauges->Arr) {
-    if (!GV.isObject()) {
-      Err = "telemetry: gauge entry is not an object";
-      return false;
-    }
-    Fields GF{GV, Err, "telemetry gauge"};
-    metrics::GaugeSample G;
-    if (!GF.str("name", G.Name) || !GF.i64("value", G.Value) ||
-        !GF.i64("max", G.Max))
-      return false;
-    Out.Metrics.Gauges.push_back(std::move(G));
+  if (!decodeTelemetryBody(D, Out)) {
+    Err = D.error();
+    return false;
   }
-
-  const JsonValue *Timers = F.array("timers");
-  if (!Timers)
+  if (!D.atEnd()) {
+    Err = "telemetry: trailing bytes after HGB document";
     return false;
-  for (const JsonValue &TV : Timers->Arr) {
-    if (!TV.isObject()) {
-      Err = "telemetry: timer entry is not an object";
-      return false;
-    }
-    Fields TF{TV, Err, "telemetry timer"};
-    metrics::TimerSample T;
-    if (!TF.str("name", T.Name) || !TF.u64("count", T.Count) ||
-        !TF.u64("sumNs", T.SumNanos) || !TF.u64("maxNs", T.MaxNanos))
-      return false;
-    const JsonValue *Buckets = TF.array("buckets");
-    if (!Buckets)
-      return false;
-    if (Buckets->Arr.size() != metrics::TimerBuckets) {
-      Err = format("telemetry timer '%s': expected %u buckets, got %zu",
-                   T.Name.c_str(), metrics::TimerBuckets,
-                   Buckets->Arr.size());
-      return false;
-    }
-    for (unsigned B = 0; B < metrics::TimerBuckets; ++B) {
-      if (!Buckets->Arr[B].isNumber()) {
-        Err = "telemetry timer: bucket is not a number";
-        return false;
-      }
-      T.Buckets[B] = Buckets->Arr[B].asU64();
-    }
-    Out.Metrics.Timers.push_back(std::move(T));
-  }
-
-  const JsonValue *Profile = F.object("profile");
-  if (!Profile)
-    return false;
-  Fields PF{*Profile, Err, "telemetry profile"};
-  if (!PF.u64("totalNs", Out.ProfileTotalNanos))
-    return false;
-  const JsonValue *Rows = PF.array("ops");
-  if (!Rows)
-    return false;
-  for (const JsonValue &RV : Rows->Arr) {
-    if (!RV.isObject()) {
-      Err = "telemetry: profile row is not an object";
-      return false;
-    }
-    Fields RF{RV, Err, "telemetry profile row"};
-    opprof::OpProfileRow Row;
-    std::string OpName;
-    if (!RF.str("op", OpName))
-      return false;
-    if (!parseOpcode(OpName, Row.Op)) {
-      Err = format("telemetry profile row: unknown opcode '%s'",
-                   OpName.c_str());
-      return false;
-    }
-    const JsonValue *Loc = RF.object("loc");
-    if (!Loc || !parseSourceLoc(*Loc, Row.Loc, Err))
-      return false;
-    if (!RF.u64("executions", Row.Executions) ||
-        !RF.u64("samples", Row.Samples) || !RF.u64("ns", Row.Nanos) ||
-        !RF.u64("limbAllocs", Row.LimbAllocs) ||
-        !RF.u64("limbHits", Row.LimbHits))
-      return false;
-    Out.Profile.push_back(std::move(Row));
   }
   return true;
 }

@@ -5,22 +5,33 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The JSON wire format for analysis results: rendering AND read-back for
+/// The wire formats for analysis results: rendering AND read-back for
 /// `AnalysisResult` (with its `OpRecord`/`SpotRecord` maps, symbolic
 /// expressions, and input summaries) and for presentation-level `Report`s.
 /// This is what makes shard results durable values: the result cache
 /// persists them between sweeps, and `--emit-shard`/`--merge-shards` ship
 /// them between machines.
 ///
-/// The contract is exact round-tripping: `parse(render(x))` reconstructs
-/// `x` bit-for-bit (doubles are printed with shortest round-trip decimals
-/// and reparsed with strtod), so folding a parsed shard into a sweep
-/// produces output byte-identical to folding the in-memory original.
+/// Every document family (shard, improve, report, batch report,
+/// telemetry) is expressed ONCE as a schema traversal over the abstract
+/// `wire::Encoder`/`wire::Decoder` interface (`support/Wire.h`), with two
+/// backends: byte-exact JSON and the compact HGB binary envelope
+/// (`support/WireBinary.h`). The backends cannot drift -- there is no
+/// second copy of any schema.
 ///
-/// The format is versioned (see REPORT_SCHEMA.md). Readers accept any
+/// The contract is exact round-tripping in either format, and across
+/// formats: `parse(render(x))` reconstructs `x` bit-for-bit (JSON doubles
+/// are printed with shortest round-trip decimals and reparsed with
+/// strtod; HGB stores the raw IEEE-754 bytes), so folding a parsed shard
+/// into a sweep produces output byte-identical to folding the in-memory
+/// original -- whichever format carried it.
+///
+/// The formats are versioned (see REPORT_SCHEMA.md). Readers accept any
 /// minor version of a known major version and reject everything else --
 /// a major bump means fields changed meaning, and a silently misread
-/// cache entry would corrupt a merged report.
+/// cache entry would corrupt a merged report. The `parseX` functions
+/// without a Json/Binary suffix sniff the format from the first byte
+/// ('{' = JSON, 0x89 = HGB) and accept either.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,13 +49,23 @@
 namespace herbgrind {
 
 /// Wire format version. The major number is embedded in every shard and
-/// report document and checked on read-back; it also feeds the engine's
-/// config hash, so a version bump invalidates persistent caches.
+/// report document (JSON envelope and HGB header alike) and checked on
+/// read-back; it also feeds the engine's config hash, so a version bump
+/// invalidates persistent caches.
 constexpr int WireFormatMajor = 1;
 /// Minor version: additive, backward-compatible changes only.
 /// History: 1.1 added the optional report "improvements" section
 /// (ImproveRecord) and the "herbgrind-improve" cache document.
 constexpr int WireFormatMinor = 1;
+
+/// Which wire backend a writer uses. Readers never need to be told --
+/// they sniff. Deliberately NOT part of the engine config hash: both
+/// encodings carry bit-identical values, so JSON-cached and HGB-cached
+/// sweeps share (and warm) the same cache identity.
+enum class WireEncoding {
+  Json,   ///< Human-readable, byte-stable text (the default).
+  Binary, ///< HGB: compact length-prefixed binary (support/WireBinary.h).
+};
 
 /// Spot kind name used in wire documents and text reports ("Output",
 /// "Compare", "Conversion").
@@ -92,9 +113,24 @@ std::string renderShardJson(const std::string &ConfigHash,
                             uint64_t ShardIndex, uint64_t RunBegin,
                             uint64_t RunEnd, const AnalysisResult &Result);
 
-/// Parses a shard document. Rejects wrong "format" tags and unknown
+/// HGB renders of the same shard document.
+std::string renderShardBinary(const ShardDoc &Doc);
+std::string renderShardBinary(const std::string &ConfigHash,
+                              const std::string &Benchmark,
+                              uint64_t BenchIndex, uint64_t ShardIndex,
+                              uint64_t RunBegin, uint64_t RunEnd,
+                              const AnalysisResult &Result);
+
+/// Renders a shard document in the requested encoding.
+std::string renderShard(const ShardDoc &Doc, WireEncoding Enc);
+
+/// Parses a JSON shard document. Rejects wrong "format" tags and unknown
 /// major versions.
 bool parseShardJson(const std::string &Text, ShardDoc &Out, std::string &Err);
+
+/// Parses a shard document in either format (sniffed from the first
+/// byte). Truncated or corrupt input of either kind fails cleanly.
+bool parseShard(const std::string &Text, ShardDoc &Out, std::string &Err);
 
 /// Renders an ImproveRecord's outcome fields (everything but the pc,
 /// which is positional identity and rendered by the container): the
@@ -106,7 +142,7 @@ std::string renderImproveOutcomeJson(const ImproveRecord &R);
 /// that validate a cache hit (the producing sweep's config hash, the
 /// improver-config hash, and the exact expression/sampling-spec text the
 /// improver ran on). Stored by engine::ResultCache as
-/// `<key>.improve.json`.
+/// `<key>.improve.json` or `<key>.improve.hgb`.
 struct ImproveDoc {
   std::string ConfigHash;   ///< engine::configHash() of the sweep.
   std::string ImproveHash;  ///< improve::improveConfigHash() of the pass.
@@ -120,10 +156,20 @@ struct ImproveDoc {
 /// Renders a complete improve-cache document (versioned envelope).
 std::string renderImproveDocJson(const ImproveDoc &Doc);
 
-/// Parses an improve-cache document. Rejects wrong "format" tags and
+/// HGB render of the improve-cache document.
+std::string renderImproveDocBinary(const ImproveDoc &Doc);
+
+/// Renders an improve-cache document in the requested encoding.
+std::string renderImproveDoc(const ImproveDoc &Doc, WireEncoding Enc);
+
+/// Parses a JSON improve-cache document. Rejects wrong "format" tags and
 /// unknown major versions.
 bool parseImproveDocJson(const std::string &Text, ImproveDoc &Out,
                          std::string &Err);
+
+/// Parses an improve-cache document in either format (sniffed).
+bool parseImproveDoc(const std::string &Text, ImproveDoc &Out,
+                     std::string &Err);
 
 /// Parses a presentation-level report object ({"spots":[...]}, the value
 /// of a batch document's per-benchmark "report" field). Round trip:
@@ -133,6 +179,12 @@ bool parseReport(const JsonValue &V, Report &Out, std::string &Err);
 
 /// Convenience wrapper: parses JSON text into a Report.
 bool parseReportJson(const std::string &Text, Report &Out, std::string &Err);
+
+/// HGB render of a bare presentation-level report (family tag "report").
+std::string renderReportBinary(const Report &R);
+
+/// Parses a bare report in either format (sniffed).
+bool parseReportDoc(const std::string &Text, Report &Out, std::string &Err);
 
 /// A parsed batch report document (what `herbgrind_batch --json` and
 /// `BatchResult::renderJson()` emit).
@@ -146,10 +198,32 @@ struct BatchReportDoc {
   std::vector<Entry> Benchmarks;
 };
 
-/// Parses a full batch report document, checking its versioned envelope
-/// (format "herbgrind-report"; unknown major versions are rejected).
+/// A borrowed view of one batch-report entry: lets `BatchResult` (and
+/// anything else that already owns Reports) render the batch document
+/// through the shared traversal without deep-copying records.
+struct BatchReportEntryRef {
+  const std::string *Name;
+  uint64_t Shards;
+  uint64_t Runs;
+  const Report *Rep;
+};
+
+/// Renders a batch report document from borrowed entries.
+std::string renderBatchReportJson(const std::vector<BatchReportEntryRef> &E);
+std::string renderBatchReportBinary(const std::vector<BatchReportEntryRef> &E);
+
+/// Renders a parsed batch report document back out (both formats).
+std::string renderBatchReportJson(const BatchReportDoc &Doc);
+std::string renderBatchReportBinary(const BatchReportDoc &Doc);
+
+/// Parses a full JSON batch report document, checking its versioned
+/// envelope (format "herbgrind-report"; unknown majors are rejected).
 bool parseBatchReportJson(const std::string &Text, BatchReportDoc &Out,
                           std::string &Err);
+
+/// Parses a batch report document in either format (sniffed).
+bool parseBatchReport(const std::string &Text, BatchReportDoc &Out,
+                      std::string &Err);
 
 /// Telemetry document version (format "herbgrind-telemetry"). Versioned
 /// independently of the report wire format: telemetry is observational,
@@ -175,10 +249,18 @@ struct TelemetryDoc {
 /// are sorted, rows keep their ranked order.
 std::string renderTelemetryJson(const TelemetryDoc &Doc);
 
-/// Parses a telemetry document. Rejects wrong "format" tags and unknown
-/// major versions. Round trip: parse(render(d)) re-renders byte-identically.
+/// HGB render of the telemetry document.
+std::string renderTelemetryBinary(const TelemetryDoc &Doc);
+
+/// Parses a JSON telemetry document. Rejects wrong "format" tags and
+/// unknown major versions. Round trip: parse(render(d)) re-renders
+/// byte-identically.
 bool parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
                         std::string &Err);
+
+/// Parses a telemetry document in either format (sniffed).
+bool parseTelemetry(const std::string &Text, TelemetryDoc &Out,
+                    std::string &Err);
 
 } // namespace herbgrind
 

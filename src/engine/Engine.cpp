@@ -140,6 +140,7 @@ Engine::Engine(EngineConfig Config) : Cfg(Config) {
     RC = std::make_unique<ResultCache>(Cfg.CacheDir, configHash(Cfg));
     // True LRU recency only matters when something will prune by it.
     RC->setTouchOnHit(Cfg.CacheMaxBytes > 0);
+    RC->setWireEncoding(Cfg.WireFormat);
   }
 }
 
@@ -401,14 +402,18 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
         MShardsDone.add(1);
         MRuns.add(Sh.End - Sh.Begin);
         if (!Cfg.EmitShardDir.empty()) {
-          std::string Name = format("shard-b%05llu-s%05llu.json",
+          const bool Bin = Cfg.WireFormat == WireEncoding::Binary;
+          std::string Name = format(Bin ? "shard-b%05llu-s%05llu.hgb"
+                                        : "shard-b%05llu-s%05llu.json",
                                     static_cast<unsigned long long>(Sh.Bench),
                                     static_cast<unsigned long long>(Sh.Index));
-          if (!writeFileAtomic(Cfg.EmitShardDir + "/" + Name,
-                               renderShardJson(CfgHash,
-                                               Sources[Sh.Bench].Name,
-                                               Sh.Bench, Sh.Index, Sh.Begin,
-                                               Sh.End, Result)))
+          std::string Doc =
+              Bin ? renderShardBinary(CfgHash, Sources[Sh.Bench].Name,
+                                      Sh.Bench, Sh.Index, Sh.Begin, Sh.End,
+                                      Result)
+                  : renderShardJson(CfgHash, Sources[Sh.Bench].Name, Sh.Bench,
+                                    Sh.Index, Sh.Begin, Sh.End, Result);
+          if (!writeFileAtomic(Cfg.EmitShardDir + "/" + Name, Doc))
             ++EmitFailed;
         }
 
@@ -816,24 +821,16 @@ Report BatchResult::merged() const {
 }
 
 std::string BatchResult::renderJson() const {
-  std::string Out = format("{\"format\":\"herbgrind-report\","
-                           "\"version\":{\"major\":%d,\"minor\":%d},"
-                           "\"benchmarks\":[",
-                           WireFormatMajor, WireFormatMinor);
-  bool First = true;
-  for (const BenchmarkResult &BR : Benchmarks) {
-    if (!First)
-      Out += ",";
-    First = false;
-    Out += format("{\"name\":\"%s\",\"shards\":%llu,\"runs\":%llu,"
-                  "\"report\":%s}",
-                  jsonEscape(BR.Name).c_str(),
-                  static_cast<unsigned long long>(BR.Shards),
-                  static_cast<unsigned long long>(BR.Runs),
-                  BR.Rep.renderJson().c_str());
-  }
-  Out += "]}";
-  return Out;
+  return renderWire(WireEncoding::Json);
+}
+
+std::string BatchResult::renderWire(WireEncoding Enc) const {
+  std::vector<BatchReportEntryRef> Entries;
+  Entries.reserve(Benchmarks.size());
+  for (const BenchmarkResult &BR : Benchmarks)
+    Entries.push_back({&BR.Name, BR.Shards, BR.Runs, &BR.Rep});
+  return Enc == WireEncoding::Binary ? renderBatchReportBinary(Entries)
+                                     : renderBatchReportJson(Entries);
 }
 
 //===----------------------------------------------------------------------===//

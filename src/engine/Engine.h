@@ -122,6 +122,12 @@ struct EngineConfig {
   /// deliberately absent from the config hash and batched sweeps share
   /// scalar sweeps' caches.
   unsigned BatchLanes = 1;
+  /// Wire encoding for documents this sweep WRITES (cache stores and
+  /// emitted shards): JSON or compact HGB binary. Readers always sniff,
+  /// so a sweep consumes either format regardless. Deliberately absent
+  /// from the config hash -- both encodings carry bit-identical records,
+  /// so JSON-cached and binary-cached sweeps warm each other.
+  WireEncoding WireFormat = WireEncoding::Json;
 };
 
 /// One benchmark's merged outcome.
@@ -187,6 +193,11 @@ struct BatchResult {
   /// repeated runs, warm/cold caches, and single- vs multi-machine
   /// sweeps of the same configuration.
   std::string renderJson() const;
+
+  /// The same document in the requested encoding (the HGB binary render
+  /// carries bit-identical values; hgb2json recovers the exact JSON
+  /// bytes).
+  std::string renderWire(WireEncoding Enc) const;
 };
 
 /// The batch driver. One engine owns a compiled-program cache, so

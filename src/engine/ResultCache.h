@@ -61,8 +61,9 @@ struct CacheGcStats {
   uint64_t PrunedBytes = 0;   ///< Bytes reclaimed by this pass.
 };
 
-/// Prunes a cache directory's entries (`*.shard.json` shard results and
-/// `*.improve.json` improver outcomes) down to at most
+/// Prunes a cache directory's entries (`*.shard.json` / `*.shard.hgb`
+/// shard results and `*.improve.json` / `*.improve.hgb` improver
+/// outcomes) down to at most
 /// \p MaxBytes, deleting least-recently-used entries first (mtime order;
 /// caches with touch-on-hit enabled refresh entries on lookup, so hot
 /// shards survive). MaxBytes 0 empties the cache. Tolerates concurrent writers: entries that vanish
@@ -93,7 +94,10 @@ public:
   /// Looks a shard up; on a hit fills \p Out with a result that folds
   /// byte-identically to a fresh analysis. Any validation failure
   /// (missing file, parse error, version or config-hash mismatch, wrong
-  /// sample range) is a miss.
+  /// sample range) is a miss. Both the JSON and the HGB entry file are
+  /// consulted (format sniffed from content, whatever the extension
+  /// claims), so sweeps configured for different encodings warm each
+  /// other.
   bool lookup(const ShardKey &Key, AnalysisResult &Out);
 
   /// Persists a freshly analyzed shard. IO failures are counted but
@@ -102,8 +106,9 @@ public:
   void store(const ShardKey &Key, const std::string &BenchName,
              const AnalysisResult &Result);
 
-  /// The entry file for a key (deterministic; exposed for tests and
-  /// debugging).
+  /// The entry file a store() would write for a key under the configured
+  /// encoding (deterministic; exposed for tests and debugging). lookup()
+  /// additionally consults the other encoding's file.
   std::string entryPath(const ShardKey &Key) const;
 
   /// Identity of one batch-improver outcome: the exact expression and
@@ -145,6 +150,12 @@ public:
   /// FIFO-by-store-time, which is still a correct pruning order.
   void setTouchOnHit(bool Enabled) { TouchOnHit = Enabled; }
 
+  /// Selects the encoding store()/storeImprove() write (JSON by
+  /// default). Purely a writer-side knob: lookups sniff and accept
+  /// either format regardless.
+  void setWireEncoding(WireEncoding E) { Enc = E; }
+  WireEncoding wireEncoding() const { return Enc; }
+
   const std::string &directory() const { return Dir; }
   const std::string &configHash() const { return Hash; }
   uint64_t hits() const { return Hits.load(); }
@@ -152,9 +163,14 @@ public:
   uint64_t storeFailures() const { return StoreFailures.load(); }
 
 private:
+  /// The suffix-free entry paths the per-encoding files hang off.
+  std::string entryBase(const ShardKey &Key) const;
+  std::string improveEntryBase(const ImproveKey &Key) const;
+
   std::string Dir;
   std::string Hash;
   bool TouchOnHit = false;
+  WireEncoding Enc = WireEncoding::Json;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> StoreFailures{0};

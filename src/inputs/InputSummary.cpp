@@ -126,24 +126,8 @@ std::string VarSummary::preClause(RangeMode Mode,
   return "(or " + join(Parts, " ") + ")";
 }
 
-std::string VarSummary::renderJson() const {
-  std::string Out = format(
-      "{\"count\":%llu,\"sawNaN\":%s,\"sawZero\":%s,\"example\":%s",
-      static_cast<unsigned long long>(Count), SawNaN ? "true" : "false",
-      SawZero ? "true" : "false", formatDoubleShortest(Example).c_str());
-  auto Range = [&](const char *Key, double Lo, double Hi) {
-    Out += format(",\"%s\":[%s,%s]", Key, formatDoubleShortest(Lo).c_str(),
-                  formatDoubleShortest(Hi).c_str());
-  };
-  if (HasRange)
-    Range("range", Lo, Hi);
-  if (HasNeg)
-    Range("neg", NegLo, NegHi);
-  if (HasPos)
-    Range("pos", PosLo, PosHi);
-  Out += "}";
-  return Out;
-}
+// VarSummary::renderJson lives in analysis/Serialize.cpp: the JSON shape
+// is one schema traversal shared with the HGB binary backend.
 
 void InputCharacteristics::record(const std::vector<VarBinding> &Bindings) {
   for (const VarBinding &B : Bindings) {

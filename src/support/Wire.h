@@ -1,0 +1,237 @@
+//===- support/Wire.h - Abstract wire codec interface -----------*- C++ -*-===//
+//
+// Part of herbgrind-cpp. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The codec abstraction behind `analysis/Serialize`: every document
+/// family (shard, improve, report, batch report, telemetry) is written as
+/// ONE schema traversal over the abstract `wire::Encoder` / `wire::Decoder`
+/// interface, and the two backends -- byte-exact JSON (this file) and the
+/// compact HGB binary envelope (`support/WireBinary.h`) -- cannot drift,
+/// because there is no second copy of the schema to drift.
+///
+/// Encoder semantics: the traversal calls `key()` before every object
+/// field value, in the exact order the JSON bytes must appear; the JSON
+/// backend reproduces today's hand-rendered output byte for byte, and the
+/// binary backend ignores keys entirely (field identity is positional).
+/// `present()` marks an optional field (JSON: encoded by field absence;
+/// binary: one presence byte) and `variantTag()` marks a sum-type branch
+/// (JSON: encoded by which keys exist; binary: one varint).
+///
+/// Decoder semantics mirror the encoder: the JSON backend resolves `key()`
+/// by name against the parsed DOM (field order independent, unknown fields
+/// ignored -- exactly the old parsers' tolerance), while the binary
+/// backend reads values sequentially in traversal order. All read methods
+/// return false on malformed input and latch a message in `error()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERBGRIND_SUPPORT_WIRE_H
+#define HERBGRIND_SUPPORT_WIRE_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace herbgrind {
+namespace wire {
+
+/// Document family tags, embedded in the HGB header so a reader can
+/// dispatch without decoding the body. Values are wire-stable: never
+/// renumber, only append.
+enum class Family : uint8_t {
+  Shard = 1,
+  Improve = 2,
+  Report = 3, ///< A bare presentation-level report ({"spots":...}).
+  BatchReport = 4,
+  Telemetry = 5,
+};
+
+/// Human-readable family name (for diagnostics and conversion tools).
+const char *familyName(Family F);
+
+//===----------------------------------------------------------------------===//
+// Encoder
+//===----------------------------------------------------------------------===//
+
+class Encoder {
+public:
+  virtual ~Encoder() = default;
+
+  virtual void beginObject() = 0;
+  virtual void endObject() = 0;
+  /// Arrays carry their element count up front (the binary backend is
+  /// length-prefixed; the JSON backend ignores \p Count).
+  virtual void beginArray(uint64_t Count) = 0;
+  virtual void endArray() = 0;
+  /// Announces the next object field. Must precede every value inside an
+  /// object, in the order the JSON output requires.
+  virtual void key(const char *K) = 0;
+
+  virtual void u64(uint64_t V) = 0;
+  virtual void i64(int64_t V) = 0;
+  /// Doubles are bit-preserving in both backends: shortest round-trip
+  /// decimals in JSON, raw IEEE-754 bytes in binary.
+  virtual void dbl(double V) = 0;
+  virtual void boolean(bool V) = 0;
+  virtual void str(const std::string &S) = 0;
+  virtual void str(const char *S) = 0;
+
+  /// Marks whether the optional field that follows is present. JSON
+  /// encodes presence by emitting or omitting the field; binary writes
+  /// one byte. The traversal still guards the field itself with `if`.
+  virtual void present(bool P) = 0;
+  /// Marks which branch of a sum type follows. JSON encodes the branch
+  /// by which keys exist; binary writes a varint.
+  virtual void variantTag(unsigned Tag) = 0;
+
+  void u32(uint32_t V) { u64(V); }
+};
+
+//===----------------------------------------------------------------------===//
+// Decoder
+//===----------------------------------------------------------------------===//
+
+class Decoder {
+public:
+  virtual ~Decoder() = default;
+
+  virtual bool beginObject() = 0;
+  virtual bool endObject() = 0;
+  virtual bool beginArray(uint64_t &Count) = 0;
+  /// Positions at the next array element (call exactly Count times).
+  virtual bool element() = 0;
+  virtual bool endArray() = 0;
+  /// Positions at object field \p K. The JSON backend looks it up by
+  /// name; the binary backend is positional and only records it for
+  /// error messages.
+  virtual bool key(const char *K) = 0;
+
+  virtual bool u64(uint64_t &V) = 0;
+  virtual bool i64(int64_t &V) = 0;
+  virtual bool dbl(double &V) = 0;
+  virtual bool boolean(bool &V) = 0;
+  virtual bool str(std::string &S) = 0;
+
+  /// Reports whether optional field \p Key is present (JSON: field
+  /// lookup; binary: reads the presence byte).
+  virtual bool present(const char *Key, bool &P) = 0;
+  /// Resolves a sum type: returns the index of the first of
+  /// Keys[0..NumKeys-1] present in the current object, or NumKeys for
+  /// the default branch (JSON); the binary backend reads the tag varint.
+  virtual bool variant(const char *const *Keys, unsigned NumKeys,
+                       unsigned &Tag) = 0;
+
+  bool u32(uint32_t &V) {
+    uint64_t W;
+    if (!u64(W))
+      return false;
+    V = static_cast<uint32_t>(W);
+    return true;
+  }
+
+  /// Names the schema context for error messages ("op record", ...).
+  void setContext(const char *C) { Ctx = C; }
+  const char *context() const { return Ctx; }
+
+  const std::string &error() const { return Err; }
+  /// Latches \p Msg unless an earlier error already did.
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+  /// Replaces any latched error: for schema-level diagnostics ("unknown
+  /// opcode", envelope mismatches) that outrank a generic read failure.
+  bool failOver(const std::string &Msg) {
+    Err = Msg;
+    return false;
+  }
+
+protected:
+  const char *Ctx = "document";
+  std::string Err;
+};
+
+//===----------------------------------------------------------------------===//
+// JSON backend
+//===----------------------------------------------------------------------===//
+
+/// Byte-exact JSON encoder: reproduces the hand-rendered wire bytes of
+/// the pre-codec Serialize exactly (comma placement, shortest round-trip
+/// doubles, bare NAN/INFINITY tokens, no whitespace).
+class JsonEncoder : public Encoder {
+public:
+  void beginObject() override;
+  void endObject() override;
+  void beginArray(uint64_t Count) override;
+  void endArray() override;
+  void key(const char *K) override;
+  void u64(uint64_t V) override;
+  void i64(int64_t V) override;
+  void dbl(double V) override;
+  void boolean(bool V) override;
+  void str(const std::string &S) override;
+  void str(const char *S) override;
+  void present(bool P) override {}
+  void variantTag(unsigned Tag) override {}
+
+  std::string take() { return std::move(Out); }
+  const std::string &text() const { return Out; }
+
+private:
+  /// Emits the comma a value in array context (or at root after a
+  /// sibling) requires; a value after key() never needs one.
+  void preValue();
+
+  struct Frame {
+    bool IsArray;
+    bool First;
+  };
+  std::string Out;
+  std::vector<Frame> Stack;
+  bool AfterKey = false;
+};
+
+/// DOM-walking JSON decoder: field order independent, unknown fields
+/// ignored, numbers reparsed from their raw tokens (bit-exact doubles,
+/// non-negative integer enforcement for u64).
+class JsonDecoder : public Decoder {
+public:
+  explicit JsonDecoder(const JsonValue &Root) : Cur(&Root) {}
+
+  bool beginObject() override;
+  bool endObject() override;
+  bool beginArray(uint64_t &Count) override;
+  bool element() override;
+  bool endArray() override;
+  bool key(const char *K) override;
+  bool u64(uint64_t &V) override;
+  bool i64(int64_t &V) override;
+  bool dbl(double &V) override;
+  bool boolean(bool &V) override;
+  bool str(std::string &S) override;
+  bool present(const char *Key, bool &P) override;
+  bool variant(const char *const *Keys, unsigned NumKeys,
+               unsigned &Tag) override;
+
+private:
+  bool failField(const char *What);
+
+  struct Frame {
+    const JsonValue *Container;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  const JsonValue *Cur;
+  const char *LastKey = nullptr;
+};
+
+} // namespace wire
+} // namespace herbgrind
+
+#endif // HERBGRIND_SUPPORT_WIRE_H
