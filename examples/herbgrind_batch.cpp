@@ -38,9 +38,12 @@
 #include "analysis/OpProfile.h"
 #include "engine/Engine.h"
 #include "engine/ResultCache.h"
+#include "engine/RunLedger.h"
 #include "fpcore/Corpus.h"
 #include "improve/BatchImprove.h"
 #include "native/Kernel.h"
+#include "support/Events.h"
+#include "support/Format.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -122,6 +125,14 @@ static int usage(const char *Prog) {
       "                    cost table to stderr\n"
       "  --profile-period N  measure every Nth shadow op (default 1)\n"
       "  --progress        print a heartbeat line to stderr during sweeps\n"
+      "  --progress-every S  heartbeat interval in seconds (implies\n"
+      "                    --progress; fractional values allowed)\n"
+      "  --events-out FILE stream lifecycle events (sweep begin/end, shard\n"
+      "                    queued/cache-hit/analyzed/escalated/reduced,\n"
+      "                    improve records) as NDJSON; '-' = stdout\n"
+      "  --ledger-dir DIR  append one run-ledger entry (config hash, stats,\n"
+      "                    merged metrics) after the sweep; browse with the\n"
+      "                    ledger subcommand\n"
       "  --list            list corpus benchmark names\n"
       "  --selftest        verify --jobs N output matches --jobs 1, then "
       "exit\n"
@@ -129,6 +140,17 @@ static int usage(const char *Prog) {
       "  hgb2json FILE [--out F]  rewrite an HGB document (any family) as\n"
       "                    the exact JSON bytes the JSON backend emits\n"
       "  json2hgb FILE [--out F]  rewrite a JSON document as HGB\n"
+      "  telemetry-merge PATH... [--out F] [--wire-format json|binary]\n"
+      "                    fold telemetry documents (files, or directories\n"
+      "                    of telemetry-*.json/.hgb sidecars) into one;\n"
+      "                    counters sum, timers fold, profiles re-rank\n"
+      "  ledger list DIR   print every ledger entry, oldest first\n"
+      "  ledger show DIR N print entry N (chronological index) as JSON\n"
+      "  ledger compare DIR [BASE CUR] [--wall-frac F] [--cache-hit-drop F]\n"
+      "                    [--escalation-rise F] [--heap-frac F]\n"
+      "                    [--heap-slack N]  judge entry CUR against BASE\n"
+      "                    (default: latest against previous); exits 1 when\n"
+      "                    a regression threshold is crossed\n"
       "With no files and no --name, the whole bundled corpus is analyzed.\n",
       Prog);
   return 2;
@@ -152,51 +174,75 @@ static int emitRendered(const std::string &Rendered,
 }
 
 /// The `--progress` heartbeat: a helper thread that samples the metrics
-/// registry about once a second and prints sweep progress to stderr. The
-/// report stream is untouched, so heartbeats never perturb comparisons.
+/// registry every interval (default one second, `--progress-every` to
+/// change) and prints sweep progress to stderr. The report stream is
+/// untouched, so heartbeats never perturb comparisons. Every line is
+/// rendered to a buffer and written with ONE stdio call, so a heartbeat
+/// racing the main thread's diagnostics never interleaves mid-line; and
+/// stop() -- run on every exit path, errors included -- joins the thread
+/// first and then prints one final line, so the last thing `--progress`
+/// reports is always the completed state.
 class ProgressHeartbeat {
 public:
+  /// Must be called before start(). Fractional seconds are honored.
+  void setInterval(double Seconds) {
+    IntervalMs = std::max<int64_t>(1, static_cast<int64_t>(Seconds * 1000.0));
+  }
+
   void start() {
+    Started = true;
     T = std::thread([this] {
       std::unique_lock<std::mutex> Lock(M);
-      while (!CV.wait_for(Lock, std::chrono::seconds(1),
-                          [this] { return Stop; })) {
-        metrics::Snapshot S = metrics::snapshot();
-        const metrics::GaugeSample *Total = S.findGauge("engine.shards_total");
-        std::fprintf(
-            stderr,
-            "progress: %llu/%lld shards (%llu analyzed, %llu cached), "
-            "%llu improver records\n",
-            static_cast<unsigned long long>(
-                S.counterValue("engine.shards_done")),
-            static_cast<long long>(Total ? Total->Value : 0),
-            static_cast<unsigned long long>(
-                S.counterValue("engine.shards_analyzed")),
-            static_cast<unsigned long long>(
-                S.counterValue("engine.shards_cached")),
-            static_cast<unsigned long long>(
-                S.counterValue("improve.records_analyzed") +
-                S.counterValue("improve.records_cached")));
-      }
+      while (!CV.wait_for(Lock, std::chrono::milliseconds(IntervalMs),
+                          [this] { return Stop; }))
+        printLine(/*Final=*/false);
     });
   }
 
-  ~ProgressHeartbeat() {
-    if (!T.joinable())
-      return;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Stop = true;
+  /// Joins the heartbeat thread and prints the final line. Idempotent;
+  /// also run by the destructor so early error returns stay covered.
+  void stop() {
+    if (T.joinable()) {
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        Stop = true;
+      }
+      CV.notify_all();
+      T.join();
     }
-    CV.notify_all();
-    T.join();
+    if (Started) {
+      Started = false;
+      printLine(/*Final=*/true);
+    }
   }
 
+  ~ProgressHeartbeat() { stop(); }
+
 private:
+  static void printLine(bool Final) {
+    metrics::Snapshot S = metrics::snapshot();
+    const metrics::GaugeSample *Total = S.findGauge("engine.shards_total");
+    std::string Line = format(
+        "progress: %llu/%lld shards (%llu analyzed, %llu cached), "
+        "%llu improver records%s\n",
+        static_cast<unsigned long long>(S.counterValue("engine.shards_done")),
+        static_cast<long long>(Total ? Total->Value : 0),
+        static_cast<unsigned long long>(
+            S.counterValue("engine.shards_analyzed")),
+        static_cast<unsigned long long>(S.counterValue("engine.shards_cached")),
+        static_cast<unsigned long long>(
+            S.counterValue("improve.records_analyzed") +
+            S.counterValue("improve.records_cached")),
+        Final ? " -- done" : "");
+    std::fwrite(Line.data(), 1, Line.size(), stderr);
+  }
+
   std::thread T;
   std::mutex M;
   std::condition_variable CV;
   bool Stop = false;
+  bool Started = false;
+  int64_t IntervalMs = 1000;
 };
 
 /// Writes \p Text to \p Path; diagnoses (but does not abort on) failure.
@@ -211,21 +257,10 @@ static int writeTextFile(const std::string &Path, const std::string &Text) {
   return 0;
 }
 
-/// Emits the post-run telemetry outputs: stops tracing and writes the
-/// Chrome trace (--trace-out), assembles the telemetry document from the
-/// metrics snapshot plus the op profile accumulated in \p Result's records
-/// (--metrics-out), and prints the ranked hot-op table (--profile-ops).
-/// Returns nonzero if any requested file failed to write.
-static int emitTelemetry(const std::string &MetricsOut,
-                         const std::string &TraceOut, bool ProfileOps,
-                         const BatchResult *Result) {
-  int Rc = 0;
-  if (!TraceOut.empty()) {
-    trace::stop();
-    Rc |= writeTextFile(TraceOut, trace::renderChromeTrace());
-  }
-  if (MetricsOut.empty() && !ProfileOps)
-    return Rc;
+/// Assembles this process's telemetry document: the current metrics
+/// snapshot plus the op profile accumulated in \p Result's records (when
+/// a sweep result is at hand).
+static TelemetryDoc buildTelemetryDoc(const BatchResult *Result) {
   TelemetryDoc Doc;
   Doc.Metrics = metrics::snapshot();
   if (Result)
@@ -233,6 +268,58 @@ static int emitTelemetry(const std::string &MetricsOut,
       opprof::accumulateOpProfile(BR.Records.Ops, Doc.Profile);
   opprof::finalizeOpProfile(Doc.Profile);
   Doc.ProfileTotalNanos = Doc.Metrics.counterValue("profile.shadow_ns");
+  return Doc;
+}
+
+/// Stamps provenance meta (hostname, wall-clock timestamp) onto a
+/// telemetry document this process is about to write. Merge tools
+/// deliberately do NOT stamp -- their output stays byte-deterministic --
+/// so stamping is the writer's last step.
+static void stampTelemetryMeta(TelemetryDoc &Doc) {
+  Doc.HasMeta = true;
+  Doc.Meta.Host = hostName();
+  Doc.Meta.Timestamp = isoTimestampUtc(wallClockNanos() / 1000000000ull);
+  if (Doc.Meta.MergedDocs == 0)
+    Doc.Meta.MergedDocs = 1;
+}
+
+/// Emits the post-run telemetry outputs: stops tracing and writes the
+/// Chrome trace (--trace-out), assembles the telemetry document
+/// (--metrics-out), and prints the ranked hot-op table (--profile-ops).
+/// When \p SidecarPaths is given (merge mode), those telemetry sidecars
+/// are folded into this process's document first, so the written doc
+/// reproduces the emitting sweeps' totals. Returns nonzero if any
+/// requested file failed to write or any sidecar failed to parse.
+static int emitTelemetry(const std::string &MetricsOut,
+                         const std::string &TraceOut, bool ProfileOps,
+                         const BatchResult *Result,
+                         const std::vector<std::string> *SidecarPaths =
+                             nullptr) {
+  int Rc = 0;
+  if (!TraceOut.empty()) {
+    trace::stop();
+    Rc |= writeTextFile(TraceOut, trace::renderChromeTrace());
+  }
+  if (MetricsOut.empty() && !ProfileOps)
+    return Rc;
+  TelemetryDoc Doc = buildTelemetryDoc(Result);
+  if (SidecarPaths)
+    for (const std::string &Path : *SidecarPaths) {
+      std::string Text, Err;
+      TelemetryDoc SDoc;
+      if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        Rc = 1;
+        continue;
+      }
+      if (!parseTelemetry(Text, SDoc, Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+        Rc = 1;
+        continue;
+      }
+      Doc.mergeFrom(SDoc);
+    }
+  stampTelemetryMeta(Doc);
   if (!MetricsOut.empty())
     Rc |= writeTextFile(MetricsOut, renderTelemetryJson(Doc) + "\n");
   if (ProfileOps)
@@ -241,6 +328,38 @@ static int emitTelemetry(const std::string &MetricsOut,
             .c_str(),
         stderr);
   return Rc;
+}
+
+/// The per-shard-slice telemetry sidecar: when a sweep emits shard
+/// documents for another machine to merge, it also drops its telemetry
+/// document next to them (named by the slice so two machines sharing an
+/// output directory never collide), and `--merge-shards` /
+/// `telemetry-merge` fold the sidecars back into the single-machine
+/// totals. Written after the sweep (and improve pass), so the sidecar
+/// covers everything this process did.
+static int writeTelemetrySidecar(const EngineConfig &Cfg,
+                                 const BatchResult &Result) {
+  if (Cfg.EmitShardDir.empty())
+    return 0;
+  TelemetryDoc Doc = buildTelemetryDoc(&Result);
+  stampTelemetryMeta(Doc);
+  const bool Bin = Cfg.WireFormat == WireEncoding::Binary;
+  std::string RangeEnd =
+      Cfg.ShardEnd == std::numeric_limits<size_t>::max()
+          ? std::string("end")
+          : format("%zu", Cfg.ShardEnd);
+  std::string Path =
+      Cfg.EmitShardDir +
+      format("/telemetry-r%zu-%s.%s", Cfg.ShardBegin, RangeEnd.c_str(),
+             Bin ? "hgb" : "json");
+  std::string Data =
+      Bin ? renderTelemetryBinary(Doc) : renderTelemetryJson(Doc) + "\n";
+  if (!writeFileAtomic(Path, Data)) {
+    std::fprintf(stderr, "error: cannot write telemetry sidecar %s\n",
+                 Path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 /// Re-enforces a configured --cache-max-bytes after an improve pass
@@ -295,21 +414,37 @@ static std::string renderText(const BatchResult &Result) {
   return Rendered;
 }
 
+/// Whether a path names a telemetry sidecar (by basename convention:
+/// writeTelemetrySidecar emits "telemetry-r<lo>-<hi>.<ext>").
+static bool isTelemetrySidecarName(const std::string &Path) {
+  std::string Name = std::filesystem::path(Path).filename().string();
+  return Name.rfind("telemetry", 0) == 0;
+}
+
 /// Collects shard-document paths: each argument is a file, or a directory
 /// whose *.json / *.hgb entries (sorted, for reproducible error messages)
-/// are taken. Iteration uses the error_code API throughout -- a directory
-/// that turns unreadable mid-walk is a diagnostic, not a terminate().
+/// are taken. Telemetry sidecars living next to emitted shards are routed
+/// to \p TelemetryPaths (when given; otherwise skipped in directories) so
+/// they never reach the shard parser. Iteration uses the error_code API
+/// throughout -- a directory that turns unreadable mid-walk is a
+/// diagnostic, not a terminate().
 static bool collectShardPaths(const std::vector<std::string> &Args,
-                              std::vector<std::string> &Paths) {
+                              std::vector<std::string> &Paths,
+                              std::vector<std::string> *TelemetryPaths =
+                                  nullptr) {
   namespace fs = std::filesystem;
   for (const std::string &Arg : Args) {
     std::error_code Ec;
     if (fs::is_directory(Arg, Ec)) {
-      std::vector<std::string> Entries;
+      std::vector<std::string> Entries, Sidecars;
       fs::directory_iterator It(Arg, Ec), End;
       for (; !Ec && It != End; It.increment(Ec)) {
         const fs::path &P = It->path();
-        if (P.extension() == ".json" || P.extension() == ".hgb")
+        if (P.extension() != ".json" && P.extension() != ".hgb")
+          continue;
+        if (isTelemetrySidecarName(P.string()))
+          Sidecars.push_back(P.string());
+        else
           Entries.push_back(P.string());
       }
       if (Ec) {
@@ -319,6 +454,11 @@ static bool collectShardPaths(const std::vector<std::string> &Args,
       }
       std::sort(Entries.begin(), Entries.end());
       Paths.insert(Paths.end(), Entries.begin(), Entries.end());
+      if (TelemetryPaths) {
+        std::sort(Sidecars.begin(), Sidecars.end());
+        TelemetryPaths->insert(TelemetryPaths->end(), Sidecars.begin(),
+                               Sidecars.end());
+      }
     } else {
       Paths.push_back(Arg);
     }
@@ -330,14 +470,15 @@ static int runMergeShards(const std::vector<std::string> &Args, bool Json,
                           const std::string &OutFile, bool Improve,
                           const improve::BatchImproveConfig &BCfg,
                           const std::string &CacheDir, uint64_t CacheMaxBytes,
-                          WireEncoding WireFormat) {
+                          WireEncoding WireFormat,
+                          std::vector<std::string> &SidecarPaths) {
   if (Args.empty()) {
     std::fprintf(stderr,
                  "error: --merge-shards needs shard files or directories\n");
     return 2;
   }
   std::vector<std::string> Paths;
-  if (!collectShardPaths(Args, Paths))
+  if (!collectShardPaths(Args, Paths, &SidecarPaths))
     return 1;
 
   std::vector<ShardDoc> Docs;
@@ -453,6 +594,8 @@ static int runConvert(bool ToJson, const std::string &InFile,
       Fam = wire::Family::BatchReport;
     else if (Tag == "herbgrind-telemetry")
       Fam = wire::Family::Telemetry;
+    else if (Tag == "herbgrind-ledger")
+      Fam = wire::Family::Ledger;
     else if (Tag.empty() && R.Value.field("spots"))
       Fam = wire::Family::Report;
     else {
@@ -507,6 +650,13 @@ static int runConvert(bool ToJson, const std::string &InFile,
                  : renderTelemetryBinary(Doc);
     break;
   }
+  case wire::Family::Ledger: {
+    LedgerEntry E;
+    if (!parseLedgerEntry(Text, E, Err))
+      break;
+    Out = ToJson ? renderLedgerEntryJson(E) + "\n" : renderLedgerEntryBinary(E);
+    break;
+  }
   }
   if (!Err.empty()) {
     std::fprintf(stderr, "error: %s: %s\n", InFile.c_str(), Err.c_str());
@@ -536,6 +686,212 @@ static int convertMain(bool ToJson, int Argc, char **Argv) {
     return 2;
   }
   return runConvert(ToJson, InFile, OutFile);
+}
+
+/// The `telemetry-merge` subcommand: fold telemetry documents -- files in
+/// either encoding, or directories scanned for telemetry sidecars -- into
+/// one document. The output is byte-deterministic (no host/timestamp
+/// stamp; mergeTelemetry clears provenance), so merging the same inputs
+/// anywhere yields identical bytes, and a JSON-sidecar merge equals the
+/// same shards' HGB-sidecar merge exactly.
+static int telemetryMergeMain(int Argc, char **Argv) {
+  std::vector<std::string> Args;
+  std::string OutFile;
+  WireEncoding Enc = WireEncoding::Json;
+  for (int I = 2; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--out") == 0 && I + 1 < Argc) {
+      OutFile = Argv[++I];
+    } else if (std::strcmp(Arg, "--wire-format") == 0 && I + 1 < Argc) {
+      const char *V = Argv[++I];
+      if (std::strcmp(V, "json") == 0)
+        Enc = WireEncoding::Json;
+      else if (std::strcmp(V, "binary") == 0)
+        Enc = WireEncoding::Binary;
+      else {
+        std::fprintf(stderr,
+                     "error: --wire-format wants json or binary; got '%s'\n",
+                     V);
+        return 2;
+      }
+    } else if (Arg[0] == '-') {
+      return usage(Argv[0]);
+    } else {
+      Args.push_back(Arg);
+    }
+  }
+  if (Args.empty()) {
+    std::fprintf(stderr,
+                 "error: telemetry-merge needs telemetry files or "
+                 "directories\n");
+    return 2;
+  }
+  // Expand directories to their telemetry sidecars; explicit file
+  // arguments are taken as-is.
+  std::vector<std::string> Paths;
+  for (const std::string &Arg : Args) {
+    std::error_code Ec;
+    if (std::filesystem::is_directory(Arg, Ec)) {
+      std::vector<std::string> Ignored, Sidecars;
+      if (!collectShardPaths({Arg}, Ignored, &Sidecars))
+        return 1;
+      if (Sidecars.empty()) {
+        std::fprintf(stderr, "error: no telemetry sidecars in %s\n",
+                     Arg.c_str());
+        return 1;
+      }
+      Paths.insert(Paths.end(), Sidecars.begin(), Sidecars.end());
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  std::vector<std::string> Texts(Paths.size());
+  for (size_t I = 0; I < Paths.size(); ++I)
+    if (!readFile(Paths[I], Texts[I])) {
+      std::fprintf(stderr, "error: cannot open %s\n", Paths[I].c_str());
+      return 1;
+    }
+  TelemetryDoc Merged;
+  std::string Err;
+  if (!mergeTelemetry(Texts, Merged, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::string Out = Enc == WireEncoding::Binary
+                        ? renderTelemetryBinary(Merged)
+                        : renderTelemetryJson(Merged) + "\n";
+  int Rc = emitConverted(Out, OutFile);
+  if (Rc == 0)
+    std::fprintf(stderr, "merged %llu telemetry documents\n",
+                 static_cast<unsigned long long>(Merged.Meta.MergedDocs));
+  return Rc;
+}
+
+/// Renders one ledger list row.
+static void printLedgerRow(size_t Index, const LedgerEntry &E) {
+  std::printf("%3zu  %s  %-12s  %-8s  %4s/%-7s  %6llu shards  %8llu runs  "
+              "%8.2fs  %.12s\n",
+              Index, E.Timestamp.c_str(), E.Host.c_str(), E.Label.c_str(),
+              E.WireFormat.c_str(), E.Tier.c_str(),
+              static_cast<unsigned long long>(E.Shards),
+              static_cast<unsigned long long>(E.Runs), E.WallSeconds,
+              E.ConfigHash.c_str());
+}
+
+/// The `ledger` subcommand: list | show | compare over a --ledger-dir
+/// directory. Entries are addressed by their chronological index as
+/// printed by `ledger list`.
+static int ledgerMain(int Argc, char **Argv) {
+  if (Argc < 4)
+    return usage(Argv[0]);
+  std::string Verb = Argv[2];
+  std::string Dir = Argv[3];
+  LedgerThresholds Thresholds;
+  std::vector<size_t> Indices;
+  for (int I = 4; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextDouble = [&](double &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::atof(Argv[++I]);
+      return true;
+    };
+    if (std::strcmp(Arg, "--wall-frac") == 0) {
+      if (!NextDouble(Thresholds.WallFrac))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Arg, "--cache-hit-drop") == 0) {
+      if (!NextDouble(Thresholds.CacheHitDrop))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Arg, "--escalation-rise") == 0) {
+      if (!NextDouble(Thresholds.EscalationRise))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Arg, "--heap-frac") == 0) {
+      if (!NextDouble(Thresholds.HeapFrac))
+        return usage(Argv[0]);
+    } else if (std::strcmp(Arg, "--heap-slack") == 0) {
+      if (I + 1 >= Argc)
+        return usage(Argv[0]);
+      Thresholds.HeapSlack = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::isdigit(static_cast<unsigned char>(Arg[0]))) {
+      Indices.push_back(static_cast<size_t>(std::strtoull(Arg, nullptr, 10)));
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+
+  std::vector<LedgerEntry> Entries;
+  std::vector<std::string> EntryPaths;
+  std::string Err;
+  if (!ledgerList(Dir, Entries, EntryPaths, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (Verb == "list") {
+    for (size_t I = 0; I < Entries.size(); ++I)
+      printLedgerRow(I, Entries[I]);
+    std::fprintf(stderr, "%zu ledger entries in %s\n", Entries.size(),
+                 Dir.c_str());
+    return 0;
+  }
+  auto CheckIndex = [&](size_t Idx) {
+    if (Idx < Entries.size())
+      return true;
+    std::fprintf(stderr, "error: ledger index %zu out of range (%zu entries)\n",
+                 Idx, Entries.size());
+    return false;
+  };
+  if (Verb == "show") {
+    if (Indices.size() != 1) {
+      std::fprintf(stderr, "error: ledger show wants exactly one index\n");
+      return 2;
+    }
+    if (!CheckIndex(Indices[0]))
+      return 1;
+    std::printf("%s\n", renderLedgerEntryJson(Entries[Indices[0]]).c_str());
+    return 0;
+  }
+  if (Verb == "compare") {
+    // Default: the latest entry against its predecessor.
+    if (Indices.empty() && Entries.size() >= 2)
+      Indices = {Entries.size() - 2, Entries.size() - 1};
+    if (Indices.size() != 2) {
+      std::fprintf(stderr,
+                   "error: ledger compare wants two indices (or a ledger "
+                   "with at least two entries)\n");
+      return 2;
+    }
+    if (!CheckIndex(Indices[0]) || !CheckIndex(Indices[1]))
+      return 1;
+    const LedgerEntry &Base = Entries[Indices[0]];
+    const LedgerEntry &Cur = Entries[Indices[1]];
+    if (Base.ConfigHash != Cur.ConfigHash)
+      std::fprintf(stderr,
+                   "warning: comparing different configurations "
+                   "(%.12s vs %.12s)\n",
+                   Base.ConfigHash.c_str(), Cur.ConfigHash.c_str());
+    std::vector<LedgerRegression> Regressions =
+        ledgerCompare(Base, Cur, Thresholds);
+    std::fprintf(stderr,
+                 "compare: baseline #%zu (%s, %.2fs) vs current #%zu "
+                 "(%s, %.2fs)\n",
+                 Indices[0], Base.Timestamp.c_str(), Base.WallSeconds,
+                 Indices[1], Cur.Timestamp.c_str(), Cur.WallSeconds);
+    for (const LedgerRegression &R : Regressions)
+      std::fprintf(stderr,
+                   "REGRESSION: %s: baseline %.6g -> current %.6g "
+                   "(limit %.6g)\n",
+                   R.Metric.c_str(), R.Baseline, R.Current, R.Limit);
+    if (Regressions.empty()) {
+      std::fprintf(stderr, "no regressions\n");
+      return 0;
+    }
+    return 1;
+  }
+  std::fprintf(stderr, "error: unknown ledger verb '%s' (want list, show, "
+                       "or compare)\n",
+               Verb.c_str());
+  return 2;
 }
 
 /// `--cache-gc`: a standalone LRU pruning pass over a cache directory.
@@ -579,14 +935,19 @@ int main(int Argc, char **Argv) {
     return convertMain(/*ToJson=*/true, Argc, Argv);
   if (Argc > 1 && std::strcmp(Argv[1], "json2hgb") == 0)
     return convertMain(/*ToJson=*/false, Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "telemetry-merge") == 0)
+    return telemetryMergeMain(Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "ledger") == 0)
+    return ledgerMain(Argc, Argv);
 
   EngineConfig Cfg;
   bool Json = false, SelfTest = false, MergeShards = false, CacheGc = false;
   bool CacheMaxSet = false, Improve = false, Native = false;
   bool ProfileOps = false, Progress = false;
+  double ProgressEvery = 1.0;
   uint32_t ProfilePeriod = 1;
   improve::BatchImproveConfig BCfg;
-  std::string OutFile, MetricsOut, TraceOut;
+  std::string OutFile, MetricsOut, TraceOut, EventsOut, LedgerDir;
   std::vector<Core> Cores;
   std::vector<std::string> MergeArgs;
 
@@ -774,6 +1135,26 @@ int main(int Argc, char **Argv) {
       ProfilePeriod = static_cast<uint32_t>(P);
     } else if (std::strcmp(Arg, "--progress") == 0) {
       Progress = true;
+    } else if (std::strcmp(Arg, "--progress-every") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      ProgressEvery = std::atof(V);
+      if (!(ProgressEvery > 0.0)) {
+        std::fprintf(stderr, "error: --progress-every must be > 0 seconds\n");
+        return 2;
+      }
+      Progress = true;
+    } else if (std::strcmp(Arg, "--events-out") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      EventsOut = V;
+    } else if (std::strcmp(Arg, "--ledger-dir") == 0) {
+      const char *V = NextValue();
+      if (!V)
+        return usage(Argv[0]);
+      LedgerDir = V;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
     } else if (MergeShards) {
@@ -812,16 +1193,34 @@ int main(int Argc, char **Argv) {
     trace::start();
   if (ProfileOps)
     opprof::enable(ProfilePeriod);
+  if (!EventsOut.empty()) {
+    std::string Err;
+    if (!events::start(EventsOut, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  // Close the event stream on every exit path, so the last line a
+  // consumer sees is a complete one.
+  struct EventsCloser {
+    ~EventsCloser() { events::stop(); }
+  } CloseEvents;
   ProgressHeartbeat Heartbeat;
+  Heartbeat.setInterval(ProgressEvery);
   if (Progress)
     Heartbeat.start();
 
   if (MergeShards) {
+    std::vector<std::string> Sidecars;
     int Rc = runMergeShards(MergeArgs, Json, OutFile, Improve, BCfg,
-                            Cfg.CacheDir, Cfg.CacheMaxBytes, Cfg.WireFormat);
+                            Cfg.CacheDir, Cfg.CacheMaxBytes, Cfg.WireFormat,
+                            Sidecars);
     // Merged shard documents carry no profiler fields (nothing executed
-    // here), so the telemetry covers the merge/improve work itself.
-    int TRc = emitTelemetry(MetricsOut, TraceOut, ProfileOps, nullptr);
+    // here), so the telemetry covers the merge/improve work itself --
+    // plus any telemetry sidecars found next to the shards, folded in so
+    // --metrics-out reproduces the emitting sweeps' totals.
+    int TRc = emitTelemetry(MetricsOut, TraceOut, ProfileOps, nullptr,
+                            &Sidecars);
     return Rc != 0 ? Rc : TRc;
   }
 
@@ -905,6 +1304,21 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Result.Stats.EmitFailures),
                  Cfg.EmitShardDir.c_str());
     return 1;
+  }
+  // The work is done: join the heartbeat now so its final line lands
+  // before the summary statistics.
+  Heartbeat.stop();
+  if (writeTelemetrySidecar(Cfg, Result) != 0)
+    return 1;
+  if (!LedgerDir.empty()) {
+    LedgerEntry Entry = makeLedgerEntry(Eng.config(), Result.Stats, "sweep");
+    std::string LedgerPath, LedgerErr;
+    if (!ledgerAppend(LedgerDir, Entry, Cfg.WireFormat, LedgerPath,
+                      LedgerErr)) {
+      std::fprintf(stderr, "error: %s\n", LedgerErr.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ledger: appended %s\n", LedgerPath.c_str());
   }
 
   std::string Rendered =

@@ -78,6 +78,32 @@ void accumulateOpProfile(const std::map<uint32_t, OpRecord> &Ops,
   }
 }
 
+void mergeOpProfileRows(std::vector<OpProfileRow> &Dst,
+                        const std::vector<OpProfileRow> &Src) {
+  for (const OpProfileRow &S : Src) {
+    OpProfileRow *Row = nullptr;
+    for (OpProfileRow &R : Dst)
+      if (R.Op == S.Op && R.Loc == S.Loc) {
+        Row = &R;
+        break;
+      }
+    if (!Row) {
+      Dst.push_back(S);
+      Dst.back().Executions = 0;
+      Dst.back().Samples = 0;
+      Dst.back().Nanos = 0;
+      Dst.back().LimbAllocs = 0;
+      Dst.back().LimbHits = 0;
+      Row = &Dst.back();
+    }
+    Row->Executions += S.Executions;
+    Row->Samples += S.Samples;
+    Row->Nanos += S.Nanos;
+    Row->LimbAllocs += S.LimbAllocs;
+    Row->LimbHits += S.LimbHits;
+  }
+}
+
 void finalizeOpProfile(std::vector<OpProfileRow> &Rows) {
   std::sort(Rows.begin(), Rows.end(),
             [](const OpProfileRow &A, const OpProfileRow &B) {

@@ -100,6 +100,14 @@ struct OpProfileRow {
 void accumulateOpProfile(const std::map<uint32_t, OpRecord> &Ops,
                          std::vector<OpProfileRow> &Rows);
 
+/// Folds \p Src into \p Dst by `(Loc, Op)` identity, summing every cost
+/// field -- the row-level counterpart of accumulateOpProfile, used to
+/// merge telemetry documents from distributed sweep slices. Associative
+/// and commutative up to row order; re-finalize after merging to restore
+/// the ranking.
+void mergeOpProfileRows(std::vector<OpProfileRow> &Dst,
+                        const std::vector<OpProfileRow> &Src);
+
 /// Sorts rows by descending estimated cost (ties by location then opcode,
 /// so the ranking is deterministic).
 void finalizeOpProfile(std::vector<OpProfileRow> &Rows);

@@ -585,7 +585,7 @@ static void encodeJsonEnvelope(wire::JsonEncoder &E, const char *Fmt,
 /// versions are additive, so any minor of a known major is accepted --
 /// including a missing "minor" from a hypothetical older writer.
 static bool decodeJsonEnvelope(wire::JsonDecoder &D, const char *Fmt,
-                               int ExpectedMajor) {
+                               int ExpectedMajor, int *MinorOut = nullptr) {
   std::string Tag;
   if (!D.key("format") || !D.str(Tag) || Tag != Fmt)
     return D.failOver(
@@ -600,6 +600,17 @@ static bool decodeJsonEnvelope(wire::JsonDecoder &D, const char *Fmt,
                              "reader understands %d)",
                              Fmt, static_cast<long long>(Major),
                              ExpectedMajor));
+  // Callers that decode minor-gated optional fields need the document's
+  // own minor; a missing "minor" (hypothetical older writer) reads as 0.
+  if (MinorOut) {
+    bool HasMinor = false;
+    int64_t Minor = 0;
+    if (!D.present("minor", HasMinor))
+      return false;
+    if (HasMinor && (!D.key("minor") || !D.i64(Minor)))
+      return false;
+    *MinorOut = static_cast<int>(Minor);
+  }
   return D.endObject();
 }
 
@@ -1205,10 +1216,13 @@ bool herbgrind::parseBatchReport(const std::string &Text, BatchReportDoc &Out,
 // Telemetry documents
 //===----------------------------------------------------------------------===//
 
-static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
+/// The counters/gauges/timers sections, shared verbatim by the telemetry
+/// document and the run-ledger envelope (one schema, two containers).
+static void encodeMetricsSnapshot(wire::Encoder &E,
+                                  const metrics::Snapshot &S) {
   E.key("counters");
-  E.beginArray(Doc.Metrics.Counters.size());
-  for (const metrics::CounterSample &Cs : Doc.Metrics.Counters) {
+  E.beginArray(S.Counters.size());
+  for (const metrics::CounterSample &Cs : S.Counters) {
     E.beginObject();
     E.key("name");
     E.str(Cs.Name);
@@ -1218,8 +1232,8 @@ static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
   }
   E.endArray();
   E.key("gauges");
-  E.beginArray(Doc.Metrics.Gauges.size());
-  for (const metrics::GaugeSample &G : Doc.Metrics.Gauges) {
+  E.beginArray(S.Gauges.size());
+  for (const metrics::GaugeSample &G : S.Gauges) {
     E.beginObject();
     E.key("name");
     E.str(G.Name);
@@ -1231,8 +1245,8 @@ static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
   }
   E.endArray();
   E.key("timers");
-  E.beginArray(Doc.Metrics.Timers.size());
-  for (const metrics::TimerSample &T : Doc.Metrics.Timers) {
+  E.beginArray(S.Timers.size());
+  for (const metrics::TimerSample &T : S.Timers) {
     E.beginObject();
     E.key("name");
     E.str(T.Name);
@@ -1250,6 +1264,79 @@ static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
     E.endObject();
   }
   E.endArray();
+}
+
+static bool decodeMetricsSnapshot(wire::Decoder &D, metrics::Snapshot &Out) {
+  uint64_t N = 0;
+  if (!D.key("counters") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx CC(D, "metrics counter");
+    metrics::CounterSample Cs;
+    if (!D.element() || !D.beginObject() || !D.key("name") ||
+        !D.str(Cs.Name) || !D.key("value") || !D.u64(Cs.Value) ||
+        !D.endObject())
+      return false;
+    Out.Counters.push_back(std::move(Cs));
+  }
+  if (!D.endArray())
+    return false;
+  if (!D.key("gauges") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx GC(D, "metrics gauge");
+    metrics::GaugeSample G;
+    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(G.Name) ||
+        !D.key("value") || !D.i64(G.Value) || !D.key("max") ||
+        !D.i64(G.Max) || !D.endObject())
+      return false;
+    Out.Gauges.push_back(std::move(G));
+  }
+  if (!D.endArray())
+    return false;
+  if (!D.key("timers") || !D.beginArray(N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    ScopedCtx TC(D, "metrics timer");
+    metrics::TimerSample T;
+    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(T.Name) ||
+        !D.key("count") || !D.u64(T.Count) || !D.key("sumNs") ||
+        !D.u64(T.SumNanos) || !D.key("maxNs") || !D.u64(T.MaxNanos))
+      return false;
+    uint64_t NumBuckets = 0;
+    if (!D.key("buckets") || !D.beginArray(NumBuckets))
+      return false;
+    if (NumBuckets != metrics::TimerBuckets)
+      return D.failOver(
+          format("metrics timer '%s': expected %u buckets, got %zu",
+                 T.Name.c_str(), metrics::TimerBuckets,
+                 static_cast<size_t>(NumBuckets)));
+    for (unsigned B = 0; B < metrics::TimerBuckets; ++B)
+      if (!D.element() || !D.u64(T.Buckets[B]))
+        return false;
+    if (!D.endArray() || !D.endObject())
+      return false;
+    Out.Timers.push_back(std::move(T));
+  }
+  return D.endArray();
+}
+
+static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
+  // The 1.1 meta block is optional so a doc parsed from a minor-0 writer
+  // re-renders its exact bytes (absence round-trips to absence).
+  E.present(Doc.HasMeta);
+  if (Doc.HasMeta) {
+    E.key("meta");
+    E.beginObject();
+    E.key("host");
+    E.str(Doc.Meta.Host);
+    E.key("timestamp");
+    E.str(Doc.Meta.Timestamp);
+    E.key("mergedDocs");
+    E.u64(Doc.Meta.MergedDocs);
+    E.endObject();
+  }
+  encodeMetricsSnapshot(E, Doc.Metrics);
   E.key("profile");
   E.beginObject();
   E.key("totalNs");
@@ -1278,61 +1365,27 @@ static void encodeTelemetryBody(wire::Encoder &E, const TelemetryDoc &Doc) {
   E.endObject();
 }
 
-static bool decodeTelemetryBody(wire::Decoder &D, TelemetryDoc &Out) {
+/// \p DocMinor is the document's own minor version: a minor-0 binary doc
+/// carries no meta presence byte, so the read must be version-gated (the
+/// JSON backend resolves presence by name and tolerates either minor).
+static bool decodeTelemetryBody(wire::Decoder &D, TelemetryDoc &Out,
+                                int DocMinor) {
   ScopedCtx C(D, "telemetry");
-  uint64_t N = 0;
-  if (!D.key("counters") || !D.beginArray(N))
-    return false;
-  for (uint64_t I = 0; I < N; ++I) {
-    ScopedCtx CC(D, "telemetry counter");
-    metrics::CounterSample Cs;
-    if (!D.element() || !D.beginObject() || !D.key("name") ||
-        !D.str(Cs.Name) || !D.key("value") || !D.u64(Cs.Value) ||
-        !D.endObject())
+  if (DocMinor >= 1) {
+    if (!D.present("meta", Out.HasMeta))
       return false;
-    Out.Metrics.Counters.push_back(std::move(Cs));
-  }
-  if (!D.endArray())
-    return false;
-  if (!D.key("gauges") || !D.beginArray(N))
-    return false;
-  for (uint64_t I = 0; I < N; ++I) {
-    ScopedCtx GC(D, "telemetry gauge");
-    metrics::GaugeSample G;
-    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(G.Name) ||
-        !D.key("value") || !D.i64(G.Value) || !D.key("max") ||
-        !D.i64(G.Max) || !D.endObject())
-      return false;
-    Out.Metrics.Gauges.push_back(std::move(G));
-  }
-  if (!D.endArray())
-    return false;
-  if (!D.key("timers") || !D.beginArray(N))
-    return false;
-  for (uint64_t I = 0; I < N; ++I) {
-    ScopedCtx TC(D, "telemetry timer");
-    metrics::TimerSample T;
-    if (!D.element() || !D.beginObject() || !D.key("name") || !D.str(T.Name) ||
-        !D.key("count") || !D.u64(T.Count) || !D.key("sumNs") ||
-        !D.u64(T.SumNanos) || !D.key("maxNs") || !D.u64(T.MaxNanos))
-      return false;
-    uint64_t NumBuckets = 0;
-    if (!D.key("buckets") || !D.beginArray(NumBuckets))
-      return false;
-    if (NumBuckets != metrics::TimerBuckets)
-      return D.failOver(
-          format("telemetry timer '%s': expected %u buckets, got %zu",
-                 T.Name.c_str(), metrics::TimerBuckets,
-                 static_cast<size_t>(NumBuckets)));
-    for (unsigned B = 0; B < metrics::TimerBuckets; ++B)
-      if (!D.element() || !D.u64(T.Buckets[B]))
+    if (Out.HasMeta) {
+      ScopedCtx MC(D, "telemetry meta");
+      if (!D.key("meta") || !D.beginObject() || !D.key("host") ||
+          !D.str(Out.Meta.Host) || !D.key("timestamp") ||
+          !D.str(Out.Meta.Timestamp) || !D.key("mergedDocs") ||
+          !D.u64(Out.Meta.MergedDocs) || !D.endObject())
         return false;
-    if (!D.endArray() || !D.endObject())
-      return false;
-    Out.Metrics.Timers.push_back(std::move(T));
+    }
   }
-  if (!D.endArray())
+  if (!decodeMetricsSnapshot(D, Out.Metrics))
     return false;
+  uint64_t N = 0;
   ScopedCtx PC(D, "telemetry profile");
   if (!D.key("profile") || !D.beginObject() || !D.key("totalNs") ||
       !D.u64(Out.ProfileTotalNanos))
@@ -1388,9 +1441,11 @@ bool herbgrind::parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
     return false;
   }
   wire::JsonDecoder D(R.Value);
+  int DocMinor = 0;
   if (!D.beginObject() ||
-      !decodeJsonEnvelope(D, "herbgrind-telemetry", TelemetryFormatMajor) ||
-      !decodeTelemetryBody(D, Out) || !D.endObject()) {
+      !decodeJsonEnvelope(D, "herbgrind-telemetry", TelemetryFormatMajor,
+                          &DocMinor) ||
+      !decodeTelemetryBody(D, Out, DocMinor) || !D.endObject()) {
     Err = D.error();
     return false;
   }
@@ -1405,12 +1460,223 @@ bool herbgrind::parseTelemetry(const std::string &Text, TelemetryDoc &Out,
   if (!checkBinaryHeader(D, wire::Family::Telemetry, "herbgrind-telemetry",
                          TelemetryFormatMajor, Err))
     return false;
-  if (!decodeTelemetryBody(D, Out)) {
+  if (!decodeTelemetryBody(D, Out, D.minor())) {
     Err = D.error();
     return false;
   }
   if (!D.atEnd()) {
     Err = "telemetry: trailing bytes after HGB document";
+    return false;
+  }
+  return true;
+}
+
+void TelemetryDoc::mergeFrom(const TelemetryDoc &Other) {
+  // A doc that never passed through a merge counts as one process.
+  auto LeafCount = [](const TelemetryDoc &D) {
+    return D.HasMeta && D.Meta.MergedDocs > 0 ? D.Meta.MergedDocs
+                                              : uint64_t(1);
+  };
+  Meta.MergedDocs = LeafCount(*this) + LeafCount(Other);
+  HasMeta = true;
+  Metrics.mergeFrom(Other.Metrics);
+  opprof::mergeOpProfileRows(Profile, Other.Profile);
+  opprof::finalizeOpProfile(Profile);
+  ProfileTotalNanos += Other.ProfileTotalNanos;
+}
+
+bool herbgrind::mergeTelemetry(const std::vector<std::string> &DocTexts,
+                               TelemetryDoc &Out, std::string &Err) {
+  if (DocTexts.empty()) {
+    Err = "no telemetry documents to merge";
+    return false;
+  }
+  Out = TelemetryDoc();
+  for (size_t I = 0; I < DocTexts.size(); ++I) {
+    TelemetryDoc Doc;
+    if (!parseTelemetry(DocTexts[I], Doc, Err)) {
+      Err = format("telemetry document %zu: %s", I, Err.c_str());
+      return false;
+    }
+    if (I == 0)
+      Out = std::move(Doc);
+    else
+      Out.mergeFrom(Doc);
+  }
+  // A single-doc "merge" still marks the result as merged provenance;
+  // Host/Timestamp stay empty either way so the result is deterministic
+  // given the inputs (callers stamp provenance before writing).
+  if (Out.HasMeta && DocTexts.size() == 1)
+    Out.Meta.MergedDocs = std::max<uint64_t>(Out.Meta.MergedDocs, 1);
+  if (!Out.HasMeta) {
+    Out.HasMeta = true;
+    Out.Meta.MergedDocs = 1;
+  }
+  Out.Meta.Host.clear();
+  Out.Meta.Timestamp.clear();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Run-ledger documents
+//===----------------------------------------------------------------------===//
+
+static void encodeLedgerBody(wire::Encoder &E, const LedgerEntry &L) {
+  E.key("meta");
+  E.beginObject();
+  E.key("host");
+  E.str(L.Host);
+  E.key("timestamp");
+  E.str(L.Timestamp);
+  E.key("timestampNs");
+  E.u64(L.TimestampNanos);
+  E.key("label");
+  E.str(L.Label);
+  E.endObject();
+  E.key("config");
+  E.beginObject();
+  E.key("hash");
+  E.str(L.ConfigHash);
+  E.key("wireFormat");
+  E.str(L.WireFormat);
+  E.key("tier");
+  E.str(L.Tier);
+  E.key("jobs");
+  E.u64(L.Jobs);
+  E.key("samples");
+  E.u64(L.Samples);
+  E.key("shardSize");
+  E.u64(L.ShardSize);
+  E.key("batchLanes");
+  E.u64(L.BatchLanes);
+  E.endObject();
+  E.key("stats");
+  E.beginObject();
+  E.key("benchmarks");
+  E.u64(L.Benchmarks);
+  E.key("shards");
+  E.u64(L.Shards);
+  E.key("runs");
+  E.u64(L.Runs);
+  E.key("analyzedShards");
+  E.u64(L.AnalyzedShards);
+  E.key("cachedShards");
+  E.u64(L.CachedShards);
+  E.key("rcacheHits");
+  E.u64(L.ResultCacheHits);
+  E.key("rcacheMisses");
+  E.u64(L.ResultCacheMisses);
+  E.key("limbHeapAllocs");
+  E.u64(L.LimbHeapAllocs);
+  E.key("limbCacheHits");
+  E.u64(L.LimbCacheHits);
+  E.key("tier0Runs");
+  E.u64(L.Tier0Runs);
+  E.key("escalatedRuns");
+  E.u64(L.EscalatedRuns);
+  E.key("poolTasks");
+  E.u64(L.PoolTasks);
+  E.key("poolSteals");
+  E.u64(L.PoolSteals);
+  E.key("wallSeconds");
+  E.dbl(L.WallSeconds);
+  E.endObject();
+  encodeMetricsSnapshot(E, L.Metrics);
+}
+
+static bool decodeLedgerBody(wire::Decoder &D, LedgerEntry &Out) {
+  ScopedCtx C(D, "ledger");
+  {
+    ScopedCtx MC(D, "ledger meta");
+    if (!D.key("meta") || !D.beginObject() || !D.key("host") ||
+        !D.str(Out.Host) || !D.key("timestamp") || !D.str(Out.Timestamp) ||
+        !D.key("timestampNs") || !D.u64(Out.TimestampNanos) ||
+        !D.key("label") || !D.str(Out.Label) || !D.endObject())
+      return false;
+  }
+  {
+    ScopedCtx CC(D, "ledger config");
+    if (!D.key("config") || !D.beginObject() || !D.key("hash") ||
+        !D.str(Out.ConfigHash) || !D.key("wireFormat") ||
+        !D.str(Out.WireFormat) || !D.key("tier") || !D.str(Out.Tier) ||
+        !D.key("jobs") || !D.u64(Out.Jobs) || !D.key("samples") ||
+        !D.u64(Out.Samples) || !D.key("shardSize") || !D.u64(Out.ShardSize) ||
+        !D.key("batchLanes") || !D.u64(Out.BatchLanes) || !D.endObject())
+      return false;
+  }
+  {
+    ScopedCtx SC(D, "ledger stats");
+    if (!D.key("stats") || !D.beginObject() || !D.key("benchmarks") ||
+        !D.u64(Out.Benchmarks) || !D.key("shards") || !D.u64(Out.Shards) ||
+        !D.key("runs") || !D.u64(Out.Runs) || !D.key("analyzedShards") ||
+        !D.u64(Out.AnalyzedShards) || !D.key("cachedShards") ||
+        !D.u64(Out.CachedShards) || !D.key("rcacheHits") ||
+        !D.u64(Out.ResultCacheHits) || !D.key("rcacheMisses") ||
+        !D.u64(Out.ResultCacheMisses) || !D.key("limbHeapAllocs") ||
+        !D.u64(Out.LimbHeapAllocs) || !D.key("limbCacheHits") ||
+        !D.u64(Out.LimbCacheHits) || !D.key("tier0Runs") ||
+        !D.u64(Out.Tier0Runs) || !D.key("escalatedRuns") ||
+        !D.u64(Out.EscalatedRuns) || !D.key("poolTasks") ||
+        !D.u64(Out.PoolTasks) || !D.key("poolSteals") ||
+        !D.u64(Out.PoolSteals) || !D.key("wallSeconds") ||
+        !D.dbl(Out.WallSeconds) || !D.endObject())
+      return false;
+  }
+  return decodeMetricsSnapshot(D, Out.Metrics);
+}
+
+std::string herbgrind::renderLedgerEntryJson(const LedgerEntry &E) {
+  wire::JsonEncoder Enc;
+  Enc.beginObject();
+  encodeJsonEnvelope(Enc, "herbgrind-ledger", LedgerFormatMajor,
+                     LedgerFormatMinor);
+  encodeLedgerBody(Enc, E);
+  Enc.endObject();
+  return Enc.take();
+}
+
+std::string herbgrind::renderLedgerEntryBinary(const LedgerEntry &E) {
+  wire::BinaryEncoder Enc(wire::Family::Ledger, LedgerFormatMajor,
+                          LedgerFormatMinor);
+  encodeLedgerBody(Enc, E);
+  return Enc.take();
+}
+
+std::string herbgrind::renderLedgerEntry(const LedgerEntry &E,
+                                         WireEncoding Enc) {
+  return Enc == WireEncoding::Binary ? renderLedgerEntryBinary(E)
+                                     : renderLedgerEntryJson(E);
+}
+
+bool herbgrind::parseLedgerEntry(const std::string &Text, LedgerEntry &Out,
+                                 std::string &Err) {
+  if (!wire::isBinary(Text)) {
+    JsonParseResult R;
+    if (!parseJsonText(Text, R, Err))
+      return false;
+    if (!R.Value.isObject()) {
+      Err = "ledger document is not an object";
+      return false;
+    }
+    wire::JsonDecoder D(R.Value);
+    if (!D.beginObject() ||
+        !decodeJsonEnvelope(D, "herbgrind-ledger", LedgerFormatMajor) ||
+        !decodeLedgerBody(D, Out) || !D.endObject()) {
+      Err = D.error();
+      return false;
+    }
+    return true;
+  }
+  wire::BinaryDecoder D(Text);
+  if (!checkBinaryHeader(D, wire::Family::Ledger, "herbgrind-ledger",
+                         LedgerFormatMajor, Err))
+    return false;
+  if (!decodeLedgerBody(D, Out)) {
+    Err = D.error();
+    return false;
+  }
+  if (!D.atEnd()) {
+    Err = "ledger: trailing bytes after HGB document";
     return false;
   }
   return true;

@@ -231,7 +231,19 @@ bool parseBatchReport(const std::string &Text, BatchReportDoc &Out,
 /// major bump. Same discipline otherwise -- readers accept any minor of a
 /// known major and reject everything else.
 constexpr int TelemetryFormatMajor = 1;
-constexpr int TelemetryFormatMinor = 0;
+/// History: 1.1 added the optional "meta" provenance block (hostname,
+/// ISO-8601 timestamp, merged-doc count). Minor-0 documents parse fine
+/// (the block simply reads as absent) and re-render their exact bytes.
+constexpr int TelemetryFormatMinor = 1;
+
+/// Provenance for a telemetry document: which machine produced it, when,
+/// and -- for merged documents -- how many process-level source docs were
+/// folded in. Purely informational; the merge algebra never reads it.
+struct TelemetryMeta {
+  std::string Host;      ///< Producing hostname (engine::hostName()).
+  std::string Timestamp; ///< ISO-8601 UTC wall-clock time of the write.
+  uint64_t MergedDocs = 0; ///< Source docs folded in (0 = a live process).
+};
 
 /// One sweep's telemetry: the merged metrics snapshot plus (when
 /// `--profile-ops` ran) the ranked hot-op cost profile. This is what
@@ -239,9 +251,19 @@ constexpr int TelemetryFormatMinor = 0;
 /// report stream: reports stay byte-identical whether or not telemetry
 /// was collected.
 struct TelemetryDoc {
+  bool HasMeta = false; ///< Present since 1.1; false round-trips old docs.
+  TelemetryMeta Meta;
   metrics::Snapshot Metrics;
   std::vector<opprof::OpProfileRow> Profile; ///< Ranked (finalized) rows.
   uint64_t ProfileTotalNanos = 0; ///< Measured shadow ns (profile.shadow_ns).
+
+  /// Folds \p Other into this document: metrics by Snapshot::mergeFrom,
+  /// profile rows by (Loc, Op) with the ranking re-finalized, total
+  /// nanos summed, and MergedDocs accumulated (a doc without meta counts
+  /// as one process). Host/Timestamp are left untouched -- deterministic
+  /// given the inputs, so cross-format merges compare byte-for-byte;
+  /// writers stamp fresh provenance afterwards if they want it.
+  void mergeFrom(const TelemetryDoc &Other);
 };
 
 /// Renders a complete telemetry document (versioned envelope + metrics +
@@ -261,6 +283,73 @@ bool parseTelemetryJson(const std::string &Text, TelemetryDoc &Out,
 /// Parses a telemetry document in either format (sniffed).
 bool parseTelemetry(const std::string &Text, TelemetryDoc &Out,
                     std::string &Err);
+
+/// Parses every document text (each sniffed independently, so JSON and
+/// HGB inputs mix freely) and folds them into \p Out with
+/// TelemetryDoc::mergeFrom. Fails on an empty input set or any parse
+/// error. The result carries meta with the summed MergedDocs count but
+/// empty Host/Timestamp: byte-deterministic given the inputs; callers
+/// stamp provenance before writing.
+bool mergeTelemetry(const std::vector<std::string> &DocTexts,
+                    TelemetryDoc &Out, std::string &Err);
+
+/// Run-ledger document version (format "herbgrind-ledger", HGB family
+/// Ledger). Versioned independently: ledger entries persist across many
+/// sweeps, and their schema must be able to grow without touching the
+/// report or telemetry formats.
+constexpr int LedgerFormatMajor = 1;
+constexpr int LedgerFormatMinor = 0;
+
+/// One run-ledger envelope: everything needed to recognize a sweep (the
+/// config hash and knobs), place it in time (host, timestamp), and judge
+/// it against a baseline (stats plus the merged metrics snapshot).
+/// engine/RunLedger.h owns the append-only store and the regression
+/// comparison; this is just the durable value.
+struct LedgerEntry {
+  // Provenance.
+  std::string Host;        ///< Producing hostname.
+  std::string Timestamp;   ///< ISO-8601 UTC wall-clock time.
+  uint64_t TimestampNanos = 0; ///< Wall-clock ns since the epoch (the
+                               ///< ledger's ordering key).
+  std::string Label;       ///< Free-form: "sweep", a bench section, ...
+  // Configuration.
+  std::string ConfigHash;  ///< engine::configHash() of the sweep.
+  std::string WireFormat;  ///< "json" or "binary".
+  std::string Tier;        ///< "full", "confirm", or "fast".
+  uint64_t Jobs = 0;
+  uint64_t Samples = 0;
+  uint64_t ShardSize = 0;
+  uint64_t BatchLanes = 1;
+  // Sweep statistics (the regression axes and their denominators).
+  uint64_t Benchmarks = 0;
+  uint64_t Shards = 0;
+  uint64_t Runs = 0;
+  uint64_t AnalyzedShards = 0;
+  uint64_t CachedShards = 0;
+  uint64_t ResultCacheHits = 0;
+  uint64_t ResultCacheMisses = 0;
+  uint64_t LimbHeapAllocs = 0;
+  uint64_t LimbCacheHits = 0;
+  uint64_t Tier0Runs = 0;
+  uint64_t EscalatedRuns = 0;
+  uint64_t PoolTasks = 0;
+  uint64_t PoolSteals = 0;
+  double WallSeconds = 0.0;
+  /// The sweep's merged metrics snapshot (same layout as the telemetry
+  /// document's counters/gauges/timers sections).
+  metrics::Snapshot Metrics;
+};
+
+/// Renders a complete ledger entry (versioned envelope). Round trip:
+/// parse(render(e)) re-renders byte-identically in either format.
+std::string renderLedgerEntryJson(const LedgerEntry &E);
+std::string renderLedgerEntryBinary(const LedgerEntry &E);
+std::string renderLedgerEntry(const LedgerEntry &E, WireEncoding Enc);
+
+/// Parses a ledger entry in either format (sniffed). Rejects wrong
+/// format tags and unknown major versions.
+bool parseLedgerEntry(const std::string &Text, LedgerEntry &Out,
+                      std::string &Err);
 
 } // namespace herbgrind
 

@@ -11,6 +11,7 @@
 #include "fpcore/Corpus.h"
 #include "native/Context.h"
 #include "native/Kernel.h"
+#include "support/Events.h"
 #include "support/Format.h"
 #include "support/LimbAlloc.h"
 #include "support/Metrics.h"
@@ -244,6 +245,20 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   metrics::gauge("engine.benchmarks").set(static_cast<int64_t>(Sources.size()));
   metrics::gauge("engine.shards_total").set(static_cast<int64_t>(Shards.size()));
 
+  if (events::enabled()) {
+    size_t SliceRuns = 0;
+    for (const Shard &Sh : Shards)
+      SliceRuns += Sh.End - Sh.Begin;
+    events::emit(
+        "sweep.begin",
+        format("\"benchmarks\":%zu,\"shards\":%zu,\"runs\":%zu,\"jobs\":%u,"
+               "\"tier\":\"%s\"",
+               Sources.size(), Shards.size(), SliceRuns, Cfg.Jobs,
+               Cfg.Tier == TierMode::Full      ? "full"
+               : Cfg.Tier == TierMode::Fast    ? "fast"
+                                               : "confirm"));
+  }
+
   BatchResult Out;
   Out.Benchmarks.resize(Sources.size());
   std::vector<BenchFold> Folds(Sources.size());
@@ -315,6 +330,11 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   {
     ThreadPool Pool(Cfg.Jobs);
     for (size_t S = 0; S < Shards.size(); ++S) {
+      if (events::enabled())
+        events::emit("shard.queued",
+                     format("\"bench\":%zu,\"shard\":%zu,\"runs\":%zu",
+                            Shards[S].Bench, Shards[S].Index,
+                            Shards[S].End - Shards[S].Begin));
       // Benchmark-affine placement: a benchmark's shards land on one
       // worker (stealing still rebalances), so the worker-local analyzer
       // inside AnalyzeShard actually gets reused across them at any jobs
@@ -335,6 +355,11 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
             trace::enabled()
                 ? format("{\"bench\":%zu,\"shard\":%zu,\"runs\":%zu}",
                          Sh.Bench, Sh.Index, Sh.End - Sh.Begin)
+                : std::string();
+        std::string EvArgs =
+            events::enabled()
+                ? format("\"bench\":%zu,\"shard\":%zu,\"runs\":%zu", Sh.Bench,
+                         Sh.Index, Sh.End - Sh.Begin)
                 : std::string();
         ResultCache::ShardKey Key;
         if (RC && !Cleared) {
@@ -358,6 +383,8 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
         } else if (FromCache) {
           ++Cached;
           MShardsCached.add(1);
+          if (events::enabled())
+            events::emit("shard.cache_hit", EvArgs);
         } else {
           // Limb-traffic deltas bracket the analysis on this worker
           // thread (the counters are thread-local), so the sum over
@@ -377,6 +404,12 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
               MTier0Runs.add(FO.Tier0Runs);
               MTier0Ops.add(FO.Tier0Ops);
               MTierEscalations.add(FO.EscalatedRuns);
+              if (FO.EscalatedRuns > 0 && events::enabled())
+                events::emit(
+                    "shard.escalated",
+                    EvArgs + format(",\"escalated\":%llu",
+                                    static_cast<unsigned long long>(
+                                        FO.EscalatedRuns)));
             } else {
               Result = Sources[Sh.Bench].AnalyzeShard(RunId, Inputs[Sh.Bench],
                                                       Sh.Begin, Sh.End);
@@ -385,6 +418,11 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
                 // shadow: that is the escalation cost of this tier.
                 EscalatedRuns += Sh.End - Sh.Begin;
                 MTierEscalations.add(Sh.End - Sh.Begin);
+                if (events::enabled())
+                  events::emit("shard.escalated",
+                               EvArgs +
+                                   format(",\"escalated\":%zu",
+                                          Sh.End - Sh.Begin));
               }
             }
           }
@@ -396,6 +434,8 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
           MLimbHits.add(HitsD);
           ++Analyzed;
           MShardsAnalyzed.add(1);
+          if (events::enabled())
+            events::emit("shard.analyzed", EvArgs);
           if (RC)
             RC->store(Key, Sources[Sh.Bench].Name, Result);
         }
@@ -440,6 +480,10 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
           size_t Lo = Fold.NextIndex * Step;
           BR.Runs += std::min(Lo + Step, Total) - Lo;
           Fold.Pending.erase(It);
+          if (events::enabled())
+            events::emit("shard.reduced",
+                         format("\"bench\":%zu,\"shard\":%zu", Sh.Bench,
+                                Fold.NextIndex));
           ++Fold.NextIndex;
         }
       });
@@ -509,6 +553,19 @@ static BatchResult runSweepImpl(const EngineConfig &Cfg, ResultCache *RC,
   Out.Stats.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  if (events::enabled())
+    events::emit(
+        "sweep.end",
+        format("\"benchmarks\":%llu,\"shards\":%llu,\"runs\":%llu,"
+               "\"analyzed\":%llu,\"cached\":%llu,\"escalated\":%llu,"
+               "\"wallSeconds\":%s",
+               static_cast<unsigned long long>(Out.Stats.Benchmarks),
+               static_cast<unsigned long long>(Out.Stats.Shards),
+               static_cast<unsigned long long>(Out.Stats.Runs),
+               static_cast<unsigned long long>(Out.Stats.AnalyzedShards),
+               static_cast<unsigned long long>(Out.Stats.CachedShards),
+               static_cast<unsigned long long>(Out.Stats.EscalatedRuns),
+               formatDoubleShortest(Out.Stats.WallSeconds).c_str()));
   return Out;
 }
 

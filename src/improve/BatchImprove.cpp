@@ -9,6 +9,7 @@
 #include "engine/ResultCache.h"
 #include "engine/ThreadPool.h"
 #include "inputs/InputSummary.h"
+#include "support/Events.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -161,6 +162,10 @@ BatchImproveStats improve::batchImprove(engine::BatchResult &Batch,
             Cache->storeImprove(Key, IR);
         }
         IR.PC = T.PC; // identity is the caller's, never the cache's
+        if (events::enabled())
+          events::emit("improve.record_done",
+                       format("\"bench\":%zu,\"pc\":%u,\"improved\":%s",
+                              T.Bench, T.PC, IR.Improved ? "true" : "false"));
         Results[T.Bench][T.Slot] = std::move(IR);
       });
     }

@@ -217,6 +217,66 @@ const TimerSample *Snapshot::findTimer(const std::string &Name) const {
   return nullptr;
 }
 
+/// Shared shape of the three per-kind folds below: both sides are
+/// name-sorted, so a single linear merge pass visits every name once and
+/// keeps the output sorted without a re-sort.
+template <typename Sample>
+static bool samplesSorted(const std::vector<Sample> &V) {
+  for (size_t I = 1; I < V.size(); ++I)
+    if (V[I].Name < V[I - 1].Name)
+      return false;
+  return true;
+}
+
+template <typename Sample, typename FoldFn>
+static void mergeSortedSamples(std::vector<Sample> &Dst,
+                               std::vector<Sample> Src, FoldFn Fold) {
+  // snapshot() and the telemetry renderer keep samples name-sorted, but a
+  // hand-built or foreign document might not; restore the invariant
+  // rather than silently producing a misordered (and misfolded) merge.
+  auto ByName = [](const Sample &A, const Sample &B) { return A.Name < B.Name; };
+  if (!samplesSorted(Dst))
+    std::sort(Dst.begin(), Dst.end(), ByName);
+  if (!samplesSorted(Src))
+    std::sort(Src.begin(), Src.end(), ByName);
+  std::vector<Sample> Out;
+  Out.reserve(Dst.size() + Src.size());
+  size_t I = 0, J = 0;
+  while (I < Dst.size() || J < Src.size()) {
+    if (J == Src.size() || (I < Dst.size() && Dst[I].Name < Src[J].Name)) {
+      Out.push_back(std::move(Dst[I++]));
+    } else if (I == Dst.size() || Src[J].Name < Dst[I].Name) {
+      Out.push_back(std::move(Src[J++]));
+    } else {
+      Fold(Dst[I], Src[J]);
+      Out.push_back(std::move(Dst[I]));
+      ++I;
+      ++J;
+    }
+  }
+  Dst = std::move(Out);
+}
+
+void Snapshot::mergeFrom(const Snapshot &Other) {
+  mergeSortedSamples(Counters, Other.Counters,
+                     [](CounterSample &A, const CounterSample &B) {
+                       A.Value += B.Value;
+                     });
+  mergeSortedSamples(Gauges, Other.Gauges,
+                     [](GaugeSample &A, const GaugeSample &B) {
+                       A.Value += B.Value;
+                       A.Max += B.Max;
+                     });
+  mergeSortedSamples(Timers, Other.Timers,
+                     [](TimerSample &A, const TimerSample &B) {
+                       A.Count += B.Count;
+                       A.SumNanos += B.SumNanos;
+                       A.MaxNanos = std::max(A.MaxNanos, B.MaxNanos);
+                       for (unsigned I = 0; I < TimerBuckets; ++I)
+                         A.Buckets[I] += B.Buckets[I];
+                     });
+}
+
 Snapshot snapshot() {
   Registry &R = registry();
   std::lock_guard<std::mutex> L(R.M);

@@ -151,6 +151,19 @@ struct Snapshot {
   uint64_t counterValue(const std::string &Name) const;
   const GaugeSample *findGauge(const std::string &Name) const;
   const TimerSample *findTimer(const std::string &Name) const;
+
+  /// Folds another snapshot into this one, name by name (missing names
+  /// are inserted; the result stays name-sorted). This is the merge
+  /// algebra that makes telemetry documents from distributed sweep
+  /// slices aggregatable: counters sum; timers sum Count/SumNanos and
+  /// every histogram bucket and take the max of MaxNanos; gauges treat
+  /// Value and Max as additive levels (two machines' worker counts,
+  /// queue depths, and shard-slice totals add -- so the summed watermark
+  /// is an upper bound on the true combined peak, and slice totals like
+  /// engine.shards_total recover the single-machine value exactly).
+  /// The fold is associative and commutative with the empty snapshot as
+  /// identity, so any merge tree over the same docs gives the same bytes.
+  void mergeFrom(const Snapshot &Other);
 };
 
 /// Merges every thread's shards into one snapshot (sorted by name, so

@@ -25,6 +25,8 @@ const char *herbgrind::wire::familyName(Family F) {
     return "batch-report";
   case Family::Telemetry:
     return "telemetry";
+  case Family::Ledger:
+    return "ledger";
   }
   return "?";
 }

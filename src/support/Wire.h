@@ -49,6 +49,7 @@ enum class Family : uint8_t {
   Report = 3, ///< A bare presentation-level report ({"spots":...}).
   BatchReport = 4,
   Telemetry = 5,
+  Ledger = 6, ///< One run-ledger envelope (engine/RunLedger.h).
 };
 
 /// Human-readable family name (for diagnostics and conversion tools).

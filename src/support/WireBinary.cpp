@@ -286,7 +286,7 @@ BinaryDecoder::BinaryDecoder(const std::string &D) : Data(D), Src(&D) {
     fail("truncated HGB header");
     return;
   }
-  if (F < 1 || F > 5) {
+  if (F < 1 || F > 6) {
     fail(format("unknown HGB family tag %llu",
                 static_cast<unsigned long long>(F)));
     return;

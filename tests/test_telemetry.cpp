@@ -569,3 +569,526 @@ TEST_F(TelemetryTest, FullTelemetryLeavesEngineReportBytesIdentical) {
   // EngineStats mirrors the new counters.
   EXPECT_EQ(Instrumented.Stats.PoolTasks, S.counterValue("pool.tasks_executed"));
 }
+
+//===----------------------------------------------------------------------===//
+// Mergeable telemetry: the snapshot fold algebra
+//===----------------------------------------------------------------------===//
+
+#include "engine/RunLedger.h"
+#include "support/Events.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace {
+
+/// A scoped temp directory under the system temp root.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("herbgrind-telemetry-" + Tag + "-" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+};
+
+metrics::CounterSample makeCounter(const char *Name, uint64_t V) {
+  metrics::CounterSample S;
+  S.Name = Name;
+  S.Value = V;
+  return S;
+}
+
+metrics::TimerSample makeTimer(const char *Name, uint64_t Count, uint64_t Sum,
+                               uint64_t Max, unsigned Bucket) {
+  metrics::TimerSample S;
+  S.Name = Name;
+  S.Count = Count;
+  S.SumNanos = Sum;
+  S.MaxNanos = Max;
+  S.Buckets[Bucket] = Count;
+  return S;
+}
+
+metrics::GaugeSample makeGauge(const char *Name, int64_t V, int64_t Max) {
+  metrics::GaugeSample S;
+  S.Name = Name;
+  S.Value = V;
+  S.Max = Max;
+  return S;
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, SnapshotMergeFoldsCountersTimersAndGauges) {
+  metrics::Snapshot A;
+  A.Counters = {makeCounter("a.only", 3), makeCounter("both", 10)};
+  A.Timers = {makeTimer("t", 2, 100, 80, 6)};
+  A.Gauges = {makeGauge("g", 4, 7)};
+
+  metrics::Snapshot B;
+  B.Counters = {makeCounter("b.only", 5), makeCounter("both", 32)};
+  B.Timers = {makeTimer("t", 3, 50, 30, 4)};
+  B.Gauges = {makeGauge("g", 6, 11)};
+
+  A.mergeFrom(B);
+  EXPECT_EQ(A.counterValue("a.only"), 3u);
+  EXPECT_EQ(A.counterValue("b.only"), 5u);
+  EXPECT_EQ(A.counterValue("both"), 42u);
+
+  const metrics::TimerSample *T = A.findTimer("t");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Count, 5u);
+  EXPECT_EQ(T->SumNanos, 150u);
+  // Max folds as max, never as sum: two machines' slowest shard is the
+  // slower of the two, not their total.
+  EXPECT_EQ(T->MaxNanos, 80u);
+  EXPECT_EQ(T->Buckets[6], 2u);
+  EXPECT_EQ(T->Buckets[4], 3u);
+
+  // Gauges are additive levels: per-slice totals (shard counts, worker
+  // counts) recover the single-machine value when slices merge.
+  const metrics::GaugeSample *G = A.findGauge("g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Value, 10);
+  EXPECT_EQ(G->Max, 18);
+}
+
+TEST_F(TelemetryTest, SnapshotMergeIsCommutativeAssociativeWithEmptyIdentity) {
+  auto Make = [](uint64_t C, uint64_t TSum, int64_t G) {
+    metrics::Snapshot S;
+    S.Counters = {makeCounter("c", C)};
+    S.Timers = {makeTimer("t", 1, TSum, TSum, 3)};
+    S.Gauges = {makeGauge("g", G, G)};
+    return S;
+  };
+  auto Render = [](const metrics::Snapshot &S) {
+    TelemetryDoc D;
+    D.Metrics = S;
+    return renderTelemetryJson(D);
+  };
+  metrics::Snapshot X = Make(1, 10, 100), Y = Make(2, 20, 200),
+                    Z = Make(4, 40, 400);
+
+  // Commutative: X+Y == Y+X (byte-compared through the renderer, which
+  // also proves the merged sample lists stay name-sorted).
+  metrics::Snapshot XY = X, YX = Y;
+  XY.mergeFrom(Y);
+  YX.mergeFrom(X);
+  EXPECT_EQ(Render(XY), Render(YX));
+
+  // Associative: (X+Y)+Z == X+(Y+Z).
+  metrics::Snapshot L = XY, YZ = Y, R = X;
+  L.mergeFrom(Z);
+  YZ.mergeFrom(Z);
+  R.mergeFrom(YZ);
+  EXPECT_EQ(Render(L), Render(R));
+
+  // The empty snapshot is the identity on both sides.
+  metrics::Snapshot E, XE = X;
+  XE.mergeFrom(E);
+  EXPECT_EQ(Render(XE), Render(X));
+  metrics::Snapshot EX;
+  EX.mergeFrom(X);
+  EXPECT_EQ(Render(EX), Render(X));
+}
+
+TEST_F(TelemetryTest, OpProfileRowsMergeBySiteAndOpcode) {
+  auto Row = [](Opcode Op, const char *File, uint64_t Execs, uint64_t Nanos) {
+    opprof::OpProfileRow R;
+    R.Op = Op;
+    R.Loc = SourceLoc(File, 1, "f");
+    R.Executions = Execs;
+    R.Samples = Execs;
+    R.Nanos = Nanos;
+    R.LimbAllocs = 1;
+    R.LimbHits = 2;
+    return R;
+  };
+  std::vector<opprof::OpProfileRow> Dst = {Row(Opcode::AddF64, "a", 10, 100),
+                                           Row(Opcode::MulF64, "a", 5, 50)};
+  std::vector<opprof::OpProfileRow> Src = {Row(Opcode::AddF64, "a", 7, 70),
+                                           Row(Opcode::AddF64, "b", 3, 30)};
+  opprof::mergeOpProfileRows(Dst, Src);
+  ASSERT_EQ(Dst.size(), 3u);
+  const opprof::OpProfileRow *Merged = nullptr, *New = nullptr;
+  for (const opprof::OpProfileRow &R : Dst) {
+    if (R.Op == Opcode::AddF64 && R.Loc.str() == "a:1 in f")
+      Merged = &R;
+    if (R.Loc.str() == "b:1 in f")
+      New = &R;
+  }
+  ASSERT_NE(Merged, nullptr);
+  EXPECT_EQ(Merged->Executions, 17u);
+  EXPECT_EQ(Merged->Nanos, 170u);
+  EXPECT_EQ(Merged->LimbAllocs, 2u);
+  EXPECT_EQ(Merged->LimbHits, 4u);
+  ASSERT_NE(New, nullptr);
+  EXPECT_EQ(New->Executions, 3u);
+  EXPECT_EQ(New->Nanos, 30u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry document merging (cross-format) and the meta block
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, MergeTelemetryFoldsMixedFormatsOrderIndependently) {
+  TelemetryDoc A;
+  A.Metrics.Counters = {makeCounter("engine.runs", 8)};
+  opprof::OpProfileRow RA;
+  RA.Op = Opcode::AddF64;
+  RA.Loc = SourceLoc("x.fpcore", 2, "x");
+  RA.Executions = 8;
+  RA.Samples = 8;
+  RA.Nanos = 800;
+  A.Profile.push_back(RA);
+  A.ProfileTotalNanos = 800;
+  A.HasMeta = true;
+  A.Meta.Host = "machine-a";
+  A.Meta.Timestamp = "2026-08-08T00:00:00Z";
+  A.Meta.MergedDocs = 1;
+
+  TelemetryDoc B = A;
+  B.Meta.Host = "machine-b";
+  B.Metrics.Counters = {makeCounter("engine.runs", 4)};
+  B.Profile[0].Executions = 4;
+  B.Profile[0].Nanos = 400;
+  B.ProfileTotalNanos = 400;
+
+  // One sidecar JSON, the other HGB: a merge must sniff per document.
+  std::string JsonA = renderTelemetryJson(A);
+  std::string BinB = renderTelemetryBinary(B);
+
+  TelemetryDoc AB, BA;
+  std::string Err;
+  ASSERT_TRUE(mergeTelemetry({JsonA, BinB}, AB, Err)) << Err;
+  ASSERT_TRUE(mergeTelemetry({BinB, JsonA}, BA, Err)) << Err;
+
+  EXPECT_EQ(AB.Metrics.counterValue("engine.runs"), 12u);
+  ASSERT_EQ(AB.Profile.size(), 1u);
+  EXPECT_EQ(AB.Profile[0].Executions, 12u);
+  EXPECT_EQ(AB.ProfileTotalNanos, 1200u);
+  EXPECT_EQ(AB.Meta.MergedDocs, 2u);
+  // Provenance is cleared (the merging machine stamps its own when it
+  // writes), which is exactly what makes the merge byte-deterministic:
+  EXPECT_EQ(AB.Meta.Host, "");
+  EXPECT_EQ(AB.Meta.Timestamp, "");
+  EXPECT_EQ(renderTelemetryJson(AB), renderTelemetryJson(BA));
+
+  // An unparseable member fails the merge loudly, naming the document.
+  TelemetryDoc Bad;
+  EXPECT_FALSE(mergeTelemetry({JsonA, "not json"}, Bad, Err));
+  EXPECT_NE(Err.find("document 1"), std::string::npos) << Err;
+  EXPECT_FALSE(mergeTelemetry({}, Bad, Err));
+}
+
+TEST_F(TelemetryTest, TelemetryMetaRoundTripsAndMinor0DocsStillParse) {
+  TelemetryDoc Doc;
+  Doc.Metrics.Counters = {makeCounter("c", 1)};
+  Doc.HasMeta = true;
+  Doc.Meta.Host = "hostname-1";
+  Doc.Meta.Timestamp = "2026-08-08T12:00:00Z";
+  Doc.Meta.MergedDocs = 3;
+
+  std::string Json = renderTelemetryJson(Doc);
+  EXPECT_NE(Json.find("\"meta\":{\"host\":\"hostname-1\""), std::string::npos);
+  TelemetryDoc Back;
+  std::string Err;
+  ASSERT_TRUE(parseTelemetry(Json, Back, Err)) << Err;
+  EXPECT_TRUE(Back.HasMeta);
+  EXPECT_EQ(Back.Meta.Host, "hostname-1");
+  EXPECT_EQ(Back.Meta.MergedDocs, 3u);
+  EXPECT_EQ(renderTelemetryJson(Back), Json);
+
+  std::string Bin = renderTelemetryBinary(Doc);
+  TelemetryDoc BinBack;
+  ASSERT_TRUE(parseTelemetry(Bin, BinBack, Err)) << Err;
+  EXPECT_EQ(renderTelemetryJson(BinBack), Json);
+
+  // A pre-meta (minor 0) JSON document -- no meta field, version.minor 0
+  // -- still parses; the reader treats meta as absent.
+  TelemetryDoc Old;
+  Old.Metrics.Counters = {makeCounter("c", 1)};
+  std::string OldJson = renderTelemetryJson(Old);
+  std::string Needle = format("\"minor\":%d", TelemetryFormatMinor);
+  size_t At = OldJson.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  OldJson.replace(At, Needle.size(), "\"minor\":0");
+  TelemetryDoc OldBack;
+  ASSERT_TRUE(parseTelemetry(OldJson, OldBack, Err)) << Err;
+  EXPECT_FALSE(OldBack.HasMeta);
+
+  // The same compatibility in HGB: a minor-0 binary body has NO meta
+  // presence byte at all. Craft one by patching the header's minor
+  // varint and dropping the presence byte (the header is magic + three
+  // single-byte varints + the codec byte; the tiny body stays raw).
+  std::string OldBin = renderTelemetryBinary(Old);
+  ASSERT_GT(OldBin.size(), 9u);
+  ASSERT_EQ(static_cast<unsigned char>(OldBin[6]),
+            static_cast<unsigned char>(TelemetryFormatMinor));
+  ASSERT_EQ(OldBin[7], 0); // raw body codec
+  ASSERT_EQ(OldBin[8], 0); // the meta presence byte being dropped
+  OldBin[6] = 0;
+  OldBin.erase(8, 1);
+  TelemetryDoc OldBinBack;
+  ASSERT_TRUE(parseTelemetry(OldBin, OldBinBack, Err)) << Err;
+  EXPECT_FALSE(OldBinBack.HasMeta);
+  EXPECT_EQ(OldBinBack.Metrics.counterValue("c"), 1u);
+}
+
+TEST_F(TelemetryTest, TwoSliceSweepTelemetryMergesToSingleRunCounters) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(3);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 8;
+  Cfg.ShardSize = 4;
+
+  // The single-machine reference sweep.
+  Engine(Cfg).run(Cores);
+  metrics::Snapshot Single = metrics::snapshot();
+  ASSERT_GT(Single.counterValue("engine.runs"), 0u);
+
+  // The same layout split across two shard-range slices, telemetry
+  // captured per slice (as two distributed machines would).
+  metrics::resetAll();
+  EngineConfig SliceA = Cfg;
+  SliceA.ShardBegin = 0;
+  SliceA.ShardEnd = 1;
+  Engine(SliceA).run(Cores);
+  metrics::Snapshot A = metrics::snapshot();
+
+  metrics::resetAll();
+  EngineConfig SliceB = Cfg;
+  SliceB.ShardBegin = 1;
+  Engine(SliceB).run(Cores);
+  metrics::Snapshot B = metrics::snapshot();
+
+  A.mergeFrom(B);
+  for (const char *Name :
+       {"engine.runs", "engine.shards_done", "engine.shards_analyzed",
+        "engine.shards_cached"})
+    EXPECT_EQ(A.counterValue(Name), Single.counterValue(Name)) << Name;
+  // Gauge levels are per-slice totals, so the merged sum recovers the
+  // single-machine layout width.
+  const metrics::GaugeSample *Merged = A.findGauge("engine.shards_total");
+  const metrics::GaugeSample *Ref = Single.findGauge("engine.shards_total");
+  ASSERT_NE(Merged, nullptr);
+  ASSERT_NE(Ref, nullptr);
+  EXPECT_EQ(Merged->Value, Ref->Value);
+}
+
+//===----------------------------------------------------------------------===//
+// The run ledger
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, LedgerEntryRoundTripsByteIdenticallyInBothFormats) {
+  LedgerEntry E;
+  E.Host = "ci-host";
+  E.Timestamp = "2026-08-08T12:34:56Z";
+  E.TimestampNanos = 1700000000123456789ull;
+  E.Label = "sweep";
+  E.ConfigHash = "deadbeef";
+  E.WireFormat = "json";
+  E.Tier = "confirm";
+  E.Jobs = 4;
+  E.Samples = 64;
+  E.ShardSize = 16;
+  E.BatchLanes = 8;
+  E.Benchmarks = 3;
+  E.Shards = 12;
+  E.Runs = 192;
+  E.AnalyzedShards = 10;
+  E.CachedShards = 2;
+  E.ResultCacheHits = 2;
+  E.ResultCacheMisses = 10;
+  E.LimbHeapAllocs = 17;
+  E.LimbCacheHits = 372;
+  E.Tier0Runs = 192;
+  E.EscalatedRuns = 64;
+  E.PoolTasks = 24;
+  E.PoolSteals = 3;
+  E.WallSeconds = 1.25;
+  E.Metrics.Counters = {makeCounter("engine.runs", 192)};
+
+  std::string Json = renderLedgerEntryJson(E);
+  LedgerEntry Back;
+  std::string Err;
+  ASSERT_TRUE(parseLedgerEntry(Json, Back, Err)) << Err;
+  EXPECT_EQ(renderLedgerEntryJson(Back), Json);
+  EXPECT_EQ(Back.Host, "ci-host");
+  EXPECT_EQ(Back.TimestampNanos, 1700000000123456789ull);
+  EXPECT_EQ(Back.EscalatedRuns, 64u);
+  EXPECT_EQ(Back.WallSeconds, 1.25);
+  EXPECT_EQ(Back.Metrics.counterValue("engine.runs"), 192u);
+
+  std::string Bin = renderLedgerEntryBinary(E);
+  LedgerEntry BinBack;
+  ASSERT_TRUE(parseLedgerEntry(Bin, BinBack, Err)) << Err;
+  EXPECT_EQ(renderLedgerEntryJson(BinBack), Json);
+  EXPECT_EQ(renderLedgerEntryBinary(BinBack), Bin);
+
+  // Unknown major versions are rejected in both encodings.
+  std::string Needle = format("\"major\":%d", LedgerFormatMajor);
+  size_t At = Json.find(Needle);
+  ASSERT_NE(At, std::string::npos);
+  std::string Bumped = Json;
+  Bumped.replace(At, Needle.size(),
+                 format("\"major\":%d", LedgerFormatMajor + 1));
+  EXPECT_FALSE(parseLedgerEntry(Bumped, Back, Err));
+}
+
+TEST_F(TelemetryTest, LedgerAppendListsChronologicallyAndMixesFormats) {
+  TempDir Dir("ledger");
+  LedgerEntry E1;
+  E1.TimestampNanos = 2000;
+  E1.Timestamp = "2026-08-08T00:00:02Z";
+  E1.Label = "later";
+  LedgerEntry E2;
+  E2.TimestampNanos = 1000;
+  E2.Timestamp = "2026-08-08T00:00:01Z";
+  E2.Label = "earlier";
+
+  std::string Path, Err;
+  ASSERT_TRUE(ledgerAppend(Dir.Path, E1, WireEncoding::Json, Path, Err))
+      << Err;
+  ASSERT_TRUE(ledgerAppend(Dir.Path, E2, WireEncoding::Binary, Path, Err))
+      << Err;
+
+  std::vector<LedgerEntry> Entries;
+  std::vector<std::string> Paths;
+  ASSERT_TRUE(ledgerList(Dir.Path, Entries, Paths, Err)) << Err;
+  ASSERT_EQ(Entries.size(), 2u);
+  // Sorted by recorded wall-clock time, not by arrival: the binary entry
+  // written second sorts first.
+  EXPECT_EQ(Entries[0].Label, "earlier");
+  EXPECT_EQ(Entries[1].Label, "later");
+
+  // A corrupt entry fails the listing loudly instead of shortening it.
+  std::ofstream(Dir.Path + "/entry-9999-1.json") << "{broken";
+  EXPECT_FALSE(ledgerList(Dir.Path, Entries, Paths, Err));
+}
+
+TEST_F(TelemetryTest, LedgerCompareFlagsEachRegressionAxis) {
+  LedgerEntry Base;
+  Base.WallSeconds = 10.0;
+  Base.ResultCacheHits = 90;
+  Base.ResultCacheMisses = 10;
+  Base.Runs = 100;
+  Base.Tier0Runs = 100;
+  Base.EscalatedRuns = 5;
+  Base.LimbHeapAllocs = 10000;
+
+  // Within thresholds: nothing flags.
+  LedgerEntry Ok = Base;
+  Ok.WallSeconds = 11.0;
+  Ok.EscalatedRuns = 8;
+  Ok.LimbHeapAllocs = 10500;
+  EXPECT_TRUE(ledgerCompare(Base, Ok).empty());
+
+  // Each axis breached individually.
+  LedgerEntry Slow = Base;
+  Slow.WallSeconds = 13.0;
+  auto R = ledgerCompare(Base, Slow);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Metric, "wall_seconds");
+
+  LedgerEntry ColdCache = Base;
+  ColdCache.ResultCacheHits = 70;
+  ColdCache.ResultCacheMisses = 30;
+  R = ledgerCompare(Base, ColdCache);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Metric, "cache_hit_rate");
+
+  LedgerEntry Escalating = Base;
+  Escalating.EscalatedRuns = 20;
+  R = ledgerCompare(Base, Escalating);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Metric, "escalation_fraction");
+
+  LedgerEntry Leaky = Base;
+  Leaky.LimbHeapAllocs = 12000;
+  R = ledgerCompare(Base, Leaky);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Metric, "limb_heap_allocs");
+
+  // The absolute heap slack shields zero-alloc baselines from noise.
+  LedgerEntry ZeroBase = Base;
+  ZeroBase.LimbHeapAllocs = 0;
+  LedgerEntry Noise = ZeroBase;
+  Noise.LimbHeapAllocs = 100;
+  EXPECT_TRUE(ledgerCompare(ZeroBase, Noise).empty());
+
+  // Untiered sweeps (no tier-0 runs) never judge escalation.
+  LedgerEntry UntieredBase = Base;
+  UntieredBase.Tier0Runs = 0;
+  LedgerEntry UntieredCur = Escalating;
+  UntieredCur.Tier0Runs = 0;
+  EXPECT_TRUE(ledgerCompare(UntieredBase, UntieredCur).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The structured event stream
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, EventStreamWritesParseableLifecycleNdjson) {
+  std::vector<fpcore::Core> Cores = smallCorpusSubset(2);
+  EngineConfig Cfg;
+  Cfg.Jobs = 2;
+  Cfg.SamplesPerBenchmark = 8;
+  Cfg.ShardSize = 4;
+
+  std::string Plain = Engine(Cfg).run(Cores).renderJson();
+
+  TempDir Dir("events");
+  std::string EventsPath = Dir.Path + "/events.ndjson";
+  std::string Err;
+  ASSERT_TRUE(events::start(EventsPath, Err)) << Err;
+  ASSERT_TRUE(events::enabled());
+  std::string Streamed = Engine(Cfg).run(Cores).renderJson();
+  events::stop();
+  EXPECT_FALSE(events::enabled());
+
+  // The stream observes, never steers.
+  EXPECT_EQ(Streamed, Plain);
+
+  std::ifstream In(EventsPath);
+  ASSERT_TRUE(In.good());
+  std::vector<std::string> Types;
+  uint64_t ExpectSeq = 0, AnalyzedOrCached = 0, Reduced = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    JsonParseResult R = parseJson(Line);
+    ASSERT_TRUE(R.Ok) << Line;
+    const JsonValue *Ev = R.Value.field("event");
+    const JsonValue *Seq = R.Value.field("seq");
+    const JsonValue *Ts = R.Value.field("ts");
+    ASSERT_NE(Ev, nullptr);
+    ASSERT_NE(Seq, nullptr);
+    ASSERT_NE(Ts, nullptr);
+    EXPECT_EQ(Seq->asU64(), ExpectSeq++);
+    Types.push_back(Ev->Str);
+    if (Ev->Str == "shard.analyzed" || Ev->Str == "shard.cache_hit")
+      ++AnalyzedOrCached;
+    if (Ev->Str == "shard.reduced")
+      ++Reduced;
+  }
+  ASSERT_FALSE(Types.empty());
+  EXPECT_EQ(Types.front(), "sweep.begin");
+  EXPECT_EQ(Types.back(), "sweep.end");
+  // Every shard surfaces its lifecycle: 4 shards queued, analyzed (or
+  // cache-hit), and reduced.
+  EXPECT_EQ(AnalyzedOrCached, 4u);
+  EXPECT_EQ(Reduced, 4u);
+  EXPECT_EQ(std::count(Types.begin(), Types.end(), "shard.queued"), 4);
+
+  // stop() is idempotent and emit() after stop is a no-op.
+  events::stop();
+  events::emit("ignored");
+}
